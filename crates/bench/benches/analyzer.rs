@@ -1,0 +1,71 @@
+//! Criterion benchmarks of the trace-analysis programs: records per second
+//! through the classifier, the Karn estimator, and the serializers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use tcp_sim::connection::Connection;
+use tcp_sim::loss::Bernoulli;
+use tcp_sim::time::SimDuration;
+use tcp_testbed::TraceRecorder;
+use tcp_trace::analyzer::{analyze, AnalyzerConfig};
+use tcp_trace::karn::estimate_timing;
+use tcp_trace::record::Trace;
+
+fn build_trace() -> Trace {
+    let mut conn = Connection::builder()
+        .rtt(0.05)
+        .loss(Box::new(Bernoulli::new(0.02)))
+        .seed(5)
+        .build_with_observer(TraceRecorder::new());
+    conn.run_for(SimDuration::from_secs_f64(600.0));
+    conn.finish();
+    conn.into_observer().into_trace()
+}
+
+fn bench_analyzer(c: &mut Criterion) {
+    let trace = build_trace();
+    let n = trace.len() as u64;
+    let mut group = c.benchmark_group("trace_analysis");
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("classify_loss_indications", |b| {
+        b.iter(|| analyze(black_box(&trace), AnalyzerConfig::default()))
+    });
+    group.bench_function("karn_timing", |b| {
+        b.iter(|| estimate_timing(black_box(&trace)))
+    });
+    group.finish();
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    let trace = build_trace();
+    let n = trace.len() as u64;
+    let mut group = c.benchmark_group("trace_serialization");
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("jsonl_write", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(trace.len() * 64);
+            trace.write_jsonl(&mut buf).unwrap();
+            black_box(buf.len())
+        })
+    });
+    let mut jsonl = Vec::new();
+    trace.write_jsonl(&mut jsonl).unwrap();
+    group.bench_function("jsonl_read", |b| {
+        b.iter(|| Trace::read_jsonl(std::io::Cursor::new(black_box(&jsonl))).unwrap())
+    });
+    group.bench_function("binary_encode", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(trace.len() * 17);
+            trace.encode_binary(&mut buf);
+            black_box(buf.len())
+        })
+    });
+    let mut bin = Vec::new();
+    trace.encode_binary(&mut bin);
+    group.bench_function("binary_decode", |b| {
+        b.iter(|| Trace::decode_binary(&mut black_box(bin.as_slice())).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analyzer, bench_serialization);
+criterion_main!(benches);

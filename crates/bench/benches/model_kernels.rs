@@ -1,0 +1,71 @@
+//! Criterion benchmarks of the analytic kernels: how cheap is the PFTK
+//! equation? (This matters for its real-world use — TFRC evaluates the
+//! control equation on every feedback packet.)
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pftk_model::markov::MarkovModel;
+use pftk_model::params::ModelParams;
+use pftk_model::sendrate::{approx_model, full_model, td_only};
+use pftk_model::throughput::throughput;
+use pftk_model::timeout::{q_hat_approx, q_hat_exact};
+use pftk_model::units::LossProb;
+
+fn params() -> ModelParams {
+    ModelParams::new(0.2, 2.0, 2, 32).unwrap()
+}
+
+fn bench_models(c: &mut Criterion) {
+    let params = params();
+    let mut group = c.benchmark_group("model_eval");
+    for &p in &[0.001, 0.01, 0.1] {
+        let lp = LossProb::new(p).unwrap();
+        group.bench_with_input(BenchmarkId::new("full_eq32", p), &lp, |b, lp| {
+            b.iter(|| full_model(black_box(*lp), black_box(&params)))
+        });
+        group.bench_with_input(BenchmarkId::new("approx_eq33", p), &lp, |b, lp| {
+            b.iter(|| approx_model(black_box(*lp), black_box(&params)))
+        });
+        group.bench_with_input(BenchmarkId::new("td_only_eq20", p), &lp, |b, lp| {
+            b.iter(|| td_only(black_box(*lp), black_box(&params)))
+        });
+        group.bench_with_input(BenchmarkId::new("throughput_eq37", p), &lp, |b, lp| {
+            b.iter(|| throughput(black_box(*lp), black_box(&params)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_q_hat(c: &mut Criterion) {
+    let lp = LossProb::new(0.02).unwrap();
+    let mut group = c.benchmark_group("q_hat");
+    group.bench_function("exact_eq24", |b| {
+        b.iter(|| q_hat_exact(black_box(lp), black_box(12.0)))
+    });
+    group.bench_function("approx_3_over_w", |b| {
+        b.iter(|| q_hat_approx(black_box(12.0)))
+    });
+    group.finish();
+}
+
+fn bench_markov(c: &mut Criterion) {
+    let mut group = c.benchmark_group("markov_solve");
+    group.sample_size(20);
+    for &wmax in &[8u32, 12, 32] {
+        let params = ModelParams::new(0.47, 3.2, 2, wmax).unwrap();
+        let lp = LossProb::new(0.02).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(wmax), &params, |b, params| {
+            b.iter(|| MarkovModel::solve(black_box(lp), black_box(params)).unwrap().send_rate())
+        });
+    }
+    group.finish();
+}
+
+fn bench_inverse(c: &mut Criterion) {
+    let params = params();
+    c.bench_function("loss_for_rate_bisection", |b| {
+        b.iter(|| pftk_model::inverse::loss_for_rate(black_box(30.0), black_box(&params)))
+    });
+}
+
+criterion_group!(benches, bench_models, bench_q_hat, bench_markov, bench_inverse);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! Criterion benchmarks of the two simulators: a fixed simulated horizon
+//! for the packet-level engine, TD periods for the rounds engine, and the
+//! raw loss-model draws.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tcp_sim::connection::Connection;
+use tcp_sim::loss::{Bernoulli, GilbertElliott, RoundCorrelated};
+use tcp_sim::rounds::{RoundsConfig, RoundsSim};
+use tcp_sim::time::{SimDuration, SimTime};
+
+fn bench_packet_level(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packet_level_sim");
+    group.sample_size(10);
+    for &p in &[0.005, 0.05] {
+        group.bench_with_input(BenchmarkId::new("60s_bernoulli", p), &p, |b, &p| {
+            b.iter(|| {
+                let mut conn = Connection::builder()
+                    .rtt(0.1)
+                    .loss(Box::new(Bernoulli::new(p)))
+                    .seed(1)
+                    .build();
+                conn.run_for(SimDuration::from_secs_f64(60.0));
+                black_box(conn.stats().packets_sent)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rounds_sim");
+    group.sample_size(20);
+    group.bench_function("10k_tdps", |b| {
+        b.iter(|| {
+            let mut sim = RoundsSim::new(
+                RoundsConfig {
+                    p: 0.02,
+                    rtt: 0.1,
+                    t0: 1.0,
+                    b: 2,
+                    wmax: 64,
+                    ..RoundsConfig::default()
+                },
+                3,
+            );
+            sim.run_tdps(10_000);
+            black_box(sim.send_rate())
+        })
+    });
+    group.finish();
+}
+
+fn bench_loss_models(c: &mut Criterion) {
+    use tcp_sim::loss::LossModel;
+    use tcp_sim::rng::SimRng;
+    let mut group = c.benchmark_group("loss_models");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("bernoulli_10k", |b| {
+        let mut m = Bernoulli::new(0.02);
+        let mut rng = SimRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut d = 0u32;
+            for _ in 0..10_000 {
+                d += m.should_drop(SimTime::ZERO, &mut rng) as u32;
+            }
+            black_box(d)
+        })
+    });
+    group.bench_function("round_correlated_10k", |b| {
+        let mut m = RoundCorrelated::new(0.02);
+        let mut rng = SimRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut d = 0u32;
+            for i in 0..10_000 {
+                if i % 16 == 0 {
+                    m.on_round_boundary();
+                }
+                d += m.should_drop(SimTime::ZERO, &mut rng) as u32;
+            }
+            black_box(d)
+        })
+    });
+    group.bench_function("gilbert_elliott_10k", |b| {
+        let mut m = GilbertElliott::from_rate_and_burst(0.02, 5.0);
+        let mut rng = SimRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut d = 0u32;
+            for _ in 0..10_000 {
+                d += m.should_drop(SimTime::ZERO, &mut rng) as u32;
+            }
+            black_box(d)
+        })
+    });
+    group.finish();
+}
+
+fn bench_network(c: &mut Criterion) {
+    use tcp_sim::network::{FlowConfig, Network};
+    use tcp_sim::queue::DropTail;
+    use tcp_sim::reno::sender::SenderConfig;
+    use tcp_sim::tfrc::TfrcConfig;
+    let mut group = c.benchmark_group("shared_bottleneck");
+    group.sample_size(10);
+    group.bench_function("2tcp_60s", |b| {
+        b.iter(|| {
+            let mut net = Network::new(100.0, Box::new(DropTail::new(25)), 1);
+            net.add_flow(FlowConfig::tcp(0.1, SenderConfig::default()));
+            net.add_flow(FlowConfig::tcp(0.1, SenderConfig::default()));
+            net.run_for(SimDuration::from_secs_f64(60.0));
+            net.finish();
+            black_box(net.stats()[0].delivered)
+        })
+    });
+    group.bench_function("tcp_vs_tfrc_60s", |b| {
+        b.iter(|| {
+            let mut net = Network::new(100.0, Box::new(DropTail::new(25)), 1);
+            net.add_flow(FlowConfig::tcp(0.1, SenderConfig::default()));
+            net.add_flow(FlowConfig::tfrc(0.1, TfrcConfig::for_rtt(0.2)));
+            net.run_for(SimDuration::from_secs_f64(60.0));
+            net.finish();
+            black_box(net.stats()[1].delivered)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_packet_level,
+    bench_rounds,
+    bench_loss_models,
+    bench_network
+);
+criterion_main!(benches);

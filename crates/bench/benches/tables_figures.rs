@@ -1,0 +1,129 @@
+//! One Criterion group per table/figure regeneration, exercised at the
+//! reduced `RunScale::quick()` so the whole evaluation pipeline — testbed
+//! simulation, trace analysis, model fitting, error metrics — is measured
+//! end to end. (The full-scale horizons live in the `tcp-repro` binaries;
+//! these benches keep the same code paths hot and regression-guarded.)
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pftk_model::markov::MarkovModel;
+use pftk_model::params::ModelParams;
+use pftk_model::sendrate::full_model;
+use pftk_model::throughput::throughput;
+use pftk_model::units::LossProb;
+use tcp_sim::rounds::{RoundsConfig, RoundsSim};
+use tcp_testbed::experiment::{run_modem, run_serial_100s};
+use tcp_testbed::paths::{table2_path, ModemSpec};
+use tcp_testbed::report::{error_triple_hourly, fig7_panel, fig8_series};
+
+fn bench_table2_row(c: &mut Criterion) {
+    let spec = table2_path("manic", "baskerville").unwrap();
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("one_row_100s", |b| {
+        b.iter(|| {
+            let r = run_serial_100s(spec, 1, 7).remove(0);
+            black_box(r.stats.packets_sent)
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let spec = table2_path("pif", "imagine").unwrap();
+    let result = run_serial_100s(spec, 1, 7).remove(0);
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("panel_from_result", |b| {
+        b.iter(|| black_box(fig7_panel(spec, &result, 100.0).scatter.len()))
+    });
+    group.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let spec = table2_path("manic", "mafalda").unwrap();
+    let results = run_serial_100s(spec, 3, 7);
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.bench_function("series_from_results", |b| {
+        b.iter(|| black_box(fig8_series(spec, &results).len()))
+    });
+    group.finish();
+}
+
+fn bench_fig9_10_error_metric(c: &mut Criterion) {
+    let spec = table2_path("manic", "maria").unwrap();
+    let result = run_serial_100s(spec, 1, 7).remove(0);
+    let mut group = c.benchmark_group("fig9_fig10");
+    group.sample_size(10);
+    group.bench_function("error_triple", |b| {
+        b.iter(|| black_box(error_triple_hourly(spec, &result, 20.0).full))
+    });
+    group.finish();
+}
+
+fn bench_fig11_modem(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    group.bench_function("modem_300s", |b| {
+        b.iter(|| {
+            let r = run_modem(&ModemSpec::default(), 300.0, 7);
+            black_box(r.stats.packets_sent)
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig12_markov_curve(c: &mut Criterion) {
+    let params = ModelParams::new(0.47, 3.2, 2, 12).unwrap();
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    group.bench_function("markov_plus_sim_point", |b| {
+        b.iter(|| {
+            let lp = LossProb::new(0.02).unwrap();
+            let m = MarkovModel::solve(lp, &params).unwrap().send_rate();
+            let mut sim = RoundsSim::new(
+                RoundsConfig {
+                    p: 0.02,
+                    rtt: 0.47,
+                    t0: 3.2,
+                    b: 2,
+                    wmax: 12,
+                    ..RoundsConfig::default()
+                },
+                7,
+            );
+            sim.run_for(5_000.0);
+            black_box((m, sim.send_rate()))
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig13_curves(c: &mut Criterion) {
+    let params = ModelParams::new(0.47, 3.2, 2, 12).unwrap();
+    let mut group = c.benchmark_group("fig13");
+    group.bench_function("b_and_t_over_40_points", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..=40 {
+                let p = f64::from(i) * 0.0075;
+                let lp = LossProb::new(p).unwrap();
+                acc += full_model(lp, &params) + throughput(lp, &params);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table2_row,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9_10_error_metric,
+    bench_fig11_modem,
+    bench_fig12_markov_curve,
+    bench_fig13_curves
+);
+criterion_main!(benches);

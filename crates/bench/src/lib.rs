@@ -1,0 +1,7 @@
+//! Benchmark-only crate; see the `benches/` directory. Groups:
+//!
+//! * `model_kernels` — the analytic equations (TFRC-style per-feedback cost);
+//! * `simulators` — packet-level and rounds-based engines, loss models;
+//! * `analyzer` — trace classification, Karn timing, (de)serialization;
+//! * `tables_figures` — one group per regenerated table/figure (quick scale);
+//! * `ablations` — model tiers, exact-vs-approx Q̂, loss-process choice.

@@ -1,0 +1,105 @@
+//! Error types for model-parameter validation and numeric procedures.
+
+use std::fmt;
+
+/// Errors produced when constructing model parameters or evaluating models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A loss probability outside `(0, 1)` was supplied where the model
+    /// requires a proper probability (the closed forms divide by `p` and by
+    /// `1 - p`).
+    InvalidLossProbability(f64),
+    /// A quantity that must be strictly positive (RTT, `T0`, MSS, …) was
+    /// zero, negative, or not finite.
+    NonPositive {
+        /// Human-readable name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The delayed-ACK factor `b` must be at least 1 (one ACK acknowledges at
+    /// least one packet).
+    InvalidAckFactor(u32),
+    /// A maximum-window value of zero was supplied; the receiver must be able
+    /// to buffer at least one segment.
+    ZeroWindow,
+    /// A root-finding or fixed-point procedure failed to converge within its
+    /// iteration budget.
+    NoConvergence {
+        /// The procedure that failed.
+        what: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The requested target is outside the achievable range (e.g. asking for
+    /// a TCP-friendly rate larger than `W_m / RTT`, which no loss rate can
+    /// produce).
+    TargetOutOfRange {
+        /// Human-readable description of the target.
+        what: &'static str,
+        /// The rejected target value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidLossProbability(p) => {
+                write!(f, "loss probability must lie in (0, 1), got {p}")
+            }
+            ModelError::NonPositive { name, value } => {
+                write!(f, "{name} must be strictly positive and finite, got {value}")
+            }
+            ModelError::InvalidAckFactor(b) => {
+                write!(f, "delayed-ACK factor b must be >= 1, got {b}")
+            }
+            ModelError::ZeroWindow => write!(f, "maximum window must be at least 1 packet"),
+            ModelError::NoConvergence { what, iterations } => {
+                write!(f, "{what} did not converge after {iterations} iterations")
+            }
+            ModelError::TargetOutOfRange { what, value } => {
+                write!(f, "{what} out of achievable range: {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ModelError::InvalidLossProbability(1.5);
+        assert!(e.to_string().contains("1.5"));
+        let e = ModelError::NonPositive { name: "rtt", value: -0.1 };
+        assert!(e.to_string().contains("rtt"));
+        assert!(e.to_string().contains("-0.1"));
+        let e = ModelError::InvalidAckFactor(0);
+        assert!(e.to_string().contains('0'));
+        let e = ModelError::ZeroWindow;
+        assert!(e.to_string().contains("window"));
+        let e = ModelError::NoConvergence { what: "bisection", iterations: 64 };
+        assert!(e.to_string().contains("bisection"));
+        let e = ModelError::TargetOutOfRange { what: "rate", value: 1e9 };
+        assert!(e.to_string().contains("rate"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&ModelError::ZeroWindow);
+    }
+
+    #[test]
+    fn errors_compare_equal() {
+        assert_eq!(
+            ModelError::InvalidLossProbability(0.0),
+            ModelError::InvalidLossProbability(0.0)
+        );
+        assert_ne!(ModelError::ZeroWindow, ModelError::InvalidAckFactor(0));
+    }
+}

@@ -1,0 +1,147 @@
+//! Model inversion: from a target rate back to a loss rate, and the
+//! "TCP-friendly rate" application that motivated the paper (§I).
+//!
+//! The paper's §I explains why a closed-form `B(p)` matters: a non-TCP flow
+//! can be called *TCP-friendly* if its send rate does not exceed what a
+//! conformant TCP would achieve under the same loss rate and RTT — the idea
+//! behind TFRC (RFC 5348), whose control equation is this paper's Eq. (33).
+//! Two helpers:
+//!
+//! * [`tcp_friendly_rate`] — the forward direction: given measured `(p, RTT,
+//!   T0, W_m)`, the rate an equation-based protocol may use;
+//! * [`loss_for_rate`] — the inverse: the loss rate at which TCP attains a
+//!   given rate. `B(p)` is strictly decreasing, so bisection on
+//!   `log p` is reliable.
+
+use crate::error::ModelError;
+use crate::params::ModelParams;
+use crate::sendrate::{full_model, ModelKind};
+use crate::units::LossProb;
+
+/// Lower edge of the bisection bracket (loss rates below this predict rates
+/// indistinguishable from the window-limited ceiling).
+const P_MIN: f64 = 1e-12;
+/// Upper edge of the bracket.
+const P_MAX: f64 = 1.0 - 1e-9;
+/// Bisection budget; 200 halvings of a 12-decade log bracket is ~1e-60
+/// resolution, far below f64 noise, so convergence failures indicate a
+/// non-bracketing target, reported as such.
+const MAX_BISECT: usize = 200;
+
+/// The TCP-friendly send rate for the measured network state, per the
+/// equation-based-congestion-control recipe: evaluate the chosen model at
+/// the measured loss rate. Returns packets per second.
+pub fn tcp_friendly_rate(p: LossProb, params: &ModelParams, model: ModelKind) -> f64 {
+    model.evaluate(p, params)
+}
+
+/// Inverts the full model: finds `p` such that `B(p) = target_rate`.
+///
+/// Fails with [`ModelError::TargetOutOfRange`] if the target exceeds what
+/// TCP could do even at negligible loss (`≈ min(W_m/RTT, B(p→0))`) or is
+/// below `B(p → 1)`.
+pub fn loss_for_rate(target_rate: f64, params: &ModelParams) -> Result<LossProb, ModelError> {
+    if !(target_rate.is_finite() && target_rate > 0.0) {
+        return Err(ModelError::NonPositive { name: "target rate", value: target_rate });
+    }
+    let rate_at = |p: f64| full_model(LossProb::new(p).expect("bracket stays in (0,1)"), params);
+    let hi_rate = rate_at(P_MIN);
+    let lo_rate = rate_at(P_MAX);
+    if target_rate > hi_rate || target_rate < lo_rate {
+        return Err(ModelError::TargetOutOfRange {
+            what: "target rate for loss_for_rate",
+            value: target_rate,
+        });
+    }
+    // Bisect on log10(p): B is strictly decreasing in p.
+    let (mut lo, mut hi) = (P_MIN.log10(), P_MAX.log10());
+    for _ in 0..MAX_BISECT {
+        let mid = 0.5 * (lo + hi);
+        let r = rate_at(10f64.powf(mid));
+        if r > target_rate {
+            lo = mid; // too fast → need more loss
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-14 {
+            break;
+        }
+    }
+    LossProb::new(10f64.powf(0.5 * (lo + hi)))
+}
+
+/// Convenience: the loss rate a TCP-friendly flow of `target_rate` implies,
+/// then the rate a *different* parameter set would get at that loss rate.
+/// Useful for "what would a shorter-RTT TCP get through the same
+/// bottleneck?" questions.
+pub fn equivalent_rate(
+    target_rate: f64,
+    params: &ModelParams,
+    other: &ModelParams,
+) -> Result<f64, ModelError> {
+    let p = loss_for_rate(target_rate, params)?;
+    Ok(full_model(p, other))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ModelParams {
+        ModelParams::new(0.2, 2.0, 2, 64).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_rate_to_loss() {
+        let pr = params();
+        for &pv in &[0.001, 0.01, 0.05, 0.2] {
+            let rate = full_model(LossProb::new(pv).unwrap(), &pr);
+            let back = loss_for_rate(rate, &pr).unwrap().get();
+            assert!(
+                (back - pv).abs() / pv < 1e-6,
+                "p={pv} → rate={rate} → p'={back}"
+            );
+        }
+    }
+
+    #[test]
+    fn unreachable_targets_rejected() {
+        let pr = params();
+        // More than W_m/RTT = 320 pkt/s is impossible.
+        assert!(matches!(
+            loss_for_rate(1e9, &pr),
+            Err(ModelError::TargetOutOfRange { .. })
+        ));
+        assert!(loss_for_rate(-5.0, &pr).is_err());
+        assert!(loss_for_rate(f64::NAN, &pr).is_err());
+    }
+
+    #[test]
+    fn tcp_friendly_rate_matches_model() {
+        let pr = params();
+        let p = LossProb::new(0.02).unwrap();
+        assert_eq!(
+            tcp_friendly_rate(p, &pr, ModelKind::Full),
+            full_model(p, &pr)
+        );
+    }
+
+    #[test]
+    fn shorter_rtt_wins_at_same_loss() {
+        // A classic TCP-fairness fact the model encodes: at the same p the
+        // shorter-RTT flow sends faster.
+        let long = ModelParams::new(0.4, 2.0, 2, 64).unwrap();
+        let short = ModelParams::new(0.1, 2.0, 2, 64).unwrap();
+        let rate_long = full_model(LossProb::new(0.01).unwrap(), &long);
+        let eq = equivalent_rate(rate_long, &long, &short).unwrap();
+        assert!(eq > rate_long);
+    }
+
+    #[test]
+    fn inverse_is_monotone() {
+        let pr = params();
+        let p_slow = loss_for_rate(10.0, &pr).unwrap().get();
+        let p_fast = loss_for_rate(100.0, &pr).unwrap().get();
+        assert!(p_slow > p_fast, "higher rate needs less loss");
+    }
+}

@@ -1,0 +1,83 @@
+//! # pftk-model
+//!
+//! Analytic models of the steady-state performance of a bulk-transfer TCP
+//! Reno flow, from J. Padhye, V. Firoiu, D. Towsley and J. Kurose,
+//! *"Modeling TCP Throughput: A Simple Model and Its Empirical Validation"*
+//! (SIGCOMM 1998 / IEEE/ACM ToN 2000) — the **PFTK model**.
+//!
+//! The headline result is a closed-form send rate `B(p)` in packets per
+//! second as a function of:
+//!
+//! * `p` — the loss-event rate ([`units::LossProb`]);
+//! * `RTT` — average round-trip time;
+//! * `T0` — average retransmission-timeout duration;
+//! * `b` — packets acknowledged per ACK (2 with delayed ACKs);
+//! * `W_m` — maximum receiver-advertised window.
+//!
+//! Unlike earlier "TD only" models (Mathis et al.), the PFTK model accounts
+//! for retransmission **timeouts** with exponential backoff — which the
+//! paper's measurements show dominate real loss indications — and for the
+//! receiver-window ceiling.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pftk_model::prelude::*;
+//!
+//! // Network state: 200 ms RTT, 2 s timeouts, delayed ACKs, 32-packet window.
+//! let params = ModelParams::new(0.2, 2.0, 2, 32).unwrap();
+//! let p = LossProb::new(0.02).unwrap(); // 2% loss
+//!
+//! let b_full = full_model(p, &params);      // Eq. (32), the full model
+//! let b_approx = approx_model(p, &params);  // Eq. (33), the "PFTK equation"
+//! let b_td = td_only(p, &params);           // Eq. (20), the old baseline
+//! let t = throughput(p, &params);           // §V receiver throughput
+//!
+//! assert!(t <= b_full && b_full <= b_td);
+//! assert!((b_full - b_approx).abs() / b_full < 0.3);
+//! ```
+//!
+//! ## Module map (paper section → module)
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | §II-A window process, Eqs. (13)–(17) | [`window`] |
+//! | §II-B timeouts, Eqs. (22)–(29) | [`timeout`] |
+//! | §II-A/B/C send rate, Eqs. (20), (28), (32), (33) | [`sendrate`] |
+//! | §V throughput, Eqs. (34)–(38) | [`throughput`] |
+//! | §IV / Fig. 12 Markov model (\[13\]) | [`markov`] |
+//! | §I TCP-friendliness application | [`inverse`] |
+//! | ref \[2\] short-transfer latency (extension) | [`shortflow`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod inverse;
+pub mod markov;
+pub mod params;
+pub mod sendrate;
+pub mod sensitivity;
+pub mod shortflow;
+pub mod throughput;
+pub mod timeout;
+pub mod units;
+pub mod window;
+
+/// Convenient glob-import surface: the types and functions most callers need.
+pub mod prelude {
+    pub use crate::error::ModelError;
+    pub use crate::inverse::{loss_for_rate, tcp_friendly_rate};
+    pub use crate::markov::MarkovModel;
+    pub use crate::params::ModelParams;
+    pub use crate::sendrate::{
+        approx_model, full_model, full_model_detailed, td_only, td_to_model, ModelKind, Regime,
+    };
+    pub use crate::sensitivity::{elasticities, Elasticities};
+    pub use crate::shortflow::{
+        handshake_time, transfer_time, transfer_time_detailed, transfer_time_with_delack,
+        TransferEstimate,
+    };
+    pub use crate::throughput::throughput;
+    pub use crate::units::{LossProb, PacketsPerSec, Seconds};
+}

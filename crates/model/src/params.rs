@@ -1,0 +1,190 @@
+//! Model parameters: the per-connection quantities that, together with the
+//! loss rate `p`, determine the predicted send rate.
+//!
+//! The paper's models take four connection-level inputs (§II, §III):
+//!
+//! * `RTT` — average round-trip time, in seconds (column "RTT" of Table II);
+//! * `T0` — average duration of a *single* retransmission timeout, in
+//!   seconds (column "Time Out" of Table II);
+//! * `b` — number of packets acknowledged per ACK (2 when the receiver
+//!   delays ACKs, 1 otherwise);
+//! * `W_m` — maximum window advertised by the receiver, in packets.
+
+use crate::error::ModelError;
+use crate::units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// Default delayed-ACK factor: most receivers ACK every second segment.
+pub const DEFAULT_ACK_FACTOR: u32 = 2;
+
+/// Default maximum receiver window, in packets. Chosen large enough that the
+/// window-limited branch of the full model is inactive unless the caller
+/// sets a realistic `W_m` (the paper's traces use 6–48).
+pub const DEFAULT_MAX_WINDOW: u32 = u16::MAX as u32;
+
+/// Connection-level inputs of the PFTK model.
+///
+/// Construct with [`ModelParams::new`] or via [`ModelParams::builder`]:
+///
+/// ```
+/// use pftk_model::params::ModelParams;
+///
+/// // The "manic to baskerville" trace of the paper's Fig. 7(a):
+/// // RTT = 0.243 s, T0 = 2.495 s, W_m = 6 packets, delayed ACKs.
+/// let params = ModelParams::builder()
+///     .rtt(0.243)
+///     .t0(2.495)
+///     .max_window(6)
+///     .ack_factor(2)
+///     .build()
+///     .unwrap();
+/// assert_eq!(params.wmax, 6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelParams {
+    /// Average round-trip time `RTT = E[r]` (§II-A, Eq. (6)).
+    pub rtt: Seconds,
+    /// Average duration of a single timeout, `T0` (§II-B).
+    pub t0: Seconds,
+    /// Packets acknowledged per ACK, `b` (§II; typically 2 with delayed ACKs).
+    pub b: u32,
+    /// Maximum (receiver-advertised) window `W_m`, in packets (§II-C).
+    pub wmax: u32,
+}
+
+impl ModelParams {
+    /// Creates validated parameters.
+    pub fn new(rtt_secs: f64, t0_secs: f64, b: u32, wmax: u32) -> Result<Self, ModelError> {
+        if b == 0 {
+            return Err(ModelError::InvalidAckFactor(b));
+        }
+        if wmax == 0 {
+            return Err(ModelError::ZeroWindow);
+        }
+        Ok(ModelParams {
+            rtt: Seconds::new(rtt_secs).map_err(|_| ModelError::NonPositive {
+                name: "rtt",
+                value: rtt_secs,
+            })?,
+            t0: Seconds::new(t0_secs).map_err(|_| ModelError::NonPositive {
+                name: "t0",
+                value: t0_secs,
+            })?,
+            b,
+            wmax,
+        })
+    }
+
+    /// Starts a builder pre-loaded with the conventional defaults
+    /// (`b = 2`, effectively-unlimited `W_m`).
+    pub fn builder() -> ModelParamsBuilder {
+        ModelParamsBuilder::default()
+    }
+
+    /// The ceiling `W_m / RTT`: no loss rate can push the send rate above
+    /// one full window per round trip (first operand of Eq. (33)).
+    pub fn window_limited_rate(&self) -> f64 {
+        f64::from(self.wmax) / self.rtt.get()
+    }
+}
+
+/// Builder for [`ModelParams`].
+#[derive(Debug, Clone)]
+pub struct ModelParamsBuilder {
+    rtt_secs: Option<f64>,
+    t0_secs: Option<f64>,
+    b: u32,
+    wmax: u32,
+}
+
+impl Default for ModelParamsBuilder {
+    fn default() -> Self {
+        ModelParamsBuilder {
+            rtt_secs: None,
+            t0_secs: None,
+            b: DEFAULT_ACK_FACTOR,
+            wmax: DEFAULT_MAX_WINDOW,
+        }
+    }
+}
+
+impl ModelParamsBuilder {
+    /// Sets the average round-trip time in seconds (required).
+    pub fn rtt(mut self, secs: f64) -> Self {
+        self.rtt_secs = Some(secs);
+        self
+    }
+
+    /// Sets the average single-timeout duration in seconds (required).
+    pub fn t0(mut self, secs: f64) -> Self {
+        self.t0_secs = Some(secs);
+        self
+    }
+
+    /// Sets the delayed-ACK factor `b` (default 2).
+    pub fn ack_factor(mut self, b: u32) -> Self {
+        self.b = b;
+        self
+    }
+
+    /// Sets the maximum receiver window in packets (default: effectively
+    /// unlimited).
+    pub fn max_window(mut self, wmax: u32) -> Self {
+        self.wmax = wmax;
+        self
+    }
+
+    /// Validates and builds.
+    pub fn build(self) -> Result<ModelParams, ModelError> {
+        let rtt = self.rtt_secs.ok_or(ModelError::NonPositive { name: "rtt", value: 0.0 })?;
+        let t0 = self.t0_secs.ok_or(ModelError::NonPositive { name: "t0", value: 0.0 })?;
+        ModelParams::new(rtt, t0, self.b, self.wmax)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_every_field() {
+        assert!(ModelParams::new(0.2, 2.0, 2, 8).is_ok());
+        assert!(matches!(
+            ModelParams::new(0.0, 2.0, 2, 8),
+            Err(ModelError::NonPositive { name: "rtt", .. })
+        ));
+        assert!(matches!(
+            ModelParams::new(0.2, -1.0, 2, 8),
+            Err(ModelError::NonPositive { name: "t0", .. })
+        ));
+        assert!(matches!(ModelParams::new(0.2, 2.0, 0, 8), Err(ModelError::InvalidAckFactor(0))));
+        assert!(matches!(ModelParams::new(0.2, 2.0, 2, 0), Err(ModelError::ZeroWindow)));
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let p = ModelParams::builder().rtt(0.1).t0(1.0).build().unwrap();
+        assert_eq!(p.b, DEFAULT_ACK_FACTOR);
+        assert_eq!(p.wmax, DEFAULT_MAX_WINDOW);
+    }
+
+    #[test]
+    fn builder_requires_rtt_and_t0() {
+        assert!(ModelParams::builder().t0(1.0).build().is_err());
+        assert!(ModelParams::builder().rtt(0.1).build().is_err());
+    }
+
+    #[test]
+    fn window_limited_rate_is_wm_over_rtt() {
+        let p = ModelParams::new(0.25, 2.0, 2, 10).unwrap();
+        assert!((p.window_limited_rate() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn params_serde_roundtrip() {
+        let p = ModelParams::new(0.243, 2.495, 2, 6).unwrap();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ModelParams = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

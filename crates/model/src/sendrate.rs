@@ -1,0 +1,390 @@
+//! Steady-state send-rate models (§II).
+//!
+//! Three models of increasing fidelity, all returning packets per second:
+//!
+//! * [`td_only`] — the "TD only" baseline of Mathis et al. / Mahdavi–Floyd
+//!   (refs \[8\], \[9\] of the paper): congestion avoidance with losses signalled
+//!   exclusively by triple-duplicate ACKs, Eq. (20):
+//!   `B(p) = (1/RTT)·sqrt(3/(2bp))`.
+//! * [`full_model`] — the paper's contribution, Eq. (32): captures timeouts
+//!   with exponential backoff *and* the receiver-window limitation.
+//! * [`approx_model`] — Eq. (33), the widely quoted closed form
+//!   (the "PFTK equation" used by TFRC, RFC 5348):
+//!
+//!   ```text
+//!                             W_m                          1
+//!   B(p) = min( ───, ───────────────────────────────────────────────────────────── )
+//!                RTT   RTT·sqrt(2bp/3) + T0·min(1, 3·sqrt(3bp/8))·p·(1 + 32p²)
+//!   ```
+//!
+//! Every function takes the loss rate as a validated [`LossProb`] and the
+//! remaining inputs as [`ModelParams`].
+
+use crate::params::ModelParams;
+use crate::timeout::{
+    backoff_polynomial, expected_timeout_retransmissions, expected_timeout_sequence_duration,
+    q_hat_exact,
+};
+use crate::units::LossProb;
+use crate::window::{
+    expected_rounds, expected_rounds_limited, expected_window, expected_tdp_packets,
+};
+
+/// Which branch of the full model Eq. (32) applied at a given `(p, params)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Regime {
+    /// `E[W_u] < W_m`: the window is effectively unconstrained and the
+    /// TD+TO expression of Eq. (28) applies.
+    Unconstrained,
+    /// `E[W_u] ≥ W_m`: the receiver window clamps the process (§II-C).
+    WindowLimited,
+}
+
+/// Detailed output of the full model: the rate plus every intermediate
+/// quantity, useful for debugging, tables, and tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FullModelOutput {
+    /// Predicted send rate, packets/second.
+    pub rate: f64,
+    /// Which branch of Eq. (32) was taken.
+    pub regime: Regime,
+    /// `E[W_u]` from Eq. (13) (unconstrained mean peak window).
+    pub expected_window_unconstrained: f64,
+    /// Effective `E[W]` used: `min(E[W_u], W_m)`.
+    pub expected_window: f64,
+    /// `Q̂(E[W])` — probability a loss indication is a timeout, Eq. (24)/(26).
+    pub timeout_probability: f64,
+    /// Mean packets per TD period, `E[Y]` (numerator's first two terms).
+    pub packets_per_tdp: f64,
+    /// Mean TD-period duration in seconds (denominator's first term).
+    pub tdp_duration: f64,
+}
+
+/// The TD-only baseline, Eq. (20): `(1/RTT)·sqrt(3/(2bp))`.
+///
+/// This is the model of refs \[8\] and \[9\] (with \[9\]'s delayed-ACK factor
+/// `b`); it ignores timeouts and the receiver window, which is exactly the
+/// failure mode the paper's evaluation (Figs. 7–10) demonstrates.
+pub fn td_only(p: LossProb, params: &ModelParams) -> f64 {
+    let b = f64::from(params.b);
+    (3.0 / (2.0 * b * p.get())).sqrt() / params.rtt.get()
+}
+
+/// The exact TD-only expression, Eq. (19) — the ratio `E[Y]/E[A]` before the
+/// small-`p` expansion that yields Eq. (20). Used by tests to show Eq. (20)
+/// is its asymptote and by the ablation benchmarks.
+pub fn td_only_exact(p: LossProb, params: &ModelParams) -> f64 {
+    let ey = expected_tdp_packets(p, params.b);
+    let ea = params.rtt.get() * (expected_rounds(p, params.b) + 1.0);
+    ey / ea
+}
+
+/// The TD+TO model without window limitation — Eq. (28):
+///
+/// ```text
+///            (1-p)/p + E[W] + Q̂(E[W]) · 1/(1-p)
+/// B(p) = ─────────────────────────────────────────────
+///          RTT·(E[X]+1) + Q̂(E[W]) · T0 · f(p)/(1-p)
+/// ```
+pub fn td_to_model(p: LossProb, params: &ModelParams) -> f64 {
+    let ew = expected_window(p, params.b);
+    let q = q_hat_exact(p, ew);
+    let numer = p.survival() / p.get() + ew + q * expected_timeout_retransmissions(p);
+    let denom = params.rtt.get() * (expected_rounds(p, params.b) + 1.0)
+        + q * expected_timeout_sequence_duration(p, params.t0.get());
+    numer / denom
+}
+
+/// The **full model**, Eq. (32), with both branches, returning every
+/// intermediate quantity. See [`full_model`] for the rate-only wrapper.
+pub fn full_model_detailed(p: LossProb, params: &ModelParams) -> FullModelOutput {
+    let ewu = expected_window(p, params.b);
+    let wm = f64::from(params.wmax);
+    let rtt = params.rtt.get();
+    let t0 = params.t0.get();
+    let one_minus_p = p.survival();
+    let pv = p.get();
+
+    if ewu < wm {
+        let q = q_hat_exact(p, ewu);
+        let packets_per_tdp = one_minus_p / pv + ewu;
+        let tdp_duration = rtt * (expected_rounds(p, params.b) + 1.0);
+        let numer = packets_per_tdp + q / one_minus_p;
+        let denom = tdp_duration + q * t0 * backoff_polynomial(p) / one_minus_p;
+        FullModelOutput {
+            rate: numer / denom,
+            regime: Regime::Unconstrained,
+            expected_window_unconstrained: ewu,
+            expected_window: ewu,
+            timeout_probability: q,
+            packets_per_tdp,
+            tdp_duration,
+        }
+    } else {
+        let q = q_hat_exact(p, wm);
+        let packets_per_tdp = one_minus_p / pv + wm;
+        // E[X] + 1 = b/8·W_m + (1-p)/(p·W_m) + 2 (§II-C).
+        let tdp_duration = rtt * (expected_rounds_limited(p, params.b, params.wmax) + 1.0);
+        let numer = packets_per_tdp + q / one_minus_p;
+        let denom = tdp_duration + q * t0 * backoff_polynomial(p) / one_minus_p;
+        FullModelOutput {
+            rate: numer / denom,
+            regime: Regime::WindowLimited,
+            expected_window_unconstrained: ewu,
+            expected_window: wm,
+            timeout_probability: q,
+            packets_per_tdp,
+            tdp_duration,
+        }
+    }
+}
+
+/// The **full model** B(p) — Eq. (32) — in packets per second.
+///
+/// ```
+/// use pftk_model::{params::ModelParams, units::LossProb, sendrate::full_model};
+///
+/// let params = ModelParams::new(0.243, 2.495, 2, 6).unwrap();
+/// let rate = full_model(LossProb::new(0.02).unwrap(), &params);
+/// assert!(rate > 0.0 && rate <= params.window_limited_rate());
+/// ```
+pub fn full_model(p: LossProb, params: &ModelParams) -> f64 {
+    full_model_detailed(p, params).rate
+}
+
+/// The **approximate model** — Eq. (33) — the "PFTK equation":
+///
+/// ```text
+/// B(p) = min( W_m/RTT,
+///             1 / ( RTT·sqrt(2bp/3) + T0·min(1, 3·sqrt(3bp/8))·p·(1+32p²) ) )
+/// ```
+pub fn approx_model(p: LossProb, params: &ModelParams) -> f64 {
+    let pv = p.get();
+    let b = f64::from(params.b);
+    let rtt = params.rtt.get();
+    let t0 = params.t0.get();
+    let td_term = rtt * (2.0 * b * pv / 3.0).sqrt();
+    let to_term = t0 * (3.0 * (3.0 * b * pv / 8.0).sqrt()).min(1.0) * pv * (1.0 + 32.0 * pv * pv);
+    (f64::from(params.wmax) / rtt).min(1.0 / (td_term + to_term))
+}
+
+/// Evaluates one of the three models by tag — convenient for sweeping all
+/// models over a grid in the figure-regeneration binaries and benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Eq. (20), refs \[8\]/\[9\].
+    TdOnly,
+    /// Eq. (32).
+    Full,
+    /// Eq. (33).
+    Approximate,
+}
+
+impl ModelKind {
+    /// All three model kinds, in the order the paper's figures present them.
+    pub const ALL: [ModelKind; 3] = [ModelKind::TdOnly, ModelKind::Full, ModelKind::Approximate];
+
+    /// Evaluates this model at `(p, params)`.
+    pub fn evaluate(self, p: LossProb, params: &ModelParams) -> f64 {
+        match self {
+            ModelKind::TdOnly => td_only(p, params),
+            ModelKind::Full => full_model(p, params),
+            ModelKind::Approximate => approx_model(p, params),
+        }
+    }
+
+    /// Display label matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelKind::TdOnly => "TD only",
+            ModelKind::Full => "proposed (full)",
+            ModelKind::Approximate => "proposed (approx.)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: f64) -> LossProb {
+        LossProb::new(v).unwrap()
+    }
+
+    fn params(rtt: f64, t0: f64, b: u32, wm: u32) -> ModelParams {
+        ModelParams::new(rtt, t0, b, wm).unwrap()
+    }
+
+    #[test]
+    fn td_only_closed_form() {
+        // b = 1, RTT = 1: B = sqrt(3/(2p)); at p = 3/2·10⁻² → sqrt(100) = 10.
+        let pr = params(1.0, 1.0, 1, 1_000_000);
+        let rate = td_only(p(0.015), &pr);
+        assert!((rate - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn td_only_scales_inverse_rtt() {
+        let a = td_only(p(0.01), &params(0.1, 1.0, 2, 1_000_000));
+        let b = td_only(p(0.01), &params(0.2, 1.0, 2, 1_000_000));
+        assert!((a / b - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn td_only_exact_asymptote() {
+        // Eq. (20) is the small-p limit of Eq. (19).
+        let pr = params(0.2, 1.0, 2, u32::MAX);
+        for &pv in &[1e-5, 1e-6] {
+            let exact = td_only_exact(p(pv), &pr);
+            let approx = td_only(p(pv), &pr);
+            assert!(
+                (exact - approx).abs() / exact < 100.0 * pv.sqrt(),
+                "p={pv}: exact={exact}, approx={approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_model_below_td_only() {
+        // Timeouts can only slow TCP down: the full model never exceeds the
+        // exact TD-only rate at the same (p, params).
+        let pr = params(0.25, 2.0, 2, u32::MAX);
+        for &pv in &[0.001, 0.01, 0.05, 0.1, 0.3] {
+            let full = full_model(p(pv), &pr);
+            let td = td_only_exact(p(pv), &pr);
+            assert!(full <= td * (1.0 + 1e-12), "p={pv}: full={full} > td={td}");
+        }
+    }
+
+    #[test]
+    fn full_model_monotone_decreasing_in_p() {
+        let pr = params(0.2, 1.5, 2, 1_000);
+        let mut last = f64::INFINITY;
+        for i in 1..200 {
+            let pv = f64::from(i) * 0.004;
+            let r = full_model(p(pv), &pr);
+            assert!(r < last, "B(p) must decrease, violated at p={pv}");
+            assert!(r.is_finite() && r > 0.0);
+            last = r;
+        }
+    }
+
+    #[test]
+    fn full_model_respects_window_ceiling() {
+        let pr = params(0.2, 1.5, 2, 8);
+        for &pv in &[1e-6, 1e-4, 0.01, 0.1, 0.5] {
+            let r = full_model(p(pv), &pr);
+            assert!(
+                r <= pr.window_limited_rate() * (1.0 + 1e-9),
+                "p={pv}: rate {r} above W_m/RTT {}",
+                pr.window_limited_rate()
+            );
+        }
+    }
+
+    #[test]
+    fn regime_switches_at_wm() {
+        let pr = params(0.2, 1.5, 2, 8);
+        // At tiny p, E[W_u] >> 8 → window-limited.
+        assert_eq!(full_model_detailed(p(1e-5), &pr).regime, Regime::WindowLimited);
+        // At huge p, E[W_u] ~ 1 → unconstrained branch.
+        assert_eq!(full_model_detailed(p(0.5), &pr).regime, Regime::Unconstrained);
+    }
+
+    #[test]
+    fn branches_agree_at_crossover() {
+        // Where E[W_u] == W_m the two branches of Eq. (32) coincide (the
+        // limited formulas were derived by substituting E[W] = W_m).
+        let pr = params(0.2, 1.5, 2, 12);
+        // Find p where E[W_u] crosses 12 by bisection.
+        let (mut lo, mut hi) = (1e-6, 0.9);
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if expected_window(p(mid), 2) > 12.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let below = full_model(p(lo), &pr); // barely window-limited
+        let above = full_model(p(hi), &pr); // barely unconstrained
+        assert!(
+            (below - above).abs() / above < 1e-3,
+            "discontinuity at crossover: {below} vs {above}"
+        );
+    }
+
+    #[test]
+    fn approx_tracks_full_model() {
+        // §III: "(33) is indeed a very good approximation of (32)".
+        // Check over the realistic range of the paper's traces.
+        let pr = params(0.25, 2.4, 2, 48);
+        // Tight at low-to-moderate loss…
+        for &pv in &[0.002, 0.01, 0.03] {
+            let f = full_model(p(pv), &pr);
+            let a = approx_model(p(pv), &pr);
+            let rel = (f - a).abs() / f;
+            assert!(rel < 0.05, "p={pv}: full={f}, approx={a}, rel={rel}");
+        }
+        // …and still the right magnitude at the high-loss end of the paper's
+        // traces (Eq. (33) drops lower-order terms that matter as p grows).
+        for &pv in &[0.08, 0.15] {
+            let f = full_model(p(pv), &pr);
+            let a = approx_model(p(pv), &pr);
+            let rel = (f - a).abs() / f;
+            assert!(rel < 0.5, "p={pv}: full={f}, approx={a}, rel={rel}");
+        }
+    }
+
+    #[test]
+    fn approx_model_window_clamp() {
+        let pr = params(0.25, 2.4, 2, 6);
+        assert!((approx_model(p(1e-6), &pr) - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn td_to_model_equals_full_when_unconstrained() {
+        let pr = params(0.25, 2.4, 2, u32::MAX);
+        for &pv in &[0.01, 0.1, 0.4] {
+            let a = td_to_model(p(pv), &pr);
+            let b = full_model(p(pv), &pr);
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn model_kind_dispatch() {
+        let pr = params(0.2, 2.0, 2, 32);
+        let pv = p(0.02);
+        assert_eq!(ModelKind::TdOnly.evaluate(pv, &pr), td_only(pv, &pr));
+        assert_eq!(ModelKind::Full.evaluate(pv, &pr), full_model(pv, &pr));
+        assert_eq!(ModelKind::Approximate.evaluate(pv, &pr), approx_model(pv, &pr));
+        assert_eq!(ModelKind::ALL.len(), 3);
+        assert_eq!(ModelKind::TdOnly.label(), "TD only");
+    }
+
+    #[test]
+    fn paper_figure_7a_parameters_sane() {
+        // manic→baskerville: RTT=0.243, T0=2.495, W_m=6. At the measured
+        // p≈0.0126 (735/58120) the hour-long trace sent 58 120 packets
+        // (≈16 pkt/s). The full model should land in the right decade and
+        // below the TD-only prediction.
+        let pr = params(0.243, 2.495, 2, 6);
+        let pv = p(735.0 / 58_120.0);
+        let full = full_model(pv, &pr);
+        let td = td_only(pv, &pr);
+        assert!(full < td);
+        assert!(full > 4.0 && full < 40.0, "full-model rate {full} pkt/s not in decade");
+    }
+
+    #[test]
+    fn no_pathologies_at_extreme_p() {
+        let pr = params(0.2, 1.0, 2, 64);
+        for &pv in &[1e-9, 1e-6, 0.5, 0.99, 0.999_999] {
+            let r = full_model(p(pv), &pr);
+            assert!(r.is_finite() && r >= 0.0, "p={pv} gave {r}");
+            let a = approx_model(p(pv), &pr);
+            assert!(a.is_finite() && a >= 0.0);
+        }
+    }
+}

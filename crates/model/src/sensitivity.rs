@@ -1,0 +1,126 @@
+//! Sensitivity analysis: elasticities of the full model `B(p)` with respect
+//! to its inputs.
+//!
+//! The elasticity `E_x = ∂ln B / ∂ln x` says "a 1% increase in `x` changes
+//! the rate by `E_x` percent" — the natural summary of how the model
+//! responds to measurement error in `p`, `RTT` or `T0`. Classic anchors:
+//! in the TD-only regime `B ∝ 1/(RTT·√p)`, so `E_p = −1/2` and
+//! `E_RTT = −1`; in the timeout-dominated regime the `p`-sensitivity
+//! steepens toward `−3/2` (the extra `p·(1+32p²)` factor of Eq. (33)) and
+//! `T0` takes over from `RTT`. These limits make good tests, and the
+//! general values matter to anyone feeding the equation noisy measurements
+//! (a TFRC endpoint, say).
+
+use crate::params::ModelParams;
+use crate::sendrate::full_model;
+use crate::units::LossProb;
+
+/// Elasticities of `B` at an operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Elasticities {
+    /// `∂ln B / ∂ln p` (negative; −1/2 in the TD regime, steeper with
+    /// timeouts).
+    pub wrt_p: f64,
+    /// `∂ln B / ∂ln RTT` (−1 when round trips dominate, → 0 when timeouts
+    /// or the window cap dominate).
+    pub wrt_rtt: f64,
+    /// `∂ln B / ∂ln T0` (0 without timeouts, approaching −1 when timeout
+    /// idle time dominates).
+    pub wrt_t0: f64,
+}
+
+/// Relative step for the central differences.
+const H: f64 = 1e-4;
+
+fn log_deriv<F: Fn(f64) -> f64>(x: f64, f: F) -> f64 {
+    let up = f(x * (1.0 + H));
+    let down = f(x * (1.0 - H));
+    (up.ln() - down.ln()) / (((1.0 + H) / (1.0 - H)) as f64).ln()
+}
+
+/// Computes the elasticities of the full model at `(p, params)` by central
+/// log-differences.
+pub fn elasticities(p: LossProb, params: &ModelParams) -> Elasticities {
+    let base = *params;
+    let wrt_p = log_deriv(p.get(), |pv| {
+        full_model(LossProb::new(pv.clamp(1e-12, 1.0 - 1e-12)).unwrap(), &base)
+    });
+    let wrt_rtt = log_deriv(params.rtt.get(), |rtt| {
+        let pr = ModelParams::new(rtt, base.t0.get(), base.b, base.wmax).unwrap();
+        full_model(p, &pr)
+    });
+    let wrt_t0 = log_deriv(params.t0.get(), |t0| {
+        let pr = ModelParams::new(base.rtt.get(), t0, base.b, base.wmax).unwrap();
+        full_model(p, &pr)
+    });
+    Elasticities { wrt_p, wrt_rtt, wrt_t0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: f64) -> LossProb {
+        LossProb::new(v).unwrap()
+    }
+
+    #[test]
+    fn td_regime_anchors() {
+        // Low loss, big window headroom, T0 comparable to RTT so timeouts
+        // are rare and cheap: B ≈ c/(RTT·√p).
+        let params = ModelParams::new(0.2, 0.2, 2, 10_000).unwrap();
+        let e = elasticities(p(1e-4), &params);
+        assert!((e.wrt_p - (-0.5)).abs() < 0.05, "E_p = {}", e.wrt_p);
+        assert!((e.wrt_rtt - (-1.0)).abs() < 0.05, "E_rtt = {}", e.wrt_rtt);
+        assert!(e.wrt_t0.abs() < 0.05, "E_t0 = {}", e.wrt_t0);
+    }
+
+    #[test]
+    fn timeout_regime_steepens_p_and_hands_rtt_to_t0() {
+        // Heavy loss with a long T0: timeouts dominate the denominator.
+        let params = ModelParams::new(0.1, 5.0, 2, 10_000).unwrap();
+        let e = elasticities(p(0.2), &params);
+        assert!(e.wrt_p < -0.9, "E_p = {} should be much steeper than -1/2", e.wrt_p);
+        assert!(e.wrt_t0 < -0.7, "E_t0 = {} should approach -1", e.wrt_t0);
+        assert!(e.wrt_rtt > -0.3, "E_rtt = {} should fade", e.wrt_rtt);
+    }
+
+    #[test]
+    fn window_limited_regime_kills_p_sensitivity() {
+        // Deep in the W_m clamp, small changes in p barely matter.
+        let params = ModelParams::new(0.2, 2.0, 2, 6).unwrap();
+        let e = elasticities(p(1e-5), &params);
+        assert!(e.wrt_p.abs() < 0.1, "E_p = {}", e.wrt_p);
+        // The ceiling is W_m/RTT-ish: RTT elasticity ≈ −1.
+        assert!((e.wrt_rtt - (-1.0)).abs() < 0.15, "E_rtt = {}", e.wrt_rtt);
+    }
+
+    #[test]
+    fn elasticities_sum_where_scaling_applies() {
+        // B has dimensions 1/time: scaling both RTT and T0 by λ scales B by
+        // 1/λ, so E_rtt + E_t0 = −1 at any operating point (p dimensionless,
+        // W_m in packets).
+        for (rtt, t0, pv) in [(0.1, 1.0, 0.01), (0.3, 3.0, 0.05), (0.05, 0.5, 0.15)] {
+            let params = ModelParams::new(rtt, t0, 2, 10_000).unwrap();
+            let e = elasticities(p(pv), &params);
+            assert!(
+                (e.wrt_rtt + e.wrt_t0 - (-1.0)).abs() < 0.02,
+                "scaling identity violated: {} + {} ≠ -1",
+                e.wrt_rtt,
+                e.wrt_t0
+            );
+        }
+    }
+
+    #[test]
+    fn all_elasticities_nonpositive() {
+        // More loss, longer round trips, longer timeouts: never faster.
+        for &pv in &[1e-4, 1e-3, 0.01, 0.05, 0.2] {
+            let params = ModelParams::new(0.2, 2.0, 2, 64).unwrap();
+            let e = elasticities(p(pv), &params);
+            assert!(e.wrt_p <= 1e-6, "E_p = {} at p={pv}", e.wrt_p);
+            assert!(e.wrt_rtt <= 1e-6);
+            assert!(e.wrt_t0 <= 1e-6);
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Expected completion time of *short* transfers — the extension the
+//! paper's reference \[2\] (Cardwell, "Modeling the performance of short TCP
+//! connections") builds on top of `B(p)`.
+//!
+//! The steady-state model `B(p)` describes a saturated flow; the WWW
+//! traffic that motivates the paper's introduction is dominated by short
+//! transfers that spend most of their life in **slow start**. Following
+//! the Cardwell decomposition, the expected time to move `n` packets is:
+//!
+//! 1. the slow-start phase: the window grows geometrically by
+//!    `γ = 1 + 1/b` per round from the initial window until the first loss
+//!    (expected after `E[n_ss] = (1−(1−p)^n)·(1−p)/p + 1` packets), the
+//!    transfer finishes, or the window hits `W_m`;
+//! 2. if a loss interrupts slow start: one expected recovery delay
+//!    (`Q̂`-weighted mix of a fast-retransmit RTT and a timeout `T0`);
+//! 3. any remaining data drains at the steady-state rate `B(p)` of
+//!    Eq. (32) (clamped to `W_m/RTT` by the model itself).
+//!
+//! Validated against the packet-level simulator's finite-flow mode in the
+//! workspace integration tests.
+
+use crate::params::ModelParams;
+use crate::sendrate::full_model;
+use crate::timeout::q_hat_exact;
+use crate::units::LossProb;
+use crate::window::expected_window;
+
+/// Breakdown of a short-transfer latency prediction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferEstimate {
+    /// Total expected completion time, seconds (send of first packet to
+    /// ACK of the last; excludes connection establishment).
+    pub total_secs: f64,
+    /// Expected packets moved during slow start.
+    pub slow_start_packets: f64,
+    /// Expected slow-start duration, seconds.
+    pub slow_start_secs: f64,
+    /// Expected recovery delay (0 when the transfer is expected to finish
+    /// inside slow start), seconds.
+    pub recovery_secs: f64,
+    /// Expected steady-state phase duration, seconds.
+    pub steady_secs: f64,
+}
+
+/// Expected number of packets sent in slow start before the first loss,
+/// for a transfer of `n` packets (Cardwell's `E[d_ss]`): the first loss
+/// comes after a geometric number of packets, truncated by the transfer
+/// length.
+pub fn expected_slow_start_packets(n: u64, p: LossProb) -> f64 {
+    let pv = p.get();
+    let q = p.survival();
+    // E[min(first-loss index, n)] with P[first loss at k] = (1-p)^{k-1} p:
+    // = (1 - q^n) (1-p)/p + 1, capped at n.
+    (((1.0 - q.powi(n.min(i32::MAX as u64) as i32)) * q) / pv + 1.0).min(n as f64)
+}
+
+/// Rounds needed to move `d` packets in slow start starting from window
+/// `w0` with per-round growth `γ = 1 + 1/b`, window capped at `wmax`.
+/// Returns (rounds, window at the end).
+fn slow_start_rounds(d: f64, w0: f64, b: u32, wmax: f64) -> (f64, f64) {
+    if d <= 0.0 {
+        return (0.0, w0);
+    }
+    let gamma = 1.0 + 1.0 / f64::from(b);
+    // Packets sent in r rounds of geometric growth: w0 (γ^r − 1)/(γ − 1).
+    // Uncapped: solve for r.
+    let r_uncapped = ((d * (gamma - 1.0) / w0) + 1.0).ln() / gamma.ln();
+    let w_end_uncapped = w0 * gamma.powf(r_uncapped);
+    if w_end_uncapped <= wmax {
+        return (r_uncapped, w_end_uncapped);
+    }
+    // Window caps at wmax after r_cap rounds having sent d_cap packets;
+    // the rest moves at wmax per round.
+    let r_cap = (wmax / w0).ln() / gamma.ln();
+    let d_cap = w0 * (gamma.powf(r_cap) - 1.0) / (gamma - 1.0);
+    let remaining = (d - d_cap).max(0.0);
+    (r_cap + remaining / wmax, wmax)
+}
+
+/// Expected completion time for a transfer of `n` packets, with the full
+/// phase breakdown.
+pub fn transfer_time_detailed(n: u64, p: LossProb, params: &ModelParams) -> TransferEstimate {
+    let rtt = params.rtt.get();
+    if n == 0 {
+        return TransferEstimate {
+            total_secs: 0.0,
+            slow_start_packets: 0.0,
+            slow_start_secs: 0.0,
+            recovery_secs: 0.0,
+            steady_secs: 0.0,
+        };
+    }
+    let wmax = f64::from(params.wmax);
+    let d_ss = expected_slow_start_packets(n, p);
+    let (rounds, w_end) = slow_start_rounds(d_ss, 1.0, params.b, wmax);
+    // +1 RTT: the final round's ACKs must return for the data to count as
+    // delivered.
+    let ss_secs = (rounds + 1.0) * rtt;
+    if d_ss >= n as f64 - 0.5 {
+        // Expected to finish inside slow start.
+        return TransferEstimate {
+            total_secs: ss_secs,
+            slow_start_packets: n as f64,
+            slow_start_secs: ss_secs,
+            recovery_secs: 0.0,
+            steady_secs: 0.0,
+        };
+    }
+    // A loss interrupts slow start: recovery is a fast retransmit (≈ 1 RTT)
+    // with probability 1 − Q̂, else a timeout (≈ T0).
+    let q = q_hat_exact(p, w_end.min(expected_window(p, params.b)));
+    let recovery = (1.0 - q) * rtt + q * params.t0.get();
+    // Remaining data at steady state.
+    let remaining = n as f64 - d_ss;
+    let steady = remaining / full_model(p, params);
+    TransferEstimate {
+        total_secs: ss_secs + recovery + steady,
+        slow_start_packets: d_ss,
+        slow_start_secs: ss_secs,
+        recovery_secs: recovery,
+        steady_secs: steady,
+    }
+}
+
+/// Expected completion time for a transfer of `n` packets, seconds.
+pub fn transfer_time(n: u64, p: LossProb, params: &ModelParams) -> f64 {
+    transfer_time_detailed(n, p, params).total_secs
+}
+
+/// Expected connection-establishment (three-way handshake) duration — the
+/// other component of Cardwell's short-connection latency. The client
+/// retries a lost SYN after an initial timeout that doubles per retry
+/// (classic stacks: 3 s base, factor 2), so
+///
+/// ```text
+/// E[T_handshake] = RTT + Σ_{k≥1} P[first k SYNs lost] · 2^{k-1}·syn_rto
+///                = RTT + syn_rto · Σ_{k≥1} p_f^k 2^{k-1}
+///                = RTT + syn_rto · p_f / (1 − 2 p_f)        (p_f < 1/2)
+/// ```
+///
+/// with `p_f` the probability a SYN or its SYN-ACK is lost (both directions
+/// matter; pass the combined loss). Diverges as `p_f → 1/2` — with doubling
+/// retries, mean handshake time is genuinely unbounded beyond that.
+pub fn handshake_time(p_forward_or_reverse_loss: f64, rtt_secs: f64, syn_rto_secs: f64) -> f64 {
+    let pf = p_forward_or_reverse_loss.clamp(0.0, 0.4999);
+    rtt_secs + syn_rto_secs * pf / (1.0 - 2.0 * pf)
+}
+
+/// [`transfer_time`] plus the delayed-ACK stalls the pure rounds model
+/// misses: with `b ≥ 2` the first packet of a transfer (window 1 → lone
+/// segment) always waits out the receiver's delayed-ACK timer, and the
+/// final packet does so whenever the tail flight is odd (≈ half the time).
+/// `delack_timeout_secs` is the receiver's standalone timer (200 ms in
+/// common stacks).
+pub fn transfer_time_with_delack(
+    n: u64,
+    p: LossProb,
+    params: &ModelParams,
+    delack_timeout_secs: f64,
+) -> f64 {
+    let base = transfer_time(n, p, params);
+    if n == 0 || params.b < 2 {
+        return base;
+    }
+    let stalls = if n <= 2 { 1.0 } else { 1.5 };
+    base + stalls * delack_timeout_secs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: f64) -> LossProb {
+        LossProb::new(v).unwrap()
+    }
+
+    fn params() -> ModelParams {
+        ModelParams::new(0.1, 1.0, 2, 64).unwrap()
+    }
+
+    #[test]
+    fn zero_and_one_packet() {
+        let pr = params();
+        assert_eq!(transfer_time(0, p(0.01), &pr), 0.0);
+        // One packet at negligible loss: one round + the ACK round.
+        let t = transfer_time(1, p(1e-9), &pr);
+        assert!((t - 0.2).abs() < 0.05, "1-packet transfer {t}s");
+    }
+
+    #[test]
+    fn slow_start_packets_truncated_geometric() {
+        // p → 0: everything fits in slow start.
+        assert!((expected_slow_start_packets(100, p(1e-12)) - 100.0).abs() < 1e-3);
+        // p = 0.1: E ≈ (1-q^n)·q/p + 1 ≈ 0.9/0.1 + 1 = 10 for large n.
+        let e = expected_slow_start_packets(10_000, p(0.1));
+        assert!((e - 10.0).abs() < 0.01, "E[d_ss] = {e}");
+        // Never exceeds n.
+        assert!(expected_slow_start_packets(5, p(0.1)) <= 5.0);
+    }
+
+    #[test]
+    fn lossless_short_transfer_is_log_rounds() {
+        // 63 packets from w0=1 at γ=1.5: packets after r rounds =
+        // (1.5^r − 1)/0.5 → r = log1.5(32.5) ≈ 8.6 rounds, plus ACK round.
+        let pr = ModelParams::new(0.1, 1.0, 2, 10_000).unwrap();
+        let t = transfer_time(63, p(1e-12), &pr);
+        let expect = (((63.0 * 0.5) + 1.0f64).ln() / 1.5f64.ln() + 1.0) * 0.1;
+        assert!((t - expect).abs() < 1e-6, "t={t} expect={expect}");
+    }
+
+    #[test]
+    fn window_cap_slows_large_lossless_transfers() {
+        let small = ModelParams::new(0.1, 1.0, 2, 8).unwrap();
+        let large = ModelParams::new(0.1, 1.0, 2, 512).unwrap();
+        let t_small = transfer_time(2_000, p(1e-9), &small);
+        let t_large = transfer_time(2_000, p(1e-9), &large);
+        assert!(t_small > 2.0 * t_large, "cap must dominate: {t_small} vs {t_large}");
+        // Asymptotically 2000 packets at 8/0.1 = 80 pkt/s ≈ 25 s.
+        assert!((t_small - 25.0).abs() < 5.0, "t_small={t_small}");
+    }
+
+    #[test]
+    fn longer_transfers_take_longer() {
+        let pr = params();
+        let mut last = 0.0;
+        for n in [1u64, 10, 100, 1_000, 10_000] {
+            let t = transfer_time(n, p(0.02), &pr);
+            assert!(t > last, "n={n}: {t} ≤ {last}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn more_loss_means_slower() {
+        let pr = params();
+        assert!(transfer_time(1_000, p(0.05), &pr) > transfer_time(1_000, p(0.005), &pr));
+    }
+
+    #[test]
+    fn large_transfers_approach_steady_state_rate() {
+        let pr = params();
+        let lp = p(0.02);
+        let n = 200_000u64;
+        let t = transfer_time(n, lp, &pr);
+        let steady = n as f64 / full_model(lp, &pr);
+        assert!(
+            (t - steady).abs() / steady < 0.05,
+            "long transfer {t}s vs pure steady state {steady}s"
+        );
+    }
+
+    #[test]
+    fn handshake_time_behaviour() {
+        // Lossless: exactly one RTT.
+        assert!((handshake_time(0.0, 0.1, 3.0) - 0.1).abs() < 1e-12);
+        // 2% combined loss: RTT + 3·0.02/0.96 = 0.1 + 0.0625.
+        let t = handshake_time(0.02, 0.1, 3.0);
+        assert!((t - 0.1625).abs() < 1e-9, "t = {t}");
+        // Matches the truncated series.
+        let series: f64 = 0.1
+            + (1..60)
+                .map(|k| 0.02f64.powi(k) * 2f64.powi(k - 1) * 3.0)
+                .sum::<f64>();
+        assert!((t - series).abs() < 1e-9);
+        // Monotone in loss; clamped (finite) near the divergence point.
+        assert!(handshake_time(0.1, 0.1, 3.0) > t);
+        assert!(handshake_time(0.49, 0.1, 3.0).is_finite());
+        assert!(handshake_time(0.9, 0.1, 3.0).is_finite());
+    }
+
+    #[test]
+    fn delack_correction_behaviour() {
+        let pr = params();
+        let lp = p(0.01);
+        let base = transfer_time(100, lp, &pr);
+        let with = transfer_time_with_delack(100, lp, &pr, 0.2);
+        assert!((with - base - 0.3).abs() < 1e-12);
+        // b = 1 receivers never delay.
+        let pr1 = ModelParams::new(0.1, 1.0, 1, 64).unwrap();
+        assert_eq!(
+            transfer_time_with_delack(100, lp, &pr1, 0.2),
+            transfer_time(100, lp, &pr1)
+        );
+        // Tiny transfers stall once, not 1.5 times.
+        let one = transfer_time_with_delack(1, lp, &pr, 0.2);
+        assert!((one - transfer_time(1, lp, &pr) - 0.2).abs() < 1e-12);
+        assert_eq!(transfer_time_with_delack(0, lp, &pr, 0.2), 0.0);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let pr = params();
+        let d = transfer_time_detailed(5_000, p(0.01), &pr);
+        let sum = d.slow_start_secs + d.recovery_secs + d.steady_secs;
+        assert!((d.total_secs - sum).abs() < 1e-9);
+        assert!(d.slow_start_packets > 0.0);
+        assert!(d.recovery_secs > 0.0, "5000 packets at 1% loss will see a loss");
+    }
+}

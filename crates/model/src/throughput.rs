@@ -1,0 +1,161 @@
+//! Receiver throughput of a bulk-transfer flow (§V).
+//!
+//! *Send rate* `B(p)` counts every transmission, including retransmissions
+//! that never reach (or have already reached) the receiver. *Throughput*
+//! `T(p)` counts only data that arrives. The paper modifies the numerator of
+//! Eq. (21):
+//!
+//! * per TD period the receiver gets `E[Y'] = E[α] + E[W] − E[β] − 1 =
+//!   (1−p)/p + E[W]/2` packets (the β packets of the final round are lost);
+//! * per timeout sequence exactly one packet gets through
+//!   (`E[R'] = 1`, Eq. (35)).
+//!
+//! Eq. (37) of the paper specializes to `b = 2`; [`throughput`] here keeps
+//! `b` general (§V's derivation goes through unchanged) and
+//! [`throughput_paper_b2`] evaluates the literal Eq. (37)/(38) text — the two
+//! agree when `b = 2` (tested).
+
+use crate::params::ModelParams;
+use crate::timeout::{backoff_polynomial, q_hat_exact};
+use crate::units::LossProb;
+use crate::window::{expected_rounds, expected_rounds_limited, expected_window};
+
+/// Receiver throughput `T(p)` in packets per second — Eq. (34) with the
+/// §V numerator substitutions, both regimes of Eq. (37), general `b`.
+pub fn throughput(p: LossProb, params: &ModelParams) -> f64 {
+    let ewu = expected_window(p, params.b);
+    let wm = f64::from(params.wmax);
+    let rtt = params.rtt.get();
+    let t0 = params.t0.get();
+    let pv = p.get();
+    let one_minus_p = p.survival();
+
+    let (w_eff, rounds) = if ewu < wm {
+        (ewu, expected_rounds(p, params.b))
+    } else {
+        (wm, expected_rounds_limited(p, params.b, params.wmax))
+    };
+    let q = q_hat_exact(p, w_eff);
+    // E[Y'] + Q·E[R'] with E[R'] = 1 (Eq. (35)(36)).
+    let numer = one_minus_p / pv + w_eff / 2.0 + q;
+    // Same denominator as the send-rate model: E[A] + Q·E[Z^TO].
+    let denom = rtt * (rounds + 1.0) + q * t0 * backoff_polynomial(p) / one_minus_p;
+    numer / denom
+}
+
+/// `W(p)` of Eq. (38) — `E[W_u]` with `b` fixed at 2:
+/// `W(p) = 2/3 + sqrt(4(1−p)/(3p) + 4/9)`.
+pub fn w_of_p(p: LossProb) -> f64 {
+    let pv = p.get();
+    2.0 / 3.0 + (4.0 * (1.0 - pv) / (3.0 * pv) + 4.0 / 9.0).sqrt()
+}
+
+/// The literal Eq. (37)/(38) of the paper (which hard-codes `b = 2`).
+pub fn throughput_paper_b2(p: LossProb, rtt_secs: f64, t0_secs: f64, wmax: u32) -> f64 {
+    let pv = p.get();
+    let one_minus_p = p.survival();
+    let wm = f64::from(wmax);
+    let g = backoff_polynomial(p);
+    let wp = w_of_p(p);
+    if wp < wm {
+        let q = q_hat_exact(p, wp);
+        (one_minus_p / pv + wp / 2.0 + q)
+            / (rtt_secs * (wp + 1.0) + q * g * t0_secs / one_minus_p)
+    } else {
+        let q = q_hat_exact(p, wm);
+        (one_minus_p / pv + wm / 2.0 + q)
+            / (rtt_secs * (wm / 4.0 + one_minus_p / (pv * wm) + 2.0)
+                + q * g * t0_secs / one_minus_p)
+    }
+}
+
+/// Goodput efficiency `T(p)/B(p)` — the fraction of transmissions that are
+/// useful. Always in `(0, 1]`; decreases with `p` as retransmissions and
+/// final-round losses mount.
+pub fn efficiency(p: LossProb, params: &ModelParams) -> f64 {
+    throughput(p, params) / crate::sendrate::full_model(p, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: f64) -> LossProb {
+        LossProb::new(v).unwrap()
+    }
+
+    fn params(rtt: f64, t0: f64, b: u32, wm: u32) -> ModelParams {
+        ModelParams::new(rtt, t0, b, wm).unwrap()
+    }
+
+    #[test]
+    fn w_of_p_is_expected_window_at_b2() {
+        for &pv in &[0.001, 0.01, 0.1, 0.5] {
+            let a = w_of_p(p(pv));
+            let b = expected_window(p(pv), 2);
+            assert!((a - b).abs() < 1e-12, "p={pv}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn generic_b_matches_paper_form_at_b2() {
+        let pr = params(0.47, 3.2, 2, 12);
+        for &pv in &[0.001, 0.005, 0.02, 0.08, 0.2, 0.5] {
+            let a = throughput(p(pv), &pr);
+            let b = throughput_paper_b2(p(pv), 0.47, 3.2, 12);
+            assert!((a - b).abs() / a < 1e-12, "p={pv}: generic {a} vs paper {b}");
+        }
+    }
+
+    #[test]
+    fn throughput_below_send_rate() {
+        // Fig. 13's message: T(p) ≤ B(p) everywhere; retransmitted copies
+        // don't count.
+        let pr = params(0.47, 3.2, 2, 12);
+        for i in 1..100 {
+            let pv = p(f64::from(i) * 0.009);
+            let t = throughput(pv, &pr);
+            let b = crate::sendrate::full_model(pv, &pr);
+            assert!(t <= b * (1.0 + 1e-12), "p={:?}: T={t} > B={b}", pv);
+        }
+    }
+
+    #[test]
+    fn gap_grows_with_p() {
+        // At small p nearly every packet is useful; at large p the ratio
+        // T/B collapses.
+        let pr = params(0.47, 3.2, 2, 12);
+        let eff_small = efficiency(p(0.001), &pr);
+        let eff_large = efficiency(p(0.3), &pr);
+        assert!(eff_small > 0.9, "efficiency at p=0.001 was {eff_small}");
+        assert!(eff_large < eff_small);
+    }
+
+    #[test]
+    fn efficiency_bounded() {
+        let pr = params(0.2, 2.0, 2, 32);
+        for &pv in &[1e-4, 0.01, 0.1, 0.5, 0.9] {
+            let e = efficiency(p(pv), &pr);
+            assert!(e > 0.0 && e <= 1.0 + 1e-9, "p={pv}: efficiency {e}");
+        }
+    }
+
+    #[test]
+    fn throughput_monotone_decreasing() {
+        let pr = params(0.47, 3.2, 2, 12);
+        let mut last = f64::INFINITY;
+        for i in 1..150 {
+            let t = throughput(p(f64::from(i) * 0.006), &pr);
+            assert!(t < last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn throughput_finite_at_extremes() {
+        let pr = params(0.47, 3.2, 2, 12);
+        for &pv in &[1e-9, 0.999] {
+            assert!(throughput(p(pv), &pr).is_finite());
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Timeout-regime quantities (§II-B).
+//!
+//! A retransmission timeout (TO) occurs when a loss is followed by fewer than
+//! three duplicate ACKs. The paper derives:
+//!
+//! * `Q̂(w)` — probability that a loss indication at window `w` is a TO
+//!   rather than a triple-duplicate, both exactly (Eq. (24)) and via the
+//!   `min(1, 3/w)` approximation (Eq. (25));
+//! * the geometric law of timeout-sequence length and its consequences
+//!   `E[R] = 1/(1-p)` (Eq. (27)) and
+//!   `E[Z^TO] = T0 · f(p)/(1-p)` with `f(p) = 1 + p + 2p² + 4p³ + 8p⁴ +
+//!   16p⁵ + 32p⁶` (Eq. (29));
+//! * the duration `L_k` of a sequence of `k` back-to-back timeouts under
+//!   exponential backoff capped at `64·T0`.
+
+use crate::units::LossProb;
+
+/// `A(w, k)`: probability that exactly the first `k` of `w` packets in the
+/// penultimate round are ACKed, conditioned on at least one loss in the
+/// round (§II-B, Fig. 4).
+pub fn prob_first_k_acked(p: LossProb, w: u32, k: u32) -> f64 {
+    debug_assert!(k <= w, "cannot ACK more packets than were sent");
+    let q = p.survival();
+    q.powi(k as i32) * p.get() / (1.0 - q.powi(w as i32))
+}
+
+/// `C(n, m)`: probability that `m` packets are ACKed in sequence in the last
+/// round of `n` packets, the remainder (if any) being lost (§II-B).
+pub fn prob_last_round_acked(p: LossProb, n: u32, m: u32) -> f64 {
+    debug_assert!(m <= n);
+    let q = p.survival();
+    if m == n {
+        q.powi(n as i32)
+    } else {
+        q.powi(m as i32) * p.get()
+    }
+}
+
+/// `h(k) = Σ_{m=0}^{2} C(k, m)` — probability that fewer than three packets
+/// of the `k` sent in the last round get through (Eq. (23)), so the loss
+/// indication degenerates to a timeout.
+pub fn prob_last_round_times_out(p: LossProb, k: u32) -> f64 {
+    (0..=2u32.min(k)).map(|m| prob_last_round_acked(p, k, m)).sum()
+}
+
+/// `Q̂(w)` from first principles: the double sum of Eq. (22). `w ≤ 3` always
+/// times out (three duplicate ACKs can never be generated).
+///
+/// This is the definitional form; [`q_hat_exact`] evaluates the paper's
+/// algebraically simplified Eq. (24) and the two must agree (tested).
+pub fn q_hat_definitional(p: LossProb, w: u32) -> f64 {
+    if w <= 3 {
+        return 1.0;
+    }
+    // Given at least one loss in the round, at most w − 1 packets can be
+    // ACKed, so k ranges over 0..w (the algebra behind Eq. (24) sums
+    // k = 3..w−1 for the second term).
+    let direct: f64 = (0..=2).map(|k| prob_first_k_acked(p, w, k)).sum();
+    let via_last: f64 = (3..w)
+        .map(|k| prob_first_k_acked(p, w, k) * prob_last_round_times_out(p, k))
+        .sum();
+    (direct + via_last).min(1.0)
+}
+
+/// `Q̂(w)` — Eq. (24), the closed form:
+///
+/// ```text
+/// Q̂(w) = min(1, (1-(1-p)³)(1+(1-p)³(1-(1-p)^(w-3))) / (1-(1-p)^w))
+/// ```
+///
+/// Accepts a real-valued `w` because the model substitutes `E[W]`, which is
+/// not an integer (Eq. (26)). For `w ≤ 3` the probability is 1.
+pub fn q_hat_exact(p: LossProb, w: f64) -> f64 {
+    if w <= 3.0 {
+        return 1.0;
+    }
+    let q = p.survival();
+    let q3 = q * q * q;
+    let num = (1.0 - q3) * (1.0 + q3 * (1.0 - q.powf(w - 3.0)));
+    let den = 1.0 - q.powf(w);
+    (num / den).min(1.0)
+}
+
+/// `Q̂(w) ≈ min(1, 3/w)` — Eq. (25), the small-`p` limit of Eq. (24)
+/// (the paper verifies numerically that it is a very good approximation).
+pub fn q_hat_approx(w: f64) -> f64 {
+    if w <= 0.0 {
+        return 1.0;
+    }
+    (3.0 / w).min(1.0)
+}
+
+/// `f(p) = 1 + p + 2p² + 4p³ + 8p⁴ + 16p⁵ + 32p⁶` — Eq. (29). Together with
+/// the `1/(1-p)` factor it gives the mean timeout-sequence duration in units
+/// of `T0`.
+pub fn backoff_polynomial(p: LossProb) -> f64 {
+    let p = p.get();
+    // Horner form of 1 + p + 2p^2 + 4p^3 + 8p^4 + 16p^5 + 32p^6.
+    1.0 + p * (1.0 + p * (2.0 + p * (4.0 + p * (8.0 + p * (16.0 + p * 32.0)))))
+}
+
+/// `E[R] = 1/(1-p)` — Eq. (27): mean number of (re)transmissions in a
+/// timeout sequence. The sequence length is geometric because each
+/// retransmission independently fails with probability `p`.
+pub fn expected_timeout_retransmissions(p: LossProb) -> f64 {
+    1.0 / p.survival()
+}
+
+/// `P[R = k] = p^(k-1)(1-p)` — the geometric law of the number of timeouts
+/// in a timeout sequence (§II-B).
+pub fn timeout_count_pmf(p: LossProb, k: u32) -> f64 {
+    debug_assert!(k >= 1, "a timeout sequence contains at least one timeout");
+    p.get().powi(k as i32 - 1) * p.survival()
+}
+
+/// `L_k`: total duration (in units of `T0`) of a sequence of `k` timeouts
+/// under doubling backoff capped at `64·T0` (§II-B):
+///
+/// ```text
+/// L_k = (2^k − 1) T0            k ≤ 6
+///     = (63 + 64 (k − 6)) T0    k ≥ 7
+/// ```
+pub fn timeout_sequence_duration(k: u32, t0_secs: f64) -> f64 {
+    debug_assert!(k >= 1);
+    if k <= 6 {
+        ((1u64 << k) - 1) as f64 * t0_secs
+    } else {
+        (63 + 64 * (u64::from(k) - 6)) as f64 * t0_secs
+    }
+}
+
+/// `E[Z^TO] = T0 · f(p)/(1-p)` — mean duration of a timeout sequence
+/// (the closed form of `Σ L_k P[R=k]`, §II-B).
+pub fn expected_timeout_sequence_duration(p: LossProb, t0_secs: f64) -> f64 {
+    t0_secs * backoff_polynomial(p) / p.survival()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: f64) -> LossProb {
+        LossProb::new(v).unwrap()
+    }
+
+    #[test]
+    fn a_wk_sums_to_one_over_k() {
+        // Σ_{k=0}^{w-1} A(w,k) = 1: given a loss occurred, the first loss
+        // position is somewhere in 0..w.
+        for &pv in &[0.01, 0.1, 0.5] {
+            for &w in &[1u32, 4, 10, 40] {
+                let total: f64 = (0..w).map(|k| prob_first_k_acked(p(pv), w, k)).sum();
+                assert!((total - 1.0).abs() < 1e-12, "p={pv}, w={w}: sum={total}");
+            }
+        }
+    }
+
+    #[test]
+    fn c_nm_sums_to_one() {
+        // Σ_{m=0}^{n} C(n,m) = 1: the last round ends somehow.
+        for &pv in &[0.01, 0.3, 0.9] {
+            for &n in &[1u32, 3, 7, 20] {
+                let total: f64 = (0..=n).map(|m| prob_last_round_acked(p(pv), n, m)).sum();
+                assert!((total - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn q_hat_exact_matches_definitional_sum() {
+        // Eq. (24) is the algebraic simplification of Eq. (22); they must
+        // agree for integer w.
+        for &pv in &[0.005, 0.02, 0.1, 0.3, 0.6] {
+            for &w in &[1u32, 2, 3, 4, 5, 8, 16, 50] {
+                let def = q_hat_definitional(p(pv), w);
+                let exact = q_hat_exact(p(pv), f64::from(w));
+                assert!(
+                    (def - exact).abs() < 1e-9,
+                    "p={pv}, w={w}: definitional={def}, closed-form={exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn q_hat_is_one_for_tiny_windows() {
+        assert_eq!(q_hat_exact(p(0.1), 1.0), 1.0);
+        assert_eq!(q_hat_exact(p(0.1), 3.0), 1.0);
+        assert_eq!(q_hat_definitional(p(0.1), 2), 1.0);
+    }
+
+    #[test]
+    fn q_hat_small_p_limit_is_3_over_w() {
+        // limₚ→₀ Q̂(w) = 3/w (the paper derives this by L'Hôpital).
+        for &w in &[4.0, 8.0, 20.0, 100.0] {
+            let qh = q_hat_exact(p(1e-9), w);
+            assert!((qh - 3.0 / w).abs() < 1e-6, "w={w}: {qh} vs {}", 3.0 / w);
+        }
+    }
+
+    #[test]
+    fn q_hat_approx_close_to_exact() {
+        // The paper calls min(1, 3/w) "a very good approximation"; it is the
+        // p → 0 limit, so the agreement tightens as p shrinks. At p = 0.005
+        // (the low end of the paper's traces) it is within 10% up to w = 16.
+        for &w in &[4.0, 8.0, 16.0] {
+            let e = q_hat_exact(p(0.005), w);
+            let a = q_hat_approx(w);
+            assert!((e - a).abs() / e < 0.10, "w={w}: exact={e} approx={a}");
+        }
+        // And it converges pointwise as p → 0.
+        for &w in &[4.0, 8.0, 16.0, 32.0] {
+            let e = q_hat_exact(p(1e-7), w);
+            assert!((e - q_hat_approx(w)).abs() / e < 1e-3);
+        }
+    }
+
+    #[test]
+    fn q_hat_bounded_and_monotone_in_w() {
+        let pv = p(0.05);
+        let mut last = 1.0;
+        for w in 1..60 {
+            let q = q_hat_exact(pv, f64::from(w));
+            assert!((0.0..=1.0).contains(&q));
+            assert!(q <= last + 1e-12, "Q̂ must not increase with w");
+            last = q;
+        }
+    }
+
+    #[test]
+    fn backoff_polynomial_values() {
+        assert_eq!(backoff_polynomial(p(1e-12)), 1.0000000000010000);
+        let f = backoff_polynomial(p(0.5));
+        // 1 + .5 + 2(.25) + 4(.125) + 8(.0625) + 16(.03125) + 32(.015625)
+        // = 1 + .5 + .5 + .5 + .5 + .5 + .5 = 4.0
+        assert!((f - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timeout_pmf_is_proper() {
+        let pv = p(0.2);
+        let total: f64 = (1..200).map(|k| timeout_count_pmf(pv, k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_retransmissions_matches_pmf_mean() {
+        let pv = p(0.3);
+        let mean: f64 = (1..500).map(|k| f64::from(k) * timeout_count_pmf(pv, k)).sum();
+        assert!((mean - expected_timeout_retransmissions(pv)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sequence_duration_doubles_then_caps() {
+        let t0 = 1.0;
+        assert_eq!(timeout_sequence_duration(1, t0), 1.0);
+        assert_eq!(timeout_sequence_duration(2, t0), 3.0);
+        assert_eq!(timeout_sequence_duration(3, t0), 7.0);
+        assert_eq!(timeout_sequence_duration(6, t0), 63.0);
+        // After the cap every extra timeout adds exactly 64·T0.
+        assert_eq!(timeout_sequence_duration(7, t0), 127.0);
+        assert_eq!(timeout_sequence_duration(8, t0), 191.0);
+    }
+
+    #[test]
+    fn closed_form_sequence_duration_matches_series() {
+        // E[Z^TO] = Σ_k L_k P[R=k]; the closed form T0·f(p)/(1-p) truncates
+        // the backoff exactly as L_k does.
+        for &pv in &[0.02, 0.1, 0.3] {
+            let t0 = 2.5;
+            let series: f64 = (1..400)
+                .map(|k| timeout_sequence_duration(k, t0) * timeout_count_pmf(p(pv), k))
+                .sum();
+            let closed = expected_timeout_sequence_duration(p(pv), t0);
+            assert!(
+                (series - closed).abs() / closed < 1e-9,
+                "p={pv}: series={series}, closed={closed}"
+            );
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Unit newtypes used throughout the model crate.
+//!
+//! The paper's formulas mix quantities measured in seconds (RTT, `T0`),
+//! packets (`W_m`, `E[W]`), probabilities (`p`) and packets-per-second
+//! (`B(p)`, `T(p)`). Mixing these up is the classic source of silent bugs in
+//! throughput calculators, so each gets a validated newtype. The inner value
+//! is plain `f64`; accessors are zero-cost.
+
+use crate::error::ModelError;
+use serde::{Deserialize, Serialize};
+
+/// A strictly positive, finite duration in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Seconds(f64);
+
+impl Seconds {
+    /// Validates that `value` is strictly positive and finite.
+    pub fn new(value: f64) -> Result<Self, ModelError> {
+        if value.is_finite() && value > 0.0 {
+            Ok(Seconds(value))
+        } else {
+            Err(ModelError::NonPositive { name: "duration (seconds)", value })
+        }
+    }
+
+    /// The raw number of seconds.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+/// A loss-event probability in the open interval `(0, 1)`.
+///
+/// The paper's `p` is the probability that a packet is lost, given that it is
+/// the first packet in its round or the preceding packet in its round was not
+/// lost (§II-A). The closed forms divide by both `p` and `1 - p`, hence the
+/// open interval.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct LossProb(f64);
+
+impl LossProb {
+    /// Validates that `value` lies strictly between 0 and 1.
+    pub fn new(value: f64) -> Result<Self, ModelError> {
+        if value.is_finite() && value > 0.0 && value < 1.0 {
+            Ok(LossProb(value))
+        } else {
+            Err(ModelError::InvalidLossProbability(value))
+        }
+    }
+
+    /// The raw probability.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// `1 - p`, the per-packet survival probability.
+    #[inline]
+    pub fn survival(self) -> f64 {
+        1.0 - self.0
+    }
+}
+
+/// A send rate or throughput in packets per second.
+///
+/// Produced by the models; never constructed from unvalidated user input, so
+/// the only invariant enforced is non-negativity (a model can legitimately
+/// predict a rate arbitrarily close to zero at very high loss).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct PacketsPerSec(f64);
+
+impl PacketsPerSec {
+    /// Wraps a non-negative, finite rate.
+    pub fn new(value: f64) -> Result<Self, ModelError> {
+        if value.is_finite() && value >= 0.0 {
+            Ok(PacketsPerSec(value))
+        } else {
+            Err(ModelError::NonPositive { name: "rate (packets/s)", value })
+        }
+    }
+
+    /// The raw rate in packets per second.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to bytes per second for a given segment size.
+    #[inline]
+    pub fn to_bytes_per_sec(self, mss_bytes: u32) -> f64 {
+        self.0 * f64::from(mss_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_accepts_positive() {
+        assert_eq!(Seconds::new(0.207).unwrap().get(), 0.207);
+    }
+
+    #[test]
+    fn seconds_rejects_zero_negative_nan_inf() {
+        assert!(Seconds::new(0.0).is_err());
+        assert!(Seconds::new(-1.0).is_err());
+        assert!(Seconds::new(f64::NAN).is_err());
+        assert!(Seconds::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn loss_prob_open_interval() {
+        assert!(LossProb::new(0.0).is_err());
+        assert!(LossProb::new(1.0).is_err());
+        assert!(LossProb::new(0.5).is_ok());
+        assert!(LossProb::new(1e-9).is_ok());
+        assert!(LossProb::new(1.0 - 1e-9).is_ok());
+        assert!(LossProb::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn loss_prob_survival() {
+        let p = LossProb::new(0.25).unwrap();
+        assert!((p.survival() - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rate_allows_zero_but_not_negative() {
+        assert!(PacketsPerSec::new(0.0).is_ok());
+        assert!(PacketsPerSec::new(-1e-12).is_err());
+        assert!(PacketsPerSec::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn rate_byte_conversion() {
+        let r = PacketsPerSec::new(100.0).unwrap();
+        assert_eq!(r.to_bytes_per_sec(1460), 146_000.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = LossProb::new(0.01).unwrap();
+        let json = serde_json::to_string(&p).unwrap();
+        assert_eq!(serde_json::from_str::<LossProb>(&json).unwrap(), p);
+        let s = Seconds::new(0.5).unwrap();
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(serde_json::from_str::<Seconds>(&json).unwrap(), s);
+        let r = PacketsPerSec::new(42.0).unwrap();
+        let json = serde_json::to_string(&r).unwrap();
+        assert_eq!(serde_json::from_str::<PacketsPerSec>(&json).unwrap(), r);
+    }
+}

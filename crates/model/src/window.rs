@@ -1,0 +1,195 @@
+//! Window-process expectations for the triple-duplicate-ACK regime (§II-A).
+//!
+//! Between two TD loss indications the congestion window grows linearly with
+//! slope `1/b` packets per round; a TD halves it. Treating the end-of-period
+//! window sizes `{W_i}` and period lengths (in rounds) `{X_i}` as i.i.d.
+//! sequences yields the closed forms implemented here:
+//!
+//! * `E[W_u]` — Eq. (13): mean unconstrained window at the end of a TD period;
+//! * `E[X]`   — Eq. (15): mean number of rounds in a TD period;
+//! * `E[A]`   — Eq. (16): mean duration of a TD period, `RTT · (E[X] + 1)`;
+//! * small-`p` asymptotes — Eqs. (14) and (17).
+
+use crate::units::LossProb;
+
+/// `E[W_u]`, the mean unconstrained window size at the end of a TD period —
+/// Eq. (13) of the paper:
+///
+/// ```text
+/// E[W] = (2+b)/(3b) + sqrt( 8(1-p)/(3bp) + ((2+b)/(3b))^2 )
+/// ```
+///
+/// `b` is the delayed-ACK factor. The value is in packets and always exceeds
+/// 1 for `p < 1`.
+pub fn expected_window(p: LossProb, b: u32) -> f64 {
+    let p = p.get();
+    let b = f64::from(b);
+    let c = (2.0 + b) / (3.0 * b);
+    c + (8.0 * (1.0 - p) / (3.0 * b * p) + c * c).sqrt()
+}
+
+/// Small-`p` asymptote of `E[W]` — Eq. (14): `sqrt(8 / (3 b p))`.
+pub fn expected_window_asymptotic(p: LossProb, b: u32) -> f64 {
+    (8.0 / (3.0 * f64::from(b) * p.get())).sqrt()
+}
+
+/// `E[X]`, the mean number of rounds in a TD period — Eq. (15):
+///
+/// ```text
+/// E[X] = (2+b)/6 + sqrt( 2b(1-p)/(3p) + ((2+b)/6)^2 )
+/// ```
+pub fn expected_rounds(p: LossProb, b: u32) -> f64 {
+    let p = p.get();
+    let b = f64::from(b);
+    let c = (2.0 + b) / 6.0;
+    c + (2.0 * b * (1.0 - p) / (3.0 * p) + c * c).sqrt()
+}
+
+/// Small-`p` asymptote of `E[X]` — Eq. (17): `sqrt(2b / (3p))`.
+pub fn expected_rounds_asymptotic(p: LossProb, b: u32) -> f64 {
+    (2.0 * f64::from(b) / (3.0 * p.get())).sqrt()
+}
+
+/// `E[A]`, the mean duration of a TD period — Eq. (16):
+/// `RTT · (E[X] + 1)` (the `+1` is the extra round in which the triple
+/// duplicate ACKs arrive).
+pub fn expected_tdp_duration(p: LossProb, b: u32, rtt_secs: f64) -> f64 {
+    rtt_secs * (expected_rounds(p, b) + 1.0)
+}
+
+/// Mean number of packets sent in a TD period, `E[Y]` — Eq. (5):
+/// `(1-p)/p + E[W]`.
+pub fn expected_tdp_packets(p: LossProb, b: u32) -> f64 {
+    p.survival() / p.get() + expected_window(p, b)
+}
+
+/// `E[X]` when the window is clamped at `W_m` (§II-C):
+///
+/// ```text
+/// E[X] = (b/8) W_m + (1-p)/(p W_m) + 1
+/// ```
+///
+/// Derived from `E[U] = (b/2) W_m` linear-growth rounds plus
+/// `E[V] = (1-p)/(p W_m) + 1 − (3b/8) W_m` constant-window rounds.
+pub fn expected_rounds_limited(p: LossProb, b: u32, wmax: u32) -> f64 {
+    let wm = f64::from(wmax);
+    f64::from(b) / 8.0 * wm + p.survival() / (p.get() * wm) + 1.0
+}
+
+/// The identity of Eq. (11): `E[W] = (2/b) E[X]` (equivalently
+/// `E[X] = (b/2) E[W]`), which ties the two closed forms together.
+/// Exposed for tests and for the Markov model's sanity checks.
+pub fn rounds_from_window(expected_window: f64, b: u32) -> f64 {
+    f64::from(b) / 2.0 * expected_window
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: f64) -> LossProb {
+        LossProb::new(v).unwrap()
+    }
+
+    #[test]
+    fn window_matches_hand_computation() {
+        // b = 1, p = 0.5: c = 1, E[W] = 1 + sqrt(8*0.5/1.5 + 1)
+        //                            = 1 + sqrt(8/3 * 0.5/0.5 ... )
+        // Compute directly: 8(1-p)/(3bp) = 8*0.5/(3*0.5) = 8/3.
+        let w = expected_window(p(0.5), 1);
+        let expect = 1.0 + (8.0 / 3.0 + 1.0f64).sqrt();
+        assert!((w - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_decreases_with_loss() {
+        let mut last = f64::INFINITY;
+        for &pv in &[0.001, 0.01, 0.05, 0.1, 0.3, 0.7] {
+            let w = expected_window(p(pv), 2);
+            assert!(w < last, "E[W] must decrease in p");
+            last = w;
+        }
+    }
+
+    #[test]
+    fn window_decreases_with_b() {
+        // More packets per ACK means slower growth, hence smaller windows.
+        assert!(expected_window(p(0.01), 1) > expected_window(p(0.01), 2));
+        assert!(expected_window(p(0.01), 2) > expected_window(p(0.01), 4));
+    }
+
+    #[test]
+    fn asymptote_agrees_at_small_p() {
+        for &pv in &[1e-4, 1e-5, 1e-6] {
+            let exact = expected_window(p(pv), 2);
+            let approx = expected_window_asymptotic(p(pv), 2);
+            let rel = (exact - approx).abs() / exact;
+            // The neglected terms are O(1) against O(1/sqrt(p)).
+            assert!(rel < 40.0 * pv.sqrt(), "rel err {rel} too large at p={pv}");
+        }
+    }
+
+    #[test]
+    fn rounds_match_window_via_eq_11() {
+        // Eq. (11): E[X] = (b/2) E[W]; Eqs. (13) & (15) were derived together
+        // so the identity must hold exactly.
+        for &b in &[1u32, 2, 3, 8] {
+            for &pv in &[0.001, 0.01, 0.1, 0.5, 0.9] {
+                let w = expected_window(p(pv), b);
+                let x = expected_rounds(p(pv), b);
+                assert!(
+                    (x - rounds_from_window(w, b)).abs() < 1e-9,
+                    "Eq.(11) violated at b={b}, p={pv}: X={x}, bW/2={}",
+                    rounds_from_window(w, b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_asymptote_small_p() {
+        let exact = expected_rounds(p(1e-6), 2);
+        let approx = expected_rounds_asymptotic(p(1e-6), 2);
+        assert!((exact - approx).abs() / exact < 0.01);
+    }
+
+    #[test]
+    fn tdp_duration_is_rtt_times_rounds_plus_one() {
+        let pv = p(0.02);
+        let d = expected_tdp_duration(pv, 2, 0.25);
+        assert!((d - 0.25 * (expected_rounds(pv, 2) + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tdp_packets_eq_5() {
+        let pv = p(0.1);
+        let y = expected_tdp_packets(pv, 2);
+        assert!((y - (0.9 / 0.1 + expected_window(pv, 2))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn limited_rounds_formula() {
+        // b=2, Wm=10, p=0.1: E[X] = 2/8*10 + 0.9/(0.1*10) + 1 = 2.5+0.9+1=4.4
+        let x = expected_rounds_limited(p(0.1), 2, 10);
+        assert!((x - 4.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn limited_rounds_grow_as_p_shrinks() {
+        // With a clamped window, rare losses mean long constant-window phases.
+        assert!(
+            expected_rounds_limited(p(0.001), 2, 8) > expected_rounds_limited(p(0.01), 2, 8)
+        );
+    }
+
+    #[test]
+    fn window_continuous_near_extremes() {
+        // No NaN/inf anywhere in the valid domain.
+        for &pv in &[1e-9, 1e-3, 0.5, 0.999_999] {
+            for &b in &[1u32, 2, 16] {
+                assert!(expected_window(p(pv), b).is_finite());
+                assert!(expected_rounds(p(pv), b).is_finite());
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests of the model's analytic invariants.
+
+use pftk_model::prelude::*;
+use pftk_model::{throughput, timeout, window};
+use proptest::prelude::*;
+
+/// Loss rates spanning the paper's observed range (0.1%–50%), log-uniform.
+fn loss_rate() -> impl Strategy<Value = f64> {
+    (-3.0f64..-0.301).prop_map(|e| 10f64.powf(e))
+}
+
+fn params_strategy() -> impl Strategy<Value = ModelParams> {
+    (0.01f64..2.0, 0.1f64..10.0, 1u32..=4, 2u32..=256)
+        .prop_map(|(rtt, t0, b, wmax)| ModelParams::new(rtt, t0, b, wmax).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn full_model_rate_is_positive_and_finite(p in loss_rate(), params in params_strategy()) {
+        let rate = full_model(LossProb::new(p).unwrap(), &params);
+        prop_assert!(rate.is_finite());
+        prop_assert!(rate > 0.0);
+    }
+
+    #[test]
+    fn full_model_never_exceeds_window_ceiling(p in loss_rate(), params in params_strategy()) {
+        let rate = full_model(LossProb::new(p).unwrap(), &params);
+        prop_assert!(rate <= params.window_limited_rate() * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn full_model_monotone_in_p(
+        p in loss_rate(),
+        factor in 1.05f64..4.0,
+        params in params_strategy(),
+    ) {
+        let p2 = (p * factor).min(0.6);
+        prop_assume!(p2 > p);
+        let lo = full_model(LossProb::new(p).unwrap(), &params);
+        let hi = full_model(LossProb::new(p2).unwrap(), &params);
+        prop_assert!(hi <= lo * (1.0 + 1e-9), "B({p2})={hi} > B({p})={lo}");
+    }
+
+    #[test]
+    fn full_model_monotone_in_rtt(p in loss_rate(), params in params_strategy()) {
+        let slower = ModelParams::new(
+            params.rtt.get() * 2.0, params.t0.get(), params.b, params.wmax).unwrap();
+        let fast = full_model(LossProb::new(p).unwrap(), &params);
+        let slow = full_model(LossProb::new(p).unwrap(), &slower);
+        prop_assert!(slow <= fast * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn full_model_monotone_in_t0(p in loss_rate(), params in params_strategy()) {
+        let slower = ModelParams::new(
+            params.rtt.get(), params.t0.get() * 2.0, params.b, params.wmax).unwrap();
+        let fast = full_model(LossProb::new(p).unwrap(), &params);
+        let slow = full_model(LossProb::new(p).unwrap(), &slower);
+        prop_assert!(slow <= fast * (1.0 + 1e-9), "longer timeouts cannot speed TCP up");
+    }
+
+    #[test]
+    fn timeouts_only_slow_tcp_down(p in loss_rate(), params in params_strategy()) {
+        // Full model (TD + TO) vs the exact TD-only ratio Eq. (19). Holds
+        // whenever T0 ≥ RTT — true of every real TCP (RTO ≥ SRTT); with a
+        // hypothetical timeout *shorter* than a round trip, timing out can
+        // genuinely beat waiting for duplicate ACKs.
+        prop_assume!(params.t0.get() >= params.rtt.get());
+        let lp = LossProb::new(p).unwrap();
+        let full = full_model(lp, &params);
+        let td = pftk_model::sendrate::td_only_exact(lp, &params);
+        prop_assert!(full <= td * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn approx_model_brackets_full_model(p in loss_rate(), params in params_strategy()) {
+        // Eq. (33) vs Eq. (32): same order of magnitude over the domain the
+        // paper validates on — loss-indication rates up to ~15%, receiver
+        // windows of at least 6 packets, and T0/RTT up to ~50 (Table II
+        // spans 2.5–43). Outside that domain the band genuinely breaks:
+        // W_m = 4 at p = 0.28 exceeds 3x, and at T0/RTT ≈ 1000 with a tight
+        // window clamp Eq. (33)'s *unclamped* Q̂ ≈ 3·sqrt(3bp/8) can sit 6x
+        // below Q̂(W_m), overestimating the rate by the same factor — a
+        // real, documented weakness of the approximation, not of this
+        // implementation.
+        prop_assume!(
+            p <= 0.15 && params.wmax >= 6 && params.t0.get() / params.rtt.get() <= 50.0
+        );
+        let lp = LossProb::new(p).unwrap();
+        let full = full_model(lp, &params);
+        let approx = approx_model(lp, &params);
+        prop_assert!(approx < full * 3.0 && approx > full / 3.0,
+            "p={p}: full={full}, approx={approx}");
+    }
+
+    #[test]
+    fn throughput_at_most_send_rate(p in loss_rate(), params in params_strategy()) {
+        let lp = LossProb::new(p).unwrap();
+        let t = throughput::throughput(lp, &params);
+        let b = full_model(lp, &params);
+        prop_assert!(t <= b * (1.0 + 1e-9));
+        prop_assert!(t > 0.0);
+    }
+
+    #[test]
+    fn q_hat_is_probability_and_decreasing(p in loss_rate(), w in 1.0f64..512.0) {
+        let lp = LossProb::new(p).unwrap();
+        let q = timeout::q_hat_exact(lp, w);
+        prop_assert!((0.0..=1.0).contains(&q));
+        let q2 = timeout::q_hat_exact(lp, w + 1.0);
+        prop_assert!(q2 <= q + 1e-12);
+    }
+
+    #[test]
+    fn window_identity_eq_11(p in loss_rate(), b in 1u32..=4) {
+        // E[X] = (b/2)·E[W] ties Eqs. (13) and (15) together exactly.
+        let lp = LossProb::new(p).unwrap();
+        let w = window::expected_window(lp, b);
+        let x = window::expected_rounds(lp, b);
+        prop_assert!((x - f64::from(b) / 2.0 * w).abs() < 1e-6 * x.max(1.0));
+    }
+
+    #[test]
+    fn inverse_roundtrips(p in loss_rate(), params in params_strategy()) {
+        let lp = LossProb::new(p).unwrap();
+        let rate = full_model(lp, &params);
+        let back = loss_for_rate(rate, &params).unwrap().get();
+        // B is strictly decreasing, so inversion is well-posed; allow for
+        // the flat window-limited plateau where p is unidentifiable.
+        let rate_back = full_model(LossProb::new(back).unwrap(), &params);
+        prop_assert!((rate_back - rate).abs() / rate < 1e-6,
+            "rate {rate} → p {back} → rate {rate_back}");
+    }
+
+    #[test]
+    fn backoff_polynomial_matches_horner(p in loss_rate()) {
+        let lp = LossProb::new(p).unwrap();
+        let f = timeout::backoff_polynomial(lp);
+        let direct = 1.0 + p + 2.0 * p.powi(2) + 4.0 * p.powi(3) + 8.0 * p.powi(4)
+            + 16.0 * p.powi(5) + 32.0 * p.powi(6);
+        prop_assert!((f - direct).abs() < 1e-12 * direct);
+    }
+
+    #[test]
+    fn detailed_output_consistent(p in loss_rate(), params in params_strategy()) {
+        let lp = LossProb::new(p).unwrap();
+        let out = full_model_detailed(lp, &params);
+        prop_assert_eq!(out.rate, full_model(lp, &params));
+        match out.regime {
+            Regime::Unconstrained => prop_assert!(
+                out.expected_window_unconstrained < f64::from(params.wmax)),
+            Regime::WindowLimited => prop_assert!(
+                out.expected_window_unconstrained >= f64::from(params.wmax)),
+        }
+        prop_assert!((0.0..=1.0).contains(&out.timeout_probability));
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 1.
+fn main() {
+    tcp_repro::figures::fig1(&tcp_repro::RunScale::from_args());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 10.
+fn main() {
+    tcp_repro::figures::fig10(&tcp_repro::RunScale::from_args());
+}

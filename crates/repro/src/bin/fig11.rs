@@ -1,0 +1,4 @@
+//! Regenerates Fig. 11.
+fn main() {
+    tcp_repro::figures::fig11(&tcp_repro::RunScale::from_args());
+}

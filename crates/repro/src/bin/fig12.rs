@@ -1,0 +1,4 @@
+//! Regenerates Fig. 12.
+fn main() {
+    tcp_repro::figures::fig12(&tcp_repro::RunScale::from_args());
+}

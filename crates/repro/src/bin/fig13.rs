@@ -1,0 +1,4 @@
+//! Regenerates Fig. 13.
+fn main() {
+    tcp_repro::figures::fig13(&tcp_repro::RunScale::from_args());
+}

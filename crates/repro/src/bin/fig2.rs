@@ -1,0 +1,4 @@
+//! Regenerates Fig. 2.
+fn main() {
+    tcp_repro::figures::fig2(&tcp_repro::RunScale::from_args());
+}

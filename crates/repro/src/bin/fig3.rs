@@ -1,0 +1,4 @@
+//! Regenerates Fig. 3.
+fn main() {
+    tcp_repro::figures::fig3(&tcp_repro::RunScale::from_args());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 4.
+fn main() {
+    tcp_repro::figures::fig4(&tcp_repro::RunScale::from_args());
+}

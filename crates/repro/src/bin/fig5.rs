@@ -1,0 +1,4 @@
+//! Regenerates Fig. 5.
+fn main() {
+    tcp_repro::figures::fig5(&tcp_repro::RunScale::from_args());
+}

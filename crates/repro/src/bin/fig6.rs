@@ -1,0 +1,4 @@
+//! Regenerates Fig. 6.
+fn main() {
+    tcp_repro::figures::fig6(&tcp_repro::RunScale::from_args());
+}

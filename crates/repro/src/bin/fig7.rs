@@ -1,0 +1,4 @@
+//! Regenerates Fig. 7.
+fn main() {
+    tcp_repro::figures::fig7(&tcp_repro::RunScale::from_args());
+}

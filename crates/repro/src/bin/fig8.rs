@@ -1,0 +1,4 @@
+//! Regenerates Fig. 8.
+fn main() {
+    tcp_repro::figures::fig8(&tcp_repro::RunScale::from_args());
+}

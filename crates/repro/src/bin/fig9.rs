@@ -1,0 +1,4 @@
+//! Regenerates Fig. 9.
+fn main() {
+    tcp_repro::figures::fig9(&tcp_repro::RunScale::from_args());
+}

@@ -1,0 +1,6 @@
+//! Runs the entire evaluation: every table and figure.
+//! Flags: `--quick` for a reduced-scale smoke run, `--seed N`.
+fn main() {
+    let scale = tcp_repro::RunScale::from_args();
+    tcp_repro::figures::run_all(&scale);
+}

@@ -1,0 +1,75 @@
+//! Practical model sweep: a lookup grid of the full model over loss rate ×
+//! RTT, elasticities at each operating point, and an SVG of the B(p)
+//! family — the "how do I actually use this equation" artifact.
+//!
+//! ```sh
+//! cargo run --release -p tcp-repro --bin sweep [--seed N]
+//! ```
+
+use pftk_model::prelude::*;
+use tcp_repro::output::{out_dir, section, write_csv};
+use tcp_repro::plot::{Chart, Series};
+
+fn main() {
+    let _ = tcp_repro::RunScale::from_args();
+    section("Model sweep — B(p) over loss × RTT (T0 = 4·RTT, b = 2, W_m = 64)");
+    let rtts = [0.02, 0.05, 0.1, 0.2, 0.5];
+    let grid = tcp_testbed::report::loss_grid();
+
+    // Text table at a coarse grid.
+    println!("{:>8} | {}", "p \\ RTT", rtts.map(|r| format!("{r:>9}")).join(" "));
+    let mut csv = Vec::new();
+    for &p in &[0.001, 0.003, 0.01, 0.03, 0.1, 0.3] {
+        let lp = LossProb::new(p).unwrap();
+        let row: Vec<String> = rtts
+            .iter()
+            .map(|&rtt| {
+                let params = ModelParams::new(rtt, 4.0 * rtt, 2, 64).unwrap();
+                format!("{:>9.1}", full_model(lp, &params))
+            })
+            .collect();
+        println!("{p:>8} | {}", row.join(" "));
+    }
+    for &rtt in &rtts {
+        let params = ModelParams::new(rtt, 4.0 * rtt, 2, 64).unwrap();
+        for &p in &grid {
+            let lp = LossProb::new(p).unwrap();
+            let e = elasticities(lp, &params);
+            csv.push(format!(
+                "{rtt},{p},{},{},{},{}",
+                full_model(lp, &params),
+                e.wrt_p,
+                e.wrt_rtt,
+                e.wrt_t0
+            ));
+        }
+    }
+    write_csv(&out_dir(), "sweep_grid", "rtt,p,rate_pps,elast_p,elast_rtt,elast_t0", &csv);
+
+    // Elasticity spot-checks at a mid operating point.
+    println!("\nelasticities at p = 0.02 (1% change in x → E·1% change in B):");
+    println!("{:>8} {:>8} {:>8} {:>8}", "RTT", "E_p", "E_rtt", "E_t0");
+    for &rtt in &rtts {
+        let params = ModelParams::new(rtt, 4.0 * rtt, 2, 64).unwrap();
+        let e = elasticities(LossProb::new(0.02).unwrap(), &params);
+        println!("{rtt:>8} {:>8.3} {:>8.3} {:>8.3}", e.wrt_p, e.wrt_rtt, e.wrt_t0);
+    }
+
+    // SVG family.
+    let mut chart = Chart::new(
+        "Full model B(p) for an RTT family (T0 = 4·RTT, W_m = 64)",
+        "loss event rate p",
+        "send rate (packets/s)",
+    )
+    .log_x()
+    .log_y();
+    for &rtt in &rtts {
+        let params = ModelParams::new(rtt, 4.0 * rtt, 2, 64).unwrap();
+        let pts: Vec<(f64, f64)> = grid
+            .iter()
+            .map(|&p| (p, full_model(LossProb::new(p).unwrap(), &params)))
+            .collect();
+        chart = chart.with(Series::line(format!("RTT = {rtt}s"), pts));
+    }
+    chart.save(&out_dir(), "sweep_family");
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table I.
+fn main() {
+    tcp_repro::tables::table1();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table II (24 hour-long simulated traces).
+fn main() {
+    tcp_repro::tables::table2(&tcp_repro::RunScale::from_args());
+}

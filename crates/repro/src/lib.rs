@@ -1,0 +1,98 @@
+//! # tcp-repro
+//!
+//! Regeneration of every table and figure in the paper's evaluation.
+//! Each `fig*`/`table*` binary wraps a function in [`figures`]/[`tables`];
+//! `repro-all` runs the whole evaluation. Output goes to stdout and, as
+//! CSV, to `./results` (override with `$REPRO_OUT`).
+//!
+//! See DESIGN.md §3 for the experiment index and EXPERIMENTS.md for the
+//! recorded paper-vs-measured comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod output;
+pub mod plot;
+pub mod tables;
+
+/// Scaling knobs so benches and tests can run the same code paths at a
+/// fraction of the paper's horizons.
+#[derive(Debug, Clone, Copy)]
+pub struct RunScale {
+    /// Horizon of "hour-long" runs, seconds (paper: 3600).
+    pub hour_secs: f64,
+    /// Number of serial 100-s connections (paper: 100).
+    pub serial_n: usize,
+    /// TD periods for anatomy figures.
+    pub tdps: usize,
+    /// Monte-Carlo trials per point (Fig. 4).
+    pub monte_carlo_trials: u64,
+    /// Rounds-simulator horizon for Fig. 12, simulated seconds.
+    pub rounds_sim_secs: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RunScale {
+    fn default() -> Self {
+        RunScale {
+            hour_secs: 3600.0,
+            serial_n: 100,
+            tdps: 20_000,
+            monte_carlo_trials: 200_000,
+            rounds_sim_secs: 2_000_000.0,
+            seed: 20260706,
+        }
+    }
+}
+
+impl RunScale {
+    /// A reduced scale for tests and Criterion benches: same code paths,
+    /// ~100× less work.
+    pub fn quick() -> Self {
+        RunScale {
+            hour_secs: 100.0,
+            serial_n: 3,
+            tdps: 2_000,
+            monte_carlo_trials: 20_000,
+            rounds_sim_secs: 20_000.0,
+            seed: 20260706,
+        }
+    }
+
+    /// Parses the common CLI flags every regeneration binary accepts:
+    /// `--quick` (reduced scale) and `--seed N`. Unknown flags abort with a
+    /// usage message.
+    pub fn from_args() -> Self {
+        let mut scale = RunScale::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => {
+                    let seed = scale.seed;
+                    scale = RunScale::quick();
+                    scale.seed = seed;
+                }
+                "--seed" => {
+                    let value = args.next().unwrap_or_else(|| usage("--seed needs a value"));
+                    scale.seed =
+                        value.parse().unwrap_or_else(|_| usage("--seed needs an integer"));
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag {other:?}")),
+            }
+        }
+        scale
+    }
+}
+
+fn usage(problem: &str) -> ! {
+    if !problem.is_empty() {
+        eprintln!("error: {problem}");
+    }
+    eprintln!("usage: <bin> [--quick] [--seed N]");
+    eprintln!("  --quick    reduced-scale run (~100x less work)");
+    eprintln!("  --seed N   override the RNG seed (default 20260706)");
+    std::process::exit(if problem.is_empty() { 0 } else { 2 });
+}

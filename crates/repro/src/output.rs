@@ -1,0 +1,60 @@
+//! Output plumbing for the regeneration binaries: aligned text to stdout,
+//! CSV files into the results directory.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Resolves the output directory: `$REPRO_OUT` if set, else `./results`.
+/// Creates it if missing.
+pub fn out_dir() -> PathBuf {
+    let dir = std::env::var_os("REPRO_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    fs::create_dir_all(&dir).expect("create results directory");
+    dir
+}
+
+/// Writes a CSV file `name.csv` into `dir`.
+pub fn write_csv(dir: &Path, name: &str, header: &str, rows: &[String]) {
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{header}").expect("write csv header");
+    for row in rows {
+        writeln!(f, "{row}").expect("write csv row");
+    }
+    eprintln!("  wrote {}", path.display());
+}
+
+/// Prints a banner for one experiment.
+pub fn section(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_dir_honors_env() {
+        let tmp = std::env::temp_dir().join("repro-out-test");
+        std::env::set_var("REPRO_OUT", &tmp);
+        let d = out_dir();
+        assert_eq!(d, tmp);
+        assert!(d.exists());
+        std::env::remove_var("REPRO_OUT");
+        let _ = std::fs::remove_dir_all(tmp);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let tmp = std::env::temp_dir().join(format!("repro-csv-{}", std::process::id()));
+        fs::create_dir_all(&tmp).unwrap();
+        write_csv(&tmp, "t", "a,b", &["1,2".into(), "3,4".into()]);
+        let text = fs::read_to_string(tmp.join("t.csv")).unwrap();
+        assert_eq!(text, "a,b\n1,2\n3,4\n");
+        let _ = fs::remove_dir_all(tmp);
+    }
+}

@@ -1,0 +1,436 @@
+//! A small SVG chart renderer (no dependencies) so the regenerated figures
+//! are viewable, not just tabulated. Supports scatter and line series,
+//! linear and logarithmic axes — enough for every figure in the paper.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// Plot area geometry.
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 440.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 20.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 55.0;
+
+/// Fixed series palette (color-blind friendly).
+const PALETTE: [&str; 6] = ["#0072b2", "#d55e00", "#009e73", "#cc79a7", "#e69f00", "#56b4e9"];
+
+/// How a series is drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Style {
+    /// Connected polyline.
+    Line,
+    /// Unconnected circular markers.
+    Scatter,
+}
+
+/// One named data series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` data.
+    pub points: Vec<(f64, f64)>,
+    /// Line or scatter.
+    pub style: Style,
+}
+
+impl Series {
+    /// A line series.
+    pub fn line(label: impl Into<String>, points: Vec<(f64, f64)>) -> Series {
+        Series { label: label.into(), points, style: Style::Line }
+    }
+
+    /// A scatter series.
+    pub fn scatter(label: impl Into<String>, points: Vec<(f64, f64)>) -> Series {
+        Series { label: label.into(), points, style: Style::Scatter }
+    }
+}
+
+/// Axis scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Linear axis.
+    Linear,
+    /// Base-10 logarithmic axis (requires strictly positive data).
+    Log,
+}
+
+/// A chart: title, axes, series.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    /// Title above the plot.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// X-axis scale.
+    pub x_scale: Scale,
+    /// Y-axis scale.
+    pub y_scale: Scale,
+    /// The data.
+    pub series: Vec<Series>,
+}
+
+impl Chart {
+    /// A linear-linear chart.
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, y_label: impl Into<String>) -> Chart {
+        Chart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            x_scale: Scale::Linear,
+            y_scale: Scale::Linear,
+            series: Vec::new(),
+        }
+    }
+
+    /// Switches the x axis to log scale.
+    pub fn log_x(mut self) -> Chart {
+        self.x_scale = Scale::Log;
+        self
+    }
+
+    /// Switches the y axis to log scale.
+    pub fn log_y(mut self) -> Chart {
+        self.y_scale = Scale::Log;
+        self
+    }
+
+    /// Adds a series.
+    pub fn with(mut self, series: Series) -> Chart {
+        self.series.push(series);
+        self
+    }
+
+    fn transform(v: f64, scale: Scale) -> Option<f64> {
+        match scale {
+            Scale::Linear => Some(v),
+            Scale::Log => (v > 0.0).then(|| v.log10()),
+        }
+    }
+
+    fn data_bounds(&self) -> Option<((f64, f64), (f64, f64))> {
+        let mut xs: Vec<f64> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                if let (Some(tx), Some(ty)) =
+                    (Self::transform(x, self.x_scale), Self::transform(y, self.y_scale))
+                {
+                    if tx.is_finite() && ty.is_finite() {
+                        xs.push(tx);
+                        ys.push(ty);
+                    }
+                }
+            }
+        }
+        if xs.is_empty() {
+            return None;
+        }
+        let pad = |lo: f64, hi: f64| {
+            let span = (hi - lo).max(1e-9);
+            (lo - 0.05 * span, hi + 0.05 * span)
+        };
+        let (xlo, xhi) = pad(
+            xs.iter().cloned().fold(f64::INFINITY, f64::min),
+            xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        );
+        let (ylo, yhi) = pad(
+            ys.iter().cloned().fold(f64::INFINITY, f64::min),
+            ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        );
+        Some(((xlo, xhi), (ylo, yhi)))
+    }
+
+    /// Linear-space "nice" ticks.
+    fn linear_ticks(lo: f64, hi: f64) -> Vec<f64> {
+        let span = (hi - lo).max(1e-12);
+        let raw_step = span / 5.0;
+        let mag = 10f64.powf(raw_step.log10().floor());
+        let norm = raw_step / mag;
+        let step = mag * if norm < 1.5 {
+            1.0
+        } else if norm < 3.5 {
+            2.0
+        } else if norm < 7.5 {
+            5.0
+        } else {
+            10.0
+        };
+        let mut ticks = Vec::new();
+        let mut t = (lo / step).ceil() * step;
+        while t <= hi + 1e-12 {
+            ticks.push(t);
+            t += step;
+        }
+        ticks
+    }
+
+    /// Log-space ticks: the decades in range (transformed values).
+    fn log_ticks(lo: f64, hi: f64) -> Vec<f64> {
+        let mut ticks = Vec::new();
+        let mut d = lo.ceil();
+        while d <= hi + 1e-12 {
+            ticks.push(d);
+            d += 1.0;
+        }
+        if ticks.len() < 2 {
+            // Narrow range: fall back to linear ticks in log space.
+            return Self::linear_ticks(lo, hi);
+        }
+        ticks
+    }
+
+    fn format_tick(t: f64, scale: Scale) -> String {
+        let v = match scale {
+            Scale::Linear => t,
+            Scale::Log => 10f64.powf(t),
+        };
+        if v != 0.0 && (v.abs() < 0.0101 || v.abs() >= 100_000.0) {
+            format!("{v:.0e}")
+        } else if v.fract().abs() < 1e-9 {
+            format!("{v:.0}")
+        } else {
+            format!("{v:.3}")
+        }
+    }
+
+    /// Renders the chart as an SVG document.
+    pub fn render_svg(&self) -> String {
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
+        );
+        let _ = write!(svg, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="24" text-anchor="middle" font-size="15">{}</text>"#,
+            WIDTH / 2.0,
+            escape(&self.title)
+        );
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+
+        let Some(((xlo, xhi), (ylo, yhi))) = self.data_bounds() else {
+            let _ = write!(
+                svg,
+                r#"<text x="{}" y="{}" text-anchor="middle" font-size="13">(no data)</text></svg>"#,
+                WIDTH / 2.0,
+                HEIGHT / 2.0
+            );
+            return svg;
+        };
+        let sx = move |tx: f64| MARGIN_L + (tx - xlo) / (xhi - xlo) * plot_w;
+        let sy = move |ty: f64| MARGIN_T + plot_h - (ty - ylo) / (yhi - ylo) * plot_h;
+
+        // Frame.
+        let _ = write!(
+            svg,
+            r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w}" height="{plot_h}" fill="none" stroke="#444"/>"##
+        );
+
+        // Ticks + gridlines.
+        let xticks = match self.x_scale {
+            Scale::Linear => Self::linear_ticks(xlo, xhi),
+            Scale::Log => Self::log_ticks(xlo, xhi),
+        };
+        for &t in &xticks {
+            let x = sx(t);
+            let _ = write!(
+                svg,
+                r##"<line x1="{x:.1}" y1="{MARGIN_T}" x2="{x:.1}" y2="{:.1}" stroke="#ddd"/>"##,
+                MARGIN_T + plot_h
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{x:.1}" y="{:.1}" text-anchor="middle" font-size="11">{}</text>"#,
+                MARGIN_T + plot_h + 16.0,
+                Self::format_tick(t, self.x_scale)
+            );
+        }
+        let yticks = match self.y_scale {
+            Scale::Linear => Self::linear_ticks(ylo, yhi),
+            Scale::Log => Self::log_ticks(ylo, yhi),
+        };
+        for &t in &yticks {
+            let y = sy(t);
+            let _ = write!(
+                svg,
+                r##"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/>"##,
+                MARGIN_L + plot_w
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{:.1}" y="{:.1}" text-anchor="end" font-size="11">{}</text>"#,
+                MARGIN_L - 6.0,
+                y + 4.0,
+                Self::format_tick(t, self.y_scale)
+            );
+        }
+
+        // Axis labels.
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}" text-anchor="middle" font-size="12">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            HEIGHT - 12.0,
+            escape(&self.x_label)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="16" y="{}" text-anchor="middle" font-size="12" transform="rotate(-90 16 {})">{}</text>"#,
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            escape(&self.y_label)
+        );
+
+        // Series.
+        for (i, s) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let pts: Vec<(f64, f64)> = s
+                .points
+                .iter()
+                .filter_map(|&(x, y)| {
+                    let tx = Self::transform(x, self.x_scale)?;
+                    let ty = Self::transform(y, self.y_scale)?;
+                    (tx.is_finite() && ty.is_finite()).then(|| (sx(tx), sy(ty)))
+                })
+                .collect();
+            match s.style {
+                Style::Line => {
+                    let path: String = pts
+                        .iter()
+                        .enumerate()
+                        .map(|(k, (x, y))| {
+                            format!("{}{x:.1},{y:.1}", if k == 0 { "M" } else { " L" })
+                        })
+                        .collect();
+                    let _ = write!(
+                        svg,
+                        r#"<path d="{path}" fill="none" stroke="{color}" stroke-width="1.8"/>"#
+                    );
+                }
+                Style::Scatter => {
+                    for (x, y) in &pts {
+                        let _ = write!(
+                            svg,
+                            r#"<circle cx="{x:.1}" cy="{y:.1}" r="3" fill="{color}" fill-opacity="0.75"/>"#
+                        );
+                    }
+                }
+            }
+            // Legend entry.
+            let ly = MARGIN_T + 14.0 + 16.0 * i as f64;
+            let lx = MARGIN_L + plot_w - 150.0;
+            let _ = write!(
+                svg,
+                r#"<rect x="{lx}" y="{:.1}" width="10" height="10" fill="{color}"/>"#,
+                ly - 9.0
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{:.1}" y="{ly}" font-size="11">{}</text>"#,
+                lx + 14.0,
+                escape(&s.label)
+            );
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+
+    /// Renders and writes `name.svg` into `dir`.
+    pub fn save(&self, dir: &Path, name: &str) {
+        let path = dir.join(format!("{name}.svg"));
+        fs::write(&path, self.render_svg()).expect("write svg");
+        eprintln!("  wrote {}", path.display());
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_chart() -> Chart {
+        Chart::new("Demo", "x", "y")
+            .with(Series::line("model", vec![(1.0, 10.0), (2.0, 5.0), (3.0, 2.0)]))
+            .with(Series::scatter("measured", vec![(1.5, 8.0), (2.5, 3.0)]))
+    }
+
+    #[test]
+    fn svg_contains_structure() {
+        let svg = demo_chart().render_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("<path"), "line series missing");
+        assert_eq!(svg.matches("<circle").count(), 2, "scatter markers");
+        assert!(svg.contains("Demo"));
+        assert!(svg.contains("model"));
+        assert!(svg.contains("measured"));
+    }
+
+    #[test]
+    fn log_axes_drop_nonpositive_points() {
+        let chart = Chart::new("log", "p", "rate")
+            .log_x()
+            .with(Series::scatter("pts", vec![(0.0, 1.0), (0.01, 2.0), (0.1, 3.0)]));
+        let svg = chart.render_svg();
+        assert_eq!(svg.matches("<circle").count(), 2, "p = 0 must be dropped on log-x");
+    }
+
+    #[test]
+    fn empty_chart_renders_placeholder() {
+        let svg = Chart::new("empty", "x", "y").render_svg();
+        assert!(svg.contains("(no data)"));
+    }
+
+    #[test]
+    fn linear_ticks_are_nice() {
+        let ticks = Chart::linear_ticks(0.0, 10.0);
+        assert!(ticks.len() >= 4 && ticks.len() <= 8, "{ticks:?}");
+        assert!(ticks.windows(2).all(|w| w[1] > w[0]));
+        let ticks = Chart::linear_ticks(0.0, 0.037);
+        assert!(ticks.iter().all(|t| (0.0..=0.037).contains(t)), "{ticks:?}");
+    }
+
+    #[test]
+    fn log_ticks_are_decades() {
+        // 1e-3 .. 1e0 in log space is -3..0.
+        let ticks = Chart::log_ticks(-3.05, 0.05);
+        assert_eq!(ticks, vec![-3.0, -2.0, -1.0, 0.0]);
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(Chart::format_tick(-2.0, Scale::Log), "1e-2");
+        assert_eq!(Chart::format_tick(2.0, Scale::Log), "100");
+        assert_eq!(Chart::format_tick(5.0, Scale::Linear), "5");
+        assert_eq!(Chart::format_tick(0.25, Scale::Linear), "0.250");
+    }
+
+    #[test]
+    fn escapes_markup() {
+        let chart = Chart::new("a<b & c>d", "x", "y")
+            .with(Series::line("s", vec![(0.0, 0.0), (1.0, 1.0)]));
+        let svg = chart.render_svg();
+        assert!(svg.contains("a&lt;b &amp; c&gt;d"));
+    }
+
+    #[test]
+    fn save_writes_file() {
+        let dir = std::env::temp_dir().join(format!("plot-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        demo_chart().save(&dir, "demo");
+        let text = std::fs::read_to_string(dir.join("demo.svg")).unwrap();
+        assert!(text.contains("</svg>"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

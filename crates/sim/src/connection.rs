@@ -1,0 +1,552 @@
+//! The full packet-level connection: sender ⇄ paths ⇄ receiver, driven by
+//! the discrete-event engine.
+//!
+//! The [`Connection`] owns the event queue and translates the sans-I/O
+//! outputs of [`Sender`] and [`Receiver`] into scheduled events. An
+//! [`Observer`] sees exactly what `tcpdump` at the sender would see — data
+//! segments leaving and ACKs arriving — which is what the `tcp-trace`
+//! analysis programs consume.
+
+use crate::event::EventQueue;
+use crate::link::Path;
+use crate::loss::{LossModel, NoLoss};
+use crate::packet::{Ack, Segment, Seq};
+use crate::receiver::{DelAckTimer, Receiver, ReceiverConfig, ReceiverOutput};
+use crate::reno::sender::{Sender, SenderConfig, SenderOutput, TimerCmd};
+use crate::rng::SimRng;
+use crate::stats::ConnStats;
+use crate::time::{SimDuration, SimTime};
+
+/// A sender-side wire observer (what `tcpdump` on the sender host records).
+pub trait Observer {
+    /// A data segment left the sender at `at`.
+    fn on_segment_sent(&mut self, at: SimTime, seg: Segment) {
+        let _ = (at, seg);
+    }
+    /// An ACK arrived at the sender at `at`.
+    fn on_ack_received(&mut self, at: SimTime, ack: Ack) {
+        let _ = (at, ack);
+    }
+}
+
+/// The "no trace" observer.
+impl Observer for () {}
+
+#[derive(Debug)]
+enum Ev {
+    DataArrive(Segment),
+    AckArrive(Ack),
+    Rto(u64),
+    DelAck(u64),
+}
+
+/// Configuration for a simulated connection; see [`Connection::builder`].
+pub struct ConnectionBuilder {
+    sender: SenderConfig,
+    receiver: ReceiverConfig,
+    fwd: Option<Path>,
+    rev: Option<Path>,
+    loss: Box<dyn LossModel + Send>,
+    ack_loss: Option<Box<dyn LossModel + Send>>,
+    rtt: SimDuration,
+    seed: u64,
+}
+
+impl ConnectionBuilder {
+    /// Round-trip propagation delay; ignored for a direction that gets an
+    /// explicit [`Path`] via [`Self::fwd_path`]/[`Self::rev_path`].
+    pub fn rtt(mut self, secs: f64) -> Self {
+        self.rtt = SimDuration::from_secs_f64(secs);
+        self
+    }
+
+    /// Explicit data-direction path (overrides [`Self::rtt`] for that leg).
+    pub fn fwd_path(mut self, path: Path) -> Self {
+        self.fwd = Some(path);
+        self
+    }
+
+    /// Explicit ACK-direction path.
+    pub fn rev_path(mut self, path: Path) -> Self {
+        self.rev = Some(path);
+        self
+    }
+
+    /// The data-packet loss process (default: no loss).
+    pub fn loss(mut self, loss: Box<dyn LossModel + Send>) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// An optional ACK loss process (default: ACKs never dropped).
+    pub fn ack_loss(mut self, loss: Box<dyn LossModel + Send>) -> Self {
+        self.ack_loss = Some(loss);
+        self
+    }
+
+    /// Sender tunables (window, dupthresh, RTO machinery).
+    pub fn sender_config(mut self, config: SenderConfig) -> Self {
+        self.sender = config;
+        self
+    }
+
+    /// Receiver tunables (delayed ACKs).
+    pub fn receiver_config(mut self, config: ReceiverConfig) -> Self {
+        self.receiver = config;
+        self
+    }
+
+    /// RNG seed; two builds with identical configuration and seed replay
+    /// identical traces.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds with a custom observer.
+    pub fn build_with_observer<O: Observer>(mut self, observer: O) -> Connection<O> {
+        // A SACK sender is useless without a SACK-reporting receiver;
+        // enable it implicitly (mirrors the SYN-time option negotiation).
+        if self.sender.style == crate::reno::sender::RenoStyle::Sack {
+            self.receiver.sack = true;
+        }
+        let mut root = SimRng::seed_from_u64(self.seed);
+        let loss_rng = root.fork(1);
+        let path_rng = root.fork(2);
+        let half = SimDuration::from_nanos(self.rtt.as_nanos() / 2);
+        Connection {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            sender: Sender::new(self.sender),
+            receiver: Receiver::new(self.receiver),
+            fwd: self.fwd.unwrap_or_else(|| Path::constant(half)),
+            rev: self.rev.unwrap_or_else(|| Path::constant(half)),
+            loss: self.loss,
+            ack_loss: self.ack_loss,
+            loss_rng,
+            path_rng,
+            observer,
+            rto_gen: 0,
+            delack_gen: 0,
+            next_round_seq: 0,
+            started: false,
+        }
+    }
+
+    /// Builds without tracing.
+    pub fn build(self) -> Connection<()> {
+        self.build_with_observer(())
+    }
+}
+
+/// A running simulated TCP connection.
+pub struct Connection<O: Observer = ()> {
+    now: SimTime,
+    queue: EventQueue<Ev>,
+    sender: Sender,
+    receiver: Receiver,
+    fwd: Path,
+    rev: Path,
+    loss: Box<dyn LossModel + Send>,
+    ack_loss: Option<Box<dyn LossModel + Send>>,
+    loss_rng: SimRng,
+    path_rng: SimRng,
+    observer: O,
+    rto_gen: u64,
+    delack_gen: u64,
+    next_round_seq: Seq,
+    started: bool,
+}
+
+impl Connection<()> {
+    /// Starts building a connection with library defaults: 100 ms RTT,
+    /// lossless, delayed ACKs, 64 KiB-equivalent window.
+    pub fn builder() -> ConnectionBuilder {
+        ConnectionBuilder {
+            sender: SenderConfig::default(),
+            receiver: ReceiverConfig::default(),
+            fwd: None,
+            rev: None,
+            loss: Box::new(NoLoss),
+            ack_loss: None,
+            rtt: SimDuration::from_millis(100),
+            seed: 0,
+        }
+    }
+}
+
+impl<O: Observer> Connection<O> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Ground-truth counters (sender counters + receiver delivery count).
+    pub fn stats(&self) -> ConnStats {
+        let mut s = self.sender.stats.clone();
+        s.packets_delivered = self.receiver.distinct_received();
+        s
+    }
+
+    /// Read access to the sender (RTT/T0 ground truth, window state).
+    pub fn sender(&self) -> &Sender {
+        &self.sender
+    }
+
+    /// Read access to the receiver.
+    pub fn receiver(&self) -> &Receiver {
+        &self.receiver
+    }
+
+    /// Read access to the observer (e.g. to extract a recorded trace).
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// Consumes the connection, returning the observer.
+    pub fn into_observer(self) -> O {
+        self.observer
+    }
+
+    /// Packets dropped by path bottlenecks (in addition to the loss model).
+    pub fn bottleneck_drops(&self) -> u64 {
+        self.fwd.bottleneck_drops() + self.rev.bottleneck_drops()
+    }
+
+    /// Runs the connection until the simulated clock reaches `until`.
+    /// May be called repeatedly with increasing horizons.
+    pub fn run_until(&mut self, until: SimTime) {
+        if !self.started {
+            self.started = true;
+            let out = self.sender.on_start(self.now);
+            self.apply_sender_output(out);
+        }
+        while let Some(at) = self.queue.peek_time() {
+            if at > until {
+                break;
+            }
+            let (at, ev) = self.queue.pop().expect("peeked");
+            self.now = at;
+            match ev {
+                Ev::DataArrive(seg) => {
+                    let out = self.receiver.on_segment(self.now, seg);
+                    self.apply_receiver_output(out);
+                }
+                Ev::AckArrive(ack) => {
+                    self.observer.on_ack_received(self.now, ack);
+                    let out = self.sender.on_ack(self.now, ack);
+                    self.apply_sender_output(out);
+                }
+                Ev::Rto(gen) => {
+                    if gen == self.rto_gen {
+                        let out = self.sender.on_rto_fired(self.now);
+                        self.apply_sender_output(out);
+                    }
+                }
+                Ev::DelAck(gen) => {
+                    if gen == self.delack_gen {
+                        let out = self.receiver.on_delack_timer();
+                        self.apply_receiver_output(out);
+                    }
+                }
+            }
+        }
+        self.now = until;
+    }
+
+    /// Convenience: run for a span from the current clock.
+    pub fn run_for(&mut self, span: SimDuration) {
+        self.run_until(self.now + span);
+    }
+
+    /// For a finite transfer ([`crate::reno::sender::SenderConfig::data_limit`]):
+    /// runs until the transfer completes or `deadline` passes, returning the
+    /// completion instant if reached. Events are drained in bounded slices
+    /// so the clock cannot run past `deadline`.
+    pub fn run_until_complete(&mut self, deadline: SimTime) -> Option<SimTime> {
+        while self.now < deadline && !self.sender.is_complete() {
+            let step = SimDuration::from_millis(50).min(deadline - self.now);
+            self.run_until(self.now + step);
+        }
+        self.sender.completed_at()
+    }
+
+    /// Flushes end-of-run bookkeeping (open timeout sequences) into the
+    /// stats. Call once after the final `run_until`.
+    pub fn finish(&mut self) {
+        self.sender.finish();
+    }
+
+    fn apply_sender_output(&mut self, out: SenderOutput) {
+        for seg in out.segments {
+            self.observer.on_segment_sent(self.now, seg);
+            // Round accounting for intra-round-correlated loss models.
+            if seg.retransmit {
+                self.loss.on_round_boundary();
+                self.next_round_seq = self.sender.snd_nxt();
+            } else if seg.seq >= self.next_round_seq {
+                self.loss.on_round_boundary();
+                self.next_round_seq = seg.seq + self.sender.usable_window().max(1);
+            }
+            if self.loss.should_drop(self.now, &mut self.loss_rng) {
+                self.sender.stats.packets_dropped += 1;
+                continue;
+            }
+            match self.fwd.transit(self.now, &mut self.path_rng) {
+                Some(arrival) => self.queue.schedule(arrival, Ev::DataArrive(seg)),
+                None => self.sender.stats.packets_dropped += 1,
+            }
+        }
+        if let TimerCmd::Arm(at) = out.timer {
+            self.rto_gen += 1;
+            self.queue.schedule(at, Ev::Rto(self.rto_gen));
+        }
+    }
+
+    fn apply_receiver_output(&mut self, out: ReceiverOutput) {
+        for ack in out.acks {
+            if let Some(al) = &mut self.ack_loss {
+                if al.should_drop(self.now, &mut self.loss_rng) {
+                    continue;
+                }
+            }
+            if let Some(arrival) = self.rev.transit(self.now, &mut self.path_rng) {
+                self.queue.schedule(arrival, Ev::AckArrive(ack));
+            }
+        }
+        match out.timer {
+            DelAckTimer::Keep => {}
+            DelAckTimer::Arm(at) => {
+                self.delack_gen += 1;
+                self.queue.schedule(at, Ev::DelAck(self.delack_gen));
+            }
+            DelAckTimer::Cancel => {
+                self.delack_gen += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::{Bernoulli, Deterministic, RoundCorrelated};
+
+    fn secs(v: f64) -> SimDuration {
+        SimDuration::from_secs_f64(v)
+    }
+
+    #[test]
+    fn lossless_connection_is_window_limited() {
+        // RTT 100 ms, W_m = 10 → steady state 10 pkts / 0.1 s = 100 pkt/s.
+        let sender = SenderConfig { rwnd: 10, ..SenderConfig::default() };
+        let mut c = Connection::builder().rtt(0.1).sender_config(sender).build();
+        c.run_for(secs(60.0));
+        c.finish();
+        let stats = c.stats();
+        let rate = stats.packets_sent as f64 / 60.0;
+        assert!(
+            (rate - 100.0).abs() / 100.0 < 0.1,
+            "rate {rate} pkt/s, expected ≈100 (window-limited)"
+        );
+        assert_eq!(stats.loss_indications(), 0);
+        assert_eq!(stats.retransmissions, 0);
+    }
+
+    #[test]
+    fn delivered_never_exceeds_sent() {
+        let mut c = Connection::builder()
+            .rtt(0.05)
+            .loss(Box::new(Bernoulli::new(0.05)))
+            .seed(42)
+            .build();
+        c.run_for(secs(120.0));
+        c.finish();
+        let s = c.stats();
+        assert!(s.packets_delivered <= s.packets_sent);
+        assert!(s.packets_delivered > 0);
+        assert_eq!(s.packets_sent, s.packets_sent_new + s.retransmissions);
+    }
+
+    #[test]
+    fn loss_produces_loss_indications() {
+        let mut c = Connection::builder()
+            .rtt(0.1)
+            .loss(Box::new(Bernoulli::new(0.02)))
+            .seed(7)
+            .build();
+        c.run_for(secs(300.0));
+        c.finish();
+        let s = c.stats();
+        assert!(s.loss_indications() > 10, "indications: {}", s.loss_indications());
+        // With a healthy window most single losses should be recoverable by
+        // fast retransmit, but some timeouts are expected too.
+        assert!(s.td_events > 0, "expected some TD events");
+        assert!(s.to_events() > 0, "expected some timeouts");
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = |seed| {
+            let mut c = Connection::builder()
+                .rtt(0.08)
+                .loss(Box::new(Bernoulli::new(0.03)))
+                .seed(seed)
+                .build();
+            c.run_for(secs(60.0));
+            c.finish();
+            c.stats()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5).packets_sent, run(6).packets_sent);
+    }
+
+    #[test]
+    fn higher_loss_means_lower_send_rate() {
+        let rate = |p| {
+            let mut c = Connection::builder()
+                .rtt(0.1)
+                .loss(Box::new(Bernoulli::new(p)))
+                .seed(11)
+                .build();
+            c.run_for(secs(300.0));
+            c.stats().packets_sent as f64 / 300.0
+        };
+        let r_low = rate(0.01);
+        let r_high = rate(0.10);
+        assert!(
+            r_low > 1.5 * r_high,
+            "expected clear separation: p=1% → {r_low}, p=10% → {r_high}"
+        );
+    }
+
+    #[test]
+    fn shorter_rtt_sends_faster_under_loss() {
+        let rate = |rtt| {
+            let mut c = Connection::builder()
+                .rtt(rtt)
+                .loss(Box::new(Bernoulli::new(0.02)))
+                .seed(3)
+                .build();
+            c.run_for(secs(300.0));
+            c.stats().packets_sent as f64 / 300.0
+        };
+        assert!(rate(0.05) > 1.5 * rate(0.4));
+    }
+
+    #[test]
+    fn total_loss_stalls_but_does_not_hang() {
+        // Every packet dropped: the connection must keep backing off without
+        // an infinite event loop, and send only retransmissions.
+        let mut c = Connection::builder()
+            .rtt(0.1)
+            .loss(Box::new(Deterministic::every(1)))
+            .build();
+        c.run_for(secs(600.0));
+        c.finish();
+        let s = c.stats();
+        assert_eq!(s.packets_delivered, 0);
+        assert!(s.rto_firings >= 5, "rto firings: {}", s.rto_firings);
+        assert!(s.packets_sent < 100, "runaway sends: {}", s.packets_sent);
+        // One long exponential-backoff sequence.
+        assert_eq!(s.to_sequences[5], 1);
+    }
+
+    #[test]
+    fn round_correlated_loss_integrates() {
+        let mut c = Connection::builder()
+            .rtt(0.1)
+            .loss(Box::new(RoundCorrelated::new(0.02)))
+            .seed(9)
+            .build();
+        c.run_for(secs(300.0));
+        c.finish();
+        let s = c.stats();
+        assert!(s.loss_indications() > 10);
+        assert!(s.packets_delivered > 0);
+    }
+
+    #[test]
+    fn ack_loss_degrades_but_works() {
+        let mut c = Connection::builder()
+            .rtt(0.1)
+            .ack_loss(Box::new(Bernoulli::new(0.2)))
+            .seed(13)
+            .build();
+        c.run_for(secs(60.0));
+        c.finish();
+        let s = c.stats();
+        // Cumulative ACKs make ACK loss mostly harmless: data still flows.
+        assert!(s.packets_delivered > 100);
+    }
+
+    #[test]
+    fn observer_sees_wire_events() {
+        #[derive(Default)]
+        struct Counter {
+            sends: u64,
+            acks: u64,
+        }
+        impl Observer for Counter {
+            fn on_segment_sent(&mut self, _at: SimTime, _seg: Segment) {
+                self.sends += 1;
+            }
+            fn on_ack_received(&mut self, _at: SimTime, _ack: Ack) {
+                self.acks += 1;
+            }
+        }
+        let mut c = Connection::builder()
+            .rtt(0.1)
+            .loss(Box::new(Bernoulli::new(0.01)))
+            .seed(1)
+            .build_with_observer(Counter::default());
+        c.run_for(secs(30.0));
+        let stats = c.stats();
+        let obs = c.into_observer();
+        assert_eq!(obs.sends, stats.packets_sent);
+        assert_eq!(obs.acks, stats.acks_received);
+        assert!(obs.sends > 0 && obs.acks > 0);
+    }
+
+    #[test]
+    fn finite_transfer_completes_and_reports_latency() {
+        use crate::reno::sender::SenderConfig;
+        let sender = SenderConfig { data_limit: Some(200), ..SenderConfig::default() };
+        let mut c = Connection::builder()
+            .rtt(0.1)
+            .sender_config(sender)
+            .loss(Box::new(Bernoulli::new(0.01)))
+            .seed(17)
+            .build();
+        let done = c.run_until_complete(SimTime::from_secs_f64(600.0));
+        let at = done.expect("200 packets at 1% loss finish well before 600 s");
+        c.finish();
+        let s = c.stats();
+        assert_eq!(s.packets_sent_new, 200);
+        assert_eq!(s.packets_delivered, 200);
+        // Lossless slow start from cwnd 1 would take ~log2(200) ≈ 8 RTTs;
+        // with losses allow a wide but finite band.
+        let secs = at.as_secs_f64();
+        assert!(secs > 0.5 && secs < 120.0, "completion at {secs}s");
+    }
+
+    #[test]
+    fn run_until_is_resumable() {
+        let mut whole = Connection::builder()
+            .rtt(0.1)
+            .loss(Box::new(Bernoulli::new(0.02)))
+            .seed(21)
+            .build();
+        whole.run_for(secs(100.0));
+        let mut pieces = Connection::builder()
+            .rtt(0.1)
+            .loss(Box::new(Bernoulli::new(0.02)))
+            .seed(21)
+            .build();
+        for _ in 0..10 {
+            pieces.run_for(secs(10.0));
+        }
+        assert_eq!(whole.stats(), pieces.stats(), "segmented run must replay identically");
+        assert_eq!(pieces.now(), SimTime::from_secs_f64(100.0));
+    }
+}

@@ -1,0 +1,137 @@
+//! The discrete-event engine: a time-ordered queue with stable FIFO
+//! tie-breaking.
+//!
+//! Sans-I/O design: the engine owns nothing but `(time, payload)` pairs; all
+//! protocol state lives in the connection object that pops events and
+//! schedules new ones. Two events at the same instant pop in the order they
+//! were scheduled, which keeps runs deterministic.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A time-ordered queue of events of type `E`.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_id: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    key: Reverse<(SimTime, u64)>,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_id: 0 }
+    }
+
+    /// Schedules `payload` to fire at `at`.
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.heap.push(Entry { key: Reverse((at, id)), payload });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.key.0 .0, e.payload))
+    }
+
+    /// The timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.key.0 .0)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), "c");
+        q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        assert_eq!(q.pop(), Some((t(10), "a")));
+        assert_eq!(q.pop(), Some((t(20), "b")));
+        assert_eq!(q.pop(), Some((t(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(5), i)));
+        }
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.schedule(t(7), ());
+        assert_eq!(q.peek_time(), Some(t(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), 1);
+        q.schedule(t(5), 0);
+        assert_eq!(q.pop(), Some((t(5), 0)));
+        q.schedule(t(7), 2);
+        assert_eq!(q.pop(), Some((t(7), 2)));
+        assert_eq!(q.pop(), Some((t(10), 1)));
+    }
+}

@@ -1,0 +1,573 @@
+//! Packet-loss processes.
+//!
+//! The paper assumes losses are *correlated within a round* (one loss dooms
+//! the rest of the round) and *independent across rounds* (§II), while noting
+//! that real Internet loss is bursty (ref \[23\]) and that the model nevertheless
+//! "was able to predict the throughput of TCP connections quite well, even
+//! with Bernoulli losses" (§IV). We implement the whole menagerie so the
+//! benchmarks can compare the model's robustness across loss processes:
+//!
+//! * [`NoLoss`] — control;
+//! * [`Bernoulli`] — i.i.d. per-packet loss;
+//! * [`RoundCorrelated`] — the paper's §II assumption, parameterized by the
+//!   *first-loss* probability `p`;
+//! * [`GilbertElliott`] — two-state bursty loss (ref \[23\]'s observation),
+//!   per-packet chain;
+//! * [`TimedGilbertElliott`] — two-state bursty loss with state durations
+//!   in *seconds*: loss episodes that outlast the RTO, producing the
+//!   exponential-backoff sequences of Table II's T1+ columns;
+//! * [`Deterministic`] — drop every `n`-th packet (for exact-scenario unit
+//!   tests).
+//!
+//! Implementations see every data transmission in order via
+//! [`LossModel::should_drop`] and are told when a round boundary passes via
+//! [`LossModel::on_round_boundary`] (the packet-level simulator approximates
+//! rounds by flight boundaries; the rounds-based simulator has exact rounds).
+
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// A loss process: decides the fate of each transmitted data packet.
+pub trait LossModel {
+    /// Returns `true` if the transmission departing at `now` should be
+    /// dropped. Memoryless processes ignore `now`; time-correlated ones
+    /// ([`TimedGilbertElliott`]) advance their state by it — which matters
+    /// during retransmission timeouts, when seconds pass between packets.
+    fn should_drop(&mut self, now: SimTime, rng: &mut SimRng) -> bool;
+
+    /// Signals that a new round (window flight) has begun. Processes with
+    /// intra-round correlation reset here; memoryless processes ignore it.
+    fn on_round_boundary(&mut self) {}
+
+    /// A short human-readable label for reports.
+    fn label(&self) -> &'static str;
+}
+
+/// Lossless control channel.
+#[derive(Debug, Clone, Default)]
+pub struct NoLoss;
+
+impl LossModel for NoLoss {
+    fn should_drop(&mut self, _now: SimTime, _rng: &mut SimRng) -> bool {
+        false
+    }
+    fn label(&self) -> &'static str {
+        "none"
+    }
+}
+
+/// Independent (Bernoulli) per-packet loss with probability `p`.
+#[derive(Debug, Clone)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Creates a Bernoulli dropper; `p` is clamped to `[0, 1]`.
+    pub fn new(p: f64) -> Self {
+        Bernoulli { p: p.clamp(0.0, 1.0) }
+    }
+
+    /// The per-packet drop probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl LossModel for Bernoulli {
+    fn should_drop(&mut self, _now: SimTime, rng: &mut SimRng) -> bool {
+        rng.chance(self.p)
+    }
+    fn label(&self) -> &'static str {
+        "bernoulli"
+    }
+}
+
+/// The paper's loss model: within a round, once one packet is lost *every
+/// subsequent packet of that round is lost too*; the first packet of each
+/// round (and each packet until the first loss) is lost independently with
+/// probability `p`. This makes `p` exactly the paper's "probability that a
+/// packet is lost, given that either it is the first packet in its round or
+/// the preceding packet in its round is not lost."
+#[derive(Debug, Clone)]
+pub struct RoundCorrelated {
+    p: f64,
+    dropping_rest_of_round: bool,
+}
+
+impl RoundCorrelated {
+    /// Creates the §II loss process with first-loss probability `p`.
+    pub fn new(p: f64) -> Self {
+        RoundCorrelated { p: p.clamp(0.0, 1.0), dropping_rest_of_round: false }
+    }
+}
+
+impl LossModel for RoundCorrelated {
+    fn should_drop(&mut self, _now: SimTime, rng: &mut SimRng) -> bool {
+        if self.dropping_rest_of_round {
+            return true;
+        }
+        if rng.chance(self.p) {
+            self.dropping_rest_of_round = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn on_round_boundary(&mut self) {
+        self.dropping_rest_of_round = false;
+    }
+
+    fn label(&self) -> &'static str {
+        "round-correlated"
+    }
+}
+
+/// Two-state Gilbert–Elliott burst-loss process: a Markov chain alternating
+/// between a Good state (loss probability `p_good`, usually ≈0) and a Bad
+/// state (loss probability `p_bad`, usually large), with transition
+/// probabilities `p_g2b` and `p_b2g` evaluated per packet.
+#[derive(Debug, Clone)]
+pub struct GilbertElliott {
+    p_good: f64,
+    p_bad: f64,
+    p_g2b: f64,
+    p_b2g: f64,
+    in_bad: bool,
+}
+
+impl GilbertElliott {
+    /// Creates the chain in the Good state.
+    pub fn new(p_good: f64, p_bad: f64, p_g2b: f64, p_b2g: f64) -> Self {
+        GilbertElliott {
+            p_good: p_good.clamp(0.0, 1.0),
+            p_bad: p_bad.clamp(0.0, 1.0),
+            p_g2b: p_g2b.clamp(0.0, 1.0),
+            p_b2g: p_b2g.clamp(0.0, 1.0),
+            in_bad: false,
+        }
+    }
+
+    /// A convenience construction from a target long-run loss rate and a
+    /// mean burst length (in packets): Bad drops everything, Good drops
+    /// nothing, stationary Bad occupancy = `loss_rate`.
+    pub fn from_rate_and_burst(loss_rate: f64, mean_burst: f64) -> Self {
+        let loss_rate = loss_rate.clamp(1e-9, 0.999);
+        let mean_burst = mean_burst.max(1.0);
+        let p_b2g = 1.0 / mean_burst;
+        // Stationary bad fraction = p_g2b / (p_g2b + p_b2g) = loss_rate.
+        let p_g2b = loss_rate * p_b2g / (1.0 - loss_rate);
+        GilbertElliott::new(0.0, 1.0, p_g2b, p_b2g)
+    }
+
+    /// True while the chain sits in the Bad (bursty-loss) state.
+    pub fn in_bad_state(&self) -> bool {
+        self.in_bad
+    }
+}
+
+impl LossModel for GilbertElliott {
+    fn should_drop(&mut self, _now: SimTime, rng: &mut SimRng) -> bool {
+        // Transition first, then emit: a per-packet-step chain.
+        let flip = if self.in_bad { rng.chance(self.p_b2g) } else { rng.chance(self.p_g2b) };
+        if flip {
+            self.in_bad = !self.in_bad;
+        }
+        let p = if self.in_bad { self.p_bad } else { self.p_good };
+        rng.chance(p)
+    }
+
+    fn label(&self) -> &'static str {
+        "gilbert-elliott"
+    }
+}
+
+/// Drops exactly every `period`-th transmission (1-indexed): packet numbers
+/// `period, 2·period, …`. Deterministic scaffolding for unit tests.
+#[derive(Debug, Clone)]
+pub struct Deterministic {
+    period: u64,
+    count: u64,
+}
+
+impl Deterministic {
+    /// Drops every `period`-th packet; `period == 0` never drops.
+    pub fn every(period: u64) -> Self {
+        Deterministic { period, count: 0 }
+    }
+}
+
+impl LossModel for Deterministic {
+    fn should_drop(&mut self, _now: SimTime, _rng: &mut SimRng) -> bool {
+        if self.period == 0 {
+            return false;
+        }
+        self.count += 1;
+        self.count % self.period == 0
+    }
+    fn label(&self) -> &'static str {
+        "deterministic"
+    }
+}
+
+/// A **time-based** Gilbert–Elliott process: the chain alternates between a
+/// Good and a Bad state whose *durations are drawn in seconds* (exponential
+/// with the configured means), independent of the packet rate. Every packet
+/// sent while the chain is Bad is lost.
+///
+/// This is the loss process that produces realistic *exponential backoff*:
+/// a bad episode lasting longer than the RTO kills the timeout
+/// retransmissions too, chaining T1/T2/… sequences exactly as Table II's
+/// backoff columns show. The per-packet [`GilbertElliott`] cannot model
+/// this: packets are its clock, so during a timeout (one probe per RTO) the
+/// chain barely advances — a bad state effectively *freezes* across
+/// arbitrarily long wall-clock gaps, producing pathological 64×-capped
+/// timeout sequences instead of episode-sized ones (demonstrated in the
+/// `burst_loss_backoff` integration tests).
+#[derive(Debug, Clone)]
+pub struct TimedGilbertElliott {
+    mean_good_secs: f64,
+    mean_bad_secs: f64,
+    in_bad: bool,
+    /// When the current state expires (lazily extended as time passes).
+    next_flip: SimTime,
+    initialized: bool,
+}
+
+impl TimedGilbertElliott {
+    /// A chain with the given mean state durations (seconds), starting Good.
+    pub fn new(mean_good_secs: f64, mean_bad_secs: f64) -> Self {
+        assert!(
+            mean_good_secs > 0.0 && mean_bad_secs > 0.0,
+            "state durations must be positive"
+        );
+        TimedGilbertElliott {
+            mean_good_secs,
+            mean_bad_secs,
+            in_bad: false,
+            next_flip: SimTime::ZERO,
+            initialized: false,
+        }
+    }
+
+    /// Convenience: pick the Good-state mean so the long-run fraction of
+    /// time spent Bad equals `loss_rate`, with Bad episodes of
+    /// `mean_bad_secs` each.
+    pub fn from_rate_and_burst_secs(loss_rate: f64, mean_bad_secs: f64) -> Self {
+        let loss_rate = loss_rate.clamp(1e-6, 0.95);
+        let mean_good = mean_bad_secs * (1.0 - loss_rate) / loss_rate;
+        TimedGilbertElliott::new(mean_good, mean_bad_secs)
+    }
+
+    fn draw_duration(&self, mean: f64, rng: &mut SimRng) -> f64 {
+        -mean * rng.open01().ln()
+    }
+
+    fn advance_to(&mut self, now: SimTime, rng: &mut SimRng) {
+        if !self.initialized {
+            self.initialized = true;
+            let d = self.draw_duration(self.mean_good_secs, rng);
+            self.next_flip = now + crate::time::SimDuration::from_secs_f64(d);
+        }
+        while now >= self.next_flip {
+            self.in_bad = !self.in_bad;
+            let mean = if self.in_bad { self.mean_bad_secs } else { self.mean_good_secs };
+            let d = self.draw_duration(mean, rng);
+            self.next_flip = self.next_flip + crate::time::SimDuration::from_secs_f64(d);
+        }
+    }
+
+    /// True while the chain sits in the Bad state (after advancing to `now`).
+    pub fn is_bad_at(&mut self, now: SimTime, rng: &mut SimRng) -> bool {
+        self.advance_to(now, rng);
+        self.in_bad
+    }
+}
+
+impl LossModel for TimedGilbertElliott {
+    fn should_drop(&mut self, now: SimTime, rng: &mut SimRng) -> bool {
+        self.advance_to(now, rng);
+        self.in_bad
+    }
+
+    fn label(&self) -> &'static str {
+        "timed-gilbert-elliott"
+    }
+}
+
+/// A union of loss processes: a packet is dropped if **any** component
+/// drops it. Used by the testbed to mix isolated losses (which produce
+/// triple-duplicate recoveries) with timed burst losses (which produce
+/// timeout sequences), calibrated independently against a Table II row's
+/// TD and TO counts.
+pub struct Mixed {
+    components: Vec<Box<dyn LossModel + Send>>,
+}
+
+impl std::fmt::Debug for Mixed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mixed").field("components", &self.components.len()).finish()
+    }
+}
+
+impl Mixed {
+    /// Combines the given processes.
+    pub fn new(components: Vec<Box<dyn LossModel + Send>>) -> Self {
+        Mixed { components }
+    }
+}
+
+impl LossModel for Mixed {
+    fn should_drop(&mut self, now: SimTime, rng: &mut SimRng) -> bool {
+        // Every component must observe every packet (stateful processes
+        // advance on each call), so no short-circuiting.
+        let mut drop = false;
+        for c in &mut self.components {
+            drop |= c.should_drop(now, rng);
+        }
+        drop
+    }
+
+    fn on_round_boundary(&mut self) {
+        for c in &mut self.components {
+            c.on_round_boundary();
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "mixed"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(1234)
+    }
+
+    fn measure(model: &mut dyn LossModel, n: u64, round_len: u64) -> f64 {
+        let mut r = rng();
+        let mut drops = 0u64;
+        for i in 0..n {
+            if round_len > 0 && i % round_len == 0 {
+                model.on_round_boundary();
+            }
+            // One packet per (simulated) millisecond.
+            let now = SimTime::from_nanos(i * 1_000_000);
+            if model.should_drop(now, &mut r) {
+                drops += 1;
+            }
+        }
+        drops as f64 / n as f64
+    }
+
+    #[test]
+    fn no_loss_never_drops() {
+        assert_eq!(measure(&mut NoLoss, 10_000, 0), 0.0);
+    }
+
+    #[test]
+    fn bernoulli_rate_matches_p() {
+        let mut m = Bernoulli::new(0.07);
+        let rate = measure(&mut m, 300_000, 0);
+        assert!((rate - 0.07).abs() < 0.005, "rate={rate}");
+        assert_eq!(m.p(), 0.07);
+    }
+
+    #[test]
+    fn bernoulli_clamps() {
+        assert_eq!(Bernoulli::new(7.0).p(), 1.0);
+        assert_eq!(Bernoulli::new(-3.0).p(), 0.0);
+    }
+
+    #[test]
+    fn round_correlated_dooms_rest_of_round() {
+        let mut m = RoundCorrelated::new(1.0); // first packet always lost
+        let mut r = rng();
+        let t = SimTime::ZERO;
+        m.on_round_boundary();
+        assert!(m.should_drop(t, &mut r));
+        // Everything until the next boundary is lost.
+        for _ in 0..10 {
+            assert!(m.should_drop(t, &mut r));
+        }
+        m.on_round_boundary();
+        // New round: p=1 drops again immediately, but the *state* reset.
+        let mut m2 = RoundCorrelated::new(0.0);
+        m2.on_round_boundary();
+        let mut r2 = rng();
+        assert!(!m2.should_drop(t, &mut r2));
+    }
+
+    #[test]
+    fn round_correlated_first_loss_rate_is_p() {
+        // Measure the *first-loss* probability: fraction of rounds whose
+        // first packet survives k-1 then dies, aggregated as: the per-round
+        // "any loss" rate should be 1-(1-p)^w.
+        let p = 0.02;
+        let w = 10u64;
+        let mut m = RoundCorrelated::new(p);
+        let mut r = rng();
+        let rounds = 100_000;
+        let mut rounds_with_loss = 0;
+        for _ in 0..rounds {
+            m.on_round_boundary();
+            let mut lost = false;
+            for _ in 0..w {
+                if m.should_drop(SimTime::ZERO, &mut r) {
+                    lost = true;
+                }
+            }
+            if lost {
+                rounds_with_loss += 1;
+            }
+        }
+        let measured = rounds_with_loss as f64 / rounds as f64;
+        let expect = 1.0 - (1.0f64 - p).powi(w as i32);
+        assert!((measured - expect).abs() < 0.005, "measured={measured} expect={expect}");
+    }
+
+    #[test]
+    fn gilbert_elliott_long_run_rate() {
+        let mut m = GilbertElliott::from_rate_and_burst(0.05, 5.0);
+        let rate = measure(&mut m, 500_000, 0);
+        assert!((rate - 0.05).abs() < 0.01, "rate={rate}");
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_are_bursty() {
+        // Mean run length of consecutive drops should approach the
+        // configured burst length, far above the Bernoulli value of
+        // 1/(1-p) ≈ 1.05.
+        let mut m = GilbertElliott::from_rate_and_burst(0.05, 8.0);
+        let mut r = rng();
+        let mut bursts = 0u64;
+        let mut dropped = 0u64;
+        let mut in_burst = false;
+        for _ in 0..500_000 {
+            if m.should_drop(SimTime::ZERO, &mut r) {
+                dropped += 1;
+                if !in_burst {
+                    bursts += 1;
+                    in_burst = true;
+                }
+            } else {
+                in_burst = false;
+            }
+        }
+        let mean_burst = dropped as f64 / bursts as f64;
+        assert!(mean_burst > 4.0, "mean burst {mean_burst} not bursty");
+    }
+
+    #[test]
+    fn deterministic_period() {
+        let mut m = Deterministic::every(3);
+        let mut r = rng();
+        let pattern: Vec<bool> =
+            (0..9).map(|_| m.should_drop(SimTime::ZERO, &mut r)).collect();
+        assert_eq!(
+            pattern,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
+        let mut never = Deterministic::every(0);
+        assert!(!(0..100).any(|_| never.should_drop(SimTime::ZERO, &mut r)));
+    }
+
+    #[test]
+    fn timed_ge_long_run_fraction() {
+        let mut m = TimedGilbertElliott::from_rate_and_burst_secs(0.1, 2.0);
+        let mut r = rng();
+        let mut drops = 0u64;
+        let n = 200_000u64;
+        for i in 0..n {
+            // Sample every 10 ms over 2000 s of simulated time.
+            let now = SimTime::from_nanos(i * 10_000_000);
+            drops += m.should_drop(now, &mut r) as u64;
+        }
+        let frac = drops as f64 / n as f64;
+        assert!((frac - 0.1).abs() < 0.03, "bad-time fraction {frac}");
+    }
+
+    #[test]
+    fn timed_ge_episodes_persist_in_time() {
+        // Within a bad episode, every probe drops — including probes spaced
+        // like RTO retransmissions (seconds apart, if the episode lasts).
+        let mut m = TimedGilbertElliott::from_rate_and_burst_secs(0.3, 50.0);
+        let mut r = rng();
+        // March forward until the chain goes bad.
+        let mut t_ns = 0u64;
+        while !m.should_drop(SimTime::from_nanos(t_ns), &mut r) {
+            t_ns += 100_000_000; // 100 ms steps
+            assert!(t_ns < 20_000_000_000_000, "never went bad");
+        }
+        // A 50 s mean episode almost surely covers the next 100 ms.
+        assert!(m.should_drop(SimTime::from_nanos(t_ns + 100_000_000), &mut r));
+    }
+
+    #[test]
+    fn timed_ge_time_ordering_required_and_deterministic() {
+        let mut a = TimedGilbertElliott::new(1.0, 1.0);
+        let mut b = TimedGilbertElliott::new(1.0, 1.0);
+        let mut ra = SimRng::seed_from_u64(5);
+        let mut rb = SimRng::seed_from_u64(5);
+        for i in 0..10_000u64 {
+            let now = SimTime::from_nanos(i * 5_000_000);
+            assert_eq!(a.should_drop(now, &mut ra), b.should_drop(now, &mut rb));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn timed_ge_rejects_zero_durations() {
+        let _ = TimedGilbertElliott::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn mixed_unions_components() {
+        let mut m = Mixed::new(vec![
+            Box::new(Deterministic::every(2)),
+            Box::new(Deterministic::every(3)),
+        ]);
+        let mut r = rng();
+        // Packets 1..=6: component A drops 2,4,6; B drops 3,6.
+        let drops: Vec<bool> =
+            (0..6).map(|_| m.should_drop(SimTime::ZERO, &mut r)).collect();
+        assert_eq!(drops, vec![false, true, true, true, false, true]);
+    }
+
+    #[test]
+    fn mixed_forwards_round_boundaries() {
+        let mut m = Mixed::new(vec![Box::new(RoundCorrelated::new(1.0))]);
+        let mut r = rng();
+        assert!(m.should_drop(SimTime::ZERO, &mut r));
+        assert!(m.should_drop(SimTime::ZERO, &mut r)); // rest of round doomed
+        m.on_round_boundary();
+        let mut clean = Mixed::new(vec![Box::new(RoundCorrelated::new(0.0))]);
+        clean.on_round_boundary();
+        assert!(!clean.should_drop(SimTime::ZERO, &mut r));
+    }
+
+    #[test]
+    fn empty_mixed_never_drops() {
+        let mut m = Mixed::new(vec![]);
+        let mut r = rng();
+        assert!(!(0..100).any(|_| m.should_drop(SimTime::ZERO, &mut r)));
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            NoLoss.label(),
+            Bernoulli::new(0.1).label(),
+            RoundCorrelated::new(0.1).label(),
+            GilbertElliott::new(0.0, 1.0, 0.1, 0.2).label(),
+            Deterministic::every(2).label(),
+            TimedGilbertElliott::new(1.0, 1.0).label(),
+        ];
+        let unique: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(unique.len(), labels.len());
+    }
+}

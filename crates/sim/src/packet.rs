@@ -1,0 +1,121 @@
+//! Wire units: data segments and cumulative ACKs.
+//!
+//! The simulator works in MSS-sized packets, as the paper's model does
+//! ("we measure send rate in terms of packets per unit of time"). Sequence
+//! numbers count whole segments.
+
+use serde::{Deserialize, Serialize};
+
+/// A segment sequence number (in packets, not bytes).
+pub type Seq = u64;
+
+/// A data segment in flight from sender to receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Sequence number of this segment.
+    pub seq: Seq,
+    /// True when this transmission is a retransmission of `seq`.
+    pub retransmit: bool,
+}
+
+/// Maximum SACK ranges carried per ACK (RFC 2018 fits 3–4 in the TCP
+/// option space; we use 3).
+pub const MAX_SACK_BLOCKS: usize = 3;
+
+/// Up to [`MAX_SACK_BLOCKS`] selective-acknowledgment ranges, each
+/// half-open `[start, end)` in packet sequence numbers, most recently
+/// updated first (RFC 2018's ordering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SackBlocks {
+    blocks: [(Seq, Seq); MAX_SACK_BLOCKS],
+    len: u8,
+}
+
+impl SackBlocks {
+    /// No SACK information.
+    pub const EMPTY: SackBlocks = SackBlocks { blocks: [(0, 0); MAX_SACK_BLOCKS], len: 0 };
+
+    /// Builds from an iterator of ranges (first = most recent); extra
+    /// ranges beyond the capacity are dropped.
+    pub fn from_ranges<I: IntoIterator<Item = (Seq, Seq)>>(ranges: I) -> SackBlocks {
+        let mut out = SackBlocks::EMPTY;
+        for (start, end) in ranges {
+            if (out.len as usize) == MAX_SACK_BLOCKS {
+                break;
+            }
+            debug_assert!(start < end, "SACK range must be non-empty");
+            out.blocks[out.len as usize] = (start, end);
+            out.len += 1;
+        }
+        out
+    }
+
+    /// The carried ranges, most recent first.
+    pub fn ranges(&self) -> &[(Seq, Seq)] {
+        &self.blocks[..self.len as usize]
+    }
+
+    /// True when no ranges are carried.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// A cumulative acknowledgment in flight from receiver to sender.
+///
+/// `ack` is the *next expected* sequence number: an ACK with `ack == n`
+/// acknowledges every segment with `seq < n`. Repeated ACKs carrying the
+/// same `ack` are the duplicate ACKs that trigger fast retransmit. `sack`
+/// optionally reports out-of-order data already held by the receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ack {
+    /// Next sequence number the receiver expects.
+    pub ack: Seq,
+    /// Selective-acknowledgment ranges (empty unless the receiver has SACK
+    /// enabled and holds out-of-order data).
+    pub sack: SackBlocks,
+}
+
+impl Ack {
+    /// A plain cumulative ACK with no SACK information.
+    pub fn plain(ack: Seq) -> Ack {
+        Ack { ack, sack: SackBlocks::EMPTY }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_equality_includes_retransmit_flag() {
+        let a = Segment { seq: 5, retransmit: false };
+        let b = Segment { seq: 5, retransmit: true };
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ack_semantics() {
+        let ack = Ack::plain(10);
+        // ack=10 acknowledges 0..=9.
+        assert!(ack.ack > 9);
+        assert!(ack.sack.is_empty());
+    }
+
+    #[test]
+    fn sack_blocks_capacity_and_order() {
+        let blocks =
+            SackBlocks::from_ranges([(10, 12), (5, 7), (20, 21), (30, 40), (50, 60)]);
+        assert_eq!(blocks.ranges(), &[(10, 12), (5, 7), (20, 21)], "capped at 3, order kept");
+        assert!(!blocks.is_empty());
+        assert!(SackBlocks::EMPTY.is_empty());
+        assert_eq!(SackBlocks::from_ranges([]), SackBlocks::EMPTY);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = Segment { seq: 42, retransmit: true };
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(serde_json::from_str::<Segment>(&json).unwrap(), s);
+    }
+}

@@ -1,0 +1,182 @@
+//! Bottleneck queue admission policies.
+//!
+//! Used by the optional bottleneck element of a [`crate::link::Path`]. The
+//! paper's Fig. 11 scenario — a modem line with "a buffer devoted exclusively
+//! to this connection" — needs a drop-tail queue; RED (\[4\] in the paper's
+//! references) is included as an ablation: it keeps the standing queue small,
+//! which weakens the RTT–window correlation that breaks the model on modem
+//! paths.
+
+use crate::rng::SimRng;
+
+/// Decides whether an arriving packet is admitted to the bottleneck queue.
+pub trait QueuePolicy {
+    /// `backlog` is the queue occupancy in packets (excluding the arriving
+    /// packet). Returns `true` to drop the arrival.
+    fn should_drop(&mut self, backlog: f64, rng: &mut SimRng) -> bool;
+
+    /// Human-readable label for reports.
+    fn label(&self) -> &'static str;
+}
+
+/// Classic drop-tail: admit until the buffer is full.
+#[derive(Debug, Clone)]
+pub struct DropTail {
+    capacity: f64,
+}
+
+impl DropTail {
+    /// A drop-tail queue holding up to `capacity` packets.
+    pub fn new(capacity: u32) -> Self {
+        DropTail { capacity: f64::from(capacity) }
+    }
+}
+
+impl QueuePolicy for DropTail {
+    fn should_drop(&mut self, backlog: f64, _rng: &mut SimRng) -> bool {
+        backlog >= self.capacity
+    }
+    fn label(&self) -> &'static str {
+        "drop-tail"
+    }
+}
+
+/// Random Early Detection (Floyd & Jacobson): probabilistically drop as the
+/// exponentially averaged queue grows between `min_th` and `max_th`.
+#[derive(Debug, Clone)]
+pub struct Red {
+    min_th: f64,
+    max_th: f64,
+    max_p: f64,
+    weight: f64,
+    avg: f64,
+    /// Packets since the last drop, for the 1/(1 − count·p_b) spreading of
+    /// the original RED paper.
+    count_since_drop: u64,
+    hard_capacity: f64,
+}
+
+impl Red {
+    /// Creates a RED queue. `min_th`/`max_th` are thresholds in packets,
+    /// `max_p` the drop probability at `max_th`, `weight` the EWMA weight
+    /// (the paper's w_q, typically 0.002), and `hard_capacity` the physical
+    /// buffer bound.
+    pub fn new(min_th: f64, max_th: f64, max_p: f64, weight: f64, hard_capacity: u32) -> Self {
+        assert!(min_th >= 0.0 && max_th > min_th, "thresholds must satisfy 0 <= min < max");
+        Red {
+            min_th,
+            max_th,
+            max_p: max_p.clamp(0.0, 1.0),
+            weight: weight.clamp(1e-6, 1.0),
+            avg: 0.0,
+            count_since_drop: 0,
+            hard_capacity: f64::from(hard_capacity),
+        }
+    }
+
+    /// The current exponentially weighted average queue length.
+    pub fn average_queue(&self) -> f64 {
+        self.avg
+    }
+}
+
+impl QueuePolicy for Red {
+    fn should_drop(&mut self, backlog: f64, rng: &mut SimRng) -> bool {
+        // Physical overflow always drops.
+        if backlog >= self.hard_capacity {
+            self.count_since_drop = 0;
+            return true;
+        }
+        self.avg = (1.0 - self.weight) * self.avg + self.weight * backlog;
+        if self.avg < self.min_th {
+            self.count_since_drop += 1;
+            return false;
+        }
+        if self.avg >= self.max_th {
+            self.count_since_drop = 0;
+            return true;
+        }
+        let p_b = self.max_p * (self.avg - self.min_th) / (self.max_th - self.min_th);
+        let denom = 1.0 - self.count_since_drop as f64 * p_b;
+        let p_a = if denom <= 0.0 { 1.0 } else { (p_b / denom).min(1.0) };
+        if rng.chance(p_a) {
+            self.count_since_drop = 0;
+            true
+        } else {
+            self.count_since_drop += 1;
+            false
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "red"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn drop_tail_boundary() {
+        let mut q = DropTail::new(5);
+        let mut r = rng();
+        assert!(!q.should_drop(0.0, &mut r));
+        assert!(!q.should_drop(4.9, &mut r));
+        assert!(q.should_drop(5.0, &mut r));
+        assert!(q.should_drop(100.0, &mut r));
+    }
+
+    #[test]
+    fn red_never_drops_below_min_threshold() {
+        let mut q = Red::new(5.0, 15.0, 0.1, 0.2, 100);
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(!q.should_drop(1.0, &mut r));
+        }
+    }
+
+    #[test]
+    fn red_always_drops_above_max_threshold() {
+        let mut q = Red::new(5.0, 15.0, 0.1, 1.0, 100);
+        let mut r = rng();
+        // With weight 1.0 the average tracks instantaneous backlog exactly.
+        assert!(q.should_drop(20.0, &mut r));
+    }
+
+    #[test]
+    fn red_drops_probabilistically_in_between() {
+        let mut q = Red::new(5.0, 15.0, 0.5, 1.0, 100);
+        let mut r = rng();
+        let drops = (0..2000).filter(|_| q.should_drop(10.0, &mut r)).count();
+        // p_b = 0.25 at the midpoint; spreading raises the effective rate.
+        assert!(drops > 100 && drops < 1900, "drops={drops}");
+    }
+
+    #[test]
+    fn red_hard_capacity_is_absolute() {
+        let mut q = Red::new(5.0, 15.0, 0.0, 0.002, 30);
+        let mut r = rng();
+        assert!(q.should_drop(30.0, &mut r));
+    }
+
+    #[test]
+    fn red_average_tracks_backlog() {
+        let mut q = Red::new(5.0, 50.0, 0.1, 0.5, 100);
+        let mut r = rng();
+        for _ in 0..50 {
+            let _ = q.should_drop(10.0, &mut r);
+        }
+        assert!((q.average_queue() - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "thresholds")]
+    fn red_rejects_bad_thresholds() {
+        let _ = Red::new(10.0, 5.0, 0.1, 0.002, 100);
+    }
+}

@@ -1,0 +1,305 @@
+//! The TCP receiver: cumulative ACKs, delayed ACKs, duplicate ACKs.
+//!
+//! Matches the behaviour the paper assumes: one cumulative ACK per `b`
+//! consecutive in-order packets (delayed ACK, `b = 2` typically), a
+//! standalone delayed-ACK timer so an odd final segment is still
+//! acknowledged, and an *immediate* duplicate ACK for every out-of-order
+//! segment ("these ACK's are not delayed", §II-B).
+
+use crate::packet::{Ack, SackBlocks, Segment, Seq};
+use crate::time::{SimDuration, SimTime};
+use std::collections::BTreeSet;
+
+/// What the connection layer should do with the delayed-ACK timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelAckTimer {
+    /// Leave as is.
+    Keep,
+    /// Arm (or re-arm) to fire at the instant.
+    Arm(SimTime),
+    /// Cancel any pending firing.
+    Cancel,
+}
+
+/// The receiver's reaction to an input.
+#[derive(Debug, Clone)]
+pub struct ReceiverOutput {
+    /// ACKs to send, in order.
+    pub acks: Vec<Ack>,
+    /// Delayed-ACK timer instruction.
+    pub timer: DelAckTimer,
+}
+
+/// Receiver tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct ReceiverConfig {
+    /// ACK every `b`-th in-order segment (1 = ACK everything, 2 = delayed
+    /// ACKs as in most stacks).
+    pub ack_every: u32,
+    /// Standalone delayed-ACK timer (RFC: at most 500 ms; common: 200 ms).
+    pub delack_timeout: SimDuration,
+    /// Attach RFC 2018 SACK blocks to ACKs (needed by SACK senders).
+    pub sack: bool,
+}
+
+impl Default for ReceiverConfig {
+    fn default() -> Self {
+        ReceiverConfig {
+            ack_every: 2,
+            delack_timeout: SimDuration::from_millis(200),
+            sack: false,
+        }
+    }
+}
+
+/// TCP receiver state.
+#[derive(Debug)]
+pub struct Receiver {
+    config: ReceiverConfig,
+    /// Next expected in-order sequence number.
+    rcv_nxt: Seq,
+    /// Out-of-order segments held for reassembly.
+    ooo: BTreeSet<Seq>,
+    /// In-order segments received since the last ACK went out.
+    unacked: u32,
+    /// Most recently buffered out-of-order sequence (for SACK block order).
+    last_ooo: Option<Seq>,
+    /// Distinct data packets received (in-order or buffered) — the paper's
+    /// §V "throughput" numerator.
+    distinct_received: u64,
+}
+
+impl Receiver {
+    /// A fresh receiver expecting sequence 0.
+    pub fn new(config: ReceiverConfig) -> Self {
+        Receiver {
+            config,
+            rcv_nxt: 0,
+            ooo: BTreeSet::new(),
+            unacked: 0,
+            last_ooo: None,
+            distinct_received: 0,
+        }
+    }
+
+    /// Next expected sequence number.
+    pub fn rcv_nxt(&self) -> Seq {
+        self.rcv_nxt
+    }
+
+    /// Distinct data packets that have arrived (§V throughput counter).
+    pub fn distinct_received(&self) -> u64 {
+        self.distinct_received
+    }
+
+    /// The cumulative ACK for the current state, with SACK blocks when
+    /// enabled: contiguous out-of-order ranges, the one holding the most
+    /// recent arrival first (RFC 2018's ordering).
+    fn make_ack(&self) -> Ack {
+        if !self.config.sack || self.ooo.is_empty() {
+            return Ack::plain(self.rcv_nxt);
+        }
+        // Coalesce the buffered sequences into ranges.
+        let mut ranges: Vec<(Seq, Seq)> = Vec::new();
+        for &seq in &self.ooo {
+            match ranges.last_mut() {
+                Some((_, end)) if *end == seq => *end = seq + 1,
+                _ => ranges.push((seq, seq + 1)),
+            }
+        }
+        // Most-recent range first.
+        if let Some(last) = self.last_ooo {
+            if let Some(pos) = ranges.iter().position(|&(s, e)| (s..e).contains(&last)) {
+                let recent = ranges.remove(pos);
+                ranges.insert(0, recent);
+            }
+        }
+        Ack { ack: self.rcv_nxt, sack: SackBlocks::from_ranges(ranges) }
+    }
+
+    /// Handles an arriving data segment.
+    pub fn on_segment(&mut self, now: SimTime, seg: Segment) -> ReceiverOutput {
+        if seg.seq == self.rcv_nxt {
+            // In-order: advance, absorb any contiguous buffered segments.
+            self.distinct_received += 1;
+            self.rcv_nxt += 1;
+            while self.ooo.remove(&self.rcv_nxt) {
+                self.rcv_nxt += 1;
+            }
+            self.unacked += 1;
+            if self.unacked >= self.config.ack_every {
+                self.unacked = 0;
+                ReceiverOutput { acks: vec![self.make_ack()], timer: DelAckTimer::Cancel }
+            } else {
+                ReceiverOutput {
+                    acks: vec![],
+                    timer: DelAckTimer::Arm(now + self.config.delack_timeout),
+                }
+            }
+        } else if seg.seq > self.rcv_nxt {
+            // A gap: buffer and emit an immediate duplicate ACK.
+            if self.ooo.insert(seg.seq) {
+                self.distinct_received += 1;
+            }
+            self.last_ooo = Some(seg.seq);
+            self.unacked = 0;
+            ReceiverOutput { acks: vec![self.make_ack()], timer: DelAckTimer::Cancel }
+        } else {
+            // Below rcv_nxt: a spurious retransmission; re-ACK immediately
+            // so the sender can resynchronize.
+            self.unacked = 0;
+            ReceiverOutput { acks: vec![self.make_ack()], timer: DelAckTimer::Cancel }
+        }
+    }
+
+    /// The delayed-ACK timer fired: flush the pending acknowledgment.
+    pub fn on_delack_timer(&mut self) -> ReceiverOutput {
+        if self.unacked > 0 {
+            self.unacked = 0;
+            ReceiverOutput { acks: vec![self.make_ack()], timer: DelAckTimer::Keep }
+        } else {
+            ReceiverOutput { acks: vec![], timer: DelAckTimer::Keep }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn seg(seq: Seq) -> Segment {
+        Segment { seq, retransmit: false }
+    }
+
+    fn rx() -> Receiver {
+        Receiver::new(ReceiverConfig::default())
+    }
+
+    #[test]
+    fn delayed_ack_every_second_segment() {
+        let mut r = rx();
+        let out = r.on_segment(t(0), seg(0));
+        assert!(out.acks.is_empty(), "first segment held for delack");
+        assert!(matches!(out.timer, DelAckTimer::Arm(_)));
+        let out = r.on_segment(t(1), seg(1));
+        assert_eq!(out.acks, vec![Ack::plain(2)]);
+        assert_eq!(out.timer, DelAckTimer::Cancel);
+    }
+
+    #[test]
+    fn ack_every_one_acks_immediately() {
+        let config = ReceiverConfig { ack_every: 1, ..ReceiverConfig::default() };
+        let mut r = Receiver::new(config);
+        let out = r.on_segment(t(0), seg(0));
+        assert_eq!(out.acks, vec![Ack::plain(1)]);
+    }
+
+    #[test]
+    fn delack_timer_flushes_odd_segment() {
+        let mut r = rx();
+        r.on_segment(t(0), seg(0));
+        let out = r.on_delack_timer();
+        assert_eq!(out.acks, vec![Ack::plain(1)]);
+        // Timer with nothing pending is a no-op.
+        let out = r.on_delack_timer();
+        assert!(out.acks.is_empty());
+    }
+
+    #[test]
+    fn out_of_order_triggers_immediate_dupack() {
+        let mut r = rx();
+        r.on_segment(t(0), seg(0));
+        r.on_segment(t(1), seg(1)); // rcv_nxt = 2
+        let out = r.on_segment(t(2), seg(3)); // gap at 2
+        assert_eq!(out.acks, vec![Ack::plain(2)]);
+        let out = r.on_segment(t(3), seg(4));
+        assert_eq!(out.acks, vec![Ack::plain(2)], "every OOO segment dupacks");
+    }
+
+    #[test]
+    fn gap_fill_jumps_cumulative_ack() {
+        let mut r = rx();
+        r.on_segment(t(0), seg(0));
+        r.on_segment(t(1), seg(1));
+        r.on_segment(t(2), seg(3));
+        r.on_segment(t(3), seg(4));
+        // Filling the hole at 2 advances past everything buffered.
+        let out = r.on_segment(t(4), seg(2));
+        assert_eq!(r.rcv_nxt(), 5);
+        // In-order arrival counts toward delack; with ack_every=2 the count
+        // was reset by the OOO arrivals, so this is the 1st unacked → held.
+        assert!(out.acks.is_empty());
+        assert!(matches!(out.timer, DelAckTimer::Arm(_)));
+    }
+
+    #[test]
+    fn spurious_retransmission_reacked() {
+        let mut r = rx();
+        r.on_segment(t(0), seg(0));
+        r.on_segment(t(1), seg(1));
+        let out = r.on_segment(t(2), seg(0));
+        assert_eq!(out.acks, vec![Ack::plain(2)]);
+    }
+
+    #[test]
+    fn distinct_received_ignores_duplicates() {
+        let mut r = rx();
+        r.on_segment(t(0), seg(0));
+        r.on_segment(t(1), seg(2));
+        r.on_segment(t(2), seg(2)); // duplicate OOO
+        r.on_segment(t(3), seg(0)); // duplicate old
+        assert_eq!(r.distinct_received(), 2);
+    }
+
+    #[test]
+    fn sack_blocks_report_ooo_ranges() {
+        let config = ReceiverConfig { sack: true, ..ReceiverConfig::default() };
+        let mut r = Receiver::new(config);
+        r.on_segment(t(0), seg(0)); // rcv_nxt = 1
+        // Hole at 1; buffer 2,3 and 5.
+        r.on_segment(t(1), seg(2));
+        r.on_segment(t(2), seg(3));
+        let out = r.on_segment(t(3), seg(5));
+        let ack = out.acks[0];
+        assert_eq!(ack.ack, 1);
+        // Most recent range (5..6) first, then (2..4).
+        assert_eq!(ack.sack.ranges(), &[(5, 6), (2, 4)]);
+    }
+
+    #[test]
+    fn sack_disabled_by_default() {
+        let mut r = rx();
+        r.on_segment(t(0), seg(0));
+        let out = r.on_segment(t(1), seg(3));
+        assert!(out.acks[0].sack.is_empty());
+    }
+
+    #[test]
+    fn sack_blocks_clear_after_hole_fills() {
+        let config =
+            ReceiverConfig { sack: true, ack_every: 1, ..ReceiverConfig::default() };
+        let mut r = Receiver::new(config);
+        r.on_segment(t(0), seg(0));
+        r.on_segment(t(1), seg(2)); // hole at 1
+        let out = r.on_segment(t(2), seg(1)); // fills it
+        let ack = out.acks[0];
+        assert_eq!(ack.ack, 3);
+        assert!(ack.sack.is_empty(), "no OOO data left");
+    }
+
+    #[test]
+    fn long_in_order_run_acks_half() {
+        let mut r = rx();
+        let mut acks = 0;
+        for i in 0..100 {
+            acks += r.on_segment(t(i), seg(i)).acks.len();
+        }
+        assert_eq!(acks, 50, "b=2 means one ACK per two segments");
+        assert_eq!(r.rcv_nxt(), 100);
+        assert_eq!(r.distinct_received(), 100);
+    }
+}

@@ -1,0 +1,215 @@
+//! Reno congestion-window dynamics.
+//!
+//! Pure state machine: slow start, congestion avoidance (+1/W per ACK — the
+//! paper's §II growth law), fast retransmit/fast recovery (halve + inflate),
+//! and timeout collapse to one packet. The sender drives it with ACK-level
+//! events; it never touches the clock or the network.
+
+/// Reno congestion-control state.
+#[derive(Debug, Clone)]
+pub struct CongestionControl {
+    cwnd: f64,
+    ssthresh: f64,
+    in_fast_recovery: bool,
+}
+
+/// Floor for the slow-start threshold, in packets (RFC 5681's `max(F/2, 2)`).
+const MIN_SSTHRESH: f64 = 2.0;
+
+impl CongestionControl {
+    /// Starts in slow start with the given initial window (packets) and an
+    /// effectively unlimited threshold.
+    pub fn new(initial_cwnd: f64) -> Self {
+        assert!(initial_cwnd >= 1.0, "initial cwnd must be at least one segment");
+        CongestionControl { cwnd: initial_cwnd, ssthresh: f64::INFINITY, in_fast_recovery: false }
+    }
+
+    /// Integer usable window in packets (≥ 1).
+    pub fn window(&self) -> u64 {
+        (self.cwnd.floor() as u64).max(1)
+    }
+
+    /// Raw floating-point congestion window.
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// Current slow-start threshold.
+    pub fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
+    /// True while in fast recovery (between a triple-duplicate and the next
+    /// new ACK).
+    pub fn in_fast_recovery(&self) -> bool {
+        self.in_fast_recovery
+    }
+
+    /// True while in slow start.
+    pub fn in_slow_start(&self) -> bool {
+        !self.in_fast_recovery && self.cwnd < self.ssthresh
+    }
+
+    /// An ACK advancing `snd_una` arrived. Exits fast recovery (plain Reno
+    /// deflates to `ssthresh` on the first new ACK), or grows the window:
+    /// +1 per ACK in slow start, +1/W per ACK in congestion avoidance.
+    pub fn on_new_ack(&mut self) {
+        if self.in_fast_recovery {
+            self.cwnd = self.ssthresh;
+            self.in_fast_recovery = false;
+        } else if self.cwnd < self.ssthresh {
+            self.cwnd += 1.0;
+        } else {
+            self.cwnd += 1.0 / self.cwnd;
+        }
+    }
+
+    /// The `dupthresh`-th duplicate ACK arrived: fast retransmit. Halves the
+    /// window into `ssthresh` and inflates by the three duplicates
+    /// (RFC 5681 §3.2). `flight` is the amount of outstanding data.
+    pub fn on_fast_retransmit(&mut self, flight: u64) {
+        self.ssthresh = (flight as f64 / 2.0).max(MIN_SSTHRESH);
+        self.cwnd = self.ssthresh + 3.0;
+        self.in_fast_recovery = true;
+    }
+
+    /// A further duplicate ACK during fast recovery inflates the window by
+    /// one segment (a packet has left the network).
+    pub fn on_dupack_in_recovery(&mut self) {
+        debug_assert!(self.in_fast_recovery);
+        self.cwnd += 1.0;
+    }
+
+    /// Retransmission timeout: collapse to one segment and re-enter slow
+    /// start ("following a time-out, the congestion window is reduced to
+    /// one", §II-B). Also the Tahoe reaction to a triple-duplicate (Tahoe
+    /// has no fast recovery: any loss collapses the window).
+    pub fn on_timeout(&mut self, flight: u64) {
+        self.ssthresh = (flight as f64 / 2.0).max(MIN_SSTHRESH);
+        self.cwnd = 1.0;
+        self.in_fast_recovery = false;
+    }
+
+    /// SACK-style recovery entry: halve without the +3 inflation (the SACK
+    /// pipe algorithm regulates transmissions instead of window inflation).
+    pub fn on_sack_retransmit(&mut self, flight: u64) {
+        self.ssthresh = (flight as f64 / 2.0).max(MIN_SSTHRESH);
+        self.cwnd = self.ssthresh;
+        self.in_fast_recovery = true;
+    }
+
+    /// Explicit recovery exit for NewReno/SACK (on the full ACK covering
+    /// `recover`): deflate to the slow-start threshold.
+    pub fn exit_recovery(&mut self) {
+        self.cwnd = self.ssthresh;
+        self.in_fast_recovery = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_in_slow_start() {
+        let cc = CongestionControl::new(1.0);
+        assert!(cc.in_slow_start());
+        assert_eq!(cc.window(), 1);
+    }
+
+    #[test]
+    fn slow_start_doubles_per_window() {
+        let mut cc = CongestionControl::new(1.0);
+        // Each ACK adds a full segment: after W ACKs the window has doubled.
+        cc.on_new_ack();
+        assert_eq!(cc.window(), 2);
+        cc.on_new_ack();
+        cc.on_new_ack();
+        assert_eq!(cc.window(), 4);
+    }
+
+    #[test]
+    fn congestion_avoidance_grows_one_per_window() {
+        let mut cc = CongestionControl::new(10.0);
+        // Force CA by setting a low threshold via a timeout + regrowth.
+        cc.on_timeout(10); // ssthresh = 5, cwnd = 1
+        for _ in 0..4 {
+            cc.on_new_ack(); // slow start to 5
+        }
+        assert!(!cc.in_slow_start());
+        let w0 = cc.cwnd();
+        // W ACKs in CA should add ~1 segment total.
+        let w = cc.window();
+        for _ in 0..w {
+            cc.on_new_ack();
+        }
+        let grown = cc.cwnd() - w0;
+        assert!((grown - 1.0).abs() < 0.2, "grew {grown} per window");
+    }
+
+    #[test]
+    fn fast_retransmit_halves_and_inflates() {
+        let mut cc = CongestionControl::new(1.0);
+        for _ in 0..19 {
+            cc.on_new_ack();
+        }
+        assert_eq!(cc.window(), 20);
+        cc.on_fast_retransmit(20);
+        assert!(cc.in_fast_recovery());
+        assert_eq!(cc.ssthresh(), 10.0);
+        assert_eq!(cc.window(), 13); // ssthresh + 3 dupacks
+        cc.on_dupack_in_recovery();
+        assert_eq!(cc.window(), 14);
+        cc.on_new_ack(); // deflate
+        assert!(!cc.in_fast_recovery());
+        assert_eq!(cc.window(), 10);
+    }
+
+    #[test]
+    fn timeout_collapses_to_one() {
+        let mut cc = CongestionControl::new(1.0);
+        for _ in 0..15 {
+            cc.on_new_ack();
+        }
+        cc.on_timeout(16);
+        assert_eq!(cc.window(), 1);
+        assert_eq!(cc.ssthresh(), 8.0);
+        assert!(cc.in_slow_start());
+    }
+
+    #[test]
+    fn ssthresh_floor_is_two() {
+        let mut cc = CongestionControl::new(1.0);
+        cc.on_timeout(1);
+        assert_eq!(cc.ssthresh(), 2.0);
+        cc.on_fast_retransmit(2);
+        assert_eq!(cc.ssthresh(), 2.0);
+    }
+
+    #[test]
+    fn window_never_below_one() {
+        let mut cc = CongestionControl::new(1.0);
+        cc.on_timeout(0);
+        assert_eq!(cc.window(), 1);
+    }
+
+    #[test]
+    fn sack_entry_halves_without_inflation() {
+        let mut cc = CongestionControl::new(1.0);
+        for _ in 0..19 {
+            cc.on_new_ack();
+        }
+        cc.on_sack_retransmit(20);
+        assert!(cc.in_fast_recovery());
+        assert_eq!(cc.window(), 10, "no +3 inflation under SACK");
+        cc.exit_recovery();
+        assert!(!cc.in_fast_recovery());
+        assert_eq!(cc.window(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_initial_cwnd_rejected() {
+        let _ = CongestionControl::new(0.0);
+    }
+}

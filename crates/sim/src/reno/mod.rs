@@ -1,0 +1,10 @@
+//! TCP Reno sender-side machinery: congestion control, timeout estimation,
+//! and the sans-I/O sender state machine.
+
+pub mod cwnd;
+pub mod rto;
+pub mod sender;
+
+pub use cwnd::CongestionControl;
+pub use rto::{RtoConfig, RtoEstimator};
+pub use sender::{Sender, SenderConfig, SenderOutput, TimerCmd};

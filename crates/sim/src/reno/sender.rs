@@ -1,0 +1,795 @@
+//! The TCP Reno sender state machine (sans-I/O).
+//!
+//! The sender never touches the event queue or the paths: each input event
+//! (`on_start`, `on_ack`, `on_rto_fired`) returns a [`SenderOutput`] listing
+//! the segments to transmit and what to do with the retransmission timer.
+//! The connection layer turns those into scheduled events. This keeps the
+//! protocol logic purely functional over its own state and unit-testable
+//! without a network.
+
+use crate::packet::{Ack, Segment, Seq};
+use crate::reno::cwnd::CongestionControl;
+use crate::reno::rto::{RtoConfig, RtoEstimator};
+use crate::stats::ConnStats;
+use crate::time::SimTime;
+
+/// Which loss-recovery algorithm the sender runs. The paper models
+/// **Reno**; the other variants exist for the ref-\[3\]-style comparison
+/// ("Simulation-based comparisons of Tahoe, Reno, and SACK TCP") and to
+/// quantify how far each deviates from the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RenoStyle {
+    /// No fast recovery: any loss (dupacks or timeout) collapses the window
+    /// to one and slow-starts (§IV notes SunOS TCP was Tahoe-derived).
+    Tahoe,
+    /// RFC 5681 fast retransmit/fast recovery — the paper's protocol.
+    #[default]
+    Reno,
+    /// RFC 6582: partial ACKs retransmit the next hole without leaving
+    /// recovery, so a multi-loss window costs one window reduction.
+    NewReno,
+    /// RFC 2018 selective acknowledgments with a pipe-driven recovery
+    /// (requires a SACK-enabled receiver).
+    Sack,
+}
+
+/// What the connection layer should do with the RTO timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerCmd {
+    /// Leave the timer as it is.
+    Keep,
+    /// (Re)arm the timer to fire at the given instant, cancelling any
+    /// earlier deadline.
+    Arm(SimTime),
+}
+
+/// The sender's reaction to an input event.
+#[derive(Debug, Clone)]
+pub struct SenderOutput {
+    /// Segments to put on the wire, in order.
+    pub segments: Vec<Segment>,
+    /// Timer instruction.
+    pub timer: TimerCmd,
+}
+
+/// Tunables of the sender.
+#[derive(Debug, Clone, Copy)]
+pub struct SenderConfig {
+    /// Receiver's advertised window, packets (the paper's `W_m`).
+    pub rwnd: u32,
+    /// Duplicate ACKs required to trigger fast retransmit: 3 per RFC 5681;
+    /// 2 reproduces the Linux behaviour §III corrects for.
+    pub dupthresh: u32,
+    /// Initial congestion window, packets.
+    pub initial_cwnd: f64,
+    /// Timeout machinery settings.
+    pub rto: RtoConfig,
+    /// Amount of data to transfer, in packets. `None` is the paper's
+    /// "infinite source"; `Some(n)` models a finite transfer (an HTTP
+    /// response, say) — the flow completes when packet `n − 1` is acked.
+    pub data_limit: Option<u64>,
+    /// Loss-recovery algorithm (default: Reno, the paper's protocol).
+    pub style: RenoStyle,
+}
+
+impl Default for SenderConfig {
+    fn default() -> Self {
+        SenderConfig {
+            rwnd: u16::MAX as u32,
+            dupthresh: 3,
+            initial_cwnd: 1.0,
+            rto: RtoConfig::default(),
+            data_limit: None,
+            style: RenoStyle::Reno,
+        }
+    }
+}
+
+/// A bulk-transfer ("infinite source", §III) TCP Reno sender.
+#[derive(Debug)]
+pub struct Sender {
+    config: SenderConfig,
+    /// Oldest unacknowledged sequence number.
+    snd_una: Seq,
+    /// Next new sequence number to send.
+    snd_nxt: Seq,
+    cc: CongestionControl,
+    rto: RtoEstimator,
+    dupacks: u32,
+    /// RTT timing in progress: (sequence, send time). Karn: discarded if
+    /// that sequence is retransmitted.
+    timed: Option<(Seq, SimTime)>,
+    /// Consecutive RTO firings without forward progress (current timeout-
+    /// sequence length).
+    to_run: u32,
+    /// When the final packet of a finite transfer was acked.
+    completed_at: Option<SimTime>,
+    /// NewReno/SACK: highest sequence outstanding when recovery began; the
+    /// recovery ends when `snd_una` passes it (RFC 6582's `recover`).
+    recover: Seq,
+    /// SACK scoreboard: sequences above `snd_una` the receiver reported.
+    scoreboard: std::collections::BTreeSet<Seq>,
+    /// Holes already retransmitted during the current recovery episode.
+    rexmitted: std::collections::BTreeSet<Seq>,
+    /// Ground-truth counters.
+    pub stats: ConnStats,
+}
+
+impl Sender {
+    /// A fresh sender about to transmit sequence 0.
+    pub fn new(config: SenderConfig) -> Self {
+        Sender {
+            snd_una: 0,
+            snd_nxt: 0,
+            cc: CongestionControl::new(config.initial_cwnd),
+            rto: RtoEstimator::new(config.rto),
+            dupacks: 0,
+            timed: None,
+            to_run: 0,
+            completed_at: None,
+            recover: 0,
+            scoreboard: std::collections::BTreeSet::new(),
+            rexmitted: std::collections::BTreeSet::new(),
+            stats: ConnStats::default(),
+            config,
+        }
+    }
+
+    /// For a finite transfer: when the last packet was acknowledged.
+    /// Always `None` for the infinite source.
+    pub fn completed_at(&self) -> Option<SimTime> {
+        self.completed_at
+    }
+
+    /// True once a finite transfer has been fully acknowledged.
+    pub fn is_complete(&self) -> bool {
+        self.completed_at.is_some()
+    }
+
+    /// Outstanding (unacknowledged) packets.
+    pub fn flight(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    /// The usable window: `min(cwnd, rwnd)`.
+    pub fn usable_window(&self) -> u64 {
+        self.cc.window().min(u64::from(self.config.rwnd))
+    }
+
+    /// Read-only view of the congestion controller.
+    pub fn congestion(&self) -> &CongestionControl {
+        &self.cc
+    }
+
+    /// Read-only view of the RTO estimator (ground-truth RTT/T0 diagnostics).
+    pub fn rto_estimator(&self) -> &RtoEstimator {
+        &self.rto
+    }
+
+    /// Oldest unacknowledged sequence number.
+    pub fn snd_una(&self) -> Seq {
+        self.snd_una
+    }
+
+    /// Next fresh sequence number.
+    pub fn snd_nxt(&self) -> Seq {
+        self.snd_nxt
+    }
+
+    /// Kicks the connection off at time `now`: sends the initial window and
+    /// arms the timer.
+    pub fn on_start(&mut self, now: SimTime) -> SenderOutput {
+        let mut out = SenderOutput { segments: vec![], timer: TimerCmd::Keep };
+        self.fill_window(now, &mut out);
+        out.timer = TimerCmd::Arm(now + self.rto.current_rto());
+        out
+    }
+
+    /// Processes an arriving cumulative ACK.
+    pub fn on_ack(&mut self, now: SimTime, ack: Ack) -> SenderOutput {
+        self.stats.acks_received += 1;
+        let mut out = SenderOutput { segments: vec![], timer: TimerCmd::Keep };
+
+        if ack.ack > self.snd_nxt {
+            // Acknowledges data we never sent — a receiver bug; ignore.
+            return out;
+        }
+
+        // SACK bookkeeping: fold reported ranges into the scoreboard.
+        if self.config.style == RenoStyle::Sack && !ack.sack.is_empty() {
+            for &(start, end) in ack.sack.ranges() {
+                for seq in start..end.min(self.snd_nxt) {
+                    if seq > self.snd_una {
+                        self.scoreboard.insert(seq);
+                    }
+                }
+            }
+        }
+
+        if ack.ack > self.snd_una {
+            // Forward progress.
+            let was_in_recovery = self.cc.in_fast_recovery();
+            self.snd_una = ack.ack;
+            self.dupacks = 0;
+            self.scoreboard = self.scoreboard.split_off(&self.snd_una);
+            self.rexmitted = self.rexmitted.split_off(&self.snd_una);
+            if let Some(limit) = self.config.data_limit {
+                if self.snd_una >= limit && self.completed_at.is_none() {
+                    self.completed_at = Some(now);
+                }
+            }
+            if self.to_run > 0 {
+                self.stats.record_to_sequence(self.to_run);
+                self.to_run = 0;
+            }
+            self.rto.on_progress();
+            if let Some((seq, sent_at)) = self.timed {
+                if ack.ack > seq {
+                    self.rto.on_rtt_sample(now - sent_at);
+                    self.timed = None;
+                }
+            }
+            match self.config.style {
+                RenoStyle::Tahoe | RenoStyle::Reno => {
+                    self.cc.on_new_ack();
+                    self.fill_window(now, &mut out);
+                }
+                RenoStyle::NewReno | RenoStyle::Sack if was_in_recovery => {
+                    if self.snd_una >= self.recover {
+                        // Full ACK: recovery over.
+                        self.cc.exit_recovery();
+                        self.rexmitted.clear();
+                        self.fill_window(now, &mut out);
+                    } else {
+                        // Partial ACK (RFC 6582): the next hole is also
+                        // lost; retransmit it immediately, stay in recovery.
+                        match self.config.style {
+                            RenoStyle::NewReno => self.retransmit_head(now, &mut out),
+                            RenoStyle::Sack => self.send_sack_recovery(now, &mut out),
+                            _ => unreachable!(),
+                        }
+                    }
+                }
+                RenoStyle::NewReno | RenoStyle::Sack => {
+                    self.cc.on_new_ack();
+                    self.fill_window(now, &mut out);
+                }
+            }
+            // Restart the timer for the (still) outstanding data.
+            out.timer = TimerCmd::Arm(now + self.rto.current_rto());
+        } else if ack.ack == self.snd_una && self.flight() > 0 {
+            // Duplicate ACK.
+            self.dupacks += 1;
+            match self.config.style {
+                RenoStyle::Tahoe => {
+                    // `== dupthresh` fires once per progress epoch (dupacks
+                    // only reset on forward progress).
+                    if self.dupacks == self.config.dupthresh {
+                        // Tahoe: a TD indication collapses the window.
+                        self.stats.td_events += 1;
+                        self.cc.on_timeout(self.flight());
+                        self.retransmit_head(now, &mut out);
+                        out.timer = TimerCmd::Arm(now + self.rto.current_rto());
+                    }
+                }
+                RenoStyle::Reno => {
+                    if self.cc.in_fast_recovery() {
+                        self.cc.on_dupack_in_recovery();
+                        self.fill_window(now, &mut out);
+                    } else if self.dupacks == self.config.dupthresh {
+                        self.stats.td_events += 1;
+                        self.cc.on_fast_retransmit(self.flight());
+                        self.retransmit_head(now, &mut out);
+                        out.timer = TimerCmd::Arm(now + self.rto.current_rto());
+                    }
+                }
+                RenoStyle::NewReno => {
+                    if self.cc.in_fast_recovery() {
+                        self.cc.on_dupack_in_recovery();
+                        self.fill_window(now, &mut out);
+                    } else if self.dupacks == self.config.dupthresh {
+                        self.stats.td_events += 1;
+                        self.recover = self.snd_nxt;
+                        self.cc.on_fast_retransmit(self.flight());
+                        self.retransmit_head(now, &mut out);
+                        out.timer = TimerCmd::Arm(now + self.rto.current_rto());
+                    }
+                }
+                RenoStyle::Sack => {
+                    if self.cc.in_fast_recovery() {
+                        self.send_sack_recovery(now, &mut out);
+                    } else if self.dupacks == self.config.dupthresh {
+                        self.stats.td_events += 1;
+                        self.recover = self.snd_nxt;
+                        self.rexmitted.clear();
+                        self.cc.on_sack_retransmit(self.flight());
+                        self.retransmit_head(now, &mut out);
+                        // The head repair counts as an in-recovery repair.
+                        self.rexmitted.insert(self.snd_una);
+                        self.send_sack_recovery(now, &mut out);
+                        out.timer = TimerCmd::Arm(now + self.rto.current_rto());
+                    }
+                }
+            }
+        }
+        // ACKs below snd_una carry no information here (cumulative).
+        out
+    }
+
+    /// SACK pipe estimate: packets believed in flight — outstanding data
+    /// minus SACKed packets minus presumed-lost holes that have not been
+    /// retransmitted (RFC 6675's pipe, simplified to our packet units).
+    fn sack_pipe(&self) -> u64 {
+        let sacked = self.scoreboard.len() as u64;
+        let lost_unrexmitted = match self.scoreboard.iter().next_back() {
+            Some(&hi) => (self.snd_una..hi)
+                .filter(|s| !self.scoreboard.contains(s) && !self.rexmitted.contains(s))
+                .count() as u64,
+            None => 0,
+        };
+        self.flight().saturating_sub(sacked + lost_unrexmitted)
+    }
+
+    /// The SACK transmission rule: while the pipe has room under `cwnd`,
+    /// retransmit the lowest unrepaired hole below the highest SACKed
+    /// sequence; with no holes left, send new data.
+    fn send_sack_recovery(&mut self, now: SimTime, out: &mut SenderOutput) {
+        loop {
+            if self.sack_pipe() >= self.cc.window().min(u64::from(self.config.rwnd)) {
+                break;
+            }
+            let hole = self.scoreboard.iter().next_back().and_then(|&hi| {
+                (self.snd_una..hi)
+                    .find(|s| !self.scoreboard.contains(s) && !self.rexmitted.contains(s))
+            });
+            match hole {
+                Some(seq) => {
+                    self.rexmitted.insert(seq);
+                    if let Some((timed_seq, _)) = self.timed {
+                        if timed_seq == seq {
+                            self.timed = None; // Karn
+                        }
+                    }
+                    self.stats.packets_sent += 1;
+                    self.stats.retransmissions += 1;
+                    out.segments.push(Segment { seq, retransmit: true });
+                }
+                None => {
+                    // No repairable holes: send new data if permitted.
+                    if let Some(limit) = self.config.data_limit {
+                        if self.snd_nxt >= limit {
+                            break;
+                        }
+                    }
+                    if self.flight() >= u64::from(self.config.rwnd) {
+                        break;
+                    }
+                    let seq = self.snd_nxt;
+                    self.snd_nxt += 1;
+                    if self.timed.is_none() {
+                        self.timed = Some((seq, now));
+                    }
+                    self.stats.packets_sent += 1;
+                    self.stats.packets_sent_new += 1;
+                    out.segments.push(Segment { seq, retransmit: false });
+                }
+            }
+        }
+    }
+
+    /// The retransmission timer fired.
+    pub fn on_rto_fired(&mut self, now: SimTime) -> SenderOutput {
+        let mut out = SenderOutput { segments: vec![], timer: TimerCmd::Keep };
+        if self.flight() == 0 {
+            // Nothing outstanding: for a completed finite transfer the
+            // timer simply dies; for a bulk sender (cannot normally happen)
+            // rearm defensively.
+            if !self.is_complete() {
+                out.timer = TimerCmd::Arm(now + self.rto.current_rto());
+            }
+            return out;
+        }
+        self.stats.rto_firings += 1;
+        self.to_run += 1;
+        self.cc.on_timeout(self.flight());
+        self.rto.on_timeout();
+        self.dupacks = 0;
+        // Recovery episode (if any) is over; the scoreboard stays (the
+        // receiver still holds that data) but repairs restart.
+        self.rexmitted.clear();
+        // Karn: anything in flight is now suspect.
+        self.timed = None;
+        self.retransmit_head(now, &mut out);
+        out.timer = TimerCmd::Arm(now + self.rto.current_rto());
+        out
+    }
+
+    /// Flushes the final (possibly open) timeout run into the stats; call
+    /// once when the simulation horizon is reached.
+    pub fn finish(&mut self) {
+        if self.to_run > 0 {
+            self.stats.record_to_sequence(self.to_run);
+            self.to_run = 0;
+        }
+    }
+
+    fn retransmit_head(&mut self, _now: SimTime, out: &mut SenderOutput) {
+        let seq = self.snd_una;
+        // Karn: a retransmitted sequence must not produce an RTT sample.
+        if let Some((timed_seq, _)) = self.timed {
+            if timed_seq == seq {
+                self.timed = None;
+            }
+        }
+        self.stats.packets_sent += 1;
+        self.stats.retransmissions += 1;
+        out.segments.push(Segment { seq, retransmit: true });
+    }
+
+    fn fill_window(&mut self, now: SimTime, out: &mut SenderOutput) {
+        while self.flight() < self.usable_window() {
+            if let Some(limit) = self.config.data_limit {
+                if self.snd_nxt >= limit {
+                    break; // everything has been transmitted at least once
+                }
+            }
+            let seq = self.snd_nxt;
+            self.snd_nxt += 1;
+            if self.timed.is_none() {
+                self.timed = Some((seq, now));
+            }
+            self.stats.packets_sent += 1;
+            self.stats.packets_sent_new += 1;
+            out.segments.push(Segment { seq, retransmit: false });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn sender() -> Sender {
+        Sender::new(SenderConfig::default())
+    }
+
+    #[test]
+    fn start_sends_initial_window_and_arms_timer() {
+        let mut s = sender();
+        let out = s.on_start(t(0));
+        assert_eq!(out.segments.len(), 1); // initial cwnd 1
+        assert_eq!(out.segments[0], Segment { seq: 0, retransmit: false });
+        assert!(matches!(out.timer, TimerCmd::Arm(_)));
+        assert_eq!(s.flight(), 1);
+    }
+
+    #[test]
+    fn ack_grows_window_slow_start() {
+        let mut s = sender();
+        s.on_start(t(0));
+        let out = s.on_ack(t(100), Ack::plain(1));
+        // cwnd 1 → 2; flight 0 → send 2.
+        assert_eq!(out.segments.len(), 2);
+        assert_eq!(s.flight(), 2);
+        assert_eq!(s.stats.packets_sent, 3);
+    }
+
+    #[test]
+    fn dupacks_trigger_fast_retransmit_at_threshold() {
+        let mut s = sender();
+        s.on_start(t(0));
+        // Grow to a window of several packets.
+        s.on_ack(t(100), Ack::plain(1));
+        s.on_ack(t(200), Ack::plain(2));
+        s.on_ack(t(300), Ack::plain(3));
+        assert!(s.flight() >= 4);
+        let una = s.snd_una();
+        // Three duplicate ACKs.
+        assert!(s.on_ack(t(400), Ack::plain(una)).segments.is_empty());
+        assert!(s.on_ack(t(401), Ack::plain(una)).segments.is_empty());
+        let out = s.on_ack(t(402), Ack::plain(una));
+        assert_eq!(out.segments.len(), 1);
+        assert!(out.segments[0].retransmit);
+        assert_eq!(out.segments[0].seq, una);
+        assert_eq!(s.stats.td_events, 1);
+        assert!(s.congestion().in_fast_recovery());
+        assert!(matches!(out.timer, TimerCmd::Arm(_)));
+    }
+
+    #[test]
+    fn linux_dupthresh_two() {
+        let config = SenderConfig { dupthresh: 2, ..SenderConfig::default() };
+        let mut s = Sender::new(config);
+        s.on_start(t(0));
+        s.on_ack(t(100), Ack::plain(1));
+        s.on_ack(t(200), Ack::plain(2));
+        let una = s.snd_una();
+        s.on_ack(t(300), Ack::plain(una));
+        let out = s.on_ack(t(301), Ack::plain(una));
+        assert_eq!(s.stats.td_events, 1, "TD after only two dupacks");
+        assert!(out.segments[0].retransmit);
+    }
+
+    #[test]
+    fn rto_collapses_window_and_retransmits() {
+        let mut s = sender();
+        s.on_start(t(0));
+        s.on_ack(t(100), Ack::plain(1));
+        s.on_ack(t(200), Ack::plain(2));
+        assert!(s.flight() > 1);
+        let out = s.on_rto_fired(t(5000));
+        assert_eq!(out.segments.len(), 1);
+        assert!(out.segments[0].retransmit);
+        assert_eq!(out.segments[0].seq, s.snd_una());
+        assert_eq!(s.congestion().window(), 1);
+        assert_eq!(s.stats.rto_firings, 1);
+    }
+
+    #[test]
+    fn timeout_sequences_recorded_on_progress() {
+        let mut s = sender();
+        s.on_start(t(0));
+        s.on_rto_fired(t(3000));
+        s.on_rto_fired(t(9000)); // backed-off second firing: same sequence
+        assert_eq!(s.stats.to_events(), 0, "sequence still open");
+        s.on_ack(t(9500), Ack::plain(1));
+        assert_eq!(s.stats.to_sequences[1], 1, "double timeout recorded as T1");
+    }
+
+    #[test]
+    fn finish_flushes_open_sequence() {
+        let mut s = sender();
+        s.on_start(t(0));
+        s.on_rto_fired(t(3000));
+        s.finish();
+        assert_eq!(s.stats.to_sequences[0], 1);
+        // Idempotent.
+        s.finish();
+        assert_eq!(s.stats.to_events(), 1);
+    }
+
+    #[test]
+    fn rwnd_clamps_flight() {
+        let config = SenderConfig { rwnd: 4, ..SenderConfig::default() };
+        let mut s = Sender::new(config);
+        s.on_start(t(0));
+        for i in 1..100u64 {
+            s.on_ack(t(i * 10), Ack::plain(i));
+            assert!(s.flight() <= 4, "flight {} exceeds rwnd", s.flight());
+        }
+    }
+
+    #[test]
+    fn karn_discards_sample_for_retransmitted_head() {
+        let mut s = sender();
+        s.on_start(t(0)); // times seq 0
+        s.on_rto_fired(t(3000)); // retransmits seq 0 → timing discarded
+        let before = s.rto_estimator().mean_rtt();
+        s.on_ack(t(3100), Ack::plain(1));
+        assert_eq!(s.rto_estimator().mean_rtt(), before, "no sample from retransmit");
+    }
+
+    #[test]
+    fn fast_recovery_inflation_allows_new_data() {
+        let mut s = sender();
+        s.on_start(t(0));
+        for i in 1..=8u64 {
+            s.on_ack(t(i * 10), Ack::plain(i));
+        }
+        let una = s.snd_una();
+        s.on_ack(t(200), Ack::plain(una));
+        s.on_ack(t(201), Ack::plain(una));
+        s.on_ack(t(202), Ack::plain(una)); // fast retransmit
+        // Further dupacks inflate and eventually release new segments.
+        let mut released = 0;
+        for k in 0..10 {
+            released += s.on_ack(t(210 + k), Ack::plain(una)).segments.len();
+        }
+        assert!(released > 0, "window inflation never released data");
+    }
+
+    #[test]
+    fn ack_beyond_snd_nxt_ignored() {
+        let mut s = sender();
+        s.on_start(t(0));
+        let out = s.on_ack(t(1), Ack::plain(999));
+        assert!(out.segments.is_empty());
+        assert_eq!(s.snd_una(), 0);
+    }
+
+    fn styled(style: RenoStyle) -> Sender {
+        Sender::new(SenderConfig { style, ..SenderConfig::default() })
+    }
+
+    /// Grows the window to ~9 and leaves `flight == 8` outstanding.
+    fn warmed(style: RenoStyle) -> Sender {
+        let mut s = styled(style);
+        s.on_start(t(0));
+        for i in 1..=8u64 {
+            s.on_ack(t(i * 10), Ack::plain(i));
+        }
+        s
+    }
+
+    fn dupack_n(s: &mut Sender, una: Seq, n: u64, base_ms: u64) -> Vec<Segment> {
+        let mut sent = Vec::new();
+        for k in 0..n {
+            sent.extend(s.on_ack(t(base_ms + k), Ack::plain(una)).segments);
+        }
+        sent
+    }
+
+    #[test]
+    fn tahoe_td_collapses_to_slow_start() {
+        let mut s = warmed(RenoStyle::Tahoe);
+        let una = s.snd_una();
+        let sent = dupack_n(&mut s, una, 3, 200);
+        assert_eq!(sent.len(), 1);
+        assert!(sent[0].retransmit);
+        assert_eq!(s.congestion().window(), 1, "Tahoe collapses the window");
+        assert!(!s.congestion().in_fast_recovery());
+        assert!(s.congestion().in_slow_start());
+        assert_eq!(s.stats.td_events, 1);
+        // Further dupacks do nothing.
+        assert!(dupack_n(&mut s, una, 3, 210).is_empty());
+    }
+
+    #[test]
+    fn newreno_partial_ack_repairs_next_hole_in_recovery() {
+        let mut s = warmed(RenoStyle::NewReno);
+        let una = s.snd_una();
+        let snd_nxt = s.snd_nxt();
+        dupack_n(&mut s, una, 3, 200); // enter recovery, retransmit head
+        assert!(s.congestion().in_fast_recovery());
+        // Partial ACK: advances but below `recover` (= snd_nxt at entry).
+        let out = s.on_ack(t(400), Ack::plain(una + 2));
+        assert!(s.congestion().in_fast_recovery(), "partial ACK must not exit");
+        assert_eq!(out.segments.len(), 1, "partial ACK retransmits the next hole");
+        assert!(out.segments[0].retransmit);
+        assert_eq!(out.segments[0].seq, una + 2);
+        assert_eq!(s.stats.td_events, 1, "one indication for the whole episode");
+        // Full ACK ends recovery.
+        s.on_ack(t(500), Ack::plain(snd_nxt));
+        assert!(!s.congestion().in_fast_recovery());
+    }
+
+    #[test]
+    fn reno_by_contrast_exits_on_any_new_ack() {
+        let mut s = warmed(RenoStyle::Reno);
+        let una = s.snd_una();
+        dupack_n(&mut s, una, 3, 200);
+        assert!(s.congestion().in_fast_recovery());
+        s.on_ack(t(400), Ack::plain(una + 2));
+        assert!(!s.congestion().in_fast_recovery(), "plain Reno exits on a partial ACK");
+    }
+
+    #[test]
+    fn sack_repairs_multiple_holes_in_one_episode() {
+        // warmed(): snd_una = 8, snd_nxt = 17, flight = 9.
+        // Losses at 8, 9 and 12; the receiver holds 10–11 and 13–16.
+        let mut s = warmed(RenoStyle::Sack);
+        let una = s.snd_una();
+        let end = s.snd_nxt();
+        assert_eq!((una, end), (8, 17));
+        let sack = crate::packet::SackBlocks::from_ranges([(10, 12), (13, 17)]);
+        let mut sent = Vec::new();
+        for k in 0..3u64 {
+            sent.extend(s.on_ack(t(200 + k), Ack { ack: una, sack }).segments);
+        }
+        assert_eq!(s.stats.td_events, 1);
+        let retx: Vec<Seq> = sent.iter().filter(|g| g.retransmit).map(|g| g.seq).collect();
+        assert!(retx.contains(&8) && retx.contains(&9), "entry repairs head holes: {retx:?}");
+        // Repairs 8 and 9 arrive; with 10–11 already held the cumulative
+        // ACK jumps to 12 — a partial ACK (recover = 17).
+        let out = s.on_ack(t(400), Ack { ack: 12, sack: crate::packet::SackBlocks::from_ranges([(13, 17)]) });
+        assert!(s.congestion().in_fast_recovery(), "partial ACK keeps recovery open");
+        sent.extend(out.segments);
+        let retx: std::collections::BTreeSet<Seq> =
+            sent.iter().filter(|g| g.retransmit).map(|g| g.seq).collect();
+        assert!(retx.contains(&12), "hole 12 repaired on the partial ACK: {retx:?}");
+        // No hole repaired twice across the whole episode.
+        let all: Vec<Seq> = sent.iter().filter(|g| g.retransmit).map(|g| g.seq).collect();
+        let uniq: std::collections::BTreeSet<&Seq> = all.iter().collect();
+        assert_eq!(all.len(), uniq.len(), "duplicate hole repairs: {all:?}");
+        // The full ACK closes the episode: one TD indication total.
+        s.on_ack(t(500), Ack::plain(end));
+        assert!(!s.congestion().in_fast_recovery());
+        assert_eq!(s.stats.td_events, 1, "one reduction for a three-loss window");
+    }
+
+    #[test]
+    fn sack_exits_on_full_ack_and_cleans_state() {
+        let mut s = warmed(RenoStyle::Sack);
+        let una = s.snd_una();
+        let end = s.snd_nxt();
+        let sack = crate::packet::SackBlocks::from_ranges([(una + 2, end)]);
+        for k in 0..3u64 {
+            s.on_ack(t(200 + k), Ack { ack: una, sack });
+        }
+        assert!(s.congestion().in_fast_recovery());
+        s.on_ack(t(300), Ack::plain(end));
+        assert!(!s.congestion().in_fast_recovery());
+        assert!(s.is_complete() == false);
+        // New data flows again.
+        let out = s.on_ack(t(400), Ack::plain(s.snd_nxt()));
+        let _ = out;
+    }
+
+    #[test]
+    fn finite_flow_stops_at_limit_and_completes() {
+        let config = SenderConfig { data_limit: Some(3), ..SenderConfig::default() };
+        let mut s = Sender::new(config);
+        let out = s.on_start(t(0));
+        assert_eq!(out.segments.len(), 1); // initial cwnd 1
+        assert!(!s.is_complete());
+        let out = s.on_ack(t(100), Ack::plain(1));
+        assert_eq!(out.segments.len(), 2, "window grows to 2, both remaining packets go");
+        assert_eq!(s.snd_nxt(), 3);
+        // No more new data even as the window opens further.
+        let out = s.on_ack(t(200), Ack::plain(2));
+        assert!(out.segments.is_empty());
+        assert!(!s.is_complete());
+        s.on_ack(t(300), Ack::plain(3));
+        assert!(s.is_complete());
+        assert_eq!(s.completed_at(), Some(t(300)));
+    }
+
+    #[test]
+    fn finite_flow_retransmits_tail_loss() {
+        let config = SenderConfig { data_limit: Some(2), ..SenderConfig::default() };
+        let mut s = Sender::new(config);
+        s.on_start(t(0));
+        s.on_ack(t(100), Ack::plain(1)); // sends seq 1
+        // Seq 1 lost: RTO fires, retransmits it.
+        let out = s.on_rto_fired(t(4000));
+        assert_eq!(out.segments.len(), 1);
+        assert!(out.segments[0].retransmit);
+        assert_eq!(out.segments[0].seq, 1);
+        s.on_ack(t(4200), Ack::plain(2));
+        assert!(s.is_complete());
+    }
+
+    #[test]
+    fn completed_flow_rto_does_not_rearm() {
+        let config = SenderConfig { data_limit: Some(1), ..SenderConfig::default() };
+        let mut s = Sender::new(config);
+        s.on_start(t(0));
+        s.on_ack(t(100), Ack::plain(1));
+        assert!(s.is_complete());
+        let out = s.on_rto_fired(t(5000));
+        assert!(out.segments.is_empty());
+        assert_eq!(out.timer, TimerCmd::Keep, "timer must die after completion");
+    }
+
+    #[test]
+    fn infinite_source_never_completes() {
+        let mut s = sender();
+        s.on_start(t(0));
+        for i in 1..100u64 {
+            s.on_ack(t(i * 10), Ack::plain(i));
+        }
+        assert!(!s.is_complete());
+        assert!(s.completed_at().is_none());
+    }
+
+    #[test]
+    fn new_ack_exits_fast_recovery() {
+        let mut s = sender();
+        s.on_start(t(0));
+        for i in 1..=8u64 {
+            s.on_ack(t(i * 10), Ack::plain(i));
+        }
+        let una = s.snd_una();
+        for k in 0..3 {
+            s.on_ack(t(200 + k), Ack::plain(una));
+        }
+        assert!(s.congestion().in_fast_recovery());
+        s.on_ack(t(300), Ack::plain(s.snd_nxt()));
+        assert!(!s.congestion().in_fast_recovery());
+    }
+}

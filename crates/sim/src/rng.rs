@@ -1,0 +1,172 @@
+//! Deterministic random-number generation.
+//!
+//! Every stochastic element of the simulator (loss draws, RTT jitter,
+//! timeout placement) pulls from a [`SimRng`] seeded explicitly, so a run is
+//! a pure function of its configuration — reruns reproduce traces bit for
+//! bit, which the integration tests rely on.
+
+use rand::distributions::Open01;
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A seedable, deterministic RNG (ChaCha8 — fast, high-quality, portable
+/// across platforms, unlike `SmallRng` whose algorithm may change).
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: ChaCha8Rng,
+}
+
+impl SimRng {
+    /// Creates an RNG from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng { inner: ChaCha8Rng::seed_from_u64(seed) }
+    }
+
+    /// Derives an independent child stream; used so that e.g. the loss
+    /// process and the jitter process cannot influence each other by
+    /// consuming from a shared stream.
+    pub fn fork(&mut self, label: u64) -> SimRng {
+        let mut seed = [0u8; 32];
+        self.inner.fill_bytes(&mut seed);
+        // Mix the label in so identical fork orders with different labels
+        // still diverge.
+        for (i, b) in label.to_le_bytes().iter().enumerate() {
+            seed[i] ^= b;
+        }
+        SimRng { inner: ChaCha8Rng::from_seed(seed) }
+    }
+
+    /// A uniform draw in the open interval (0, 1).
+    pub fn open01(&mut self) -> f64 {
+        self.inner.sample(Open01)
+    }
+
+    /// Bernoulli draw with success probability `p` (clamped to [0, 1]).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.open01() < p
+        }
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    pub fn uniform_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn uniform_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        if lo >= hi {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// A geometric draw: number of Bernoulli(p) trials up to and including
+    /// the first success, i.e. `P[K = k] = (1-p)^{k-1} p`. Used by the
+    /// rounds-based simulator for first-loss positions. Capped at `cap` to
+    /// bound pathological draws when `p` is microscopic.
+    pub fn geometric(&mut self, p: f64, cap: u64) -> u64 {
+        debug_assert!(p > 0.0 && p < 1.0);
+        // Inverse-CDF sampling: K = ceil(ln(U) / ln(1-p)).
+        let u: f64 = self.open01();
+        let k = (u.ln() / (1.0 - p).ln()).ceil();
+        if k < 1.0 {
+            1
+        } else if k >= cap as f64 {
+            cap
+        } else {
+            k as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut b = SimRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.open01(), b.open01());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.open01() == b.open01()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn forks_are_independent_and_deterministic() {
+        let mut root1 = SimRng::seed_from_u64(42);
+        let mut root2 = SimRng::seed_from_u64(42);
+        let mut f1 = root1.fork(1);
+        let mut f2 = root2.fork(1);
+        for _ in 0..10 {
+            assert_eq!(f1.open01(), f2.open01());
+        }
+        // Different labels at the same fork point give different streams.
+        let mut r1 = SimRng::seed_from_u64(42);
+        let mut g1 = r1.fork(1);
+        let mut r2 = SimRng::seed_from_u64(42);
+        let mut g2 = r2.fork(2);
+        assert_ne!(g1.open01(), g2.open01());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from_u64(0);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-0.5));
+        assert!(rng.chance(1.5));
+    }
+
+    #[test]
+    fn chance_frequency_close_to_p() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let n = 200_000;
+        let hits = (0..n).filter(|_| rng.chance(0.3)).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.3).abs() < 0.01, "freq={freq}");
+    }
+
+    #[test]
+    fn geometric_mean_close_to_1_over_p() {
+        let mut rng = SimRng::seed_from_u64(9);
+        let p = 0.05;
+        let n = 100_000;
+        let sum: u64 = (0..n).map(|_| rng.geometric(p, u64::MAX)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 20.0).abs() < 0.5, "mean={mean}");
+    }
+
+    #[test]
+    fn geometric_respects_cap() {
+        let mut rng = SimRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            assert!(rng.geometric(1e-9, 10) <= 10);
+        }
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut rng = SimRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let v = rng.uniform_u32(3, 7);
+            assert!((3..=7).contains(&v));
+            let f = rng.uniform_f64(1.0, 2.0);
+            assert!((1.0..2.0).contains(&f));
+        }
+        assert_eq!(rng.uniform_f64(5.0, 5.0), 5.0);
+    }
+}

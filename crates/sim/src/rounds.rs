@@ -1,0 +1,502 @@
+//! The rounds-based abstract simulator: the paper's §II model assumptions,
+//! executed literally.
+//!
+//! Where the packet-level simulator ([`crate::connection`]) is a faithful
+//! TCP Reno implementation, this simulator *is the model*, minus the final
+//! i.i.d./independence approximations that produce the closed form:
+//!
+//! * time advances in rounds of exactly one RTT;
+//! * in each round of window `w`, the first loss falls on packet `k` with
+//!   probability `(1−p)^{k−1} p` (no loss with probability `(1−p)^w`), and
+//!   dooms the rest of the round;
+//! * a loss in the "penultimate" round of window `W` is followed by one
+//!   "last" round of `k` packets (the ones that were ACKed), of which `m`
+//!   survive with the paper's `C(k, m)` law — a triple-duplicate needs
+//!   `k ≥ 3` and `m ≥ 3`, otherwise the indication is a timeout (Fig. 4);
+//! * a timeout sequence has geometric length (each retransmission fails
+//!   with probability `p`), duration `L_k` with doubling capped at
+//!   `2^cap · T0`, and restarts congestion avoidance from window 1;
+//! * a triple-duplicate halves the window; growth is 1 packet per `b`
+//!   rounds, clamped at `W_m`.
+//!
+//! Because it shares the closed form's assumptions exactly, its long-run
+//! send rate converges tightly to Eq. (32) — the crate's strongest
+//! correctness check — and its sample paths regenerate Figs. 1, 3, 5 and 6.
+
+use crate::rng::SimRng;
+use crate::stats::ConnStats;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the rounds-based simulation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RoundsConfig {
+    /// First-loss probability `p` (the paper's loss measure).
+    pub p: f64,
+    /// Round duration = RTT, seconds.
+    pub rtt: f64,
+    /// Single-timeout duration `T0`, seconds.
+    pub t0: f64,
+    /// Delayed-ACK factor `b`: window grows 1 packet per `b` rounds.
+    pub b: u32,
+    /// Receiver-window clamp `W_m`, packets.
+    pub wmax: u32,
+    /// Backoff-doubling cap exponent (6 → the paper's `64·T0`).
+    pub backoff_cap_exp: u32,
+    /// Window at the start of the very first TDP.
+    pub initial_window: u32,
+    /// Whether the window recovers via slow start after a timeout (real TCP
+    /// behaviour, and what the paper's reuse of the §II-A TDP statistics for
+    /// post-timeout periods implicitly credits). When false, post-timeout
+    /// periods grow linearly from 1, which is strictly more pessimistic than
+    /// the model.
+    pub slow_start_after_to: bool,
+}
+
+impl Default for RoundsConfig {
+    fn default() -> Self {
+        RoundsConfig {
+            p: 0.01,
+            rtt: 0.1,
+            t0: 1.0,
+            b: 2,
+            wmax: u16::MAX as u32,
+            backoff_cap_exp: 6,
+            initial_window: 1,
+            slow_start_after_to: true,
+        }
+    }
+}
+
+/// How a TD period ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Indication {
+    /// Triple-duplicate ACK: window halves.
+    TripleDuplicate,
+    /// Timeout (with the recorded number of consecutive timeouts).
+    Timeout {
+        /// Consecutive RTO firings in the ensuing timeout sequence.
+        sequence_len: u32,
+    },
+}
+
+/// One TD period, for Fig. 2-style inspection.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TdpRecord {
+    /// Window at the start of the period.
+    pub start_window: u32,
+    /// The paper's `W_i`: window in the round where the loss fell.
+    pub peak_window: u32,
+    /// The paper's `X_i`: 1-indexed round where the first loss fell.
+    pub loss_round: u32,
+    /// The paper's `α_i`: packets sent up to and including the first loss.
+    pub alpha: u64,
+    /// The paper's `Y_i = α_i + W_i − 1`: total packets sent in the period.
+    pub packets_sent: u64,
+    /// Packets that actually reached the receiver in the period.
+    pub packets_delivered: u64,
+    /// How the period ended.
+    pub indication: Indication,
+}
+
+/// A `(time, window)` point of the sample path (Figs. 1/3/5/6).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct WindowSample {
+    /// Wall-clock seconds since simulation start.
+    pub time: f64,
+    /// Congestion window during this round (0 marks a timeout gap).
+    pub window: u32,
+}
+
+/// The rounds-based simulator.
+#[derive(Debug)]
+pub struct RoundsSim {
+    config: RoundsConfig,
+    rng: SimRng,
+    /// Window at the start of the current TDP.
+    start_window: u32,
+    /// Slow-start threshold for the current TDP (`None` = start directly in
+    /// congestion avoidance).
+    ssthresh: Option<u32>,
+    elapsed: f64,
+    stats: ConnStats,
+    /// Optional window sample path (bounded).
+    samples: Option<Vec<WindowSample>>,
+    /// Optional per-TDP records (bounded).
+    tdps: Option<Vec<TdpRecord>>,
+    sample_cap: usize,
+}
+
+impl RoundsSim {
+    /// Creates a simulator; `seed` fixes the whole run.
+    pub fn new(config: RoundsConfig, seed: u64) -> Self {
+        assert!(config.p > 0.0 && config.p < 1.0, "p must be in (0,1)");
+        assert!(config.rtt > 0.0 && config.t0 > 0.0, "times must be positive");
+        assert!(config.b >= 1 && config.wmax >= 1 && config.initial_window >= 1);
+        RoundsSim {
+            start_window: config.initial_window.min(config.wmax),
+            ssthresh: None,
+            config,
+            rng: SimRng::seed_from_u64(seed),
+            elapsed: 0.0,
+            stats: ConnStats::default(),
+            samples: None,
+            tdps: None,
+            sample_cap: 100_000,
+        }
+    }
+
+    /// Enables window-sample-path recording (bounded at `cap` samples).
+    pub fn record_samples(mut self, cap: usize) -> Self {
+        self.samples = Some(Vec::new());
+        self.sample_cap = cap;
+        self
+    }
+
+    /// Enables per-TDP recording (bounded at 100 000 periods).
+    pub fn record_tdps(mut self) -> Self {
+        self.tdps = Some(Vec::new());
+        self
+    }
+
+    /// Elapsed simulated seconds.
+    pub fn elapsed(&self) -> f64 {
+        self.elapsed
+    }
+
+    /// Ground-truth counters.
+    pub fn stats(&self) -> &ConnStats {
+        &self.stats
+    }
+
+    /// Long-run send rate so far, packets per second.
+    pub fn send_rate(&self) -> f64 {
+        if self.elapsed == 0.0 {
+            0.0
+        } else {
+            self.stats.packets_sent as f64 / self.elapsed
+        }
+    }
+
+    /// Long-run receiver throughput so far, packets per second (§V).
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed == 0.0 {
+            0.0
+        } else {
+            self.stats.packets_delivered as f64 / self.elapsed
+        }
+    }
+
+    /// The recorded sample path, if enabled.
+    pub fn samples(&self) -> &[WindowSample] {
+        self.samples.as_deref().unwrap_or(&[])
+    }
+
+    /// The recorded TD periods, if enabled.
+    pub fn tdps(&self) -> &[TdpRecord] {
+        self.tdps.as_deref().unwrap_or(&[])
+    }
+
+    /// Runs complete TD periods until at least `horizon_secs` of simulated
+    /// time have elapsed.
+    pub fn run_for(&mut self, horizon_secs: f64) {
+        let end = self.elapsed + horizon_secs;
+        while self.elapsed < end {
+            self.run_one_tdp();
+        }
+    }
+
+    /// Runs exactly `n` TD periods.
+    pub fn run_tdps(&mut self, n: usize) {
+        for _ in 0..n {
+            self.run_one_tdp();
+        }
+    }
+
+    /// Simulates one TD period and, if it ends in a timeout, the ensuing
+    /// timeout sequence.
+    fn run_one_tdp(&mut self) {
+        let cfg = self.config;
+        let mut round: u32 = 0; // 0-indexed rounds within this TDP
+        let mut alpha: u64 = 0; // packets before/incl. the first loss
+        let mut delivered_before_loss: u64 = 0;
+        // Fractional window; grows exponentially while below ssthresh (slow
+        // start after a timeout), else linearly at 1/b per round (§II).
+        let mut wf = f64::from(self.start_window);
+        let (peak, first_loss_pos) = loop {
+            let w = (wf.floor() as u32).clamp(1, cfg.wmax);
+            self.record_sample(w);
+            // Whole round is transmitted regardless of loss (§II-A: send
+            // rate counts packets "regardless of their eventual fate").
+            self.stats.packets_sent += u64::from(w);
+            self.stats.packets_sent_new += u64::from(w);
+            self.elapsed += cfg.rtt;
+            round += 1;
+            if self.rng.chance(1.0 - (1.0 - cfg.p).powi(w as i32)) {
+                // First loss lands at position k ∈ 1..=w (truncated geometric).
+                let k = self.sample_truncated_geometric(w);
+                alpha += u64::from(k);
+                delivered_before_loss += u64::from(k) - 1;
+                break (w, k);
+            }
+            alpha += u64::from(w);
+            delivered_before_loss += u64::from(w);
+            // Grow the window for the next round.
+            wf = match self.ssthresh {
+                Some(ss) if wf < f64::from(ss) => {
+                    // Slow start: each of the w/b ACKs adds one segment.
+                    (wf * (1.0 + 1.0 / f64::from(cfg.b))).min(f64::from(ss))
+                }
+                _ => wf + 1.0 / f64::from(cfg.b),
+            }
+            .min(f64::from(cfg.wmax));
+        };
+
+        // The "last" round (Fig. 4): the k = pos − 1 ACKed packets of the
+        // penultimate round trigger k more transmissions. The post-loss tail
+        // of the penultimate round was already counted by the per-round
+        // `packets_sent += w` above, so adding k here yields the paper's
+        // Y = α + W − 1 total exactly.
+        let k = first_loss_pos - 1;
+        self.stats.packets_sent += u64::from(k);
+        self.stats.packets_sent_new += u64::from(k);
+        self.elapsed += cfg.rtt;
+        self.record_sample(peak);
+
+        // Successes in the last round of k packets: m ~ C(k, m).
+        let m = self.sample_last_round_successes(k);
+        let delivered = delivered_before_loss + u64::from(m);
+        self.stats.packets_delivered += delivered;
+
+        let is_td = k >= 3 && m >= 3;
+        let indication = if is_td {
+            self.stats.td_events += 1;
+            self.start_window = (peak / 2).max(1);
+            self.ssthresh = None;
+            Indication::TripleDuplicate
+        } else {
+            let seq_len = self.run_timeout_sequence();
+            self.start_window = 1;
+            self.ssthresh =
+                self.config.slow_start_after_to.then(|| (peak / 2).max(2));
+            Indication::Timeout { sequence_len: seq_len }
+        };
+
+        if let Some(tdps) = &mut self.tdps {
+            if tdps.len() < 100_000 {
+                tdps.push(TdpRecord {
+                    start_window: if matches!(indication, Indication::TripleDuplicate) {
+                        peak / 2
+                    } else {
+                        1
+                    },
+                    peak_window: peak,
+                    loss_round: round,
+                    alpha,
+                    packets_sent: alpha + u64::from(peak) - 1,
+                    packets_delivered: delivered,
+                    indication,
+                });
+            }
+        }
+    }
+
+    /// First-loss position within a round of `w` packets, truncated
+    /// geometric on `1..=w`.
+    fn sample_truncated_geometric(&mut self, w: u32) -> u32 {
+        // Rejection-free inverse CDF on the conditional law.
+        let p = self.config.p;
+        let q = 1.0 - p;
+        let mass = 1.0 - q.powi(w as i32);
+        let u = self.rng.open01() * mass;
+        // Find smallest k with 1 - q^k >= u.
+        let k = ((1.0 - u).ln() / q.ln()).ceil();
+        (k as u32).clamp(1, w)
+    }
+
+    /// Number of in-sequence successes in the last round of `k` packets
+    /// (the paper's `C(k, m)` law): each packet independently survives with
+    /// probability `1−p` until the first failure.
+    fn sample_last_round_successes(&mut self, k: u32) -> u32 {
+        let mut m = 0;
+        while m < k && !self.rng.chance(self.config.p) {
+            m += 1;
+        }
+        m
+    }
+
+    /// Simulates one timeout sequence; returns its length.
+    fn run_timeout_sequence(&mut self) -> u32 {
+        let cfg = self.config;
+        let mut len: u32 = 0;
+        loop {
+            len += 1;
+            self.record_timeout_gap();
+            // Timeout #len has duration 2^min(len−1, cap) · T0.
+            let exp = (len - 1).min(cfg.backoff_cap_exp);
+            self.elapsed += cfg.t0 * f64::from(1u32 << exp);
+            // One retransmission at the end of the waiting period.
+            self.stats.packets_sent += 1;
+            self.stats.retransmissions += 1;
+            self.stats.rto_firings += 1;
+            if !self.rng.chance(cfg.p) {
+                // Retransmission got through: sequence over, the receiver
+                // finally gets one packet (§V: E[R'] = 1).
+                self.stats.packets_delivered += 1;
+                break;
+            }
+            if len >= 1_000 {
+                // Astronomically unlikely for p < 1; bound the loop anyway.
+                break;
+            }
+        }
+        self.stats.record_to_sequence(len);
+        len
+    }
+
+    fn record_sample(&mut self, w: u32) {
+        if let Some(samples) = &mut self.samples {
+            if samples.len() < self.sample_cap {
+                samples.push(WindowSample { time: self.elapsed, window: w });
+            }
+        }
+    }
+
+    fn record_timeout_gap(&mut self) {
+        if let Some(samples) = &mut self.samples {
+            if samples.len() < self.sample_cap {
+                samples.push(WindowSample { time: self.elapsed, window: 0 });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(p: f64, wmax: u32) -> RoundsConfig {
+        RoundsConfig { p, rtt: 0.1, t0: 1.0, b: 2, wmax, ..RoundsConfig::default() }
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let mut a = RoundsSim::new(config(0.02, 64), 5);
+        let mut b = RoundsSim::new(config(0.02, 64), 5);
+        a.run_for(1000.0);
+        b.run_for(1000.0);
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.elapsed(), b.elapsed());
+    }
+
+    #[test]
+    fn send_rate_decreases_with_p() {
+        let rate = |p| {
+            let mut s = RoundsSim::new(config(p, 1_000), 7);
+            s.run_for(50_000.0);
+            s.send_rate()
+        };
+        assert!(rate(0.005) > rate(0.02));
+        assert!(rate(0.02) > rate(0.1));
+    }
+
+    #[test]
+    fn window_cap_respected_in_samples() {
+        let mut s = RoundsSim::new(config(0.001, 8), 3).record_samples(50_000);
+        s.run_for(5_000.0);
+        assert!(s.samples().iter().all(|w| w.window <= 8));
+        // With p tiny the clamp should actually bind most of the time.
+        let at_cap = s.samples().iter().filter(|w| w.window == 8).count();
+        assert!(at_cap * 2 > s.samples().len(), "cap never binding");
+    }
+
+    #[test]
+    fn tdp_records_satisfy_paper_identities() {
+        let mut s = RoundsSim::new(config(0.03, 256), 11).record_tdps();
+        s.run_tdps(2_000);
+        for (i, rec) in s.tdps().iter().enumerate() {
+            // Y_i = α_i + W_i − 1 (Fig. 2).
+            assert_eq!(
+                rec.packets_sent,
+                rec.alpha + u64::from(rec.peak_window) - 1,
+                "TDP {i}: Y ≠ α + W − 1"
+            );
+            assert!(rec.loss_round >= 1);
+            assert!(rec.packets_delivered <= rec.packets_sent);
+            assert!(rec.peak_window >= 1);
+        }
+        // E[α] should be close to 1/p (Eq. (4)).
+        let mean_alpha: f64 =
+            s.tdps().iter().map(|r| r.alpha as f64).sum::<f64>() / s.tdps().len() as f64;
+        assert!(
+            (mean_alpha - 1.0 / 0.03).abs() / (1.0 / 0.03) < 0.1,
+            "E[α]={mean_alpha}, expected ≈{}",
+            1.0 / 0.03
+        );
+    }
+
+    #[test]
+    fn small_window_losses_always_time_out() {
+        // With W_m = 3 a triple-duplicate is impossible (§II-B: Q̂(w)=1 for
+        // w ≤ 3): every indication must be a timeout.
+        let mut s = RoundsSim::new(config(0.05, 3), 13);
+        s.run_for(20_000.0);
+        assert_eq!(s.stats().td_events, 0);
+        assert!(s.stats().to_events() > 50);
+    }
+
+    #[test]
+    fn large_window_low_loss_mostly_td() {
+        let mut s = RoundsSim::new(config(0.003, 10_000), 17);
+        s.run_for(200_000.0);
+        let td = s.stats().td_events as f64;
+        let to = s.stats().to_events() as f64;
+        // E[W] ≈ sqrt(8/(3bp)) ≈ 21 ⇒ Q ≈ 3/21 ≈ 0.14.
+        let q = to / (td + to);
+        assert!(q < 0.35, "timeout fraction {q} too high for large windows");
+        assert!(td > 100.0);
+    }
+
+    #[test]
+    fn timeout_sequence_lengths_geometric() {
+        let p = 0.3;
+        let mut s = RoundsSim::new(config(p, 3), 19); // every loss a TO
+        s.run_for(200_000.0);
+        let seqs = &s.stats().to_sequences;
+        let total: u64 = seqs.iter().sum();
+        assert!(total > 500);
+        // P[len = 2]/P[len = 1] should be ≈ p.
+        let ratio = seqs[1] as f64 / seqs[0] as f64;
+        assert!((ratio - p).abs() < 0.08, "ratio {ratio}, expected ≈{p}");
+    }
+
+    #[test]
+    fn throughput_below_send_rate() {
+        let mut s = RoundsSim::new(config(0.05, 64), 23);
+        s.run_for(50_000.0);
+        assert!(s.throughput() < s.send_rate());
+        assert!(s.throughput() > 0.0);
+    }
+
+    #[test]
+    fn sample_path_shows_sawtooth() {
+        let mut s = RoundsSim::new(config(0.01, 1_000), 29).record_samples(10_000);
+        s.run_for(2_000.0);
+        let samples = s.samples();
+        // There must be rises (congestion avoidance) and falls (halvings).
+        let rises = samples.windows(2).filter(|w| w[1].window > w[0].window).count();
+        let falls = samples
+            .windows(2)
+            .filter(|w| w[1].window < w[0].window && w[1].window > 0)
+            .count();
+        assert!(rises > 100, "rises={rises}");
+        assert!(falls > 5, "falls={falls}");
+        // Time is nondecreasing.
+        assert!(samples.windows(2).all(|w| w[1].time >= w[0].time));
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in")]
+    fn invalid_p_rejected() {
+        let _ = RoundsSim::new(config(0.0, 8), 1);
+    }
+}

@@ -1,0 +1,135 @@
+//! Ground-truth connection statistics.
+//!
+//! These counters are maintained by the simulator itself (not inferred from
+//! the trace), so the trace-analysis programs in `tcp-trace` can be validated
+//! against them — mirroring how the paper's authors verified their analysis
+//! programs against `tcptrace` and `ns`.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters for one simulated connection.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConnStats {
+    /// Total data transmissions (first transmissions + retransmissions) —
+    /// the paper's "packets sent" (send rate counts all of these).
+    pub packets_sent: u64,
+    /// First transmissions only.
+    pub packets_sent_new: u64,
+    /// Retransmissions only.
+    pub retransmissions: u64,
+    /// Data packets dropped by the loss process or a queue.
+    pub packets_dropped: u64,
+    /// Distinct data packets that reached the receiver.
+    pub packets_delivered: u64,
+    /// ACKs that arrived at the sender.
+    pub acks_received: u64,
+    /// Triple-duplicate (fast-retransmit) loss indications.
+    pub td_events: u64,
+    /// Timeout *sequences*, bucketed by length: `to_sequences[k]` counts
+    /// sequences of exactly `k + 1` consecutive timeouts (index 0 = the
+    /// paper's "T0" single timeouts, 1 = "T1" doubles, …). Sequences of 7 or
+    /// more land in the final bucket, matching Table II's "T5 or more".
+    pub to_sequences: [u64; 6],
+    /// Total individual RTO firings.
+    pub rto_firings: u64,
+}
+
+impl ConnStats {
+    /// Total number of timeout sequences (loss indications of type TO).
+    pub fn to_events(&self) -> u64 {
+        self.to_sequences.iter().sum()
+    }
+
+    /// Total loss indications (TD + TO sequences) — the denominator quantity
+    /// in the paper's `p` estimate is `packets_sent`, the numerator this.
+    pub fn loss_indications(&self) -> u64 {
+        self.td_events + self.to_events()
+    }
+
+    /// The paper's loss-rate estimate: loss indications ÷ packets sent
+    /// (§III, "similar to the one used in \[9\]"). Zero when nothing was sent.
+    pub fn loss_indication_rate(&self) -> f64 {
+        if self.packets_sent == 0 {
+            0.0
+        } else {
+            self.loss_indications() as f64 / self.packets_sent as f64
+        }
+    }
+
+    /// Records the end of a run of `len` consecutive timeouts.
+    pub fn record_to_sequence(&mut self, len: u32) {
+        debug_assert!(len >= 1);
+        let idx = (len as usize - 1).min(self.to_sequences.len() - 1);
+        self.to_sequences[idx] += 1;
+    }
+
+    /// Merges another connection's counters into this one (used when
+    /// aggregating the 100×100-s serial experiments).
+    pub fn merge(&mut self, other: &ConnStats) {
+        self.packets_sent += other.packets_sent;
+        self.packets_sent_new += other.packets_sent_new;
+        self.retransmissions += other.retransmissions;
+        self.packets_dropped += other.packets_dropped;
+        self.packets_delivered += other.packets_delivered;
+        self.acks_received += other.acks_received;
+        self.td_events += other.td_events;
+        for (a, b) in self.to_sequences.iter_mut().zip(&other.to_sequences) {
+            *a += b;
+        }
+        self.rto_firings += other.rto_firings;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_sequence_bucketing() {
+        let mut s = ConnStats::default();
+        s.record_to_sequence(1); // single timeout → T0 bucket
+        s.record_to_sequence(2); // one backoff → T1
+        s.record_to_sequence(6); // T5
+        s.record_to_sequence(9); // clamps into "T5 or more"
+        assert_eq!(s.to_sequences, [1, 1, 0, 0, 0, 2]);
+        assert_eq!(s.to_events(), 4);
+    }
+
+    #[test]
+    fn loss_indications_combine_td_and_to() {
+        let mut s = ConnStats::default();
+        s.td_events = 3;
+        s.record_to_sequence(1);
+        s.record_to_sequence(4);
+        assert_eq!(s.loss_indications(), 5);
+    }
+
+    #[test]
+    fn loss_rate_estimate() {
+        let mut s = ConnStats::default();
+        assert_eq!(s.loss_indication_rate(), 0.0);
+        s.packets_sent = 1000;
+        s.td_events = 10;
+        assert!((s.loss_indication_rate() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = ConnStats {
+            packets_sent: 10,
+            packets_sent_new: 8,
+            retransmissions: 2,
+            packets_dropped: 1,
+            packets_delivered: 9,
+            acks_received: 5,
+            td_events: 1,
+            to_sequences: [1, 0, 0, 0, 0, 0],
+            rto_firings: 1,
+        };
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.packets_sent, 20);
+        assert_eq!(a.to_sequences[0], 2);
+        assert_eq!(a.loss_indications(), 4);
+    }
+}

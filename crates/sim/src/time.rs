@@ -1,0 +1,222 @@
+//! Simulated time.
+//!
+//! Integer nanoseconds in a newtype: total order, exact arithmetic, no
+//! floating-point drift in the event queue. An hour-long trace is ~3.6e12 ns,
+//! comfortably inside `u64` (which holds ~584 years).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant on the simulation clock (nanoseconds since simulation start).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span between two [`SimTime`]s (nanoseconds).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds an instant from whole nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Builds an instant from (possibly fractional) seconds. Panics on
+    /// negative or non-finite input — simulation clocks don't run backwards.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid time {secs}");
+        SimTime((secs * 1e9).round() as u64)
+    }
+
+    /// Nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start, as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating difference: `self - earlier`, clamped at zero.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Builds a span from whole nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Builds a span from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Builds a span from (possibly fractional) seconds. Panics on negative
+    /// or non-finite input.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid duration {secs}");
+        SimDuration((secs * 1e9).round() as u64)
+    }
+
+    /// Nanoseconds in this span.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds in this span, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Doubles the span, saturating — used by RTO exponential backoff.
+    pub fn saturating_double(self) -> SimDuration {
+        SimDuration(self.0.saturating_mul(2))
+    }
+
+    /// Multiplies by an integer factor, saturating.
+    pub fn saturating_mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+
+    /// Element-wise maximum.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+
+    /// Element-wise minimum.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("simulation clock overflow"))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("negative duration"))
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(rhs.0).expect("duration overflow"))
+    }
+}
+
+impl AddAssign<SimDuration> for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        let t = SimTime::from_secs_f64(0.243);
+        assert!((t.as_secs_f64() - 0.243).abs() < 1e-9);
+        assert_eq!(SimTime::from_nanos(5).as_nanos(), 5);
+        assert_eq!(SimDuration::from_millis(200).as_nanos(), 200_000_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_nanos(100);
+        let d = SimDuration::from_nanos(50);
+        assert_eq!((t + d).as_nanos(), 150);
+        assert_eq!(((t + d) - t).as_nanos(), 50);
+        let mut t2 = t;
+        t2 += d;
+        assert_eq!(t2.as_nanos(), 150);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative duration")]
+    fn backwards_subtraction_panics() {
+        let _ = SimTime::from_nanos(1) - SimTime::from_nanos(2);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let a = SimTime::from_nanos(1);
+        let b = SimTime::from_nanos(2);
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+        assert_eq!(b.saturating_since(a).as_nanos(), 1);
+    }
+
+    #[test]
+    fn doubling_saturates() {
+        let d = SimDuration::from_nanos(u64::MAX - 1);
+        assert_eq!(d.saturating_double().as_nanos(), u64::MAX);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v =
+            vec![SimTime::from_nanos(3), SimTime::from_nanos(1), SimTime::from_nanos(2)];
+        v.sort();
+        assert_eq!(v, vec![SimTime::from_nanos(1), SimTime::from_nanos(2), SimTime::from_nanos(3)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_seconds_rejected() {
+        let _ = SimTime::from_secs_f64(-0.1);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = SimDuration::from_nanos(10);
+        let b = SimDuration::from_nanos(20);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(format!("{}", SimTime::from_secs_f64(1.5)), "1.500000s");
+        assert_eq!(format!("{}", SimDuration::from_millis(250)), "0.250000s");
+    }
+}

@@ -1,0 +1,33 @@
+//! # tcp-testbed
+//!
+//! The synthetic measurement testbed: this crate stands in for the paper's
+//! 1997 Internet — 19 hosts (Table I), 24 calibrated sender→receiver paths
+//! (Table II), a modem path (Fig. 11) — and runs the paper's three
+//! measurement campaigns against the `tcp-sim` packet-level simulator:
+//!
+//! * [`experiment::run_hour`] / [`experiment::run_table2`] — the hour-long
+//!   "infinite source" connections behind Table II and Figs. 7/9;
+//! * [`experiment::run_serial_100s`] — the 100×100-second serial
+//!   connections behind Figs. 8/10;
+//! * [`experiment::run_modem`] — the dedicated-buffer modem scenario of
+//!   Fig. 11.
+//!
+//! [`report`] turns results into the exact series each figure plots.
+//! See DESIGN.md §1 for the substitution argument (what the paper used →
+//! what this testbed provides → why it preserves the relevant behaviour).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod hosts;
+pub mod paths;
+pub mod report;
+
+pub use experiment::{run_hour, run_modem, run_serial_100s, run_table2, ExperimentResult, TraceRecorder};
+pub use hosts::{host, Host, Os, HOSTS};
+pub use paths::{fig7_paths, fig8_paths, table2_path, ModemSpec, PathSpec, TABLE2_PATHS};
+pub use report::{
+    error_triple_hourly, error_triple_serial, fig7_panel, fig8_series, fitted_params, loss_grid,
+    ErrorTriple, Fig7Panel, Fig8Point, ModelCurve, ScatterPoint,
+};

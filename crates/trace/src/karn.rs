@@ -1,0 +1,448 @@
+//! RTT and timeout-duration estimation from sender-side traces.
+//!
+//! The paper (§III): "When calculating RTT values, we follow Karn's
+//! algorithm, in an attempt to minimize the impact of time-outs and
+//! retransmissions on the RTT estimates." Karn's rule: never take an RTT
+//! sample from a segment that was retransmitted, because the ACK cannot be
+//! attributed to a particular transmission.
+//!
+//! `T0` (Table II's "Time Out" column) is estimated as the duration of the
+//! *first* timeout in each timeout sequence: the gap between the
+//! retransmission and the later of (a) the last prior transmission of that
+//! sequence number and (b) the last forward-ACK arrival (the events that
+//! restart a TCP retransmission timer).
+
+use crate::record::{Trace, TraceEvent};
+use std::collections::BTreeMap;
+
+/// RTT/T0 estimates extracted from a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingEstimates {
+    /// Mean round-trip time over all Karn-valid samples, seconds.
+    pub mean_rtt: Option<f64>,
+    /// Number of RTT samples taken.
+    pub rtt_samples: u64,
+    /// Mean single-timeout duration, seconds.
+    pub mean_t0: Option<f64>,
+    /// Number of T0 samples (one per timeout sequence).
+    pub t0_samples: u64,
+}
+
+/// Extracts RTT and T0 estimates from a sender-side trace.
+pub fn estimate_timing(trace: &Trace) -> TimingEstimates {
+    // --- RTT via Karn ---------------------------------------------------
+    // pending: first-transmission times of not-yet-acked segments; a
+    // retransmission permanently disqualifies its sequence number.
+    let mut pending: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut snd_max: u64 = 0;
+    let mut last_ack: u64 = 0;
+    // Samples tagged with how many segments the ACK covered: delayed-ACK
+    // receivers hold an odd final segment for the delack timer (~200 ms),
+    // inflating single-cover samples; when the trace shows delayed acking
+    // (a substantial share of multi-cover ACKs), single-cover samples are
+    // discarded.
+    let mut samples: Vec<(f64, usize)> = Vec::new();
+
+    // --- T0 --------------------------------------------------------------
+    // last transmission time per in-flight seq is also what T0 needs.
+    let mut last_send_of: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut last_progress_ns: Option<u64> = None;
+    let mut in_to_sequence = false;
+    let mut t0_sum = 0.0;
+    let mut t0_n: u64 = 0;
+
+    for rec in trace.records() {
+        match rec.event {
+            TraceEvent::Send { seq, .. } => {
+                if seq >= snd_max {
+                    snd_max = seq + 1;
+                    pending.insert(seq, rec.time_ns);
+                } else {
+                    // Retransmission: Karn-disqualify this sequence.
+                    pending.remove(&seq);
+                    if !in_to_sequence {
+                        // First retransmission since last progress: if it is
+                        // a timeout (no way to tell TD vs TO here without
+                        // the classifier; T0 sampling accepts the small TD
+                        // contamination the same way trace tools do — the
+                        // gap for a fast retransmit is ≈RTT and for a
+                        // timeout ≈RTO, so downstream users combine this
+                        // with the classifier; see `estimate_t0_classified`).
+                        let anchor = last_send_of
+                            .get(&seq)
+                            .copied()
+                            .into_iter()
+                            .chain(last_progress_ns)
+                            .max();
+                        if let Some(anchor) = anchor {
+                            if rec.time_ns > anchor {
+                                t0_sum += (rec.time_ns - anchor) as f64 / 1e9;
+                                t0_n += 1;
+                            }
+                        }
+                        in_to_sequence = true;
+                    }
+                }
+                last_send_of.insert(seq, rec.time_ns);
+            }
+            TraceEvent::AckIn { ack } => {
+                if ack > last_ack {
+                    last_ack = ack;
+                    last_progress_ns = Some(rec.time_ns);
+                    in_to_sequence = false;
+                    // Sample the *highest* newly covered segment: with
+                    // delayed ACKs its send→ack gap is the cleanest RTT
+                    // (lower segments include the delayed-ACK hold).
+                    let covered: Vec<u64> =
+                        pending.range(..ack).map(|(&s, _)| s).collect();
+                    if let Some(&highest) = covered.last() {
+                        let sent = pending[&highest];
+                        if rec.time_ns > sent {
+                            samples.push((
+                                (rec.time_ns - sent) as f64 / 1e9,
+                                covered.len(),
+                            ));
+                        }
+                    }
+                    for s in covered {
+                        pending.remove(&s);
+                        last_send_of.remove(&s);
+                    }
+                }
+            }
+        }
+    }
+
+    let multi = samples.iter().filter(|(_, c)| *c >= 2).count();
+    let delayed_acking = multi * 3 >= samples.len(); // ≥1/3 multi-cover ACKs
+    let mut kept: Vec<f64> = samples
+        .iter()
+        .filter(|(_, c)| !delayed_acking || *c >= 2)
+        .map(|(r, _)| *r)
+        .collect();
+    // Robust location: the median. Two artifacts pollute the sample set —
+    // delack-timer ACKs add the delayed-ACK hold (filtered above when the
+    // receiver delays ACKs), and cumulative ACKs that jump a repaired hole
+    // anchor on segments sent a recovery ago. Both are heavy right tails;
+    // the median ignores them where a mean would not.
+    kept.sort_by(f64::total_cmp);
+    let rtt_n = kept.len() as u64;
+    let median = match kept.len() {
+        0 => None,
+        n if n % 2 == 1 => Some(kept[n / 2]),
+        n => Some(0.5 * (kept[n / 2 - 1] + kept[n / 2])),
+    };
+    TimingEstimates {
+        mean_rtt: median,
+        rtt_samples: rtt_n,
+        mean_t0: (t0_n > 0).then(|| t0_sum / t0_n as f64),
+        t0_samples: t0_n,
+    }
+}
+
+/// T0 estimation restricted to retransmissions the classifier labelled as
+/// timeout-sequence starts — use when TD contamination matters (the plain
+/// [`estimate_timing`] also averages fast-retransmit gaps, biasing T0 low
+/// on TD-heavy traces).
+pub fn estimate_t0_classified(
+    trace: &Trace,
+    timeout_start_times: &[u64],
+) -> Option<f64> {
+    if timeout_start_times.is_empty() {
+        return None;
+    }
+    let starts: std::collections::BTreeSet<u64> =
+        timeout_start_times.iter().copied().collect();
+    let mut last_send_of: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut last_progress_ns: Option<u64> = None;
+    let mut last_ack: u64 = 0;
+    let mut snd_max: u64 = 0;
+    let mut sum = 0.0;
+    let mut n: u64 = 0;
+    for rec in trace.records() {
+        match rec.event {
+            TraceEvent::Send { seq, .. } => {
+                if seq >= snd_max {
+                    snd_max = seq + 1;
+                } else if starts.contains(&rec.time_ns) {
+                    let anchor = last_send_of
+                        .get(&seq)
+                        .copied()
+                        .into_iter()
+                        .chain(last_progress_ns)
+                        .max();
+                    if let Some(anchor) = anchor {
+                        if rec.time_ns > anchor {
+                            sum += (rec.time_ns - anchor) as f64 / 1e9;
+                            n += 1;
+                        }
+                    }
+                }
+                last_send_of.insert(seq, rec.time_ns);
+            }
+            TraceEvent::AckIn { ack } => {
+                if ack > last_ack {
+                    last_ack = ack;
+                    last_progress_ns = Some(rec.time_ns);
+                }
+            }
+        }
+    }
+    (n > 0).then(|| sum / n as f64)
+}
+
+/// Pearson correlation between RTT samples and the number of packets in
+/// flight when the timed segment was sent — the paper's §IV diagnostic
+/// ("we have measured the coefficient of correlation between the duration
+/// of round samples and the number of packets in transit"). Values near 0
+/// support the model's RTT-independence assumption; values near 1 are the
+/// modem-path regime of Fig. 11 where every model fails.
+///
+/// Returns `None` with fewer than two samples or zero variance.
+pub fn rtt_window_correlation(trace: &Trace) -> Option<f64> {
+    let mut pending: BTreeMap<u64, (u64, u64)> = BTreeMap::new(); // seq → (t, flight)
+    let mut snd_max: u64 = 0;
+    let mut last_ack: u64 = 0;
+    let mut xs: Vec<f64> = Vec::new(); // flight
+    let mut ys: Vec<f64> = Vec::new(); // rtt
+    for rec in trace.records() {
+        match rec.event {
+            TraceEvent::Send { seq, .. } => {
+                if seq >= snd_max {
+                    snd_max = seq + 1;
+                    let flight = snd_max - last_ack;
+                    pending.insert(seq, (rec.time_ns, flight));
+                } else {
+                    pending.remove(&seq); // Karn
+                }
+            }
+            TraceEvent::AckIn { ack } => {
+                if ack > last_ack {
+                    last_ack = ack;
+                    let covered: Vec<u64> = pending.range(..ack).map(|(&s, _)| s).collect();
+                    if let Some(&highest) = covered.last() {
+                        let (sent, flight) = pending[&highest];
+                        if rec.time_ns > sent {
+                            xs.push(flight as f64);
+                            ys.push((rec.time_ns - sent) as f64 / 1e9);
+                        }
+                    }
+                    for s in covered {
+                        pending.remove(&s);
+                    }
+                }
+            }
+        }
+    }
+    pearson(&xs, &ys)
+}
+
+fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mx = xs.iter().sum::<f64>() / nf;
+    let my = ys.iter().sum::<f64>() / nf;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TraceRecord;
+
+    fn trace(events: &[(u64, TraceEvent)]) -> Trace {
+        let mut t = Trace::new();
+        for &(time_ns, event) in events {
+            t.push(TraceRecord { time_ns, event });
+        }
+        t
+    }
+
+    fn send(seq: u64) -> TraceEvent {
+        TraceEvent::Send { seq, retx: false }
+    }
+
+    fn ack(a: u64) -> TraceEvent {
+        TraceEvent::AckIn { ack: a }
+    }
+
+    const S: u64 = 1_000_000_000;
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn clean_rtt_measured() {
+        let t = trace(&[
+            (0, send(0)),
+            (200 * MS, ack(1)),
+            (200 * MS + 1, send(1)),
+            (400 * MS, ack(2)),
+        ]);
+        let est = estimate_timing(&t);
+        assert_eq!(est.rtt_samples, 2);
+        let expect = (0.2 + (0.4 - 0.2 - 1e-9) / 1.0) / 2.0;
+        assert!((est.mean_rtt.unwrap() - expect).abs() < 1e-6);
+        assert!(est.mean_t0.is_none());
+    }
+
+    #[test]
+    fn delayed_ack_samples_highest_covered() {
+        // Two segments sent 10 ms apart; one cumulative ACK 200 ms after the
+        // second. The sample must anchor on the second segment (0.2 s), not
+        // the first (0.21 s).
+        let t = trace(&[
+            (0, send(0)),
+            (10 * MS, send(1)),
+            (210 * MS, ack(2)),
+        ]);
+        let est = estimate_timing(&t);
+        assert_eq!(est.rtt_samples, 1);
+        assert!((est.mean_rtt.unwrap() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn karn_excludes_retransmitted_segments() {
+        let t = trace(&[
+            (0, send(0)),
+            (3 * S, send(0)), // retransmission: seq 0 disqualified
+            (3 * S + 100 * MS, ack(1)),
+        ]);
+        let est = estimate_timing(&t);
+        assert_eq!(est.rtt_samples, 0, "Karn must reject the ambiguous sample");
+    }
+
+    #[test]
+    fn t0_measured_from_send_gap() {
+        let t = trace(&[
+            (0, send(0)),
+            (3 * S, send(0)), // timeout after 3 s
+            (3 * S + 100 * MS, ack(1)),
+        ]);
+        let est = estimate_timing(&t);
+        assert_eq!(est.t0_samples, 1);
+        assert!((est.mean_t0.unwrap() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t0_anchors_on_later_of_send_and_progress() {
+        // Progress at t=1s restarts the timer; the timeout retransmission at
+        // t=3.5s therefore measures 2.5 s, not 3.5 s.
+        let t = trace(&[
+            (0, send(0)),
+            (500 * MS, send(1)),
+            (1 * S, ack(1)), // progress (seq 0 acked)
+            (3_500 * MS, send(1)),
+        ]);
+        let est = estimate_timing(&t);
+        assert_eq!(est.t0_samples, 1);
+        assert!((est.mean_t0.unwrap() - 2.5).abs() < 1e-9, "got {:?}", est.mean_t0);
+    }
+
+    #[test]
+    fn only_first_timeout_of_sequence_sampled() {
+        let t = trace(&[
+            (0, send(0)),
+            (3 * S, send(0)),
+            (9 * S, send(0)),  // backoff: same sequence, not sampled
+            (21 * S, send(0)), // backoff
+            (21 * S + 100 * MS, ack(1)),
+            (21 * S + 200 * MS, send(1)),
+            (24 * S, send(1)), // new sequence after progress
+        ]);
+        let est = estimate_timing(&t);
+        assert_eq!(est.t0_samples, 2);
+        // First sequence T0 = 3 s; second = 24 − 21.2 = 2.8 s.
+        assert!((est.mean_t0.unwrap() - (3.0 + 2.8) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classified_t0_uses_only_given_starts() {
+        let t = trace(&[
+            (0, send(0)),
+            (1, send(1)),
+            (100 * MS, ack(1)),
+            (101 * MS, ack(1)),
+            (102 * MS, ack(1)),
+            (103 * MS, ack(1)),
+            (104 * MS, send(1)), // fast retransmit — would contaminate T0
+            (5 * S, send(1)),    // true timeout
+        ]);
+        let plain = estimate_timing(&t);
+        // Plain estimator sampled the fast retransmit's tiny gap.
+        assert!(plain.mean_t0.unwrap() < 1.0);
+        let classified = estimate_t0_classified(&t, &[5 * S]).unwrap();
+        assert!((classified - (5.0 - 0.104)).abs() < 1e-6, "got {classified}");
+        assert!(estimate_t0_classified(&t, &[]).is_none());
+    }
+
+    #[test]
+    fn empty_trace_yields_nones() {
+        let est = estimate_timing(&Trace::new());
+        assert!(est.mean_rtt.is_none());
+        assert!(est.mean_t0.is_none());
+    }
+
+    #[test]
+    fn correlation_detects_queueing_regime() {
+        // Build a trace where RTT grows linearly with flight size
+        // (a dedicated bottleneck buffer): correlation ≈ 1.
+        let mut t = Trace::new();
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        for flight in 1..=20u64 {
+            // `flight − 1` unacked predecessors, then the timed segment.
+            for _ in 0..flight {
+                t.push(TraceRecord { time_ns: now, event: send(seq) });
+                seq += 1;
+                now += 1;
+            }
+            // RTT proportional to flight.
+            now += flight * 100 * MS;
+            t.push(TraceRecord { time_ns: now, event: ack(seq) });
+            now += 1;
+        }
+        let corr = rtt_window_correlation(&t).unwrap();
+        assert!(corr > 0.95, "expected strong correlation, got {corr}");
+    }
+
+    #[test]
+    fn correlation_near_zero_for_constant_rtt() {
+        let mut t = Trace::new();
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        for flight in [1u64, 5, 2, 9, 3, 7, 4, 8, 6, 10, 2, 9, 5, 1, 7] {
+            for _ in 0..flight {
+                t.push(TraceRecord { time_ns: now, event: send(seq) });
+                seq += 1;
+                now += 1;
+            }
+            now += 200 * MS; // constant RTT regardless of flight
+            t.push(TraceRecord { time_ns: now, event: ack(seq) });
+            now += 1;
+        }
+        let corr = rtt_window_correlation(&t).unwrap();
+        assert!(corr.abs() < 0.2, "expected near-zero correlation, got {corr}");
+    }
+
+    #[test]
+    fn correlation_needs_two_samples() {
+        assert!(rtt_window_correlation(&Trace::new()).is_none());
+        let mut t = Trace::new();
+        t.push(TraceRecord { time_ns: 0, event: send(0) });
+        t.push(TraceRecord { time_ns: 100 * MS, event: ack(1) });
+        assert!(rtt_window_correlation(&t).is_none());
+    }
+}

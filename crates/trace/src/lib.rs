@@ -1,0 +1,52 @@
+//! # tcp-trace
+//!
+//! Sender-side trace records and the paper's §III analysis programs.
+//!
+//! The paper gathered measurement data "by running tcpdump at the sender,
+//! and analyzing its output with a set of analysis programs developed by
+//! us". This crate is those programs:
+//!
+//! * [`record`] — the trace format (the `tcpdump` stand-in): timestamped
+//!   data-segment departures and ACK arrivals, serializable as JSON lines
+//!   or a compact binary framing;
+//! * [`analyzer`] — loss-indication extraction and TD-vs-TO classification
+//!   (with the Linux dupack-threshold-2 correction of §III), including
+//!   timeout-sequence lengths for Table II's T0…T5+ columns;
+//! * [`karn`] — RTT estimation under Karn's algorithm and `T0` estimation;
+//! * [`intervals`] — the 100-second interval segmentation behind Figs. 7–10;
+//! * [`metrics`] — the average-error metric of §III;
+//! * [`table`] — Table II row assembly and formatting;
+//! * [`summary`] — `tcptrace`-style whole-trace reports;
+//! * [`import`] — a plain-text dump format so externally captured traces
+//!   (e.g. converted `tcpdump` output) can feed the same pipeline;
+//! * [`validate`](mod@validate) — internal-consistency checks that catch the usual
+//!   conversion bugs in imported dumps before they skew the statistics.
+//!
+//! The analyzer deliberately uses only wire-visible information (sequence
+//! repetition, duplicate-ACK counts) and is validated against the
+//! simulator's ground-truth counters in the workspace integration tests —
+//! mirroring how the original programs were "verified by checking them
+//! against tcptrace and ns".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyzer;
+pub mod import;
+pub mod intervals;
+pub mod karn;
+pub mod metrics;
+pub mod record;
+pub mod summary;
+pub mod table;
+pub mod validate;
+
+pub use analyzer::{analyze, Analysis, AnalyzerConfig, IndicationKind, LossIndication};
+pub use import::{export_text, import_text, ImportError};
+pub use intervals::{split_intervals, split_intervals_bounded, IntervalCategory, IntervalStats};
+pub use karn::{estimate_t0_classified, estimate_timing, rtt_window_correlation, TimingEstimates};
+pub use metrics::{average_error, Observation};
+pub use record::{Trace, TraceEvent, TraceRecord};
+pub use summary::TraceSummary;
+pub use table::{format_table, TableRow};
+pub use validate::{validate, Finding, Problem, ValidateConfig};

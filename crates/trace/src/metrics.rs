@@ -1,0 +1,138 @@
+//! The paper's model-accuracy metric (§III):
+//!
+//! ```text
+//!                  Σ_observations |N_predicted − N_observed| / N_observed
+//! average error = ───────────────────────────────────────────────────────
+//!                              number of observations
+//! ```
+//!
+//! where, for each interval, `N_predicted = B(p_observed) · interval` with
+//! the trace-wide average RTT and T0 ("we calculate the average value of RTT
+//! and time-out for the entire trace").
+
+use crate::intervals::IntervalStats;
+
+/// One `(p_observed, N_observed)` observation, plus the horizon over which
+/// `N` was counted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Observed loss-indication rate in the interval.
+    pub loss_rate: f64,
+    /// Packets sent in the interval.
+    pub packets: u64,
+    /// Interval length, seconds.
+    pub interval_secs: f64,
+}
+
+impl Observation {
+    /// Builds observations from interval statistics.
+    pub fn from_intervals(intervals: &[IntervalStats], interval_secs: f64) -> Vec<Observation> {
+        intervals
+            .iter()
+            .map(|iv| Observation {
+                loss_rate: iv.loss_rate,
+                packets: iv.packets_sent,
+                interval_secs,
+            })
+            .collect()
+    }
+}
+
+/// Computes the paper's average error for a model `B(p)` in packets per
+/// second.
+///
+/// Skipped observations, mirroring what the paper's Figs. 7–10 could plot:
+///
+/// * intervals with `N_observed = 0` (the metric divides by it);
+/// * intervals with no loss indication — they have no measured `p` and
+///   cannot appear on the figures' logarithmic loss axis. (On heavily
+///   backed-off paths such intervals otherwise dominate the metric with
+///   meaningless `p → 0` extrapolations: TCP that spent 100 s inside one
+///   timeout sequence sent almost nothing, while any model evaluated at a
+///   clamped `p ≈ 0` predicts a full window per RTT.)
+pub fn average_error<F: Fn(f64) -> f64>(observations: &[Observation], model: F) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0u64;
+    for obs in observations {
+        if obs.packets == 0 || obs.loss_rate <= 0.0 {
+            continue;
+        }
+        let p = obs.loss_rate.clamp(1e-9, 1.0 - 1e-9);
+        let predicted = model(p) * obs.interval_secs;
+        sum += (predicted - obs.packets as f64).abs() / obs.packets as f64;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(loss_rate: f64, packets: u64) -> Observation {
+        Observation { loss_rate, packets, interval_secs: 100.0 }
+    }
+
+    #[test]
+    fn perfect_model_zero_error() {
+        let observations = vec![obs(0.01, 500), obs(0.02, 300)];
+        // A "model" that predicts exactly what was observed.
+        let err = average_error(&observations, |p| {
+            if (p - 0.01).abs() < 1e-6 {
+                5.0
+            } else {
+                3.0
+            }
+        });
+        assert!(err.abs() < 1e-12);
+    }
+
+    #[test]
+    fn overprediction_by_factor_two_is_error_one() {
+        let observations = vec![obs(0.05, 100)];
+        let err = average_error(&observations, |_| 2.0); // predicts 200
+        assert!((err - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_packet_intervals_skipped() {
+        let observations = vec![obs(0.05, 0), obs(0.05, 100)];
+        let err = average_error(&observations, |_| 1.0); // predicts 100
+        assert!(err.abs() < 1e-12);
+    }
+
+    #[test]
+    fn lossless_intervals_skipped() {
+        // No indications → no measurable p → not a figure point.
+        let observations = vec![obs(0.0, 100), obs(0.05, 100)];
+        let err = average_error(&observations, |_| 1.0); // predicts 100
+        assert!(err.abs() < 1e-12, "only the lossy interval counts");
+        // All-lossless input yields zero error (no observations).
+        assert_eq!(average_error(&[obs(0.0, 50)], |_| 42.0), 0.0);
+    }
+
+    #[test]
+    fn empty_observations_zero_error() {
+        assert_eq!(average_error(&[], |_| 1.0), 0.0);
+    }
+
+    #[test]
+    fn from_intervals_copies_fields() {
+        use crate::intervals::{IntervalCategory, IntervalStats};
+        let iv = vec![IntervalStats {
+            index: 0,
+            packets_sent: 42,
+            loss_indications: 2,
+            loss_rate: 2.0 / 42.0,
+            category: IntervalCategory::TdOnly,
+        }];
+        let o = Observation::from_intervals(&iv, 100.0);
+        assert_eq!(o.len(), 1);
+        assert_eq!(o[0].packets, 42);
+        assert!((o[0].loss_rate - 2.0 / 42.0).abs() < 1e-12);
+    }
+}

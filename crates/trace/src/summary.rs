@@ -1,0 +1,209 @@
+//! Whole-trace summary statistics — the `tcptrace`-style report the paper's
+//! authors used to sanity-check their analysis programs, extended with the
+//! quantities this workspace's experiments consume.
+
+use crate::analyzer::{analyze, Analysis, AnalyzerConfig};
+use crate::karn::{estimate_timing, rtt_window_correlation};
+use crate::record::{Trace, TraceEvent};
+use serde::{Deserialize, Serialize};
+
+/// A complete per-trace report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Trace duration (first to last record), seconds.
+    pub duration_secs: f64,
+    /// Total data transmissions.
+    pub packets_sent: u64,
+    /// Retransmissions (inferred from sequence repetition).
+    pub retransmissions: u64,
+    /// Distinct sequence numbers transmitted.
+    pub distinct_packets: u64,
+    /// ACKs seen at the sender.
+    pub acks: u64,
+    /// Loss indications (TD + timeout sequences).
+    pub loss_indications: u64,
+    /// TD indications.
+    pub td_events: u64,
+    /// Timeout histogram (T0..T5+).
+    pub timeout_histogram: [u64; 6],
+    /// The paper's `p` estimate.
+    pub loss_rate: f64,
+    /// Retransmission fraction of all transmissions.
+    pub retransmission_rate: f64,
+    /// Mean send rate, packets per second.
+    pub send_rate_pps: f64,
+    /// Karn-mean RTT, seconds (None without samples).
+    pub mean_rtt: Option<f64>,
+    /// Mean single-timeout duration, seconds.
+    pub mean_t0: Option<f64>,
+    /// RTT–window correlation (§IV's modem diagnostic).
+    pub rtt_window_correlation: Option<f64>,
+}
+
+impl TraceSummary {
+    /// Builds a summary from a trace with the given analyzer settings.
+    pub fn build(trace: &Trace, analyzer: AnalyzerConfig) -> TraceSummary {
+        let analysis = analyze(trace, analyzer);
+        TraceSummary::from_parts(trace, &analysis)
+    }
+
+    /// Builds a summary reusing an existing analysis (avoids re-running the
+    /// classifier when the caller already has one).
+    pub fn from_parts(trace: &Trace, analysis: &Analysis) -> TraceSummary {
+        let timing = estimate_timing(trace);
+        let duration = trace.duration_secs();
+        let mut distinct = 0u64;
+        let mut snd_max = 0u64;
+        for rec in trace.records() {
+            if let TraceEvent::Send { seq, .. } = rec.event {
+                if seq >= snd_max {
+                    snd_max = seq + 1;
+                    distinct += 1;
+                }
+            }
+        }
+        TraceSummary {
+            duration_secs: duration,
+            packets_sent: analysis.packets_sent,
+            retransmissions: analysis.retransmissions,
+            distinct_packets: distinct,
+            acks: analysis.acks_seen,
+            loss_indications: analysis.indications.len() as u64,
+            td_events: analysis.td_count(),
+            timeout_histogram: analysis.to_histogram(),
+            loss_rate: analysis.loss_rate(),
+            retransmission_rate: if analysis.packets_sent == 0 {
+                0.0
+            } else {
+                analysis.retransmissions as f64 / analysis.packets_sent as f64
+            },
+            send_rate_pps: if duration > 0.0 {
+                analysis.packets_sent as f64 / duration
+            } else {
+                0.0
+            },
+            mean_rtt: timing.mean_rtt,
+            mean_t0: timing.mean_t0,
+            rtt_window_correlation: rtt_window_correlation(trace),
+        }
+    }
+
+    /// Renders the summary as an aligned multi-line report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("duration          {:>12.1} s\n", self.duration_secs));
+        out.push_str(&format!("packets sent      {:>12}\n", self.packets_sent));
+        out.push_str(&format!(
+            "  retransmissions {:>12} ({:.2}%)\n",
+            self.retransmissions,
+            100.0 * self.retransmission_rate
+        ));
+        out.push_str(&format!("  distinct        {:>12}\n", self.distinct_packets));
+        out.push_str(&format!("acks              {:>12}\n", self.acks));
+        out.push_str(&format!(
+            "loss indications  {:>12} (p = {:.4})\n",
+            self.loss_indications, self.loss_rate
+        ));
+        out.push_str(&format!(
+            "  TD / TO         {:>12} / {}\n",
+            self.td_events,
+            self.timeout_histogram.iter().sum::<u64>()
+        ));
+        out.push_str(&format!("  TO histogram    {:>12?}\n", self.timeout_histogram));
+        out.push_str(&format!("send rate         {:>12.2} pkt/s\n", self.send_rate_pps));
+        if let Some(rtt) = self.mean_rtt {
+            out.push_str(&format!("mean RTT          {:>12.4} s\n", rtt));
+        }
+        if let Some(t0) = self.mean_t0 {
+            out.push_str(&format!("mean T0           {:>12.3} s\n", t0));
+        }
+        if let Some(corr) = self.rtt_window_correlation {
+            out.push_str(&format!("RTT-window corr   {:>12.3}\n", corr));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TraceRecord;
+
+    const S: u64 = 1_000_000_000;
+    const MS: u64 = 1_000_000;
+
+    fn build_trace() -> Trace {
+        let mut t = Trace::new();
+        // Two clean exchanges, one timeout retransmission.
+        t.push(TraceRecord { time_ns: 0, event: TraceEvent::Send { seq: 0, retx: false } });
+        t.push(TraceRecord {
+            time_ns: 200 * MS,
+            event: TraceEvent::AckIn { ack: 1 },
+        });
+        t.push(TraceRecord {
+            time_ns: 200 * MS + 1,
+            event: TraceEvent::Send { seq: 1, retx: false },
+        });
+        t.push(TraceRecord {
+            time_ns: 3 * S,
+            event: TraceEvent::Send { seq: 1, retx: true },
+        });
+        t.push(TraceRecord { time_ns: 3 * S + 200 * MS, event: TraceEvent::AckIn { ack: 2 } });
+        t
+    }
+
+    #[test]
+    fn summary_counts() {
+        let trace = build_trace();
+        let s = TraceSummary::build(&trace, AnalyzerConfig::default());
+        assert_eq!(s.packets_sent, 3);
+        assert_eq!(s.retransmissions, 1);
+        assert_eq!(s.distinct_packets, 2);
+        assert_eq!(s.acks, 2);
+        assert_eq!(s.loss_indications, 1);
+        assert_eq!(s.td_events, 0);
+        assert_eq!(s.timeout_histogram[0], 1);
+        assert!((s.loss_rate - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.retransmission_rate - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.duration_secs - 3.2).abs() < 1e-9);
+        assert!((s.send_rate_pps - 3.0 / 3.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_timing_fields() {
+        let trace = build_trace();
+        let s = TraceSummary::build(&trace, AnalyzerConfig::default());
+        // Only seq 0 yields a Karn-valid RTT sample (seq 1 was retransmitted).
+        assert!((s.mean_rtt.unwrap() - 0.2).abs() < 1e-9);
+        // T0 measured from the retransmission gap anchored at progress.
+        assert!(s.mean_t0.unwrap() > 2.0);
+    }
+
+    #[test]
+    fn render_mentions_key_numbers() {
+        let trace = build_trace();
+        let s = TraceSummary::build(&trace, AnalyzerConfig::default());
+        let text = s.render();
+        assert!(text.contains("packets sent"));
+        assert!(text.contains("loss indications"));
+        assert!(text.contains("0.2000"), "RTT missing from:\n{text}");
+    }
+
+    #[test]
+    fn empty_trace_summary() {
+        let s = TraceSummary::build(&Trace::new(), AnalyzerConfig::default());
+        assert_eq!(s.packets_sent, 0);
+        assert_eq!(s.send_rate_pps, 0.0);
+        assert!(s.mean_rtt.is_none());
+        assert!(s.rtt_window_correlation.is_none());
+        // Renders without panicking.
+        let _ = s.render();
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = TraceSummary::build(&build_trace(), AnalyzerConfig::default());
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(serde_json::from_str::<TraceSummary>(&json).unwrap(), s);
+    }
+}

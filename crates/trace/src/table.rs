@@ -1,0 +1,168 @@
+//! Table II assembly: per-trace summary rows ("Summary Data from 1 h
+//! Traces") built from an [`Analysis`] plus timing estimates.
+
+use crate::analyzer::Analysis;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One row of the paper's Table II.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableRow {
+    /// Sender host name.
+    pub sender: String,
+    /// Receiver host name.
+    pub receiver: String,
+    /// Total packets sent.
+    pub packets_sent: u64,
+    /// Total loss indications (TD + timeout sequences).
+    pub loss_indications: u64,
+    /// Triple-duplicate indications.
+    pub td: u64,
+    /// Timeout sequences by length: index 0 = single ("T0"), …,
+    /// index 5 = "T5 or more".
+    pub timeouts: [u64; 6],
+    /// Trace-average round-trip time, seconds.
+    pub rtt: f64,
+    /// Trace-average single-timeout duration, seconds.
+    pub t0: f64,
+}
+
+impl TableRow {
+    /// Builds a row from an analysis and timing estimates.
+    pub fn from_analysis(
+        sender: &str,
+        receiver: &str,
+        analysis: &Analysis,
+        rtt: f64,
+        t0: f64,
+    ) -> TableRow {
+        TableRow {
+            sender: sender.to_string(),
+            receiver: receiver.to_string(),
+            packets_sent: analysis.packets_sent,
+            loss_indications: analysis.indications.len() as u64,
+            td: analysis.td_count(),
+            timeouts: analysis.to_histogram(),
+            rtt,
+            t0,
+        }
+    }
+
+    /// The paper's `p` estimate for this row.
+    pub fn loss_rate(&self) -> f64 {
+        if self.packets_sent == 0 {
+            0.0
+        } else {
+            self.loss_indications as f64 / self.packets_sent as f64
+        }
+    }
+
+    /// Fraction of loss indications that are timeouts — the observation the
+    /// paper leads with ("in all traces, time-outs constitute the majority
+    /// or a significant fraction of the total number of loss indications").
+    pub fn timeout_fraction(&self) -> f64 {
+        if self.loss_indications == 0 {
+            0.0
+        } else {
+            self.timeouts.iter().sum::<u64>() as f64 / self.loss_indications as f64
+        }
+    }
+}
+
+/// Renders rows as an aligned text table in the paper's column order.
+pub fn format_table(rows: &[TableRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<8} {:<12} {:>8} {:>6} {:>5} {:>5} {:>4} {:>4} {:>4} {:>4} {:>7} {:>6} {:>6}\n",
+        "Sender", "Receiver", "Packets", "Loss", "TD", "T0", "T1", "T2", "T3", "T4", "T5+",
+        "RTT", "T.Out"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} {:<12} {:>8} {:>6} {:>5} {:>5} {:>4} {:>4} {:>4} {:>4} {:>7} {:>6.3} {:>6.3}\n",
+            r.sender,
+            r.receiver,
+            r.packets_sent,
+            r.loss_indications,
+            r.td,
+            r.timeouts[0],
+            r.timeouts[1],
+            r.timeouts[2],
+            r.timeouts[3],
+            r.timeouts[4],
+            r.timeouts[5],
+            r.rtt,
+            r.t0
+        ));
+    }
+    out
+}
+
+impl fmt::Display for TableRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_table(std::slice::from_ref(self)).lines().nth(1).unwrap_or(""))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::{Analysis, IndicationKind, LossIndication};
+
+    fn sample_analysis() -> Analysis {
+        Analysis {
+            indications: vec![
+                LossIndication { time_ns: 1, kind: IndicationKind::TripleDuplicate },
+                LossIndication { time_ns: 2, kind: IndicationKind::Timeout { sequence_len: 1 } },
+                LossIndication { time_ns: 3, kind: IndicationKind::Timeout { sequence_len: 2 } },
+                LossIndication { time_ns: 4, kind: IndicationKind::Timeout { sequence_len: 9 } },
+            ],
+            packets_sent: 1000,
+            retransmissions: 5,
+            acks_seen: 400,
+        }
+    }
+
+    #[test]
+    fn row_from_analysis() {
+        let row = TableRow::from_analysis("manic", "alps", &sample_analysis(), 0.207, 2.505);
+        assert_eq!(row.packets_sent, 1000);
+        assert_eq!(row.loss_indications, 4);
+        assert_eq!(row.td, 1);
+        assert_eq!(row.timeouts, [1, 1, 0, 0, 0, 1]);
+        assert!((row.loss_rate() - 0.004).abs() < 1e-12);
+        assert!((row.timeout_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn formatting_includes_all_columns() {
+        let row = TableRow::from_analysis("manic", "baskerville", &sample_analysis(), 0.243, 2.495);
+        let text = format_table(&[row]);
+        assert!(text.contains("manic"));
+        assert!(text.contains("baskerville"));
+        assert!(text.contains("1000"));
+        assert!(text.contains("0.243"));
+        assert!(text.contains("2.495"));
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn display_matches_table_row() {
+        let row = TableRow::from_analysis("a", "b", &sample_analysis(), 0.1, 1.0);
+        let display = row.to_string();
+        assert!(display.contains("1000"));
+    }
+
+    #[test]
+    fn empty_row_edge_cases() {
+        let a = Analysis {
+            indications: vec![],
+            packets_sent: 0,
+            retransmissions: 0,
+            acks_seen: 0,
+        };
+        let row = TableRow::from_analysis("x", "y", &a, 0.1, 1.0);
+        assert_eq!(row.loss_rate(), 0.0);
+        assert_eq!(row.timeout_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Trace validation: internal-consistency checks for traces before they
+//! enter the analysis pipeline — mainly useful for imported external dumps
+//! ([`crate::import`]), where conversion bugs (byte/packet mix-ups, clock
+//! jumps, reversed directions) would otherwise surface as nonsense
+//! loss-indication statistics.
+
+use crate::record::{Trace, TraceEvent};
+use serde::{Deserialize, Serialize};
+
+/// A single validation finding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Finding {
+    /// Index of the offending record.
+    pub record_index: usize,
+    /// What looks wrong.
+    pub problem: Problem,
+}
+
+/// The kinds of inconsistency the validator detects.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Problem {
+    /// An ACK acknowledges data that was never transmitted — usually a
+    /// bytes-vs-packets conversion error or a trace captured at the wrong
+    /// endpoint.
+    AckAboveSndMax {
+        /// The ACK value.
+        ack: u64,
+        /// Highest sequence transmitted before it (+1).
+        snd_max: u64,
+    },
+    /// The cumulative ACK value went backwards (reordering on the reverse
+    /// path is possible in reality but breaks the analyzer's assumptions;
+    /// sender-side captures see ACKs in arrival order, which is what the
+    /// analysis needs).
+    AckRegressed {
+        /// This ACK's value.
+        ack: u64,
+        /// The highest ACK seen before it.
+        previous: u64,
+    },
+    /// A new (non-retransmission) sequence skipped ahead, leaving a gap the
+    /// sender never filled — senders transmit sequentially.
+    SequenceGap {
+        /// The transmitted sequence.
+        seq: u64,
+        /// The expected next new sequence.
+        expected: u64,
+    },
+    /// The gap between consecutive events exceeds the plausibility bound
+    /// (default: 1 hour) — usually a units error in timestamps.
+    ClockJump {
+        /// Gap length, seconds.
+        gap_secs: f64,
+    },
+}
+
+/// Validator settings.
+#[derive(Debug, Clone, Copy)]
+pub struct ValidateConfig {
+    /// Largest believable silence between consecutive records, seconds.
+    pub max_gap_secs: f64,
+    /// Stop after this many findings (imported garbage can produce one per
+    /// record; a bounded report stays readable).
+    pub max_findings: usize,
+}
+
+impl Default for ValidateConfig {
+    fn default() -> Self {
+        ValidateConfig { max_gap_secs: 3600.0, max_findings: 100 }
+    }
+}
+
+/// Checks the trace and returns the findings (empty = consistent).
+pub fn validate(trace: &Trace, config: ValidateConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut snd_max: u64 = 0;
+    let mut highest_ack: u64 = 0;
+    let mut last_time: Option<u64> = None;
+    for (i, rec) in trace.records().iter().enumerate() {
+        if findings.len() >= config.max_findings {
+            break;
+        }
+        if let Some(prev) = last_time {
+            let gap = (rec.time_ns - prev) as f64 / 1e9;
+            if gap > config.max_gap_secs {
+                findings.push(Finding {
+                    record_index: i,
+                    problem: Problem::ClockJump { gap_secs: gap },
+                });
+            }
+        }
+        last_time = Some(rec.time_ns);
+        match rec.event {
+            TraceEvent::Send { seq, .. } => {
+                if seq > snd_max {
+                    findings.push(Finding {
+                        record_index: i,
+                        problem: Problem::SequenceGap { seq, expected: snd_max },
+                    });
+                    snd_max = seq + 1;
+                } else if seq == snd_max {
+                    snd_max += 1;
+                }
+                // seq < snd_max is a retransmission: fine.
+            }
+            TraceEvent::AckIn { ack } => {
+                if ack > snd_max {
+                    findings.push(Finding {
+                        record_index: i,
+                        problem: Problem::AckAboveSndMax { ack, snd_max },
+                    });
+                }
+                if ack < highest_ack {
+                    findings.push(Finding {
+                        record_index: i,
+                        problem: Problem::AckRegressed { ack, previous: highest_ack },
+                    });
+                }
+                highest_ack = highest_ack.max(ack);
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TraceRecord;
+
+    fn rec(time_ns: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord { time_ns, event }
+    }
+
+    fn send(seq: u64) -> TraceEvent {
+        TraceEvent::Send { seq, retx: false }
+    }
+
+    fn ack(a: u64) -> TraceEvent {
+        TraceEvent::AckIn { ack: a }
+    }
+
+    #[test]
+    fn clean_trace_has_no_findings() {
+        let mut t = Trace::new();
+        t.push(rec(0, send(0)));
+        t.push(rec(1, send(1)));
+        t.push(rec(100_000_000, ack(2)));
+        t.push(rec(100_000_001, send(2)));
+        t.push(rec(3_000_000_000, send(2))); // retransmission: fine
+        assert!(validate(&t, ValidateConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn detects_ack_above_snd_max() {
+        let mut t = Trace::new();
+        t.push(rec(0, send(0)));
+        t.push(rec(1, ack(500))); // bytes mistaken for packets, say
+        let f = validate(&t, ValidateConfig::default());
+        assert_eq!(f.len(), 1);
+        assert!(matches!(f[0].problem, Problem::AckAboveSndMax { ack: 500, snd_max: 1 }));
+        assert_eq!(f[0].record_index, 1);
+    }
+
+    #[test]
+    fn detects_ack_regression() {
+        let mut t = Trace::new();
+        t.push(rec(0, send(0)));
+        t.push(rec(1, send(1)));
+        t.push(rec(2, ack(2)));
+        t.push(rec(3, ack(1)));
+        let f = validate(&t, ValidateConfig::default());
+        assert!(f.iter().any(|x| matches!(
+            x.problem,
+            Problem::AckRegressed { ack: 1, previous: 2 }
+        )));
+    }
+
+    #[test]
+    fn detects_sequence_gap() {
+        let mut t = Trace::new();
+        t.push(rec(0, send(0)));
+        t.push(rec(1, send(7))); // skipped 1..=6
+        let f = validate(&t, ValidateConfig::default());
+        assert_eq!(f.len(), 1);
+        assert!(matches!(f[0].problem, Problem::SequenceGap { seq: 7, expected: 1 }));
+        // After the gap, continuing from 8 is consistent.
+        let mut t2 = Trace::new();
+        t2.push(rec(0, send(0)));
+        t2.push(rec(1, send(7)));
+        t2.push(rec(2, send(8)));
+        assert_eq!(validate(&t2, ValidateConfig::default()).len(), 1);
+    }
+
+    #[test]
+    fn detects_clock_jump() {
+        let mut t = Trace::new();
+        t.push(rec(0, send(0)));
+        t.push(rec(7_200_000_000_000, send(1))); // 2 hours later
+        let f = validate(&t, ValidateConfig::default());
+        assert!(matches!(f[0].problem, Problem::ClockJump { gap_secs } if gap_secs > 7000.0));
+    }
+
+    #[test]
+    fn findings_are_bounded() {
+        let mut t = Trace::new();
+        t.push(rec(0, send(0)));
+        for i in 0..500u64 {
+            t.push(rec(i + 1, ack(1_000 + i))); // every ack invalid
+        }
+        let f = validate(&t, ValidateConfig { max_findings: 10, ..Default::default() });
+        assert_eq!(f.len(), 10);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests of the trace format and analyzer.
+
+use proptest::prelude::*;
+use tcp_trace::analyzer::{analyze, AnalyzerConfig};
+use tcp_trace::record::{Trace, TraceEvent, TraceRecord};
+
+/// Strategy: a random but *time-ordered* plausible sender trace. Generates
+/// interleavings of new sends, retransmissions of the current head, and
+/// forward/duplicate ACKs.
+fn trace_strategy() -> impl Strategy<Value = Trace> {
+    proptest::collection::vec((0u8..4, 1u64..50), 1..400).prop_map(|ops| {
+        let mut t = Trace::new();
+        let mut now = 0u64;
+        let mut snd_max = 0u64;
+        let mut last_ack = 0u64;
+        for (op, dt) in ops {
+            now += dt * 1_000_000;
+            match op {
+                // New data segment.
+                0 | 1 => {
+                    t.push(TraceRecord {
+                        time_ns: now,
+                        event: TraceEvent::Send { seq: snd_max, retx: false },
+                    });
+                    snd_max += 1;
+                }
+                // Retransmission of the head (only if something is out).
+                2 if last_ack < snd_max => {
+                    t.push(TraceRecord {
+                        time_ns: now,
+                        event: TraceEvent::Send { seq: last_ack, retx: true },
+                    });
+                }
+                // An ACK: duplicate or forward.
+                _ if snd_max > 0 => {
+                    let ack = if last_ack < snd_max && (now / 1_000_000) % 3 == 0 {
+                        last_ack + 1 + (now / 7_000_000) % (snd_max - last_ack)
+                    } else {
+                        last_ack
+                    };
+                    last_ack = last_ack.max(ack);
+                    t.push(TraceRecord { time_ns: now, event: TraceEvent::AckIn { ack } });
+                }
+                _ => {}
+            }
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn jsonl_roundtrip_any_trace(trace in trace_strategy()) {
+        let mut buf = Vec::new();
+        trace.write_jsonl(&mut buf).unwrap();
+        let back = Trace::read_jsonl(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn binary_roundtrip_any_trace(trace in trace_strategy()) {
+        let mut buf = Vec::new();
+        trace.encode_binary(&mut buf);
+        prop_assert_eq!(buf.len(), trace.len() * 17);
+        let back = Trace::decode_binary(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn analyzer_never_panics_and_counts_consistently(trace in trace_strategy()) {
+        let a = analyze(&trace, AnalyzerConfig::default());
+        // Sends in the trace equal packets counted.
+        let sends = trace
+            .records()
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::Send { .. }))
+            .count() as u64;
+        prop_assert_eq!(a.packets_sent, sends);
+        prop_assert!(a.retransmissions <= a.packets_sent);
+        // Every indication is anchored at a retransmission, so there can be
+        // no more indications than retransmissions.
+        prop_assert!(a.indications.len() as u64 <= a.retransmissions);
+        // Histogram total equals TO count.
+        prop_assert_eq!(a.to_histogram().iter().sum::<u64>(), a.to_count());
+        // Loss rate is a proper fraction.
+        prop_assert!((0.0..=1.0).contains(&a.loss_rate()));
+        // Indications are time-ordered.
+        prop_assert!(a.indications.windows(2).all(|w| w[0].time_ns <= w[1].time_ns));
+    }
+
+    #[test]
+    fn stricter_threshold_never_increases_td_count(trace in trace_strategy()) {
+        // Raising the dupack threshold can only turn TDs into TOs.
+        let td2 = analyze(&trace, AnalyzerConfig { dupack_threshold: 2 }).td_count();
+        let td3 = analyze(&trace, AnalyzerConfig { dupack_threshold: 3 }).td_count();
+        let td4 = analyze(&trace, AnalyzerConfig { dupack_threshold: 4 }).td_count();
+        prop_assert!(td3 <= td2);
+        prop_assert!(td4 <= td3);
+    }
+}

@@ -1,0 +1,60 @@
+//! TCP-friendliness on a shared bottleneck — the paper's §I motivation,
+//! live. A 100 pkt/s drop-tail link carries one TCP flow plus one CBR flow
+//! whose rate sweeps from well below to well above the PFTK TCP-friendly
+//! rate; watch TCP's share collapse once the CBR stops being friendly.
+//!
+//! ```sh
+//! cargo run --release --example fairness
+//! ```
+
+use padhye_tcp_repro::model::prelude::*;
+use padhye_tcp_repro::sim::network::{FlowConfig, Network};
+use padhye_tcp_repro::sim::queue::DropTail;
+use padhye_tcp_repro::sim::reno::sender::SenderConfig;
+use padhye_tcp_repro::sim::time::SimDuration;
+
+const LINK: f64 = 100.0;
+const RTT: f64 = 0.1;
+const HORIZON: f64 = 300.0;
+
+fn main() {
+    // Step 1: measure the fair operating point (two TCPs).
+    let mut net = Network::new(LINK, Box::new(DropTail::new(25)), 1);
+    let f0 = net.add_flow(FlowConfig::tcp(RTT, SenderConfig::default()));
+    net.add_flow(FlowConfig::tcp(RTT, SenderConfig::default()));
+    net.run_for(SimDuration::from_secs_f64(HORIZON));
+    net.finish();
+    let stats = net.stats();
+    let p = stats[f0].tcp.as_ref().unwrap().loss_indication_rate().clamp(1e-6, 0.9);
+    let measured_rtt = RTT + 25.0 / LINK / 2.0; // propagation + mid-queue delay
+    let params = ModelParams::new(measured_rtt, 1.0, 2, u16::MAX as u32).unwrap();
+    let friendly = tcp_friendly_rate(LossProb::new(p).unwrap(), &params, ModelKind::Full);
+    println!("two-TCP baseline: each ≈ {:.1} pkt/s, loss p = {:.4}", LINK / 2.0, p);
+    println!("PFTK TCP-friendly rate at that point: {friendly:.1} pkt/s\n");
+
+    // Step 2: sweep a CBR competitor against one TCP.
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>8}",
+        "CBR pk/s", "TCP share", "CBR goodput", "CBR drops", "TCP p"
+    );
+    for mult in [0.25, 0.5, 1.0, 1.5, 2.0, 3.0] {
+        let cbr_rate = (friendly * mult).min(LINK * 0.98);
+        let mut net = Network::new(LINK, Box::new(DropTail::new(25)), 42);
+        let tcp = net.add_flow(FlowConfig::tcp(RTT, SenderConfig::default()));
+        let cbr = net.add_flow(FlowConfig::cbr(RTT, cbr_rate));
+        net.run_for(SimDuration::from_secs_f64(HORIZON));
+        net.finish();
+        let s = net.stats();
+        println!(
+            "{:>10.1} {:>10.1}/s {:>10.1}/s {:>11.1}% {:>8.4}",
+            cbr_rate,
+            s[tcp].delivered as f64 / HORIZON,
+            s[cbr].delivered as f64 / HORIZON,
+            100.0 * s[cbr].loss_fraction(),
+            s[tcp].tcp.as_ref().unwrap().loss_indication_rate()
+        );
+    }
+    println!("\nAt ≤1x the friendly rate both flows prosper; beyond it the CBR");
+    println!("keeps its goodput by force while TCP backs off — exactly the");
+    println!("unfairness the TCP-friendly equation exists to prevent.");
+}

@@ -1,0 +1,73 @@
+//! Importing an external sender-side dump: validate it, analyze it, and
+//! fit the model — the workflow for running this paper's methodology on a
+//! trace you captured yourself (convert `tcpdump` output to the three-
+//! column text format with a one-liner; see `tcp_trace::import`).
+//!
+//! ```sh
+//! cargo run --release --example import_trace
+//! ```
+
+use padhye_tcp_repro::model::prelude::*;
+use padhye_tcp_repro::trace::analyzer::{analyze, AnalyzerConfig};
+use padhye_tcp_repro::trace::import::import_text;
+use padhye_tcp_repro::trace::summary::TraceSummary;
+use padhye_tcp_repro::trace::validate::{validate, ValidateConfig};
+
+/// A small hand-written dump: two clean windows, one triple-duplicate
+/// recovery, one timeout with a single backoff.
+const DUMP: &str = "
+# time   kind  seq/ack
+0.000 send 0
+0.001 send 1
+0.210 ack 2
+0.211 send 2
+0.212 send 3
+0.213 send 4
+0.214 send 5
+0.420 ack 3          # packet 3 lost → duplicate ACKs follow
+0.421 ack 3
+0.422 ack 3
+0.423 ack 3
+0.424 send 3         # fast retransmit
+0.630 ack 6
+0.631 send 6
+0.632 send 7
+1.900 send 6         # timeout retransmission
+4.400 send 6         # backed-off retransmission (T1)
+4.610 ack 8
+";
+
+fn main() {
+    let trace = import_text(std::io::Cursor::new(DUMP)).expect("well-formed dump");
+
+    // 1. Sanity-check before trusting any statistics.
+    let findings = validate(&trace, ValidateConfig::default());
+    assert!(findings.is_empty(), "validator found problems: {findings:?}");
+    println!("validator: clean ({} records)", trace.len());
+
+    // 2. Full summary.
+    let summary = TraceSummary::build(&trace, AnalyzerConfig::default());
+    println!("\n{}", summary.render());
+
+    // 3. Classified indications.
+    let analysis = analyze(&trace, AnalyzerConfig::default());
+    for ind in &analysis.indications {
+        println!("loss indication at {:.3}s: {:?}", ind.time_ns as f64 / 1e9, ind.kind);
+    }
+
+    // 4. Fit the model at the measured operating point.
+    let p = LossProb::new(analysis.loss_rate()).unwrap();
+    let params = ModelParams::new(
+        summary.mean_rtt.unwrap_or(0.2),
+        summary.mean_t0.unwrap_or(1.5),
+        2,
+        64,
+    )
+    .unwrap();
+    println!(
+        "\nfull model at the measured point: {:.1} packets/s (measured {:.1})",
+        full_model(p, &params),
+        summary.send_rate_pps
+    );
+    println!("(a {}-record toy dump is of course far from steady state)", trace.len());
+}

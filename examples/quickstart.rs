@@ -1,0 +1,55 @@
+//! Quickstart: evaluate the PFTK model for a network operating point.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use padhye_tcp_repro::model::prelude::*;
+
+fn main() {
+    // A transatlantic-grade path of the paper's era: 200 ms RTT, 2 s
+    // timeouts, delayed ACKs (b = 2), a 32-packet receiver window.
+    let params = ModelParams::builder()
+        .rtt(0.2)
+        .t0(2.0)
+        .ack_factor(2)
+        .max_window(32)
+        .build()
+        .expect("valid parameters");
+
+    println!("TCP Reno steady-state send rate, RTT=200 ms, T0=2 s, W_m=32\n");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14} {:>12}",
+        "loss p", "full (32)", "approx (33)", "TD-only (20)", "regime"
+    );
+    for p in [0.0005, 0.001, 0.005, 0.01, 0.03, 0.05, 0.1, 0.2] {
+        let lp = LossProb::new(p).expect("p in (0,1)");
+        let detail = full_model_detailed(lp, &params);
+        println!(
+            "{:>8} {:>10.1} p/s {:>10.1} p/s {:>10.1} p/s {:>12}",
+            p,
+            detail.rate,
+            approx_model(lp, &params),
+            td_only(lp, &params),
+            match detail.regime {
+                Regime::WindowLimited => "W_m-limited",
+                Regime::Unconstrained => "loss-limited",
+            }
+        );
+    }
+
+    // Bytes-per-second view for a 1460-byte MSS.
+    let lp = LossProb::new(0.01).unwrap();
+    let rate = PacketsPerSec::new(full_model(lp, &params)).unwrap();
+    println!(
+        "\nAt 1% loss: {:.1} packets/s = {:.0} kB/s at a 1460-byte MSS",
+        rate.get(),
+        rate.to_bytes_per_sec(1460) / 1000.0
+    );
+
+    // Receiver throughput (§V) vs send rate: the gap is retransmissions.
+    let b = full_model(lp, &params);
+    let t = padhye_tcp_repro::model::throughput::throughput(lp, &params);
+    println!("Send rate {b:.1} p/s vs receiver throughput {t:.1} p/s (efficiency {:.1}%)",
+        100.0 * t / b);
+}

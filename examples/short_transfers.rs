@@ -1,0 +1,79 @@
+//! Short-transfer latency — the WWW workload the paper's introduction
+//! motivates. Compares three estimates of "how long does an n-packet HTTP
+//! response take?" against the packet-level simulator:
+//!
+//! * the naive steady-state estimate `n / B(p)` (wrong for short flows);
+//! * the short-flow model (slow start + recovery + steady state, the
+//!   Cardwell-style extension in `pftk_model::shortflow`);
+//! * simulated TCP (mean over seeds).
+//!
+//! ```sh
+//! cargo run --release --example short_transfers
+//! ```
+
+use padhye_tcp_repro::model::prelude::*;
+use padhye_tcp_repro::sim::connection::Connection;
+use padhye_tcp_repro::sim::loss::Bernoulli;
+use padhye_tcp_repro::sim::reno::rto::RtoConfig;
+use padhye_tcp_repro::sim::reno::sender::SenderConfig;
+use padhye_tcp_repro::sim::time::{SimDuration, SimTime};
+
+fn simulate(n: u64, p: f64, reps: u64) -> f64 {
+    let mut total = 0.0;
+    for seed in 0..reps {
+        let sender = SenderConfig {
+            rwnd: 64,
+            data_limit: Some(n),
+            rto: RtoConfig {
+                min_rto: SimDuration::from_secs_f64(1.0),
+                initial_rto: SimDuration::from_secs_f64(1.0),
+                ..RtoConfig::default()
+            },
+            ..SenderConfig::default()
+        };
+        let mut c = Connection::builder()
+            .rtt(0.1)
+            .loss(Box::new(Bernoulli::new(p)))
+            .sender_config(sender)
+            .seed(500 + seed)
+            .build();
+        total += c
+            .run_until_complete(SimTime::from_secs_f64(10_000.0))
+            .expect("transfer completes")
+            .as_secs_f64();
+    }
+    total / reps as f64
+}
+
+fn main() {
+    let params = ModelParams::new(0.1, 1.0, 2, 64).unwrap();
+    let p = 0.02;
+    let lp = LossProb::new(p).unwrap();
+    println!("Transfer latency, RTT = 100 ms, 2% loss, W_m = 64 (times in seconds)\n");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>14}",
+        "packets", "naive n/B(p)", "short-flow", "simulated", "naive err"
+    );
+    for n in [2u64, 8, 32, 128, 512, 2048] {
+        let naive = n as f64 / full_model(lp, &params);
+        let model = transfer_time_with_delack(n, lp, &params, 0.2);
+        let sim = simulate(n, p, 10);
+        println!(
+            "{:>8} {:>12.2} {:>12.2} {:>12.2} {:>13.0}%",
+            n,
+            naive,
+            model,
+            sim,
+            100.0 * (naive - sim).abs() / sim
+        );
+    }
+    println!("\nThe naive estimate ignores slow start: it *underestimates* small");
+    println!("transfers' latency per byte (they never reach the steady-state rate).");
+
+    // Where is the time spent? The phase breakdown for a 512-packet page.
+    let d = transfer_time_detailed(512, lp, &params);
+    println!(
+        "\n512-packet breakdown: slow start {:.2}s ({:.0} pkts), recovery {:.2}s, steady {:.2}s",
+        d.slow_start_secs, d.slow_start_packets, d.recovery_secs, d.steady_secs
+    );
+}

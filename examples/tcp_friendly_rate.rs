@@ -1,0 +1,71 @@
+//! The paper's motivating application (§I): equation-based "TCP-friendly"
+//! congestion control. A non-TCP flow measures loss and RTT, then sends at
+//! the rate a conformant TCP would achieve — computed with the PFTK
+//! equation, exactly as TFRC (RFC 5348) later standardized.
+//!
+//! This example closes the loop against the simulator: it measures a
+//! simulated TCP's operating point from its own trace, computes the
+//! TCP-friendly rate, and shows the two agree — then answers the classic
+//! fairness question "what would a shorter-RTT TCP get?" with the model
+//! inverse.
+//!
+//! ```sh
+//! cargo run --release --example tcp_friendly_rate
+//! ```
+
+use padhye_tcp_repro::model::prelude::*;
+use padhye_tcp_repro::sim::connection::Connection;
+use padhye_tcp_repro::sim::loss::RoundCorrelated;
+use padhye_tcp_repro::sim::time::SimDuration;
+use padhye_tcp_repro::testbed::TraceRecorder;
+use padhye_tcp_repro::trace::analyzer::{analyze, AnalyzerConfig};
+use padhye_tcp_repro::trace::karn::estimate_timing;
+
+fn main() {
+    // 1. Run a real (simulated) TCP over a 2%-loss, 150 ms path for 10 min.
+    let mut conn = Connection::builder()
+        .rtt(0.15)
+        .loss(Box::new(RoundCorrelated::new(0.02)))
+        .seed(7)
+        .build_with_observer(TraceRecorder::new());
+    conn.run_for(SimDuration::from_secs_f64(600.0));
+    conn.finish();
+    let stats = conn.stats();
+    let trace = conn.into_observer().into_trace();
+
+    // 2. Measure the operating point the way an equation-based endpoint
+    //    would: loss-event rate, RTT, T0 from observations.
+    let analysis = analyze(&trace, AnalyzerConfig::default());
+    let timing = estimate_timing(&trace);
+    let p = LossProb::new(analysis.loss_rate()).expect("observed loss in (0,1)");
+    let params = ModelParams::new(
+        timing.mean_rtt.expect("trace has RTT samples"),
+        timing.mean_t0.unwrap_or(1.0),
+        2,
+        u16::MAX as u32,
+    )
+    .expect("valid measured parameters");
+
+    println!("measured: p = {:.4}, RTT = {:.3} s, T0 = {:.3} s",
+        p.get(), params.rtt.get(), params.t0.get());
+
+    // 3. The TCP-friendly rate.
+    let friendly = tcp_friendly_rate(p, &params, ModelKind::Full);
+    let actual = stats.packets_sent as f64 / 600.0;
+    println!("TCP-friendly rate (full model): {friendly:.1} packets/s");
+    println!("actual simulated TCP sent:      {actual:.1} packets/s");
+    println!("ratio: {:.2} (a conformant equation-based flow matches TCP)", friendly / actual);
+
+    // 4. Model inversion: what loss rate would bring this TCP to 10 p/s?
+    let p_slow = loss_for_rate(10.0, &params).expect("10 p/s is achievable");
+    println!("\nloss rate at which this TCP would drop to 10 packets/s: {:.3}", p_slow.get());
+
+    // 5. RTT fairness: same bottleneck, half the RTT → higher fair share.
+    let short = ModelParams::new(params.rtt.get() / 2.0, params.t0.get(), 2, u16::MAX as u32)
+        .unwrap();
+    println!(
+        "a flow with half the RTT at the same loss rate gets {:.1} packets/s ({:.2}x)",
+        full_model(p, &short),
+        full_model(p, &short) / friendly
+    );
+}

@@ -1,0 +1,56 @@
+//! Tahoe vs Reno vs NewReno vs SACK under bursty loss — the paper's ref [3]
+//! comparison on this workspace's simulator, with the PFTK model's Reno
+//! prediction alongside.
+//!
+//! ```sh
+//! cargo run --release --example tcp_variants
+//! ```
+
+use padhye_tcp_repro::model::prelude::*;
+use padhye_tcp_repro::sim::connection::Connection;
+use padhye_tcp_repro::sim::loss::RoundCorrelated;
+use padhye_tcp_repro::sim::reno::sender::{RenoStyle, SenderConfig};
+use padhye_tcp_repro::sim::time::SimDuration;
+
+const HORIZON: f64 = 900.0;
+
+fn main() {
+    println!("TCP variants under round-correlated (bursty) loss, RTT 100 ms, W_m = 32\n");
+    println!(
+        "{:>9} {:>8} | {:>9} {:>7} {:>7} {:>9} {:>9}",
+        "wire p", "variant", "rate p/s", "TD", "TO", "p_obs", "model B"
+    );
+    for wire_p in [0.005, 0.02, 0.05] {
+        for style in [RenoStyle::Tahoe, RenoStyle::Reno, RenoStyle::NewReno, RenoStyle::Sack] {
+            let sender = SenderConfig { style, rwnd: 32, ..SenderConfig::default() };
+            let mut c = Connection::builder()
+                .rtt(0.1)
+                .loss(Box::new(RoundCorrelated::new(wire_p)))
+                .sender_config(sender)
+                .seed(42)
+                .build();
+            c.run_for(SimDuration::from_secs_f64(HORIZON));
+            c.finish();
+            let s = c.stats();
+            let p_obs = s.loss_indication_rate().clamp(1e-6, 0.9);
+            let params = ModelParams::new(0.1, 1.0, 2, 32).unwrap();
+            let model = full_model(LossProb::new(p_obs).unwrap(), &params);
+            println!(
+                "{:>9} {:>8} | {:>9.1} {:>7} {:>7} {:>9.4} {:>9.1}",
+                wire_p,
+                format!("{style:?}"),
+                s.packets_sent as f64 / HORIZON,
+                s.td_events,
+                s.to_events(),
+                p_obs,
+                model
+            );
+        }
+        println!();
+    }
+    println!("SACK's multi-hole repair pays most at low loss (big windows, engaged");
+    println!("recoveries); at high loss every variant is timeout-bound and they");
+    println!("converge — the regime the paper's Table II documents. The model");
+    println!("column is the PFTK prediction at each run's own measured indication");
+    println!("rate: the equation every variant is being compared against.");
+}

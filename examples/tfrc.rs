@@ -1,0 +1,70 @@
+//! Equation-based congestion control (simplified TFRC) in action: the
+//! historical payoff of the paper's Eq. (33). One TFRC flow and one TCP
+//! Reno flow share a 100 pkt/s bottleneck; we compare their shares and
+//! their smoothness under drop-tail and RED queues.
+//!
+//! ```sh
+//! cargo run --release --example tfrc
+//! ```
+
+use padhye_tcp_repro::sim::network::{FlowConfig, Network};
+use padhye_tcp_repro::sim::queue::{DropTail, QueuePolicy, Red};
+use padhye_tcp_repro::sim::reno::sender::SenderConfig;
+use padhye_tcp_repro::sim::tfrc::TfrcConfig;
+use padhye_tcp_repro::sim::time::SimDuration;
+
+const LINK: f64 = 100.0;
+const HORIZON: f64 = 600.0;
+
+fn run(policy: Box<dyn QueuePolicy + Send>, label: &str) {
+    let mut net = Network::new(LINK, policy, 7);
+    let tcp = net.add_flow(FlowConfig::tcp(0.1, SenderConfig::default()));
+    let tfrc = net.add_flow(FlowConfig::tfrc(0.1, TfrcConfig::for_rtt(0.2)));
+
+    // Sample per-20s goodput to measure smoothness.
+    let mut tcp_series = Vec::new();
+    let mut tfrc_series = Vec::new();
+    let (mut last_tcp, mut last_tfrc) = (0u64, 0u64);
+    let windows = (HORIZON / 20.0) as usize;
+    for _ in 0..windows {
+        net.run_for(SimDuration::from_secs_f64(20.0));
+        let s = net.stats();
+        tcp_series.push((s[tcp].delivered - last_tcp) as f64 / 20.0);
+        tfrc_series.push((s[tfrc].delivered - last_tfrc) as f64 / 20.0);
+        last_tcp = s[tcp].delivered;
+        last_tfrc = s[tfrc].delivered;
+    }
+    net.finish();
+    let s = net.stats();
+
+    let cv = |xs: &[f64]| {
+        let tail = &xs[xs.len() / 2..];
+        let mean = tail.iter().sum::<f64>() / tail.len() as f64;
+        let var = tail.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / tail.len() as f64;
+        var.sqrt() / mean.max(1.0)
+    };
+    println!("--- {label} ---");
+    println!(
+        "TCP : {:>5.1} pkt/s goodput, loss {:>5.2}%, smoothness CV {:.3}",
+        s[tcp].delivered as f64 / HORIZON,
+        100.0 * s[tcp].loss_fraction(),
+        cv(&tcp_series)
+    );
+    println!(
+        "TFRC: {:>5.1} pkt/s goodput, loss {:>5.2}%, smoothness CV {:.3}\n",
+        s[tfrc].delivered as f64 / HORIZON,
+        100.0 * s[tfrc].loss_fraction(),
+        cv(&tfrc_series)
+    );
+}
+
+fn main() {
+    println!("TFRC (Eq. (33) as a control law) vs TCP Reno, 100 pkt/s bottleneck\n");
+    run(Box::new(DropTail::new(25)), "drop-tail queue (25 packets)");
+    run(Box::new(Red::new(5.0, 20.0, 0.1, 0.02, 40)), "RED queue (5/20 thresholds)");
+    println!("Drop-tail's burst bias lets the paced TFRC flow crowd TCP out");
+    println!("(and makes its delivery almost perfectly smooth); RED's randomized");
+    println!("drops restore a near-even split, with the two flows comparably");
+    println!("smooth. Rate-by-equation instead of rate-by-halving is what made");
+    println!("equation-based control attractive for streaming media.");
+}

@@ -1,0 +1,76 @@
+//! Trace analysis walkthrough: simulate a Table II path, archive the
+//! sender-side trace as JSON lines, re-read it, and run the full §III
+//! analysis pipeline — loss-indication classification, Karn RTT, interval
+//! segmentation — producing a Table II-style summary row.
+//!
+//! ```sh
+//! cargo run --release --example trace_analysis
+//! ```
+
+use padhye_tcp_repro::testbed::{run_serial_100s, table2_path};
+use padhye_tcp_repro::trace::analyzer::{analyze, AnalyzerConfig};
+use padhye_tcp_repro::trace::intervals::split_intervals_bounded;
+use padhye_tcp_repro::trace::karn::estimate_timing;
+use padhye_tcp_repro::trace::record::Trace;
+use padhye_tcp_repro::trace::table::{format_table, TableRow};
+
+fn main() {
+    // The paper's Fig. 7(a) path: manic → baskerville (Irix sender,
+    // RTT 0.243 s, T0 2.495 s, W_m = 6).
+    let spec = table2_path("manic", "baskerville").expect("path in Table II");
+    println!("simulating 5 x 100 s on {} ...", spec.id());
+    let results = run_serial_100s(spec, 5, 2024);
+
+    // Archive the first connection's trace and restore it — the same
+    // round-trip a researcher distributing traces would make.
+    let mut jsonl = Vec::new();
+    results[0].trace.write_jsonl(&mut jsonl).expect("serialize");
+    println!(
+        "archived trace: {} records, {} KiB as JSON lines",
+        results[0].trace.len(),
+        jsonl.len() / 1024
+    );
+    let restored = Trace::read_jsonl(std::io::Cursor::new(jsonl)).expect("parse");
+    assert_eq!(restored, results[0].trace);
+
+    // Analyze with the sender's OS quirk (Irix: standard threshold 3).
+    let analyzer = AnalyzerConfig {
+        dupack_threshold: spec.sender_os().dupack_threshold(),
+    };
+    let analysis = analyze(&restored, analyzer);
+    let timing = estimate_timing(&restored);
+    println!("\nloss indications: {} ({} TD, {} TO)",
+        analysis.indications.len(), analysis.td_count(), analysis.to_count());
+    println!("timeout histogram (T0..T5+): {:?}", analysis.to_histogram());
+    println!("estimated p   = {:.4}", analysis.loss_rate());
+    println!("estimated RTT = {:.3} s (paper row: {:.3})",
+        timing.mean_rtt.unwrap_or(f64::NAN), spec.rtt);
+    println!("estimated T0  = {:.3} s (paper row: {:.3})",
+        timing.mean_t0.unwrap_or(f64::NAN), spec.t0);
+
+    // Interval view (the Fig. 7 building block).
+    let intervals = split_intervals_bounded(&restored, &analysis, 20.0, 100.0);
+    println!("\nper-20s intervals:");
+    for iv in &intervals {
+        println!(
+            "  [{}] {} packets, {} indications, p={:.4}, category {:?}",
+            iv.index, iv.packets_sent, iv.loss_indications, iv.loss_rate, iv.category
+        );
+    }
+
+    // A Table II-style row for the whole 5-connection campaign.
+    let mut rows = Vec::new();
+    for r in &results {
+        let a = analyze(&r.trace, analyzer);
+        let t = estimate_timing(&r.trace);
+        rows.push(TableRow::from_analysis(
+            spec.sender,
+            spec.receiver,
+            &a,
+            t.mean_rtt.unwrap_or(spec.rtt),
+            t.mean_t0.unwrap_or(spec.t0),
+        ));
+    }
+    println!("\nTable II-style rows (one per 100 s connection):");
+    println!("{}", format_table(&rows));
+}

@@ -1,0 +1,60 @@
+//! Model validation sweep: run the packet-level TCP Reno simulator across a
+//! grid of loss rates and compare its measured send rate against the full
+//! model, the approximate model, and the TD-only baseline — a miniature of
+//! the paper's §III evaluation that completes in seconds.
+//!
+//! ```sh
+//! cargo run --release --example validate_model
+//! ```
+
+use padhye_tcp_repro::model::prelude::*;
+use padhye_tcp_repro::sim::connection::Connection;
+use padhye_tcp_repro::sim::loss::RoundCorrelated;
+use padhye_tcp_repro::sim::reno::sender::SenderConfig;
+use padhye_tcp_repro::sim::time::SimDuration;
+
+fn main() {
+    let rtt = 0.2;
+    let wmax = 24u32;
+    let horizon = 1200.0;
+    println!("packet-level TCP Reno vs models: RTT={rtt}s, W_m={wmax}, {horizon}s per point\n");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "wire p", "sim p", "sim", "full", "approx", "TDonly", "full err"
+    );
+
+    for wire_p in [0.002, 0.005, 0.01, 0.02, 0.04, 0.08] {
+        let sender = SenderConfig { rwnd: wmax, ..SenderConfig::default() };
+        let mut conn = Connection::builder()
+            .rtt(rtt)
+            .loss(Box::new(RoundCorrelated::new(wire_p)))
+            .sender_config(sender)
+            .seed(42)
+            .build();
+        conn.run_for(SimDuration::from_secs_f64(horizon));
+        conn.finish();
+        let stats = conn.stats();
+        let sim_rate = stats.packets_sent as f64 / horizon;
+        // Fit the models at the *observed* indication rate and measured T0,
+        // as the paper does.
+        let p_obs = stats.loss_indication_rate().clamp(1e-6, 0.999);
+        let t0 = conn.sender().rto_estimator().mean_t0().unwrap_or(1.0);
+        let params = ModelParams::new(rtt, t0, 2, wmax).unwrap();
+        let lp = LossProb::new(p_obs).unwrap();
+        let full = full_model(lp, &params);
+        let approx = approx_model(lp, &params);
+        let td = td_only(lp, &params);
+        println!(
+            "{:>8} {:>10.4} {:>10.1} {:>10.1} {:>10.1} {:>8.1} {:>7.1}%",
+            wire_p,
+            p_obs,
+            sim_rate,
+            full,
+            approx,
+            td,
+            100.0 * (full - sim_rate).abs() / sim_rate
+        );
+    }
+    println!("\nNote the TD-only column: accurate at sub-1% loss, drifting off by");
+    println!("multiples once timeouts dominate — the paper's core observation.");
+}

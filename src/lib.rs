@@ -1,0 +1,19 @@
+//! Umbrella crate for the PFTK TCP-throughput-model reproduction.
+//!
+//! This crate re-exports the public API of the four library crates so that
+//! examples and downstream users can depend on a single package:
+//!
+//! * [`model`] — the paper's analytic models (full, approximate, TD-only,
+//!   throughput, Markov).
+//! * [`sim`] — the packet-level and rounds-based TCP Reno simulators.
+//! * [`trace`] — the sender-side trace format and the §III analysis programs.
+//! * [`testbed`] — the synthetic measurement testbed (Table I hosts, Table II
+//!   paths, experiment runners).
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the full system
+//! inventory.
+
+pub use pftk_model as model;
+pub use tcp_sim as sim;
+pub use tcp_testbed as testbed;
+pub use tcp_trace as trace;

@@ -1,0 +1,150 @@
+//! The trace analyzer is validated against the simulator's ground-truth
+//! counters — the reproduction's analogue of the paper verifying its
+//! analysis programs "against tcptrace and ns" (§III).
+
+use padhye_tcp_repro::sim::connection::Connection;
+use padhye_tcp_repro::sim::loss::{Bernoulli, RoundCorrelated};
+use padhye_tcp_repro::sim::reno::sender::SenderConfig;
+use padhye_tcp_repro::sim::time::SimDuration;
+use padhye_tcp_repro::testbed::TraceRecorder;
+use padhye_tcp_repro::trace::analyzer::{analyze, AnalyzerConfig};
+use padhye_tcp_repro::trace::karn::estimate_timing;
+
+fn run_traced(
+    p: f64,
+    rtt: f64,
+    dupthresh: u32,
+    secs: f64,
+    seed: u64,
+) -> (padhye_tcp_repro::trace::Trace, padhye_tcp_repro::sim::ConnStats, Option<f64>) {
+    let sender = SenderConfig { dupthresh, ..SenderConfig::default() };
+    let mut conn = Connection::builder()
+        .rtt(rtt)
+        .loss(Box::new(RoundCorrelated::new(p)))
+        .sender_config(sender)
+        .seed(seed)
+        .build_with_observer(TraceRecorder::new());
+    conn.run_for(SimDuration::from_secs_f64(secs));
+    conn.finish();
+    let stats = conn.stats();
+    let rtt_truth = conn.sender().rto_estimator().mean_rtt();
+    (conn.into_observer().into_trace(), stats, rtt_truth)
+}
+
+#[test]
+fn packet_counts_match_exactly() {
+    let (trace, stats, _) = run_traced(0.02, 0.1, 3, 300.0, 1);
+    let a = analyze(&trace, AnalyzerConfig::default());
+    assert_eq!(a.packets_sent, stats.packets_sent);
+    assert_eq!(a.retransmissions, stats.retransmissions);
+    assert_eq!(a.acks_seen, stats.acks_received);
+}
+
+#[test]
+fn loss_indication_counts_close_to_ground_truth() {
+    let (trace, stats, _) = run_traced(0.02, 0.1, 3, 1800.0, 2);
+    let a = analyze(&trace, AnalyzerConfig::default());
+    let truth = stats.loss_indications();
+    let inferred = a.indications.len() as u64;
+    let diff = truth.abs_diff(inferred) as f64 / truth as f64;
+    assert!(
+        diff < 0.05,
+        "inferred {inferred} vs ground truth {truth} indications"
+    );
+}
+
+#[test]
+fn td_to_split_close_to_ground_truth() {
+    let (trace, stats, _) = run_traced(0.02, 0.1, 3, 1800.0, 3);
+    let a = analyze(&trace, AnalyzerConfig::default());
+    let td_truth = stats.td_events;
+    let to_truth = stats.to_events();
+    let td = a.td_count();
+    let to = a.to_count();
+    assert!(
+        td.abs_diff(td_truth) as f64 / td_truth.max(1) as f64 <= 0.15,
+        "TD: inferred {td}, truth {td_truth}"
+    );
+    assert!(
+        to.abs_diff(to_truth) as f64 / to_truth.max(1) as f64 <= 0.15,
+        "TO: inferred {to}, truth {to_truth}"
+    );
+}
+
+#[test]
+fn timeout_histogram_close_to_ground_truth() {
+    let (trace, stats, _) = run_traced(0.05, 0.1, 3, 1800.0, 4);
+    let a = analyze(&trace, AnalyzerConfig::default());
+    let hist = a.to_histogram();
+    for (i, (&inferred, &truth)) in hist.iter().zip(&stats.to_sequences).enumerate() {
+        let tol = (truth / 5).max(4);
+        assert!(
+            inferred.abs_diff(truth) <= tol,
+            "bucket T{i}: inferred {inferred}, truth {truth} (tolerance {tol})"
+        );
+    }
+}
+
+#[test]
+fn linux_dupthresh_matters_and_analyzer_tracks_it() {
+    // Run a Linux-style sender (dupthresh 2); analyzing with the wrong
+    // threshold must misclassify TDs as timeouts, analyzing with the right
+    // one must match ground truth.
+    let (trace, stats, _) = run_traced(0.015, 0.1, 2, 1800.0, 5);
+    let correct = analyze(&trace, AnalyzerConfig { dupack_threshold: 2 });
+    let wrong = analyze(&trace, AnalyzerConfig { dupack_threshold: 3 });
+    assert!(stats.td_events > 10, "need TDs for the comparison");
+    let correct_err = correct.td_count().abs_diff(stats.td_events);
+    let wrong_err = wrong.td_count().abs_diff(stats.td_events);
+    assert!(
+        correct_err < wrong_err,
+        "threshold-2 analysis ({} TDs) must beat threshold-3 ({} TDs) \
+         against ground truth {}",
+        correct.td_count(),
+        wrong.td_count(),
+        stats.td_events
+    );
+}
+
+#[test]
+fn karn_rtt_close_to_ground_truth() {
+    let (trace, _, rtt_truth) = run_traced(0.01, 0.2, 3, 600.0, 6);
+    let est = estimate_timing(&trace);
+    let measured = est.mean_rtt.unwrap();
+    let truth = rtt_truth.unwrap();
+    assert!(
+        (measured - truth).abs() / truth < 0.15,
+        "trace RTT {measured:.4} vs sender ground truth {truth:.4}"
+    );
+}
+
+#[test]
+fn estimated_p_close_to_ground_truth_rate() {
+    let (trace, stats, _) = run_traced(0.03, 0.1, 3, 1800.0, 7);
+    let a = analyze(&trace, AnalyzerConfig::default());
+    let truth = stats.loss_indication_rate();
+    assert!(
+        (a.loss_rate() - truth).abs() / truth < 0.05,
+        "p inferred {} vs truth {truth}",
+        a.loss_rate()
+    );
+}
+
+#[test]
+fn analyzer_consistent_under_bernoulli_loss_too() {
+    // The analyzer makes no assumption about the loss process.
+    let mut conn = Connection::builder()
+        .rtt(0.1)
+        .loss(Box::new(Bernoulli::new(0.02)))
+        .seed(8)
+        .build_with_observer(TraceRecorder::new());
+    conn.run_for(SimDuration::from_secs_f64(1200.0));
+    conn.finish();
+    let stats = conn.stats();
+    let trace = conn.into_observer().into_trace();
+    let a = analyze(&trace, AnalyzerConfig::default());
+    assert_eq!(a.packets_sent, stats.packets_sent);
+    let truth = stats.loss_indications();
+    let rel = (a.indications.len() as u64).abs_diff(truth) as f64 / truth as f64;
+    assert!(rel < 0.06, "inferred {} vs truth {truth}", a.indications.len());
+}

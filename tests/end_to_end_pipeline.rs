@@ -1,0 +1,126 @@
+//! End-to-end pipeline tests: simulate → trace → serialize → deserialize →
+//! analyze → model-compare, exactly as a downstream user would chain the
+//! crates.
+
+use padhye_tcp_repro::model::prelude::*;
+use padhye_tcp_repro::sim::connection::Connection;
+use padhye_tcp_repro::sim::loss::RoundCorrelated;
+use padhye_tcp_repro::sim::reno::sender::SenderConfig;
+use padhye_tcp_repro::sim::time::SimDuration;
+use padhye_tcp_repro::testbed::TraceRecorder;
+use padhye_tcp_repro::trace::analyzer::{analyze, AnalyzerConfig};
+use padhye_tcp_repro::trace::intervals::split_intervals_bounded;
+use padhye_tcp_repro::trace::karn::estimate_timing;
+use padhye_tcp_repro::trace::metrics::{average_error, Observation};
+use padhye_tcp_repro::trace::record::Trace;
+use padhye_tcp_repro::trace::table::TableRow;
+
+fn simulate(secs: f64, p: f64, wmax: u32, seed: u64) -> Trace {
+    let sender = SenderConfig { rwnd: wmax, ..SenderConfig::default() };
+    let mut conn = Connection::builder()
+        .rtt(0.2)
+        .loss(Box::new(RoundCorrelated::new(p)))
+        .sender_config(sender)
+        .seed(seed)
+        .build_with_observer(TraceRecorder::new());
+    conn.run_for(SimDuration::from_secs_f64(secs));
+    conn.finish();
+    conn.into_observer().into_trace()
+}
+
+#[test]
+fn full_pipeline_through_jsonl() {
+    let trace = simulate(900.0, 0.02, 32, 1);
+    // Serialize and re-read, as if the trace had been archived.
+    let mut buf = Vec::new();
+    trace.write_jsonl(&mut buf).unwrap();
+    let restored = Trace::read_jsonl(std::io::Cursor::new(buf)).unwrap();
+    assert_eq!(restored, trace);
+
+    // Analyze the restored trace.
+    let analysis = analyze(&restored, AnalyzerConfig::default());
+    assert!(analysis.packets_sent > 500);
+    assert!(!analysis.indications.is_empty());
+    let timing = estimate_timing(&restored);
+    let rtt = timing.mean_rtt.unwrap();
+    assert!((rtt - 0.2).abs() / 0.2 < 0.3, "RTT estimate {rtt}");
+
+    // Fit the model and score it with the paper's metric.
+    let intervals = split_intervals_bounded(&restored, &analysis, 100.0, 900.0);
+    assert_eq!(intervals.len(), 9);
+    let observations = Observation::from_intervals(&intervals, 100.0);
+    let params = ModelParams::new(rtt, timing.mean_t0.unwrap_or(1.0), 2, 32).unwrap();
+    let err_full =
+        average_error(&observations, |p| full_model(LossProb::new(p).unwrap(), &params));
+    let err_td = average_error(&observations, |p| td_only(LossProb::new(p).unwrap(), &params));
+    assert!(err_full.is_finite() && err_td.is_finite());
+    assert!(
+        err_full < 1.0,
+        "full-model error {err_full:.3} should be well under 100% on its own referee"
+    );
+}
+
+#[test]
+fn full_pipeline_through_binary_encoding() {
+    let trace = simulate(300.0, 0.05, 16, 2);
+    let mut buf = Vec::new();
+    trace.encode_binary(&mut buf);
+    let restored = Trace::decode_binary(&mut buf.as_slice()).unwrap();
+    let a1 = analyze(&trace, AnalyzerConfig::default());
+    let a2 = analyze(&restored, AnalyzerConfig::default());
+    assert_eq!(a1, a2, "analysis must be identical across the binary roundtrip");
+}
+
+#[test]
+fn table_row_assembly_from_pipeline() {
+    let trace = simulate(600.0, 0.03, 16, 3);
+    let analysis = analyze(&trace, AnalyzerConfig::default());
+    let timing = estimate_timing(&trace);
+    let row = TableRow::from_analysis(
+        "senderhost",
+        "receiverhost",
+        &analysis,
+        timing.mean_rtt.unwrap(),
+        timing.mean_t0.unwrap_or(1.0),
+    );
+    assert_eq!(row.packets_sent, analysis.packets_sent);
+    assert_eq!(row.loss_indications, analysis.indications.len() as u64);
+    assert!(row.loss_rate() > 0.0);
+    // The formatted table carries the row.
+    let text = padhye_tcp_repro::trace::table::format_table(std::slice::from_ref(&row));
+    assert!(text.contains("senderhost"));
+}
+
+#[test]
+fn tcp_friendly_rate_pipeline() {
+    // The §I application: measure a path, compute the rate an equation-
+    // based flow may use, and verify TCP itself (the simulator) gets a
+    // comparable rate under the same conditions.
+    let trace = simulate(1800.0, 0.02, 64, 4);
+    let analysis = analyze(&trace, AnalyzerConfig::default());
+    let timing = estimate_timing(&trace);
+    let params = ModelParams::new(
+        timing.mean_rtt.unwrap(),
+        timing.mean_t0.unwrap_or(1.0),
+        2,
+        64,
+    )
+    .unwrap();
+    let p = LossProb::new(analysis.loss_rate()).unwrap();
+    let friendly = tcp_friendly_rate(p, &params, ModelKind::Full);
+    let actual = analysis.packets_sent as f64 / 1800.0;
+    let ratio = friendly / actual;
+    assert!(
+        (0.4..=2.5).contains(&ratio),
+        "TCP-friendly rate {friendly:.1} vs actual TCP {actual:.1} (ratio {ratio:.2})"
+    );
+}
+
+#[test]
+fn deterministic_experiments_reproduce_bit_for_bit() {
+    let t1 = simulate(300.0, 0.02, 32, 9);
+    let t2 = simulate(300.0, 0.02, 32, 9);
+    assert_eq!(t1, t2);
+    let t3 = simulate(300.0, 0.02, 32, 10);
+    assert_ne!(t1, t3, "different seeds must differ");
+}

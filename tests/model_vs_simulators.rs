@@ -1,0 +1,108 @@
+//! Cross-crate validation: the closed-form model, the numerically solved
+//! Markov chain, and the rounds-based simulator must agree on the scenarios
+//! where the paper claims they do (Fig. 12), and disagree in the direction
+//! the literature documents (the closed form is mildly optimistic).
+
+use padhye_tcp_repro::model::prelude::*;
+use padhye_tcp_repro::sim::rounds::{RoundsConfig, RoundsSim};
+
+fn rounds_rate(p: f64, rtt: f64, t0: f64, wmax: u32, horizon: f64) -> f64 {
+    let mut sim = RoundsSim::new(
+        RoundsConfig { p, rtt, t0, b: 2, wmax, ..RoundsConfig::default() },
+        42,
+    );
+    sim.run_for(horizon);
+    sim.send_rate()
+}
+
+#[test]
+fn closed_form_tracks_rounds_sim_across_loss_range() {
+    // The rounds simulator executes the §II assumptions exactly; Eq. (32)
+    // linearizes them. Agreement must be within ~35% everywhere on the
+    // paper's Fig. 12 parameters, and tight at low p.
+    let params = ModelParams::new(0.47, 3.2, 2, 12).unwrap();
+    for &p in &[0.002, 0.01, 0.05, 0.1, 0.3] {
+        let model = full_model(LossProb::new(p).unwrap(), &params);
+        let sim = rounds_rate(p, 0.47, 3.2, 12, 500_000.0);
+        let rel = (model - sim).abs() / sim;
+        assert!(rel < 0.35, "p={p}: model={model:.3}, sim={sim:.3}, rel={rel:.3}");
+    }
+    let p = 0.002;
+    let model = full_model(LossProb::new(p).unwrap(), &params);
+    let sim = rounds_rate(p, 0.47, 3.2, 12, 500_000.0);
+    assert!((model - sim).abs() / sim < 0.08, "low-p agreement must be tight");
+}
+
+#[test]
+fn markov_chain_sits_between_closed_form_and_rounds_sim() {
+    // Fig. 12's comparison: the chain keeps the window distribution the
+    // closed form collapses to a mean, so it lands closer to the exact
+    // simulation. Verify ordering closed ≥ markov ≥ sim·(1−ε) at moderate p.
+    let params = ModelParams::new(0.47, 3.2, 2, 12).unwrap();
+    for &p in &[0.01, 0.05, 0.1] {
+        let lp = LossProb::new(p).unwrap();
+        let closed = full_model(lp, &params);
+        let markov = MarkovModel::solve(lp, &params).unwrap().send_rate();
+        let sim = rounds_rate(p, 0.47, 3.2, 12, 500_000.0);
+        assert!(
+            closed >= markov * 0.98,
+            "p={p}: closed {closed:.3} below markov {markov:.3}"
+        );
+        let rel = (markov - sim).abs() / sim;
+        assert!(rel < 0.12, "p={p}: markov={markov:.3} vs sim={sim:.3}, rel={rel:.3}");
+    }
+}
+
+#[test]
+fn window_limited_regime_hits_ceiling_in_both() {
+    // At negligible loss both the model and the simulator pin at W_m/RTT.
+    let params = ModelParams::new(0.1, 1.0, 2, 8).unwrap();
+    let ceiling = params.window_limited_rate();
+    let model = full_model(LossProb::new(1e-4).unwrap(), &params);
+    let sim = rounds_rate(1e-4, 0.1, 1.0, 8, 200_000.0);
+    assert!(model > 0.9 * ceiling, "model {model} vs ceiling {ceiling}");
+    assert!(sim > 0.85 * ceiling, "sim {sim} vs ceiling {ceiling}");
+    assert!(sim <= ceiling * 1.01);
+}
+
+#[test]
+fn throughput_gap_matches_rounds_sim() {
+    // §V: T(p) < B(p); the rounds simulator tracks delivered packets
+    // directly, so its B−T gap must resemble the model's.
+    let params = ModelParams::new(0.47, 3.2, 2, 12).unwrap();
+    let p = 0.05;
+    let lp = LossProb::new(p).unwrap();
+    let model_eff = padhye_tcp_repro::model::throughput::throughput(lp, &params)
+        / full_model(lp, &params);
+    let mut sim = RoundsSim::new(
+        RoundsConfig { p, rtt: 0.47, t0: 3.2, b: 2, wmax: 12, ..RoundsConfig::default() },
+        42,
+    );
+    sim.run_for(500_000.0);
+    let sim_eff = sim.throughput() / sim.send_rate();
+    assert!(
+        (model_eff - sim_eff).abs() < 0.15,
+        "efficiency: model {model_eff:.3} vs sim {sim_eff:.3}"
+    );
+}
+
+#[test]
+fn td_only_baseline_overestimates_at_high_loss() {
+    // The paper's core claim (Figs. 7–10): ignoring timeouts overestimates
+    // the send rate badly once p exceeds a few percent.
+    let params = ModelParams::new(0.2, 2.0, 2, 64).unwrap();
+    for &p in &[0.05, 0.1, 0.2] {
+        let lp = LossProb::new(p).unwrap();
+        let td = td_only(lp, &params);
+        let sim = rounds_rate(p, 0.2, 2.0, 64, 300_000.0);
+        assert!(
+            td > 2.0 * sim,
+            "p={p}: TD-only {td:.2} should grossly exceed the true rate {sim:.2}"
+        );
+        let full = full_model(lp, &params);
+        assert!(
+            (full - sim).abs() < (td - sim).abs(),
+            "p={p}: full model must be closer to the simulator than TD-only"
+        );
+    }
+}

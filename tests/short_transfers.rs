@@ -1,0 +1,96 @@
+//! Validates the short-transfer latency model (`pftk_model::shortflow`,
+//! the ref-[2] extension) against the packet-level simulator's finite-flow
+//! mode: predicted completion times must track simulated ones across
+//! transfer sizes and loss rates.
+
+use padhye_tcp_repro::model::prelude::*;
+use padhye_tcp_repro::sim::connection::Connection;
+use padhye_tcp_repro::sim::loss::Bernoulli;
+use padhye_tcp_repro::sim::reno::rto::RtoConfig;
+use padhye_tcp_repro::sim::reno::sender::SenderConfig;
+use padhye_tcp_repro::sim::time::{SimDuration, SimTime};
+
+/// Mean simulated completion time over `reps` seeded runs.
+fn simulate_mean(n: u64, p: f64, rtt: f64, wmax: u32, reps: u64) -> f64 {
+    let mut total = 0.0;
+    let mut finished = 0u64;
+    for seed in 0..reps {
+        let sender = SenderConfig {
+            rwnd: wmax,
+            data_limit: Some(n),
+            rto: RtoConfig {
+                min_rto: SimDuration::from_secs_f64(1.0),
+                initial_rto: SimDuration::from_secs_f64(1.0),
+                ..RtoConfig::default()
+            },
+            ..SenderConfig::default()
+        };
+        let mut c = Connection::builder()
+            .rtt(rtt)
+            .loss(Box::new(Bernoulli::new(p)))
+            .sender_config(sender)
+            .seed(1000 + seed)
+            .build();
+        if let Some(at) = c.run_until_complete(SimTime::from_secs_f64(20_000.0)) {
+            total += at.as_secs_f64();
+            finished += 1;
+        }
+    }
+    assert!(finished == reps, "{finished}/{reps} runs finished");
+    total / reps as f64
+}
+
+#[test]
+fn lossless_transfers_match_slow_start_analysis() {
+    // With no loss the latency is pure slow start (+ window cap): the model
+    // should match the simulator within ~25% over a wide size range.
+    let params = ModelParams::new(0.1, 1.0, 2, 64).unwrap();
+    let p = LossProb::new(1e-9).unwrap();
+    for n in [1u64, 4, 16, 64, 256, 1024] {
+        let predicted = transfer_time_with_delack(n, p, &params, 0.2);
+        let simulated = simulate_mean(n, 0.0, 0.1, 64, 3);
+        let rel = (predicted - simulated).abs() / simulated;
+        assert!(
+            rel < 0.4,
+            "n={n}: predicted {predicted:.2}s vs simulated {simulated:.2}s (rel {rel:.2})"
+        );
+    }
+}
+
+#[test]
+fn lossy_transfers_within_factor_band() {
+    // With loss, the decomposition (slow start + recovery + steady state)
+    // should land within a factor-2 band of the simulator — the same
+    // fidelity class as the Cardwell model's own validation.
+    let params = ModelParams::new(0.1, 1.0, 2, 64).unwrap();
+    for (n, p) in [(100u64, 0.02), (1_000, 0.02), (1_000, 0.05), (5_000, 0.01)] {
+        let lp = LossProb::new(p).unwrap();
+        let predicted = transfer_time_with_delack(n, lp, &params, 0.2);
+        let simulated = simulate_mean(n, p, 0.1, 64, 8);
+        let ratio = predicted / simulated;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "n={n}, p={p}: predicted {predicted:.1}s vs simulated {simulated:.1}s \
+             (ratio {ratio:.2})"
+        );
+    }
+}
+
+#[test]
+fn short_flows_beat_naive_steady_state_estimate() {
+    // The whole point of the extension: for short transfers, n/B(p) is a
+    // bad estimate (slow start dominates); the shortflow model must be
+    // closer to the simulator.
+    let params = ModelParams::new(0.1, 1.0, 2, 64).unwrap();
+    let lp = LossProb::new(0.01).unwrap();
+    let n = 30u64;
+    let simulated = simulate_mean(n, 0.01, 0.1, 64, 8);
+    let shortflow = transfer_time_with_delack(n, lp, &params, 0.2);
+    let naive = n as f64 / full_model(lp, &params);
+    let err_short = (shortflow - simulated).abs();
+    let err_naive = (naive - simulated).abs();
+    assert!(
+        err_short < err_naive,
+        "shortflow {shortflow:.2}s vs naive {naive:.2}s, simulated {simulated:.2}s"
+    );
+}

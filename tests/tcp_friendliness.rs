@@ -1,0 +1,101 @@
+//! The §I application, end to end: the PFTK equation defines the
+//! "TCP-friendly" rate for a non-TCP flow, and a CBR source obeying it
+//! coexists with TCP on a shared bottleneck — while one exceeding it
+//! starves TCP. This is the scenario that motivated equation-based
+//! congestion control (and later TFRC).
+
+use padhye_tcp_repro::model::prelude::*;
+use padhye_tcp_repro::sim::network::{FlowConfig, Network};
+use padhye_tcp_repro::sim::queue::DropTail;
+use padhye_tcp_repro::sim::reno::sender::SenderConfig;
+use padhye_tcp_repro::sim::time::SimDuration;
+
+const LINK_PPS: f64 = 100.0;
+const RTT: f64 = 0.1;
+const HORIZON: f64 = 600.0;
+
+fn run_tcp_vs_cbr(cbr_rate: f64, seed: u64) -> (f64, f64, f64) {
+    let mut net = Network::new(LINK_PPS, Box::new(DropTail::new(25)), seed);
+    let tcp = net.add_flow(FlowConfig::tcp(RTT, SenderConfig::default()));
+    let cbr = net.add_flow(FlowConfig::cbr(RTT, cbr_rate));
+    net.run_for(SimDuration::from_secs_f64(HORIZON));
+    net.finish();
+    let stats = net.stats();
+    let tcp_rate = stats[tcp].delivered as f64 / HORIZON;
+    let cbr_goodput = stats[cbr].delivered as f64 / HORIZON;
+    let tcp_p = stats[tcp].tcp.as_ref().unwrap().loss_indication_rate();
+    (tcp_rate, cbr_goodput, tcp_p)
+}
+
+/// Measures the operating point of TCP sharing the link with another TCP,
+/// then computes the PFTK-friendly rate at that point.
+fn friendly_rate(seed: u64) -> f64 {
+    let mut net = Network::new(LINK_PPS, Box::new(DropTail::new(25)), seed);
+    let f0 = net.add_flow(FlowConfig::tcp(RTT, SenderConfig::default()));
+    net.add_flow(FlowConfig::tcp(RTT, SenderConfig::default()));
+    net.run_for(SimDuration::from_secs_f64(HORIZON));
+    net.finish();
+    let stats = net.stats();
+    let tcp_stats = stats[f0].tcp.as_ref().unwrap();
+    let p = tcp_stats.loss_indication_rate().clamp(1e-6, 0.9);
+    // RTT includes queueing at the shared bottleneck; a drop-tail buffer of
+    // 25 packets at 100 pkt/s adds up to 0.25 s — use the mid-queue value,
+    // as an equation-based endpoint measuring its own RTT would see.
+    let measured_rtt = RTT + 25.0 / LINK_PPS / 2.0;
+    let params = ModelParams::new(measured_rtt, 1.0, 2, u16::MAX as u32).unwrap();
+    tcp_friendly_rate(LossProb::new(p).unwrap(), &params, ModelKind::Full)
+}
+
+#[test]
+fn friendly_rate_is_near_the_fair_share() {
+    let rate = friendly_rate(11);
+    // Two flows on a 100 pkt/s link: fair share is 50. The equation should
+    // land in the right neighbourhood (factor ~2 band: it is a model, and
+    // the measured p/RTT are themselves noisy).
+    assert!(
+        (25.0..=100.0).contains(&rate),
+        "TCP-friendly rate {rate:.1} pkt/s vs fair share 50"
+    );
+}
+
+#[test]
+fn cbr_at_friendly_rate_coexists_with_tcp() {
+    let friendly = friendly_rate(12).min(LINK_PPS * 0.6);
+    let (tcp_rate, cbr_goodput, _) = run_tcp_vs_cbr(friendly, 13);
+    // TCP keeps a substantial share.
+    assert!(
+        tcp_rate > 0.25 * LINK_PPS,
+        "TCP got {tcp_rate:.1} pkt/s next to a friendly CBR of {friendly:.1}"
+    );
+    // And the CBR actually delivers close to its rate.
+    assert!(cbr_goodput > 0.8 * friendly);
+}
+
+#[test]
+fn cbr_above_friendly_rate_starves_tcp() {
+    let friendly = friendly_rate(14).min(LINK_PPS * 0.6);
+    let (tcp_ok, _, _) = run_tcp_vs_cbr(friendly, 15);
+    let (tcp_starved, _, p_starved) = run_tcp_vs_cbr(LINK_PPS * 0.98, 15);
+    assert!(
+        tcp_starved < 0.5 * tcp_ok,
+        "TCP vs near-capacity CBR: {tcp_starved:.1} pkt/s, vs friendly case {tcp_ok:.1}"
+    );
+    // The starved TCP sees much higher loss.
+    assert!(p_starved > 0.01, "starved-TCP loss rate {p_starved}");
+}
+
+#[test]
+fn model_predicts_tcp_share_under_cbr_load() {
+    // Quantitative closure: run TCP against a fixed 50 pkt/s CBR, measure
+    // (p, queue-inflated RTT), and check B(p) lands within a factor band of
+    // TCP's actual rate.
+    let (tcp_rate, _, p) = run_tcp_vs_cbr(50.0, 16);
+    let measured_rtt = RTT + 25.0 / LINK_PPS / 2.0;
+    let params = ModelParams::new(measured_rtt, 1.0, 2, u16::MAX as u32).unwrap();
+    let predicted = full_model(LossProb::new(p.clamp(1e-6, 0.9)).unwrap(), &params);
+    let ratio = predicted / tcp_rate;
+    assert!(
+        (0.4..=2.5).contains(&ratio),
+        "model {predicted:.1} vs simulated {tcp_rate:.1} pkt/s (ratio {ratio:.2})"
+    );
+}
