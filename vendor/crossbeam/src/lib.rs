@@ -1,0 +1,89 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides [`scope`] with crossbeam's signature (closures receive a
+//! `&Scope`, the call returns `Err` if any spawned thread panicked), built
+//! on `std::thread::scope` — available since Rust 1.63, which postdates
+//! crossbeam's scoped-thread design.
+
+#![deny(missing_docs)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub mod thread {
+    //! Scoped-thread module mirroring `crossbeam::thread`.
+
+    pub use super::{scope, Scope};
+
+    /// Result of a scope: `Err` carries the payload of the first panic.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+}
+
+/// A handle for spawning threads scoped to a [`scope`] call.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. As in crossbeam, the closure receives a
+    /// `&Scope` so it can spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Creates a scope for spawning borrowing threads; all threads are joined
+/// before this returns. Returns `Err` with the panic payload if any spawned
+/// thread (or the closure itself) panicked.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_share_borrows() {
+        let counter = AtomicUsize::new(0);
+        let out = scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+            7
+        })
+        .unwrap();
+        assert_eq!(out, 7);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

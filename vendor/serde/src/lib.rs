@@ -1,0 +1,438 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This build environment has no network access, so the real serde cannot be
+//! downloaded. This crate implements a compatible *subset*: a self-describing
+//! [`Content`] tree as the data model, [`Serialize`]/[`Deserialize`] traits
+//! that convert to/from it, and (behind the `derive` feature) derive macros
+//! that understand the container shapes and attributes this workspace
+//! actually uses (`tag`, `rename_all = "snake_case"`, `flatten`).
+//!
+//! `serde_json` (also vendored) renders [`Content`] to JSON text and parses
+//! it back, which is the only serialization format the workspace exercises.
+
+#![deny(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing value tree both traits convert through.
+///
+/// This plays the role of serde's internal `Content`/`Value`: serializers
+/// walk it to produce bytes, deserializers are handed a borrowed node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` (also used for unit and non-finite floats).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed (negative) integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered map with string keys (JSON object).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Looks up `key` in a [`Content::Map`]; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => {
+                entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// A short human label for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error: a message describing the mismatch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    /// Builds an error from any displayable message.
+    pub fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+
+    /// The standard "expected X, found Y" shape.
+    pub fn expected(what: &str, found: &Content) -> Self {
+        Error(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can render itself into the [`Content`] data model.
+pub trait Serialize {
+    /// Converts `self` to a [`Content`] tree.
+    fn to_content(&self) -> Content;
+}
+
+/// A type that can reconstruct itself from a borrowed [`Content`] node.
+///
+/// The lifetime parameter mirrors real serde's signature so `T: for<'de>
+/// Deserialize<'de>` bounds written against the real crate still compile;
+/// this stand-in never borrows from the input.
+pub trait Deserialize<'de>: Sized {
+    /// Reconstructs `Self` from a [`Content`] node.
+    fn from_content(content: &Content) -> Result<Self, Error>;
+
+    /// Called when a struct field is absent from the input map.
+    ///
+    /// The default is an error; `Option<T>` overrides this to yield `None`,
+    /// matching serde's treatment of missing optional fields.
+    fn from_missing(field: &'static str) -> Result<Self, Error> {
+        Err(Error::custom(format!("missing field `{field}`")))
+    }
+}
+
+macro_rules! ser_de_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_content(&self) -> Content {
+                let v = *self;
+                if v < 0 {
+                    Content::I64(v as i64)
+                } else {
+                    Content::U64(v as u64)
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let out = match *content {
+                    Content::U64(v) => <$ty>::try_from(v)
+                        .map_err(|_| Error::custom(concat!("integer out of range for ", stringify!($ty)))),
+                    Content::I64(v) => <$ty>::try_from(v)
+                        .map_err(|_| Error::custom(concat!("integer out of range for ", stringify!($ty)))),
+                    _ => Err(Error::expected("integer", content)),
+                };
+                out
+            }
+        }
+    )*};
+}
+
+ser_de_int!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_uint {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                match *content {
+                    Content::U64(v) => <$ty>::try_from(v)
+                        .map_err(|_| Error::custom(concat!("integer out of range for ", stringify!($ty)))),
+                    Content::I64(v) => <$ty>::try_from(v)
+                        .map_err(|_| Error::custom(concat!("integer out of range for ", stringify!($ty)))),
+                    _ => Err(Error::expected("unsigned integer", content)),
+                }
+            }
+        }
+    )*};
+}
+
+ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_float {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_content(&self) -> Content {
+                Content::F64(*self as f64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                match *content {
+                    Content::F64(v) => Ok(v as $ty),
+                    Content::U64(v) => Ok(v as $ty),
+                    Content::I64(v) => Ok(v as $ty),
+                    Content::Null => Ok(<$ty>::NAN),
+                    _ => Err(Error::expected("number", content)),
+                }
+            }
+        }
+    )*};
+}
+
+ser_de_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("bool", content)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(Error::expected("string", content)),
+        }
+    }
+}
+
+/// Present so containers holding `&'static str` table constants can derive
+/// `Deserialize` (as they can with real serde's borrowed-str support).
+/// Actually deserializing one leaks the string — acceptable because the
+/// workspace never deserializes such containers, it only serializes them.
+impl<'de> Deserialize<'de> for &'static str {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            _ => Err(Error::expected("string", content)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) if s.chars().count() == 1 => {
+                Ok(s.chars().next().ok_or_else(|| Error::custom("empty char"))?)
+            }
+            _ => Err(Error::expected("single-character string", content)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+
+    fn from_missing(_field: &'static str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            _ => Err(Error::expected("sequence", content)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_content(content)?;
+        if items.len() != N {
+            return Err(Error::custom(format!(
+                "expected array of length {N}, found {}",
+                items.len()
+            )));
+        }
+        items
+            .try_into()
+            .map_err(|_| Error::custom("array length conversion failed"))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                match content {
+                    Content::Seq(items) => {
+                        let mut it = items.iter();
+                        Ok(($(
+                            {
+                                let _ = $idx;
+                                $name::from_content(
+                                    it.next().ok_or_else(|| Error::custom("tuple too short"))?,
+                                )?
+                            },
+                        )+))
+                    }
+                    _ => Err(Error::expected("sequence (tuple)", content)),
+                }
+            }
+        }
+    )*};
+}
+
+ser_de_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K: Serialize + std::fmt::Display, V: Serialize> Serialize
+    for std::collections::BTreeMap<K, V>
+{
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter().map(|(k, v)| (k.to_string(), v.to_content())).collect(),
+        )
+    }
+}
+
+impl<K: Serialize + std::fmt::Display, V: Serialize, S: std::hash::BuildHasher> Serialize
+    for std::collections::HashMap<K, V, S>
+{
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter().map(|(k, v)| (k.to_string(), v.to_content())).collect(),
+        )
+    }
+}
+
+/// Support code the derive macros expand to. Not part of the public API.
+pub mod __private {
+    use super::{Content, Deserialize, Error, Serialize};
+
+    /// Serializes one value (turbofish-free helper for generated code).
+    pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Content {
+        value.to_content()
+    }
+
+    /// Deserializes a struct field from a map, honoring missing-field rules.
+    pub fn from_field<T: for<'de> Deserialize<'de>>(
+        map: &[(String, Content)],
+        key: &'static str,
+    ) -> Result<T, Error> {
+        match map.iter().find(|(k, _)| k == key) {
+            Some((_, v)) => T::from_content(v)
+                .map_err(|e| Error::custom(format!("field `{key}`: {e}"))),
+            None => T::from_missing(key),
+        }
+    }
+
+    /// Deserializes a `#[serde(flatten)]` field from the whole container map.
+    pub fn from_flatten<T: for<'de> Deserialize<'de>>(
+        content: &Content,
+    ) -> Result<T, Error> {
+        T::from_content(content)
+    }
+
+    /// Deserializes any value node (turbofish-free helper).
+    pub fn from_content<T: for<'de> Deserialize<'de>>(
+        content: &Content,
+    ) -> Result<T, Error> {
+        T::from_content(content)
+    }
+}
+
+/// Compatibility alias: real serde exposes `serde::de::Error` as a trait;
+/// generated code and this workspace only need the concrete error type.
+pub mod de {
+    pub use super::{Deserialize, Error};
+}
+
+/// Compatibility alias for `serde::ser`.
+pub mod ser {
+    pub use super::{Error, Serialize};
+}

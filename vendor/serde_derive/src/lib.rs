@@ -1,0 +1,638 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the
+//! vendored `serde` stand-in's `Content` data model. The real crate parses
+//! arbitrary Rust with `syn`; this one parses the derive input token stream
+//! by hand and supports exactly the container shapes present in this
+//! workspace:
+//!
+//! - structs with named fields (including `#[serde(flatten)]` fields),
+//! - tuple structs (newtypes serialize transparently),
+//! - unit structs,
+//! - enums with unit / newtype / struct variants, externally tagged by
+//!   default or internally tagged via `#[serde(tag = "...")]`, with
+//!   `#[serde(rename_all = "snake_case")]`.
+//!
+//! Generic containers are intentionally unsupported (the workspace has none)
+//! and produce a compile error naming this file.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    flatten: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Default)]
+struct ContainerAttrs {
+    tag: Option<String>,
+    rename_all: Option<String>,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    attrs: ContainerAttrs,
+    kind: Kind,
+}
+
+/// Derives `serde::Serialize` (vendored stand-in).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_serialize(&input).parse().expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (vendored stand-in).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_deserialize(&input).parse().expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// Extracts `#[serde(...)]` arguments from an attribute bracket group, if
+/// this attribute is a serde helper; returns `None` otherwise (docs, etc.).
+fn serde_attr_args(bracket: &proc_macro::Group) -> Option<Vec<TokenTree>> {
+    let mut inner = bracket.stream().into_iter();
+    match (inner.next(), inner.next()) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            Some(args.stream().into_iter().collect())
+        }
+        _ => None,
+    }
+}
+
+/// Parses the tokens inside `#[serde(...)]`: bare flags (`flatten`) and
+/// `key = "value"` pairs (`tag`, `rename_all`).
+fn parse_serde_args(tokens: &[TokenTree], attrs: &mut ContainerAttrs, flatten: &mut bool) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if let TokenTree::Ident(key) = &tokens[i] {
+            let key = key.to_string();
+            let has_eq = matches!(
+                tokens.get(i + 1),
+                Some(TokenTree::Punct(p)) if p.as_char() == '='
+            );
+            if has_eq {
+                let value = match tokens.get(i + 2) {
+                    Some(TokenTree::Literal(lit)) => unquote(&lit.to_string()),
+                    other => panic!("serde_derive: expected string after `{key} =`, got {other:?}"),
+                };
+                match key.as_str() {
+                    "tag" => attrs.tag = Some(value),
+                    "rename_all" => attrs.rename_all = Some(value),
+                    other => panic!("serde_derive: unsupported serde attribute `{other}`"),
+                }
+                i += 3;
+            } else {
+                match key.as_str() {
+                    "flatten" => *flatten = true,
+                    "default" => {} // tolerated: missing-field handling covers it for Option
+                    other => panic!("serde_derive: unsupported serde attribute `{other}`"),
+                }
+                i += 1;
+            }
+        } else {
+            i += 1; // separating comma
+        }
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Skips attributes at `tokens[i..]`, collecting serde args into `attrs` /
+/// `flatten`; returns the index of the first non-attribute token.
+fn skip_attrs(
+    tokens: &[TokenTree],
+    mut i: usize,
+    attrs: &mut ContainerAttrs,
+    flatten: &mut bool,
+) -> usize {
+    while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        match tokens.get(i + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                if let Some(args) = serde_attr_args(g) {
+                    parse_serde_args(&args, attrs, flatten);
+                }
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility modifier (`pub`, `pub(crate)`, …) if present.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut attrs = ContainerAttrs::default();
+    let mut ignored = false;
+    let mut i = skip_attrs(&tokens, 0, &mut attrs, &mut ignored);
+    i = skip_vis(&tokens, i);
+
+    let item_kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected container name, got {other:?}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic containers are not supported; found `{name}<...>`");
+        }
+    }
+
+    let kind = match (item_kind.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Kind::NamedStruct(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Kind::TupleStruct(count_tuple_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Kind::UnitStruct,
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Kind::Enum(parse_variants(g.stream()))
+        }
+        (kind, other) => panic!("serde_derive: unsupported {kind} body: {other:?}"),
+    };
+
+    Input { name, attrs, kind }
+}
+
+/// Parses `name: Type, ...` fields, honoring per-field serde attrs.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut field_attrs = ContainerAttrs::default();
+        let mut flatten = false;
+        i = skip_attrs(&tokens, i, &mut field_attrs, &mut flatten);
+        i = skip_vis(&tokens, i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Consume the type: everything until a comma at angle-bracket depth 0.
+        // Parens/brackets/braces arrive as atomic groups; only `<`/`>` need
+        // explicit depth tracking.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(Field { name, flatten });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut saw_tokens_since_comma = true;
+    for tok in &tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    count += 1;
+                    saw_tokens_since_comma = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut ignored_attrs = ContainerAttrs::default();
+        let mut ignored_flatten = false;
+        i = skip_attrs(&tokens, i, &mut ignored_attrs, &mut ignored_flatten);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '=' {
+                panic!("serde_derive: explicit discriminants are not supported");
+            }
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- renaming
+
+fn apply_rename(rule: Option<&str>, name: &str) -> String {
+    match rule {
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (i, c) in name.chars().enumerate() {
+                if c.is_ascii_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.push(c.to_ascii_lowercase());
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        }
+        Some("lowercase") => name.to_ascii_lowercase(),
+        Some("UPPERCASE") => name.to_ascii_uppercase(),
+        Some(other) => panic!("serde_derive: unsupported rename_all rule `{other}`"),
+        None => name.to_string(),
+    }
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let mut code = String::from(
+                "let mut __map: Vec<(String, serde::Content)> = Vec::new();\n",
+            );
+            for f in fields {
+                if f.flatten {
+                    code.push_str(&format!(
+                        "match serde::__private::to_content(&self.{field}) {{\n\
+                         serde::Content::Map(__entries) => __map.extend(__entries),\n\
+                         __other => __map.push((String::from(\"{field}\"), __other)),\n\
+                         }}\n",
+                        field = f.name
+                    ));
+                } else {
+                    code.push_str(&format!(
+                        "__map.push((String::from(\"{field}\"), serde::__private::to_content(&self.{field})));\n",
+                        field = f.name
+                    ));
+                }
+            }
+            code.push_str("serde::Content::Map(__map)");
+            code
+        }
+        Kind::TupleStruct(1) => "serde::__private::to_content(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::__private::to_content(&self.{i})"))
+                .collect();
+            format!("serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "serde::Content::Null".to_string(),
+        Kind::Enum(variants) => gen_enum_serialize(input, variants),
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> serde::Content {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_enum_serialize(input: &Input, variants: &[Variant]) -> String {
+    let name = &input.name;
+    let rename = input.attrs.rename_all.as_deref();
+    let tag = input.attrs.tag.as_deref();
+    let mut arms = String::new();
+    for v in variants {
+        let wire = apply_rename(rename, &v.name);
+        match (&v.shape, tag) {
+            (VariantShape::Unit, None) => {
+                arms.push_str(&format!(
+                    "{name}::{v} => serde::Content::Str(String::from(\"{wire}\")),\n",
+                    v = v.name
+                ));
+            }
+            (VariantShape::Unit, Some(tag)) => {
+                arms.push_str(&format!(
+                    "{name}::{v} => serde::Content::Map(vec![(String::from(\"{tag}\"), serde::Content::Str(String::from(\"{wire}\")))]),\n",
+                    v = v.name
+                ));
+            }
+            (VariantShape::Tuple(n), None) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let inner = if *n == 1 {
+                    "serde::__private::to_content(__f0)".to_string()
+                } else {
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("serde::__private::to_content({b})"))
+                        .collect();
+                    format!("serde::Content::Seq(vec![{}])", items.join(", "))
+                };
+                arms.push_str(&format!(
+                    "{name}::{v}({binds}) => serde::Content::Map(vec![(String::from(\"{wire}\"), {inner})]),\n",
+                    v = v.name,
+                    binds = binds.join(", ")
+                ));
+            }
+            (VariantShape::Tuple(_), Some(_)) => {
+                panic!("serde_derive: tuple variants cannot be internally tagged")
+            }
+            (VariantShape::Struct(fields), tag) => {
+                let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let mut inner = String::from(
+                    "let mut __vmap: Vec<(String, serde::Content)> = Vec::new();\n",
+                );
+                if let Some(tag) = tag {
+                    inner.push_str(&format!(
+                        "__vmap.push((String::from(\"{tag}\"), serde::Content::Str(String::from(\"{wire}\"))));\n"
+                    ));
+                }
+                for f in fields {
+                    inner.push_str(&format!(
+                        "__vmap.push((String::from(\"{field}\"), serde::__private::to_content({field})));\n",
+                        field = f.name
+                    ));
+                }
+                let map_expr = if tag.is_some() {
+                    "serde::Content::Map(__vmap)".to_string()
+                } else {
+                    format!(
+                        "serde::Content::Map(vec![(String::from(\"{wire}\"), serde::Content::Map(__vmap))])"
+                    )
+                };
+                arms.push_str(&format!(
+                    "{name}::{v} {{ {binds} }} => {{\n{inner}{map_expr}\n}}\n",
+                    v = v.name,
+                    binds = binds.join(", ")
+                ));
+            }
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let mut code = format!(
+                "let __map = match __c {{\n\
+                 serde::Content::Map(__m) => __m,\n\
+                 _ => return Err(serde::Error::expected(\"map for struct {name}\", __c)),\n\
+                 }};\nlet _ = __map;\n"
+            );
+            let mut inits = Vec::new();
+            for f in fields {
+                if f.flatten {
+                    inits.push(format!(
+                        "{field}: serde::__private::from_flatten(__c)?",
+                        field = f.name
+                    ));
+                } else {
+                    inits.push(format!(
+                        "{field}: serde::__private::from_field(__map, \"{field}\")?",
+                        field = f.name
+                    ));
+                }
+            }
+            code.push_str(&format!("Ok({name} {{ {} }})", inits.join(", ")));
+            code
+        }
+        Kind::TupleStruct(1) => {
+            format!("Ok({name}(serde::__private::from_content(__c)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let mut code = format!(
+                "let __seq = match __c {{\n\
+                 serde::Content::Seq(__s) => __s,\n\
+                 _ => return Err(serde::Error::expected(\"sequence for tuple struct {name}\", __c)),\n\
+                 }};\n\
+                 if __seq.len() != {n} {{\n\
+                 return Err(serde::Error::custom(\"wrong tuple length for {name}\"));\n\
+                 }}\n"
+            );
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::__private::from_content(&__seq[{i}])?"))
+                .collect();
+            code.push_str(&format!("Ok({name}({}))", items.join(", ")));
+            code
+        }
+        Kind::UnitStruct => format!(
+            "match __c {{\n\
+             serde::Content::Null => Ok({name}),\n\
+             _ => Err(serde::Error::expected(\"null for unit struct {name}\", __c)),\n\
+             }}"
+        ),
+        Kind::Enum(variants) => gen_enum_deserialize(input, variants),
+    };
+    format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+         fn from_content(__c: &serde::Content) -> Result<Self, serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_struct_variant_init(name: &str, v: &Variant, fields: &[Field], map_expr: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{field}: serde::__private::from_field({map_expr}, \"{field}\")?",
+                field = f.name
+            )
+        })
+        .collect();
+    format!("Ok({name}::{v} {{ {} }})", inits.join(", "), v = v.name)
+}
+
+fn gen_enum_deserialize(input: &Input, variants: &[Variant]) -> String {
+    let name = &input.name;
+    let rename = input.attrs.rename_all.as_deref();
+    if let Some(tag) = input.attrs.tag.as_deref() {
+        // Internally tagged: one map holds the tag and the variant fields.
+        let mut arms = String::new();
+        for v in variants {
+            let wire = apply_rename(rename, &v.name);
+            match &v.shape {
+                VariantShape::Unit => {
+                    arms.push_str(&format!("\"{wire}\" => Ok({name}::{v}),\n", v = v.name));
+                }
+                VariantShape::Struct(fields) => {
+                    arms.push_str(&format!(
+                        "\"{wire}\" => {{ {} }}\n",
+                        gen_struct_variant_init(name, v, fields, "__map")
+                    ));
+                }
+                VariantShape::Tuple(_) => {
+                    panic!("serde_derive: tuple variants cannot be internally tagged")
+                }
+            }
+        }
+        format!(
+            "let __map = match __c {{\n\
+             serde::Content::Map(__m) => __m,\n\
+             _ => return Err(serde::Error::expected(\"map for enum {name}\", __c)),\n\
+             }};\n\
+             let __tag = match __map.iter().find(|(__k, _)| __k == \"{tag}\") {{\n\
+             Some((_, serde::Content::Str(__s))) => __s.as_str(),\n\
+             _ => return Err(serde::Error::custom(\"missing tag `{tag}` for enum {name}\")),\n\
+             }};\n\
+             match __tag {{\n{arms}\
+             __other => Err(serde::Error::custom(format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+             }}"
+        )
+    } else {
+        // Externally tagged: unit variants are strings, data variants are
+        // single-entry maps.
+        let mut str_arms = String::new();
+        let mut map_arms = String::new();
+        for v in variants {
+            let wire = apply_rename(rename, &v.name);
+            match &v.shape {
+                VariantShape::Unit => {
+                    str_arms.push_str(&format!("\"{wire}\" => Ok({name}::{v}),\n", v = v.name));
+                }
+                VariantShape::Tuple(1) => {
+                    map_arms.push_str(&format!(
+                        "\"{wire}\" => Ok({name}::{v}(serde::__private::from_content(__v)?)),\n",
+                        v = v.name
+                    ));
+                }
+                VariantShape::Tuple(n) => {
+                    let mut code = format!(
+                        "\"{wire}\" => {{\n\
+                         let __seq = match __v {{\n\
+                         serde::Content::Seq(__s) => __s,\n\
+                         _ => return Err(serde::Error::expected(\"sequence for variant {wire}\", __v)),\n\
+                         }};\n\
+                         if __seq.len() != {n} {{\n\
+                         return Err(serde::Error::custom(\"wrong tuple length for {name}::{v}\"));\n\
+                         }}\n",
+                        v = v.name
+                    );
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("serde::__private::from_content(&__seq[{i}])?"))
+                        .collect();
+                    code.push_str(&format!(
+                        "Ok({name}::{v}({}))\n}}\n",
+                        items.join(", "),
+                        v = v.name
+                    ));
+                    map_arms.push_str(&code);
+                }
+                VariantShape::Struct(fields) => {
+                    map_arms.push_str(&format!(
+                        "\"{wire}\" => {{\n\
+                         let __vmap = match __v {{\n\
+                         serde::Content::Map(__m) => __m,\n\
+                         _ => return Err(serde::Error::expected(\"map for variant {wire}\", __v)),\n\
+                         }};\n\
+                         {}\n}}\n",
+                        gen_struct_variant_init(name, v, fields, "__vmap")
+                    ));
+                }
+            }
+        }
+        format!(
+            "match __c {{\n\
+             serde::Content::Str(__s) => match __s.as_str() {{\n{str_arms}\
+             __other => Err(serde::Error::custom(format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+             }},\n\
+             serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+             let (__k, __v) = &__m[0];\n\
+             let _ = __v;\n\
+             match __k.as_str() {{\n{map_arms}\
+             __other => Err(serde::Error::custom(format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+             }}\n\
+             }},\n\
+             _ => Err(serde::Error::expected(\"string or single-entry map for enum {name}\", __c)),\n\
+             }}"
+        )
+    }
+}
