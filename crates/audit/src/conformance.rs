@@ -1,0 +1,202 @@
+//! Conformance pass: joins the claim registry with scanned citations.
+
+use std::collections::BTreeMap;
+
+use crate::scanner::{Citation, CitationKind};
+use crate::spec::{Level, Registry, Status};
+
+/// Coverage of one claim.
+#[derive(Debug, Clone)]
+pub struct ClaimCoverage {
+    /// The claim id.
+    pub id: String,
+    /// Requirement level.
+    pub level: Level,
+    /// Paper section.
+    pub section: String,
+    /// Human title.
+    pub title: String,
+    /// Implementation citation sites, as `file:line`.
+    pub impl_sites: Vec<String>,
+    /// Test citation sites, as `file:line`.
+    pub test_sites: Vec<String>,
+}
+
+impl ClaimCoverage {
+    /// A claim is covered when it has both impl and test citations.
+    pub fn covered(&self) -> bool {
+        !self.impl_sites.is_empty() && !self.test_sites.is_empty()
+    }
+}
+
+/// A citation problem that fails the audit.
+#[derive(Debug, Clone)]
+pub struct CitationError {
+    /// `unknown`, `stale`, `duplicate`, or `malformed`.
+    pub kind: &'static str,
+    /// Citation site, as `file:line`.
+    pub site: String,
+    /// The cited claim id.
+    pub claim: String,
+}
+
+/// The full conformance result.
+#[derive(Debug)]
+pub struct ConformanceReport {
+    /// Per-claim coverage in registry order.
+    pub claims: Vec<ClaimCoverage>,
+    /// Unknown / stale / duplicate / malformed citations.
+    pub errors: Vec<CitationError>,
+    /// Total citations scanned.
+    pub citation_count: usize,
+}
+
+impl ConformanceReport {
+    /// MUST-level claims that lack an impl or a test citation.
+    pub fn uncovered_must(&self) -> Vec<&ClaimCoverage> {
+        self.claims
+            .iter()
+            .filter(|c| c.level == Level::Must && !c.covered())
+            .collect()
+    }
+
+    /// SHOULD-level claims that lack an impl or a test citation
+    /// (reported as warnings, not failures).
+    pub fn uncovered_should(&self) -> Vec<&ClaimCoverage> {
+        self.claims
+            .iter()
+            .filter(|c| c.level == Level::Should && !c.covered())
+            .collect()
+    }
+
+    /// Gate condition for the conformance pass.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty() && self.uncovered_must().is_empty()
+    }
+}
+
+/// Joins registry and citations into a [`ConformanceReport`].
+pub fn check(registry: &Registry, citations: &[Citation]) -> ConformanceReport {
+    let mut impl_sites: BTreeMap<&str, Vec<String>> = BTreeMap::new();
+    let mut test_sites: BTreeMap<&str, Vec<String>> = BTreeMap::new();
+    let mut errors = Vec::new();
+
+    for cite in citations {
+        let site = format!("{}:{}", cite.file.display(), cite.line);
+        if cite.malformed {
+            errors.push(CitationError {
+                kind: "malformed",
+                site,
+                claim: cite.claim.clone(),
+            });
+            continue;
+        }
+        if cite.duplicate {
+            errors.push(CitationError {
+                kind: "duplicate",
+                site,
+                claim: cite.claim.clone(),
+            });
+            continue;
+        }
+        match registry.get(&cite.claim) {
+            None => {
+                errors.push(CitationError {
+                    kind: "unknown",
+                    site,
+                    claim: cite.claim.clone(),
+                });
+            }
+            Some(claim) if claim.status == Status::Retired => {
+                errors.push(CitationError {
+                    kind: "stale",
+                    site,
+                    claim: cite.claim.clone(),
+                });
+            }
+            Some(claim) => {
+                let bucket = match cite.kind {
+                    CitationKind::Impl => &mut impl_sites,
+                    CitationKind::Test => &mut test_sites,
+                };
+                bucket.entry(claim.id.as_str()).or_default().push(site);
+            }
+        }
+    }
+
+    let claims = registry
+        .claims
+        .iter()
+        .map(|c| ClaimCoverage {
+            id: c.id.clone(),
+            level: c.level,
+            section: c.section.clone(),
+            title: c.title.clone(),
+            impl_sites: impl_sites.remove(c.id.as_str()).unwrap_or_default(),
+            test_sites: test_sites.remove(c.id.as_str()).unwrap_or_default(),
+        })
+        .collect();
+
+    ConformanceReport {
+        claims,
+        errors,
+        citation_count: citations.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan_citations;
+    use crate::spec::parse_spec;
+    use std::path::Path;
+
+    fn registry() -> Registry {
+        parse_spec(
+            "[[claim]]\nid = \"eq-1\"\nlevel = \"MUST\"\nsection = \"II\"\ntitle = \"t\"\nquote = \"q\"\n\
+             [[claim]]\nid = \"eq-2\"\nlevel = \"SHOULD\"\nsection = \"II\"\ntitle = \"t\"\nquote = \"q\"\n\
+             [[claim]]\nid = \"old\"\nlevel = \"SHOULD\"\nstatus = \"retired\"\nsection = \"II\"\ntitle = \"t\"\nquote = \"q\"\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn must_claim_needs_impl_and_test() {
+        let reg = registry();
+        let cites = scan_citations(Path::new("a.rs"), "//= pftk#eq-1\nfn f() {}\n");
+        let report = check(&reg, &cites);
+        assert!(!report.is_clean(), "impl-only MUST coverage must not pass");
+        assert_eq!(report.uncovered_must().len(), 1);
+
+        let cites = scan_citations(
+            Path::new("a.rs"),
+            "//= pftk#eq-1\nfn f() {}\n//= pftk#eq-1 type=test\nfn t() {}\n",
+        );
+        let report = check(&reg, &cites);
+        assert!(report.uncovered_must().is_empty());
+        assert!(report.is_clean(), "{:?}", report.errors);
+        // SHOULD uncovered is a warning, not a failure.
+        assert_eq!(report.uncovered_should().len(), 2);
+    }
+
+    #[test]
+    fn unknown_stale_duplicate_are_errors() {
+        let reg = registry();
+        let text = "//= pftk#nope\n//= pftk#old\n//= pftk#eq-2\n//= pftk#eq-2\n";
+        let report = check(&reg, &scan_citations(Path::new("a.rs"), text));
+        let kinds: Vec<_> = report.errors.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, ["unknown", "stale", "duplicate"]);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn malformed_citation_is_an_error() {
+        let reg = registry();
+        let report = check(
+            &reg,
+            &scan_citations(Path::new("a.rs"), "//= pftk#eq-1 type=bench\n"),
+        );
+        assert_eq!(report.errors[0].kind, "malformed");
+        assert!(!report.is_clean());
+    }
+}

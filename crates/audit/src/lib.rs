@@ -1,0 +1,134 @@
+//! `pftk-audit` — paper-conformance auditor and lint gate for the PFTK
+//! workspace.
+//!
+//! The auditor makes the link between the reproduced paper (Padhye,
+//! Firoiu, Towsley, Kurose, SIGCOMM 1998) and the code checkable by
+//! machine. It runs two passes over every `.rs` file in the workspace:
+//!
+//! 1. **Conformance** ([`conformance`]): parses the claim registry at
+//!    `specs/pftk-spec.toml` (see [`spec`]) and collects `//= pftk#<id>`
+//!    citation comments (see [`scanner`]). Every `MUST`-level claim needs
+//!    at least one implementation citation and one `type=test` citation;
+//!    citations of unknown or retired claims are errors.
+//! 2. **Lint** ([`lint`]): flags `unwrap()` / `expect(` / `panic!` in
+//!    non-test library code, lossy `as` numeric casts in the `pftk-model`
+//!    and `tcp-sim` hot paths, and NaN-hazard `==` / `!=` comparisons on
+//!    floats. Deliberate sites are whitelisted with `//~ allow(<rule>)`.
+//!
+//! The binary prints a human summary and writes `results/conformance.json`
+//! ([`report`]); the library API ([`run_audit`]) backs the tier-1 gate
+//! test `tests/conformance_gate.rs`, so a regression fails plain
+//! `cargo test`.
+
+#![deny(missing_docs)]
+
+pub mod conformance;
+pub mod lint;
+pub mod report;
+pub mod scanner;
+pub mod spec;
+
+use std::path::{Path, PathBuf};
+
+/// Everything the audit produced, ready for reporting or gating.
+#[derive(Debug)]
+pub struct AuditOutcome {
+    /// Coverage and citation-validity results from the conformance pass.
+    pub conformance: conformance::ConformanceReport,
+    /// Violations from the lint pass (whitelisted sites excluded).
+    pub lint: Vec<lint::LintViolation>,
+}
+
+impl AuditOutcome {
+    /// Whether the audit gate passes: no uncovered MUST claim, no
+    /// unknown / stale / duplicate citation, no lint violation.
+    pub fn is_clean(&self) -> bool {
+        self.conformance.is_clean() && self.lint.is_empty()
+    }
+}
+
+/// Walks `root` for workspace `.rs` sources and returns them sorted.
+///
+/// Scans `crates/*/src`, `crates/*/tests`, the root `src/` and `tests/`
+/// directories, and `examples/`. The vendored dependency stand-ins under
+/// `vendor/` and build output under `target/` are never audited.
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut roots = vec![root.join("src"), root.join("tests"), root.join("examples")];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in std::fs::read_dir(&crates_dir)? {
+            let dir = entry?.path();
+            if dir.is_dir() {
+                roots.push(dir.join("src"));
+                roots.push(dir.join("tests"));
+                roots.push(dir.join("benches"));
+                roots.push(dir.join("examples"));
+            }
+        }
+    }
+    for sub in roots {
+        collect_rs(&sub, &mut files)?;
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs both audit passes over the workspace rooted at `root`.
+///
+/// `root` must contain `specs/pftk-spec.toml`. Errors are I/O or spec
+/// parse failures; audit *findings* are data in the returned outcome,
+/// not errors.
+pub fn run_audit(root: &Path) -> Result<AuditOutcome, String> {
+    let spec_path = root.join("specs/pftk-spec.toml");
+    let spec_text = std::fs::read_to_string(&spec_path)
+        .map_err(|e| format!("cannot read {}: {e}", spec_path.display()))?;
+    let registry =
+        spec::parse_spec(&spec_text).map_err(|e| format!("{}: {e}", spec_path.display()))?;
+
+    let files = workspace_sources(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+
+    let mut citations = Vec::new();
+    let mut lint_violations = Vec::new();
+    for path in &files {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let rel = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+        citations.extend(scanner::scan_citations(&rel, &text));
+        lint_violations.extend(lint::lint_file(&rel, &text));
+    }
+
+    let conformance = conformance::check(&registry, &citations);
+    Ok(AuditOutcome {
+        conformance,
+        lint: lint_violations,
+    })
+}
+
+/// Locates the workspace root by walking up from `start` until a
+/// directory containing `specs/pftk-spec.toml` is found.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        if d.join("specs/pftk-spec.toml").is_file() {
+            return Some(d.to_path_buf());
+        }
+        dir = d.parent();
+    }
+    None
+}

@@ -1,0 +1,455 @@
+//! Lint pass: panic-prone calls, lossy casts, NaN-hazard comparisons.
+//!
+//! Three rules, each scoped to where the hazard matters:
+//!
+//! | rule       | flags                                   | scope                          |
+//! |------------|-----------------------------------------|--------------------------------|
+//! | `unwrap`   | `.unwrap()`                             | library code (`*/src`)         |
+//! | `expect`   | `.expect(`                              | library code (`*/src`)         |
+//! | `panic`    | `panic!`                                | library code (`*/src`)         |
+//! | `cast`     | `as <numeric type>`                     | `crates/model`, `crates/sim`   |
+//! | `float-eq` | `==` / `!=` against a float literal     | model, sim, trace              |
+//!
+//! `#[cfg(test)]` modules are skipped (brace-tracked), as are `tests/`,
+//! `benches/` and `examples/` directories (path-scoped). Deliberate
+//! sites are whitelisted with a `//~ allow(<rule>)` comment, either
+//! trailing the offending line or alone on the line above it:
+//!
+//! ```text
+//! let ns = (secs * 1e9).round() as u64; //~ allow(cast): saturating by construction
+//! //~ allow(expect): arithmetic overflow here is a simulation bug
+//! let t = base.checked_add(d).expect("simulation clock overflow");
+//! ```
+//!
+//! Detection is line-based over *sanitized* text (string literals and
+//! comments removed), so occurrences inside strings or docs never count.
+//! `float-eq` is a heuristic: it fires only when one operand token is a
+//! float literal (contains a `.`), which catches the NaN-hazard pattern
+//! `x == 0.0` without false-firing on integer comparisons.
+
+use std::path::{Path, PathBuf};
+
+/// Lint rule identifiers, as used in `//~ allow(<rule>)`.
+pub const RULES: [&str; 5] = ["unwrap", "expect", "panic", "cast", "float-eq"];
+
+/// One lint finding (already filtered against the whitelist).
+#[derive(Debug, Clone)]
+pub struct LintViolation {
+    /// Which rule fired (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// Whether `file` (workspace-relative) is library code subject to the
+/// panic-family rules: any `src/` tree, at the root or under `crates/`.
+fn is_library_code(file: &Path) -> bool {
+    let mut comps = file.components().map(|c| c.as_os_str().to_string_lossy());
+    match comps.next().as_deref() {
+        Some("src") => true,
+        Some("crates") => {
+            comps.next(); // crate name
+            comps.next().as_deref() == Some("src")
+        }
+        _ => false,
+    }
+}
+
+fn starts_with_dir(file: &Path, prefix: &str) -> bool {
+    file.starts_with(prefix)
+}
+
+/// Lints one file, returning unwhitelisted violations.
+pub fn lint_file(file: &Path, text: &str) -> Vec<LintViolation> {
+    let library = is_library_code(file);
+    if !library {
+        return Vec::new();
+    }
+    let cast_scope = starts_with_dir(file, "crates/model") || starts_with_dir(file, "crates/sim");
+    let float_scope = cast_scope || starts_with_dir(file, "crates/trace");
+
+    let mut out = Vec::new();
+    let mut sanitizer = Sanitizer::default();
+    let mut skip = TestSkip::default();
+    // allow-rules carried over from a standalone `//~ allow(..)` line.
+    let mut pending_allow: Vec<String> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let mut allows = parse_allow_directives(raw);
+        let standalone_directive = raw.trim_start().starts_with("//~");
+        allows.append(&mut pending_allow);
+        if standalone_directive {
+            // Applies to the next code line instead.
+            pending_allow = allows;
+            continue;
+        }
+
+        let clean = sanitizer.sanitize_line(raw);
+        if skip.in_test_code(&clean) {
+            continue;
+        }
+
+        let allowed = |rule: &str| allows.iter().any(|a| a == rule);
+        let mut push = |rule: &'static str| {
+            if !allowed(rule) {
+                out.push(LintViolation {
+                    rule,
+                    file: file.to_path_buf(),
+                    line: lineno,
+                    snippet: raw.trim().to_string(),
+                });
+            }
+        };
+
+        if clean.contains(".unwrap()") {
+            push("unwrap");
+        }
+        if clean.contains(".expect(") {
+            push("expect");
+        }
+        if clean.contains("panic!") {
+            push("panic");
+        }
+        if cast_scope && has_numeric_cast(&clean) {
+            push("cast");
+        }
+        if float_scope && has_float_eq(&clean) {
+            push("float-eq");
+        }
+    }
+    out
+}
+
+/// Extracts rules named by `//~ allow(a, b)` directives on a raw line.
+fn parse_allow_directives(raw: &str) -> Vec<String> {
+    let mut rules = Vec::new();
+    let mut rest = raw;
+    while let Some(pos) = rest.find("//~") {
+        rest = &rest[pos + 3..];
+        let trimmed = rest.trim_start();
+        if let Some(args) = trimmed.strip_prefix("allow(") {
+            if let Some(end) = args.find(')') {
+                for rule in args[..end].split(',') {
+                    rules.push(rule.trim().to_string());
+                }
+                rest = &args[end + 1..];
+            }
+        }
+    }
+    rules
+}
+
+/// Line sanitizer: blanks out string/char literals and comments so the
+/// lint needles only match real code. Block-comment state persists
+/// across lines; string literals are assumed not to span lines (true
+/// for this workspace — multi-line strings live in test code, which is
+/// path- or cfg-skipped anyway).
+#[derive(Default)]
+struct Sanitizer {
+    block_comment_depth: usize,
+}
+
+impl Sanitizer {
+    fn sanitize_line(&mut self, raw: &str) -> String {
+        let mut out = String::with_capacity(raw.len());
+        let bytes: Vec<char> = raw.chars().collect();
+        let mut i = 0;
+        while i < bytes.len() {
+            if self.block_comment_depth > 0 {
+                if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                    self.block_comment_depth -= 1;
+                    i += 2;
+                } else if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
+                    self.block_comment_depth += 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            match bytes[i] {
+                '/' if bytes.get(i + 1) == Some(&'/') => break, // line comment
+                '/' if bytes.get(i + 1) == Some(&'*') => {
+                    self.block_comment_depth += 1;
+                    i += 2;
+                }
+                '"' => {
+                    out.push(' ');
+                    i += 1;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            '\\' => i += 2,
+                            '"' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                }
+                'r' if bytes.get(i + 1) == Some(&'"')
+                    || (bytes.get(i + 1) == Some(&'#') && bytes.get(i + 2) == Some(&'"')) =>
+                {
+                    // Raw string r"…" / r#"…"# (single-line forms).
+                    let hashes = usize::from(bytes.get(i + 1) == Some(&'#'));
+                    i += 2 + hashes; // past r, hashes, opening quote
+                    out.push(' ');
+                    while i < bytes.len() {
+                        if bytes[i] == '"' && (hashes == 0 || bytes.get(i + 1) == Some(&'#')) {
+                            i += 1 + hashes;
+                            break;
+                        }
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    // Char literal or lifetime. A char literal closes with
+                    // a quote within 1–2 chars; a lifetime does not.
+                    if bytes.get(i + 2) == Some(&'\'')
+                        || (bytes.get(i + 1) == Some(&'\\') && bytes.get(i + 3) == Some(&'\''))
+                    {
+                        let len = if bytes.get(i + 1) == Some(&'\\') {
+                            4
+                        } else {
+                            3
+                        };
+                        out.push(' ');
+                        i += len;
+                    } else {
+                        out.push('\'');
+                        i += 1;
+                    }
+                }
+                c => {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Brace-tracking skipper for `#[cfg(test)]`-gated items.
+#[derive(Default)]
+struct TestSkip {
+    depth: i64,
+    /// Depth at which the current `#[cfg(test)]` item opened, if inside one.
+    skip_above: Option<i64>,
+    /// Saw `#[cfg(test)]` and waiting for the item's opening brace.
+    pending: bool,
+}
+
+impl TestSkip {
+    /// Feeds one sanitized line; returns true if the line is test code.
+    fn in_test_code(&mut self, clean: &str) -> bool {
+        let is_cfg_test = clean.contains("#[cfg(test)]")
+            || (clean.contains("#[cfg(") && clean.contains("test") && clean.contains("]"));
+        let opens = clean.matches('{').count() as i64;
+        let closes = clean.matches('}').count() as i64;
+        let in_test_before = self.skip_above.is_some() || self.pending || is_cfg_test;
+
+        if is_cfg_test && self.skip_above.is_none() {
+            self.pending = true;
+        }
+        if self.pending && opens > 0 {
+            self.skip_above = Some(self.depth);
+            self.pending = false;
+        }
+        self.depth += opens - closes;
+        if let Some(at) = self.skip_above {
+            if self.depth <= at {
+                self.skip_above = None;
+                // The closing line itself is still test code.
+                return true;
+            }
+            return true;
+        }
+        in_test_before
+    }
+}
+
+/// Detects `as <numeric type>` on a sanitized line.
+fn has_numeric_cast(clean: &str) -> bool {
+    const NUMERIC: [&str; 14] = [
+        "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+        "f32", "f64",
+    ];
+    let mut rest = clean;
+    while let Some(pos) = rest.find(" as ") {
+        // ` as ` must be the keyword: preceding char is part of an
+        // expression (always true after sanitizing) — check the target.
+        let after = rest[pos + 4..].trim_start();
+        let token: String = after
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if NUMERIC.contains(&token.as_str()) {
+            return true;
+        }
+        rest = &rest[pos + 4..];
+    }
+    false
+}
+
+/// Detects `==` / `!=` with a float-literal operand on a sanitized line.
+fn has_float_eq(clean: &str) -> bool {
+    let chars: Vec<char> = clean.chars().collect();
+    for i in 0..chars.len().saturating_sub(1) {
+        let op = (chars[i], chars[i + 1]);
+        if op != ('=', '=') && op != ('!', '=') {
+            continue;
+        }
+        // Skip `<=`, `>=`, `=>`, `===`-like runs.
+        if i > 0 && matches!(chars[i - 1], '=' | '<' | '>' | '!') {
+            continue;
+        }
+        if chars.get(i + 2) == Some(&'=') {
+            continue;
+        }
+        let before = token_before(&chars, i);
+        let after = token_after(&chars, i + 2);
+        if is_float_literal(&before) || is_float_literal(&after) {
+            return true;
+        }
+    }
+    false
+}
+
+fn token_before(chars: &[char], end: usize) -> String {
+    let mut i = end;
+    while i > 0 && chars[i - 1] == ' ' {
+        i -= 1;
+    }
+    let stop = i;
+    while i > 0
+        && (chars[i - 1].is_ascii_alphanumeric() || chars[i - 1] == '_' || chars[i - 1] == '.')
+    {
+        i -= 1;
+    }
+    chars[i..stop].iter().collect()
+}
+
+fn token_after(chars: &[char], start: usize) -> String {
+    let mut i = start;
+    while i < chars.len() && chars[i] == ' ' {
+        i += 1;
+    }
+    if i < chars.len() && chars[i] == '-' {
+        i += 1; // negative literal
+    }
+    let begin = i;
+    while i < chars.len()
+        && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+    {
+        i += 1;
+    }
+    chars[begin..i].iter().collect()
+}
+
+/// A token counts as a float literal if it starts with a digit and
+/// contains a decimal point (`0.0`, `1.5e3`, `2.0f64`).
+fn is_float_literal(token: &str) -> bool {
+    token.starts_with(|c: char| c.is_ascii_digit()) && token.contains('.')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(path: &str, text: &str) -> Vec<LintViolation> {
+        lint_file(Path::new(path), text)
+    }
+
+    #[test]
+    fn flags_unwrap_expect_panic_in_library_code() {
+        let text = "fn f() {\n  let x = g().unwrap();\n  let y = h().expect(\"no\");\n  panic!(\"boom\");\n}\n";
+        let v = lint("crates/model/src/a.rs", text);
+        let rules: Vec<_> = v.iter().map(|v| v.rule).collect();
+        assert_eq!(rules, ["unwrap", "expect", "panic"]);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn skips_cfg_test_modules_and_non_src_paths() {
+        let text = "fn f() {}\n#[cfg(test)]\nmod tests {\n  fn g() { x.unwrap(); }\n}\nfn h() { y.unwrap(); }\n";
+        let v = lint("crates/model/src/a.rs", text);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 6);
+        assert!(lint("crates/model/tests/t.rs", "fn f() { x.unwrap(); }").is_empty());
+        assert!(lint("crates/model/benches/b.rs", "fn f() { x.unwrap(); }").is_empty());
+    }
+
+    #[test]
+    fn string_and_comment_contents_do_not_fire() {
+        let text = "fn f() {\n  let s = \"call .unwrap() or panic!\";\n  // .expect( in a comment\n  /* panic! in\n     a block .unwrap() */\n  let c = 'x';\n}\n";
+        assert!(lint("crates/model/src/a.rs", text).is_empty());
+    }
+
+    #[test]
+    fn allow_directives_whitelist_same_or_next_line() {
+        let trailing = "fn f() { x.unwrap(); } //~ allow(unwrap): reason\n";
+        assert!(lint("crates/model/src/a.rs", trailing).is_empty());
+        let preceding =
+            "//~ allow(expect): overflow is a bug\nfn f() { x.expect(\"overflow\"); }\n";
+        assert!(lint("crates/model/src/a.rs", preceding).is_empty());
+        let wrong_rule = "fn f() { x.unwrap(); } //~ allow(cast)\n";
+        assert_eq!(lint("crates/model/src/a.rs", wrong_rule).len(), 1);
+    }
+
+    #[test]
+    fn casts_flagged_only_in_model_and_sim() {
+        let text = "fn f(x: u64) -> f64 { x as f64 }\n";
+        assert_eq!(lint("crates/model/src/a.rs", text).len(), 1);
+        assert_eq!(lint("crates/sim/src/a.rs", text).len(), 1);
+        assert!(lint("crates/trace/src/a.rs", text).is_empty());
+        let not_numeric = "fn f(x: &dyn Any) { x as &dyn Other; }\n";
+        assert!(lint("crates/model/src/a.rs", not_numeric).is_empty());
+    }
+
+    #[test]
+    fn float_eq_heuristic() {
+        assert_eq!(
+            lint(
+                "crates/trace/src/a.rs",
+                "fn f(x: f64) -> bool { x == 0.0 }\n"
+            )
+            .len(),
+            1
+        );
+        assert_eq!(
+            lint(
+                "crates/model/src/a.rs",
+                "fn f(x: f64) -> bool { 1.5 != x }\n"
+            )
+            .len(),
+            1
+        );
+        assert!(lint(
+            "crates/trace/src/a.rs",
+            "fn f(x: usize) -> bool { x == 0 }\n"
+        )
+        .is_empty());
+        assert!(lint(
+            "crates/trace/src/a.rs",
+            "fn f(x: f64) -> bool { x <= 0.5 }\n"
+        )
+        .is_empty());
+        assert!(lint(
+            "crates/repro/src/a.rs",
+            "fn f(x: f64) -> bool { x == 0.0 }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn lifetimes_do_not_break_the_sanitizer() {
+        let text = "fn f<'a>(x: &'a str) -> &'a str { x }\nfn g() { h().unwrap(); }\n";
+        assert_eq!(lint("crates/model/src/a.rs", text).len(), 1);
+    }
+}

@@ -1,0 +1,106 @@
+//! `pftk-audit` CLI: run the conformance + lint audit and gate on it.
+//!
+//! ```text
+//! pftk-audit [--root <dir>] [--json <path>] [--quiet]
+//! ```
+//!
+//! With no arguments the workspace root is located by walking up from the
+//! current directory to the first directory containing
+//! `specs/pftk-spec.toml`; the JSON report is written to
+//! `results/conformance.json` under that root. Exits 0 when the audit is
+//! clean, 1 on findings, 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--root" => match argv.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage("--root requires a directory argument"),
+            },
+            "--json" => match argv.next() {
+                Some(v) => json_path = Some(PathBuf::from(v)),
+                None => return usage("--json requires a file argument"),
+            },
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                println!("usage: pftk-audit [--root <dir>] [--json <path>] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("pftk-audit: cannot determine current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match pftk_audit::find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "pftk-audit: no specs/pftk-spec.toml found above {} (use --root)",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let outcome = match pftk_audit::run_audit(&root) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("pftk-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let json_path = json_path.unwrap_or_else(|| root.join("results/conformance.json"));
+    let report = pftk_audit::report::to_json(&outcome);
+    let rendered = match serde_json::to_string_pretty(&report) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pftk-audit: serializing report: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(parent) = json_path.parent() {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("pftk-audit: creating {}: {e}", parent.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Err(e) = std::fs::write(&json_path, rendered + "\n") {
+        eprintln!("pftk-audit: writing {}: {e}", json_path.display());
+        return ExitCode::from(2);
+    }
+
+    if !quiet {
+        print!("{}", pftk_audit::report::render_summary(&outcome));
+        println!("report: {}", json_path.display());
+    }
+    if outcome.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("pftk-audit: {msg}");
+    eprintln!("usage: pftk-audit [--root <dir>] [--json <path>] [--quiet]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,268 @@
+//! Report rendering: human-readable summary and `results/conformance.json`.
+
+use serde::Serialize;
+
+use crate::spec::Level;
+use crate::AuditOutcome;
+
+/// JSON shape of one claim's coverage.
+#[derive(Debug, Serialize)]
+pub struct ClaimJson {
+    /// Claim id.
+    pub id: String,
+    /// `"MUST"` or `"SHOULD"`.
+    pub level: String,
+    /// Paper section.
+    pub section: String,
+    /// Human title.
+    pub title: String,
+    /// Whether the claim has both impl and test citations.
+    pub covered: bool,
+    /// Implementation citation sites (`file:line`).
+    pub impl_sites: Vec<String>,
+    /// Test citation sites (`file:line`).
+    pub test_sites: Vec<String>,
+}
+
+/// JSON shape of a citation error.
+#[derive(Debug, Serialize)]
+pub struct CitationErrorJson {
+    /// `unknown`, `stale`, `duplicate`, or `malformed`.
+    pub kind: String,
+    /// Citation site (`file:line`).
+    pub site: String,
+    /// The cited claim id.
+    pub claim: String,
+}
+
+/// JSON shape of a lint violation.
+#[derive(Debug, Serialize)]
+pub struct LintJson {
+    /// Rule name.
+    pub rule: String,
+    /// File path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u64,
+    /// Offending line, trimmed.
+    pub snippet: String,
+}
+
+/// Top-level JSON report written to `results/conformance.json`.
+#[derive(Debug, Serialize)]
+pub struct ReportJson {
+    /// Overall gate verdict.
+    pub clean: bool,
+    /// Total citations scanned.
+    pub citations: u64,
+    /// Number of MUST claims in the registry.
+    pub must_total: u64,
+    /// Number of MUST claims fully covered.
+    pub must_covered: u64,
+    /// Per-claim coverage.
+    pub claims: Vec<ClaimJson>,
+    /// Citation errors.
+    pub citation_errors: Vec<CitationErrorJson>,
+    /// Lint violations.
+    pub lint_violations: Vec<LintJson>,
+}
+
+fn level_str(level: Level) -> &'static str {
+    match level {
+        Level::Must => "MUST",
+        Level::Should => "SHOULD",
+    }
+}
+
+/// Builds the JSON report structure from an audit outcome.
+pub fn to_json(outcome: &AuditOutcome) -> ReportJson {
+    let conf = &outcome.conformance;
+    let claims: Vec<ClaimJson> = conf
+        .claims
+        .iter()
+        .map(|c| ClaimJson {
+            id: c.id.clone(),
+            level: level_str(c.level).to_string(),
+            section: c.section.clone(),
+            title: c.title.clone(),
+            covered: c.covered(),
+            impl_sites: c.impl_sites.clone(),
+            test_sites: c.test_sites.clone(),
+        })
+        .collect();
+    let must_total = conf
+        .claims
+        .iter()
+        .filter(|c| c.level == Level::Must)
+        .count() as u64;
+    let must_covered = conf
+        .claims
+        .iter()
+        .filter(|c| c.level == Level::Must && c.covered())
+        .count() as u64;
+    ReportJson {
+        clean: outcome.is_clean(),
+        citations: conf.citation_count as u64,
+        must_total,
+        must_covered,
+        claims,
+        citation_errors: conf
+            .errors
+            .iter()
+            .map(|e| CitationErrorJson {
+                kind: e.kind.to_string(),
+                site: e.site.clone(),
+                claim: e.claim.clone(),
+            })
+            .collect(),
+        lint_violations: outcome
+            .lint
+            .iter()
+            .map(|v| LintJson {
+                rule: v.rule.to_string(),
+                file: v.file.display().to_string(),
+                line: v.line as u64,
+                snippet: v.snippet.clone(),
+            })
+            .collect(),
+    }
+}
+
+/// Renders the human summary printed by the binary.
+pub fn render_summary(outcome: &AuditOutcome) -> String {
+    let conf = &outcome.conformance;
+    let mut out = String::new();
+    let push = |out: &mut String, line: &str| {
+        out.push_str(line);
+        out.push('\n');
+    };
+
+    push(&mut out, "pftk-audit: paper-conformance + lint gate");
+    push(&mut out, "=========================================");
+
+    let (mut must_total, mut must_cov, mut should_total, mut should_cov) = (0u64, 0u64, 0u64, 0u64);
+    for c in &conf.claims {
+        match c.level {
+            Level::Must => {
+                must_total += 1;
+                must_cov += u64::from(c.covered());
+            }
+            Level::Should => {
+                should_total += 1;
+                should_cov += u64::from(c.covered());
+            }
+        }
+    }
+    push(
+        &mut out,
+        &format!(
+            "claims: {} ({} MUST, {} SHOULD) | citations scanned: {}",
+            conf.claims.len(),
+            must_total,
+            should_total,
+            conf.citation_count
+        ),
+    );
+    push(
+        &mut out,
+        &format!("coverage: MUST {must_cov}/{must_total}, SHOULD {should_cov}/{should_total}"),
+    );
+
+    for c in conf.uncovered_must() {
+        let missing = match (c.impl_sites.is_empty(), c.test_sites.is_empty()) {
+            (true, true) => "impl+test",
+            (true, false) => "impl",
+            (false, true) => "test",
+            (false, false) => unreachable!("covered claims are not uncovered"),
+        };
+        push(
+            &mut out,
+            &format!(
+                "ERROR uncovered MUST pftk#{} ({}): missing {missing} citation",
+                c.id, c.title
+            ),
+        );
+    }
+    for c in conf.uncovered_should() {
+        push(
+            &mut out,
+            &format!("warn  uncovered SHOULD pftk#{} ({})", c.id, c.title),
+        );
+    }
+    for e in &conf.errors {
+        push(
+            &mut out,
+            &format!("ERROR {} citation pftk#{} at {}", e.kind, e.claim, e.site),
+        );
+    }
+    for v in &outcome.lint {
+        push(
+            &mut out,
+            &format!(
+                "ERROR lint[{}] {}:{}: {}",
+                v.rule,
+                v.file.display(),
+                v.line,
+                v.snippet
+            ),
+        );
+    }
+
+    push(
+        &mut out,
+        if outcome.is_clean() {
+            "verdict: PASS"
+        } else {
+            "verdict: FAIL"
+        },
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conformance::check;
+    use crate::scanner::scan_citations;
+    use crate::spec::parse_spec;
+    use std::path::Path;
+
+    fn outcome() -> AuditOutcome {
+        let reg = parse_spec(
+            "[[claim]]\nid = \"eq-1\"\nlevel = \"MUST\"\nsection = \"II\"\ntitle = \"t\"\nquote = \"q\"\n",
+        )
+        .unwrap();
+        let cites = scan_citations(
+            Path::new("a.rs"),
+            "//= pftk#eq-1\nfn f() {}\n//= pftk#eq-1 type=test\nfn t() {}\n",
+        );
+        AuditOutcome {
+            conformance: check(&reg, &cites),
+            lint: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_serde_json() {
+        let json = serde_json::to_string(&to_json(&outcome())).unwrap();
+        assert!(json.contains("\"clean\":true"), "{json}");
+        assert!(json.contains("\"must_covered\":1"), "{json}");
+        assert!(json.contains("a.rs:1"), "{json}");
+    }
+
+    #[test]
+    fn summary_reports_pass_and_fail() {
+        let ok = outcome();
+        assert!(render_summary(&ok).contains("verdict: PASS"));
+        let mut bad = outcome();
+        bad.lint.push(crate::lint::LintViolation {
+            rule: "unwrap",
+            file: Path::new("crates/model/src/a.rs").to_path_buf(),
+            line: 3,
+            snippet: "x.unwrap()".into(),
+        });
+        let text = render_summary(&bad);
+        assert!(text.contains("verdict: FAIL"));
+        assert!(text.contains("lint[unwrap]"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Citation scanner: collects `//= pftk#<id>` annotations from source.
+//!
+//! Annotation grammar (one per line, duvet-style):
+//!
+//! ```text
+//! //= pftk#eq-32              implementation citation
+//! //= pftk#eq-32 type=test    test citation
+//! ```
+//!
+//! A citation line may be preceded by any indentation. Consecutive
+//! citation lines form one *block*; repeating the same claim id within a
+//! block is reported as a duplicate (it is always an editing mistake —
+//! the coverage count would silently double otherwise).
+
+use std::path::{Path, PathBuf};
+
+/// What kind of coverage a citation contributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CitationKind {
+    /// Cites the claim from implementation code.
+    Impl,
+    /// Cites the claim from a test (`type=test`).
+    Test,
+}
+
+/// One parsed citation.
+#[derive(Debug, Clone)]
+pub struct Citation {
+    /// Claim id cited, e.g. `eq-32`.
+    pub claim: String,
+    /// Implementation or test coverage.
+    pub kind: CitationKind,
+    /// Workspace-relative file path.
+    pub file: PathBuf,
+    /// 1-based line number of the annotation.
+    pub line: usize,
+    /// True when the annotation repeats an id within its citation block.
+    pub duplicate: bool,
+    /// True when the annotation was recognized as a citation but its
+    /// arguments did not parse (e.g. `type=bench`). Malformed citations
+    /// are reported as unknown-citation errors so typos cannot silently
+    /// drop coverage.
+    pub malformed: bool,
+}
+
+/// Scans one file's text for citations. `file` should be workspace-relative.
+pub fn scan_citations(file: &Path, text: &str) -> Vec<Citation> {
+    let mut out = Vec::new();
+    // Ids seen in the current contiguous block of `//=` lines.
+    let mut block: Vec<String> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim_start();
+        let Some(body) = line.strip_prefix("//=") else {
+            block.clear();
+            continue;
+        };
+        let body = body.trim();
+        let Some(rest) = body.strip_prefix("pftk#") else {
+            // A `//=` line that is not a pftk citation (e.g. another spec
+            // namespace) is left alone but still separates blocks.
+            block.clear();
+            continue;
+        };
+        let mut parts = rest.split_whitespace();
+        let claim = parts.next().unwrap_or("").to_string();
+        let mut kind = CitationKind::Impl;
+        let mut malformed = claim.is_empty()
+            || !claim
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_');
+        for arg in parts {
+            match arg {
+                "type=test" => kind = CitationKind::Test,
+                "type=implementation" | "type=impl" => kind = CitationKind::Impl,
+                _ => malformed = true,
+            }
+        }
+        let duplicate = block.contains(&claim);
+        block.push(claim.clone());
+        out.push(Citation {
+            claim,
+            kind,
+            file: file.to_path_buf(),
+            line: idx + 1,
+            duplicate,
+            malformed,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(text: &str) -> Vec<Citation> {
+        scan_citations(Path::new("x.rs"), text)
+    }
+
+    #[test]
+    fn parses_impl_and_test_citations() {
+        let cites = scan("    //= pftk#eq-20\n//= pftk#eq-28 type=test\nfn f() {}\n");
+        assert_eq!(cites.len(), 2);
+        assert_eq!(cites[0].claim, "eq-20");
+        assert_eq!(cites[0].kind, CitationKind::Impl);
+        assert_eq!(cites[0].line, 1);
+        assert_eq!(cites[1].kind, CitationKind::Test);
+        assert!(!cites[0].duplicate && !cites[0].malformed);
+    }
+
+    #[test]
+    fn flags_duplicates_within_a_block_only() {
+        let cites = scan("//= pftk#eq-5\n//= pftk#eq-5\nfn a() {}\n//= pftk#eq-5\n");
+        assert_eq!(cites.len(), 3);
+        assert!(!cites[0].duplicate);
+        assert!(cites[1].duplicate, "same id twice in one block");
+        assert!(!cites[2].duplicate, "code line resets the block");
+    }
+
+    #[test]
+    fn flags_malformed_arguments() {
+        let cites = scan("//= pftk#eq-5 type=bench\n//= pftk#\n//= pftk#bad id\n");
+        assert!(cites.iter().all(|c| c.malformed));
+    }
+
+    #[test]
+    fn ignores_non_pftk_spec_lines_and_plain_comments() {
+        let cites = scan("//= rfc9000#frame\n// pftk#eq-5 not a citation\n//== pftk#x\n");
+        assert!(cites.is_empty());
+    }
+}

@@ -1,0 +1,325 @@
+//! Claim registry: the `specs/pftk-spec.toml` data model and its parser.
+//!
+//! The registry is TOML on disk, but the auditor must stay
+//! dependency-light, so this module hand-rolls a parser for the tiny
+//! grammar the spec file actually uses: `[table]` / `[[array-of-tables]]`
+//! headers, `key = "basic string"` (with `\"`, `\\`, `\n`, `\t` escapes),
+//! `key = <integer>`, full-line and trailing comments, and blank lines.
+//! Anything outside that grammar is a hard parse error — better to reject
+//! a construct than to silently mis-read the registry the whole gate
+//! hangs off.
+
+use std::collections::BTreeMap;
+
+/// Requirement level of a claim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Uncovered = audit failure: the claim needs an impl and a test citation.
+    Must,
+    /// Uncovered = warning only.
+    Should,
+}
+
+impl Level {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "MUST" => Ok(Level::Must),
+            "SHOULD" => Ok(Level::Should),
+            other => Err(format!(
+                "unknown level {other:?} (expected \"MUST\" or \"SHOULD\")"
+            )),
+        }
+    }
+}
+
+/// Lifecycle status of a claim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Normal claim; citations are valid.
+    Active,
+    /// Superseded claim kept for history; citing it is a stale citation.
+    Retired,
+}
+
+impl Status {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "active" => Ok(Status::Active),
+            "retired" => Ok(Status::Retired),
+            other => Err(format!(
+                "unknown status {other:?} (expected \"active\" or \"retired\")"
+            )),
+        }
+    }
+}
+
+/// One paper claim from the registry.
+#[derive(Debug, Clone)]
+pub struct Claim {
+    /// Citation id, e.g. `eq-32` — what `//= pftk#<id>` comments reference.
+    pub id: String,
+    /// Requirement level.
+    pub level: Level,
+    /// Lifecycle status (`active` unless the spec says otherwise).
+    pub status: Status,
+    /// Paper section, e.g. `II-B`.
+    pub section: String,
+    /// Short human title.
+    pub title: String,
+    /// Quoted or closely paraphrased paper text.
+    pub quote: String,
+}
+
+/// The parsed registry: ordered claims plus an id index.
+#[derive(Debug)]
+pub struct Registry {
+    /// Claims in file order.
+    pub claims: Vec<Claim>,
+    index: BTreeMap<String, usize>,
+}
+
+impl Registry {
+    /// Looks up a claim by citation id.
+    pub fn get(&self, id: &str) -> Option<&Claim> {
+        self.index.get(id).map(|&i| &self.claims[i])
+    }
+}
+
+/// Parses the spec grammar described in the module docs.
+pub fn parse_spec(text: &str) -> Result<Registry, String> {
+    #[derive(Default)]
+    struct Partial {
+        fields: BTreeMap<String, String>,
+        line: usize,
+    }
+
+    let mut claims: Vec<Claim> = Vec::new();
+    let mut index = BTreeMap::new();
+    let mut current: Option<Partial> = None;
+    // Which table header we're inside; fields outside [[claim]] (i.e. in
+    // [spec]) are validated for shape but otherwise ignored.
+    let mut in_claim = false;
+
+    let finish = |partial: Option<Partial>,
+                  claims: &mut Vec<Claim>,
+                  index: &mut BTreeMap<String, usize>|
+     -> Result<(), String> {
+        let Some(p) = partial else { return Ok(()) };
+        let at = format!("[[claim]] at line {}", p.line);
+        let take = |key: &str| -> Result<String, String> {
+            p.fields
+                .get(key)
+                .cloned()
+                .ok_or_else(|| format!("{at}: missing required key {key:?}"))
+        };
+        let id = take("id")?;
+        if !id
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return Err(format!(
+                "{at}: id {id:?} has characters outside [A-Za-z0-9_-]"
+            ));
+        }
+        let claim = Claim {
+            level: Level::parse(&take("level")?).map_err(|e| format!("{at}: {e}"))?,
+            status: match p.fields.get("status") {
+                Some(s) => Status::parse(s).map_err(|e| format!("{at}: {e}"))?,
+                None => Status::Active,
+            },
+            section: take("section")?,
+            title: take("title")?,
+            quote: take("quote")?,
+            id,
+        };
+        if index.insert(claim.id.clone(), claims.len()).is_some() {
+            return Err(format!("{at}: duplicate claim id {:?}", claim.id));
+        }
+        claims.push(claim);
+        Ok(())
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[claim]]" {
+            finish(current.take(), &mut claims, &mut index)?;
+            current = Some(Partial {
+                fields: BTreeMap::new(),
+                line: lineno,
+            });
+            in_claim = true;
+        } else if line.starts_with("[[") {
+            return Err(format!("line {lineno}: unknown array-of-tables {line:?}"));
+        } else if line.starts_with('[') {
+            finish(current.take(), &mut claims, &mut index)?;
+            in_claim = false;
+            if line != "[spec]" {
+                return Err(format!("line {lineno}: unknown table {line:?}"));
+            }
+        } else {
+            let (key, value) = parse_key_value(line).map_err(|e| format!("line {lineno}: {e}"))?;
+            if in_claim {
+                let p = current
+                    .as_mut()
+                    .ok_or_else(|| format!("line {lineno}: key outside any table"))?;
+                if p.fields.insert(key.clone(), value).is_some() {
+                    return Err(format!("line {lineno}: duplicate key {key:?} in claim"));
+                }
+            }
+            // [spec] metadata (paper, version) is validated for shape only.
+        }
+    }
+    finish(current.take(), &mut claims, &mut index)?;
+
+    if claims.is_empty() {
+        return Err("registry contains no [[claim]] entries".into());
+    }
+    Ok(Registry { claims, index })
+}
+
+/// Strips a `#` comment, respecting `"…"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses `key = "value"` or `key = 123`.
+fn parse_key_value(line: &str) -> Result<(String, String), String> {
+    let (key, rest) = line
+        .split_once('=')
+        .ok_or_else(|| format!("expected `key = value`, got {line:?}"))?;
+    let key = key.trim();
+    if key.is_empty()
+        || !key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        return Err(format!("bad key {key:?}"));
+    }
+    let rest = rest.trim();
+    if let Some(body) = rest.strip_prefix('"') {
+        let mut value = String::new();
+        let mut chars = body.chars();
+        loop {
+            match chars.next() {
+                None => return Err(format!("unterminated string in {line:?}")),
+                Some('"') => break,
+                Some('\\') => match chars.next() {
+                    Some('"') => value.push('"'),
+                    Some('\\') => value.push('\\'),
+                    Some('n') => value.push('\n'),
+                    Some('t') => value.push('\t'),
+                    other => return Err(format!("unsupported escape \\{other:?} in {line:?}")),
+                },
+                Some(c) => value.push(c),
+            }
+        }
+        let tail: String = chars.collect();
+        if !tail.trim().is_empty() {
+            return Err(format!(
+                "trailing content {:?} after string value",
+                tail.trim()
+            ));
+        }
+        Ok((key.to_string(), value))
+    } else if !rest.is_empty() && rest.chars().all(|c| c.is_ascii_digit()) {
+        Ok((key.to_string(), rest.to_string()))
+    } else {
+        Err(format!(
+            "unsupported value syntax {rest:?} (only basic strings and integers)"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINI: &str = r##"
+        # a comment
+        [spec]
+        paper = "demo"
+        version = 1
+
+        [[claim]]
+        id = "eq-1"
+        level = "MUST"
+        section = "II"
+        title = "first"
+        quote = "a \"quoted\" phrase"   # trailing comment
+
+        [[claim]]
+        id = "eq-2"
+        level = "SHOULD"
+        status = "retired"
+        section = "III"
+        title = "second"
+        quote = "# not a comment"
+    "##;
+
+    #[test]
+    fn parses_claims_with_comments_and_escapes() {
+        let reg = parse_spec(MINI).unwrap();
+        assert_eq!(reg.claims.len(), 2);
+        let first = reg.get("eq-1").unwrap();
+        assert_eq!(first.level, Level::Must);
+        assert_eq!(first.status, Status::Active);
+        assert_eq!(first.quote, "a \"quoted\" phrase");
+        let second = reg.get("eq-2").unwrap();
+        assert_eq!(second.status, Status::Retired);
+        assert_eq!(second.quote, "# not a comment");
+    }
+
+    #[test]
+    fn rejects_duplicate_ids() {
+        let text = "[[claim]]\nid = \"x\"\nlevel = \"MUST\"\nsection = \"I\"\n\
+                    title = \"t\"\nquote = \"q\"\n[[claim]]\nid = \"x\"\n\
+                    level = \"MUST\"\nsection = \"I\"\ntitle = \"t\"\nquote = \"q\"\n";
+        let err = parse_spec(text).unwrap_err();
+        assert!(err.contains("duplicate claim id"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_required_key() {
+        let text = "[[claim]]\nid = \"x\"\nlevel = \"MUST\"\n";
+        let err = parse_spec(text).unwrap_err();
+        assert!(err.contains("missing required key"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_level_and_bad_syntax() {
+        let bad_level = "[[claim]]\nid = \"x\"\nlevel = \"MAY\"\nsection = \"I\"\n\
+                         title = \"t\"\nquote = \"q\"\n";
+        assert!(parse_spec(bad_level).unwrap_err().contains("unknown level"));
+        assert!(parse_spec("[spec]\nkey = [1, 2]\n")
+            .unwrap_err()
+            .contains("unsupported value"));
+        assert!(parse_spec("[weird]\n")
+            .unwrap_err()
+            .contains("unknown table"));
+    }
+
+    #[test]
+    fn rejects_empty_registry() {
+        assert!(parse_spec("[spec]\npaper = \"p\"\n")
+            .unwrap_err()
+            .contains("no [[claim]]"));
+    }
+}

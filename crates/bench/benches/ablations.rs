@@ -42,12 +42,19 @@ fn print_accuracy_tables() {
         ("approx (33)", approx_model(lp, &params)),
         ("td-only (20)", td_only(lp, &params)),
     ] {
-        eprintln!("  {name:<12} {v:>7.2} pkt/s  ({:+.1}% vs sim)", 100.0 * (v - truth) / truth);
+        eprintln!(
+            "  {name:<12} {v:>7.2} pkt/s  ({:+.1}% vs sim)",
+            100.0 * (v - truth) / truth
+        );
     }
     // Q̂ exact vs 3/w.
-    eprintln!("[ablation] Q-hat at p=0.03: w=8 exact {:.3} vs approx {:.3}; w=16 {:.3} vs {:.3}",
-        q_hat_exact(lp, 8.0), q_hat_approx(8.0),
-        q_hat_exact(lp, 16.0), q_hat_approx(16.0));
+    eprintln!(
+        "[ablation] Q-hat at p=0.03: w=8 exact {:.3} vs approx {:.3}; w=16 {:.3} vs {:.3}",
+        q_hat_exact(lp, 8.0),
+        q_hat_approx(8.0),
+        q_hat_exact(lp, 16.0),
+        q_hat_approx(16.0)
+    );
 }
 
 fn bench_model_tiers(c: &mut Criterion) {
@@ -55,9 +62,15 @@ fn bench_model_tiers(c: &mut Criterion) {
     let params = ModelParams::new(0.2, 2.0, 2, 32).unwrap();
     let lp = LossProb::new(0.03).unwrap();
     let mut group = c.benchmark_group("ablation_model_tiers");
-    group.bench_function("full_eq32", |b| b.iter(|| full_model(black_box(lp), &params)));
-    group.bench_function("approx_eq33", |b| b.iter(|| approx_model(black_box(lp), &params)));
-    group.bench_function("td_only_eq20", |b| b.iter(|| td_only(black_box(lp), &params)));
+    group.bench_function("full_eq32", |b| {
+        b.iter(|| full_model(black_box(lp), &params))
+    });
+    group.bench_function("approx_eq33", |b| {
+        b.iter(|| approx_model(black_box(lp), &params))
+    });
+    group.bench_function("td_only_eq20", |b| {
+        b.iter(|| td_only(black_box(lp), &params))
+    });
     group.finish();
 }
 
@@ -93,13 +106,22 @@ fn bench_tcp_variants(c: &mut Criterion) {
     use tcp_sim::reno::sender::{RenoStyle, SenderConfig};
     let mut group = c.benchmark_group("ablation_tcp_variant");
     group.sample_size(10);
-    for style in [RenoStyle::Tahoe, RenoStyle::Reno, RenoStyle::NewReno, RenoStyle::Sack] {
+    for style in [
+        RenoStyle::Tahoe,
+        RenoStyle::Reno,
+        RenoStyle::NewReno,
+        RenoStyle::Sack,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{style:?}")),
             &style,
             |b, &style| {
                 b.iter(|| {
-                    let sender = SenderConfig { style, rwnd: 32, ..SenderConfig::default() };
+                    let sender = SenderConfig {
+                        style,
+                        rwnd: 32,
+                        ..SenderConfig::default()
+                    };
                     let mut conn = Connection::builder()
                         .rtt(0.1)
                         .loss(Box::new(RoundCorrelated::new(0.02)))
@@ -115,5 +137,10 @@ fn bench_tcp_variants(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_model_tiers, bench_loss_processes, bench_tcp_variants);
+criterion_group!(
+    benches,
+    bench_model_tiers,
+    bench_loss_processes,
+    bench_tcp_variants
+);
 criterion_main!(benches);

@@ -54,7 +54,11 @@ fn bench_markov(c: &mut Criterion) {
         let params = ModelParams::new(0.47, 3.2, 2, wmax).unwrap();
         let lp = LossProb::new(0.02).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(wmax), &params, |b, params| {
-            b.iter(|| MarkovModel::solve(black_box(lp), black_box(params)).unwrap().send_rate())
+            b.iter(|| {
+                MarkovModel::solve(black_box(lp), black_box(params))
+                    .unwrap()
+                    .send_rate()
+            })
         });
     }
     group.finish();
@@ -67,5 +71,11 @@ fn bench_inverse(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_models, bench_q_hat, bench_markov, bench_inverse);
+criterion_group!(
+    benches,
+    bench_models,
+    bench_q_hat,
+    bench_markov,
+    bench_inverse
+);
 criterion_main!(benches);

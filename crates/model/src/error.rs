@@ -49,7 +49,10 @@ impl fmt::Display for ModelError {
                 write!(f, "loss probability must lie in (0, 1), got {p}")
             }
             ModelError::NonPositive { name, value } => {
-                write!(f, "{name} must be strictly positive and finite, got {value}")
+                write!(
+                    f,
+                    "{name} must be strictly positive and finite, got {value}"
+                )
             }
             ModelError::InvalidAckFactor(b) => {
                 write!(f, "delayed-ACK factor b must be >= 1, got {b}")
@@ -75,16 +78,25 @@ mod tests {
     fn display_messages_are_informative() {
         let e = ModelError::InvalidLossProbability(1.5);
         assert!(e.to_string().contains("1.5"));
-        let e = ModelError::NonPositive { name: "rtt", value: -0.1 };
+        let e = ModelError::NonPositive {
+            name: "rtt",
+            value: -0.1,
+        };
         assert!(e.to_string().contains("rtt"));
         assert!(e.to_string().contains("-0.1"));
         let e = ModelError::InvalidAckFactor(0);
         assert!(e.to_string().contains('0'));
         let e = ModelError::ZeroWindow;
         assert!(e.to_string().contains("window"));
-        let e = ModelError::NoConvergence { what: "bisection", iterations: 64 };
+        let e = ModelError::NoConvergence {
+            what: "bisection",
+            iterations: 64,
+        };
         assert!(e.to_string().contains("bisection"));
-        let e = ModelError::TargetOutOfRange { what: "rate", value: 1e9 };
+        let e = ModelError::TargetOutOfRange {
+            what: "rate",
+            value: 1e9,
+        };
         assert!(e.to_string().contains("rate"));
     }
 

@@ -31,6 +31,8 @@ const MAX_BISECT: usize = 200;
 /// The TCP-friendly send rate for the measured network state, per the
 /// equation-based-congestion-control recipe: evaluate the chosen model at
 /// the measured loss rate. Returns packets per second.
+//= pftk#tcp-friendly
+//= pftk#eq-32
 pub fn tcp_friendly_rate(p: LossProb, params: &ModelParams, model: ModelKind) -> f64 {
     model.evaluate(p, params)
 }
@@ -42,11 +44,14 @@ pub fn tcp_friendly_rate(p: LossProb, params: &ModelParams, model: ModelKind) ->
 /// below `B(p → 1)`.
 pub fn loss_for_rate(target_rate: f64, params: &ModelParams) -> Result<LossProb, ModelError> {
     if !(target_rate.is_finite() && target_rate > 0.0) {
-        return Err(ModelError::NonPositive { name: "target rate", value: target_rate });
+        return Err(ModelError::NonPositive {
+            name: "target rate",
+            value: target_rate,
+        });
     }
-    let rate_at = |p: f64| full_model(LossProb::new(p).expect("bracket stays in (0,1)"), params);
-    let hi_rate = rate_at(P_MIN);
-    let lo_rate = rate_at(P_MAX);
+    let rate_at = |p: f64| -> Result<f64, ModelError> { Ok(full_model(LossProb::new(p)?, params)) };
+    let hi_rate = rate_at(P_MIN)?;
+    let lo_rate = rate_at(P_MAX)?;
     if target_rate > hi_rate || target_rate < lo_rate {
         return Err(ModelError::TargetOutOfRange {
             what: "target rate for loss_for_rate",
@@ -57,7 +62,7 @@ pub fn loss_for_rate(target_rate: f64, params: &ModelParams) -> Result<LossProb,
     let (mut lo, mut hi) = (P_MIN.log10(), P_MAX.log10());
     for _ in 0..MAX_BISECT {
         let mid = 0.5 * (lo + hi);
-        let r = rate_at(10f64.powf(mid));
+        let r = rate_at(10f64.powf(mid))?;
         if r > target_rate {
             lo = mid; // too fast → need more loss
         } else {

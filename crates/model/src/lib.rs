@@ -50,7 +50,7 @@
 //! | ref \[2\] short-transfer latency (extension) | [`shortflow`] |
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod error;
 pub mod inverse;

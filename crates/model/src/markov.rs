@@ -74,6 +74,8 @@ impl MarkovModel {
     /// `params.wmax` bounds the state space, so it must be finite and modest
     /// (the paper's Fig. 12 uses `W_m = 12`); values above 4096 are rejected
     /// to keep the solve tractable.
+    //= pftk#markov-crosscheck
+    //= pftk#loss-model
     pub fn solve(p: LossProb, params: &ModelParams) -> Result<Self, ModelError> {
         if params.wmax > 4096 {
             return Err(ModelError::TargetOutOfRange {
@@ -81,7 +83,7 @@ impl MarkovModel {
                 value: f64::from(params.wmax),
             });
         }
-        let n_states = params.wmax as usize;
+        let n_states = params.wmax as usize; //~ allow(cast): wmax-bounded index, fits usize
         let mut rows = Vec::with_capacity(n_states);
         for start in 1..=params.wmax {
             rows.push(build_row(p, params, start));
@@ -93,7 +95,11 @@ impl MarkovModel {
             num += pi * row.packets;
             den += pi * row.duration;
         }
-        Ok(MarkovModel { rows, stationary, send_rate: num / den })
+        Ok(MarkovModel {
+            rows,
+            stationary,
+            send_rate: num / den,
+        })
     }
 
     /// Long-run send rate in packets per second.
@@ -112,7 +118,7 @@ impl MarkovModel {
         self.stationary
             .iter()
             .enumerate()
-            .map(|(i, pi)| (i as f64 + 1.0) * pi)
+            .map(|(i, pi)| (i as f64 + 1.0) * pi) //~ allow(cast): integer count to f64, exact below 2^53
             .sum()
     }
 
@@ -125,9 +131,15 @@ impl MarkovModel {
         let mut q = 0.0;
         for (i, pi) in self.stationary.iter().enumerate() {
             let mut row_q = 0.0;
-            walk_tdp(p, params, (i + 1) as u32, |peak, _rounds, _packets, prob| {
-                row_q += prob * q_hat_exact(p, f64::from(peak));
-            });
+            walk_tdp(
+                p,
+                params,
+                //~ allow(cast): state index below wmax, fits u32
+                (i + 1) as u32,
+                |peak, _rounds, _packets, prob| {
+                    row_q += prob * q_hat_exact(p, f64::from(peak));
+                },
+            );
             q += pi * row_q;
         }
         let _ = &self.rows;
@@ -156,7 +168,7 @@ fn walk_tdp<F: FnMut(u32, u32, f64, f64)>(
     loop {
         let w = start.saturating_add(j / params.b).min(params.wmax);
         // P[first loss in this round] = survive_before · (1 − q^w).
-        let loss_here = survive_before * (1.0 - q.powi(w as i32));
+        let loss_here = survive_before * (1.0 - q.powi(w as i32)); //~ allow(cast): powi exponent; window and counts bounded far below i32::MAX
         if loss_here > 0.0 {
             // E[position of first loss within the round | loss in round]
             // for a truncated geometric on 1..=w.
@@ -165,7 +177,7 @@ fn walk_tdp<F: FnMut(u32, u32, f64, f64)>(
             outcomes.push((w, j + 1, expected_packets, loss_here));
             total_mass += loss_here;
         }
-        survive_before *= q.powi(w as i32);
+        survive_before *= q.powi(w as i32); //~ allow(cast): powi exponent; window and counts bounded far below i32::MAX
         packets_before += f64::from(w);
         j += 1;
         if survive_before < TAIL_EPS {
@@ -186,14 +198,14 @@ fn walk_tdp<F: FnMut(u32, u32, f64, f64)>(
 /// `E[K | K ≤ w]` where `P[K=k] = (1−p)^{k−1} p`.
 fn truncated_geometric_mean(p: f64, w: u32) -> f64 {
     let q = 1.0 - p;
-    let qw = q.powi(w as i32);
+    let qw = q.powi(w as i32); //~ allow(cast): powi exponent; window and counts bounded far below i32::MAX
     let wf = f64::from(w);
     // Σ_{k=1}^{w} k q^{k-1} p = (1 − q^w (1 + w p)) / p ; divide by mass 1 − q^w.
     (1.0 - qw * (1.0 + wf * p)) / (p * (1.0 - qw))
 }
 
 fn build_row(p: LossProb, params: &ModelParams, start: u32) -> ChainRow {
-    let n_states = params.wmax as usize;
+    let n_states = params.wmax as usize; //~ allow(cast): wmax-bounded index, fits usize
     let mut next = vec![0.0; n_states];
     let mut packets = 0.0;
     let mut duration = 0.0;
@@ -201,36 +213,47 @@ fn build_row(p: LossProb, params: &ModelParams, start: u32) -> ChainRow {
     let e_r = expected_timeout_retransmissions(p);
     let e_zto = expected_timeout_sequence_duration(p, params.t0.get());
 
-    walk_tdp(p, params, start, |peak, rounds_to_loss, expected_packets, prob| {
-        // The TDP itself: Y = α + W − 1 packets in X + 1 rounds (Fig. 2).
-        packets += prob * expected_packets;
-        duration += prob * rtt * f64::from(rounds_to_loss + 1);
-        let q_to = q_hat_exact(p, f64::from(peak));
-        let halved = (peak / 2).max(1) as usize;
-        // Timeout branch: TO-sequence rewards. The next TDP restarts from
-        // window 1 but slow-starts back to ssthresh = peak/2 in a handful of
-        // rounds; following the paper (§II-B reuses the §II-A TDP statistics
-        // for post-timeout periods), the chain credits that recovery and
-        // transitions to the halved window, same as the TD branch.
-        packets += prob * q_to * e_r;
-        duration += prob * q_to * e_zto;
-        next[halved - 1] += prob * q_to;
-        // Triple-duplicate branch: halve.
-        next[halved - 1] += prob * (1.0 - q_to);
-    });
+    walk_tdp(
+        p,
+        params,
+        start,
+        |peak, rounds_to_loss, expected_packets, prob| {
+            // The TDP itself: Y = α + W − 1 packets in X + 1 rounds (Fig. 2).
+            packets += prob * expected_packets;
+            duration += prob * rtt * f64::from(rounds_to_loss + 1);
+            let q_to = q_hat_exact(p, f64::from(peak));
+            let halved = (peak / 2).max(1) as usize; //~ allow(cast): wmax-bounded index, fits usize
+                                                     // Timeout branch: TO-sequence rewards. The next TDP restarts from
+                                                     // window 1 but slow-starts back to ssthresh = peak/2 in a handful of
+                                                     // rounds; following the paper (§II-B reuses the §II-A TDP statistics
+                                                     // for post-timeout periods), the chain credits that recovery and
+                                                     // transitions to the halved window, same as the TD branch.
+            packets += prob * q_to * e_r;
+            duration += prob * q_to * e_zto;
+            next[halved - 1] += prob * q_to;
+            // Triple-duplicate branch: halve.
+            next[halved - 1] += prob * (1.0 - q_to);
+        },
+    );
 
-    ChainRow { next, packets, duration }
+    ChainRow {
+        next,
+        packets,
+        duration,
+    }
 }
 
 fn stationary_distribution(rows: &[ChainRow]) -> Result<Vec<f64>, ModelError> {
     let n = rows.len();
-    let mut pi = vec![1.0 / n as f64; n];
+    let mut pi = vec![1.0 / n as f64; n]; //~ allow(cast): integer count to f64, exact below 2^53
     let mut nxt = vec![0.0; n];
     for it in 0..MAX_ITERS {
         nxt.iter_mut().for_each(|x| *x = 0.0);
         for (s, row) in rows.iter().enumerate() {
             let mass = pi[s];
-            if mass == 0.0 {
+            if mass <= 0.0 {
+                // Stationary masses are non-negative; skipping exact zeros
+                // (never NaN — rows are normalized) saves the inner loop.
                 continue;
             }
             for (t, pr) in row.next.iter().enumerate() {
@@ -249,7 +272,10 @@ fn stationary_distribution(rows: &[ChainRow]) -> Result<Vec<f64>, ModelError> {
         }
         let _ = it;
     }
-    Err(ModelError::NoConvergence { what: "Markov stationary distribution", iterations: MAX_ITERS })
+    Err(ModelError::NoConvergence {
+        what: "Markov stationary distribution",
+        iterations: MAX_ITERS,
+    })
 }
 
 #[cfg(test)]
@@ -276,8 +302,10 @@ mod tests {
         let (pv, w) = (0.2, 7u32);
         let q: f64 = 1.0 - pv;
         let mass: f64 = (1..=w).map(|k| q.powi(k as i32 - 1) * pv).sum();
-        let mean: f64 =
-            (1..=w).map(|k| f64::from(k) * q.powi(k as i32 - 1) * pv).sum::<f64>() / mass;
+        let mean: f64 = (1..=w)
+            .map(|k| f64::from(k) * q.powi(k as i32 - 1) * pv)
+            .sum::<f64>()
+            / mass;
         assert!((truncated_geometric_mean(pv, w) - mean).abs() < 1e-12);
     }
 
@@ -290,6 +318,7 @@ mod tests {
     }
 
     #[test]
+    //= pftk#markov-crosscheck type=test
     fn matches_closed_form_fig12() {
         // The paper's Fig. 12 message: the numerically solved chain and the
         // closed form track each other closely across the loss range.
@@ -343,6 +372,6 @@ mod tests {
         let params = fig12_params();
         let m = MarkovModel::solve(p(0.02), &params).unwrap();
         let mean = m.mean_start_window();
-        assert!(mean >= 1.0 && mean <= 12.0, "mean start window {mean}");
+        assert!((1.0..=12.0).contains(&mean), "mean start window {mean}");
     }
 }

@@ -20,7 +20,7 @@ pub const DEFAULT_ACK_FACTOR: u32 = 2;
 /// Default maximum receiver window, in packets. Chosen large enough that the
 /// window-limited branch of the full model is inactive unless the caller
 /// sets a realistic `W_m` (the paper's traces use 6–48).
-pub const DEFAULT_MAX_WINDOW: u32 = u16::MAX as u32;
+pub const DEFAULT_MAX_WINDOW: u32 = u16::MAX as u32; //~ allow(cast): const context; u32::from is not const-callable
 
 /// Connection-level inputs of the PFTK model.
 ///
@@ -47,6 +47,7 @@ pub struct ModelParams {
     /// Average duration of a single timeout, `T0` (§II-B).
     pub t0: Seconds,
     /// Packets acknowledged per ACK, `b` (§II; typically 2 with delayed ACKs).
+    //= pftk#delack-b
     pub b: u32,
     /// Maximum (receiver-advertised) window `W_m`, in packets (§II-C).
     pub wmax: u32,
@@ -83,6 +84,7 @@ impl ModelParams {
 
     /// The ceiling `W_m / RTT`: no loss rate can push the send rate above
     /// one full window per round trip (first operand of Eq. (33)).
+    //= pftk#eq-31
     pub fn window_limited_rate(&self) -> f64 {
         f64::from(self.wmax) / self.rtt.get()
     }
@@ -136,8 +138,14 @@ impl ModelParamsBuilder {
 
     /// Validates and builds.
     pub fn build(self) -> Result<ModelParams, ModelError> {
-        let rtt = self.rtt_secs.ok_or(ModelError::NonPositive { name: "rtt", value: 0.0 })?;
-        let t0 = self.t0_secs.ok_or(ModelError::NonPositive { name: "t0", value: 0.0 })?;
+        let rtt = self.rtt_secs.ok_or(ModelError::NonPositive {
+            name: "rtt",
+            value: 0.0,
+        })?;
+        let t0 = self.t0_secs.ok_or(ModelError::NonPositive {
+            name: "t0",
+            value: 0.0,
+        })?;
         ModelParams::new(rtt, t0, self.b, self.wmax)
     }
 }
@@ -157,8 +165,14 @@ mod tests {
             ModelParams::new(0.2, -1.0, 2, 8),
             Err(ModelError::NonPositive { name: "t0", .. })
         ));
-        assert!(matches!(ModelParams::new(0.2, 2.0, 0, 8), Err(ModelError::InvalidAckFactor(0))));
-        assert!(matches!(ModelParams::new(0.2, 2.0, 2, 0), Err(ModelError::ZeroWindow)));
+        assert!(matches!(
+            ModelParams::new(0.2, 2.0, 0, 8),
+            Err(ModelError::InvalidAckFactor(0))
+        ));
+        assert!(matches!(
+            ModelParams::new(0.2, 2.0, 2, 0),
+            Err(ModelError::ZeroWindow)
+        ));
     }
 
     #[test]

@@ -27,7 +27,7 @@ use crate::timeout::{
 };
 use crate::units::LossProb;
 use crate::window::{
-    expected_rounds, expected_rounds_limited, expected_window, expected_tdp_packets,
+    expected_rounds, expected_rounds_limited, expected_tdp_packets, expected_window,
 };
 
 /// Which branch of the full model Eq. (32) applied at a given `(p, params)`.
@@ -65,6 +65,7 @@ pub struct FullModelOutput {
 /// This is the model of refs \[8\] and \[9\] (with \[9\]'s delayed-ACK factor
 /// `b`); it ignores timeouts and the receiver window, which is exactly the
 /// failure mode the paper's evaluation (Figs. 7–10) demonstrates.
+//= pftk#eq-20
 pub fn td_only(p: LossProb, params: &ModelParams) -> f64 {
     let b = f64::from(params.b);
     (3.0 / (2.0 * b * p.get())).sqrt() / params.rtt.get()
@@ -73,6 +74,7 @@ pub fn td_only(p: LossProb, params: &ModelParams) -> f64 {
 /// The exact TD-only expression, Eq. (19) — the ratio `E[Y]/E[A]` before the
 /// small-`p` expansion that yields Eq. (20). Used by tests to show Eq. (20)
 /// is its asymptote and by the ablation benchmarks.
+//= pftk#eq-19
 pub fn td_only_exact(p: LossProb, params: &ModelParams) -> f64 {
     let ey = expected_tdp_packets(p, params.b);
     let ea = params.rtt.get() * (expected_rounds(p, params.b) + 1.0);
@@ -86,6 +88,8 @@ pub fn td_only_exact(p: LossProb, params: &ModelParams) -> f64 {
 /// B(p) = ─────────────────────────────────────────────
 ///          RTT·(E[X]+1) + Q̂(E[W]) · T0 · f(p)/(1-p)
 /// ```
+//= pftk#eq-28
+//= pftk#eq-26
 pub fn td_to_model(p: LossProb, params: &ModelParams) -> f64 {
     let ew = expected_window(p, params.b);
     let q = q_hat_exact(p, ew);
@@ -97,6 +101,7 @@ pub fn td_to_model(p: LossProb, params: &ModelParams) -> f64 {
 
 /// The **full model**, Eq. (32), with both branches, returning every
 /// intermediate quantity. See [`full_model`] for the rate-only wrapper.
+//= pftk#eq-32
 pub fn full_model_detailed(p: LossProb, params: &ModelParams) -> FullModelOutput {
     let ewu = expected_window(p, params.b);
     let wm = f64::from(params.wmax);
@@ -158,6 +163,7 @@ pub fn full_model(p: LossProb, params: &ModelParams) -> f64 {
 /// B(p) = min( W_m/RTT,
 ///             1 / ( RTT·sqrt(2bp/3) + T0·min(1, 3·sqrt(3bp/8))·p·(1+32p²) ) )
 /// ```
+//= pftk#eq-33
 pub fn approx_model(p: LossProb, params: &ModelParams) -> f64 {
     let pv = p.get();
     let b = f64::from(params.b);
@@ -216,6 +222,7 @@ mod tests {
     }
 
     #[test]
+    //= pftk#eq-20 type=test
     fn td_only_closed_form() {
         // b = 1, RTT = 1: B = sqrt(3/(2p)); at p = 3/2·10⁻² → sqrt(100) = 10.
         let pr = params(1.0, 1.0, 1, 1_000_000);
@@ -231,6 +238,7 @@ mod tests {
     }
 
     #[test]
+    //= pftk#eq-19 type=test
     fn td_only_exact_asymptote() {
         // Eq. (20) is the small-p limit of Eq. (19).
         let pr = params(0.2, 1.0, 2, u32::MAX);
@@ -245,6 +253,7 @@ mod tests {
     }
 
     #[test]
+    //= pftk#eq-28 type=test
     fn full_model_below_td_only() {
         // Timeouts can only slow TCP down: the full model never exceeds the
         // exact TD-only rate at the same (p, params).
@@ -283,12 +292,19 @@ mod tests {
     }
 
     #[test]
+    //= pftk#eq-32 type=test
     fn regime_switches_at_wm() {
         let pr = params(0.2, 1.5, 2, 8);
         // At tiny p, E[W_u] >> 8 → window-limited.
-        assert_eq!(full_model_detailed(p(1e-5), &pr).regime, Regime::WindowLimited);
+        assert_eq!(
+            full_model_detailed(p(1e-5), &pr).regime,
+            Regime::WindowLimited
+        );
         // At huge p, E[W_u] ~ 1 → unconstrained branch.
-        assert_eq!(full_model_detailed(p(0.5), &pr).regime, Regime::Unconstrained);
+        assert_eq!(
+            full_model_detailed(p(0.5), &pr).regime,
+            Regime::Unconstrained
+        );
     }
 
     #[test]
@@ -315,6 +331,7 @@ mod tests {
     }
 
     #[test]
+    //= pftk#eq-33 type=test
     fn approx_tracks_full_model() {
         // §III: "(33) is indeed a very good approximation of (32)".
         // Check over the realistic range of the paper's traces.
@@ -343,6 +360,7 @@ mod tests {
     }
 
     #[test]
+    //= pftk#eq-26 type=test
     fn td_to_model_equals_full_when_unconstrained() {
         let pr = params(0.25, 2.4, 2, u32::MAX);
         for &pv in &[0.01, 0.1, 0.4] {
@@ -358,7 +376,10 @@ mod tests {
         let pv = p(0.02);
         assert_eq!(ModelKind::TdOnly.evaluate(pv, &pr), td_only(pv, &pr));
         assert_eq!(ModelKind::Full.evaluate(pv, &pr), full_model(pv, &pr));
-        assert_eq!(ModelKind::Approximate.evaluate(pv, &pr), approx_model(pv, &pr));
+        assert_eq!(
+            ModelKind::Approximate.evaluate(pv, &pr),
+            approx_model(pv, &pr)
+        );
         assert_eq!(ModelKind::ALL.len(), 3);
         assert_eq!(ModelKind::TdOnly.label(), "TD only");
     }
@@ -374,7 +395,10 @@ mod tests {
         let full = full_model(pv, &pr);
         let td = td_only(pv, &pr);
         assert!(full < td);
-        assert!(full > 4.0 && full < 40.0, "full-model rate {full} pkt/s not in decade");
+        assert!(
+            full > 4.0 && full < 40.0,
+            "full-model rate {full} pkt/s not in decade"
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! general values matter to anyone feeding the equation noisy measurements
 //! (a TFRC endpoint, say).
 
+use crate::error::ModelError;
 use crate::params::ModelParams;
 use crate::sendrate::full_model;
 use crate::units::LossProb;
@@ -32,28 +33,39 @@ pub struct Elasticities {
 /// Relative step for the central differences.
 const H: f64 = 1e-4;
 
-fn log_deriv<F: Fn(f64) -> f64>(x: f64, f: F) -> f64 {
-    let up = f(x * (1.0 + H));
-    let down = f(x * (1.0 - H));
-    (up.ln() - down.ln()) / (((1.0 + H) / (1.0 - H)) as f64).ln()
+fn log_deriv<F: Fn(f64) -> Result<f64, ModelError>>(x: f64, f: F) -> Result<f64, ModelError> {
+    let up = f(x * (1.0 + H))?;
+    let down = f(x * (1.0 - H))?;
+    Ok((up.ln() - down.ln()) / ((1.0 + H) / (1.0 - H)).ln())
 }
 
 /// Computes the elasticities of the full model at `(p, params)` by central
 /// log-differences.
-pub fn elasticities(p: LossProb, params: &ModelParams) -> Elasticities {
+///
+/// Errors only if a perturbed parameter set fails validation — impossible
+/// for operating points already accepted by [`ModelParams::new`], but
+/// propagated rather than asserted so callers keep a panic-free path.
+pub fn elasticities(p: LossProb, params: &ModelParams) -> Result<Elasticities, ModelError> {
     let base = *params;
     let wrt_p = log_deriv(p.get(), |pv| {
-        full_model(LossProb::new(pv.clamp(1e-12, 1.0 - 1e-12)).unwrap(), &base)
-    });
+        Ok(full_model(
+            LossProb::new(pv.clamp(1e-12, 1.0 - 1e-12))?,
+            &base,
+        ))
+    })?;
     let wrt_rtt = log_deriv(params.rtt.get(), |rtt| {
-        let pr = ModelParams::new(rtt, base.t0.get(), base.b, base.wmax).unwrap();
-        full_model(p, &pr)
-    });
+        let pr = ModelParams::new(rtt, base.t0.get(), base.b, base.wmax)?;
+        Ok(full_model(p, &pr))
+    })?;
     let wrt_t0 = log_deriv(params.t0.get(), |t0| {
-        let pr = ModelParams::new(base.rtt.get(), t0, base.b, base.wmax).unwrap();
-        full_model(p, &pr)
-    });
-    Elasticities { wrt_p, wrt_rtt, wrt_t0 }
+        let pr = ModelParams::new(base.rtt.get(), t0, base.b, base.wmax)?;
+        Ok(full_model(p, &pr))
+    })?;
+    Ok(Elasticities {
+        wrt_p,
+        wrt_rtt,
+        wrt_t0,
+    })
 }
 
 #[cfg(test)]
@@ -69,7 +81,7 @@ mod tests {
         // Low loss, big window headroom, T0 comparable to RTT so timeouts
         // are rare and cheap: B ≈ c/(RTT·√p).
         let params = ModelParams::new(0.2, 0.2, 2, 10_000).unwrap();
-        let e = elasticities(p(1e-4), &params);
+        let e = elasticities(p(1e-4), &params).unwrap();
         assert!((e.wrt_p - (-0.5)).abs() < 0.05, "E_p = {}", e.wrt_p);
         assert!((e.wrt_rtt - (-1.0)).abs() < 0.05, "E_rtt = {}", e.wrt_rtt);
         assert!(e.wrt_t0.abs() < 0.05, "E_t0 = {}", e.wrt_t0);
@@ -79,8 +91,12 @@ mod tests {
     fn timeout_regime_steepens_p_and_hands_rtt_to_t0() {
         // Heavy loss with a long T0: timeouts dominate the denominator.
         let params = ModelParams::new(0.1, 5.0, 2, 10_000).unwrap();
-        let e = elasticities(p(0.2), &params);
-        assert!(e.wrt_p < -0.9, "E_p = {} should be much steeper than -1/2", e.wrt_p);
+        let e = elasticities(p(0.2), &params).unwrap();
+        assert!(
+            e.wrt_p < -0.9,
+            "E_p = {} should be much steeper than -1/2",
+            e.wrt_p
+        );
         assert!(e.wrt_t0 < -0.7, "E_t0 = {} should approach -1", e.wrt_t0);
         assert!(e.wrt_rtt > -0.3, "E_rtt = {} should fade", e.wrt_rtt);
     }
@@ -89,7 +105,7 @@ mod tests {
     fn window_limited_regime_kills_p_sensitivity() {
         // Deep in the W_m clamp, small changes in p barely matter.
         let params = ModelParams::new(0.2, 2.0, 2, 6).unwrap();
-        let e = elasticities(p(1e-5), &params);
+        let e = elasticities(p(1e-5), &params).unwrap();
         assert!(e.wrt_p.abs() < 0.1, "E_p = {}", e.wrt_p);
         // The ceiling is W_m/RTT-ish: RTT elasticity ≈ −1.
         assert!((e.wrt_rtt - (-1.0)).abs() < 0.15, "E_rtt = {}", e.wrt_rtt);
@@ -102,7 +118,7 @@ mod tests {
         // W_m in packets).
         for (rtt, t0, pv) in [(0.1, 1.0, 0.01), (0.3, 3.0, 0.05), (0.05, 0.5, 0.15)] {
             let params = ModelParams::new(rtt, t0, 2, 10_000).unwrap();
-            let e = elasticities(p(pv), &params);
+            let e = elasticities(p(pv), &params).unwrap();
             assert!(
                 (e.wrt_rtt + e.wrt_t0 - (-1.0)).abs() < 0.02,
                 "scaling identity violated: {} + {} ≠ -1",
@@ -117,7 +133,7 @@ mod tests {
         // More loss, longer round trips, longer timeouts: never faster.
         for &pv in &[1e-4, 1e-3, 0.01, 0.05, 0.2] {
             let params = ModelParams::new(0.2, 2.0, 2, 64).unwrap();
-            let e = elasticities(p(pv), &params);
+            let e = elasticities(p(pv), &params).unwrap();
             assert!(e.wrt_p <= 1e-6, "E_p = {} at p={pv}", e.wrt_p);
             assert!(e.wrt_rtt <= 1e-6);
             assert!(e.wrt_t0 <= 1e-6);

@@ -46,11 +46,13 @@ pub struct TransferEstimate {
 /// for a transfer of `n` packets (Cardwell's `E[d_ss]`): the first loss
 /// comes after a geometric number of packets, truncated by the transfer
 /// length.
+//= pftk#short-flow
 pub fn expected_slow_start_packets(n: u64, p: LossProb) -> f64 {
     let pv = p.get();
     let q = p.survival();
     // E[min(first-loss index, n)] with P[first loss at k] = (1-p)^{k-1} p:
     // = (1 - q^n) (1-p)/p + 1, capped at n.
+    //~ allow(cast): powi exponent; window and counts bounded far below i32::MAX
     (((1.0 - q.powi(n.min(i32::MAX as u64) as i32)) * q) / pv + 1.0).min(n as f64)
 }
 
@@ -79,6 +81,7 @@ fn slow_start_rounds(d: f64, w0: f64, b: u32, wmax: f64) -> (f64, f64) {
 
 /// Expected completion time for a transfer of `n` packets, with the full
 /// phase breakdown.
+//= pftk#short-flow
 pub fn transfer_time_detailed(n: u64, p: LossProb, params: &ModelParams) -> TransferEstimate {
     let rtt = params.rtt.get();
     if n == 0 {
@@ -96,11 +99,12 @@ pub fn transfer_time_detailed(n: u64, p: LossProb, params: &ModelParams) -> Tran
     // +1 RTT: the final round's ACKs must return for the data to count as
     // delivered.
     let ss_secs = (rounds + 1.0) * rtt;
+    //~ allow(cast): integer count to f64, exact below 2^53
     if d_ss >= n as f64 - 0.5 {
         // Expected to finish inside slow start.
         return TransferEstimate {
             total_secs: ss_secs,
-            slow_start_packets: n as f64,
+            slow_start_packets: n as f64, //~ allow(cast): integer count to f64, exact below 2^53
             slow_start_secs: ss_secs,
             recovery_secs: 0.0,
             steady_secs: 0.0,
@@ -111,7 +115,7 @@ pub fn transfer_time_detailed(n: u64, p: LossProb, params: &ModelParams) -> Tran
     let q = q_hat_exact(p, w_end.min(expected_window(p, params.b)));
     let recovery = (1.0 - q) * rtt + q * params.t0.get();
     // Remaining data at steady state.
-    let remaining = n as f64 - d_ss;
+    let remaining = n as f64 - d_ss; //~ allow(cast): integer count to f64, exact below 2^53
     let steady = remaining / full_model(p, params);
     TransferEstimate {
         total_secs: ss_secs + recovery + steady,
@@ -214,7 +218,10 @@ mod tests {
         let large = ModelParams::new(0.1, 1.0, 2, 512).unwrap();
         let t_small = transfer_time(2_000, p(1e-9), &small);
         let t_large = transfer_time(2_000, p(1e-9), &large);
-        assert!(t_small > 2.0 * t_large, "cap must dominate: {t_small} vs {t_large}");
+        assert!(
+            t_small > 2.0 * t_large,
+            "cap must dominate: {t_small} vs {t_large}"
+        );
         // Asymptotically 2000 packets at 8/0.1 = 80 pkt/s ≈ 25 s.
         assert!((t_small - 25.0).abs() < 5.0, "t_small={t_small}");
     }
@@ -294,6 +301,9 @@ mod tests {
         let sum = d.slow_start_secs + d.recovery_secs + d.steady_secs;
         assert!((d.total_secs - sum).abs() < 1e-9);
         assert!(d.slow_start_packets > 0.0);
-        assert!(d.recovery_secs > 0.0, "5000 packets at 1% loss will see a loss");
+        assert!(
+            d.recovery_secs > 0.0,
+            "5000 packets at 1% loss will see a loss"
+        );
     }
 }

@@ -59,8 +59,7 @@ pub fn throughput_paper_b2(p: LossProb, rtt_secs: f64, t0_secs: f64, wmax: u32) 
     let wp = w_of_p(p);
     if wp < wm {
         let q = q_hat_exact(p, wp);
-        (one_minus_p / pv + wp / 2.0 + q)
-            / (rtt_secs * (wp + 1.0) + q * g * t0_secs / one_minus_p)
+        (one_minus_p / pv + wp / 2.0 + q) / (rtt_secs * (wp + 1.0) + q * g * t0_secs / one_minus_p)
     } else {
         let q = q_hat_exact(p, wm);
         (one_minus_p / pv + wm / 2.0 + q)
@@ -103,7 +102,10 @@ mod tests {
         for &pv in &[0.001, 0.005, 0.02, 0.08, 0.2, 0.5] {
             let a = throughput(p(pv), &pr);
             let b = throughput_paper_b2(p(pv), 0.47, 3.2, 12);
-            assert!((a - b).abs() / a < 1e-12, "p={pv}: generic {a} vs paper {b}");
+            assert!(
+                (a - b).abs() / a < 1e-12,
+                "p={pv}: generic {a} vs paper {b}"
+            );
         }
     }
 

@@ -18,21 +18,23 @@ use crate::units::LossProb;
 /// `A(w, k)`: probability that exactly the first `k` of `w` packets in the
 /// penultimate round are ACKed, conditioned on at least one loss in the
 /// round (§II-B, Fig. 4).
+//= pftk#eq-23
 pub fn prob_first_k_acked(p: LossProb, w: u32, k: u32) -> f64 {
     debug_assert!(k <= w, "cannot ACK more packets than were sent");
     let q = p.survival();
-    q.powi(k as i32) * p.get() / (1.0 - q.powi(w as i32))
+    q.powi(k as i32) * p.get() / (1.0 - q.powi(w as i32)) //~ allow(cast): powi exponent; window and counts bounded far below i32::MAX
 }
 
 /// `C(n, m)`: probability that `m` packets are ACKed in sequence in the last
 /// round of `n` packets, the remainder (if any) being lost (§II-B).
+//= pftk#eq-23
 pub fn prob_last_round_acked(p: LossProb, n: u32, m: u32) -> f64 {
     debug_assert!(m <= n);
     let q = p.survival();
     if m == n {
-        q.powi(n as i32)
+        q.powi(n as i32) //~ allow(cast): powi exponent; window and counts bounded far below i32::MAX
     } else {
-        q.powi(m as i32) * p.get()
+        q.powi(m as i32) * p.get() //~ allow(cast): powi exponent; window and counts bounded far below i32::MAX
     }
 }
 
@@ -40,7 +42,9 @@ pub fn prob_last_round_acked(p: LossProb, n: u32, m: u32) -> f64 {
 /// of the `k` sent in the last round get through (Eq. (23)), so the loss
 /// indication degenerates to a timeout.
 pub fn prob_last_round_times_out(p: LossProb, k: u32) -> f64 {
-    (0..=2u32.min(k)).map(|m| prob_last_round_acked(p, k, m)).sum()
+    (0..=2u32.min(k))
+        .map(|m| prob_last_round_acked(p, k, m))
+        .sum()
 }
 
 /// `Q̂(w)` from first principles: the double sum of Eq. (22). `w ≤ 3` always
@@ -48,6 +52,7 @@ pub fn prob_last_round_times_out(p: LossProb, k: u32) -> f64 {
 ///
 /// This is the definitional form; [`q_hat_exact`] evaluates the paper's
 /// algebraically simplified Eq. (24) and the two must agree (tested).
+//= pftk#eq-22
 pub fn q_hat_definitional(p: LossProb, w: u32) -> f64 {
     if w <= 3 {
         return 1.0;
@@ -70,6 +75,7 @@ pub fn q_hat_definitional(p: LossProb, w: u32) -> f64 {
 ///
 /// Accepts a real-valued `w` because the model substitutes `E[W]`, which is
 /// not an integer (Eq. (26)). For `w ≤ 3` the probability is 1.
+//= pftk#q-hat-24
 pub fn q_hat_exact(p: LossProb, w: f64) -> f64 {
     if w <= 3.0 {
         return 1.0;
@@ -83,6 +89,7 @@ pub fn q_hat_exact(p: LossProb, w: f64) -> f64 {
 
 /// `Q̂(w) ≈ min(1, 3/w)` — Eq. (25), the small-`p` limit of Eq. (24)
 /// (the paper verifies numerically that it is a very good approximation).
+//= pftk#q-hat-25
 pub fn q_hat_approx(w: f64) -> f64 {
     if w <= 0.0 {
         return 1.0;
@@ -93,6 +100,7 @@ pub fn q_hat_approx(w: f64) -> f64 {
 /// `f(p) = 1 + p + 2p² + 4p³ + 8p⁴ + 16p⁵ + 32p⁶` — Eq. (29). Together with
 /// the `1/(1-p)` factor it gives the mean timeout-sequence duration in units
 /// of `T0`.
+//= pftk#eq-29
 pub fn backoff_polynomial(p: LossProb) -> f64 {
     let p = p.get();
     // Horner form of 1 + p + 2p^2 + 4p^3 + 8p^4 + 16p^5 + 32p^6.
@@ -102,6 +110,7 @@ pub fn backoff_polynomial(p: LossProb) -> f64 {
 /// `E[R] = 1/(1-p)` — Eq. (27): mean number of (re)transmissions in a
 /// timeout sequence. The sequence length is geometric because each
 /// retransmission independently fails with probability `p`.
+//= pftk#eq-27
 pub fn expected_timeout_retransmissions(p: LossProb) -> f64 {
     1.0 / p.survival()
 }
@@ -110,7 +119,7 @@ pub fn expected_timeout_retransmissions(p: LossProb) -> f64 {
 /// in a timeout sequence (§II-B).
 pub fn timeout_count_pmf(p: LossProb, k: u32) -> f64 {
     debug_assert!(k >= 1, "a timeout sequence contains at least one timeout");
-    p.get().powi(k as i32 - 1) * p.survival()
+    p.get().powi(k as i32 - 1) * p.survival() //~ allow(cast): powi exponent; window and counts bounded far below i32::MAX
 }
 
 /// `L_k`: total duration (in units of `T0`) of a sequence of `k` timeouts
@@ -120,17 +129,19 @@ pub fn timeout_count_pmf(p: LossProb, k: u32) -> f64 {
 /// L_k = (2^k − 1) T0            k ≤ 6
 ///     = (63 + 64 (k − 6)) T0    k ≥ 7
 /// ```
+//= pftk#backoff-lk
 pub fn timeout_sequence_duration(k: u32, t0_secs: f64) -> f64 {
     debug_assert!(k >= 1);
     if k <= 6 {
-        ((1u64 << k) - 1) as f64 * t0_secs
+        ((1u64 << k) - 1) as f64 * t0_secs //~ allow(cast): integer count to f64, exact below 2^53
     } else {
-        (63 + 64 * (u64::from(k) - 6)) as f64 * t0_secs
+        (63 + 64 * (u64::from(k) - 6)) as f64 * t0_secs //~ allow(cast): integer count to f64, exact below 2^53
     }
 }
 
 /// `E[Z^TO] = T0 · f(p)/(1-p)` — mean duration of a timeout sequence
 /// (the closed form of `Σ L_k P[R=k]`, §II-B).
+//= pftk#eq-29
 pub fn expected_timeout_sequence_duration(p: LossProb, t0_secs: f64) -> f64 {
     t0_secs * backoff_polynomial(p) / p.survival()
 }
@@ -144,6 +155,7 @@ mod tests {
     }
 
     #[test]
+    //= pftk#eq-23 type=test
     fn a_wk_sums_to_one_over_k() {
         // Σ_{k=0}^{w-1} A(w,k) = 1: given a loss occurred, the first loss
         // position is somewhere in 0..w.
@@ -167,6 +179,8 @@ mod tests {
     }
 
     #[test]
+    //= pftk#q-hat-24 type=test
+    //= pftk#eq-22 type=test
     fn q_hat_exact_matches_definitional_sum() {
         // Eq. (24) is the algebraic simplification of Eq. (22); they must
         // agree for integer w.
@@ -190,6 +204,7 @@ mod tests {
     }
 
     #[test]
+    //= pftk#q-hat-25 type=test
     fn q_hat_small_p_limit_is_3_over_w() {
         // limₚ→₀ Q̂(w) = 3/w (the paper derives this by L'Hôpital).
         for &w in &[4.0, 8.0, 20.0, 100.0] {
@@ -228,8 +243,9 @@ mod tests {
     }
 
     #[test]
+    //= pftk#eq-29 type=test
     fn backoff_polynomial_values() {
-        assert_eq!(backoff_polynomial(p(1e-12)), 1.0000000000010000);
+        assert_eq!(backoff_polynomial(p(1e-12)), 1.000_000_000_001);
         let f = backoff_polynomial(p(0.5));
         // 1 + .5 + 2(.25) + 4(.125) + 8(.0625) + 16(.03125) + 32(.015625)
         // = 1 + .5 + .5 + .5 + .5 + .5 + .5 = 4.0
@@ -244,13 +260,17 @@ mod tests {
     }
 
     #[test]
+    //= pftk#eq-27 type=test
     fn expected_retransmissions_matches_pmf_mean() {
         let pv = p(0.3);
-        let mean: f64 = (1..500).map(|k| f64::from(k) * timeout_count_pmf(pv, k)).sum();
+        let mean: f64 = (1..500)
+            .map(|k| f64::from(k) * timeout_count_pmf(pv, k))
+            .sum();
         assert!((mean - expected_timeout_retransmissions(pv)).abs() < 1e-9);
     }
 
     #[test]
+    //= pftk#backoff-lk type=test
     fn sequence_duration_doubles_then_caps() {
         let t0 = 1.0;
         assert_eq!(timeout_sequence_duration(1, t0), 1.0);
@@ -263,6 +283,7 @@ mod tests {
     }
 
     #[test]
+    //= pftk#eq-29 type=test
     fn closed_form_sequence_duration_matches_series() {
         // E[Z^TO] = Σ_k L_k P[R=k]; the closed form T0·f(p)/(1-p) truncates
         // the backoff exactly as L_k does.

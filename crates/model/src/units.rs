@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 
 /// A strictly positive, finite duration in seconds.
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[must_use]
 pub struct Seconds(f64);
 
 impl Seconds {
@@ -19,7 +20,10 @@ impl Seconds {
         if value.is_finite() && value > 0.0 {
             Ok(Seconds(value))
         } else {
-            Err(ModelError::NonPositive { name: "duration (seconds)", value })
+            Err(ModelError::NonPositive {
+                name: "duration (seconds)",
+                value,
+            })
         }
     }
 
@@ -37,6 +41,7 @@ impl Seconds {
 /// lost (§II-A). The closed forms divide by both `p` and `1 - p`, hence the
 /// open interval.
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[must_use]
 pub struct LossProb(f64);
 
 impl LossProb {
@@ -68,6 +73,7 @@ impl LossProb {
 /// the only invariant enforced is non-negativity (a model can legitimately
 /// predict a rate arbitrarily close to zero at very high loss).
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[must_use]
 pub struct PacketsPerSec(f64);
 
 impl PacketsPerSec {
@@ -76,7 +82,10 @@ impl PacketsPerSec {
         if value.is_finite() && value >= 0.0 {
             Ok(PacketsPerSec(value))
         } else {
-            Err(ModelError::NonPositive { name: "rate (packets/s)", value })
+            Err(ModelError::NonPositive {
+                name: "rate (packets/s)",
+                value,
+            })
         }
     }
 

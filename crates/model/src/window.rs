@@ -21,6 +21,7 @@ use crate::units::LossProb;
 ///
 /// `b` is the delayed-ACK factor. The value is in packets and always exceeds
 /// 1 for `p < 1`.
+//= pftk#eq-13
 pub fn expected_window(p: LossProb, b: u32) -> f64 {
     let p = p.get();
     let b = f64::from(b);
@@ -29,6 +30,7 @@ pub fn expected_window(p: LossProb, b: u32) -> f64 {
 }
 
 /// Small-`p` asymptote of `E[W]` — Eq. (14): `sqrt(8 / (3 b p))`.
+//= pftk#eq-14
 pub fn expected_window_asymptotic(p: LossProb, b: u32) -> f64 {
     (8.0 / (3.0 * f64::from(b) * p.get())).sqrt()
 }
@@ -38,6 +40,7 @@ pub fn expected_window_asymptotic(p: LossProb, b: u32) -> f64 {
 /// ```text
 /// E[X] = (2+b)/6 + sqrt( 2b(1-p)/(3p) + ((2+b)/6)^2 )
 /// ```
+//= pftk#eq-15
 pub fn expected_rounds(p: LossProb, b: u32) -> f64 {
     let p = p.get();
     let b = f64::from(b);
@@ -46,6 +49,7 @@ pub fn expected_rounds(p: LossProb, b: u32) -> f64 {
 }
 
 /// Small-`p` asymptote of `E[X]` — Eq. (17): `sqrt(2b / (3p))`.
+//= pftk#eq-17
 pub fn expected_rounds_asymptotic(p: LossProb, b: u32) -> f64 {
     (2.0 * f64::from(b) / (3.0 * p.get())).sqrt()
 }
@@ -53,12 +57,14 @@ pub fn expected_rounds_asymptotic(p: LossProb, b: u32) -> f64 {
 /// `E[A]`, the mean duration of a TD period — Eq. (16):
 /// `RTT · (E[X] + 1)` (the `+1` is the extra round in which the triple
 /// duplicate ACKs arrive).
+//= pftk#eq-16
 pub fn expected_tdp_duration(p: LossProb, b: u32, rtt_secs: f64) -> f64 {
     rtt_secs * (expected_rounds(p, b) + 1.0)
 }
 
 /// Mean number of packets sent in a TD period, `E[Y]` — Eq. (5):
 /// `(1-p)/p + E[W]`.
+//= pftk#eq-5
 pub fn expected_tdp_packets(p: LossProb, b: u32) -> f64 {
     p.survival() / p.get() + expected_window(p, b)
 }
@@ -71,6 +77,7 @@ pub fn expected_tdp_packets(p: LossProb, b: u32) -> f64 {
 ///
 /// Derived from `E[U] = (b/2) W_m` linear-growth rounds plus
 /// `E[V] = (1-p)/(p W_m) + 1 − (3b/8) W_m` constant-window rounds.
+//= pftk#eq-31
 pub fn expected_rounds_limited(p: LossProb, b: u32, wmax: u32) -> f64 {
     let wm = f64::from(wmax);
     f64::from(b) / 8.0 * wm + p.survival() / (p.get() * wm) + 1.0
@@ -79,6 +86,7 @@ pub fn expected_rounds_limited(p: LossProb, b: u32, wmax: u32) -> f64 {
 /// The identity of Eq. (11): `E[W] = (2/b) E[X]` (equivalently
 /// `E[X] = (b/2) E[W]`), which ties the two closed forms together.
 /// Exposed for tests and for the Markov model's sanity checks.
+//= pftk#eq-11
 pub fn rounds_from_window(expected_window: f64, b: u32) -> f64 {
     f64::from(b) / 2.0 * expected_window
 }
@@ -92,6 +100,7 @@ mod tests {
     }
 
     #[test]
+    //= pftk#eq-13 type=test
     fn window_matches_hand_computation() {
         // b = 1, p = 0.5: c = 1, E[W] = 1 + sqrt(8*0.5/1.5 + 1)
         //                            = 1 + sqrt(8/3 * 0.5/0.5 ... )
@@ -119,6 +128,7 @@ mod tests {
     }
 
     #[test]
+    //= pftk#eq-14 type=test
     fn asymptote_agrees_at_small_p() {
         for &pv in &[1e-4, 1e-5, 1e-6] {
             let exact = expected_window(p(pv), 2);
@@ -130,6 +140,8 @@ mod tests {
     }
 
     #[test]
+    //= pftk#eq-15 type=test
+    //= pftk#eq-11 type=test
     fn rounds_match_window_via_eq_11() {
         // Eq. (11): E[X] = (b/2) E[W]; Eqs. (13) & (15) were derived together
         // so the identity must hold exactly.
@@ -147,6 +159,7 @@ mod tests {
     }
 
     #[test]
+    //= pftk#eq-17 type=test
     fn rounds_asymptote_small_p() {
         let exact = expected_rounds(p(1e-6), 2);
         let approx = expected_rounds_asymptotic(p(1e-6), 2);
@@ -154,6 +167,7 @@ mod tests {
     }
 
     #[test]
+    //= pftk#eq-16 type=test
     fn tdp_duration_is_rtt_times_rounds_plus_one() {
         let pv = p(0.02);
         let d = expected_tdp_duration(pv, 2, 0.25);
@@ -161,6 +175,7 @@ mod tests {
     }
 
     #[test]
+    //= pftk#eq-5 type=test
     fn tdp_packets_eq_5() {
         let pv = p(0.1);
         let y = expected_tdp_packets(pv, 2);
@@ -168,6 +183,7 @@ mod tests {
     }
 
     #[test]
+    //= pftk#eq-31 type=test
     fn limited_rounds_formula() {
         // b=2, Wm=10, p=0.1: E[X] = 2/8*10 + 0.9/(0.1*10) + 1 = 2.5+0.9+1=4.4
         let x = expected_rounds_limited(p(0.1), 2, 10);
@@ -177,9 +193,7 @@ mod tests {
     #[test]
     fn limited_rounds_grow_as_p_shrinks() {
         // With a clamped window, rare losses mean long constant-window phases.
-        assert!(
-            expected_rounds_limited(p(0.001), 2, 8) > expected_rounds_limited(p(0.01), 2, 8)
-        );
+        assert!(expected_rounds_limited(p(0.001), 2, 8) > expected_rounds_limited(p(0.01), 2, 8));
     }
 
     #[test]

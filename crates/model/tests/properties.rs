@@ -25,6 +25,8 @@ proptest! {
     }
 
     #[test]
+    //= pftk#eq-31 type=test
+    //= pftk#eq-32 type=test
     fn full_model_never_exceeds_window_ceiling(p in loss_rate(), params in params_strategy()) {
         let rate = full_model(LossProb::new(p).unwrap(), &params);
         prop_assert!(rate <= params.window_limited_rate() * (1.0 + 1e-9));
@@ -75,6 +77,7 @@ proptest! {
     }
 
     #[test]
+    //= pftk#eq-33 type=test
     fn approx_model_brackets_full_model(p in loss_rate(), params in params_strategy()) {
         // Eq. (33) vs Eq. (32): same order of magnitude over the domain the
         // paper validates on — loss-indication rates up to ~15%, receiver
@@ -105,6 +108,8 @@ proptest! {
     }
 
     #[test]
+    //= pftk#q-hat-24 type=test
+    //= pftk#eq-22 type=test
     fn q_hat_is_probability_and_decreasing(p in loss_rate(), w in 1.0f64..512.0) {
         let lp = LossProb::new(p).unwrap();
         let q = timeout::q_hat_exact(lp, w);

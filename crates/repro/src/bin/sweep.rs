@@ -17,24 +17,28 @@ fn main() {
     let grid = tcp_testbed::report::loss_grid();
 
     // Text table at a coarse grid.
-    println!("{:>8} | {}", "p \\ RTT", rtts.map(|r| format!("{r:>9}")).join(" "));
+    println!(
+        "{:>8} | {}",
+        "p \\ RTT",
+        rtts.map(|r| format!("{r:>9}")).join(" ")
+    );
     let mut csv = Vec::new();
     for &p in &[0.001, 0.003, 0.01, 0.03, 0.1, 0.3] {
-        let lp = LossProb::new(p).unwrap();
+        let lp = LossProb::new(p).unwrap(); //~ allow(unwrap): figure CLI with constant paper parameters
         let row: Vec<String> = rtts
             .iter()
             .map(|&rtt| {
-                let params = ModelParams::new(rtt, 4.0 * rtt, 2, 64).unwrap();
+                let params = ModelParams::new(rtt, 4.0 * rtt, 2, 64).unwrap(); //~ allow(unwrap): figure CLI with constant paper parameters
                 format!("{:>9.1}", full_model(lp, &params))
             })
             .collect();
         println!("{p:>8} | {}", row.join(" "));
     }
     for &rtt in &rtts {
-        let params = ModelParams::new(rtt, 4.0 * rtt, 2, 64).unwrap();
+        let params = ModelParams::new(rtt, 4.0 * rtt, 2, 64).unwrap(); //~ allow(unwrap): figure CLI with constant paper parameters
         for &p in &grid {
-            let lp = LossProb::new(p).unwrap();
-            let e = elasticities(lp, &params);
+            let lp = LossProb::new(p).unwrap(); //~ allow(unwrap): figure CLI with constant paper parameters
+            let e = elasticities(lp, &params).unwrap(); //~ allow(unwrap): figure CLI with constant paper parameters
             csv.push(format!(
                 "{rtt},{p},{},{},{},{}",
                 full_model(lp, &params),
@@ -44,15 +48,23 @@ fn main() {
             ));
         }
     }
-    write_csv(&out_dir(), "sweep_grid", "rtt,p,rate_pps,elast_p,elast_rtt,elast_t0", &csv);
+    write_csv(
+        &out_dir(),
+        "sweep_grid",
+        "rtt,p,rate_pps,elast_p,elast_rtt,elast_t0",
+        &csv,
+    );
 
     // Elasticity spot-checks at a mid operating point.
     println!("\nelasticities at p = 0.02 (1% change in x → E·1% change in B):");
     println!("{:>8} {:>8} {:>8} {:>8}", "RTT", "E_p", "E_rtt", "E_t0");
     for &rtt in &rtts {
-        let params = ModelParams::new(rtt, 4.0 * rtt, 2, 64).unwrap();
-        let e = elasticities(LossProb::new(0.02).unwrap(), &params);
-        println!("{rtt:>8} {:>8.3} {:>8.3} {:>8.3}", e.wrt_p, e.wrt_rtt, e.wrt_t0);
+        let params = ModelParams::new(rtt, 4.0 * rtt, 2, 64).unwrap(); //~ allow(unwrap): figure CLI with constant paper parameters
+        let e = elasticities(LossProb::new(0.02).unwrap(), &params).unwrap(); //~ allow(unwrap): figure CLI with constant paper parameters
+        println!(
+            "{rtt:>8} {:>8.3} {:>8.3} {:>8.3}",
+            e.wrt_p, e.wrt_rtt, e.wrt_t0
+        );
     }
 
     // SVG family.
@@ -64,10 +76,10 @@ fn main() {
     .log_x()
     .log_y();
     for &rtt in &rtts {
-        let params = ModelParams::new(rtt, 4.0 * rtt, 2, 64).unwrap();
+        let params = ModelParams::new(rtt, 4.0 * rtt, 2, 64).unwrap(); //~ allow(unwrap): figure CLI with constant paper parameters
         let pts: Vec<(f64, f64)> = grid
             .iter()
-            .map(|&p| (p, full_model(LossProb::new(p).unwrap(), &params)))
+            .map(|&p| (p, full_model(LossProb::new(p).unwrap(), &params))) //~ allow(unwrap): figure CLI with constant paper parameters
             .collect();
         chart = chart.with(Series::line(format!("RTT = {rtt}s"), pts));
     }

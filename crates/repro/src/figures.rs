@@ -20,15 +20,25 @@ use tcp_trace::intervals::split_intervals_bounded;
 use tcp_trace::karn::rtt_window_correlation;
 
 fn window_path_csv(name: &str, sim: &RoundsSim) {
-    let rows: Vec<String> =
-        sim.samples().iter().map(|s| format!("{:.3},{}", s.time, s.window)).collect();
+    let rows: Vec<String> = sim
+        .samples()
+        .iter()
+        .map(|s| format!("{:.3},{}", s.time, s.window))
+        .collect();
     write_csv(&out_dir(), name, "time_secs,window", &rows);
     // SVG rendition: the window sawtooth (timeout gaps drawn at 0).
-    let pts: Vec<(f64, f64)> =
-        sim.samples().iter().map(|s| (s.time, f64::from(s.window))).collect();
-    Chart::new(name.replace('_', " "), "time (s)", "congestion window (packets)")
-        .with(Series::line("window", pts))
-        .save(&out_dir(), name);
+    let pts: Vec<(f64, f64)> = sim
+        .samples()
+        .iter()
+        .map(|s| (s.time, f64::from(s.window)))
+        .collect();
+    Chart::new(
+        name.replace('_', " "),
+        "time (s)",
+        "congestion window (packets)",
+    )
+    .with(Series::line("window", pts))
+    .save(&out_dir(), name);
 }
 
 fn print_sample_path(sim: &RoundsSim, limit: usize) {
@@ -63,8 +73,10 @@ pub fn fig1(scale: &RunScale) {
     print_sample_path(&sim, 60);
     let td = sim.stats().td_events;
     let to = sim.stats().to_events();
-    println!("... loss indications: {td} TD, {to} TO (TD share {:.0}%)",
-        100.0 * td as f64 / (td + to).max(1) as f64);
+    println!(
+        "... loss indications: {td} TD, {to} TO (TD share {:.0}%)",
+        100.0 * td as f64 / (td + to).max(1) as f64
+    );
     window_path_csv("fig1_window_path", &sim);
 }
 
@@ -74,12 +86,22 @@ pub fn fig2(scale: &RunScale) {
     section("Fig. 2 — TD-period anatomy (α, X, W, Y per period)");
     let p = 0.01;
     let mut sim = RoundsSim::new(
-        RoundsConfig { p, rtt: 0.1, t0: 1.0, b: 2, wmax: 10_000, ..RoundsConfig::default() },
+        RoundsConfig {
+            p,
+            rtt: 0.1,
+            t0: 1.0,
+            b: 2,
+            wmax: 10_000,
+            ..RoundsConfig::default()
+        },
         scale.seed,
     )
     .record_tdps();
     sim.run_tdps(scale.tdps);
-    println!("{:>5} {:>7} {:>7} {:>7} {:>9} {:>12}", "tdp", "alpha", "X", "W", "Y", "indication");
+    println!(
+        "{:>5} {:>7} {:>7} {:>7} {:>9} {:>12}",
+        "tdp", "alpha", "X", "W", "Y", "indication"
+    );
     for (i, t) in sim.tdps().iter().take(15).enumerate() {
         println!(
             "{:>5} {:>7} {:>7} {:>7} {:>9} {:>12}",
@@ -98,9 +120,13 @@ pub fn fig2(scale: &RunScale) {
     let mean_alpha: f64 = sim.tdps().iter().map(|t| t.alpha as f64).sum::<f64>() / n;
     let mean_w: f64 = sim.tdps().iter().map(|t| t.peak_window as f64).sum::<f64>() / n;
     let mean_x: f64 = sim.tdps().iter().map(|t| t.loss_round as f64).sum::<f64>() / n;
-    let lp = LossProb::new(p).unwrap();
+    let lp = LossProb::new(p).unwrap(); //~ allow(unwrap): figure CLI with constant paper parameters
     println!("\nmeans over {} TDPs:", sim.tdps().len());
-    println!("  E[alpha] = {:.1}   (model 1/p = {:.1})", mean_alpha, 1.0 / p);
+    println!(
+        "  E[alpha] = {:.1}   (model 1/p = {:.1})",
+        mean_alpha,
+        1.0 / p
+    );
     println!(
         "  E[W]     = {:.2}   (model Eq.(13) = {:.2})",
         mean_w,
@@ -125,7 +151,12 @@ pub fn fig2(scale: &RunScale) {
             )
         })
         .collect();
-    write_csv(&out_dir(), "fig2_tdp_anatomy", "alpha,rounds,peak_window,packets,is_td", &rows);
+    write_csv(
+        &out_dir(),
+        "fig2_tdp_anatomy",
+        "alpha,rounds,peak_window,packets,is_td",
+        &rows,
+    );
 }
 
 /// Fig. 3 — window evolution with both TD and TO indications (timeout gaps
@@ -159,11 +190,14 @@ pub fn fig3(scale: &RunScale) {
 pub fn fig4(scale: &RunScale) {
     section("Fig. 4 — P[loss indication is a timeout | window w]: Monte-Carlo vs Eq. (24)");
     let p = 0.02;
-    let lp = LossProb::new(p).unwrap();
+    let lp = LossProb::new(p).unwrap(); //~ allow(unwrap): figure CLI with constant paper parameters
     let trials = scale.monte_carlo_trials;
     let mut rng = SimRng::seed_from_u64(scale.seed);
     println!("p = {p}, {trials} trials per window");
-    println!("{:>4} {:>12} {:>12} {:>12}", "w", "monte-carlo", "Eq.(24)", "min(1,3/w)");
+    println!(
+        "{:>4} {:>12} {:>12} {:>12}",
+        "w", "monte-carlo", "Eq.(24)", "min(1,3/w)"
+    );
     let mut rows = Vec::new();
     for w in [1u32, 2, 3, 4, 6, 8, 12, 16, 24, 32] {
         let mut timeouts = 0u64;
@@ -175,7 +209,7 @@ pub fn fig4(scale: &RunScale) {
             let u = rng.open01() * mass;
             let pos = ((1.0 - u).ln() / q.ln()).ceil().max(1.0) as u32;
             let k = pos.min(w) - 1; // packets ACKed in penultimate round
-            // Last round: k packets, sequential survival.
+                                    // Last round: k packets, sequential survival.
             let mut m = 0;
             while m < k && !rng.chance(p) {
                 m += 1;
@@ -190,11 +224,16 @@ pub fn fig4(scale: &RunScale) {
         println!("{w:>4} {mc:>12.4} {exact:>12.4} {approx:>12.4}");
         rows.push(format!("{w},{mc},{exact},{approx}"));
     }
-    write_csv(&out_dir(), "fig4_qhat", "w,monte_carlo,eq24,approx_3_over_w", &rows);
+    write_csv(
+        &out_dir(),
+        "fig4_qhat",
+        "w,monte_carlo,eq24,approx_3_over_w",
+        &rows,
+    );
     let parse = |idx: usize| -> Vec<(f64, f64)> {
         rows.iter()
             .map(|r| {
-                let f: Vec<f64> = r.split(',').map(|v| v.parse().unwrap()).collect();
+                let f: Vec<f64> = r.split(',').map(|v| v.parse().unwrap()).collect(); //~ allow(unwrap): re-reading a CSV this binary just wrote
                 (f[0], f[idx])
             })
             .collect()
@@ -210,7 +249,14 @@ pub fn fig4(scale: &RunScale) {
 pub fn fig5(scale: &RunScale) {
     section("Fig. 5 — Window evolution clamped by the receiver window W_m = 8");
     let mut sim = RoundsSim::new(
-        RoundsConfig { p: 0.003, rtt: 0.1, t0: 1.0, b: 2, wmax: 8, ..RoundsConfig::default() },
+        RoundsConfig {
+            p: 0.003,
+            rtt: 0.1,
+            t0: 1.0,
+            b: 2,
+            wmax: 8,
+            ..RoundsConfig::default()
+        },
         scale.seed,
     )
     .record_samples(4_000);
@@ -233,7 +279,14 @@ pub fn fig6(scale: &RunScale) {
     let wmax = 8u32;
     let p = 0.003;
     let mut sim = RoundsSim::new(
-        RoundsConfig { p, rtt: 0.1, t0: 1.0, b: 2, wmax, ..RoundsConfig::default() },
+        RoundsConfig {
+            p,
+            rtt: 0.1,
+            t0: 1.0,
+            b: 2,
+            wmax,
+            ..RoundsConfig::default()
+        },
         scale.seed,
     )
     .record_tdps();
@@ -264,8 +317,16 @@ pub fn fig6(scale: &RunScale) {
         sum_u / n.max(1) as f64,
         b / 2.0 * f64::from(wmax) / 2.0 * 2.0 / 2.0 + b / 2.0 * f64::from(wmax) / 2.0
     );
-    println!("  E[V] = {:.2} rounds (flat phase at W_m)", sum_v / n.max(1) as f64);
-    write_csv(&out_dir(), "fig6_uv_phases", "start_window,u_rounds,v_rounds", &rows);
+    println!(
+        "  E[V] = {:.2} rounds (flat phase at W_m)",
+        sum_v / n.max(1) as f64
+    );
+    write_csv(
+        &out_dir(),
+        "fig6_uv_phases",
+        "start_window,u_rounds,v_rounds",
+        &rows,
+    );
 }
 
 fn category_label(cat: tcp_trace::intervals::IntervalCategory) -> String {
@@ -298,11 +359,13 @@ pub fn fig7(scale: &RunScale) {
             panel.wmax,
             panel.scatter.len()
         );
-        println!("{:>10} {:>9} {:>6} | {:>10} {:>10}", "p", "measured", "cat", "TD-only", "full");
+        println!(
+            "{:>10} {:>9} {:>6} | {:>10} {:>10}",
+            "p", "measured", "cat", "TD-only", "full"
+        );
         for pt in &panel.scatter {
-            let lp = LossProb::new(pt.p.clamp(1e-9, 1.0 - 1e-9)).unwrap();
-            let params =
-                ModelParams::new(panel.rtt, panel.t0, 2, panel.wmax).unwrap();
+            let lp = LossProb::new(pt.p.clamp(1e-9, 1.0 - 1e-9)).unwrap(); //~ allow(unwrap): figure CLI with constant paper parameters
+            let params = ModelParams::new(panel.rtt, panel.t0, 2, panel.wmax).unwrap(); //~ allow(unwrap): figure CLI with constant paper parameters
             println!(
                 "{:>10.4} {:>9} {:>6} | {:>10.0} {:>10.0}",
                 pt.p,
@@ -353,7 +416,10 @@ pub fn fig7(scale: &RunScale) {
         .log_x()
         .log_y()
         .with(Series::line("TD only", panel.curves[0].points.clone()))
-        .with(Series::line("proposed (full)", panel.curves[1].points.clone()));
+        .with(Series::line(
+            "proposed (full)",
+            panel.curves[1].points.clone(),
+        ));
         let mut by_cat: std::collections::BTreeMap<String, Vec<(f64, f64)>> =
             std::collections::BTreeMap::new();
         for pt in panel.scatter.iter().filter(|pt| pt.p > 0.0) {
@@ -383,7 +449,10 @@ pub fn fig8(scale: &RunScale) {
             spec.id(),
             series.len()
         );
-        println!("{:>6} {:>9} {:>10} {:>10}", "trace", "measured", "proposed", "TD-only");
+        println!(
+            "{:>6} {:>9} {:>10} {:>10}",
+            "trace", "measured", "proposed", "TD-only"
+        );
         for pt in series.iter().take(12) {
             println!(
                 "{:>6} {:>9} {:>10.0} {:>10.0}",
@@ -395,7 +464,12 @@ pub fn fig8(scale: &RunScale) {
         }
         let rows: Vec<String> = series
             .iter()
-            .map(|pt| format!("{},{},{},{}", pt.trace_no, pt.measured, pt.proposed, pt.td_only))
+            .map(|pt| {
+                format!(
+                    "{},{},{},{}",
+                    pt.trace_no, pt.measured, pt.proposed, pt.td_only
+                )
+            })
             .collect();
         write_csv(
             &dir,
@@ -404,7 +478,10 @@ pub fn fig8(scale: &RunScale) {
             &rows,
         );
         let as_pts = |f: &dyn Fn(&tcp_testbed::report::Fig8Point) -> f64| -> Vec<(f64, f64)> {
-            series.iter().map(|pt| (pt.trace_no as f64, f(pt))).collect()
+            series
+                .iter()
+                .map(|pt| (pt.trace_no as f64, f(pt)))
+                .collect()
         };
         Chart::new(
             format!("Fig. 8({}) {}", (b'a' + panel_idx as u8) as char, spec.id()),
@@ -436,15 +513,24 @@ pub fn fig9(scale: &RunScale) {
         .map(|(spec, r)| error_triple_hourly(spec, r, 100.0))
         .collect();
     triples.sort_by(|a, b| a.td_only.total_cmp(&b.td_only));
-    println!("{:<22} {:>8} {:>8} {:>8}", "path", "full", "approx", "TD-only");
+    println!(
+        "{:<22} {:>8} {:>8} {:>8}",
+        "path", "full", "approx", "TD-only"
+    );
     let mut rows = Vec::new();
     let mut full_wins = 0;
     for t in &triples {
-        println!("{:<22} {:>8.3} {:>8.3} {:>8.3}", t.path_id, t.full, t.approx, t.td_only);
+        println!(
+            "{:<22} {:>8.3} {:>8.3} {:>8.3}",
+            t.path_id, t.full, t.approx, t.td_only
+        );
         if t.full <= t.td_only {
             full_wins += 1;
         }
-        rows.push(format!("{},{},{},{}", t.path_id, t.full, t.approx, t.td_only));
+        rows.push(format!(
+            "{},{},{},{}",
+            t.path_id, t.full, t.approx, t.td_only
+        ));
     }
     println!(
         "\nfull model beats TD-only on {}/{} paths (paper: most cases)",
@@ -459,12 +545,19 @@ pub fn fig9(scale: &RunScale) {
 /// the paper presents Figs. 9/10).
 fn error_chart(title: &str, triples: &[tcp_testbed::report::ErrorTriple], name: &str) {
     let idx = |f: &dyn Fn(&tcp_testbed::report::ErrorTriple) -> f64| -> Vec<(f64, f64)> {
-        triples.iter().enumerate().map(|(i, t)| (i as f64, f(t))).collect()
+        triples
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as f64, f(t)))
+            .collect()
     };
     Chart::new(title, "trace (ordered by TD-only error)", "average error")
         .log_y()
         .with(Series::line("proposed (full)", idx(&|t| t.full.max(1e-3))))
-        .with(Series::line("proposed (approx.)", idx(&|t| t.approx.max(1e-3))))
+        .with(Series::line(
+            "proposed (approx.)",
+            idx(&|t| t.approx.max(1e-3)),
+        ))
         .with(Series::line("TD only", idx(&|t| t.td_only.max(1e-3))))
         .save(&out_dir(), name);
 }
@@ -478,13 +571,27 @@ pub fn fig10(scale: &RunScale) {
         triples.push(error_triple_serial(&spec, &results));
     }
     triples.sort_by(|a, b| a.td_only.total_cmp(&b.td_only));
-    println!("{:<22} {:>8} {:>8} {:>8}", "path", "full", "approx", "TD-only");
+    println!(
+        "{:<22} {:>8} {:>8} {:>8}",
+        "path", "full", "approx", "TD-only"
+    );
     let mut rows = Vec::new();
     for t in &triples {
-        println!("{:<22} {:>8.3} {:>8.3} {:>8.3}", t.path_id, t.full, t.approx, t.td_only);
-        rows.push(format!("{},{},{},{}", t.path_id, t.full, t.approx, t.td_only));
+        println!(
+            "{:<22} {:>8.3} {:>8.3} {:>8.3}",
+            t.path_id, t.full, t.approx, t.td_only
+        );
+        rows.push(format!(
+            "{},{},{},{}",
+            t.path_id, t.full, t.approx, t.td_only
+        ));
     }
-    write_csv(&out_dir(), "fig10_errors", "path,full,approx,td_only", &rows);
+    write_csv(
+        &out_dir(),
+        "fig10_errors",
+        "path,full,approx,td_only",
+        &rows,
+    );
     error_chart("Fig. 10 — average error, 100 s traces", &triples, "fig10");
 }
 
@@ -500,10 +607,16 @@ pub fn fig11(scale: &RunScale) {
     let intervals = split_intervals_bounded(&result.trace, &analysis, 100.0, horizon);
     let rtt = result.ground_rtt.unwrap_or(spec.base_rtt);
     let t0 = result.ground_t0.unwrap_or(1.0);
-    let params = ModelParams::new(rtt, t0, 2, spec.wmax).unwrap();
-    println!("measured RTT (queueing-dominated): {rtt:.3} s  T0: {t0:.3} s  W_m={}", spec.wmax);
+    let params = ModelParams::new(rtt, t0, 2, spec.wmax).unwrap(); //~ allow(unwrap): figure CLI with constant paper parameters
+    println!(
+        "measured RTT (queueing-dominated): {rtt:.3} s  T0: {t0:.3} s  W_m={}",
+        spec.wmax
+    );
     println!("RTT-window correlation: {corr:.3}  (paper observed up to 0.97; §IV)");
-    println!("\n{:>10} {:>9} {:>10} {:>10}", "p", "measured", "full", "TD-only");
+    println!(
+        "\n{:>10} {:>9} {:>10} {:>10}",
+        "p", "measured", "full", "TD-only"
+    );
     let mut rows = Vec::new();
     let mut err_full = 0.0;
     let mut err_td = 0.0;
@@ -512,14 +625,20 @@ pub fn fig11(scale: &RunScale) {
         if iv.packets_sent == 0 {
             continue;
         }
-        let lp = LossProb::new(iv.loss_rate.clamp(1e-9, 1.0 - 1e-9)).unwrap();
+        let lp = LossProb::new(iv.loss_rate.clamp(1e-9, 1.0 - 1e-9)).unwrap(); //~ allow(unwrap): figure CLI with constant paper parameters
         let full = full_model(lp, &params) * 100.0;
         let td = td_only(lp, &params) * 100.0;
-        println!("{:>10.4} {:>9} {:>10.0} {:>10.0}", iv.loss_rate, iv.packets_sent, full, td);
+        println!(
+            "{:>10.4} {:>9} {:>10.0} {:>10.0}",
+            iv.loss_rate, iv.packets_sent, full, td
+        );
         err_full += (full - iv.packets_sent as f64).abs() / iv.packets_sent as f64;
         err_td += (td - iv.packets_sent as f64).abs() / iv.packets_sent as f64;
         counted += 1;
-        rows.push(format!("{},{},{},{}", iv.loss_rate, iv.packets_sent, full, td));
+        rows.push(format!(
+            "{},{},{},{}",
+            iv.loss_rate, iv.packets_sent, full, td
+        ));
     }
     let n = counted.max(1) as f64;
     println!(
@@ -540,7 +659,7 @@ pub fn fig11(scale: &RunScale) {
     let parse = |idx: usize| -> Vec<(f64, f64)> {
         rows.iter()
             .map(|r| {
-                let f: Vec<f64> = r.split(',').map(|v| v.parse().unwrap()).collect();
+                let f: Vec<f64> = r.split(',').map(|v| v.parse().unwrap()).collect(); //~ allow(unwrap): re-reading a CSV this binary just wrote
                 (f[0].max(1e-5), f[idx])
             })
             .collect()
@@ -562,13 +681,16 @@ pub fn fig11(scale: &RunScale) {
 /// third, assumption-exact referee.
 pub fn fig12(scale: &RunScale) {
     section("Fig. 12 — Markov model vs proposed model (RTT=0.47, T0=3.2, Wm=12)");
-    let params = ModelParams::new(0.47, 3.2, 2, 12).unwrap();
-    println!("{:>8} {:>10} {:>10} {:>10}", "p", "closed", "markov", "rounds-sim");
+    let params = ModelParams::new(0.47, 3.2, 2, 12).unwrap(); //~ allow(unwrap): figure CLI with constant paper parameters
+    println!(
+        "{:>8} {:>10} {:>10} {:>10}",
+        "p", "closed", "markov", "rounds-sim"
+    );
     let mut rows = Vec::new();
     for &p in &[0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3] {
-        let lp = LossProb::new(p).unwrap();
+        let lp = LossProb::new(p).unwrap(); //~ allow(unwrap): figure CLI with constant paper parameters
         let closed = full_model(lp, &params);
-        let markov = MarkovModel::solve(lp, &params).unwrap().send_rate();
+        let markov = MarkovModel::solve(lp, &params).unwrap().send_rate(); //~ allow(unwrap): figure CLI with constant paper parameters
         let mut sim = RoundsSim::new(
             RoundsConfig {
                 p,
@@ -590,11 +712,16 @@ pub fn fig12(scale: &RunScale) {
         );
         rows.push(format!("{},{},{},{}", p, closed, markov, sim.send_rate()));
     }
-    write_csv(&out_dir(), "fig12_markov", "p,closed_form,markov,rounds_sim", &rows);
+    write_csv(
+        &out_dir(),
+        "fig12_markov",
+        "p,closed_form,markov,rounds_sim",
+        &rows,
+    );
     let parse = |idx: usize| -> Vec<(f64, f64)> {
         rows.iter()
             .map(|r| {
-                let f: Vec<f64> = r.split(',').map(|v| v.parse().unwrap()).collect();
+                let f: Vec<f64> = r.split(',').map(|v| v.parse().unwrap()).collect(); //~ allow(unwrap): re-reading a CSV this binary just wrote
                 (f[0], f[idx])
             })
             .collect()
@@ -616,22 +743,30 @@ pub fn fig12(scale: &RunScale) {
 /// T0 = 3.2 s).
 pub fn fig13(_scale: &RunScale) {
     section("Fig. 13 — Send rate B(p) vs throughput T(p)");
-    let params = ModelParams::new(0.47, 3.2, 2, 12).unwrap();
-    println!("{:>8} {:>12} {:>12} {:>10}", "p", "send rate", "throughput", "T/B");
+    let params = ModelParams::new(0.47, 3.2, 2, 12).unwrap(); //~ allow(unwrap): figure CLI with constant paper parameters
+    println!(
+        "{:>8} {:>12} {:>12} {:>10}",
+        "p", "send rate", "throughput", "T/B"
+    );
     let mut rows = Vec::new();
     for i in 0..40 {
         let p = 1e-3 * (300.0f64).powf(i as f64 / 39.0);
-        let lp = LossProb::new(p).unwrap();
+        let lp = LossProb::new(p).unwrap(); //~ allow(unwrap): figure CLI with constant paper parameters
         let b = full_model(lp, &params);
         let t = throughput(lp, &params);
         println!("{:>8.4} {:>12.3} {:>12.3} {:>10.3}", p, b, t, t / b);
         rows.push(format!("{p},{b},{t}"));
     }
-    write_csv(&out_dir(), "fig13_throughput", "p,send_rate,throughput", &rows);
+    write_csv(
+        &out_dir(),
+        "fig13_throughput",
+        "p,send_rate,throughput",
+        &rows,
+    );
     let parse = |idx: usize| -> Vec<(f64, f64)> {
         rows.iter()
             .map(|r| {
-                let f: Vec<f64> = r.split(',').map(|v| v.parse().unwrap()).collect();
+                let f: Vec<f64> = r.split(',').map(|v| v.parse().unwrap()).collect(); //~ allow(unwrap): re-reading a CSV this binary just wrote
                 (f[0], f[idx])
             })
             .collect()

@@ -9,7 +9,7 @@
 //! recorded paper-vs-measured comparison.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod figures;
 pub mod output;
@@ -76,8 +76,9 @@ impl RunScale {
                 }
                 "--seed" => {
                     let value = args.next().unwrap_or_else(|| usage("--seed needs a value"));
-                    scale.seed =
-                        value.parse().unwrap_or_else(|_| usage("--seed needs an integer"));
+                    scale.seed = value
+                        .parse()
+                        .unwrap_or_else(|_| usage("--seed needs an integer"));
                 }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other:?}")),

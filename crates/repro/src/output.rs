@@ -11,17 +11,17 @@ pub fn out_dir() -> PathBuf {
     let dir = std::env::var_os("REPRO_OUT")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("results"));
-    fs::create_dir_all(&dir).expect("create results directory");
+    fs::create_dir_all(&dir).expect("create results directory"); //~ allow(expect): results-writer CLI: fail fast on I/O errors
     dir
 }
 
 /// Writes a CSV file `name.csv` into `dir`.
 pub fn write_csv(dir: &Path, name: &str, header: &str, rows: &[String]) {
     let path = dir.join(format!("{name}.csv"));
-    let mut f = fs::File::create(&path).expect("create csv");
-    writeln!(f, "{header}").expect("write csv header");
+    let mut f = fs::File::create(&path).expect("create csv"); //~ allow(expect): results-writer CLI: fail fast on I/O errors
+    writeln!(f, "{header}").expect("write csv header"); //~ allow(expect): results-writer CLI: fail fast on I/O errors
     for row in rows {
-        writeln!(f, "{row}").expect("write csv row");
+        writeln!(f, "{row}").expect("write csv row"); //~ allow(expect): results-writer CLI: fail fast on I/O errors
     }
     eprintln!("  wrote {}", path.display());
 }

@@ -15,7 +15,9 @@ const MARGIN_T: f64 = 40.0;
 const MARGIN_B: f64 = 55.0;
 
 /// Fixed series palette (color-blind friendly).
-const PALETTE: [&str; 6] = ["#0072b2", "#d55e00", "#009e73", "#cc79a7", "#e69f00", "#56b4e9"];
+const PALETTE: [&str; 6] = [
+    "#0072b2", "#d55e00", "#009e73", "#cc79a7", "#e69f00", "#56b4e9",
+];
 
 /// How a series is drawn.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,12 +42,20 @@ pub struct Series {
 impl Series {
     /// A line series.
     pub fn line(label: impl Into<String>, points: Vec<(f64, f64)>) -> Series {
-        Series { label: label.into(), points, style: Style::Line }
+        Series {
+            label: label.into(),
+            points,
+            style: Style::Line,
+        }
     }
 
     /// A scatter series.
     pub fn scatter(label: impl Into<String>, points: Vec<(f64, f64)>) -> Series {
-        Series { label: label.into(), points, style: Style::Scatter }
+        Series {
+            label: label.into(),
+            points,
+            style: Style::Scatter,
+        }
     }
 }
 
@@ -77,7 +87,11 @@ pub struct Chart {
 
 impl Chart {
     /// A linear-linear chart.
-    pub fn new(title: impl Into<String>, x_label: impl Into<String>, y_label: impl Into<String>) -> Chart {
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Chart {
         Chart {
             title: title.into(),
             x_label: x_label.into(),
@@ -118,9 +132,10 @@ impl Chart {
         let mut ys: Vec<f64> = Vec::new();
         for s in &self.series {
             for &(x, y) in &s.points {
-                if let (Some(tx), Some(ty)) =
-                    (Self::transform(x, self.x_scale), Self::transform(y, self.y_scale))
-                {
+                if let (Some(tx), Some(ty)) = (
+                    Self::transform(x, self.x_scale),
+                    Self::transform(y, self.y_scale),
+                ) {
                     if tx.is_finite() && ty.is_finite() {
                         xs.push(tx);
                         ys.push(ty);
@@ -152,15 +167,16 @@ impl Chart {
         let raw_step = span / 5.0;
         let mag = 10f64.powf(raw_step.log10().floor());
         let norm = raw_step / mag;
-        let step = mag * if norm < 1.5 {
-            1.0
-        } else if norm < 3.5 {
-            2.0
-        } else if norm < 7.5 {
-            5.0
-        } else {
-            10.0
-        };
+        let step = mag
+            * if norm < 1.5 {
+                1.0
+            } else if norm < 3.5 {
+                2.0
+            } else if norm < 7.5 {
+                5.0
+            } else {
+                10.0
+            };
         let mut ticks = Vec::new();
         let mut t = (lo / step).ceil() * step;
         while t <= hi + 1e-12 {
@@ -206,7 +222,10 @@ impl Chart {
             svg,
             r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
         );
-        let _ = write!(svg, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+        let _ = write!(
+            svg,
+            r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+        );
         let _ = write!(
             svg,
             r#"<text x="{}" y="24" text-anchor="middle" font-size="15">{}</text>"#,
@@ -346,13 +365,15 @@ impl Chart {
     /// Renders and writes `name.svg` into `dir`.
     pub fn save(&self, dir: &Path, name: &str) {
         let path = dir.join(format!("{name}.svg"));
-        fs::write(&path, self.render_svg()).expect("write svg");
+        fs::write(&path, self.render_svg()).expect("write svg"); //~ allow(expect): results-writer CLI: fail fast on I/O errors
         eprintln!("  wrote {}", path.display());
     }
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -361,7 +382,10 @@ mod tests {
 
     fn demo_chart() -> Chart {
         Chart::new("Demo", "x", "y")
-            .with(Series::line("model", vec![(1.0, 10.0), (2.0, 5.0), (3.0, 2.0)]))
+            .with(Series::line(
+                "model",
+                vec![(1.0, 10.0), (2.0, 5.0), (3.0, 2.0)],
+            ))
             .with(Series::scatter("measured", vec![(1.5, 8.0), (2.5, 3.0)]))
     }
 
@@ -379,11 +403,16 @@ mod tests {
 
     #[test]
     fn log_axes_drop_nonpositive_points() {
-        let chart = Chart::new("log", "p", "rate")
-            .log_x()
-            .with(Series::scatter("pts", vec![(0.0, 1.0), (0.01, 2.0), (0.1, 3.0)]));
+        let chart = Chart::new("log", "p", "rate").log_x().with(Series::scatter(
+            "pts",
+            vec![(0.0, 1.0), (0.01, 2.0), (0.1, 3.0)],
+        ));
         let svg = chart.render_svg();
-        assert_eq!(svg.matches("<circle").count(), 2, "p = 0 must be dropped on log-x");
+        assert_eq!(
+            svg.matches("<circle").count(),
+            2,
+            "p = 0 must be dropped on log-x"
+        );
     }
 
     #[test]
@@ -418,8 +447,8 @@ mod tests {
 
     #[test]
     fn escapes_markup() {
-        let chart = Chart::new("a<b & c>d", "x", "y")
-            .with(Series::line("s", vec![(0.0, 0.0), (1.0, 1.0)]));
+        let chart =
+            Chart::new("a<b & c>d", "x", "y").with(Series::line("s", vec![(0.0, 0.0), (1.0, 1.0)]));
         let svg = chart.render_svg();
         assert!(svg.contains("a&lt;b &amp; c&gt;d"));
     }

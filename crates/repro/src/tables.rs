@@ -12,7 +12,7 @@ use tcp_trace::table::{format_table, TableRow};
 /// Table I: the host registry.
 pub fn table1() {
     section("Table I — Domains and Operating Systems of Hosts");
-    println!("{:<12} {:<18} {}", "Receiver", "Domain", "Operating System");
+    println!("{:<12} {:<18} Operating System", "Receiver", "Domain");
     let mut rows = Vec::new();
     for h in HOSTS {
         println!("{:<12} {:<18} {}", h.name, h.domain, h.os.label());
@@ -42,15 +42,16 @@ pub fn table2(scale: &RunScale) -> Vec<TableRow> {
                 tcp_testbed::experiment::run_serial_100s(s, 1, scale.seed)
                     .into_iter()
                     .next()
-                    .expect("one run")
+                    .expect("one run") //~ allow(expect): figure CLI with constant paper parameters
             })
             .collect()
     };
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for (spec, result) in specs.iter_mut().zip(&results) {
-        let analyzer =
-            AnalyzerConfig { dupack_threshold: spec.sender_os().dupack_threshold() };
+        let analyzer = AnalyzerConfig {
+            dupack_threshold: spec.sender_os().dupack_threshold(),
+        };
         let analysis = analyze(&result.trace, analyzer);
         let timing = estimate_timing(&result.trace);
         let row = TableRow::from_analysis(
@@ -88,8 +89,13 @@ pub fn table2(scale: &RunScale) -> Vec<TableRow> {
     for spec in TABLE2_PATHS {
         println!(
             "{:<8} {:<12} {:>8} {:>6} {:>5}   RTT {:.3}  T0 {:.3}",
-            spec.sender, spec.receiver, spec.paper_packets, spec.paper_loss, spec.paper_td,
-            spec.rtt, spec.t0
+            spec.sender,
+            spec.receiver,
+            spec.paper_packets,
+            spec.paper_loss,
+            spec.paper_td,
+            spec.rtt,
+            spec.t0
         );
     }
     // The paper's headline observation, checked on *our* data:

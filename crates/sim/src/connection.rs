@@ -225,7 +225,9 @@ impl<O: Observer> Connection<O> {
             if at > until {
                 break;
             }
-            let (at, ev) = self.queue.pop().expect("peeked");
+            let Some((at, ev)) = self.queue.pop() else {
+                break;
+            };
             self.now = at;
             match ev {
                 Ev::DataArrive(seg) => {
@@ -339,7 +341,10 @@ mod tests {
     #[test]
     fn lossless_connection_is_window_limited() {
         // RTT 100 ms, W_m = 10 → steady state 10 pkts / 0.1 s = 100 pkt/s.
-        let sender = SenderConfig { rwnd: 10, ..SenderConfig::default() };
+        let sender = SenderConfig {
+            rwnd: 10,
+            ..SenderConfig::default()
+        };
         let mut c = Connection::builder().rtt(0.1).sender_config(sender).build();
         c.run_for(secs(60.0));
         c.finish();
@@ -378,7 +383,11 @@ mod tests {
         c.run_for(secs(300.0));
         c.finish();
         let s = c.stats();
-        assert!(s.loss_indications() > 10, "indications: {}", s.loss_indications());
+        assert!(
+            s.loss_indications() > 10,
+            "indications: {}",
+            s.loss_indications()
+        );
         // With a healthy window most single losses should be recoverable by
         // fast retransmit, but some timeouts are expected too.
         assert!(s.td_events > 0, "expected some TD events");
@@ -511,7 +520,10 @@ mod tests {
     #[test]
     fn finite_transfer_completes_and_reports_latency() {
         use crate::reno::sender::SenderConfig;
-        let sender = SenderConfig { data_limit: Some(200), ..SenderConfig::default() };
+        let sender = SenderConfig {
+            data_limit: Some(200),
+            ..SenderConfig::default()
+        };
         let mut c = Connection::builder()
             .rtt(0.1)
             .sender_config(sender)
@@ -546,7 +558,11 @@ mod tests {
         for _ in 0..10 {
             pieces.run_for(secs(10.0));
         }
-        assert_eq!(whole.stats(), pieces.stats(), "segmented run must replay identically");
+        assert_eq!(
+            whole.stats(),
+            pieces.stats(),
+            "segmented run must replay identically"
+        );
         assert_eq!(pieces.now(), SimTime::from_secs_f64(100.0));
     }
 }

@@ -49,14 +49,20 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_id: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_id: 0,
+        }
     }
 
     /// Schedules `payload` to fire at `at`.
     pub fn schedule(&mut self, at: SimTime, payload: E) {
         let id = self.next_id;
         self.next_id += 1;
-        self.heap.push(Entry { key: Reverse((at, id)), payload });
+        self.heap.push(Entry {
+            key: Reverse((at, id)),
+            payload,
+        });
     }
 
     /// Removes and returns the earliest event, if any.

@@ -48,7 +48,10 @@ impl std::fmt::Debug for Bottleneck {
 impl Bottleneck {
     /// A bottleneck serving `rate_pps` packets per second under `policy`.
     pub fn new(rate_pps: f64, policy: Box<dyn QueuePolicy + Send>) -> Self {
-        assert!(rate_pps.is_finite() && rate_pps > 0.0, "bottleneck rate must be positive");
+        assert!(
+            rate_pps.is_finite() && rate_pps > 0.0,
+            "bottleneck rate must be positive"
+        );
         Bottleneck {
             service: SimDuration::from_secs_f64(1.0 / rate_pps),
             policy,
@@ -65,7 +68,7 @@ impl Bottleneck {
     /// Current backlog in packets at time `now`.
     fn backlog(&self, now: SimTime) -> f64 {
         let residual = self.horizon.saturating_since(now);
-        residual.as_nanos() as f64 / self.service.as_nanos().max(1) as f64
+        residual.as_nanos() as f64 / self.service.as_nanos().max(1) as f64 //~ allow(cast): integer count to f64, exact below 2^53
     }
 
     /// Offers a packet at `now`; returns its departure time or `None` on
@@ -76,7 +79,11 @@ impl Bottleneck {
             self.drops += 1;
             return None;
         }
-        let start = if self.horizon > now { self.horizon } else { now };
+        let start = if self.horizon > now {
+            self.horizon
+        } else {
+            now
+        };
         let depart = start + self.service;
         self.horizon = depart;
         Some(depart)
@@ -96,7 +103,12 @@ pub struct Path {
 impl Path {
     /// A jitter-free path with pure propagation delay.
     pub fn constant(propagation: SimDuration) -> Self {
-        Path { propagation, jitter: Jitter::None, bottleneck: None, last_arrival: SimTime::ZERO }
+        Path {
+            propagation,
+            jitter: Jitter::None,
+            bottleneck: None,
+            last_arrival: SimTime::ZERO,
+        }
     }
 
     /// Adds uniform additive jitter in `[0, max]`.
@@ -132,6 +144,7 @@ impl Path {
         let jitter = match self.jitter {
             Jitter::None => SimDuration::ZERO,
             Jitter::Uniform { max } => {
+                //~ allow(cast): nanosecond count to f64 and back, jitter precision irrelevant
                 SimDuration::from_nanos(rng.uniform_f64(0.0, max.as_nanos() as f64 + 1.0) as u64)
             }
         };
@@ -200,8 +213,9 @@ mod tests {
         let mut p = Path::constant(ms(10))
             .with_bottleneck(Bottleneck::new(10.0, Box::new(DropTail::new(100))));
         let mut r = rng();
-        let arrivals: Vec<_> =
-            (0..5).map(|_| p.transit(SimTime::ZERO, &mut r).unwrap()).collect();
+        let arrivals: Vec<_> = (0..5)
+            .map(|_| p.transit(SimTime::ZERO, &mut r).unwrap())
+            .collect();
         // k-th departure at (k+1)·100 ms, plus 10 ms propagation.
         for (k, arr) in arrivals.iter().enumerate() {
             let expect = at_ms(100 * (k as u64 + 1) + 10);
@@ -215,7 +229,9 @@ mod tests {
         let mut p = Path::constant(ms(10))
             .with_bottleneck(Bottleneck::new(10.0, Box::new(DropTail::new(2))));
         let mut r = rng();
-        let delivered = (0..10).filter(|_| p.transit(SimTime::ZERO, &mut r).is_some()).count();
+        let delivered = (0..10)
+            .filter(|_| p.transit(SimTime::ZERO, &mut r).is_some())
+            .count();
         assert!(delivered < 10);
         assert_eq!(p.bottleneck_drops() as usize, 10 - delivered);
     }

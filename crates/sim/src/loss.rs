@@ -65,7 +65,9 @@ pub struct Bernoulli {
 impl Bernoulli {
     /// Creates a Bernoulli dropper; `p` is clamped to `[0, 1]`.
     pub fn new(p: f64) -> Self {
-        Bernoulli { p: p.clamp(0.0, 1.0) }
+        Bernoulli {
+            p: p.clamp(0.0, 1.0),
+        }
     }
 
     /// The per-packet drop probability.
@@ -98,7 +100,10 @@ pub struct RoundCorrelated {
 impl RoundCorrelated {
     /// Creates the §II loss process with first-loss probability `p`.
     pub fn new(p: f64) -> Self {
-        RoundCorrelated { p: p.clamp(0.0, 1.0), dropping_rest_of_round: false }
+        RoundCorrelated {
+            p: p.clamp(0.0, 1.0),
+            dropping_rest_of_round: false,
+        }
     }
 }
 
@@ -170,7 +175,11 @@ impl GilbertElliott {
 impl LossModel for GilbertElliott {
     fn should_drop(&mut self, _now: SimTime, rng: &mut SimRng) -> bool {
         // Transition first, then emit: a per-packet-step chain.
-        let flip = if self.in_bad { rng.chance(self.p_b2g) } else { rng.chance(self.p_g2b) };
+        let flip = if self.in_bad {
+            rng.chance(self.p_b2g)
+        } else {
+            rng.chance(self.p_g2b)
+        };
         if flip {
             self.in_bad = !self.in_bad;
         }
@@ -204,7 +213,7 @@ impl LossModel for Deterministic {
             return false;
         }
         self.count += 1;
-        self.count % self.period == 0
+        self.count.is_multiple_of(self.period)
     }
     fn label(&self) -> &'static str {
         "deterministic"
@@ -272,9 +281,13 @@ impl TimedGilbertElliott {
         }
         while now >= self.next_flip {
             self.in_bad = !self.in_bad;
-            let mean = if self.in_bad { self.mean_bad_secs } else { self.mean_good_secs };
+            let mean = if self.in_bad {
+                self.mean_bad_secs
+            } else {
+                self.mean_good_secs
+            };
             let d = self.draw_duration(mean, rng);
-            self.next_flip = self.next_flip + crate::time::SimDuration::from_secs_f64(d);
+            self.next_flip += crate::time::SimDuration::from_secs_f64(d);
         }
     }
 
@@ -307,7 +320,9 @@ pub struct Mixed {
 
 impl std::fmt::Debug for Mixed {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Mixed").field("components", &self.components.len()).finish()
+        f.debug_struct("Mixed")
+            .field("components", &self.components.len())
+            .finish()
     }
 }
 
@@ -427,7 +442,10 @@ mod tests {
         }
         let measured = rounds_with_loss as f64 / rounds as f64;
         let expect = 1.0 - (1.0f64 - p).powi(w as i32);
-        assert!((measured - expect).abs() < 0.005, "measured={measured} expect={expect}");
+        assert!(
+            (measured - expect).abs() < 0.005,
+            "measured={measured} expect={expect}"
+        );
     }
 
     #[test]
@@ -466,8 +484,9 @@ mod tests {
     fn deterministic_period() {
         let mut m = Deterministic::every(3);
         let mut r = rng();
-        let pattern: Vec<bool> =
-            (0..9).map(|_| m.should_drop(SimTime::ZERO, &mut r)).collect();
+        let pattern: Vec<bool> = (0..9)
+            .map(|_| m.should_drop(SimTime::ZERO, &mut r))
+            .collect();
         assert_eq!(
             pattern,
             vec![false, false, true, false, false, true, false, false, true]
@@ -533,8 +552,9 @@ mod tests {
         ]);
         let mut r = rng();
         // Packets 1..=6: component A drops 2,4,6; B drops 3,6.
-        let drops: Vec<bool> =
-            (0..6).map(|_| m.should_drop(SimTime::ZERO, &mut r)).collect();
+        let drops: Vec<bool> = (0..6)
+            .map(|_| m.should_drop(SimTime::ZERO, &mut r))
+            .collect();
         assert_eq!(drops, vec![false, true, true, true, false, true]);
     }
 

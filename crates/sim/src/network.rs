@@ -70,7 +70,10 @@ impl FlowConfig {
         let quarter = SimDuration::from_secs_f64(rtt_secs / 4.0);
         let half = SimDuration::from_secs_f64(rtt_secs / 2.0);
         FlowConfig {
-            kind: FlowKind::Tcp { sender, receiver: ReceiverConfig::default() },
+            kind: FlowKind::Tcp {
+                sender,
+                receiver: ReceiverConfig::default(),
+            },
             access_delay: quarter,
             tail_delay: quarter,
             ack_delay: half,
@@ -84,7 +87,9 @@ impl FlowConfig {
         let quarter = SimDuration::from_secs_f64(rtt_secs / 4.0);
         let half = SimDuration::from_secs_f64(rtt_secs / 2.0);
         FlowConfig {
-            kind: FlowKind::Cbr { interval: SimDuration::from_secs_f64(1.0 / rate_pps) },
+            kind: FlowKind::Cbr {
+                interval: SimDuration::from_secs_f64(1.0 / rate_pps),
+            },
             access_delay: quarter,
             tail_delay: quarter,
             ack_delay: half,
@@ -124,14 +129,27 @@ impl FlowStats {
         if self.sent == 0 {
             0.0
         } else {
-            self.dropped as f64 / self.sent as f64
+            self.dropped as f64 / self.sent as f64 //~ allow(cast): integer count to f64, exact below 2^53
         }
     }
 }
 
+// The Tcp variant dwarfs Cbr/Tfrc, but flows are few (one box per flow
+// beats an extra indirection on every event).
+#[allow(clippy::large_enum_variant)]
 enum FlowState {
-    Tcp { sender: Sender, receiver: Receiver, rto_gen: u64, delack_gen: u64 },
-    Cbr { interval: SimDuration, next_seq: Seq, delivered: u64, sent: u64 },
+    Tcp {
+        sender: Sender,
+        receiver: Receiver,
+        rto_gen: u64,
+        delack_gen: u64,
+    },
+    Cbr {
+        interval: SimDuration,
+        next_seq: Seq,
+        delivered: u64,
+        sent: u64,
+    },
     Tfrc {
         controller: TfrcController,
         estimator: LossIntervalEstimator,
@@ -207,9 +225,12 @@ impl Network {
                     delack_gen: 0,
                 }
             }
-            FlowKind::Cbr { interval } => {
-                FlowState::Cbr { interval: *interval, next_seq: 0, delivered: 0, sent: 0 }
-            }
+            FlowKind::Cbr { interval } => FlowState::Cbr {
+                interval: *interval,
+                next_seq: 0,
+                delivered: 0,
+                sent: 0,
+            },
             FlowKind::Tfrc { config } => FlowState::Tfrc {
                 controller: TfrcController::new(*config),
                 estimator: LossIntervalEstimator::new(config.rtt_secs),
@@ -229,7 +250,7 @@ impl Network {
     /// Current backlog at the bottleneck, packets.
     fn backlog(&self) -> f64 {
         let residual = self.horizon.saturating_since(self.now);
-        residual.as_nanos() as f64 / self.service.as_nanos().max(1) as f64
+        residual.as_nanos() as f64 / self.service.as_nanos().max(1) as f64 //~ allow(cast): integer count to f64, exact below 2^53
     }
 
     /// Runs the network until the clock reaches `until`.
@@ -247,7 +268,8 @@ impl Network {
                     }
                     FlowState::Tfrc { .. } => {
                         self.queue.schedule(SimTime::ZERO, Ev::TfrcSend { flow: i });
-                        self.queue.schedule(SimTime::ZERO, Ev::TfrcFeedback { flow: i });
+                        self.queue
+                            .schedule(SimTime::ZERO, Ev::TfrcFeedback { flow: i });
                     }
                 }
             }
@@ -256,7 +278,9 @@ impl Network {
             if at > until {
                 break;
             }
-            let (at, ev) = self.queue.pop().expect("peeked");
+            let Some((at, ev)) = self.queue.pop() else {
+                break;
+            };
             self.now = at;
             self.dispatch(ev);
         }
@@ -283,7 +307,9 @@ impl Network {
             .iter()
             .enumerate()
             .map(|(i, (_, state))| match state {
-                FlowState::Tcp { sender, receiver, .. } => FlowStats {
+                FlowState::Tcp {
+                    sender, receiver, ..
+                } => FlowStats {
                     sent: self.per_flow_sent[i],
                     dropped: self.per_flow_drops[i],
                     delivered: receiver.distinct_received(),
@@ -293,13 +319,17 @@ impl Network {
                         s
                     }),
                 },
-                FlowState::Cbr { delivered, sent, .. } => FlowStats {
+                FlowState::Cbr {
+                    delivered, sent, ..
+                } => FlowStats {
                     sent: *sent,
                     dropped: self.per_flow_drops[i],
                     delivered: *delivered,
                     tcp: None,
                 },
-                FlowState::Tfrc { delivered, sent, .. } => FlowStats {
+                FlowState::Tfrc {
+                    delivered, sent, ..
+                } => FlowStats {
                     sent: *sent,
                     dropped: self.per_flow_drops[i],
                     delivered: *delivered,
@@ -317,11 +347,16 @@ impl Network {
                     self.per_flow_drops[flow] += 1;
                     return;
                 }
-                let start = if self.horizon > self.now { self.horizon } else { self.now };
+                let start = if self.horizon > self.now {
+                    self.horizon
+                } else {
+                    self.now
+                };
                 let depart = start + self.service;
                 self.horizon = depart;
                 let tail = self.flows[flow].0.tail_delay;
-                self.queue.schedule(depart + tail, Ev::RxArrive { flow, seg });
+                self.queue
+                    .schedule(depart + tail, Ev::RxArrive { flow, seg });
             }
             Ev::RxArrive { flow, seg } => match &mut self.flows[flow].1 {
                 FlowState::Tcp { receiver, .. } => {
@@ -331,7 +366,12 @@ impl Network {
                 FlowState::Cbr { delivered, .. } => {
                     *delivered += 1;
                 }
-                FlowState::Tfrc { estimator, rcv_expected, delivered, .. } => {
+                FlowState::Tfrc {
+                    estimator,
+                    rcv_expected,
+                    delivered,
+                    ..
+                } => {
                     *delivered += 1;
                     if seg.seq > *rcv_expected {
                         // Sequence gap: one or more losses.
@@ -348,7 +388,10 @@ impl Network {
                 }
             }
             Ev::Rto { flow, gen } => {
-                if let FlowState::Tcp { sender, rto_gen, .. } = &mut self.flows[flow].1 {
+                if let FlowState::Tcp {
+                    sender, rto_gen, ..
+                } = &mut self.flows[flow].1
+                {
                     if gen == *rto_gen {
                         let out = sender.on_rto_fired(self.now);
                         self.apply_sender_output(flow, out);
@@ -356,7 +399,12 @@ impl Network {
                 }
             }
             Ev::DelAck { flow, gen } => {
-                if let FlowState::Tcp { receiver, delack_gen, .. } = &mut self.flows[flow].1 {
+                if let FlowState::Tcp {
+                    receiver,
+                    delack_gen,
+                    ..
+                } = &mut self.flows[flow].1
+                {
                     if gen == *delack_gen {
                         let out = receiver.on_delack_timer();
                         self.apply_receiver_output(flow, out);
@@ -365,39 +413,62 @@ impl Network {
             }
             Ev::TfrcSend { flow } => {
                 let access = self.flows[flow].0.access_delay;
-                if let FlowState::Tfrc { controller, next_seq, sent, .. } =
-                    &mut self.flows[flow].1
+                if let FlowState::Tfrc {
+                    controller,
+                    next_seq,
+                    sent,
+                    ..
+                } = &mut self.flows[flow].1
                 {
-                    let seg = Segment { seq: *next_seq, retransmit: false };
+                    let seg = Segment {
+                        seq: *next_seq,
+                        retransmit: false,
+                    };
                     *next_seq += 1;
                     *sent += 1;
                     let interval = SimDuration::from_secs_f64(1.0 / controller.rate_pps());
                     self.per_flow_sent[flow] += 1;
-                    self.queue.schedule(self.now + access, Ev::QueueArrive { flow, seg });
-                    self.queue.schedule(self.now + interval, Ev::TfrcSend { flow });
+                    self.queue
+                        .schedule(self.now + access, Ev::QueueArrive { flow, seg });
+                    self.queue
+                        .schedule(self.now + interval, Ev::TfrcSend { flow });
                 }
             }
             Ev::TfrcFeedback { flow } => {
-                if let FlowState::Tfrc { controller, estimator, feedback_delay, .. } =
-                    &mut self.flows[flow].1
+                if let FlowState::Tfrc {
+                    controller,
+                    estimator,
+                    feedback_delay,
+                    ..
+                } = &mut self.flows[flow].1
                 {
                     controller.on_feedback(estimator.loss_event_rate());
                     let delay = *feedback_delay;
-                    self.queue.schedule(self.now + delay, Ev::TfrcFeedback { flow });
+                    self.queue
+                        .schedule(self.now + delay, Ev::TfrcFeedback { flow });
                 }
             }
             Ev::CbrTick { flow } => {
                 let access = self.flows[flow].0.access_delay;
-                if let FlowState::Cbr { interval, next_seq, sent, .. } =
-                    &mut self.flows[flow].1
+                if let FlowState::Cbr {
+                    interval,
+                    next_seq,
+                    sent,
+                    ..
+                } = &mut self.flows[flow].1
                 {
-                    let seg = Segment { seq: *next_seq, retransmit: false };
+                    let seg = Segment {
+                        seq: *next_seq,
+                        retransmit: false,
+                    };
                     *next_seq += 1;
                     *sent += 1;
                     let interval = *interval;
                     self.per_flow_sent[flow] += 1;
-                    self.queue.schedule(self.now + access, Ev::QueueArrive { flow, seg });
-                    self.queue.schedule(self.now + interval, Ev::CbrTick { flow });
+                    self.queue
+                        .schedule(self.now + access, Ev::QueueArrive { flow, seg });
+                    self.queue
+                        .schedule(self.now + interval, Ev::CbrTick { flow });
                 }
             }
         }
@@ -407,7 +478,8 @@ impl Network {
         let access = self.flows[flow].0.access_delay;
         for seg in out.segments {
             self.per_flow_sent[flow] += 1;
-            self.queue.schedule(self.now + access, Ev::QueueArrive { flow, seg });
+            self.queue
+                .schedule(self.now + access, Ev::QueueArrive { flow, seg });
         }
         if let TimerCmd::Arm(at) = out.timer {
             if let FlowState::Tcp { rto_gen, .. } = &mut self.flows[flow].1 {
@@ -421,7 +493,8 @@ impl Network {
     fn apply_receiver_output(&mut self, flow: usize, out: ReceiverOutput) {
         let ack_delay = self.flows[flow].0.ack_delay;
         for ack in out.acks {
-            self.queue.schedule(self.now + ack_delay, Ev::AckArrive { flow, ack });
+            self.queue
+                .schedule(self.now + ack_delay, Ev::AckArrive { flow, ack });
         }
         match out.timer {
             DelAckTimer::Keep => {}
@@ -507,9 +580,16 @@ mod tests {
         net.run_for(secs(60.0));
         let stats = net.stats();
         let sent = stats[0].sent as f64;
-        assert!((sent / 60.0 - 150.0).abs() < 5.0, "CBR held its rate: {}", sent / 60.0);
+        assert!(
+            (sent / 60.0 - 150.0).abs() < 5.0,
+            "CBR held its rate: {}",
+            sent / 60.0
+        );
         let loss = stats[0].loss_fraction();
-        assert!((loss - 1.0 / 3.0).abs() < 0.05, "expected ~33% drops, got {loss}");
+        assert!(
+            (loss - 1.0 / 3.0).abs() < 0.05,
+            "expected ~33% drops, got {loss}"
+        );
     }
 
     #[test]
@@ -650,7 +730,10 @@ mod tests {
 
     #[test]
     fn finite_tcp_flow_completes_in_shared_network() {
-        let sender = SenderConfig { data_limit: Some(500), ..SenderConfig::default() };
+        let sender = SenderConfig {
+            data_limit: Some(500),
+            ..SenderConfig::default()
+        };
         let mut net = Network::new(100.0, Box::new(DropTail::new(25)), 8);
         net.add_flow(FlowConfig::tcp(0.1, sender));
         net.add_flow(FlowConfig::cbr(0.1, 40.0)); // background load

@@ -33,18 +33,21 @@ pub struct SackBlocks {
 
 impl SackBlocks {
     /// No SACK information.
-    pub const EMPTY: SackBlocks = SackBlocks { blocks: [(0, 0); MAX_SACK_BLOCKS], len: 0 };
+    pub const EMPTY: SackBlocks = SackBlocks {
+        blocks: [(0, 0); MAX_SACK_BLOCKS],
+        len: 0,
+    };
 
     /// Builds from an iterator of ranges (first = most recent); extra
     /// ranges beyond the capacity are dropped.
     pub fn from_ranges<I: IntoIterator<Item = (Seq, Seq)>>(ranges: I) -> SackBlocks {
         let mut out = SackBlocks::EMPTY;
         for (start, end) in ranges {
-            if (out.len as usize) == MAX_SACK_BLOCKS {
+            if usize::from(out.len) == MAX_SACK_BLOCKS {
                 break;
             }
             debug_assert!(start < end, "SACK range must be non-empty");
-            out.blocks[out.len as usize] = (start, end);
+            out.blocks[usize::from(out.len)] = (start, end);
             out.len += 1;
         }
         out
@@ -52,7 +55,7 @@ impl SackBlocks {
 
     /// The carried ranges, most recent first.
     pub fn ranges(&self) -> &[(Seq, Seq)] {
-        &self.blocks[..self.len as usize]
+        &self.blocks[..usize::from(self.len)]
     }
 
     /// True when no ranges are carried.
@@ -79,7 +82,10 @@ pub struct Ack {
 impl Ack {
     /// A plain cumulative ACK with no SACK information.
     pub fn plain(ack: Seq) -> Ack {
-        Ack { ack, sack: SackBlocks::EMPTY }
+        Ack {
+            ack,
+            sack: SackBlocks::EMPTY,
+        }
     }
 }
 
@@ -89,8 +95,14 @@ mod tests {
 
     #[test]
     fn segment_equality_includes_retransmit_flag() {
-        let a = Segment { seq: 5, retransmit: false };
-        let b = Segment { seq: 5, retransmit: true };
+        let a = Segment {
+            seq: 5,
+            retransmit: false,
+        };
+        let b = Segment {
+            seq: 5,
+            retransmit: true,
+        };
         assert_ne!(a, b);
     }
 
@@ -104,9 +116,12 @@ mod tests {
 
     #[test]
     fn sack_blocks_capacity_and_order() {
-        let blocks =
-            SackBlocks::from_ranges([(10, 12), (5, 7), (20, 21), (30, 40), (50, 60)]);
-        assert_eq!(blocks.ranges(), &[(10, 12), (5, 7), (20, 21)], "capped at 3, order kept");
+        let blocks = SackBlocks::from_ranges([(10, 12), (5, 7), (20, 21), (30, 40), (50, 60)]);
+        assert_eq!(
+            blocks.ranges(),
+            &[(10, 12), (5, 7), (20, 21)],
+            "capped at 3, order kept"
+        );
         assert!(!blocks.is_empty());
         assert!(SackBlocks::EMPTY.is_empty());
         assert_eq!(SackBlocks::from_ranges([]), SackBlocks::EMPTY);
@@ -114,7 +129,10 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let s = Segment { seq: 42, retransmit: true };
+        let s = Segment {
+            seq: 42,
+            retransmit: true,
+        };
         let json = serde_json::to_string(&s).unwrap();
         assert_eq!(serde_json::from_str::<Segment>(&json).unwrap(), s);
     }

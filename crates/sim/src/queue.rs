@@ -28,7 +28,9 @@ pub struct DropTail {
 impl DropTail {
     /// A drop-tail queue holding up to `capacity` packets.
     pub fn new(capacity: u32) -> Self {
-        DropTail { capacity: f64::from(capacity) }
+        DropTail {
+            capacity: f64::from(capacity),
+        }
     }
 }
 
@@ -62,7 +64,10 @@ impl Red {
     /// (the paper's w_q, typically 0.002), and `hard_capacity` the physical
     /// buffer bound.
     pub fn new(min_th: f64, max_th: f64, max_p: f64, weight: f64, hard_capacity: u32) -> Self {
-        assert!(min_th >= 0.0 && max_th > min_th, "thresholds must satisfy 0 <= min < max");
+        assert!(
+            min_th >= 0.0 && max_th > min_th,
+            "thresholds must satisfy 0 <= min < max"
+        );
         Red {
             min_th,
             max_th,
@@ -97,8 +102,12 @@ impl QueuePolicy for Red {
             return true;
         }
         let p_b = self.max_p * (self.avg - self.min_th) / (self.max_th - self.min_th);
-        let denom = 1.0 - self.count_since_drop as f64 * p_b;
-        let p_a = if denom <= 0.0 { 1.0 } else { (p_b / denom).min(1.0) };
+        let denom = 1.0 - self.count_since_drop as f64 * p_b; //~ allow(cast): integer count to f64, exact below 2^53
+        let p_a = if denom <= 0.0 {
+            1.0
+        } else {
+            (p_b / denom).min(1.0)
+        };
         if rng.chance(p_a) {
             self.count_since_drop = 0;
             true

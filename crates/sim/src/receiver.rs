@@ -114,10 +114,14 @@ impl Receiver {
                 ranges.insert(0, recent);
             }
         }
-        Ack { ack: self.rcv_nxt, sack: SackBlocks::from_ranges(ranges) }
+        Ack {
+            ack: self.rcv_nxt,
+            sack: SackBlocks::from_ranges(ranges),
+        }
     }
 
     /// Handles an arriving data segment.
+    //= pftk#delack-b
     pub fn on_segment(&mut self, now: SimTime, seg: Segment) -> ReceiverOutput {
         if seg.seq == self.rcv_nxt {
             // In-order: advance, absorb any contiguous buffered segments.
@@ -129,7 +133,10 @@ impl Receiver {
             self.unacked += 1;
             if self.unacked >= self.config.ack_every {
                 self.unacked = 0;
-                ReceiverOutput { acks: vec![self.make_ack()], timer: DelAckTimer::Cancel }
+                ReceiverOutput {
+                    acks: vec![self.make_ack()],
+                    timer: DelAckTimer::Cancel,
+                }
             } else {
                 ReceiverOutput {
                     acks: vec![],
@@ -143,12 +150,18 @@ impl Receiver {
             }
             self.last_ooo = Some(seg.seq);
             self.unacked = 0;
-            ReceiverOutput { acks: vec![self.make_ack()], timer: DelAckTimer::Cancel }
+            ReceiverOutput {
+                acks: vec![self.make_ack()],
+                timer: DelAckTimer::Cancel,
+            }
         } else {
             // Below rcv_nxt: a spurious retransmission; re-ACK immediately
             // so the sender can resynchronize.
             self.unacked = 0;
-            ReceiverOutput { acks: vec![self.make_ack()], timer: DelAckTimer::Cancel }
+            ReceiverOutput {
+                acks: vec![self.make_ack()],
+                timer: DelAckTimer::Cancel,
+            }
         }
     }
 
@@ -156,9 +169,15 @@ impl Receiver {
     pub fn on_delack_timer(&mut self) -> ReceiverOutput {
         if self.unacked > 0 {
             self.unacked = 0;
-            ReceiverOutput { acks: vec![self.make_ack()], timer: DelAckTimer::Keep }
+            ReceiverOutput {
+                acks: vec![self.make_ack()],
+                timer: DelAckTimer::Keep,
+            }
         } else {
-            ReceiverOutput { acks: vec![], timer: DelAckTimer::Keep }
+            ReceiverOutput {
+                acks: vec![],
+                timer: DelAckTimer::Keep,
+            }
         }
     }
 }
@@ -172,7 +191,10 @@ mod tests {
     }
 
     fn seg(seq: Seq) -> Segment {
-        Segment { seq, retransmit: false }
+        Segment {
+            seq,
+            retransmit: false,
+        }
     }
 
     fn rx() -> Receiver {
@@ -192,7 +214,10 @@ mod tests {
 
     #[test]
     fn ack_every_one_acks_immediately() {
-        let config = ReceiverConfig { ack_every: 1, ..ReceiverConfig::default() };
+        let config = ReceiverConfig {
+            ack_every: 1,
+            ..ReceiverConfig::default()
+        };
         let mut r = Receiver::new(config);
         let out = r.on_segment(t(0), seg(0));
         assert_eq!(out.acks, vec![Ack::plain(1)]);
@@ -257,10 +282,13 @@ mod tests {
 
     #[test]
     fn sack_blocks_report_ooo_ranges() {
-        let config = ReceiverConfig { sack: true, ..ReceiverConfig::default() };
+        let config = ReceiverConfig {
+            sack: true,
+            ..ReceiverConfig::default()
+        };
         let mut r = Receiver::new(config);
         r.on_segment(t(0), seg(0)); // rcv_nxt = 1
-        // Hole at 1; buffer 2,3 and 5.
+                                    // Hole at 1; buffer 2,3 and 5.
         r.on_segment(t(1), seg(2));
         r.on_segment(t(2), seg(3));
         let out = r.on_segment(t(3), seg(5));
@@ -280,8 +308,11 @@ mod tests {
 
     #[test]
     fn sack_blocks_clear_after_hole_fills() {
-        let config =
-            ReceiverConfig { sack: true, ack_every: 1, ..ReceiverConfig::default() };
+        let config = ReceiverConfig {
+            sack: true,
+            ack_every: 1,
+            ..ReceiverConfig::default()
+        };
         let mut r = Receiver::new(config);
         r.on_segment(t(0), seg(0));
         r.on_segment(t(1), seg(2)); // hole at 1

@@ -20,13 +20,20 @@ impl CongestionControl {
     /// Starts in slow start with the given initial window (packets) and an
     /// effectively unlimited threshold.
     pub fn new(initial_cwnd: f64) -> Self {
-        assert!(initial_cwnd >= 1.0, "initial cwnd must be at least one segment");
-        CongestionControl { cwnd: initial_cwnd, ssthresh: f64::INFINITY, in_fast_recovery: false }
+        assert!(
+            initial_cwnd >= 1.0,
+            "initial cwnd must be at least one segment"
+        );
+        CongestionControl {
+            cwnd: initial_cwnd,
+            ssthresh: f64::INFINITY,
+            in_fast_recovery: false,
+        }
     }
 
     /// Integer usable window in packets (≥ 1).
     pub fn window(&self) -> u64 {
-        (self.cwnd.floor() as u64).max(1)
+        (self.cwnd.floor() as u64).max(1) //~ allow(cast): deliberate float truncation after round/floor
     }
 
     /// Raw floating-point congestion window.
@@ -53,6 +60,7 @@ impl CongestionControl {
     /// An ACK advancing `snd_una` arrived. Exits fast recovery (plain Reno
     /// deflates to `ssthresh` on the first new ACK), or grows the window:
     /// +1 per ACK in slow start, +1/W per ACK in congestion avoidance.
+    //= pftk#cwnd-linear-growth
     pub fn on_new_ack(&mut self) {
         if self.in_fast_recovery {
             self.cwnd = self.ssthresh;
@@ -67,8 +75,9 @@ impl CongestionControl {
     /// The `dupthresh`-th duplicate ACK arrived: fast retransmit. Halves the
     /// window into `ssthresh` and inflates by the three duplicates
     /// (RFC 5681 §3.2). `flight` is the amount of outstanding data.
+    //= pftk#cwnd-td-halve
     pub fn on_fast_retransmit(&mut self, flight: u64) {
-        self.ssthresh = (flight as f64 / 2.0).max(MIN_SSTHRESH);
+        self.ssthresh = (flight as f64 / 2.0).max(MIN_SSTHRESH); //~ allow(cast): integer count to f64, exact below 2^53
         self.cwnd = self.ssthresh + 3.0;
         self.in_fast_recovery = true;
     }
@@ -84,8 +93,9 @@ impl CongestionControl {
     /// start ("following a time-out, the congestion window is reduced to
     /// one", §II-B). Also the Tahoe reaction to a triple-duplicate (Tahoe
     /// has no fast recovery: any loss collapses the window).
+    //= pftk#cwnd-to-collapse
     pub fn on_timeout(&mut self, flight: u64) {
-        self.ssthresh = (flight as f64 / 2.0).max(MIN_SSTHRESH);
+        self.ssthresh = (flight as f64 / 2.0).max(MIN_SSTHRESH); //~ allow(cast): integer count to f64, exact below 2^53
         self.cwnd = 1.0;
         self.in_fast_recovery = false;
     }
@@ -93,7 +103,7 @@ impl CongestionControl {
     /// SACK-style recovery entry: halve without the +3 inflation (the SACK
     /// pipe algorithm regulates transmissions instead of window inflation).
     pub fn on_sack_retransmit(&mut self, flight: u64) {
-        self.ssthresh = (flight as f64 / 2.0).max(MIN_SSTHRESH);
+        self.ssthresh = (flight as f64 / 2.0).max(MIN_SSTHRESH); //~ allow(cast): integer count to f64, exact below 2^53
         self.cwnd = self.ssthresh;
         self.in_fast_recovery = true;
     }
@@ -129,6 +139,7 @@ mod tests {
     }
 
     #[test]
+    //= pftk#cwnd-linear-growth type=test
     fn congestion_avoidance_grows_one_per_window() {
         let mut cc = CongestionControl::new(10.0);
         // Force CA by setting a low threshold via a timeout + regrowth.
@@ -148,6 +159,7 @@ mod tests {
     }
 
     #[test]
+    //= pftk#cwnd-td-halve type=test
     fn fast_retransmit_halves_and_inflates() {
         let mut cc = CongestionControl::new(1.0);
         for _ in 0..19 {
@@ -166,6 +178,7 @@ mod tests {
     }
 
     #[test]
+    //= pftk#cwnd-to-collapse type=test
     fn timeout_collapses_to_one() {
         let mut cc = CongestionControl::new(1.0);
         for _ in 0..15 {

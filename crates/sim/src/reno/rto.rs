@@ -108,9 +108,12 @@ impl RtoEstimator {
     }
 
     /// The RTO to arm right now, including exponential backoff.
+    //= pftk#rto-backoff
     pub fn current_rto(&self) -> SimDuration {
         let capped_exp = self.backoff_exp.min(self.config.backoff_cap_exp);
-        self.base_rto().saturating_mul(1u64 << capped_exp).min(self.config.max_rto)
+        self.base_rto()
+            .saturating_mul(1u64 << capped_exp)
+            .min(self.config.max_rto)
     }
 
     /// The timer fired: double (up to the cap). Records the ground-truth
@@ -137,12 +140,12 @@ impl RtoEstimator {
     /// timeout sequence (the simulator-side analogue of Table II's "Time
     /// Out" column). `None` before any timeout.
     pub fn mean_t0(&self) -> Option<f64> {
-        (self.t0_count > 0).then(|| self.t0_sum / self.t0_count as f64)
+        (self.t0_count > 0).then(|| self.t0_sum / self.t0_count as f64) //~ allow(cast): integer count to f64, exact below 2^53
     }
 
     /// Ground truth: mean raw RTT sample. `None` before any sample.
     pub fn mean_rtt(&self) -> Option<f64> {
-        (self.rtt_count > 0).then(|| self.rtt_sum / self.rtt_count as f64)
+        (self.rtt_count > 0).then(|| self.rtt_sum / self.rtt_count as f64) //~ allow(cast): integer count to f64, exact below 2^53
     }
 
     /// Smoothed RTT, if at least one sample has arrived.
@@ -168,7 +171,10 @@ mod tests {
     /// A config whose floor is low enough to expose the raw estimator
     /// arithmetic (the RFC 6298 default floor of 1 s would mask it).
     fn low_floor() -> RtoConfig {
-        RtoConfig { min_rto: SimDuration::from_millis(100), ..RtoConfig::default() }
+        RtoConfig {
+            min_rto: SimDuration::from_millis(100),
+            ..RtoConfig::default()
+        }
     }
 
     #[test]
@@ -200,6 +206,7 @@ mod tests {
     }
 
     #[test]
+    //= pftk#rto-backoff type=test
     fn backoff_doubles_then_caps_at_64x() {
         let mut e = RtoEstimator::new(RtoConfig::default());
         for _ in 0..200 {
@@ -220,7 +227,10 @@ mod tests {
 
     #[test]
     fn irix_quirk_caps_at_32x() {
-        let config = RtoConfig { backoff_cap_exp: 5, ..RtoConfig::default() };
+        let config = RtoConfig {
+            backoff_cap_exp: 5,
+            ..RtoConfig::default()
+        };
         let mut e = RtoEstimator::new(config);
         for _ in 0..200 {
             e.on_rtt_sample(secs(0.2));

@@ -75,7 +75,7 @@ pub struct SenderConfig {
 impl Default for SenderConfig {
     fn default() -> Self {
         SenderConfig {
-            rwnd: u16::MAX as u32,
+            rwnd: u32::from(u16::MAX),
             dupthresh: 3,
             initial_cwnd: 1.0,
             rto: RtoConfig::default(),
@@ -86,6 +86,7 @@ impl Default for SenderConfig {
 }
 
 /// A bulk-transfer ("infinite source", §III) TCP Reno sender.
+//= pftk#infinite-source
 #[derive(Debug)]
 pub struct Sender {
     config: SenderConfig,
@@ -179,7 +180,10 @@ impl Sender {
     /// Kicks the connection off at time `now`: sends the initial window and
     /// arms the timer.
     pub fn on_start(&mut self, now: SimTime) -> SenderOutput {
-        let mut out = SenderOutput { segments: vec![], timer: TimerCmd::Keep };
+        let mut out = SenderOutput {
+            segments: vec![],
+            timer: TimerCmd::Keep,
+        };
         self.fill_window(now, &mut out);
         out.timer = TimerCmd::Arm(now + self.rto.current_rto());
         out
@@ -188,7 +192,10 @@ impl Sender {
     /// Processes an arriving cumulative ACK.
     pub fn on_ack(&mut self, now: SimTime, ack: Ack) -> SenderOutput {
         self.stats.acks_received += 1;
-        let mut out = SenderOutput { segments: vec![], timer: TimerCmd::Keep };
+        let mut out = SenderOutput {
+            segments: vec![],
+            timer: TimerCmd::Keep,
+        };
 
         if ack.ack > self.snd_nxt {
             // Acknowledges data we never sent — a receiver bug; ignore.
@@ -320,11 +327,11 @@ impl Sender {
     /// minus SACKed packets minus presumed-lost holes that have not been
     /// retransmitted (RFC 6675's pipe, simplified to our packet units).
     fn sack_pipe(&self) -> u64 {
-        let sacked = self.scoreboard.len() as u64;
+        let sacked = self.scoreboard.len() as u64; //~ allow(cast): usize length to u64, lossless on this platform set
         let lost_unrexmitted = match self.scoreboard.iter().next_back() {
             Some(&hi) => (self.snd_una..hi)
                 .filter(|s| !self.scoreboard.contains(s) && !self.rexmitted.contains(s))
-                .count() as u64,
+                .count() as u64, //~ allow(cast): usize length to u64, lossless on this platform set
             None => 0,
         };
         self.flight().saturating_sub(sacked + lost_unrexmitted)
@@ -345,6 +352,7 @@ impl Sender {
             match hole {
                 Some(seq) => {
                     self.rexmitted.insert(seq);
+                    //= pftk#karn-rto
                     if let Some((timed_seq, _)) = self.timed {
                         if timed_seq == seq {
                             self.timed = None; // Karn
@@ -352,7 +360,10 @@ impl Sender {
                     }
                     self.stats.packets_sent += 1;
                     self.stats.retransmissions += 1;
-                    out.segments.push(Segment { seq, retransmit: true });
+                    out.segments.push(Segment {
+                        seq,
+                        retransmit: true,
+                    });
                 }
                 None => {
                     // No repairable holes: send new data if permitted.
@@ -371,7 +382,10 @@ impl Sender {
                     }
                     self.stats.packets_sent += 1;
                     self.stats.packets_sent_new += 1;
-                    out.segments.push(Segment { seq, retransmit: false });
+                    out.segments.push(Segment {
+                        seq,
+                        retransmit: false,
+                    });
                 }
             }
         }
@@ -379,7 +393,10 @@ impl Sender {
 
     /// The retransmission timer fired.
     pub fn on_rto_fired(&mut self, now: SimTime) -> SenderOutput {
-        let mut out = SenderOutput { segments: vec![], timer: TimerCmd::Keep };
+        let mut out = SenderOutput {
+            segments: vec![],
+            timer: TimerCmd::Keep,
+        };
         if self.flight() == 0 {
             // Nothing outstanding: for a completed finite transfer the
             // timer simply dies; for a bulk sender (cannot normally happen)
@@ -423,7 +440,10 @@ impl Sender {
         }
         self.stats.packets_sent += 1;
         self.stats.retransmissions += 1;
-        out.segments.push(Segment { seq, retransmit: true });
+        out.segments.push(Segment {
+            seq,
+            retransmit: true,
+        });
     }
 
     fn fill_window(&mut self, now: SimTime, out: &mut SenderOutput) {
@@ -440,7 +460,10 @@ impl Sender {
             }
             self.stats.packets_sent += 1;
             self.stats.packets_sent_new += 1;
-            out.segments.push(Segment { seq, retransmit: false });
+            out.segments.push(Segment {
+                seq,
+                retransmit: false,
+            });
         }
     }
 }
@@ -463,7 +486,13 @@ mod tests {
         let mut s = sender();
         let out = s.on_start(t(0));
         assert_eq!(out.segments.len(), 1); // initial cwnd 1
-        assert_eq!(out.segments[0], Segment { seq: 0, retransmit: false });
+        assert_eq!(
+            out.segments[0],
+            Segment {
+                seq: 0,
+                retransmit: false
+            }
+        );
         assert!(matches!(out.timer, TimerCmd::Arm(_)));
         assert_eq!(s.flight(), 1);
     }
@@ -503,7 +532,10 @@ mod tests {
 
     #[test]
     fn linux_dupthresh_two() {
-        let config = SenderConfig { dupthresh: 2, ..SenderConfig::default() };
+        let config = SenderConfig {
+            dupthresh: 2,
+            ..SenderConfig::default()
+        };
         let mut s = Sender::new(config);
         s.on_start(t(0));
         s.on_ack(t(100), Ack::plain(1));
@@ -555,7 +587,10 @@ mod tests {
 
     #[test]
     fn rwnd_clamps_flight() {
-        let config = SenderConfig { rwnd: 4, ..SenderConfig::default() };
+        let config = SenderConfig {
+            rwnd: 4,
+            ..SenderConfig::default()
+        };
         let mut s = Sender::new(config);
         s.on_start(t(0));
         for i in 1..100u64 {
@@ -571,7 +606,11 @@ mod tests {
         s.on_rto_fired(t(3000)); // retransmits seq 0 → timing discarded
         let before = s.rto_estimator().mean_rtt();
         s.on_ack(t(3100), Ack::plain(1));
-        assert_eq!(s.rto_estimator().mean_rtt(), before, "no sample from retransmit");
+        assert_eq!(
+            s.rto_estimator().mean_rtt(),
+            before,
+            "no sample from retransmit"
+        );
     }
 
     #[test]
@@ -585,7 +624,7 @@ mod tests {
         s.on_ack(t(200), Ack::plain(una));
         s.on_ack(t(201), Ack::plain(una));
         s.on_ack(t(202), Ack::plain(una)); // fast retransmit
-        // Further dupacks inflate and eventually release new segments.
+                                           // Further dupacks inflate and eventually release new segments.
         let mut released = 0;
         for k in 0..10 {
             released += s.on_ack(t(210 + k), Ack::plain(una)).segments.len();
@@ -603,7 +642,10 @@ mod tests {
     }
 
     fn styled(style: RenoStyle) -> Sender {
-        Sender::new(SenderConfig { style, ..SenderConfig::default() })
+        Sender::new(SenderConfig {
+            style,
+            ..SenderConfig::default()
+        })
     }
 
     /// Grows the window to ~9 and leaves `flight == 8` outstanding.
@@ -648,8 +690,15 @@ mod tests {
         assert!(s.congestion().in_fast_recovery());
         // Partial ACK: advances but below `recover` (= snd_nxt at entry).
         let out = s.on_ack(t(400), Ack::plain(una + 2));
-        assert!(s.congestion().in_fast_recovery(), "partial ACK must not exit");
-        assert_eq!(out.segments.len(), 1, "partial ACK retransmits the next hole");
+        assert!(
+            s.congestion().in_fast_recovery(),
+            "partial ACK must not exit"
+        );
+        assert_eq!(
+            out.segments.len(),
+            1,
+            "partial ACK retransmits the next hole"
+        );
         assert!(out.segments[0].retransmit);
         assert_eq!(out.segments[0].seq, una + 2);
         assert_eq!(s.stats.td_events, 1, "one indication for the whole episode");
@@ -665,7 +714,10 @@ mod tests {
         dupack_n(&mut s, una, 3, 200);
         assert!(s.congestion().in_fast_recovery());
         s.on_ack(t(400), Ack::plain(una + 2));
-        assert!(!s.congestion().in_fast_recovery(), "plain Reno exits on a partial ACK");
+        assert!(
+            !s.congestion().in_fast_recovery(),
+            "plain Reno exits on a partial ACK"
+        );
     }
 
     #[test]
@@ -682,24 +734,53 @@ mod tests {
             sent.extend(s.on_ack(t(200 + k), Ack { ack: una, sack }).segments);
         }
         assert_eq!(s.stats.td_events, 1);
-        let retx: Vec<Seq> = sent.iter().filter(|g| g.retransmit).map(|g| g.seq).collect();
-        assert!(retx.contains(&8) && retx.contains(&9), "entry repairs head holes: {retx:?}");
+        let retx: Vec<Seq> = sent
+            .iter()
+            .filter(|g| g.retransmit)
+            .map(|g| g.seq)
+            .collect();
+        assert!(
+            retx.contains(&8) && retx.contains(&9),
+            "entry repairs head holes: {retx:?}"
+        );
         // Repairs 8 and 9 arrive; with 10–11 already held the cumulative
         // ACK jumps to 12 — a partial ACK (recover = 17).
-        let out = s.on_ack(t(400), Ack { ack: 12, sack: crate::packet::SackBlocks::from_ranges([(13, 17)]) });
-        assert!(s.congestion().in_fast_recovery(), "partial ACK keeps recovery open");
+        let out = s.on_ack(
+            t(400),
+            Ack {
+                ack: 12,
+                sack: crate::packet::SackBlocks::from_ranges([(13, 17)]),
+            },
+        );
+        assert!(
+            s.congestion().in_fast_recovery(),
+            "partial ACK keeps recovery open"
+        );
         sent.extend(out.segments);
-        let retx: std::collections::BTreeSet<Seq> =
-            sent.iter().filter(|g| g.retransmit).map(|g| g.seq).collect();
-        assert!(retx.contains(&12), "hole 12 repaired on the partial ACK: {retx:?}");
+        let retx: std::collections::BTreeSet<Seq> = sent
+            .iter()
+            .filter(|g| g.retransmit)
+            .map(|g| g.seq)
+            .collect();
+        assert!(
+            retx.contains(&12),
+            "hole 12 repaired on the partial ACK: {retx:?}"
+        );
         // No hole repaired twice across the whole episode.
-        let all: Vec<Seq> = sent.iter().filter(|g| g.retransmit).map(|g| g.seq).collect();
+        let all: Vec<Seq> = sent
+            .iter()
+            .filter(|g| g.retransmit)
+            .map(|g| g.seq)
+            .collect();
         let uniq: std::collections::BTreeSet<&Seq> = all.iter().collect();
         assert_eq!(all.len(), uniq.len(), "duplicate hole repairs: {all:?}");
         // The full ACK closes the episode: one TD indication total.
         s.on_ack(t(500), Ack::plain(end));
         assert!(!s.congestion().in_fast_recovery());
-        assert_eq!(s.stats.td_events, 1, "one reduction for a three-loss window");
+        assert_eq!(
+            s.stats.td_events, 1,
+            "one reduction for a three-loss window"
+        );
     }
 
     #[test]
@@ -714,7 +795,7 @@ mod tests {
         assert!(s.congestion().in_fast_recovery());
         s.on_ack(t(300), Ack::plain(end));
         assert!(!s.congestion().in_fast_recovery());
-        assert!(s.is_complete() == false);
+        assert!(!s.is_complete());
         // New data flows again.
         let out = s.on_ack(t(400), Ack::plain(s.snd_nxt()));
         let _ = out;
@@ -722,13 +803,20 @@ mod tests {
 
     #[test]
     fn finite_flow_stops_at_limit_and_completes() {
-        let config = SenderConfig { data_limit: Some(3), ..SenderConfig::default() };
+        let config = SenderConfig {
+            data_limit: Some(3),
+            ..SenderConfig::default()
+        };
         let mut s = Sender::new(config);
         let out = s.on_start(t(0));
         assert_eq!(out.segments.len(), 1); // initial cwnd 1
         assert!(!s.is_complete());
         let out = s.on_ack(t(100), Ack::plain(1));
-        assert_eq!(out.segments.len(), 2, "window grows to 2, both remaining packets go");
+        assert_eq!(
+            out.segments.len(),
+            2,
+            "window grows to 2, both remaining packets go"
+        );
         assert_eq!(s.snd_nxt(), 3);
         // No more new data even as the window opens further.
         let out = s.on_ack(t(200), Ack::plain(2));
@@ -741,11 +829,14 @@ mod tests {
 
     #[test]
     fn finite_flow_retransmits_tail_loss() {
-        let config = SenderConfig { data_limit: Some(2), ..SenderConfig::default() };
+        let config = SenderConfig {
+            data_limit: Some(2),
+            ..SenderConfig::default()
+        };
         let mut s = Sender::new(config);
         s.on_start(t(0));
         s.on_ack(t(100), Ack::plain(1)); // sends seq 1
-        // Seq 1 lost: RTO fires, retransmits it.
+                                         // Seq 1 lost: RTO fires, retransmits it.
         let out = s.on_rto_fired(t(4000));
         assert_eq!(out.segments.len(), 1);
         assert!(out.segments[0].retransmit);
@@ -756,7 +847,10 @@ mod tests {
 
     #[test]
     fn completed_flow_rto_does_not_rearm() {
-        let config = SenderConfig { data_limit: Some(1), ..SenderConfig::default() };
+        let config = SenderConfig {
+            data_limit: Some(1),
+            ..SenderConfig::default()
+        };
         let mut s = Sender::new(config);
         s.on_start(t(0));
         s.on_ack(t(100), Ack::plain(1));

@@ -19,7 +19,9 @@ pub struct SimRng {
 impl SimRng {
     /// Creates an RNG from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng { inner: ChaCha8Rng::seed_from_u64(seed) }
+        SimRng {
+            inner: ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 
     /// Derives an independent child stream; used so that e.g. the loss
@@ -33,7 +35,9 @@ impl SimRng {
         for (i, b) in label.to_le_bytes().iter().enumerate() {
             seed[i] ^= b;
         }
-        SimRng { inner: ChaCha8Rng::from_seed(seed) }
+        SimRng {
+            inner: ChaCha8Rng::from_seed(seed),
+        }
     }
 
     /// A uniform draw in the open interval (0, 1).
@@ -76,10 +80,11 @@ impl SimRng {
         let k = (u.ln() / (1.0 - p).ln()).ceil();
         if k < 1.0 {
             1
+        //~ allow(cast): integer count to f64, exact below 2^53
         } else if k >= cap as f64 {
             cap
         } else {
-            k as u64
+            k as u64 //~ allow(cast): deliberate float truncation after round/floor
         }
     }
 }

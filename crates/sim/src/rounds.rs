@@ -59,7 +59,7 @@ impl Default for RoundsConfig {
             rtt: 0.1,
             t0: 1.0,
             b: 2,
-            wmax: u16::MAX as u32,
+            wmax: u32::from(u16::MAX),
             backoff_cap_exp: 6,
             initial_window: 1,
             slow_start_after_to: true,
@@ -130,7 +130,10 @@ impl RoundsSim {
     /// Creates a simulator; `seed` fixes the whole run.
     pub fn new(config: RoundsConfig, seed: u64) -> Self {
         assert!(config.p > 0.0 && config.p < 1.0, "p must be in (0,1)");
-        assert!(config.rtt > 0.0 && config.t0 > 0.0, "times must be positive");
+        assert!(
+            config.rtt > 0.0 && config.t0 > 0.0,
+            "times must be positive"
+        );
         assert!(config.b >= 1 && config.wmax >= 1 && config.initial_window >= 1);
         RoundsSim {
             start_window: config.initial_window.min(config.wmax),
@@ -170,19 +173,19 @@ impl RoundsSim {
 
     /// Long-run send rate so far, packets per second.
     pub fn send_rate(&self) -> f64 {
-        if self.elapsed == 0.0 {
+        if self.elapsed <= 0.0 {
             0.0
         } else {
-            self.stats.packets_sent as f64 / self.elapsed
+            self.stats.packets_sent as f64 / self.elapsed //~ allow(cast): u64 count; f64 noise irrelevant for a rate
         }
     }
 
     /// Long-run receiver throughput so far, packets per second (§V).
     pub fn throughput(&self) -> f64 {
-        if self.elapsed == 0.0 {
+        if self.elapsed <= 0.0 {
             0.0
         } else {
-            self.stats.packets_delivered as f64 / self.elapsed
+            self.stats.packets_delivered as f64 / self.elapsed //~ allow(cast): u64 count; f64 noise irrelevant for a rate
         }
     }
 
@@ -223,7 +226,7 @@ impl RoundsSim {
         // start after a timeout), else linearly at 1/b per round (§II).
         let mut wf = f64::from(self.start_window);
         let (peak, first_loss_pos) = loop {
-            let w = (wf.floor() as u32).clamp(1, cfg.wmax);
+            let w = (wf.floor() as u32).clamp(1, cfg.wmax); //~ allow(cast): deliberate float truncation after round/floor
             self.record_sample(w);
             // Whole round is transmitted regardless of loss (§II-A: send
             // rate counts packets "regardless of their eventual fate").
@@ -231,6 +234,7 @@ impl RoundsSim {
             self.stats.packets_sent_new += u64::from(w);
             self.elapsed += cfg.rtt;
             round += 1;
+            //~ allow(cast): powi exponent; window and counts bounded far below i32::MAX
             if self.rng.chance(1.0 - (1.0 - cfg.p).powi(w as i32)) {
                 // First loss lands at position k ∈ 1..=w (truncated geometric).
                 let k = self.sample_truncated_geometric(w);
@@ -276,9 +280,10 @@ impl RoundsSim {
         } else {
             let seq_len = self.run_timeout_sequence();
             self.start_window = 1;
-            self.ssthresh =
-                self.config.slow_start_after_to.then(|| (peak / 2).max(2));
-            Indication::Timeout { sequence_len: seq_len }
+            self.ssthresh = self.config.slow_start_after_to.then(|| (peak / 2).max(2));
+            Indication::Timeout {
+                sequence_len: seq_len,
+            }
         };
 
         if let Some(tdps) = &mut self.tdps {
@@ -306,11 +311,11 @@ impl RoundsSim {
         // Rejection-free inverse CDF on the conditional law.
         let p = self.config.p;
         let q = 1.0 - p;
-        let mass = 1.0 - q.powi(w as i32);
+        let mass = 1.0 - q.powi(w as i32); //~ allow(cast): powi exponent; window and counts bounded far below i32::MAX
         let u = self.rng.open01() * mass;
         // Find smallest k with 1 - q^k >= u.
         let k = ((1.0 - u).ln() / q.ln()).ceil();
-        (k as u32).clamp(1, w)
+        (k as u32).clamp(1, w) //~ allow(cast): deliberate float truncation after round/floor
     }
 
     /// Number of in-sequence successes in the last round of `k` packets
@@ -356,7 +361,10 @@ impl RoundsSim {
     fn record_sample(&mut self, w: u32) {
         if let Some(samples) = &mut self.samples {
             if samples.len() < self.sample_cap {
-                samples.push(WindowSample { time: self.elapsed, window: w });
+                samples.push(WindowSample {
+                    time: self.elapsed,
+                    window: w,
+                });
             }
         }
     }
@@ -364,7 +372,10 @@ impl RoundsSim {
     fn record_timeout_gap(&mut self) {
         if let Some(samples) = &mut self.samples {
             if samples.len() < self.sample_cap {
-                samples.push(WindowSample { time: self.elapsed, window: 0 });
+                samples.push(WindowSample {
+                    time: self.elapsed,
+                    window: 0,
+                });
             }
         }
     }
@@ -375,7 +386,14 @@ mod tests {
     use super::*;
 
     fn config(p: f64, wmax: u32) -> RoundsConfig {
-        RoundsConfig { p, rtt: 0.1, t0: 1.0, b: 2, wmax, ..RoundsConfig::default() }
+        RoundsConfig {
+            p,
+            rtt: 0.1,
+            t0: 1.0,
+            b: 2,
+            wmax,
+            ..RoundsConfig::default()
+        }
     }
 
     #[test]
@@ -483,7 +501,10 @@ mod tests {
         s.run_for(2_000.0);
         let samples = s.samples();
         // There must be rises (congestion avoidance) and falls (halvings).
-        let rises = samples.windows(2).filter(|w| w[1].window > w[0].window).count();
+        let rises = samples
+            .windows(2)
+            .filter(|w| w[1].window > w[0].window)
+            .count();
         let falls = samples
             .windows(2)
             .filter(|w| w[1].window < w[0].window && w[1].window > 0)

@@ -48,18 +48,20 @@ impl ConnStats {
 
     /// The paper's loss-rate estimate: loss indications ÷ packets sent
     /// (§III, "similar to the one used in \[9\]"). Zero when nothing was sent.
+    //= pftk#loss-rate-estimate
     pub fn loss_indication_rate(&self) -> f64 {
         if self.packets_sent == 0 {
             0.0
         } else {
-            self.loss_indications() as f64 / self.packets_sent as f64
+            self.loss_indications() as f64 / self.packets_sent as f64 //~ allow(cast): integer count to f64, exact below 2^53
         }
     }
 
     /// Records the end of a run of `len` consecutive timeouts.
+    //= pftk#to-sequence
     pub fn record_to_sequence(&mut self, len: u32) {
         debug_assert!(len >= 1);
-        let idx = (len as usize - 1).min(self.to_sequences.len() - 1);
+        let idx = (len as usize - 1).min(self.to_sequences.len() - 1); //~ allow(cast): wmax-bounded index, fits usize
         self.to_sequences[idx] += 1;
     }
 
@@ -97,8 +99,10 @@ mod tests {
 
     #[test]
     fn loss_indications_combine_td_and_to() {
-        let mut s = ConnStats::default();
-        s.td_events = 3;
+        let mut s = ConnStats {
+            td_events: 3,
+            ..Default::default()
+        };
         s.record_to_sequence(1);
         s.record_to_sequence(4);
         assert_eq!(s.loss_indications(), 5);

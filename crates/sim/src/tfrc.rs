@@ -87,13 +87,13 @@ impl LossIntervalEstimator {
         if self.closed.is_empty() {
             // Only the open interval exists; use it directly (bootstraps
             // the estimator right after the first event).
-            return Some(self.open.max(1) as f64);
+            return Some(self.open.max(1) as f64); //~ allow(cast): integer count to f64, exact below 2^53
         }
         let weighted = |vals: &mut dyn Iterator<Item = u64>| -> f64 {
             let mut num = 0.0;
             let mut den = 0.0;
             for (v, w) in vals.zip(WEIGHTS.iter()) {
-                num += v as f64 * w;
+                num += v as f64 * w; //~ allow(cast): integer count to f64, exact below 2^53
                 den += w;
             }
             num / den
@@ -107,7 +107,8 @@ impl LossIntervalEstimator {
     /// The loss-event rate `p = 1 / average interval`; `None` before any
     /// loss.
     pub fn loss_event_rate(&self) -> Option<f64> {
-        self.average_interval().map(|iv| (1.0 / iv).clamp(1e-9, 1.0))
+        self.average_interval()
+            .map(|iv| (1.0 / iv).clamp(1e-9, 1.0))
     }
 }
 
@@ -150,7 +151,10 @@ impl TfrcController {
     /// A controller starting at the configured initial rate.
     pub fn new(config: TfrcConfig) -> Self {
         assert!(config.initial_rate_pps > 0.0 && config.rtt_secs > 0.0);
-        TfrcController { config, rate_pps: config.initial_rate_pps }
+        TfrcController {
+            config,
+            rate_pps: config.initial_rate_pps,
+        }
     }
 
     /// Current allowed sending rate, packets per second.
@@ -167,14 +171,22 @@ impl TfrcController {
                 self.rate_pps = (self.rate_pps * 2.0).min(self.config.max_rate_pps);
             }
             Some(p) => {
+                // `TfrcConfig` was validated on construction and the loss
+                // rate is clamped into the open interval, so both
+                // constructors succeed; if either ever failed we hold the
+                // current rate rather than panic mid-simulation.
                 let params = ModelParams::new(
                     self.config.rtt_secs,
                     self.config.t0_secs,
                     2,
-                    u16::MAX as u32,
-                )
-                .expect("validated in new()");
-                let lp = LossProb::new(p.clamp(1e-9, 1.0 - 1e-9)).expect("clamped");
+                    u32::from(u16::MAX),
+                );
+                let lp = LossProb::new(p.clamp(1e-9, 1.0 - 1e-9));
+                let (Ok(params), Ok(lp)) = (params, lp) else {
+                    return;
+                };
+                //= pftk#eq-33
+                //= pftk#tcp-friendly
                 let eq = approx_model(lp, &params);
                 self.rate_pps = eq.clamp(
                     // At least one packet per RTO-ish interval, so the flow
@@ -286,7 +298,10 @@ mod tests {
         let r0 = c.rate_pps();
         c.on_feedback(None);
         c.on_feedback(None);
-        assert!((c.rate_pps() - 4.0 * r0).abs() < 1e-9, "doubling per feedback");
+        assert!(
+            (c.rate_pps() - 4.0 * r0).abs() < 1e-9,
+            "doubling per feedback"
+        );
         // First loss feedback: rate follows Eq. (33).
         c.on_feedback(Some(0.01));
         let params = ModelParams::new(0.1, 0.4, 2, u16::MAX as u32).unwrap();

@@ -33,7 +33,7 @@ impl SimTime {
     /// negative or non-finite input — simulation clocks don't run backwards.
     pub fn from_secs_f64(secs: f64) -> Self {
         assert!(secs.is_finite() && secs >= 0.0, "invalid time {secs}");
-        SimTime((secs * 1e9).round() as u64)
+        SimTime((secs * 1e9).round() as u64) //~ allow(cast): deliberate float truncation after round/floor
     }
 
     /// Nanoseconds since simulation start.
@@ -43,7 +43,7 @@ impl SimTime {
 
     /// Seconds since simulation start, as a float (for reporting only).
     pub fn as_secs_f64(self) -> f64 {
-        self.0 as f64 / 1e9
+        self.0 as f64 / 1e9 //~ allow(cast): integer count to f64, exact below 2^53
     }
 
     /// Saturating difference: `self - earlier`, clamped at zero.
@@ -70,7 +70,7 @@ impl SimDuration {
     /// or non-finite input.
     pub fn from_secs_f64(secs: f64) -> Self {
         assert!(secs.is_finite() && secs >= 0.0, "invalid duration {secs}");
-        SimDuration((secs * 1e9).round() as u64)
+        SimDuration((secs * 1e9).round() as u64) //~ allow(cast): deliberate float truncation after round/floor
     }
 
     /// Nanoseconds in this span.
@@ -80,7 +80,7 @@ impl SimDuration {
 
     /// Seconds in this span, as a float.
     pub fn as_secs_f64(self) -> f64 {
-        self.0 as f64 / 1e9
+        self.0 as f64 / 1e9 //~ allow(cast): integer count to f64, exact below 2^53
     }
 
     /// Doubles the span, saturating — used by RTO exponential backoff.
@@ -107,7 +107,12 @@ impl SimDuration {
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0.checked_add(rhs.0).expect("simulation clock overflow"))
+        SimTime(
+            self.0
+                .checked_add(rhs.0)
+                //~ allow(expect): clock overflow is a simulation bug; panicking is this Add/Sub contract
+                .expect("simulation clock overflow"),
+        )
     }
 }
 
@@ -120,14 +125,14 @@ impl AddAssign<SimDuration> for SimTime {
 impl Sub<SimTime> for SimTime {
     type Output = SimDuration;
     fn sub(self, rhs: SimTime) -> SimDuration {
-        SimDuration(self.0.checked_sub(rhs.0).expect("negative duration"))
+        SimDuration(self.0.checked_sub(rhs.0).expect("negative duration")) //~ allow(expect): clock overflow is a simulation bug; panicking is this Add/Sub contract
     }
 }
 
 impl Add<SimDuration> for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0.checked_add(rhs.0).expect("duration overflow"))
+        SimDuration(self.0.checked_add(rhs.0).expect("duration overflow")) //~ allow(expect): clock overflow is a simulation bug; panicking is this Add/Sub contract
     }
 }
 
@@ -194,10 +199,20 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v =
-            vec![SimTime::from_nanos(3), SimTime::from_nanos(1), SimTime::from_nanos(2)];
+        let mut v = vec![
+            SimTime::from_nanos(3),
+            SimTime::from_nanos(1),
+            SimTime::from_nanos(2),
+        ];
         v.sort();
-        assert_eq!(v, vec![SimTime::from_nanos(1), SimTime::from_nanos(2), SimTime::from_nanos(3)]);
+        assert_eq!(
+            v,
+            vec![
+                SimTime::from_nanos(1),
+                SimTime::from_nanos(2),
+                SimTime::from_nanos(3)
+            ]
+        );
     }
 
     #[test]

@@ -81,6 +81,8 @@ proptest! {
     }
 
     #[test]
+    //= pftk#loss-model type=test
+    //= pftk#infinite-source type=test
     fn rounds_sim_alpha_mean_is_one_over_p(p in -2.0f64..-1.0, seed in 0u64..100) {
         let p = 10f64.powf(p);
         let mut sim = RoundsSim::new(

@@ -51,7 +51,10 @@ impl Observer for TraceRecorder {
     fn on_segment_sent(&mut self, at: SimTime, seg: Segment) {
         self.trace.push(TraceRecord {
             time_ns: at.as_nanos(),
-            event: TraceEvent::Send { seq: seg.seq, retx: seg.retransmit },
+            event: TraceEvent::Send {
+                seq: seg.seq,
+                retx: seg.retransmit,
+            },
         });
     }
 
@@ -167,15 +170,22 @@ pub fn calibrate_wire_loss(spec: &PathSpec, seed: u64) -> WireLoss {
         let td_rate = a.td_count() as f64 / sent;
         let to_rate = a.to_count() as f64 / sent;
         if td_target > 0.0 {
-            let factor = if td_rate > 0.0 { td_target / td_rate } else { 3.0 };
+            let factor = if td_rate > 0.0 {
+                td_target / td_rate
+            } else {
+                3.0
+            };
             wire.isolated_p = (wire.isolated_p * factor.clamp(0.2, 5.0)).clamp(1e-7, 0.3);
         } else {
             wire.isolated_p = 0.0;
         }
         if to_target > 0.0 {
-            let factor = if to_rate > 0.0 { to_target / to_rate } else { 3.0 };
-            wire.burst_time_frac =
-                (wire.burst_time_frac * factor.clamp(0.2, 5.0)).clamp(1e-7, 0.6);
+            let factor = if to_rate > 0.0 {
+                to_target / to_rate
+            } else {
+                3.0
+            };
+            wire.burst_time_frac = (wire.burst_time_frac * factor.clamp(0.2, 5.0)).clamp(1e-7, 0.6);
         } else {
             wire.burst_time_frac = 0.0;
         }
@@ -252,7 +262,9 @@ pub fn run_table2(specs: &[PathSpec], base_seed: u64) -> Vec<ExperimentResult> {
     let results: Mutex<Vec<Option<ExperimentResult>>> =
         Mutex::new((0..specs.len()).map(|_| None).collect());
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism().map_or(4, |n| n.get()).min(specs.len());
+    let workers = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(specs.len());
     crossbeam::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|_| loop {
@@ -265,8 +277,13 @@ pub fn run_table2(specs: &[PathSpec], base_seed: u64) -> Vec<ExperimentResult> {
             });
         }
     })
-    .expect("worker panicked");
-    results.into_inner().into_iter().map(|r| r.expect("all slots filled")).collect()
+    .expect("worker panicked"); //~ allow(expect): propagate worker panics to the harness
+    results
+        .into_inner()
+        .into_iter()
+        //~ allow(expect): propagate worker panics to the harness
+        .map(|r| r.expect("all slots filled"))
+        .collect()
 }
 
 /// The Fig. 11 modem experiment: no random loss at all — every drop comes
@@ -319,7 +336,14 @@ mod tests {
     fn hour_run_produces_consistent_trace_and_stats() {
         let spec = table2_path("manic", "baskerville").unwrap();
         let r = run_hour(spec, 1);
-        assert_eq!(r.trace.records().iter().filter(|rec| matches!(rec.event, tcp_trace::record::TraceEvent::Send { .. })).count() as u64, r.stats.packets_sent);
+        assert_eq!(
+            r.trace
+                .records()
+                .iter()
+                .filter(|rec| matches!(rec.event, tcp_trace::record::TraceEvent::Send { .. }))
+                .count() as u64,
+            r.stats.packets_sent
+        );
         assert!(r.stats.packets_sent > 1000, "sent {}", r.stats.packets_sent);
         assert!(r.stats.loss_indications() > 50);
         assert!(r.send_rate() > 1.0);
@@ -347,7 +371,12 @@ mod tests {
     fn calibrated_loss_rate_in_range() {
         let spec = table2_path("void", "maria").unwrap();
         let r = run_hour(spec, 3);
-        let analysis = analyze(&r.trace, AnalyzerConfig { dupack_threshold: 2 });
+        let analysis = analyze(
+            &r.trace,
+            AnalyzerConfig {
+                dupack_threshold: 2,
+            },
+        );
         let p = analysis.loss_rate();
         let target = spec.paper_loss_rate();
         assert!(
@@ -385,7 +414,10 @@ mod tests {
         let corr = rtt_window_correlation(&r.trace).unwrap();
         // §IV: "we found the coefficient of correlation to be as high as
         // 0.97" on modem paths.
-        assert!(corr > 0.6, "correlation {corr} too weak for the modem regime");
+        assert!(
+            corr > 0.6,
+            "correlation {corr} too weak for the modem regime"
+        );
         // And the RTT is queueing-dominated: far above the base 0.3 s.
         assert!(r.ground_rtt.unwrap() > 1.0, "RTT {:?}", r.ground_rtt);
     }

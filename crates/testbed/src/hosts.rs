@@ -66,25 +66,101 @@ pub struct Host {
 
 /// The Table I registry, in the paper's row order.
 pub const HOSTS: &[Host] = &[
-    Host { name: "ada", domain: "hofstra.edu", os: Os::Irix },
-    Host { name: "afer", domain: "cs.umn.edu", os: Os::Linux },
-    Host { name: "al", domain: "cs.wm.edu", os: Os::Linux },
-    Host { name: "alps", domain: "cc.gatech.edu", os: Os::SunOs4 },
-    Host { name: "babel", domain: "cs.umass.edu", os: Os::Solaris },
-    Host { name: "baskerville", domain: "cs.arizona.edu", os: Os::Solaris },
-    Host { name: "ganef", domain: "cs.ucla.edu", os: Os::Solaris },
-    Host { name: "imagine", domain: "cs.umass.edu", os: Os::Win95 },
-    Host { name: "manic", domain: "cs.umass.edu", os: Os::Irix },
-    Host { name: "mafalda", domain: "inria.fr", os: Os::Solaris },
-    Host { name: "maria", domain: "wustl.edu", os: Os::SunOs4 },
-    Host { name: "modi4", domain: "ncsa.uiuc.edu", os: Os::Irix },
-    Host { name: "pif", domain: "inria.fr", os: Os::Solaris },
-    Host { name: "pong", domain: "usc.edu", os: Os::HpUx },
-    Host { name: "spiff", domain: "sics.se", os: Os::SunOs4 },
-    Host { name: "sutton", domain: "cs.columbia.edu", os: Os::Solaris },
-    Host { name: "tove", domain: "cs.umd.edu", os: Os::SunOs4 },
-    Host { name: "void", domain: "cs.umass.edu", os: Os::Linux },
-    Host { name: "att", domain: "att.com", os: Os::Linux },
+    Host {
+        name: "ada",
+        domain: "hofstra.edu",
+        os: Os::Irix,
+    },
+    Host {
+        name: "afer",
+        domain: "cs.umn.edu",
+        os: Os::Linux,
+    },
+    Host {
+        name: "al",
+        domain: "cs.wm.edu",
+        os: Os::Linux,
+    },
+    Host {
+        name: "alps",
+        domain: "cc.gatech.edu",
+        os: Os::SunOs4,
+    },
+    Host {
+        name: "babel",
+        domain: "cs.umass.edu",
+        os: Os::Solaris,
+    },
+    Host {
+        name: "baskerville",
+        domain: "cs.arizona.edu",
+        os: Os::Solaris,
+    },
+    Host {
+        name: "ganef",
+        domain: "cs.ucla.edu",
+        os: Os::Solaris,
+    },
+    Host {
+        name: "imagine",
+        domain: "cs.umass.edu",
+        os: Os::Win95,
+    },
+    Host {
+        name: "manic",
+        domain: "cs.umass.edu",
+        os: Os::Irix,
+    },
+    Host {
+        name: "mafalda",
+        domain: "inria.fr",
+        os: Os::Solaris,
+    },
+    Host {
+        name: "maria",
+        domain: "wustl.edu",
+        os: Os::SunOs4,
+    },
+    Host {
+        name: "modi4",
+        domain: "ncsa.uiuc.edu",
+        os: Os::Irix,
+    },
+    Host {
+        name: "pif",
+        domain: "inria.fr",
+        os: Os::Solaris,
+    },
+    Host {
+        name: "pong",
+        domain: "usc.edu",
+        os: Os::HpUx,
+    },
+    Host {
+        name: "spiff",
+        domain: "sics.se",
+        os: Os::SunOs4,
+    },
+    Host {
+        name: "sutton",
+        domain: "cs.columbia.edu",
+        os: Os::Solaris,
+    },
+    Host {
+        name: "tove",
+        domain: "cs.umd.edu",
+        os: Os::SunOs4,
+    },
+    Host {
+        name: "void",
+        domain: "cs.umass.edu",
+        os: Os::Linux,
+    },
+    Host {
+        name: "att",
+        domain: "att.com",
+        os: Os::Linux,
+    },
 ];
 
 /// Looks up a host by name.

@@ -17,14 +17,16 @@
 //! what this testbed provides → why it preserves the relevant behaviour).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod experiment;
 pub mod hosts;
 pub mod paths;
 pub mod report;
 
-pub use experiment::{run_hour, run_modem, run_serial_100s, run_table2, ExperimentResult, TraceRecorder};
+pub use experiment::{
+    run_hour, run_modem, run_serial_100s, run_table2, ExperimentResult, TraceRecorder,
+};
 pub use hosts::{host, Host, Os, HOSTS};
 pub use paths::{fig7_paths, fig8_paths, table2_path, ModemSpec, PathSpec, TABLE2_PATHS};
 pub use report::{

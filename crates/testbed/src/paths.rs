@@ -73,7 +73,10 @@ impl PathSpec {
 
     /// Sender OS (drives dupack threshold and backoff cap).
     pub fn sender_os(&self) -> Os {
-        host(self.sender).expect("Table II sender must be in Table I").os
+        host(self.sender)
+            //~ allow(expect): static Table I/II data, cross-checked by unit tests
+            .expect("Table II sender must be in Table I")
+            .os
     }
 
     /// A stable per-path identifier, e.g. `"manic->alps"`.
@@ -118,35 +121,301 @@ impl PathSpec {
 /// pif→alps, whose zero TD count across 762 loss indications implies a
 /// window too small to ever yield three duplicate ACKs (W_m = 4).
 pub const TABLE2_PATHS: &[PathSpec] = &[
-    PathSpec { sender: "manic", receiver: "alps", paper_packets: 54402, paper_loss: 722, paper_td: 19, paper_timeouts: [611, 67, 15, 6, 2, 2], rtt: 0.207, t0: 2.505, wmax: 16, wmax_documented: false },
-    PathSpec { sender: "manic", receiver: "baskerville", paper_packets: 58120, paper_loss: 735, paper_td: 306, paper_timeouts: [411, 17, 1, 0, 0, 0], rtt: 0.243, t0: 2.495, wmax: 6, wmax_documented: true },
-    PathSpec { sender: "manic", receiver: "ganef", paper_packets: 58924, paper_loss: 743, paper_td: 272, paper_timeouts: [444, 22, 4, 1, 0, 0], rtt: 0.226, t0: 2.405, wmax: 16, wmax_documented: false },
-    PathSpec { sender: "manic", receiver: "mafalda", paper_packets: 56283, paper_loss: 494, paper_td: 2, paper_timeouts: [474, 17, 1, 0, 0, 0], rtt: 0.233, t0: 2.146, wmax: 16, wmax_documented: false },
-    PathSpec { sender: "manic", receiver: "maria", paper_packets: 68752, paper_loss: 649, paper_td: 1, paper_timeouts: [604, 35, 8, 1, 0, 0], rtt: 0.180, t0: 2.416, wmax: 16, wmax_documented: false },
-    PathSpec { sender: "manic", receiver: "spiff", paper_packets: 117992, paper_loss: 784, paper_td: 47, paper_timeouts: [702, 34, 1, 0, 0, 0], rtt: 0.211, t0: 2.274, wmax: 16, wmax_documented: false },
-    PathSpec { sender: "manic", receiver: "sutton", paper_packets: 81123, paper_loss: 1638, paper_td: 988, paper_timeouts: [597, 41, 7, 3, 1, 1], rtt: 0.204, t0: 2.459, wmax: 16, wmax_documented: false },
-    PathSpec { sender: "manic", receiver: "tove", paper_packets: 7938, paper_loss: 264, paper_td: 1, paper_timeouts: [190, 37, 18, 8, 3, 7], rtt: 0.275, t0: 3.597, wmax: 16, wmax_documented: false },
-    PathSpec { sender: "void", receiver: "alps", paper_packets: 37137, paper_loss: 838, paper_td: 7, paper_timeouts: [588, 164, 56, 17, 4, 2], rtt: 0.162, t0: 0.489, wmax: 48, wmax_documented: true },
-    PathSpec { sender: "void", receiver: "baskerville", paper_packets: 32042, paper_loss: 853, paper_td: 339, paper_timeouts: [430, 67, 12, 5, 0, 0], rtt: 0.482, t0: 1.094, wmax: 16, wmax_documented: false },
-    PathSpec { sender: "void", receiver: "ganef", paper_packets: 60770, paper_loss: 1112, paper_td: 414, paper_timeouts: [582, 79, 20, 9, 4, 2], rtt: 0.254, t0: 0.637, wmax: 16, wmax_documented: false },
-    PathSpec { sender: "void", receiver: "maria", paper_packets: 93005, paper_loss: 1651, paper_td: 33, paper_timeouts: [1344, 197, 54, 15, 5, 3], rtt: 0.152, t0: 0.417, wmax: 16, wmax_documented: false },
-    PathSpec { sender: "void", receiver: "spiff", paper_packets: 65536, paper_loss: 671, paper_td: 72, paper_timeouts: [539, 56, 4, 0, 0, 0], rtt: 0.415, t0: 0.749, wmax: 16, wmax_documented: false },
-    PathSpec { sender: "void", receiver: "sutton", paper_packets: 78246, paper_loss: 1928, paper_td: 840, paper_timeouts: [863, 152, 45, 18, 9, 1], rtt: 0.211, t0: 0.601, wmax: 16, wmax_documented: false },
-    PathSpec { sender: "void", receiver: "tove", paper_packets: 8265, paper_loss: 856, paper_td: 5, paper_timeouts: [444, 209, 100, 51, 27, 12], rtt: 0.272, t0: 1.356, wmax: 8, wmax_documented: true },
-    PathSpec { sender: "babel", receiver: "alps", paper_packets: 13460, paper_loss: 1466, paper_td: 0, paper_timeouts: [1068, 247, 87, 33, 18, 8], rtt: 0.194, t0: 1.359, wmax: 8, wmax_documented: true },
-    PathSpec { sender: "babel", receiver: "baskerville", paper_packets: 62237, paper_loss: 1753, paper_td: 197, paper_timeouts: [1467, 76, 10, 3, 0, 0], rtt: 0.253, t0: 0.429, wmax: 16, wmax_documented: false },
-    PathSpec { sender: "babel", receiver: "ganef", paper_packets: 86675, paper_loss: 2125, paper_td: 398, paper_timeouts: [1686, 38, 2, 1, 0, 0], rtt: 0.201, t0: 0.306, wmax: 16, wmax_documented: false },
-    PathSpec { sender: "babel", receiver: "spiff", paper_packets: 57687, paper_loss: 1120, paper_td: 0, paper_timeouts: [939, 137, 36, 7, 1, 0], rtt: 0.331, t0: 0.953, wmax: 16, wmax_documented: false },
-    PathSpec { sender: "babel", receiver: "sutton", paper_packets: 83486, paper_loss: 2320, paper_td: 685, paper_timeouts: [1448, 142, 31, 9, 4, 1], rtt: 0.210, t0: 0.705, wmax: 16, wmax_documented: false },
-    PathSpec { sender: "babel", receiver: "tove", paper_packets: 83944, paper_loss: 1516, paper_td: 1, paper_timeouts: [1364, 118, 17, 7, 5, 3], rtt: 0.194, t0: 0.520, wmax: 16, wmax_documented: false },
-    PathSpec { sender: "pif", receiver: "alps", paper_packets: 83971, paper_loss: 762, paper_td: 0, paper_timeouts: [577, 111, 46, 16, 8, 2], rtt: 0.168, t0: 7.278, wmax: 4, wmax_documented: false },
-    PathSpec { sender: "pif", receiver: "imagine", paper_packets: 44891, paper_loss: 1346, paper_td: 15, paper_timeouts: [1044, 186, 63, 21, 10, 5], rtt: 0.229, t0: 0.700, wmax: 8, wmax_documented: true },
-    PathSpec { sender: "pif", receiver: "manic", paper_packets: 34251, paper_loss: 1422, paper_td: 43, paper_timeouts: [944, 272, 105, 36, 14, 6], rtt: 0.257, t0: 1.454, wmax: 33, wmax_documented: true },
+    PathSpec {
+        sender: "manic",
+        receiver: "alps",
+        paper_packets: 54402,
+        paper_loss: 722,
+        paper_td: 19,
+        paper_timeouts: [611, 67, 15, 6, 2, 2],
+        rtt: 0.207,
+        t0: 2.505,
+        wmax: 16,
+        wmax_documented: false,
+    },
+    PathSpec {
+        sender: "manic",
+        receiver: "baskerville",
+        paper_packets: 58120,
+        paper_loss: 735,
+        paper_td: 306,
+        paper_timeouts: [411, 17, 1, 0, 0, 0],
+        rtt: 0.243,
+        t0: 2.495,
+        wmax: 6,
+        wmax_documented: true,
+    },
+    PathSpec {
+        sender: "manic",
+        receiver: "ganef",
+        paper_packets: 58924,
+        paper_loss: 743,
+        paper_td: 272,
+        paper_timeouts: [444, 22, 4, 1, 0, 0],
+        rtt: 0.226,
+        t0: 2.405,
+        wmax: 16,
+        wmax_documented: false,
+    },
+    PathSpec {
+        sender: "manic",
+        receiver: "mafalda",
+        paper_packets: 56283,
+        paper_loss: 494,
+        paper_td: 2,
+        paper_timeouts: [474, 17, 1, 0, 0, 0],
+        rtt: 0.233,
+        t0: 2.146,
+        wmax: 16,
+        wmax_documented: false,
+    },
+    PathSpec {
+        sender: "manic",
+        receiver: "maria",
+        paper_packets: 68752,
+        paper_loss: 649,
+        paper_td: 1,
+        paper_timeouts: [604, 35, 8, 1, 0, 0],
+        rtt: 0.180,
+        t0: 2.416,
+        wmax: 16,
+        wmax_documented: false,
+    },
+    PathSpec {
+        sender: "manic",
+        receiver: "spiff",
+        paper_packets: 117992,
+        paper_loss: 784,
+        paper_td: 47,
+        paper_timeouts: [702, 34, 1, 0, 0, 0],
+        rtt: 0.211,
+        t0: 2.274,
+        wmax: 16,
+        wmax_documented: false,
+    },
+    PathSpec {
+        sender: "manic",
+        receiver: "sutton",
+        paper_packets: 81123,
+        paper_loss: 1638,
+        paper_td: 988,
+        paper_timeouts: [597, 41, 7, 3, 1, 1],
+        rtt: 0.204,
+        t0: 2.459,
+        wmax: 16,
+        wmax_documented: false,
+    },
+    PathSpec {
+        sender: "manic",
+        receiver: "tove",
+        paper_packets: 7938,
+        paper_loss: 264,
+        paper_td: 1,
+        paper_timeouts: [190, 37, 18, 8, 3, 7],
+        rtt: 0.275,
+        t0: 3.597,
+        wmax: 16,
+        wmax_documented: false,
+    },
+    PathSpec {
+        sender: "void",
+        receiver: "alps",
+        paper_packets: 37137,
+        paper_loss: 838,
+        paper_td: 7,
+        paper_timeouts: [588, 164, 56, 17, 4, 2],
+        rtt: 0.162,
+        t0: 0.489,
+        wmax: 48,
+        wmax_documented: true,
+    },
+    PathSpec {
+        sender: "void",
+        receiver: "baskerville",
+        paper_packets: 32042,
+        paper_loss: 853,
+        paper_td: 339,
+        paper_timeouts: [430, 67, 12, 5, 0, 0],
+        rtt: 0.482,
+        t0: 1.094,
+        wmax: 16,
+        wmax_documented: false,
+    },
+    PathSpec {
+        sender: "void",
+        receiver: "ganef",
+        paper_packets: 60770,
+        paper_loss: 1112,
+        paper_td: 414,
+        paper_timeouts: [582, 79, 20, 9, 4, 2],
+        rtt: 0.254,
+        t0: 0.637,
+        wmax: 16,
+        wmax_documented: false,
+    },
+    PathSpec {
+        sender: "void",
+        receiver: "maria",
+        paper_packets: 93005,
+        paper_loss: 1651,
+        paper_td: 33,
+        paper_timeouts: [1344, 197, 54, 15, 5, 3],
+        rtt: 0.152,
+        t0: 0.417,
+        wmax: 16,
+        wmax_documented: false,
+    },
+    PathSpec {
+        sender: "void",
+        receiver: "spiff",
+        paper_packets: 65536,
+        paper_loss: 671,
+        paper_td: 72,
+        paper_timeouts: [539, 56, 4, 0, 0, 0],
+        rtt: 0.415,
+        t0: 0.749,
+        wmax: 16,
+        wmax_documented: false,
+    },
+    PathSpec {
+        sender: "void",
+        receiver: "sutton",
+        paper_packets: 78246,
+        paper_loss: 1928,
+        paper_td: 840,
+        paper_timeouts: [863, 152, 45, 18, 9, 1],
+        rtt: 0.211,
+        t0: 0.601,
+        wmax: 16,
+        wmax_documented: false,
+    },
+    PathSpec {
+        sender: "void",
+        receiver: "tove",
+        paper_packets: 8265,
+        paper_loss: 856,
+        paper_td: 5,
+        paper_timeouts: [444, 209, 100, 51, 27, 12],
+        rtt: 0.272,
+        t0: 1.356,
+        wmax: 8,
+        wmax_documented: true,
+    },
+    PathSpec {
+        sender: "babel",
+        receiver: "alps",
+        paper_packets: 13460,
+        paper_loss: 1466,
+        paper_td: 0,
+        paper_timeouts: [1068, 247, 87, 33, 18, 8],
+        rtt: 0.194,
+        t0: 1.359,
+        wmax: 8,
+        wmax_documented: true,
+    },
+    PathSpec {
+        sender: "babel",
+        receiver: "baskerville",
+        paper_packets: 62237,
+        paper_loss: 1753,
+        paper_td: 197,
+        paper_timeouts: [1467, 76, 10, 3, 0, 0],
+        rtt: 0.253,
+        t0: 0.429,
+        wmax: 16,
+        wmax_documented: false,
+    },
+    PathSpec {
+        sender: "babel",
+        receiver: "ganef",
+        paper_packets: 86675,
+        paper_loss: 2125,
+        paper_td: 398,
+        paper_timeouts: [1686, 38, 2, 1, 0, 0],
+        rtt: 0.201,
+        t0: 0.306,
+        wmax: 16,
+        wmax_documented: false,
+    },
+    PathSpec {
+        sender: "babel",
+        receiver: "spiff",
+        paper_packets: 57687,
+        paper_loss: 1120,
+        paper_td: 0,
+        paper_timeouts: [939, 137, 36, 7, 1, 0],
+        rtt: 0.331,
+        t0: 0.953,
+        wmax: 16,
+        wmax_documented: false,
+    },
+    PathSpec {
+        sender: "babel",
+        receiver: "sutton",
+        paper_packets: 83486,
+        paper_loss: 2320,
+        paper_td: 685,
+        paper_timeouts: [1448, 142, 31, 9, 4, 1],
+        rtt: 0.210,
+        t0: 0.705,
+        wmax: 16,
+        wmax_documented: false,
+    },
+    PathSpec {
+        sender: "babel",
+        receiver: "tove",
+        paper_packets: 83944,
+        paper_loss: 1516,
+        paper_td: 1,
+        paper_timeouts: [1364, 118, 17, 7, 5, 3],
+        rtt: 0.194,
+        t0: 0.520,
+        wmax: 16,
+        wmax_documented: false,
+    },
+    PathSpec {
+        sender: "pif",
+        receiver: "alps",
+        paper_packets: 83971,
+        paper_loss: 762,
+        paper_td: 0,
+        paper_timeouts: [577, 111, 46, 16, 8, 2],
+        rtt: 0.168,
+        t0: 7.278,
+        wmax: 4,
+        wmax_documented: false,
+    },
+    PathSpec {
+        sender: "pif",
+        receiver: "imagine",
+        paper_packets: 44891,
+        paper_loss: 1346,
+        paper_td: 15,
+        paper_timeouts: [1044, 186, 63, 21, 10, 5],
+        rtt: 0.229,
+        t0: 0.700,
+        wmax: 8,
+        wmax_documented: true,
+    },
+    PathSpec {
+        sender: "pif",
+        receiver: "manic",
+        paper_packets: 34251,
+        paper_loss: 1422,
+        paper_td: 43,
+        paper_timeouts: [944, 272, 105, 36, 14, 6],
+        rtt: 0.257,
+        t0: 1.454,
+        wmax: 33,
+        wmax_documented: true,
+    },
 ];
 
 /// Looks up a Table II path by sender/receiver names.
 pub fn table2_path(sender: &str, receiver: &str) -> Option<&'static PathSpec> {
-    TABLE2_PATHS.iter().find(|p| p.sender == sender && p.receiver == receiver)
+    TABLE2_PATHS
+        .iter()
+        .find(|p| p.sender == sender && p.receiver == receiver)
 }
 
 /// The six traces the paper plots in Fig. 7 (in caption order a–f).
@@ -160,7 +429,7 @@ pub fn fig7_paths() -> Vec<&'static PathSpec> {
         ("babel", "alps"),
     ]
     .iter()
-    .map(|(s, r)| table2_path(s, r).expect("Fig. 7 path missing"))
+    .map(|(s, r)| table2_path(s, r).expect("Fig. 7 path missing")) //~ allow(expect): static Table I/II data, cross-checked by unit tests
     .collect()
 }
 
@@ -174,8 +443,11 @@ pub fn fig8_paths() -> Vec<PathSpec> {
         ("manic", "tove"),
         ("manic", "maria"),
     ];
-    let mut out: Vec<PathSpec> =
-        named.iter().map(|(s, r)| *table2_path(s, r).expect("Fig. 8 path missing")).collect();
+    let mut out: Vec<PathSpec> = named
+        .iter()
+        //~ allow(expect): static Table I/II data, cross-checked by unit tests
+        .map(|(s, r)| *table2_path(s, r).expect("Fig. 8 path missing"))
+        .collect();
     // att→sutton: a Linux sender on a moderately lossy path; this pair has
     // no Table II row (it only appears in Fig. 8), so the operating point —
     // 2.5% loss at the void→sutton-like RTT — is our assumption.
@@ -290,7 +562,11 @@ mod tests {
             assert!(
                 diff <= 10,
                 "{}: TD {} + timeouts {:?} = {} vs loss {}",
-                p.id(), p.paper_td, p.paper_timeouts, total, p.paper_loss
+                p.id(),
+                p.paper_td,
+                p.paper_timeouts,
+                total,
+                p.paper_loss
             );
         }
     }
@@ -320,22 +596,46 @@ mod tests {
 
     #[test]
     fn sender_os_quirks_accessible() {
-        assert_eq!(table2_path("void", "alps").unwrap().sender_os().dupack_threshold(), 2);
-        assert_eq!(table2_path("manic", "alps").unwrap().sender_os().backoff_cap_exp(), 5);
+        assert_eq!(
+            table2_path("void", "alps")
+                .unwrap()
+                .sender_os()
+                .dupack_threshold(),
+            2
+        );
+        assert_eq!(
+            table2_path("manic", "alps")
+                .unwrap()
+                .sender_os()
+                .backoff_cap_exp(),
+            5
+        );
     }
 
     #[test]
     fn loss_kinds_follow_row_signatures() {
         use LossKind::*;
         // 60% TD → isolated losses.
-        assert_eq!(table2_path("manic", "sutton").unwrap().loss_kind(), Isolated);
-        assert_eq!(table2_path("manic", "baskerville").unwrap().loss_kind(), Isolated);
+        assert_eq!(
+            table2_path("manic", "sutton").unwrap().loss_kind(),
+            Isolated
+        );
+        assert_eq!(
+            table2_path("manic", "baskerville").unwrap().loss_kind(),
+            Isolated
+        );
         // Tiny TD share, heavy T1+ column → timed bursts.
         assert_eq!(table2_path("void", "tove").unwrap().loss_kind(), TimedBurst);
-        assert_eq!(table2_path("babel", "alps").unwrap().loss_kind(), TimedBurst);
+        assert_eq!(
+            table2_path("babel", "alps").unwrap().loss_kind(),
+            TimedBurst
+        );
         assert_eq!(table2_path("pif", "alps").unwrap().loss_kind(), TimedBurst);
         // Tiny TD share, thin backoff column → the paper's round bursts.
-        assert_eq!(table2_path("manic", "mafalda").unwrap().loss_kind(), RoundBurst);
+        assert_eq!(
+            table2_path("manic", "mafalda").unwrap().loss_kind(),
+            RoundBurst
+        );
         // Every kind is represented across the testbed.
         let kinds: std::collections::HashSet<_> =
             TABLE2_PATHS.iter().map(|p| p.loss_kind()).collect();

@@ -54,6 +54,7 @@ pub struct Fig7Panel {
 pub fn fitted_params(spec: &PathSpec, result: &ExperimentResult) -> ModelParams {
     let rtt = result.ground_rtt.unwrap_or(spec.rtt);
     let t0 = result.ground_t0.unwrap_or(spec.t0);
+    //~ allow(expect): calibrated constants validated by construction
     ModelParams::new(rtt, t0, 2, spec.wmax).expect("calibrated parameters are valid")
 }
 
@@ -71,13 +72,23 @@ pub fn loss_grid() -> Vec<f64> {
 
 /// Builds a Fig. 7 panel from an hour-long experiment.
 pub fn fig7_panel(spec: &PathSpec, result: &ExperimentResult, interval_secs: f64) -> Fig7Panel {
-    let analyzer = AnalyzerConfig { dupack_threshold: spec.sender_os().dupack_threshold() };
+    let analyzer = AnalyzerConfig {
+        dupack_threshold: spec.sender_os().dupack_threshold(),
+    };
     let analysis = analyze(&result.trace, analyzer);
-    let intervals =
-        split_intervals_bounded(&result.trace, &analysis, interval_secs, result.duration_secs);
+    let intervals = split_intervals_bounded(
+        &result.trace,
+        &analysis,
+        interval_secs,
+        result.duration_secs,
+    );
     let scatter = intervals
         .iter()
-        .map(|iv| ScatterPoint { p: iv.loss_rate, packets: iv.packets_sent, category: iv.category })
+        .map(|iv| ScatterPoint {
+            p: iv.loss_rate,
+            packets: iv.packets_sent,
+            category: iv.category,
+        })
         .collect();
     let params = fitted_params(spec, result);
     let curves = [ModelKind::TdOnly, ModelKind::Full]
@@ -87,7 +98,7 @@ pub fn fig7_panel(spec: &PathSpec, result: &ExperimentResult, interval_secs: f64
             points: loss_grid()
                 .into_iter()
                 .map(|p| {
-                    let rate = model.evaluate(LossProb::new(p).unwrap(), &params);
+                    let rate = model.evaluate(LossProb::new(p).unwrap(), &params); //~ allow(unwrap): calibrated constants validated by construction
                     (p, rate * interval_secs)
                 })
                 .collect(),
@@ -120,7 +131,9 @@ pub struct Fig8Point {
 /// Builds the Fig. 8 series for one path from its serial experiments.
 /// Per §III, RTT and T0 are calculated *per trace* here.
 pub fn fig8_series(spec: &PathSpec, results: &[ExperimentResult]) -> Vec<Fig8Point> {
-    let analyzer = AnalyzerConfig { dupack_threshold: spec.sender_os().dupack_threshold() };
+    let analyzer = AnalyzerConfig {
+        dupack_threshold: spec.sender_os().dupack_threshold(),
+    };
     results
         .iter()
         .enumerate()
@@ -128,7 +141,7 @@ pub fn fig8_series(spec: &PathSpec, results: &[ExperimentResult]) -> Vec<Fig8Poi
             let analysis = analyze(&r.trace, analyzer);
             let p = analysis.loss_rate().clamp(1e-9, 1.0 - 1e-9);
             let params = fitted_params(spec, r);
-            let lp = LossProb::new(p).unwrap();
+            let lp = LossProb::new(p).unwrap(); //~ allow(unwrap): calibrated constants validated by construction
             Fig8Point {
                 trace_no: i,
                 measured: analysis.packets_sent,
@@ -159,14 +172,23 @@ pub fn error_triple_hourly(
     result: &ExperimentResult,
     interval_secs: f64,
 ) -> ErrorTriple {
-    let analyzer = AnalyzerConfig { dupack_threshold: spec.sender_os().dupack_threshold() };
+    let analyzer = AnalyzerConfig {
+        dupack_threshold: spec.sender_os().dupack_threshold(),
+    };
     let analysis = analyze(&result.trace, analyzer);
-    let intervals =
-        split_intervals_bounded(&result.trace, &analysis, interval_secs, result.duration_secs);
+    let intervals = split_intervals_bounded(
+        &result.trace,
+        &analysis,
+        interval_secs,
+        result.duration_secs,
+    );
     let observations = Observation::from_intervals(&intervals, interval_secs);
     let params = fitted_params(spec, result);
     let eval = |model: ModelKind| {
-        average_error(&observations, |p| model.evaluate(LossProb::new(p).unwrap(), &params))
+        average_error(&observations, |p| {
+            //~ allow(unwrap): calibrated constants validated by construction
+            model.evaluate(LossProb::new(p).unwrap(), &params)
+        })
     };
     ErrorTriple {
         path_id: spec.id(),
@@ -180,7 +202,9 @@ pub fn error_triple_hourly(
 /// per-trace RTT/T0 (§III: "we use the value of round-trip time and
 /// time-out calculated for each 100 s trace").
 pub fn error_triple_serial(spec: &PathSpec, results: &[ExperimentResult]) -> ErrorTriple {
-    let analyzer = AnalyzerConfig { dupack_threshold: spec.sender_os().dupack_threshold() };
+    let analyzer = AnalyzerConfig {
+        dupack_threshold: spec.sender_os().dupack_threshold(),
+    };
     let mut sums = (0.0, 0.0, 0.0);
     let mut n = 0u64;
     for r in results {
@@ -189,7 +213,7 @@ pub fn error_triple_serial(spec: &PathSpec, results: &[ExperimentResult]) -> Err
             continue;
         }
         let p = analysis.loss_rate().clamp(1e-9, 1.0 - 1e-9);
-        let lp = LossProb::new(p).unwrap();
+        let lp = LossProb::new(p).unwrap(); //~ allow(unwrap): calibrated constants validated by construction
         let params = fitted_params(spec, r);
         let observed = analysis.packets_sent as f64;
         let err = |model: ModelKind| {
@@ -233,9 +257,16 @@ mod tests {
         let spec = table2_path("manic", "baskerville").unwrap();
         let result = run_hour(spec, 11);
         let panel = fig7_panel(spec, &result, 100.0);
-        assert_eq!(panel.scatter.len(), 36, "an hour gives 36 intervals of 100 s");
+        assert_eq!(
+            panel.scatter.len(),
+            36,
+            "an hour gives 36 intervals of 100 s"
+        );
         assert_eq!(panel.curves.len(), 2);
-        assert!(panel.curves.iter().all(|c| c.points.len() == loss_grid().len()));
+        assert!(panel
+            .curves
+            .iter()
+            .all(|c| c.points.len() == loss_grid().len()));
         // TD-only must sit above the full model at high p.
         let td = &panel.curves[0];
         let full = &panel.curves[1];

@@ -47,6 +47,7 @@ pub struct LossIndication {
 
 /// Analyzer configuration.
 #[derive(Debug, Clone, Copy)]
+//= pftk#linux-dupthresh
 pub struct AnalyzerConfig {
     /// Duplicate ACKs that mark a retransmission as a fast retransmit
     /// (3 standard, 2 for Linux senders).
@@ -55,7 +56,9 @@ pub struct AnalyzerConfig {
 
 impl Default for AnalyzerConfig {
     fn default() -> Self {
-        AnalyzerConfig { dupack_threshold: 3 }
+        AnalyzerConfig {
+            dupack_threshold: 3,
+        }
     }
 }
 
@@ -100,6 +103,7 @@ impl Analysis {
     }
 
     /// The paper's loss-rate estimate `p` = loss indications ÷ packets sent.
+    //= pftk#loss-rate-estimate
     pub fn loss_rate(&self) -> f64 {
         if self.packets_sent == 0 {
             0.0
@@ -201,6 +205,8 @@ impl Classifier {
 }
 
 /// Analyzes a sender-side trace.
+//= pftk#td-to-classify
+//= pftk#to-sequence
 pub fn analyze(trace: &Trace, config: AnalyzerConfig) -> Analysis {
     let mut cls = Classifier::new(config);
     for rec in trace.records() {
@@ -252,6 +258,7 @@ mod tests {
     }
 
     #[test]
+    //= pftk#td-to-classify type=test
     fn triple_duplicate_classified_as_td() {
         let t = trace(&[
             (0, send(0)),
@@ -262,7 +269,7 @@ mod tests {
             (100, ack(1)), // packet 1 lost; these are dupacks for 1
             (110, ack(1)),
             (120, ack(1)),
-            (130, ack(1)), // third duplicate
+            (130, ack(1)),  // third duplicate
             (131, send(1)), // fast retransmit
             (200, ack(5)),
         ]);
@@ -274,6 +281,7 @@ mod tests {
     }
 
     #[test]
+    //= pftk#linux-dupthresh type=test
     fn linux_threshold_two() {
         let t = trace(&[
             (0, send(0)),
@@ -285,8 +293,16 @@ mod tests {
             (121, send(1)),
         ]);
         let std = analyze(&t, AnalyzerConfig::default());
-        assert!(matches!(std.indications[0].kind, IndicationKind::Timeout { .. }));
-        let linux = analyze(&t, AnalyzerConfig { dupack_threshold: 2 });
+        assert!(matches!(
+            std.indications[0].kind,
+            IndicationKind::Timeout { .. }
+        ));
+        let linux = analyze(
+            &t,
+            AnalyzerConfig {
+                dupack_threshold: 2,
+            },
+        );
         assert_eq!(linux.indications[0].kind, IndicationKind::TripleDuplicate);
     }
 
@@ -299,11 +315,15 @@ mod tests {
         ]);
         let a = analyze(&t, AnalyzerConfig::default());
         assert_eq!(a.indications.len(), 1);
-        assert_eq!(a.indications[0].kind, IndicationKind::Timeout { sequence_len: 1 });
+        assert_eq!(
+            a.indications[0].kind,
+            IndicationKind::Timeout { sequence_len: 1 }
+        );
         assert_eq!(a.indications[0].time_ns, 3_000_000_000);
     }
 
     #[test]
+    //= pftk#to-sequence type=test
     fn backoff_chain_is_one_sequence() {
         let t = trace(&[
             (0, send(0)),
@@ -314,7 +334,10 @@ mod tests {
         ]);
         let a = analyze(&t, AnalyzerConfig::default());
         assert_eq!(a.indications.len(), 1);
-        assert_eq!(a.indications[0].kind, IndicationKind::Timeout { sequence_len: 3 });
+        assert_eq!(
+            a.indications[0].kind,
+            IndicationKind::Timeout { sequence_len: 3 }
+        );
         assert_eq!(a.to_histogram(), [0, 0, 1, 0, 0, 0]);
     }
 
@@ -323,7 +346,10 @@ mod tests {
         let t = trace(&[(0, send(0)), (3_000_000_000, send(0))]);
         let a = analyze(&t, AnalyzerConfig::default());
         assert_eq!(a.indications.len(), 1);
-        assert!(matches!(a.indications[0].kind, IndicationKind::Timeout { sequence_len: 1 }));
+        assert!(matches!(
+            a.indications[0].kind,
+            IndicationKind::Timeout { sequence_len: 1 }
+        ));
     }
 
     #[test]
@@ -340,8 +366,8 @@ mod tests {
             (110, ack(1)),
             (120, ack(1)),
             (130, ack(1)),
-            (131, send(1)),             // fast retransmit (lost)
-            (5_000_000_000, send(1)),   // RTO
+            (131, send(1)),           // fast retransmit (lost)
+            (5_000_000_000, send(1)), // RTO
             (5_100_000_000, ack(4)),
         ]);
         let a = analyze(&t, AnalyzerConfig::default());

@@ -44,7 +44,11 @@ impl std::fmt::Display for ImportError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ImportError::Io(e) => write!(f, "I/O error: {e}"),
-            ImportError::Malformed { line_no, line, reason } => {
+            ImportError::Malformed {
+                line_no,
+                line,
+                reason,
+            } => {
                 write!(f, "line {line_no}: {reason}: {line:?}")
             }
         }
@@ -71,8 +75,7 @@ pub fn import_text<R: BufRead>(reader: R) -> Result<Trace, ImportError> {
             continue;
         }
         let mut fields = content.split_whitespace();
-        let (Some(ts), Some(kind), Some(value)) =
-            (fields.next(), fields.next(), fields.next())
+        let (Some(ts), Some(kind), Some(value)) = (fields.next(), fields.next(), fields.next())
         else {
             return Err(ImportError::Malformed {
                 line_no,
@@ -119,11 +122,18 @@ pub fn import_text<R: BufRead>(reader: R) -> Result<Trace, ImportError> {
         // Trace::push accepts equal times.
         last_ns = time_ns;
         let event = match kind {
-            "send" => TraceEvent::Send { seq: number, retx: false },
+            "send" => TraceEvent::Send {
+                seq: number,
+                retx: false,
+            },
             "ack" => TraceEvent::AckIn { ack: number },
             other => {
                 let reason = format!("unknown event kind {other:?} (want send|ack)");
-                return Err(ImportError::Malformed { line_no, line, reason });
+                return Err(ImportError::Malformed {
+                    line_no,
+                    line,
+                    reason,
+                });
             }
         };
         trace.push(TraceRecord { time_ns, event });
@@ -169,7 +179,11 @@ mod tests {
         let a = analyze(&trace, AnalyzerConfig::default());
         assert_eq!(a.packets_sent, 3);
         assert_eq!(a.retransmissions, 1);
-        assert_eq!(a.to_count(), 1, "the repeated send is a timeout retransmission");
+        assert_eq!(
+            a.to_count(),
+            1,
+            "the repeated send is a timeout retransmission"
+        );
     }
 
     #[test]
@@ -192,14 +206,23 @@ mod tests {
     #[test]
     fn export_import_roundtrip_preserves_analysis() {
         let mut trace = Trace::new();
-        trace.push(TraceRecord { time_ns: 0, event: TraceEvent::Send { seq: 0, retx: false } });
+        trace.push(TraceRecord {
+            time_ns: 0,
+            event: TraceEvent::Send {
+                seq: 0,
+                retx: false,
+            },
+        });
         trace.push(TraceRecord {
             time_ns: 100_000_000,
             event: TraceEvent::AckIn { ack: 1 },
         });
         trace.push(TraceRecord {
             time_ns: 100_000_001,
-            event: TraceEvent::Send { seq: 1, retx: false },
+            event: TraceEvent::Send {
+                seq: 1,
+                retx: false,
+            },
         });
         trace.push(TraceRecord {
             time_ns: 3_000_000_000,

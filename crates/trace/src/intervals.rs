@@ -47,6 +47,7 @@ pub struct IntervalStats {
 /// the last record; use [`split_intervals_bounded`] when the true
 /// experiment duration is known (an hour-long run's last packet rarely
 /// lands exactly on the hour).
+//= pftk#interval-100s
 pub fn split_intervals(
     trace: &Trace,
     analysis: &Analysis,
@@ -166,6 +167,7 @@ mod tests {
     }
 
     #[test]
+    //= pftk#interval-100s type=test
     fn intervals_counted_and_categorized() {
         let (t, a) = build();
         let iv = split_intervals(&t, &a, 100.0);

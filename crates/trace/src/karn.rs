@@ -29,6 +29,8 @@ pub struct TimingEstimates {
 }
 
 /// Extracts RTT and T0 estimates from a sender-side trace.
+//= pftk#karn-rto
+//= pftk#t0-first-timeout
 pub fn estimate_timing(trace: &Trace) -> TimingEstimates {
     // --- RTT via Karn ---------------------------------------------------
     // pending: first-transmission times of not-yet-acked segments; a
@@ -93,15 +95,11 @@ pub fn estimate_timing(trace: &Trace) -> TimingEstimates {
                     // Sample the *highest* newly covered segment: with
                     // delayed ACKs its send→ack gap is the cleanest RTT
                     // (lower segments include the delayed-ACK hold).
-                    let covered: Vec<u64> =
-                        pending.range(..ack).map(|(&s, _)| s).collect();
+                    let covered: Vec<u64> = pending.range(..ack).map(|(&s, _)| s).collect();
                     if let Some(&highest) = covered.last() {
                         let sent = pending[&highest];
                         if rec.time_ns > sent {
-                            samples.push((
-                                (rec.time_ns - sent) as f64 / 1e9,
-                                covered.len(),
-                            ));
+                            samples.push(((rec.time_ns - sent) as f64 / 1e9, covered.len()));
                         }
                     }
                     for s in covered {
@@ -144,15 +142,11 @@ pub fn estimate_timing(trace: &Trace) -> TimingEstimates {
 /// timeout-sequence starts — use when TD contamination matters (the plain
 /// [`estimate_timing`] also averages fast-retransmit gaps, biasing T0 low
 /// on TD-heavy traces).
-pub fn estimate_t0_classified(
-    trace: &Trace,
-    timeout_start_times: &[u64],
-) -> Option<f64> {
+pub fn estimate_t0_classified(trace: &Trace, timeout_start_times: &[u64]) -> Option<f64> {
     if timeout_start_times.is_empty() {
         return None;
     }
-    let starts: std::collections::BTreeSet<u64> =
-        timeout_start_times.iter().copied().collect();
+    let starts: std::collections::BTreeSet<u64> = timeout_start_times.iter().copied().collect();
     let mut last_send_of: BTreeMap<u64, u64> = BTreeMap::new();
     let mut last_progress_ns: Option<u64> = None;
     let mut last_ack: u64 = 0;
@@ -199,6 +193,7 @@ pub fn estimate_t0_classified(
 /// modem-path regime of Fig. 11 where every model fails.
 ///
 /// Returns `None` with fewer than two samples or zero variance.
+//= pftk#rtt-window-corr
 pub fn rtt_window_correlation(trace: &Trace) -> Option<f64> {
     let mut pending: BTreeMap<u64, (u64, u64)> = BTreeMap::new(); // seq → (t, flight)
     let mut snd_max: u64 = 0;
@@ -253,7 +248,9 @@ fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
         sxx += (x - mx) * (x - mx);
         syy += (y - my) * (y - my);
     }
-    if sxx == 0.0 || syy == 0.0 {
+    // Sums of squares are non-negative; a degenerate (constant) series has
+    // an undefined correlation. `<=` avoids a NaN-hazard float equality.
+    if sxx <= 0.0 || syy <= 0.0 {
         return None;
     }
     Some(sxy / (sxx * syy).sqrt())
@@ -303,17 +300,14 @@ mod tests {
         // Two segments sent 10 ms apart; one cumulative ACK 200 ms after the
         // second. The sample must anchor on the second segment (0.2 s), not
         // the first (0.21 s).
-        let t = trace(&[
-            (0, send(0)),
-            (10 * MS, send(1)),
-            (210 * MS, ack(2)),
-        ]);
+        let t = trace(&[(0, send(0)), (10 * MS, send(1)), (210 * MS, ack(2))]);
         let est = estimate_timing(&t);
         assert_eq!(est.rtt_samples, 1);
         assert!((est.mean_rtt.unwrap() - 0.2).abs() < 1e-9);
     }
 
     #[test]
+    //= pftk#karn-rto type=test
     fn karn_excludes_retransmitted_segments() {
         let t = trace(&[
             (0, send(0)),
@@ -325,6 +319,7 @@ mod tests {
     }
 
     #[test]
+    //= pftk#t0-first-timeout type=test
     fn t0_measured_from_send_gap() {
         let t = trace(&[
             (0, send(0)),
@@ -343,12 +338,16 @@ mod tests {
         let t = trace(&[
             (0, send(0)),
             (500 * MS, send(1)),
-            (1 * S, ack(1)), // progress (seq 0 acked)
+            (S, ack(1)), // progress (seq 0 acked)
             (3_500 * MS, send(1)),
         ]);
         let est = estimate_timing(&t);
         assert_eq!(est.t0_samples, 1);
-        assert!((est.mean_t0.unwrap() - 2.5).abs() < 1e-9, "got {:?}", est.mean_t0);
+        assert!(
+            (est.mean_t0.unwrap() - 2.5).abs() < 1e-9,
+            "got {:?}",
+            est.mean_t0
+        );
     }
 
     #[test]
@@ -384,7 +383,10 @@ mod tests {
         // Plain estimator sampled the fast retransmit's tiny gap.
         assert!(plain.mean_t0.unwrap() < 1.0);
         let classified = estimate_t0_classified(&t, &[5 * S]).unwrap();
-        assert!((classified - (5.0 - 0.104)).abs() < 1e-6, "got {classified}");
+        assert!(
+            (classified - (5.0 - 0.104)).abs() < 1e-6,
+            "got {classified}"
+        );
         assert!(estimate_t0_classified(&t, &[]).is_none());
     }
 
@@ -396,6 +398,7 @@ mod tests {
     }
 
     #[test]
+    //= pftk#rtt-window-corr type=test
     fn correlation_detects_queueing_regime() {
         // Build a trace where RTT grows linearly with flight size
         // (a dedicated bottleneck buffer): correlation ≈ 1.
@@ -405,13 +408,19 @@ mod tests {
         for flight in 1..=20u64 {
             // `flight − 1` unacked predecessors, then the timed segment.
             for _ in 0..flight {
-                t.push(TraceRecord { time_ns: now, event: send(seq) });
+                t.push(TraceRecord {
+                    time_ns: now,
+                    event: send(seq),
+                });
                 seq += 1;
                 now += 1;
             }
             // RTT proportional to flight.
             now += flight * 100 * MS;
-            t.push(TraceRecord { time_ns: now, event: ack(seq) });
+            t.push(TraceRecord {
+                time_ns: now,
+                event: ack(seq),
+            });
             now += 1;
         }
         let corr = rtt_window_correlation(&t).unwrap();
@@ -425,24 +434,39 @@ mod tests {
         let mut seq = 0u64;
         for flight in [1u64, 5, 2, 9, 3, 7, 4, 8, 6, 10, 2, 9, 5, 1, 7] {
             for _ in 0..flight {
-                t.push(TraceRecord { time_ns: now, event: send(seq) });
+                t.push(TraceRecord {
+                    time_ns: now,
+                    event: send(seq),
+                });
                 seq += 1;
                 now += 1;
             }
             now += 200 * MS; // constant RTT regardless of flight
-            t.push(TraceRecord { time_ns: now, event: ack(seq) });
+            t.push(TraceRecord {
+                time_ns: now,
+                event: ack(seq),
+            });
             now += 1;
         }
         let corr = rtt_window_correlation(&t).unwrap();
-        assert!(corr.abs() < 0.2, "expected near-zero correlation, got {corr}");
+        assert!(
+            corr.abs() < 0.2,
+            "expected near-zero correlation, got {corr}"
+        );
     }
 
     #[test]
     fn correlation_needs_two_samples() {
         assert!(rtt_window_correlation(&Trace::new()).is_none());
         let mut t = Trace::new();
-        t.push(TraceRecord { time_ns: 0, event: send(0) });
-        t.push(TraceRecord { time_ns: 100 * MS, event: ack(1) });
+        t.push(TraceRecord {
+            time_ns: 0,
+            event: send(0),
+        });
+        t.push(TraceRecord {
+            time_ns: 100 * MS,
+            event: ack(1),
+        });
         assert!(rtt_window_correlation(&t).is_none());
     }
 }

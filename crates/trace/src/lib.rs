@@ -29,7 +29,7 @@
 //! against tcptrace and ns".
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod analyzer;
 pub mod import;

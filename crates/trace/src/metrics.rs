@@ -74,7 +74,11 @@ mod tests {
     use super::*;
 
     fn obs(loss_rate: f64, packets: u64) -> Observation {
-        Observation { loss_rate, packets, interval_secs: 100.0 }
+        Observation {
+            loss_rate,
+            packets,
+            interval_secs: 100.0,
+        }
     }
 
     #[test]

@@ -160,8 +160,14 @@ impl Trace {
             let time_ns = buf.get_u64_le();
             let value = buf.get_u64_le();
             let event = match tag {
-                TAG_SEND => TraceEvent::Send { seq: value, retx: false },
-                TAG_SEND_RETX => TraceEvent::Send { seq: value, retx: true },
+                TAG_SEND => TraceEvent::Send {
+                    seq: value,
+                    retx: false,
+                },
+                TAG_SEND_RETX => TraceEvent::Send {
+                    seq: value,
+                    retx: true,
+                },
                 TAG_ACK => TraceEvent::AckIn { ack: value },
                 other => {
                     return Err(io::Error::new(
@@ -182,10 +188,28 @@ mod tests {
 
     fn sample_trace() -> Trace {
         let mut t = Trace::new();
-        t.push(TraceRecord { time_ns: 0, event: TraceEvent::Send { seq: 0, retx: false } });
-        t.push(TraceRecord { time_ns: 100_000_000, event: TraceEvent::AckIn { ack: 1 } });
-        t.push(TraceRecord { time_ns: 100_000_001, event: TraceEvent::Send { seq: 1, retx: false } });
-        t.push(TraceRecord { time_ns: 3_100_000_000, event: TraceEvent::Send { seq: 1, retx: true } });
+        t.push(TraceRecord {
+            time_ns: 0,
+            event: TraceEvent::Send {
+                seq: 0,
+                retx: false,
+            },
+        });
+        t.push(TraceRecord {
+            time_ns: 100_000_000,
+            event: TraceEvent::AckIn { ack: 1 },
+        });
+        t.push(TraceRecord {
+            time_ns: 100_000_001,
+            event: TraceEvent::Send {
+                seq: 1,
+                retx: false,
+            },
+        });
+        t.push(TraceRecord {
+            time_ns: 3_100_000_000,
+            event: TraceEvent::Send { seq: 1, retx: true },
+        });
         t
     }
 
@@ -201,8 +225,14 @@ mod tests {
     #[should_panic(expected = "time-ordered")]
     fn out_of_order_push_panics() {
         let mut t = Trace::new();
-        t.push(TraceRecord { time_ns: 10, event: TraceEvent::AckIn { ack: 1 } });
-        t.push(TraceRecord { time_ns: 5, event: TraceEvent::AckIn { ack: 2 } });
+        t.push(TraceRecord {
+            time_ns: 10,
+            event: TraceEvent::AckIn { ack: 1 },
+        });
+        t.push(TraceRecord {
+            time_ns: 5,
+            event: TraceEvent::AckIn { ack: 2 },
+        });
     }
 
     #[test]
@@ -254,7 +284,10 @@ mod tests {
 
     #[test]
     fn time_secs_conversion() {
-        let rec = TraceRecord { time_ns: 2_500_000_000, event: TraceEvent::AckIn { ack: 0 } };
+        let rec = TraceRecord {
+            time_ns: 2_500_000_000,
+            event: TraceEvent::AckIn { ack: 0 },
+        };
         assert!((rec.time_secs() - 2.5).abs() < 1e-12);
     }
 }

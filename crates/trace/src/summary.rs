@@ -91,14 +91,20 @@ impl TraceSummary {
     /// Renders the summary as an aligned multi-line report.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("duration          {:>12.1} s\n", self.duration_secs));
+        out.push_str(&format!(
+            "duration          {:>12.1} s\n",
+            self.duration_secs
+        ));
         out.push_str(&format!("packets sent      {:>12}\n", self.packets_sent));
         out.push_str(&format!(
             "  retransmissions {:>12} ({:.2}%)\n",
             self.retransmissions,
             100.0 * self.retransmission_rate
         ));
-        out.push_str(&format!("  distinct        {:>12}\n", self.distinct_packets));
+        out.push_str(&format!(
+            "  distinct        {:>12}\n",
+            self.distinct_packets
+        ));
         out.push_str(&format!("acks              {:>12}\n", self.acks));
         out.push_str(&format!(
             "loss indications  {:>12} (p = {:.4})\n",
@@ -109,8 +115,14 @@ impl TraceSummary {
             self.td_events,
             self.timeout_histogram.iter().sum::<u64>()
         ));
-        out.push_str(&format!("  TO histogram    {:>12?}\n", self.timeout_histogram));
-        out.push_str(&format!("send rate         {:>12.2} pkt/s\n", self.send_rate_pps));
+        out.push_str(&format!(
+            "  TO histogram    {:>12?}\n",
+            self.timeout_histogram
+        ));
+        out.push_str(&format!(
+            "send rate         {:>12.2} pkt/s\n",
+            self.send_rate_pps
+        ));
         if let Some(rtt) = self.mean_rtt {
             out.push_str(&format!("mean RTT          {:>12.4} s\n", rtt));
         }
@@ -135,20 +147,32 @@ mod tests {
     fn build_trace() -> Trace {
         let mut t = Trace::new();
         // Two clean exchanges, one timeout retransmission.
-        t.push(TraceRecord { time_ns: 0, event: TraceEvent::Send { seq: 0, retx: false } });
+        t.push(TraceRecord {
+            time_ns: 0,
+            event: TraceEvent::Send {
+                seq: 0,
+                retx: false,
+            },
+        });
         t.push(TraceRecord {
             time_ns: 200 * MS,
             event: TraceEvent::AckIn { ack: 1 },
         });
         t.push(TraceRecord {
             time_ns: 200 * MS + 1,
-            event: TraceEvent::Send { seq: 1, retx: false },
+            event: TraceEvent::Send {
+                seq: 1,
+                retx: false,
+            },
         });
         t.push(TraceRecord {
             time_ns: 3 * S,
             event: TraceEvent::Send { seq: 1, retx: true },
         });
-        t.push(TraceRecord { time_ns: 3 * S + 200 * MS, event: TraceEvent::AckIn { ack: 2 } });
+        t.push(TraceRecord {
+            time_ns: 3 * S + 200 * MS,
+            event: TraceEvent::AckIn { ack: 2 },
+        });
         t
     }
 

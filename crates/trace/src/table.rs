@@ -74,8 +74,19 @@ pub fn format_table(rows: &[TableRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<8} {:<12} {:>8} {:>6} {:>5} {:>5} {:>4} {:>4} {:>4} {:>4} {:>7} {:>6} {:>6}\n",
-        "Sender", "Receiver", "Packets", "Loss", "TD", "T0", "T1", "T2", "T3", "T4", "T5+",
-        "RTT", "T.Out"
+        "Sender",
+        "Receiver",
+        "Packets",
+        "Loss",
+        "TD",
+        "T0",
+        "T1",
+        "T2",
+        "T3",
+        "T4",
+        "T5+",
+        "RTT",
+        "T.Out"
     ));
     for r in rows {
         out.push_str(&format!(
@@ -100,7 +111,14 @@ pub fn format_table(rows: &[TableRow]) -> String {
 
 impl fmt::Display for TableRow {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", format_table(std::slice::from_ref(self)).lines().nth(1).unwrap_or(""))
+        write!(
+            f,
+            "{}",
+            format_table(std::slice::from_ref(self))
+                .lines()
+                .nth(1)
+                .unwrap_or("")
+        )
     }
 }
 
@@ -112,10 +130,22 @@ mod tests {
     fn sample_analysis() -> Analysis {
         Analysis {
             indications: vec![
-                LossIndication { time_ns: 1, kind: IndicationKind::TripleDuplicate },
-                LossIndication { time_ns: 2, kind: IndicationKind::Timeout { sequence_len: 1 } },
-                LossIndication { time_ns: 3, kind: IndicationKind::Timeout { sequence_len: 2 } },
-                LossIndication { time_ns: 4, kind: IndicationKind::Timeout { sequence_len: 9 } },
+                LossIndication {
+                    time_ns: 1,
+                    kind: IndicationKind::TripleDuplicate,
+                },
+                LossIndication {
+                    time_ns: 2,
+                    kind: IndicationKind::Timeout { sequence_len: 1 },
+                },
+                LossIndication {
+                    time_ns: 3,
+                    kind: IndicationKind::Timeout { sequence_len: 2 },
+                },
+                LossIndication {
+                    time_ns: 4,
+                    kind: IndicationKind::Timeout { sequence_len: 9 },
+                },
             ],
             packets_sent: 1000,
             retransmissions: 5,

@@ -66,7 +66,10 @@ pub struct ValidateConfig {
 
 impl Default for ValidateConfig {
     fn default() -> Self {
-        ValidateConfig { max_gap_secs: 3600.0, max_findings: 100 }
+        ValidateConfig {
+            max_gap_secs: 3600.0,
+            max_findings: 100,
+        }
     }
 }
 
@@ -95,7 +98,10 @@ pub fn validate(trace: &Trace, config: ValidateConfig) -> Vec<Finding> {
                 if seq > snd_max {
                     findings.push(Finding {
                         record_index: i,
-                        problem: Problem::SequenceGap { seq, expected: snd_max },
+                        problem: Problem::SequenceGap {
+                            seq,
+                            expected: snd_max,
+                        },
                     });
                     snd_max = seq + 1;
                 } else if seq == snd_max {
@@ -113,7 +119,10 @@ pub fn validate(trace: &Trace, config: ValidateConfig) -> Vec<Finding> {
                 if ack < highest_ack {
                     findings.push(Finding {
                         record_index: i,
-                        problem: Problem::AckRegressed { ack, previous: highest_ack },
+                        problem: Problem::AckRegressed {
+                            ack,
+                            previous: highest_ack,
+                        },
                     });
                 }
                 highest_ack = highest_ack.max(ack);
@@ -158,7 +167,13 @@ mod tests {
         t.push(rec(1, ack(500))); // bytes mistaken for packets, say
         let f = validate(&t, ValidateConfig::default());
         assert_eq!(f.len(), 1);
-        assert!(matches!(f[0].problem, Problem::AckAboveSndMax { ack: 500, snd_max: 1 }));
+        assert!(matches!(
+            f[0].problem,
+            Problem::AckAboveSndMax {
+                ack: 500,
+                snd_max: 1
+            }
+        ));
         assert_eq!(f[0].record_index, 1);
     }
 
@@ -172,7 +187,10 @@ mod tests {
         let f = validate(&t, ValidateConfig::default());
         assert!(f.iter().any(|x| matches!(
             x.problem,
-            Problem::AckRegressed { ack: 1, previous: 2 }
+            Problem::AckRegressed {
+                ack: 1,
+                previous: 2
+            }
         )));
     }
 
@@ -183,7 +201,13 @@ mod tests {
         t.push(rec(1, send(7))); // skipped 1..=6
         let f = validate(&t, ValidateConfig::default());
         assert_eq!(f.len(), 1);
-        assert!(matches!(f[0].problem, Problem::SequenceGap { seq: 7, expected: 1 }));
+        assert!(matches!(
+            f[0].problem,
+            Problem::SequenceGap {
+                seq: 7,
+                expected: 1
+            }
+        ));
         // After the gap, continuing from 8 is consistent.
         let mut t2 = Trace::new();
         t2.push(rec(0, send(0)));
@@ -208,7 +232,13 @@ mod tests {
         for i in 0..500u64 {
             t.push(rec(i + 1, ack(1_000 + i))); // every ack invalid
         }
-        let f = validate(&t, ValidateConfig { max_findings: 10, ..Default::default() });
+        let f = validate(
+            &t,
+            ValidateConfig {
+                max_findings: 10,
+                ..Default::default()
+            },
+        );
         assert_eq!(f.len(), 10);
     }
 }

@@ -20,7 +20,10 @@ fn trace_strategy() -> impl Strategy<Value = Trace> {
                 0 | 1 => {
                     t.push(TraceRecord {
                         time_ns: now,
-                        event: TraceEvent::Send { seq: snd_max, retx: false },
+                        event: TraceEvent::Send {
+                            seq: snd_max,
+                            retx: false,
+                        },
                     });
                     snd_max += 1;
                 }
@@ -28,18 +31,24 @@ fn trace_strategy() -> impl Strategy<Value = Trace> {
                 2 if last_ack < snd_max => {
                     t.push(TraceRecord {
                         time_ns: now,
-                        event: TraceEvent::Send { seq: last_ack, retx: true },
+                        event: TraceEvent::Send {
+                            seq: last_ack,
+                            retx: true,
+                        },
                     });
                 }
                 // An ACK: duplicate or forward.
                 _ if snd_max > 0 => {
-                    let ack = if last_ack < snd_max && (now / 1_000_000) % 3 == 0 {
+                    let ack = if last_ack < snd_max && (now / 1_000_000).is_multiple_of(3) {
                         last_ack + 1 + (now / 7_000_000) % (snd_max - last_ack)
                     } else {
                         last_ack
                     };
                     last_ack = last_ack.max(ack);
-                    t.push(TraceRecord { time_ns: now, event: TraceEvent::AckIn { ack } });
+                    t.push(TraceRecord {
+                        time_ns: now,
+                        event: TraceEvent::AckIn { ack },
+                    });
                 }
                 _ => {}
             }
@@ -91,6 +100,8 @@ proptest! {
     }
 
     #[test]
+    //= pftk#linux-dupthresh type=test
+    //= pftk#td-to-classify type=test
     fn stricter_threshold_never_increases_td_count(trace in trace_strategy()) {
         // Raising the dupack threshold can only turn TDs into TOs.
         let td2 = analyze(&trace, AnalyzerConfig { dupack_threshold: 2 }).td_count();

@@ -25,11 +25,20 @@ fn main() {
     net.run_for(SimDuration::from_secs_f64(HORIZON));
     net.finish();
     let stats = net.stats();
-    let p = stats[f0].tcp.as_ref().unwrap().loss_indication_rate().clamp(1e-6, 0.9);
+    let p = stats[f0]
+        .tcp
+        .as_ref()
+        .unwrap()
+        .loss_indication_rate()
+        .clamp(1e-6, 0.9);
     let measured_rtt = RTT + 25.0 / LINK / 2.0; // propagation + mid-queue delay
     let params = ModelParams::new(measured_rtt, 1.0, 2, u16::MAX as u32).unwrap();
     let friendly = tcp_friendly_rate(LossProb::new(p).unwrap(), &params, ModelKind::Full);
-    println!("two-TCP baseline: each ≈ {:.1} pkt/s, loss p = {:.4}", LINK / 2.0, p);
+    println!(
+        "two-TCP baseline: each ≈ {:.1} pkt/s, loss p = {:.4}",
+        LINK / 2.0,
+        p
+    );
     println!("PFTK TCP-friendly rate at that point: {friendly:.1} pkt/s\n");
 
     // Step 2: sweep a CBR competitor against one TCP.

@@ -42,7 +42,10 @@ fn main() {
 
     // 1. Sanity-check before trusting any statistics.
     let findings = validate(&trace, ValidateConfig::default());
-    assert!(findings.is_empty(), "validator found problems: {findings:?}");
+    assert!(
+        findings.is_empty(),
+        "validator found problems: {findings:?}"
+    );
     println!("validator: clean ({} records)", trace.len());
 
     // 2. Full summary.
@@ -52,7 +55,11 @@ fn main() {
     // 3. Classified indications.
     let analysis = analyze(&trace, AnalyzerConfig::default());
     for ind in &analysis.indications {
-        println!("loss indication at {:.3}s: {:?}", ind.time_ns as f64 / 1e9, ind.kind);
+        println!(
+            "loss indication at {:.3}s: {:?}",
+            ind.time_ns as f64 / 1e9,
+            ind.kind
+        );
     }
 
     // 4. Fit the model at the measured operating point.
@@ -69,5 +76,8 @@ fn main() {
         full_model(p, &params),
         summary.send_rate_pps
     );
-    println!("(a {}-record toy dump is of course far from steady state)", trace.len());
+    println!(
+        "(a {}-record toy dump is of course far from steady state)",
+        trace.len()
+    );
 }

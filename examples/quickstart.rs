@@ -50,6 +50,8 @@ fn main() {
     // Receiver throughput (§V) vs send rate: the gap is retransmissions.
     let b = full_model(lp, &params);
     let t = padhye_tcp_repro::model::throughput::throughput(lp, &params);
-    println!("Send rate {b:.1} p/s vs receiver throughput {t:.1} p/s (efficiency {:.1}%)",
-        100.0 * t / b);
+    println!(
+        "Send rate {b:.1} p/s vs receiver throughput {t:.1} p/s (efficiency {:.1}%)",
+        100.0 * t / b
+    );
 }

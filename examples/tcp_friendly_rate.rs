@@ -46,23 +46,33 @@ fn main() {
     )
     .expect("valid measured parameters");
 
-    println!("measured: p = {:.4}, RTT = {:.3} s, T0 = {:.3} s",
-        p.get(), params.rtt.get(), params.t0.get());
+    println!(
+        "measured: p = {:.4}, RTT = {:.3} s, T0 = {:.3} s",
+        p.get(),
+        params.rtt.get(),
+        params.t0.get()
+    );
 
     // 3. The TCP-friendly rate.
     let friendly = tcp_friendly_rate(p, &params, ModelKind::Full);
     let actual = stats.packets_sent as f64 / 600.0;
     println!("TCP-friendly rate (full model): {friendly:.1} packets/s");
     println!("actual simulated TCP sent:      {actual:.1} packets/s");
-    println!("ratio: {:.2} (a conformant equation-based flow matches TCP)", friendly / actual);
+    println!(
+        "ratio: {:.2} (a conformant equation-based flow matches TCP)",
+        friendly / actual
+    );
 
     // 4. Model inversion: what loss rate would bring this TCP to 10 p/s?
     let p_slow = loss_for_rate(10.0, &params).expect("10 p/s is achievable");
-    println!("\nloss rate at which this TCP would drop to 10 packets/s: {:.3}", p_slow.get());
+    println!(
+        "\nloss rate at which this TCP would drop to 10 packets/s: {:.3}",
+        p_slow.get()
+    );
 
     // 5. RTT fairness: same bottleneck, half the RTT → higher fair share.
-    let short = ModelParams::new(params.rtt.get() / 2.0, params.t0.get(), 2, u16::MAX as u32)
-        .unwrap();
+    let short =
+        ModelParams::new(params.rtt.get() / 2.0, params.t0.get(), 2, u16::MAX as u32).unwrap();
     println!(
         "a flow with half the RTT at the same loss rate gets {:.1} packets/s ({:.2}x)",
         full_model(p, &short),

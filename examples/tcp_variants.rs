@@ -21,8 +21,17 @@ fn main() {
         "wire p", "variant", "rate p/s", "TD", "TO", "p_obs", "model B"
     );
     for wire_p in [0.005, 0.02, 0.05] {
-        for style in [RenoStyle::Tahoe, RenoStyle::Reno, RenoStyle::NewReno, RenoStyle::Sack] {
-            let sender = SenderConfig { style, rwnd: 32, ..SenderConfig::default() };
+        for style in [
+            RenoStyle::Tahoe,
+            RenoStyle::Reno,
+            RenoStyle::NewReno,
+            RenoStyle::Sack,
+        ] {
+            let sender = SenderConfig {
+                style,
+                rwnd: 32,
+                ..SenderConfig::default()
+            };
             let mut c = Connection::builder()
                 .rtt(0.1)
                 .loss(Box::new(RoundCorrelated::new(wire_p)))

@@ -61,7 +61,10 @@ fn run(policy: Box<dyn QueuePolicy + Send>, label: &str) {
 fn main() {
     println!("TFRC (Eq. (33) as a control law) vs TCP Reno, 100 pkt/s bottleneck\n");
     run(Box::new(DropTail::new(25)), "drop-tail queue (25 packets)");
-    run(Box::new(Red::new(5.0, 20.0, 0.1, 0.02, 40)), "RED queue (5/20 thresholds)");
+    run(
+        Box::new(Red::new(5.0, 20.0, 0.1, 0.02, 40)),
+        "RED queue (5/20 thresholds)",
+    );
     println!("Drop-tail's burst bias lets the paced TFRC flow crowd TCP out");
     println!("(and makes its delivery almost perfectly smooth); RED's randomized");
     println!("drops restore a near-even split, with the two flows comparably");

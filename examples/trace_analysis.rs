@@ -39,14 +39,24 @@ fn main() {
     };
     let analysis = analyze(&restored, analyzer);
     let timing = estimate_timing(&restored);
-    println!("\nloss indications: {} ({} TD, {} TO)",
-        analysis.indications.len(), analysis.td_count(), analysis.to_count());
+    println!(
+        "\nloss indications: {} ({} TD, {} TO)",
+        analysis.indications.len(),
+        analysis.td_count(),
+        analysis.to_count()
+    );
     println!("timeout histogram (T0..T5+): {:?}", analysis.to_histogram());
     println!("estimated p   = {:.4}", analysis.loss_rate());
-    println!("estimated RTT = {:.3} s (paper row: {:.3})",
-        timing.mean_rtt.unwrap_or(f64::NAN), spec.rtt);
-    println!("estimated T0  = {:.3} s (paper row: {:.3})",
-        timing.mean_t0.unwrap_or(f64::NAN), spec.t0);
+    println!(
+        "estimated RTT = {:.3} s (paper row: {:.3})",
+        timing.mean_rtt.unwrap_or(f64::NAN),
+        spec.rtt
+    );
+    println!(
+        "estimated T0  = {:.3} s (paper row: {:.3})",
+        timing.mean_t0.unwrap_or(f64::NAN),
+        spec.t0
+    );
 
     // Interval view (the Fig. 7 building block).
     let intervals = split_intervals_bounded(&restored, &analysis, 20.0, 100.0);

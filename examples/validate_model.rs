@@ -24,7 +24,10 @@ fn main() {
     );
 
     for wire_p in [0.002, 0.005, 0.01, 0.02, 0.04, 0.08] {
-        let sender = SenderConfig { rwnd: wmax, ..SenderConfig::default() };
+        let sender = SenderConfig {
+            rwnd: wmax,
+            ..SenderConfig::default()
+        };
         let mut conn = Connection::builder()
             .rtt(rtt)
             .loss(Box::new(RoundCorrelated::new(wire_p)))

@@ -13,7 +13,7 @@ fn draw(title: &str, config: RoundsConfig, seconds: f64) {
     sim.run_for(seconds);
     for s in sim.samples().iter().take(70) {
         if s.window == 0 {
-            println!("{:>7.1}s |{}", s.time, " (timeout)");
+            println!("{:>7.1}s | (timeout)", s.time);
         } else {
             println!("{:>7.1}s |{}", s.time, "#".repeat(s.window as usize));
         }
@@ -35,7 +35,14 @@ fn main() {
     // halving sawtooth.
     draw(
         "Fig. 1 regime: TD-only sawtooth (p=0.005)",
-        RoundsConfig { p: 0.005, rtt: 0.1, t0: 1.0, b: 2, wmax: 1_000, ..RoundsConfig::default() },
+        RoundsConfig {
+            p: 0.005,
+            rtt: 0.1,
+            t0: 1.0,
+            b: 2,
+            wmax: 1_000,
+            ..RoundsConfig::default()
+        },
         30.0,
     );
 
@@ -43,14 +50,28 @@ fn main() {
     // gaps and slow-start recoveries.
     draw(
         "Fig. 3 regime: TD + TO (p=0.06)",
-        RoundsConfig { p: 0.06, rtt: 0.1, t0: 1.5, b: 2, wmax: 1_000, ..RoundsConfig::default() },
+        RoundsConfig {
+            p: 0.06,
+            rtt: 0.1,
+            t0: 1.5,
+            b: 2,
+            wmax: 1_000,
+            ..RoundsConfig::default()
+        },
         20.0,
     );
 
     // Fig. 5: the receiver window clips the sawtooth's teeth.
     draw(
         "Fig. 5 regime: clamped at W_m = 8 (p=0.003)",
-        RoundsConfig { p: 0.003, rtt: 0.1, t0: 1.0, b: 2, wmax: 8, ..RoundsConfig::default() },
+        RoundsConfig {
+            p: 0.003,
+            rtt: 0.1,
+            t0: 1.0,
+            b: 2,
+            wmax: 8,
+            ..RoundsConfig::default()
+        },
         25.0,
     );
 }

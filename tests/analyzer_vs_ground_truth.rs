@@ -16,8 +16,15 @@ fn run_traced(
     dupthresh: u32,
     secs: f64,
     seed: u64,
-) -> (padhye_tcp_repro::trace::Trace, padhye_tcp_repro::sim::ConnStats, Option<f64>) {
-    let sender = SenderConfig { dupthresh, ..SenderConfig::default() };
+) -> (
+    padhye_tcp_repro::trace::Trace,
+    padhye_tcp_repro::sim::ConnStats,
+    Option<f64>,
+) {
+    let sender = SenderConfig {
+        dupthresh,
+        ..SenderConfig::default()
+    };
     let mut conn = Connection::builder()
         .rtt(rtt)
         .loss(Box::new(RoundCorrelated::new(p)))
@@ -54,6 +61,7 @@ fn loss_indication_counts_close_to_ground_truth() {
 }
 
 #[test]
+//= pftk#td-to-classify type=test
 fn td_to_split_close_to_ground_truth() {
     let (trace, stats, _) = run_traced(0.02, 0.1, 3, 1800.0, 3);
     let a = analyze(&trace, AnalyzerConfig::default());
@@ -91,8 +99,18 @@ fn linux_dupthresh_matters_and_analyzer_tracks_it() {
     // threshold must misclassify TDs as timeouts, analyzing with the right
     // one must match ground truth.
     let (trace, stats, _) = run_traced(0.015, 0.1, 2, 1800.0, 5);
-    let correct = analyze(&trace, AnalyzerConfig { dupack_threshold: 2 });
-    let wrong = analyze(&trace, AnalyzerConfig { dupack_threshold: 3 });
+    let correct = analyze(
+        &trace,
+        AnalyzerConfig {
+            dupack_threshold: 2,
+        },
+    );
+    let wrong = analyze(
+        &trace,
+        AnalyzerConfig {
+            dupack_threshold: 3,
+        },
+    );
     assert!(stats.td_events > 10, "need TDs for the comparison");
     let correct_err = correct.td_count().abs_diff(stats.td_events);
     let wrong_err = wrong.td_count().abs_diff(stats.td_events);
@@ -107,6 +125,7 @@ fn linux_dupthresh_matters_and_analyzer_tracks_it() {
 }
 
 #[test]
+//= pftk#karn-rto type=test
 fn karn_rtt_close_to_ground_truth() {
     let (trace, _, rtt_truth) = run_traced(0.01, 0.2, 3, 600.0, 6);
     let est = estimate_timing(&trace);
@@ -119,6 +138,7 @@ fn karn_rtt_close_to_ground_truth() {
 }
 
 #[test]
+//= pftk#loss-rate-estimate type=test
 fn estimated_p_close_to_ground_truth_rate() {
     let (trace, stats, _) = run_traced(0.03, 0.1, 3, 1800.0, 7);
     let a = analyze(&trace, AnalyzerConfig::default());
@@ -146,5 +166,9 @@ fn analyzer_consistent_under_bernoulli_loss_too() {
     assert_eq!(a.packets_sent, stats.packets_sent);
     let truth = stats.loss_indications();
     let rel = (a.indications.len() as u64).abs_diff(truth) as f64 / truth as f64;
-    assert!(rel < 0.06, "inferred {} vs truth {truth}", a.indications.len());
+    assert!(
+        rel < 0.06,
+        "inferred {} vs truth {truth}",
+        a.indications.len()
+    );
 }

@@ -27,7 +27,10 @@ const LOSS_RATE: f64 = 0.05;
 fn run(loss: Box<dyn LossModel + Send>, seed: u64) -> ConnStats {
     // A realistic receiver window: without it, lossless good periods let
     // the congestion window grow without bound.
-    let sender = SenderConfig { rwnd: 32, ..SenderConfig::default() };
+    let sender = SenderConfig {
+        rwnd: 32,
+        ..SenderConfig::default()
+    };
     let mut c = Connection::builder()
         .rtt(0.1)
         .loss(loss)
@@ -40,13 +43,24 @@ fn run(loss: Box<dyn LossModel + Send>, seed: u64) -> ConnStats {
 }
 
 #[test]
+//= pftk#rto-backoff type=test
+//= pftk#backoff-lk type=test
 fn timed_bursts_generate_exponential_backoff() {
     // ~80 episodes of mean 1.5 s against a 1 s RTO: the first retransmission
     // of each episode dies about half the time → a solid crop of T1+
     // sequences, while hole repairs keep the singles column dominant.
-    let s = run(Box::new(TimedGilbertElliott::from_rate_and_burst_secs(LOSS_RATE, 1.5)), 1);
+    let s = run(
+        Box::new(TimedGilbertElliott::from_rate_and_burst_secs(
+            LOSS_RATE, 1.5,
+        )),
+        1,
+    );
     let backoffs: u64 = s.to_sequences[1..].iter().sum();
-    assert!(backoffs > 20, "expected T1+ sequences, got {:?}", s.to_sequences);
+    assert!(
+        backoffs > 20,
+        "expected T1+ sequences, got {:?}",
+        s.to_sequences
+    );
     assert!(
         s.to_sequences[0] > backoffs,
         "hole-repair singles should still dominate: {:?}",
@@ -60,8 +74,16 @@ fn per_packet_bursts_freeze_through_timeouts() {
     // chain advances one step per RTO-spaced probe, so a bad state survives
     // ~8 probes — exponential backoff runs to its 64× cap and the
     // connection starves. The timed process at the same rate stays healthy.
-    let pkt = run(Box::new(GilbertElliott::from_rate_and_burst(LOSS_RATE, 8.0)), 1);
-    let timed = run(Box::new(TimedGilbertElliott::from_rate_and_burst_secs(LOSS_RATE, 1.5)), 1);
+    let pkt = run(
+        Box::new(GilbertElliott::from_rate_and_burst(LOSS_RATE, 8.0)),
+        1,
+    );
+    let timed = run(
+        Box::new(TimedGilbertElliott::from_rate_and_burst_secs(
+            LOSS_RATE, 1.5,
+        )),
+        1,
+    );
     assert!(
         pkt.packets_sent * 20 < timed.packets_sent,
         "frozen chain should starve the connection: {} vs {}",
@@ -85,7 +107,9 @@ fn deeper_backoff_with_longer_episodes() {
     // Longer loss episodes → deeper backoff (T2 and beyond, not just T1).
     let deep = |mean_burst: f64| {
         let s = run(
-            Box::new(TimedGilbertElliott::from_rate_and_burst_secs(0.08, mean_burst)),
+            Box::new(TimedGilbertElliott::from_rate_and_burst_secs(
+                0.08, mean_burst,
+            )),
             3,
         );
         s.to_sequences[2..].iter().sum::<u64>()

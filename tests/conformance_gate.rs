@@ -1,0 +1,55 @@
+//! Tier-1 gate: the paper-conformance audit and the strict lint pass must
+//! stay clean under a plain `cargo test`.
+//!
+//! This test runs the same checks as `cargo run -p pftk-audit`: every MUST
+//! claim in `specs/pftk-spec.toml` needs at least one implementation and one
+//! test citation (`//= pftk#<id>` / `//= pftk#<id> type=test`), no citation
+//! may reference an unknown or retired claim, and the lint rules (panic
+//! family in library code, lossy casts in model/sim, float equality against
+//! literals) admit no unwhitelisted violations.
+//!
+//! If this test fails, run `cargo run -p pftk-audit` for the full report
+//! (also written to `results/conformance.json`).
+
+use pftk_audit::run_audit;
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // The root package's manifest dir IS the workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn audit_passes() {
+    let outcome = run_audit(workspace_root()).expect("audit ran");
+    let report = pftk_audit::report::render_summary(&outcome);
+    assert!(
+        outcome.is_clean(),
+        "paper-conformance audit failed; run `cargo run -p pftk-audit` for details\n\n{report}"
+    );
+}
+
+#[test]
+fn every_must_claim_fully_covered() {
+    let outcome = run_audit(workspace_root()).expect("audit ran");
+    let uncovered = outcome.conformance.uncovered_must();
+    assert!(
+        uncovered.is_empty(),
+        "MUST claims lacking an impl or test citation: {:?}",
+        uncovered.iter().map(|c| &c.id).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn no_unwhitelisted_lint_violations() {
+    let outcome = run_audit(workspace_root()).expect("audit ran");
+    assert!(
+        outcome.lint.is_empty(),
+        "lint violations (annotate deliberate sites with `//~ allow(rule): reason`): {:?}",
+        outcome
+            .lint
+            .iter()
+            .map(|v| format!("{}[{}:{}]", v.rule, v.file.display(), v.line))
+            .collect::<Vec<_>>()
+    );
+}

@@ -33,7 +33,10 @@ fn run_with(b: u32, wire_p: f64, seed: u64, bursty: bool) -> Outcome {
         },
         ..SenderConfig::default()
     };
-    let receiver = ReceiverConfig { ack_every: b, ..ReceiverConfig::default() };
+    let receiver = ReceiverConfig {
+        ack_every: b,
+        ..ReceiverConfig::default()
+    };
     let loss: Box<dyn LossModel + Send> = if bursty {
         Box::new(RoundCorrelated::new(wire_p))
     } else {
@@ -72,6 +75,8 @@ fn model_fit(b: u32, wire_p: f64, bursty: bool) -> (f64, f64) {
 }
 
 #[test]
+//= pftk#eq-32 type=test
+//= pftk#loss-model type=test
 fn model_fits_simulator_within_paper_error_bands() {
     // Constant RTT, the paper's round-correlated loss, generous window.
     // Whole-round bursts put real Reno in the timeout-dominated regime
@@ -104,10 +109,14 @@ fn bernoulli_losses_fit_tighter_than_bursts() {
         err_bern < err_burst,
         "Bernoulli error {err_bern:.3} should beat bursty error {err_burst:.3}"
     );
-    assert!(err_bern < 0.35, "Bernoulli fit {err_bern:.3} should be tight");
+    assert!(
+        err_bern < 0.35,
+        "Bernoulli fit {err_bern:.3} should be tight"
+    );
 }
 
 #[test]
+//= pftk#delack-b type=test
 fn delayed_acks_match_b2_model_variant() {
     // With delayed ACKs the b = 2 model must fit better than the b = 1
     // model evaluated on the same runs — the delayed-ACK factor is doing

@@ -16,7 +16,10 @@ use padhye_tcp_repro::trace::record::Trace;
 use padhye_tcp_repro::trace::table::TableRow;
 
 fn simulate(secs: f64, p: f64, wmax: u32, seed: u64) -> Trace {
-    let sender = SenderConfig { rwnd: wmax, ..SenderConfig::default() };
+    let sender = SenderConfig {
+        rwnd: wmax,
+        ..SenderConfig::default()
+    };
     let mut conn = Connection::builder()
         .rtt(0.2)
         .loss(Box::new(RoundCorrelated::new(p)))
@@ -50,9 +53,12 @@ fn full_pipeline_through_jsonl() {
     assert_eq!(intervals.len(), 9);
     let observations = Observation::from_intervals(&intervals, 100.0);
     let params = ModelParams::new(rtt, timing.mean_t0.unwrap_or(1.0), 2, 32).unwrap();
-    let err_full =
-        average_error(&observations, |p| full_model(LossProb::new(p).unwrap(), &params));
-    let err_td = average_error(&observations, |p| td_only(LossProb::new(p).unwrap(), &params));
+    let err_full = average_error(&observations, |p| {
+        full_model(LossProb::new(p).unwrap(), &params)
+    });
+    let err_td = average_error(&observations, |p| {
+        td_only(LossProb::new(p).unwrap(), &params)
+    });
     assert!(err_full.is_finite() && err_td.is_finite());
     assert!(
         err_full < 1.0,
@@ -68,7 +74,10 @@ fn full_pipeline_through_binary_encoding() {
     let restored = Trace::decode_binary(&mut buf.as_slice()).unwrap();
     let a1 = analyze(&trace, AnalyzerConfig::default());
     let a2 = analyze(&restored, AnalyzerConfig::default());
-    assert_eq!(a1, a2, "analysis must be identical across the binary roundtrip");
+    assert_eq!(
+        a1, a2,
+        "analysis must be identical across the binary roundtrip"
+    );
 }
 
 #[test]

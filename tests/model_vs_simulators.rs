@@ -8,7 +8,14 @@ use padhye_tcp_repro::sim::rounds::{RoundsConfig, RoundsSim};
 
 fn rounds_rate(p: f64, rtt: f64, t0: f64, wmax: u32, horizon: f64) -> f64 {
     let mut sim = RoundsSim::new(
-        RoundsConfig { p, rtt, t0, b: 2, wmax, ..RoundsConfig::default() },
+        RoundsConfig {
+            p,
+            rtt,
+            t0,
+            b: 2,
+            wmax,
+            ..RoundsConfig::default()
+        },
         42,
     );
     sim.run_for(horizon);
@@ -16,6 +23,9 @@ fn rounds_rate(p: f64, rtt: f64, t0: f64, wmax: u32, horizon: f64) -> f64 {
 }
 
 #[test]
+//= pftk#eq-32 type=test
+//= pftk#loss-model type=test
+//= pftk#infinite-source type=test
 fn closed_form_tracks_rounds_sim_across_loss_range() {
     // The rounds simulator executes the §II assumptions exactly; Eq. (32)
     // linearizes them. Agreement must be within ~35% everywhere on the
@@ -25,15 +35,22 @@ fn closed_form_tracks_rounds_sim_across_loss_range() {
         let model = full_model(LossProb::new(p).unwrap(), &params);
         let sim = rounds_rate(p, 0.47, 3.2, 12, 500_000.0);
         let rel = (model - sim).abs() / sim;
-        assert!(rel < 0.35, "p={p}: model={model:.3}, sim={sim:.3}, rel={rel:.3}");
+        assert!(
+            rel < 0.35,
+            "p={p}: model={model:.3}, sim={sim:.3}, rel={rel:.3}"
+        );
     }
     let p = 0.002;
     let model = full_model(LossProb::new(p).unwrap(), &params);
     let sim = rounds_rate(p, 0.47, 3.2, 12, 500_000.0);
-    assert!((model - sim).abs() / sim < 0.08, "low-p agreement must be tight");
+    assert!(
+        (model - sim).abs() / sim < 0.08,
+        "low-p agreement must be tight"
+    );
 }
 
 #[test]
+//= pftk#markov-crosscheck type=test
 fn markov_chain_sits_between_closed_form_and_rounds_sim() {
     // Fig. 12's comparison: the chain keeps the window distribution the
     // closed form collapses to a mean, so it lands closer to the exact
@@ -49,11 +66,15 @@ fn markov_chain_sits_between_closed_form_and_rounds_sim() {
             "p={p}: closed {closed:.3} below markov {markov:.3}"
         );
         let rel = (markov - sim).abs() / sim;
-        assert!(rel < 0.12, "p={p}: markov={markov:.3} vs sim={sim:.3}, rel={rel:.3}");
+        assert!(
+            rel < 0.12,
+            "p={p}: markov={markov:.3} vs sim={sim:.3}, rel={rel:.3}"
+        );
     }
 }
 
 #[test]
+//= pftk#eq-31 type=test
 fn window_limited_regime_hits_ceiling_in_both() {
     // At negligible loss both the model and the simulator pin at W_m/RTT.
     let params = ModelParams::new(0.1, 1.0, 2, 8).unwrap();
@@ -72,10 +93,17 @@ fn throughput_gap_matches_rounds_sim() {
     let params = ModelParams::new(0.47, 3.2, 2, 12).unwrap();
     let p = 0.05;
     let lp = LossProb::new(p).unwrap();
-    let model_eff = padhye_tcp_repro::model::throughput::throughput(lp, &params)
-        / full_model(lp, &params);
+    let model_eff =
+        padhye_tcp_repro::model::throughput::throughput(lp, &params) / full_model(lp, &params);
     let mut sim = RoundsSim::new(
-        RoundsConfig { p, rtt: 0.47, t0: 3.2, b: 2, wmax: 12, ..RoundsConfig::default() },
+        RoundsConfig {
+            p,
+            rtt: 0.47,
+            t0: 3.2,
+            b: 2,
+            wmax: 12,
+            ..RoundsConfig::default()
+        },
         42,
     );
     sim.run_for(500_000.0);

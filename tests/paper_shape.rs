@@ -21,6 +21,7 @@ fn short_run(
 }
 
 #[test]
+//= pftk#q-hat-24 type=test
 fn timeouts_dominate_loss_indications() {
     // Table II's headline: "in all traces, time-outs constitute the
     // majority or a significant fraction of the total number of loss
@@ -30,7 +31,9 @@ fn timeouts_dominate_loss_indications() {
     for (name, seed) in [("alps", 11u64), ("maria", 12), ("mafalda", 13)] {
         let spec = table2_path("manic", name).unwrap();
         let results = run_serial_100s(spec, 8, seed);
-        let analyzer = AnalyzerConfig { dupack_threshold: 3 };
+        let analyzer = AnalyzerConfig {
+            dupack_threshold: 3,
+        };
         let (mut td, mut to) = (0u64, 0u64);
         for r in &results {
             let a = analyze(&r.trace, analyzer);
@@ -51,13 +54,23 @@ fn exponential_backoff_occurs() {
     // frequency" on lossy paths.
     let spec = table2_path("void", "tove").unwrap(); // 10% loss path
     let r = short_run(spec, 21);
-    let a = analyze(&r.trace, AnalyzerConfig { dupack_threshold: 2 });
+    let a = analyze(
+        &r.trace,
+        AnalyzerConfig {
+            dupack_threshold: 2,
+        },
+    );
     let hist = a.to_histogram();
     let backoffs: u64 = hist[1..].iter().sum();
-    assert!(backoffs > 0, "expected T1+ sequences on a 10%-loss path, got {hist:?}");
+    assert!(
+        backoffs > 0,
+        "expected T1+ sequences on a 10%-loss path, got {hist:?}"
+    );
 }
 
 #[test]
+//= pftk#eq-28 type=test
+//= pftk#eq-20 type=test
 fn full_model_beats_td_only_where_timeouts_dominate() {
     // Figs. 9/10: the proposed model's average error is below TD-only's on
     // timeout-dominated paths.
@@ -77,7 +90,10 @@ fn full_model_beats_td_only_where_timeouts_dominate() {
             wins += 1;
         }
     }
-    assert!(wins >= 3, "full model won only {wins}/{total} timeout-heavy paths");
+    assert!(
+        wins >= 3,
+        "full model won only {wins}/{total} timeout-heavy paths"
+    );
 }
 
 #[test]
@@ -91,8 +107,14 @@ fn td_only_ignores_window_limit_and_overpredicts_at_low_p() {
     let td = td_only(lp, &params);
     let full = full_model(lp, &params);
     let ceiling = params.window_limited_rate();
-    assert!(td > 2.0 * ceiling, "TD-only {td:.1} should blow through W_m/RTT {ceiling:.1}");
-    assert!(full <= ceiling * 1.01, "full model must respect the ceiling");
+    assert!(
+        td > 2.0 * ceiling,
+        "TD-only {td:.1} should blow through W_m/RTT {ceiling:.1}"
+    );
+    assert!(
+        full <= ceiling * 1.01,
+        "full model must respect the ceiling"
+    );
 }
 
 #[test]
@@ -126,7 +148,10 @@ fn modem_regime_breaks_the_model() {
         normal_corr.abs() < 0.4,
         "normal-path correlation {normal_corr:.2} unexpectedly high"
     );
-    assert!(corr > normal_corr + 0.3, "modem must stand out against normal paths");
+    assert!(
+        corr > normal_corr + 0.3,
+        "modem must stand out against normal paths"
+    );
 }
 
 #[test]

@@ -41,6 +41,7 @@ fn simulate_mean(n: u64, p: f64, rtt: f64, wmax: u32, reps: u64) -> f64 {
 }
 
 #[test]
+//= pftk#short-flow type=test
 fn lossless_transfers_match_slow_start_analysis() {
     // With no loss the latency is pure slow start (+ window cap): the model
     // should match the simulator within ~25% over a wide size range.
@@ -58,6 +59,7 @@ fn lossless_transfers_match_slow_start_analysis() {
 }
 
 #[test]
+//= pftk#short-flow type=test
 fn lossy_transfers_within_factor_band() {
     // With loss, the decomposition (slow start + recovery + steady state)
     // should land within a factor-2 band of the simulator — the same

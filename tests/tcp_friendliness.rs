@@ -47,6 +47,7 @@ fn friendly_rate(seed: u64) -> f64 {
 }
 
 #[test]
+//= pftk#tcp-friendly type=test
 fn friendly_rate_is_near_the_fair_share() {
     let rate = friendly_rate(11);
     // Two flows on a 100 pkt/s link: fair share is 50. The equation should
@@ -59,6 +60,8 @@ fn friendly_rate_is_near_the_fair_share() {
 }
 
 #[test]
+//= pftk#eq-33 type=test
+//= pftk#tcp-friendly type=test
 fn cbr_at_friendly_rate_coexists_with_tcp() {
     let friendly = friendly_rate(12).min(LINK_PPS * 0.6);
     let (tcp_rate, cbr_goodput, _) = run_tcp_vs_cbr(friendly, 13);

@@ -21,7 +21,11 @@ use padhye_tcp_repro::sim::ConnStats;
 const HORIZON: f64 = 900.0;
 
 fn run(style: RenoStyle, wire_p: f64, seed: u64) -> ConnStats {
-    let sender = SenderConfig { style, rwnd: 32, ..SenderConfig::default() };
+    let sender = SenderConfig {
+        style,
+        rwnd: 32,
+        ..SenderConfig::default()
+    };
     let mut c = Connection::builder()
         .rtt(0.1)
         .loss(Box::new(RoundCorrelated::new(wire_p)))
@@ -36,7 +40,11 @@ fn run(style: RenoStyle, wire_p: f64, seed: u64) -> ConnStats {
 /// Averages a metric over several seeds (one connection per seed).
 fn mean_over_seeds<F: Fn(&ConnStats) -> f64>(style: RenoStyle, wire_p: f64, f: F) -> f64 {
     let seeds = [1u64, 2, 3, 4];
-    seeds.iter().map(|&s| f(&run(style, wire_p, s))).sum::<f64>() / seeds.len() as f64
+    seeds
+        .iter()
+        .map(|&s| f(&run(style, wire_p, s)))
+        .sum::<f64>()
+        / seeds.len() as f64
 }
 
 #[test]
@@ -104,9 +112,18 @@ fn timeout_share_shrinks_with_better_recovery() {
 
 #[test]
 fn all_variants_conserve_and_deliver() {
-    for style in [RenoStyle::Tahoe, RenoStyle::Reno, RenoStyle::NewReno, RenoStyle::Sack] {
+    for style in [
+        RenoStyle::Tahoe,
+        RenoStyle::Reno,
+        RenoStyle::NewReno,
+        RenoStyle::Sack,
+    ] {
         let s = run(style, 0.03, 9);
-        assert_eq!(s.packets_sent, s.packets_sent_new + s.retransmissions, "{style:?}");
+        assert_eq!(
+            s.packets_sent,
+            s.packets_sent_new + s.retransmissions,
+            "{style:?}"
+        );
         assert!(s.packets_delivered > 0, "{style:?} delivered nothing");
         assert!(s.packets_delivered <= s.packets_sent, "{style:?}");
         assert!(s.loss_indications() > 0, "{style:?} saw no loss at 3%");
@@ -126,7 +143,11 @@ fn variants_converge_under_isolated_losses() {
         seeds
             .iter()
             .map(|&seed| {
-                let sender = SenderConfig { style, rwnd: 32, ..SenderConfig::default() };
+                let sender = SenderConfig {
+                    style,
+                    rwnd: 32,
+                    ..SenderConfig::default()
+                };
                 let mut c = Connection::builder()
                     .rtt(0.1)
                     .loss(Box::new(Bernoulli::new(0.005)))
@@ -146,7 +167,13 @@ fn variants_converge_under_isolated_losses() {
     let tahoe = rate(RenoStyle::Tahoe);
     for (name, v) in [("NewReno", newreno), ("SACK", sack)] {
         let rel = (v - reno).abs() / reno;
-        assert!(rel < 0.10, "{name} {v:.1} vs Reno {reno:.1}: isolated losses should converge");
+        assert!(
+            rel < 0.10,
+            "{name} {v:.1} vs Reno {reno:.1}: isolated losses should converge"
+        );
     }
-    assert!(tahoe < reno, "Tahoe {tahoe:.1} must trail Reno {reno:.1} even here");
+    assert!(
+        tahoe < reno,
+        "Tahoe {tahoe:.1} must trail Reno {reno:.1} even here"
+    );
 }
