@@ -499,18 +499,31 @@ pub fn fig8(scale: &RunScale) {
 /// ordered by increasing TD-only error (the paper's presentation).
 pub fn fig9(scale: &RunScale) {
     section("Fig. 9 — Average error, hour-long traces");
-    let results = if (scale.hour_secs - 3600.0).abs() < 1.0 {
-        run_table2(TABLE2_PATHS, scale.seed)
-    } else {
-        TABLE2_PATHS
-            .iter()
-            .map(|s| run_serial_100s(s, 1, scale.seed).remove(0))
-            .collect()
-    };
+    let results: Vec<Option<tcp_testbed::ExperimentResult>> =
+        if (scale.hour_secs - 3600.0).abs() < 1.0 {
+            let report = run_table2(TABLE2_PATHS, scale.seed);
+            if !report.is_complete() {
+                eprintln!("  partial campaign: {}", report.summary());
+            }
+            report.rows.into_iter().map(|row| row.result).collect()
+        } else {
+            TABLE2_PATHS
+                .iter()
+                .map(|s| Some(run_serial_100s(s, 1, scale.seed).remove(0)))
+                .collect()
+        };
+    // Failed paths are explicit holes: skipped from the error comparison
+    // (and the skip is visible), never silently averaged as zeros.
     let mut triples: Vec<_> = TABLE2_PATHS
         .iter()
         .zip(&results)
-        .map(|(spec, r)| error_triple_hourly(spec, r, 100.0))
+        .filter_map(|(spec, slot)| match slot {
+            Some(r) => Some(error_triple_hourly(spec, r, 100.0)),
+            None => {
+                println!("{:<22} (no data: experiment failed)", spec.id());
+                None
+            }
+        })
         .collect();
     triples.sort_by(|a, b| a.td_only.total_cmp(&b.td_only));
     println!(

@@ -8,6 +8,7 @@
 //! analysis programs consume.
 
 use crate::event::EventQueue;
+use crate::fault::{Direction, FaultPlan, Impairment};
 use crate::link::Path;
 use crate::loss::{LossModel, NoLoss};
 use crate::packet::{Ack, Segment, Seq};
@@ -48,6 +49,7 @@ pub struct ConnectionBuilder {
     rev: Option<Path>,
     loss: Box<dyn LossModel + Send>,
     ack_loss: Option<Box<dyn LossModel + Send>>,
+    fault: FaultPlan,
     rtt: SimDuration,
     seed: u64,
 }
@@ -84,6 +86,15 @@ impl ConnectionBuilder {
         self
     }
 
+    /// A composed impairment plan ([`crate::fault`]) layered on top of the
+    /// loss model and paths: reordering, duplication, ACK loss, delay
+    /// spikes, link flaps (default: no impairments). Applied after path
+    /// transit so delays can reorder across the path's FIFO clamp.
+    pub fn fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = plan;
+        self
+    }
+
     /// Sender tunables (window, dupthresh, RTO machinery).
     pub fn sender_config(mut self, config: SenderConfig) -> Self {
         self.sender = config;
@@ -113,6 +124,10 @@ impl ConnectionBuilder {
         let mut root = SimRng::seed_from_u64(self.seed);
         let loss_rng = root.fork(1);
         let path_rng = root.fork(2);
+        // Forked last so that adding (or removing) a fault plan leaves the
+        // loss and path streams — and thus every pre-existing seeded test —
+        // bit-for-bit unchanged.
+        let fault_rng = root.fork(3);
         let half = SimDuration::from_nanos(self.rtt.as_nanos() / 2);
         Connection {
             now: SimTime::ZERO,
@@ -123,13 +138,16 @@ impl ConnectionBuilder {
             rev: self.rev.unwrap_or_else(|| Path::constant(half)),
             loss: self.loss,
             ack_loss: self.ack_loss,
+            fault: self.fault,
             loss_rng,
             path_rng,
+            fault_rng,
             observer,
             rto_gen: 0,
             delack_gen: 0,
             next_round_seq: 0,
             started: false,
+            events_processed: 0,
         }
     }
 
@@ -149,13 +167,16 @@ pub struct Connection<O: Observer = ()> {
     rev: Path,
     loss: Box<dyn LossModel + Send>,
     ack_loss: Option<Box<dyn LossModel + Send>>,
+    fault: FaultPlan,
     loss_rng: SimRng,
     path_rng: SimRng,
+    fault_rng: SimRng,
     observer: O,
     rto_gen: u64,
     delack_gen: u64,
     next_round_seq: Seq,
     started: bool,
+    events_processed: u64,
 }
 
 impl Connection<()> {
@@ -169,6 +190,7 @@ impl Connection<()> {
             rev: None,
             loss: Box::new(NoLoss),
             ack_loss: None,
+            fault: FaultPlan::none(),
             rtt: SimDuration::from_millis(100),
             seed: 0,
         }
@@ -213,9 +235,26 @@ impl<O: Observer> Connection<O> {
         self.fwd.bottleneck_drops() + self.rev.bottleneck_drops()
     }
 
+    /// Total discrete events processed so far. Monotone over the life of
+    /// the connection; the testbed supervisor uses it as a sim-event budget
+    /// so a pathological configuration cannot spin the event loop forever.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
     /// Runs the connection until the simulated clock reaches `until`.
     /// May be called repeatedly with increasing horizons.
     pub fn run_until(&mut self, until: SimTime) {
+        let _ = self.run_until_budget(until, u64::MAX);
+    }
+
+    /// Like [`Connection::run_until`], but aborts once the *total* event
+    /// count ([`Connection::events_processed`]) reaches `max_events`,
+    /// returning `true` on abort. The clock is left at the last processed
+    /// event rather than advanced to `until`, so callers can report how
+    /// far the simulation actually got. This is the sim-side deadline the
+    /// testbed supervisor arms against runaway event loops.
+    pub fn run_until_budget(&mut self, until: SimTime, max_events: u64) -> bool {
         if !self.started {
             self.started = true;
             let out = self.sender.on_start(self.now);
@@ -225,10 +264,14 @@ impl<O: Observer> Connection<O> {
             if at > until {
                 break;
             }
+            if self.events_processed >= max_events {
+                return true;
+            }
             let Some((at, ev)) = self.queue.pop() else {
                 break;
             };
             self.now = at;
+            self.events_processed += 1;
             match ev {
                 Ev::DataArrive(seg) => {
                     let out = self.receiver.on_segment(self.now, seg);
@@ -254,6 +297,7 @@ impl<O: Observer> Connection<O> {
             }
         }
         self.now = until;
+        false
     }
 
     /// Convenience: run for a span from the current clock.
@@ -295,7 +339,27 @@ impl<O: Observer> Connection<O> {
                 continue;
             }
             match self.fwd.transit(self.now, &mut self.path_rng) {
-                Some(arrival) => self.queue.schedule(arrival, Ev::DataArrive(seg)),
+                Some(arrival) => {
+                    if self.fault.is_empty() {
+                        self.queue.schedule(arrival, Ev::DataArrive(seg));
+                    } else {
+                        let fate = self
+                            .fault
+                            .apply(self.now, Direction::Data, &mut self.fault_rng);
+                        if fate.dropped {
+                            self.sender.stats.packets_dropped += 1;
+                        } else {
+                            let at = arrival + fate.extra_delay;
+                            self.queue.schedule(at, Ev::DataArrive(seg));
+                            // Extra copies land a nanosecond apart: distinct
+                            // arrivals, effectively simultaneous.
+                            for k in 1..=u64::from(fate.duplicates) {
+                                let dup_at = at + SimDuration::from_nanos(k);
+                                self.queue.schedule(dup_at, Ev::DataArrive(seg));
+                            }
+                        }
+                    }
+                }
                 None => self.sender.stats.packets_dropped += 1,
             }
         }
@@ -313,7 +377,21 @@ impl<O: Observer> Connection<O> {
                 }
             }
             if let Some(arrival) = self.rev.transit(self.now, &mut self.path_rng) {
-                self.queue.schedule(arrival, Ev::AckArrive(ack));
+                if self.fault.is_empty() {
+                    self.queue.schedule(arrival, Ev::AckArrive(ack));
+                } else {
+                    let fate = self
+                        .fault
+                        .apply(self.now, Direction::Ack, &mut self.fault_rng);
+                    if !fate.dropped {
+                        let at = arrival + fate.extra_delay;
+                        self.queue.schedule(at, Ev::AckArrive(ack));
+                        for k in 1..=u64::from(fate.duplicates) {
+                            let dup_at = at + SimDuration::from_nanos(k);
+                            self.queue.schedule(dup_at, Ev::AckArrive(ack));
+                        }
+                    }
+                }
             }
         }
         match out.timer {
@@ -540,6 +618,119 @@ mod tests {
         // with losses allow a wide but finite band.
         let secs = at.as_secs_f64();
         assert!(secs > 0.5 && secs < 120.0, "completion at {secs}s");
+    }
+
+    #[test]
+    fn events_processed_is_monotone_and_positive() {
+        let mut c = Connection::builder().rtt(0.1).build();
+        assert_eq!(c.events_processed(), 0);
+        c.run_for(secs(1.0));
+        let after_1s = c.events_processed();
+        assert!(after_1s > 0);
+        c.run_for(secs(1.0));
+        assert!(c.events_processed() > after_1s);
+    }
+
+    #[test]
+    fn event_budget_aborts_without_advancing_to_horizon() {
+        let mut c = Connection::builder()
+            .rtt(0.1)
+            .loss(Box::new(Bernoulli::new(0.02)))
+            .seed(8)
+            .build();
+        let aborted = c.run_until_budget(SimTime::from_secs_f64(600.0), 500);
+        assert!(aborted, "500 events must not cover 600 s");
+        assert!(c.events_processed() >= 500);
+        assert!(c.now() < SimTime::from_secs_f64(600.0));
+        // The abort is clean: the run can be resumed with a larger budget.
+        let aborted = c.run_until_budget(SimTime::from_secs_f64(600.0), u64::MAX);
+        assert!(!aborted);
+        assert_eq!(c.now(), SimTime::from_secs_f64(600.0));
+    }
+
+    #[test]
+    fn faulted_connection_replays_identically() {
+        use crate::fault::FaultPlan;
+        // Composed FaultPlan determinism: same plan seed + connection seed
+        // ⇒ identical trace (stats are a digest of the wire trace).
+        let run = |plan_seed| {
+            let mut c = Connection::builder()
+                .rtt(0.1)
+                .loss(Box::new(Bernoulli::new(0.01)))
+                .fault(FaultPlan::from_seed(plan_seed))
+                .seed(33)
+                .build();
+            c.run_for(secs(120.0));
+            c.finish();
+            c.stats()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn empty_fault_plan_changes_nothing() {
+        use crate::fault::FaultPlan;
+        let baseline = {
+            let mut c = Connection::builder()
+                .rtt(0.1)
+                .loss(Box::new(Bernoulli::new(0.02)))
+                .seed(5)
+                .build();
+            c.run_for(secs(60.0));
+            c.finish();
+            c.stats()
+        };
+        let with_empty_plan = {
+            let mut c = Connection::builder()
+                .rtt(0.1)
+                .loss(Box::new(Bernoulli::new(0.02)))
+                .fault(FaultPlan::none())
+                .seed(5)
+                .build();
+            c.run_for(secs(60.0));
+            c.finish();
+            c.stats()
+        };
+        assert_eq!(baseline, with_empty_plan);
+    }
+
+    #[test]
+    //= pftk#random-drop-robustness type=test
+    fn connection_survives_heavy_chaos() {
+        use crate::fault::{
+            AckLoss, CorruptDrop, Duplicate, FaultPlan, JitterBurst, LinkFlap, Reorder,
+        };
+        use crate::time::SimTime;
+        let plan = FaultPlan::none()
+            .with(Box::new(Reorder::new(0.1, SimDuration::from_millis(150))))
+            .with(Box::new(Duplicate::new(0.05, 2)))
+            .with(Box::new(AckLoss::new(0.2)))
+            .with(Box::new(JitterBurst::new(
+                5.0,
+                1.0,
+                SimDuration::from_millis(300),
+            )))
+            .with(Box::new(LinkFlap::new(
+                SimTime::from_secs_f64(20.0),
+                SimDuration::from_secs_f64(40.0),
+                SimDuration::from_secs_f64(6.0),
+            )))
+            .with(Box::new(CorruptDrop::new(0.02)));
+        let mut c = Connection::builder()
+            .rtt(0.1)
+            .loss(Box::new(Bernoulli::new(0.02)))
+            .fault(plan)
+            .seed(91)
+            .build();
+        c.run_for(secs(300.0));
+        c.finish();
+        let s = c.stats();
+        // Under heavy chaos the connection must still make progress and the
+        // core accounting identities must hold.
+        assert!(s.packets_delivered > 0, "no progress under chaos");
+        assert!(s.packets_delivered <= s.packets_sent);
+        assert_eq!(s.packets_sent, s.packets_sent_new + s.retransmissions);
+        assert!(s.to_events() > 0, "multi-RTO outages must force timeouts");
     }
 
     #[test]

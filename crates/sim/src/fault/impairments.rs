@@ -1,0 +1,454 @@
+//! The concrete impairments: reordering, duplication, ACK loss, delay
+//! bursts, link flaps, and corruption-as-drop.
+//!
+//! Each one models a failure mode the paper's measured connections were
+//! exposed to but the clean testbed never exercised. All are deterministic
+//! functions of their configuration and the RNG stream they are handed.
+
+use super::{Direction, Impairment, PacketFate};
+use crate::loss::TimedGilbertElliott;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Packet reordering by bounded hold-back: with probability `p` a packet
+/// is delayed by a uniform extra hold in `(0, max_hold]`, letting packets
+/// sent after it overtake it. The displacement is *bounded*: no packet is
+/// ever held longer than `max_hold`.
+#[derive(Debug, Clone)]
+pub struct Reorder {
+    p: f64,
+    max_hold: SimDuration,
+}
+
+impl Reorder {
+    /// Reorders a fraction `p` of packets (clamped to `[0, 1]`) with a
+    /// hold-back of at most `max_hold`.
+    pub fn new(p: f64, max_hold: SimDuration) -> Self {
+        Reorder {
+            p: p.clamp(0.0, 1.0),
+            max_hold,
+        }
+    }
+
+    /// The displacement bound.
+    pub fn max_hold(&self) -> SimDuration {
+        self.max_hold
+    }
+}
+
+impl Impairment for Reorder {
+    fn apply(&mut self, _now: SimTime, _dir: Direction, rng: &mut SimRng) -> PacketFate {
+        if !rng.chance(self.p) || self.max_hold == SimDuration::ZERO {
+            return PacketFate::clean();
+        }
+        let hold = rng.uniform_u64(1, self.max_hold.as_nanos());
+        PacketFate {
+            extra_delay: SimDuration::from_nanos(hold),
+            ..PacketFate::clean()
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "reorder"
+    }
+}
+
+/// Packet duplication: with probability `p`, exactly `copies` extra copies
+/// of the packet are delivered (both directions — duplicated ACKs are the
+/// interesting case, since they can trip the fast-retransmit threshold).
+#[derive(Debug, Clone)]
+pub struct Duplicate {
+    p: f64,
+    copies: u32,
+}
+
+impl Duplicate {
+    /// Duplicates a fraction `p` of packets `copies` extra times.
+    pub fn new(p: f64, copies: u32) -> Self {
+        Duplicate {
+            p: p.clamp(0.0, 1.0),
+            copies,
+        }
+    }
+
+    /// Extra copies delivered per duplicated packet.
+    pub fn copies(&self) -> u32 {
+        self.copies
+    }
+}
+
+impl Impairment for Duplicate {
+    fn apply(&mut self, _now: SimTime, _dir: Direction, rng: &mut SimRng) -> PacketFate {
+        if rng.chance(self.p) {
+            PacketFate {
+                duplicates: self.copies,
+                ..PacketFate::clean()
+            }
+        } else {
+            PacketFate::clean()
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "duplicate"
+    }
+}
+
+/// Reverse-path Bernoulli ACK loss. The §II model assumes ACKs are never
+/// lost; this impairment exists to stress exactly that assumption (TCP's
+/// cumulative ACKs make moderate ACK loss mostly harmless, which the
+/// chaos tests confirm).
+//= pftk#ack-path-lossless
+#[derive(Debug, Clone)]
+pub struct AckLoss {
+    p: f64,
+}
+
+impl AckLoss {
+    /// Drops each ACK independently with probability `p`.
+    pub fn new(p: f64) -> Self {
+        AckLoss {
+            p: p.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl Impairment for AckLoss {
+    fn apply(&mut self, _now: SimTime, dir: Direction, rng: &mut SimRng) -> PacketFate {
+        if dir == Direction::Ack && rng.chance(self.p) {
+            PacketFate::drop_packet()
+        } else {
+            PacketFate::clean()
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "ack-loss"
+    }
+}
+
+/// Timed delay bursts (RTT spikes): during an episode every packet in both
+/// directions is delayed by `spike` on top of its normal path delay.
+/// Episode timing reuses the [`TimedGilbertElliott`] chain: exponential
+/// Good (quiet) and Bad (spiking) durations in seconds, so an episode can
+/// span a timeout and distort the sender's RTT estimator — the clock
+/// weirdness of real traces.
+#[derive(Debug, Clone)]
+pub struct JitterBurst {
+    episodes: TimedGilbertElliott,
+    spike: SimDuration,
+}
+
+impl JitterBurst {
+    /// Quiet periods of mean `mean_quiet_secs`, spiking episodes of mean
+    /// `mean_burst_secs`, adding `spike` delay per packet while active.
+    pub fn new(mean_quiet_secs: f64, mean_burst_secs: f64, spike: SimDuration) -> Self {
+        JitterBurst {
+            episodes: TimedGilbertElliott::new(mean_quiet_secs, mean_burst_secs),
+            spike,
+        }
+    }
+
+    /// The added per-packet delay during an episode.
+    pub fn spike(&self) -> SimDuration {
+        self.spike
+    }
+}
+
+impl Impairment for JitterBurst {
+    fn apply(&mut self, now: SimTime, _dir: Direction, rng: &mut SimRng) -> PacketFate {
+        if self.episodes.is_bad_at(now, rng) {
+            PacketFate {
+                extra_delay: self.spike,
+                ..PacketFate::clean()
+            }
+        } else {
+            PacketFate::clean()
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "jitter-burst"
+    }
+}
+
+/// Periodic full link outages ("flaps"): starting at `first_at`, every
+/// `period` the link goes down for `down_for`, dropping *everything* in
+/// both directions. An outage longer than the RTO also kills the timeout
+/// retransmissions, chaining the exponential-backoff sequences behind the
+/// T1+ columns of Table II.
+//= pftk#rto-backoff
+#[derive(Debug, Clone)]
+pub struct LinkFlap {
+    first_at: SimTime,
+    period: SimDuration,
+    down_for: SimDuration,
+}
+
+impl LinkFlap {
+    /// Outages of length `down_for` every `period`, the first beginning at
+    /// `first_at`. `period` must be positive and no shorter than
+    /// `down_for` (the link must come back up between flaps).
+    pub fn new(first_at: SimTime, period: SimDuration, down_for: SimDuration) -> Self {
+        assert!(
+            period > SimDuration::ZERO && period >= down_for,
+            "flap period must be positive and cover the outage"
+        );
+        LinkFlap {
+            first_at,
+            period,
+            down_for,
+        }
+    }
+
+    /// True while the link is down at `now`.
+    pub fn is_down(&self, now: SimTime) -> bool {
+        if now < self.first_at {
+            return false;
+        }
+        let since = now.saturating_since(self.first_at);
+        let phase = since.as_nanos() % self.period.as_nanos();
+        phase < self.down_for.as_nanos()
+    }
+
+    /// The configured outage length.
+    pub fn down_for(&self) -> SimDuration {
+        self.down_for
+    }
+}
+
+impl Impairment for LinkFlap {
+    fn apply(&mut self, now: SimTime, _dir: Direction, _rng: &mut SimRng) -> PacketFate {
+        if self.is_down(now) {
+            PacketFate::drop_packet()
+        } else {
+            PacketFate::clean()
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "link-flap"
+    }
+}
+
+/// Corruption-as-drop: a corrupted segment fails its checksum at the
+/// receiver and is discarded, which at the sender-side trace is
+/// indistinguishable from a wire loss. Applies to the data direction only
+/// (corrupted ACKs are modeled by [`AckLoss`]).
+#[derive(Debug, Clone)]
+pub struct CorruptDrop {
+    p: f64,
+}
+
+impl CorruptDrop {
+    /// Corrupts (and so drops) each data segment with probability `p`.
+    pub fn new(p: f64) -> Self {
+        CorruptDrop {
+            p: p.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl Impairment for CorruptDrop {
+    fn apply(&mut self, _now: SimTime, dir: Direction, rng: &mut SimRng) -> PacketFate {
+        if dir == Direction::Data && rng.chance(self.p) {
+            PacketFate::drop_packet()
+        } else {
+            PacketFate::clean()
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "corrupt-drop"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(77)
+    }
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn reorder_bound_respected() {
+        // Every hold-back must be in (0, max_hold]; with p = 1 every packet
+        // is held.
+        let bound = ms(40);
+        let mut imp = Reorder::new(1.0, bound);
+        let mut r = rng();
+        for i in 0..5_000u64 {
+            let fate = imp.apply(SimTime::from_nanos(i), Direction::Data, &mut r);
+            assert!(!fate.dropped);
+            assert!(fate.extra_delay > SimDuration::ZERO, "packet {i} not held");
+            assert!(
+                fate.extra_delay <= bound,
+                "packet {i} held {} > bound {}",
+                fate.extra_delay,
+                bound
+            );
+        }
+        assert_eq!(imp.max_hold(), bound);
+    }
+
+    #[test]
+    fn reorder_rate_matches_p() {
+        let mut imp = Reorder::new(0.25, ms(10));
+        let mut r = rng();
+        let held = (0..100_000)
+            .filter(|_| {
+                imp.apply(SimTime::ZERO, Direction::Data, &mut r)
+                    .extra_delay
+                    > SimDuration::ZERO
+            })
+            .count();
+        let rate = held as f64 / 100_000.0;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn reorder_zero_hold_is_noop() {
+        let mut imp = Reorder::new(1.0, SimDuration::ZERO);
+        let mut r = rng();
+        assert_eq!(
+            imp.apply(SimTime::ZERO, Direction::Data, &mut r),
+            PacketFate::clean()
+        );
+    }
+
+    #[test]
+    fn duplicate_count_exact() {
+        let mut imp = Duplicate::new(1.0, 3);
+        let mut r = rng();
+        for _ in 0..100 {
+            let fate = imp.apply(SimTime::ZERO, Direction::Ack, &mut r);
+            assert_eq!(fate.duplicates, 3, "duplicate count must be exact");
+            assert!(!fate.dropped);
+            assert_eq!(fate.extra_delay, SimDuration::ZERO);
+        }
+        assert_eq!(imp.copies(), 3);
+        let mut never = Duplicate::new(0.0, 3);
+        assert_eq!(
+            never.apply(SimTime::ZERO, Direction::Data, &mut r),
+            PacketFate::clean()
+        );
+    }
+
+    #[test]
+    //= pftk#ack-path-lossless type=test
+    fn ack_loss_only_touches_acks() {
+        let mut imp = AckLoss::new(1.0);
+        let mut r = rng();
+        assert!(
+            imp.apply(SimTime::ZERO, Direction::Ack, &mut r).dropped,
+            "p = 1 must drop every ACK"
+        );
+        assert!(
+            !imp.apply(SimTime::ZERO, Direction::Data, &mut r).dropped,
+            "data direction must pass untouched"
+        );
+    }
+
+    #[test]
+    fn ack_loss_rate_matches_p() {
+        let mut imp = AckLoss::new(0.3);
+        let mut r = rng();
+        let dropped = (0..100_000)
+            .filter(|_| imp.apply(SimTime::ZERO, Direction::Ack, &mut r).dropped)
+            .count();
+        let rate = dropped as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn jitter_burst_adds_spike_during_episodes() {
+        // Mean quiet 1 s, mean burst 50 s: once spiking starts it almost
+        // surely persists across the next 100 ms probe.
+        let mut imp = JitterBurst::new(1.0, 50.0, ms(200));
+        let mut r = rng();
+        let mut t_ns = 0u64;
+        while imp
+            .apply(SimTime::from_nanos(t_ns), Direction::Data, &mut r)
+            .extra_delay
+            == SimDuration::ZERO
+        {
+            t_ns += 100_000_000;
+            assert!(t_ns < 60_000_000_000, "never started spiking");
+        }
+        let fate = imp.apply(
+            SimTime::from_nanos(t_ns + 100_000_000),
+            Direction::Ack,
+            &mut r,
+        );
+        assert_eq!(fate.extra_delay, ms(200), "episode must persist in time");
+        assert_eq!(imp.spike(), ms(200));
+    }
+
+    #[test]
+    //= pftk#rto-backoff type=test
+    fn flap_duration_honored() {
+        // Down for 3 s every 10 s, starting at t = 5 s.
+        let mut imp = LinkFlap::new(
+            SimTime::from_secs_f64(5.0),
+            SimDuration::from_secs_f64(10.0),
+            SimDuration::from_secs_f64(3.0),
+        );
+        let mut r = rng();
+        let down_at = |imp: &mut LinkFlap, r: &mut SimRng, secs: f64| {
+            imp.apply(SimTime::from_secs_f64(secs), Direction::Data, r)
+                .dropped
+        };
+        // Before the first flap: up.
+        assert!(!down_at(&mut imp, &mut r, 0.0));
+        assert!(!down_at(&mut imp, &mut r, 4.9));
+        // During the first outage: down for exactly [5, 8).
+        assert!(down_at(&mut imp, &mut r, 5.0));
+        assert!(down_at(&mut imp, &mut r, 7.9));
+        assert!(!down_at(&mut imp, &mut r, 8.1));
+        // Next period: down again in [15, 18), both directions.
+        assert!(down_at(&mut imp, &mut r, 15.5));
+        assert!(
+            imp.apply(SimTime::from_secs_f64(16.0), Direction::Ack, &mut r)
+                .dropped
+        );
+        assert!(!down_at(&mut imp, &mut r, 18.5));
+        assert_eq!(imp.down_for(), SimDuration::from_secs_f64(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "flap period")]
+    fn flap_rejects_outage_longer_than_period() {
+        let _ = LinkFlap::new(
+            SimTime::ZERO,
+            SimDuration::from_secs_f64(1.0),
+            SimDuration::from_secs_f64(2.0),
+        );
+    }
+
+    #[test]
+    fn corrupt_drop_is_data_only() {
+        let mut imp = CorruptDrop::new(1.0);
+        let mut r = rng();
+        assert!(imp.apply(SimTime::ZERO, Direction::Data, &mut r).dropped);
+        assert!(!imp.apply(SimTime::ZERO, Direction::Ack, &mut r).dropped);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            Reorder::new(0.1, ms(1)).label(),
+            Duplicate::new(0.1, 1).label(),
+            AckLoss::new(0.1).label(),
+            JitterBurst::new(1.0, 1.0, ms(1)).label(),
+            LinkFlap::new(SimTime::ZERO, ms(10), ms(1)).label(),
+            CorruptDrop::new(0.1).label(),
+        ];
+        let unique: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(unique.len(), labels.len());
+    }
+}

@@ -1,0 +1,132 @@
+//! Composable network impairments — the chaos layer of the testbed.
+//!
+//! The paper's validation ran over the 1997 Internet, where connections
+//! saw far more than clean data-packet loss: packet reordering, duplicated
+//! deliveries, ACK loss on the reverse path, delay spikes, and outages
+//! long enough to span several RTO backoffs (the T5+ columns of Table II
+//! exist because of them). The [`crate::loss::LossModel`] family only
+//! covers the forward data path; this module layers arbitrary impairments
+//! *on top of* any loss model so the reproduction can be stressed the way
+//! the measured connections were.
+//!
+//! Design:
+//!
+//! * An [`Impairment`] sees every packet (data and ACK directions, via
+//!   [`Direction`]) and returns a [`PacketFate`]: drop it, delay it
+//!   (reordering, RTT spikes), or duplicate it.
+//! * [`plan::FaultPlan`] composes impairments; [`plan::FaultPlan::from_seed`]
+//!   draws a random composition deterministically from a [`SimRng`] seed,
+//!   so every chaos run is replayable bit for bit.
+//! * The connection applies the plan after the path model computes an
+//!   arrival time, so impairments can reorder across the FIFO clamp of
+//!   [`crate::link::Path`] — real cross-path reordering, not just jitter.
+//!
+//! Concrete impairments live in [`impairments`]:
+//!
+//! | impairment                   | effect                                        |
+//! |------------------------------|-----------------------------------------------|
+//! | [`impairments::Reorder`]     | bounded extra hold-back delay → reordering    |
+//! | [`impairments::Duplicate`]   | exact extra copies of a packet                |
+//! | [`impairments::AckLoss`]     | reverse-path Bernoulli ACK drops              |
+//! | [`impairments::JitterBurst`] | timed episodes of added delay (RTT spikes)    |
+//! | [`impairments::LinkFlap`]    | periodic full outages spanning multiple RTOs  |
+//! | [`impairments::CorruptDrop`] | corruption detected by checksum → drop        |
+
+pub mod impairments;
+pub mod plan;
+
+pub use impairments::{AckLoss, CorruptDrop, Duplicate, JitterBurst, LinkFlap, Reorder};
+pub use plan::FaultPlan;
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Which leg of the connection a packet travels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Sender → receiver data segments.
+    Data,
+    /// Receiver → sender cumulative ACKs.
+    Ack,
+}
+
+/// The combined fate of one packet after an impairment layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[must_use]
+pub struct PacketFate {
+    /// The packet is dropped entirely (loss, corruption, outage).
+    pub dropped: bool,
+    /// Extra one-way delay added on top of the path's arrival time.
+    pub extra_delay: SimDuration,
+    /// Number of *extra* copies delivered (0 = delivered once).
+    pub duplicates: u32,
+}
+
+impl PacketFate {
+    /// An untouched packet: delivered once, on time.
+    pub fn clean() -> PacketFate {
+        PacketFate::default()
+    }
+
+    /// A dropped packet.
+    pub fn drop_packet() -> PacketFate {
+        PacketFate {
+            dropped: true,
+            ..PacketFate::default()
+        }
+    }
+
+    /// Combines two layers' decisions: drops dominate, delays add,
+    /// duplicate counts add.
+    pub fn merge(self, other: PacketFate) -> PacketFate {
+        PacketFate {
+            dropped: self.dropped || other.dropped,
+            extra_delay: self.extra_delay + other.extra_delay,
+            duplicates: self.duplicates.saturating_add(other.duplicates),
+        }
+    }
+}
+
+/// A network impairment: decides the fate of each packet offered to it.
+///
+/// Like [`crate::loss::LossModel`], implementations must observe *every*
+/// packet (stateful processes advance per call) and must be deterministic
+/// given the same call sequence and RNG stream.
+//= pftk#random-drop-robustness
+pub trait Impairment {
+    /// Decides the fate of one packet departing at `now` in direction
+    /// `dir`. Time-correlated impairments advance their state by `now`;
+    /// calls arrive in non-decreasing time order.
+    fn apply(&mut self, now: SimTime, dir: Direction, rng: &mut SimRng) -> PacketFate;
+
+    /// A short human-readable label for reports.
+    fn label(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fate_merge_combines_effects() {
+        let a = PacketFate {
+            dropped: false,
+            extra_delay: SimDuration::from_millis(10),
+            duplicates: 1,
+        };
+        let b = PacketFate {
+            dropped: true,
+            extra_delay: SimDuration::from_millis(5),
+            duplicates: 2,
+        };
+        let m = a.merge(b);
+        assert!(m.dropped);
+        assert_eq!(m.extra_delay, SimDuration::from_millis(15));
+        assert_eq!(m.duplicates, 3);
+        assert_eq!(
+            PacketFate::clean().merge(PacketFate::clean()),
+            PacketFate::clean()
+        );
+        assert!(PacketFate::drop_packet().dropped);
+    }
+}

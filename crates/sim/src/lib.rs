@@ -46,6 +46,7 @@
 
 pub mod connection;
 pub mod event;
+pub mod fault;
 pub mod link;
 pub mod loss;
 pub mod network;
@@ -60,6 +61,7 @@ pub mod tfrc;
 pub mod time;
 
 pub use connection::{Connection, Observer};
+pub use fault::{FaultPlan, Impairment};
 pub use rounds::{RoundsConfig, RoundsSim};
 pub use stats::ConnStats;
 pub use time::{SimDuration, SimTime};

@@ -61,6 +61,12 @@ impl SimRng {
         self.inner.gen_range(lo..=hi)
     }
 
+    /// Uniform integer in `[lo, hi]` inclusive (64-bit; used for
+    /// nanosecond-granularity delay draws).
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.gen_range(lo..=hi)
+    }
+
     /// Uniform float in `[lo, hi)`.
     pub fn uniform_f64(&mut self, lo: f64, hi: f64) -> f64 {
         if lo >= hi {
@@ -169,6 +175,8 @@ mod tests {
         for _ in 0..1000 {
             let v = rng.uniform_u32(3, 7);
             assert!((3..=7).contains(&v));
+            let w = rng.uniform_u64(10, 20);
+            assert!((10..=20).contains(&w));
             let f = rng.uniform_f64(1.0, 2.0);
             assert!((1.0..2.0).contains(&f));
         }

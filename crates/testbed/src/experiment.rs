@@ -10,11 +10,16 @@
 //!   path on which RTT correlates with window size and the models fail to
 //!   match the measured rate.
 //!
-//! [`run_table2`] fans the 24 hour-long experiments out over worker threads
-//! (crossbeam scoped threads; results collected under a parking_lot mutex).
+//! [`run_table2`] fans the 24 hour-long experiments out through the
+//! [`crate::supervisor`]: each path runs on its own budgeted worker
+//! (wall-clock deadline, sim-event budget, panic isolation, one reseeded
+//! retry) and the campaign returns a [`crate::supervisor::CampaignReport`]
+//! — a partial Table II with explicit holes when paths fail, instead of a
+//! poisoned join killing all 24 measurements.
 
 use crate::paths::{ModemSpec, PathSpec};
-use parking_lot::Mutex;
+use crate::supervisor::{run_campaign, CampaignReport, JobSpec, SupervisorConfig};
+use std::sync::Arc;
 use tcp_sim::connection::{Connection, Observer};
 use tcp_sim::link::{Bottleneck, Path};
 use tcp_sim::loss::{Bernoulli, LossModel, Mixed, TimedGilbertElliott};
@@ -77,8 +82,14 @@ pub struct ExperimentResult {
     pub ground_rtt: Option<f64>,
     /// Ground-truth mean single-timeout duration, seconds.
     pub ground_t0: Option<f64>,
-    /// Wall-clock horizon simulated, seconds.
+    /// Wall-clock horizon simulated, seconds. When the sim-event budget
+    /// aborted the run early this is the time actually reached, so rates
+    /// stay honest.
     pub duration_secs: f64,
+    /// True when the sim-event budget stopped the run before the horizon
+    /// (a runaway event loop was fenced off; the trace covers only
+    /// `duration_secs`).
+    pub event_budget_hit: bool,
 }
 
 impl ExperimentResult {
@@ -193,6 +204,11 @@ pub fn calibrate_wire_loss(spec: &PathSpec, seed: u64) -> WireLoss {
     wire
 }
 
+/// Sim-event budget for supervised runs: a 1-hour Table II trace needs a
+/// few million events; anything past this is a runaway loop, not a
+/// measurement.
+pub const DEFAULT_EVENT_BUDGET: u64 = 50_000_000;
+
 fn run_connection(spec: &PathSpec, horizon_secs: f64, seed: u64) -> ExperimentResult {
     let wire = calibrate_wire_loss(spec, seed.wrapping_mul(31).wrapping_add(17));
     run_connection_raw(spec, wire, horizon_secs, seed)
@@ -203,6 +219,16 @@ fn run_connection_raw(
     wire: WireLoss,
     horizon_secs: f64,
     seed: u64,
+) -> ExperimentResult {
+    run_connection_budgeted(spec, wire, horizon_secs, seed, u64::MAX)
+}
+
+fn run_connection_budgeted(
+    spec: &PathSpec,
+    wire: WireLoss,
+    horizon_secs: f64,
+    seed: u64,
+    max_events: u64,
 ) -> ExperimentResult {
     // Mild jitter (5% of RTT) keeps RTT samples realistic without breaking
     // the RTT-independence assumption the non-modem paths must satisfy.
@@ -218,23 +244,39 @@ fn run_connection_raw(
         .receiver_config(ReceiverConfig::default())
         .seed(seed)
         .build_with_observer(TraceRecorder::new());
-    conn.run_for(SimDuration::from_secs_f64(horizon_secs));
+    let event_budget_hit = conn.run_until_budget(SimTime::from_secs_f64(horizon_secs), max_events);
     conn.finish();
     let stats = conn.stats();
     let ground_rtt = conn.sender().rto_estimator().mean_rtt();
     let ground_t0 = conn.sender().rto_estimator().mean_t0();
+    // On abort the clock stays at the last processed event; report the
+    // horizon actually covered so rates are not inflated.
+    let duration_secs = if event_budget_hit {
+        conn.now().as_secs_f64().max(1e-9)
+    } else {
+        horizon_secs
+    };
     ExperimentResult {
         trace: conn.into_observer().into_trace(),
         stats,
         ground_rtt,
         ground_t0,
-        duration_secs: horizon_secs,
+        duration_secs,
+        event_budget_hit,
     }
 }
 
 /// One hour-long "infinite source" connection (§III, first experiment set).
 pub fn run_hour(spec: &PathSpec, seed: u64) -> ExperimentResult {
     run_connection(spec, 3600.0, seed)
+}
+
+/// [`run_hour`] with an explicit sim-event budget: the supervised form used
+/// by [`run_table2`] workers so a runaway event loop degrades to a
+/// truncated (but analyzable) trace instead of wedging the worker.
+pub fn run_hour_budgeted(spec: &PathSpec, seed: u64, max_events: u64) -> ExperimentResult {
+    let wire = calibrate_wire_loss(spec, seed.wrapping_mul(31).wrapping_add(17));
+    run_connection_budgeted(spec, wire, 3600.0, seed, max_events)
 }
 
 /// The second §III campaign: `n` serially initiated 100-second connections.
@@ -256,34 +298,38 @@ pub fn run_serial_100s(spec: &PathSpec, n: usize, base_seed: u64) -> Vec<Experim
         .collect()
 }
 
-/// Runs all 24 Table II hour-long experiments in parallel; returns results
-/// in `TABLE2_PATHS` order.
-pub fn run_table2(specs: &[PathSpec], base_seed: u64) -> Vec<ExperimentResult> {
-    let results: Mutex<Vec<Option<ExperimentResult>>> =
-        Mutex::new((0..specs.len()).map(|_| None).collect());
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism()
-        .map_or(4, |n| n.get())
-        .min(specs.len());
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= specs.len() {
-                    break;
-                }
-                let result = run_hour(&specs[i], base_seed.wrapping_add(i as u64));
-                results.lock()[i] = Some(result);
-            });
-        }
-    })
-    .expect("worker panicked"); //~ allow(expect): propagate worker panics to the harness
-    results
-        .into_inner()
-        .into_iter()
-        //~ allow(expect): propagate worker panics to the harness
-        .map(|r| r.expect("all slots filled"))
-        .collect()
+/// Runs all 24 Table II hour-long experiments under supervision; the
+/// report's rows are in `specs` order, one per path, with per-path seed
+/// `base_seed + index` (so row *i* reproduces `run_hour(&specs[i],
+/// base_seed + i)`).
+///
+/// A panicking, hanging, or runaway path no longer kills the campaign:
+/// its row is labeled (`Panicked`/`TimedOut`) and the remaining paths'
+/// results survive — a partial Table II with explicit holes.
+pub fn run_table2(specs: &[PathSpec], base_seed: u64) -> CampaignReport {
+    run_table2_supervised(specs, base_seed, &SupervisorConfig::default())
+}
+
+/// [`run_table2`] with explicit supervisor tunables (tests use short wall
+/// budgets).
+pub fn run_table2_supervised(
+    specs: &[PathSpec],
+    base_seed: u64,
+    config: &SupervisorConfig,
+) -> CampaignReport {
+    let jobs: Vec<JobSpec> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let spec = *spec;
+            JobSpec {
+                label: spec.id(),
+                seed: base_seed.wrapping_add(i as u64),
+                job: Arc::new(move |seed| run_hour_budgeted(&spec, seed, DEFAULT_EVENT_BUDGET)),
+            }
+        })
+        .collect();
+    run_campaign(jobs, config)
 }
 
 /// The Fig. 11 modem experiment: no random loss at all — every drop comes
@@ -322,6 +368,7 @@ pub fn run_modem(spec: &ModemSpec, horizon_secs: f64, seed: u64) -> ExperimentRe
         ground_rtt,
         ground_t0,
         duration_secs: horizon_secs,
+        event_budget_hit: false,
     }
 }
 
@@ -401,11 +448,37 @@ mod tests {
     #[test]
     fn parallel_table2_matches_sequential() {
         let specs = &TABLE2_PATHS[..4];
-        let par = run_table2(specs, 99);
+        let report = run_table2(specs, 99);
+        assert!(report.is_complete(), "campaign: {}", report.summary());
         for (i, spec) in specs.iter().enumerate() {
+            let row = &report.rows[i];
+            assert_eq!(row.label, spec.id());
+            assert_eq!(row.outcome, crate::supervisor::Outcome::Ok);
             let seq = run_hour(spec, 99 + i as u64);
-            assert_eq!(par[i].stats, seq.stats, "path {}", spec.id());
+            let par = row.result.as_ref().unwrap();
+            assert_eq!(par.stats, seq.stats, "path {}", spec.id());
         }
+    }
+
+    #[test]
+    fn event_budget_truncates_honestly() {
+        let spec = table2_path("manic", "baskerville").unwrap();
+        let r = run_hour_budgeted(spec, 1, 20_000);
+        assert!(r.event_budget_hit, "20k events cannot cover an hour");
+        assert!(
+            r.duration_secs < 3600.0,
+            "reported horizon must shrink on abort ({})",
+            r.duration_secs
+        );
+        assert!(r.duration_secs > 0.0);
+        // The truncated trace is still analyzable and rate-consistent.
+        assert!(r.send_rate() > 0.0);
+        let a = analyze(&r.trace, AnalyzerConfig::default());
+        assert_eq!(a.packets_sent, r.stats.packets_sent);
+        // The unbudgeted full hour, by contrast, finishes clean.
+        let full = run_hour(spec, 1);
+        assert!(!full.event_budget_hit);
+        assert_eq!(full.duration_secs, 3600.0);
     }
 
     #[test]

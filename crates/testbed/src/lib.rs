@@ -13,6 +13,9 @@
 //!   Fig. 11.
 //!
 //! [`report`] turns results into the exact series each figure plots.
+//! [`supervisor`] runs campaigns under per-experiment budgets with panic
+//! isolation and retry, so one wedged path degrades Table II to a partial
+//! table with explicit holes instead of killing the run.
 //! See DESIGN.md §1 for the substitution argument (what the paper used →
 //! what this testbed provides → why it preserves the relevant behaviour).
 
@@ -23,12 +26,18 @@ pub mod experiment;
 pub mod hosts;
 pub mod paths;
 pub mod report;
+pub mod supervisor;
 
 pub use experiment::{
-    run_hour, run_modem, run_serial_100s, run_table2, ExperimentResult, TraceRecorder,
+    run_hour, run_hour_budgeted, run_modem, run_serial_100s, run_table2, run_table2_supervised,
+    ExperimentResult, TraceRecorder, DEFAULT_EVENT_BUDGET,
 };
 pub use hosts::{host, Host, Os, HOSTS};
 pub use paths::{fig7_paths, fig8_paths, table2_path, ModemSpec, PathSpec, TABLE2_PATHS};
+pub use supervisor::{
+    run_campaign, CampaignReport, CampaignRow, Job, JobSpec, Outcome, SupervisorConfig,
+};
+
 pub use report::{
     error_triple_hourly, error_triple_serial, fig7_panel, fig8_series, fitted_params, loss_grid,
     ErrorTriple, Fig7Panel, Fig8Point, ModelCurve, ScatterPoint,

@@ -1,0 +1,155 @@
+//! Per-trace ingestion health: what lenient parsing salvaged, what it had
+//! to discard or repair, and why.
+//!
+//! Real measurement campaigns produce damaged captures — a disk fills mid
+//! `tcpdump` run and truncates the final record, a flaky pipe duplicates a
+//! block, clock adjustments nudge timestamps backwards. The paper's §III
+//! analysis programs had to cope with exactly this, so our importers do
+//! too: instead of rejecting a 1-hour trace for one bad byte, they salvage
+//! everything salvageable and attach a [`TraceHealth`] describing the
+//! damage, letting the campaign supervisor decide whether the trace is
+//! still usable.
+
+use serde::{Deserialize, Serialize};
+
+/// Cap on retained warnings: damaged input can produce one warning per
+/// record; a bounded report stays readable. Overflow is counted in
+/// [`TraceHealth::suppressed`].
+const MAX_WARNINGS: usize = 100;
+
+/// Why a record (or fragment) needed intervention.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum HealthIssue {
+    /// The input ended mid-record; the complete prefix was salvaged and the
+    /// dangling fragment dropped.
+    TruncatedTail {
+        /// The unparseable trailing fragment (text formats) or a byte-count
+        /// description (binary framing).
+        fragment: String,
+    },
+    /// A mid-stream record could not be parsed and was discarded.
+    Malformed {
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// An exact consecutive duplicate of the previous record was discarded
+    /// (replayed capture blocks, doubled pipe writes).
+    DuplicateRecord,
+    /// A timestamp went backwards and was clamped up to its predecessor so
+    /// the salvaged trace stays monotone.
+    TimestampClamped {
+        /// The timestamp as found in the input, nanoseconds.
+        original_ns: u64,
+        /// The monotone value it was repaired to, nanoseconds.
+        clamped_to_ns: u64,
+    },
+}
+
+/// One located intervention.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthWarning {
+    /// 1-based line number (text formats) or 0-based record index (binary).
+    pub location: usize,
+    /// What happened there.
+    pub issue: HealthIssue,
+}
+
+/// The ingestion health of one trace: how many events survived, how many
+/// were discarded or repaired, and a bounded list of located warnings.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceHealth {
+    /// Events successfully salvaged into the trace.
+    pub salvaged: usize,
+    /// Events (or fragments) discarded as unusable.
+    pub discarded: usize,
+    /// Events kept after repair (e.g. timestamp clamping).
+    pub repaired: usize,
+    warnings: Vec<HealthWarning>,
+    suppressed: usize,
+}
+
+impl TraceHealth {
+    /// A fresh, clean health record.
+    pub fn new() -> TraceHealth {
+        TraceHealth::default()
+    }
+
+    /// True when nothing was discarded or repaired: the input parsed as a
+    /// pristine trace.
+    pub fn is_clean(&self) -> bool {
+        self.discarded == 0 && self.repaired == 0 && self.warnings.is_empty()
+    }
+
+    /// The retained warnings (at most an internal cap; see
+    /// [`TraceHealth::suppressed`]).
+    pub fn warnings(&self) -> &[HealthWarning] {
+        &self.warnings
+    }
+
+    /// Warnings dropped beyond the retention cap.
+    pub fn suppressed(&self) -> usize {
+        self.suppressed
+    }
+
+    /// Records a warning, respecting the retention cap.
+    pub(crate) fn warn(&mut self, location: usize, issue: HealthIssue) {
+        if self.warnings.len() < MAX_WARNINGS {
+            self.warnings.push(HealthWarning { location, issue });
+        } else {
+            self.suppressed += 1;
+        }
+    }
+}
+
+impl std::fmt::Display for TraceHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "salvaged {} events, discarded {}, repaired {}",
+            self.salvaged, self.discarded, self.repaired
+        )?;
+        if self.suppressed > 0 {
+            write!(f, " ({} warnings suppressed)", self.suppressed)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_by_default() {
+        let h = TraceHealth::new();
+        assert!(h.is_clean());
+        assert_eq!(h.to_string(), "salvaged 0 events, discarded 0, repaired 0");
+    }
+
+    #[test]
+    fn warnings_make_it_unclean_and_are_capped() {
+        let mut h = TraceHealth::new();
+        for i in 0..(MAX_WARNINGS + 7) {
+            h.warn(i, HealthIssue::DuplicateRecord);
+        }
+        assert!(!h.is_clean());
+        assert_eq!(h.warnings().len(), MAX_WARNINGS);
+        assert_eq!(h.suppressed(), 7);
+        assert!(h.to_string().contains("7 warnings suppressed"));
+    }
+
+    #[test]
+    fn serializes() {
+        let mut h = TraceHealth::new();
+        h.discarded = 1;
+        h.warn(
+            3,
+            HealthIssue::Malformed {
+                reason: "bad timestamp".into(),
+            },
+        );
+        let json = serde_json::to_string(&h).unwrap();
+        let back: TraceHealth = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
+    }
+}

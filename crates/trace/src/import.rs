@@ -20,7 +20,15 @@
 //! A tcpdump line like `14:02:11.342 IP a.1234 > b.80: . 4345:5793(1448)
 //! ack 1 win 8760` maps to `send <seq/1448>` after byte→packet conversion;
 //! a one-line `awk` does the job, which is the point of the format.
+//!
+//! Two parsers are provided. [`import_text`] is **lenient**: real captures
+//! get truncated mid-record, duplicated by flaky pipes, and mildly
+//! reordered by clock steps, so it salvages every usable event and reports
+//! the damage in a [`TraceHealth`] instead of failing (only I/O errors are
+//! hard errors). [`import_text_strict`] is the old all-or-nothing parser,
+//! for callers that want a conversion bug to be loud.
 
+use crate::health::{HealthIssue, TraceHealth};
 use crate::record::{Trace, TraceEvent, TraceRecord};
 use std::io::BufRead;
 
@@ -29,7 +37,8 @@ use std::io::BufRead;
 pub enum ImportError {
     /// Underlying I/O failure.
     Io(std::io::Error),
-    /// A malformed line, with its 1-based number and content.
+    /// A malformed line, with its 1-based number and content
+    /// ([`import_text_strict`] only).
     Malformed {
         /// 1-based line number.
         line_no: usize,
@@ -63,8 +72,135 @@ impl From<std::io::Error> for ImportError {
     }
 }
 
-/// Parses the line format described in the module docs into a [`Trace`].
-pub fn import_text<R: BufRead>(reader: R) -> Result<Trace, ImportError> {
+/// The result of a lenient import: the salvaged trace plus its health.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Import {
+    /// The salvaged, monotone trace.
+    pub trace: Trace,
+    /// What was discarded or repaired on the way in.
+    pub health: TraceHealth,
+}
+
+/// One successfully parsed line, before monotonicity repair.
+struct ParsedLine {
+    time_ns: u64,
+    event: TraceEvent,
+}
+
+/// Parses one non-empty, comment-stripped line; `Err` is a human-readable
+/// reason.
+fn parse_line(content: &str) -> Result<ParsedLine, String> {
+    let mut fields = content.split_whitespace();
+    let (Some(ts), Some(kind), Some(value)) = (fields.next(), fields.next(), fields.next()) else {
+        return Err("expected `<time> <send|ack> <number>`".into());
+    };
+    if fields.next().is_some() {
+        return Err("trailing fields".into());
+    }
+    let secs: f64 = ts.parse().map_err(|_| "bad timestamp".to_string())?;
+    if !(secs.is_finite() && secs >= 0.0) {
+        return Err("timestamp must be a non-negative number".into());
+    }
+    let number: u64 = value
+        .parse()
+        .map_err(|_| "bad sequence/ack number".to_string())?;
+    //~ allow(cast): finite non-negative seconds to integer nanoseconds
+    let time_ns = (secs * 1e9).round() as u64;
+    let event = match kind {
+        "send" => TraceEvent::Send {
+            seq: number,
+            retx: false,
+        },
+        "ack" => TraceEvent::AckIn { ack: number },
+        other => return Err(format!("unknown event kind {other:?} (want send|ack)")),
+    };
+    Ok(ParsedLine { time_ns, event })
+}
+
+/// Leniently parses the line format described in the module docs.
+///
+/// Salvage policy:
+///
+/// * a malformed **final** line is treated as a truncated tail (the capture
+///   was cut mid-record): the complete prefix is kept and the fragment
+///   reported as [`HealthIssue::TruncatedTail`];
+/// * a malformed **mid-stream** line is discarded with
+///   [`HealthIssue::Malformed`];
+/// * a timestamp that goes backwards is clamped up to its predecessor
+///   ([`HealthIssue::TimestampClamped`]) so the salvaged trace is monotone;
+/// * an exact consecutive duplicate of the previous record is discarded
+///   ([`HealthIssue::DuplicateRecord`]).
+///
+/// Only I/O failures are hard errors.
+pub fn import_text<R: BufRead>(mut reader: R) -> Result<Import, ImportError> {
+    let mut text = String::new();
+    reader.read_to_string(&mut text)?;
+    let mut trace = Trace::new();
+    let mut health = TraceHealth::new();
+    let mut last_ns: u64 = 0;
+    let mut last_event: Option<TraceEvent> = None;
+    // Remember only meaningful lines so "last line" means "last record
+    // attempt", not a trailing blank.
+    let meaningful: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .filter_map(|(idx, raw)| {
+            let content = raw.split('#').next().unwrap_or("").trim();
+            (!content.is_empty()).then_some((idx + 1, content))
+        })
+        .collect();
+    let total = meaningful.len();
+    for (pos, (line_no, content)) in meaningful.into_iter().enumerate() {
+        match parse_line(content) {
+            Err(reason) => {
+                health.discarded += 1;
+                if pos + 1 == total {
+                    health.warn(
+                        line_no,
+                        HealthIssue::TruncatedTail {
+                            fragment: content.to_string(),
+                        },
+                    );
+                } else {
+                    health.warn(line_no, HealthIssue::Malformed { reason });
+                }
+            }
+            Ok(parsed) => {
+                let mut time_ns = parsed.time_ns;
+                if time_ns < last_ns {
+                    health.warn(
+                        line_no,
+                        HealthIssue::TimestampClamped {
+                            original_ns: time_ns,
+                            clamped_to_ns: last_ns,
+                        },
+                    );
+                    health.repaired += 1;
+                    time_ns = last_ns;
+                }
+                if time_ns == last_ns && last_event == Some(parsed.event) && !trace.is_empty() {
+                    health.warn(line_no, HealthIssue::DuplicateRecord);
+                    health.discarded += 1;
+                    continue;
+                }
+                last_ns = time_ns;
+                last_event = Some(parsed.event);
+                health.salvaged += 1;
+                trace.push(TraceRecord {
+                    time_ns,
+                    event: parsed.event,
+                });
+            }
+        }
+    }
+    Ok(Import { trace, health })
+}
+
+/// Strictly parses the line format: the first malformed line, decreasing
+/// timestamp, or unknown event kind aborts the import with a located
+/// [`ImportError::Malformed`]. Use when a conversion bug should be loud
+/// rather than salvaged around.
+pub fn import_text_strict<R: BufRead>(reader: R) -> Result<Trace, ImportError> {
     let mut trace = Trace::new();
     let mut last_ns: u64 = 0;
     for (idx, line) in reader.lines().enumerate() {
@@ -74,41 +210,12 @@ pub fn import_text<R: BufRead>(reader: R) -> Result<Trace, ImportError> {
         if content.is_empty() {
             continue;
         }
-        let mut fields = content.split_whitespace();
-        let (Some(ts), Some(kind), Some(value)) = (fields.next(), fields.next(), fields.next())
-        else {
-            return Err(ImportError::Malformed {
-                line_no,
-                line,
-                reason: "expected `<time> <send|ack> <number>`".into(),
-            });
-        };
-        if fields.next().is_some() {
-            return Err(ImportError::Malformed {
-                line_no,
-                line,
-                reason: "trailing fields".into(),
-            });
-        }
-        let secs: f64 = ts.parse().map_err(|_| ImportError::Malformed {
+        let parsed = parse_line(content).map_err(|reason| ImportError::Malformed {
             line_no,
             line: line.clone(),
-            reason: "bad timestamp".into(),
+            reason,
         })?;
-        if !(secs.is_finite() && secs >= 0.0) {
-            return Err(ImportError::Malformed {
-                line_no,
-                line,
-                reason: "timestamp must be a non-negative number".into(),
-            });
-        }
-        let number: u64 = value.parse().map_err(|_| ImportError::Malformed {
-            line_no,
-            line: line.clone(),
-            reason: "bad sequence/ack number".into(),
-        })?;
-        let time_ns = (secs * 1e9).round() as u64;
-        if time_ns < last_ns {
+        if parsed.time_ns < last_ns {
             return Err(ImportError::Malformed {
                 line_no,
                 line,
@@ -118,25 +225,13 @@ pub fn import_text<R: BufRead>(reader: R) -> Result<Trace, ImportError> {
                 ),
             });
         }
-        // Records at identical timestamps are fine; nudge is not needed —
-        // Trace::push accepts equal times.
-        last_ns = time_ns;
-        let event = match kind {
-            "send" => TraceEvent::Send {
-                seq: number,
-                retx: false,
-            },
-            "ack" => TraceEvent::AckIn { ack: number },
-            other => {
-                let reason = format!("unknown event kind {other:?} (want send|ack)");
-                return Err(ImportError::Malformed {
-                    line_no,
-                    line,
-                    reason,
-                });
-            }
-        };
-        trace.push(TraceRecord { time_ns, event });
+        // Records at identical timestamps are fine; Trace::push accepts
+        // equal times.
+        last_ns = parsed.time_ns;
+        trace.push(TraceRecord {
+            time_ns: parsed.time_ns,
+            event: parsed.event,
+        });
     }
     Ok(trace)
 }
@@ -174,8 +269,12 @@ mod tests {
 0.104300 send 1
 3.201423 send 1        # repeated seq = retransmission (inferred anyway)
 ";
-        let trace = import_text(Cursor::new(input)).unwrap();
+        let imported = import_text(Cursor::new(input)).unwrap();
+        assert!(imported.health.is_clean());
+        assert_eq!(imported.health.salvaged, 4);
+        let trace = imported.trace;
         assert_eq!(trace.len(), 4);
+        assert_eq!(trace, import_text_strict(Cursor::new(input)).unwrap());
         let a = analyze(&trace, AnalyzerConfig::default());
         assert_eq!(a.packets_sent, 3);
         assert_eq!(a.retransmissions, 1);
@@ -187,7 +286,7 @@ mod tests {
     }
 
     #[test]
-    fn rejects_malformed_lines_with_position() {
+    fn strict_rejects_malformed_lines_with_position() {
         for (input, needle) in [
             ("0.0 send\n", "expected"),
             ("0.0 send 1 extra\n", "trailing"),
@@ -197,7 +296,7 @@ mod tests {
             ("0.0 send x\n", "bad sequence"),
             ("1.0 send 1\n0.5 send 2\n", "non-decreasing"),
         ] {
-            let err = import_text(Cursor::new(input)).unwrap_err();
+            let err = import_text_strict(Cursor::new(input)).unwrap_err();
             let text = err.to_string();
             assert!(text.contains(needle), "{input:?} → {text}");
         }
@@ -231,16 +330,101 @@ mod tests {
         let mut buf = Vec::new();
         export_text(&trace, &mut buf).unwrap();
         let back = import_text(Cursor::new(buf)).unwrap();
+        assert!(back.health.is_clean());
         // The retx flag is re-inferred, so compare analyses, not records.
         let a1 = analyze(&trace, AnalyzerConfig::default());
-        let a2 = analyze(&back, AnalyzerConfig::default());
+        let a2 = analyze(&back.trace, AnalyzerConfig::default());
         assert_eq!(a1, a2);
     }
 
     #[test]
     fn equal_timestamps_accepted() {
         let input = "1.0 send 0\n1.0 send 1\n";
-        let trace = import_text(Cursor::new(input)).unwrap();
-        assert_eq!(trace.len(), 2);
+        let imported = import_text(Cursor::new(input)).unwrap();
+        assert!(imported.health.is_clean());
+        assert_eq!(imported.trace.len(), 2);
+    }
+
+    #[test]
+    fn truncated_final_line_salvages_prefix() {
+        // The capture died mid-record: the last line has no value column.
+        let input = "0.0 send 0\n0.1 ack 1\n0.2 se";
+        let imported = import_text(Cursor::new(input)).unwrap();
+        assert_eq!(imported.trace.len(), 2);
+        assert_eq!(imported.health.salvaged, 2);
+        assert_eq!(imported.health.discarded, 1);
+        assert!(matches!(
+            &imported.health.warnings()[0].issue,
+            HealthIssue::TruncatedTail { fragment } if fragment == "0.2 se"
+        ));
+        assert_eq!(imported.health.warnings()[0].location, 3);
+        // The strict parser still rejects the same input.
+        assert!(import_text_strict(Cursor::new(input)).is_err());
+    }
+
+    #[test]
+    fn midstream_garbage_is_discarded_with_reason() {
+        let input = "0.0 send 0\nGARBAGE LINE\n0.2 send 1\n";
+        let imported = import_text(Cursor::new(input)).unwrap();
+        assert_eq!(imported.trace.len(), 2);
+        assert_eq!(imported.health.discarded, 1);
+        assert!(matches!(
+            &imported.health.warnings()[0].issue,
+            HealthIssue::Malformed { .. }
+        ));
+        assert_eq!(imported.health.warnings()[0].location, 2);
+    }
+
+    #[test]
+    fn out_of_order_timestamps_are_clamped_monotone() {
+        // 0.3 then 0.2: the second is clamped up to 0.3.
+        let input = "0.1 send 0\n0.3 send 1\n0.2 ack 1\n0.4 send 2\n";
+        let imported = import_text(Cursor::new(input)).unwrap();
+        assert_eq!(imported.trace.len(), 4);
+        assert_eq!(imported.health.repaired, 1);
+        assert!(matches!(
+            imported.health.warnings()[0].issue,
+            HealthIssue::TimestampClamped {
+                original_ns: 200_000_000,
+                clamped_to_ns: 300_000_000
+            }
+        ));
+        let times: Vec<u64> = imported.trace.records().iter().map(|r| r.time_ns).collect();
+        assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "monotone after repair"
+        );
+    }
+
+    #[test]
+    fn consecutive_duplicates_are_discarded() {
+        let input = "0.1 send 0\n0.1 send 0\n0.2 ack 1\n";
+        let imported = import_text(Cursor::new(input)).unwrap();
+        assert_eq!(imported.trace.len(), 2);
+        assert_eq!(imported.health.discarded, 1);
+        assert!(matches!(
+            imported.health.warnings()[0].issue,
+            HealthIssue::DuplicateRecord
+        ));
+        // A retransmission at a *later* time is NOT a duplicate.
+        let retx = "0.1 send 0\n0.5 send 0\n";
+        let imported = import_text(Cursor::new(retx)).unwrap();
+        assert_eq!(imported.trace.len(), 2);
+        assert!(imported.health.is_clean());
+    }
+
+    #[test]
+    fn lenient_import_never_hard_errors_on_text() {
+        for input in [
+            "",
+            "\n\n#only comments\n",
+            "total nonsense\nmore nonsense",
+            "9.9 ack\n",
+            "1.0 send 1\nNaN send 2\ninf ack 3\n-0.5 send 4\n",
+        ] {
+            let imported = import_text(Cursor::new(input)).unwrap();
+            let times: Vec<u64> = imported.trace.records().iter().map(|r| r.time_ns).collect();
+            assert!(times.windows(2).all(|w| w[0] <= w[1]), "{input:?}");
+        }
     }
 }

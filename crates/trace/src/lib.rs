@@ -32,6 +32,7 @@
 #![deny(missing_docs)]
 
 pub mod analyzer;
+pub mod health;
 pub mod import;
 pub mod intervals;
 pub mod karn;
@@ -42,11 +43,12 @@ pub mod table;
 pub mod validate;
 
 pub use analyzer::{analyze, Analysis, AnalyzerConfig, IndicationKind, LossIndication};
-pub use import::{export_text, import_text, ImportError};
+pub use health::{HealthIssue, HealthWarning, TraceHealth};
+pub use import::{export_text, import_text, import_text_strict, Import, ImportError};
 pub use intervals::{split_intervals, split_intervals_bounded, IntervalCategory, IntervalStats};
 pub use karn::{estimate_t0_classified, estimate_timing, rtt_window_correlation, TimingEstimates};
 pub use metrics::{average_error, Observation};
 pub use record::{Trace, TraceEvent, TraceRecord};
 pub use summary::TraceSummary;
 pub use table::{format_table, TableRow};
-pub use validate::{validate, Finding, Problem, ValidateConfig};
+pub use validate::{conservation, validate, Conservation, Finding, Problem, ValidateConfig};

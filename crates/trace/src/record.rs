@@ -7,6 +7,7 @@
 //! JSON lines (human-inspectable, one record per line) and a compact binary
 //! framing (17 bytes/record) for large traces.
 
+use crate::health::{HealthIssue, TraceHealth};
 use bytes::{Buf, BufMut};
 use serde::{Deserialize, Serialize};
 use std::io::{self, BufRead, Write};
@@ -80,6 +81,19 @@ impl Trace {
         self.records.push(record);
     }
 
+    /// Fallible append: returns the record back instead of panicking when
+    /// it would violate time order. For ingesting untrusted streams where
+    /// out-of-order data is an input problem, not a programming bug.
+    pub fn try_push(&mut self, record: TraceRecord) -> Result<(), TraceRecord> {
+        match self.records.last() {
+            Some(last) if record.time_ns < last.time_ns => Err(record),
+            _ => {
+                self.records.push(record);
+                Ok(())
+            }
+        }
+    }
+
     /// The records, in time order.
     pub fn records(&self) -> &[TraceRecord] {
         &self.records
@@ -122,7 +136,12 @@ impl Trace {
             }
             let rec: TraceRecord = serde_json::from_str(&line)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-            trace.push(rec);
+            trace.try_push(rec).map_err(|rec| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("out-of-order record at {} ns", rec.time_ns),
+                )
+            })?;
         }
         Ok(trace)
     }
@@ -176,9 +195,82 @@ impl Trace {
                     ))
                 }
             };
-            trace.push(TraceRecord { time_ns, event });
+            trace
+                .try_push(TraceRecord { time_ns, event })
+                .map_err(|r| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("out-of-order record at {} ns", r.time_ns),
+                    )
+                })?;
         }
         Ok(trace)
+    }
+
+    /// Lenient counterpart of [`Trace::decode_binary`]: salvages every
+    /// complete, well-formed record. A truncated final record or an
+    /// unknown tag is discarded with a [`TraceHealth`] warning (decoding
+    /// resynchronizes on the next 17-byte frame), and out-of-order
+    /// timestamps are clamped monotone — matching the salvage policy of
+    /// [`crate::import::import_text`].
+    pub fn decode_binary_lenient<B: Buf>(buf: &mut B) -> (Self, TraceHealth) {
+        let mut trace = Trace::new();
+        let mut health = TraceHealth::new();
+        let mut index = 0usize;
+        let mut last_ns = 0u64;
+        while buf.has_remaining() {
+            if buf.remaining() < 17 {
+                health.discarded += 1;
+                health.warn(
+                    index,
+                    HealthIssue::TruncatedTail {
+                        fragment: format!("{} trailing bytes", buf.remaining()),
+                    },
+                );
+                break;
+            }
+            let tag = buf.get_u8();
+            let mut time_ns = buf.get_u64_le();
+            let value = buf.get_u64_le();
+            let event = match tag {
+                TAG_SEND => TraceEvent::Send {
+                    seq: value,
+                    retx: false,
+                },
+                TAG_SEND_RETX => TraceEvent::Send {
+                    seq: value,
+                    retx: true,
+                },
+                TAG_ACK => TraceEvent::AckIn { ack: value },
+                other => {
+                    health.discarded += 1;
+                    health.warn(
+                        index,
+                        HealthIssue::Malformed {
+                            reason: format!("unknown trace tag {other}"),
+                        },
+                    );
+                    index += 1;
+                    continue;
+                }
+            };
+            if time_ns < last_ns {
+                health.repaired += 1;
+                health.warn(
+                    index,
+                    HealthIssue::TimestampClamped {
+                        original_ns: time_ns,
+                        clamped_to_ns: last_ns,
+                    },
+                );
+                time_ns = last_ns;
+            }
+            last_ns = time_ns;
+            health.salvaged += 1;
+            trace.push(TraceRecord { time_ns, event });
+            index += 1;
+        }
+        (trace, health)
     }
 }
 
@@ -280,6 +372,73 @@ mod tests {
         assert!(Trace::decode_binary(&mut buf.as_slice()).is_err());
         let bad = vec![99u8; 17];
         assert!(Trace::decode_binary(&mut bad.as_slice()).is_err());
+    }
+
+    #[test]
+    fn try_push_rejects_out_of_order_without_panicking() {
+        let mut t = Trace::new();
+        assert!(t
+            .try_push(TraceRecord {
+                time_ns: 10,
+                event: TraceEvent::AckIn { ack: 1 },
+            })
+            .is_ok());
+        let rejected = t
+            .try_push(TraceRecord {
+                time_ns: 5,
+                event: TraceEvent::AckIn { ack: 2 },
+            })
+            .unwrap_err();
+        assert_eq!(rejected.time_ns, 5);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn jsonl_rejects_out_of_order_records() {
+        let input = "{\"time_ns\":10,\"ev\":\"ack_in\",\"ack\":1}\n\
+                     {\"time_ns\":5,\"ev\":\"ack_in\",\"ack\":2}\n";
+        let err = Trace::read_jsonl(std::io::Cursor::new(input)).unwrap_err();
+        assert!(err.to_string().contains("out-of-order"));
+    }
+
+    #[test]
+    fn lenient_binary_decode_salvages_truncated_prefix() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.encode_binary(&mut buf);
+        buf.truncate(17 * 2 + 9); // two whole records + a partial third
+        let (back, health) = Trace::decode_binary_lenient(&mut buf.as_slice());
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.records(), &t.records()[..2]);
+        assert_eq!(health.salvaged, 2);
+        assert_eq!(health.discarded, 1);
+        assert!(matches!(
+            &health.warnings()[0].issue,
+            HealthIssue::TruncatedTail { fragment } if fragment == "9 trailing bytes"
+        ));
+    }
+
+    #[test]
+    fn lenient_binary_decode_skips_bad_tags_and_clamps_time() {
+        let mut buf = Vec::new();
+        // Good record at t=100.
+        buf.push(1u8);
+        buf.extend_from_slice(&100u64.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        // Unknown tag.
+        buf.push(77u8);
+        buf.extend_from_slice(&110u64.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        // Good record with a *backwards* timestamp (clock step).
+        buf.push(3u8);
+        buf.extend_from_slice(&40u64.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        let (back, health) = Trace::decode_binary_lenient(&mut buf.as_slice());
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.records()[1].time_ns, 100, "clamped monotone");
+        assert_eq!(health.salvaged, 2);
+        assert_eq!(health.discarded, 1);
+        assert_eq!(health.repaired, 1);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 
 use crate::record::{Trace, TraceEvent};
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 
 /// A single validation finding.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -132,6 +133,82 @@ pub fn validate(trace: &Trace, config: ValidateConfig) -> Vec<Finding> {
     findings
 }
 
+/// Packet-conservation summary of a trace: every distinct sequence number
+/// ever sent must be accounted for — either cumulatively acknowledged by
+/// the end of the trace, or still unacknowledged at the tail (lost in
+/// flight or cut off by trace truncation). Nothing may vanish and nothing
+/// may be acknowledged that was never sent; together with timestamp
+/// monotonicity these are the invariants the chaos soak asserts on every
+/// salvaged trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Conservation {
+    /// Distinct sequence numbers observed leaving the sender.
+    pub distinct_sends: u64,
+    /// Of those, sequences below the final highest cumulative ACK
+    /// (delivered — possibly via retransmission).
+    pub acked: u64,
+    /// Of those, sequences at or above the final highest cumulative ACK
+    /// (unaccounted tail: dropped, in flight, or truncated with the trace).
+    pub tail_unacked: u64,
+    /// Send events beyond the first per sequence number.
+    pub retransmissions: u64,
+    /// True when record timestamps are non-decreasing.
+    pub monotone: bool,
+    /// True when no ACK ever acknowledged a sequence that had not been
+    /// sent (`highest_ack <= snd_max` throughout).
+    pub acks_covered: bool,
+}
+
+impl Conservation {
+    /// True when the conservation invariants hold: timestamps monotone,
+    /// ACKs never ahead of the data, and every distinct send accounted for
+    /// as acked or tail-unacked.
+    pub fn holds(&self) -> bool {
+        self.monotone && self.acks_covered && self.acked + self.tail_unacked == self.distinct_sends
+    }
+}
+
+/// Computes the [`Conservation`] summary of a trace.
+pub fn conservation(trace: &Trace) -> Conservation {
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut retransmissions = 0u64;
+    let mut highest_ack = 0u64;
+    let mut snd_max = 0u64;
+    let mut monotone = true;
+    let mut acks_covered = true;
+    let mut last_ns = 0u64;
+    for rec in trace.records() {
+        if rec.time_ns < last_ns {
+            monotone = false;
+        }
+        last_ns = rec.time_ns;
+        match rec.event {
+            TraceEvent::Send { seq, .. } => {
+                if !seen.insert(seq) {
+                    retransmissions += 1;
+                }
+                snd_max = snd_max.max(seq + 1);
+            }
+            TraceEvent::AckIn { ack } => {
+                if ack > snd_max {
+                    acks_covered = false;
+                }
+                highest_ack = highest_ack.max(ack);
+            }
+        }
+    }
+    let acked = seen.iter().filter(|&&s| s < highest_ack).count() as u64;
+    let distinct_sends = seen.len() as u64;
+    Conservation {
+        distinct_sends,
+        acked,
+        tail_unacked: distinct_sends - acked,
+        retransmissions,
+        monotone,
+        acks_covered,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +300,54 @@ mod tests {
         t.push(rec(7_200_000_000_000, send(1))); // 2 hours later
         let f = validate(&t, ValidateConfig::default());
         assert!(matches!(f[0].problem, Problem::ClockJump { gap_secs } if gap_secs > 7000.0));
+    }
+
+    #[test]
+    fn conservation_on_clean_trace() {
+        let mut t = Trace::new();
+        t.push(rec(0, send(0)));
+        t.push(rec(1, send(1)));
+        t.push(rec(2, send(2)));
+        t.push(rec(100, ack(2)));
+        t.push(rec(200, send(1))); // retransmission
+        t.push(rec(300, ack(2)));
+        let c = conservation(&t);
+        assert!(c.holds(), "{c:?}");
+        assert_eq!(c.distinct_sends, 3);
+        assert_eq!(c.acked, 2); // seqs 0, 1 < final highest ack 2
+        assert_eq!(c.tail_unacked, 1); // seq 2 never acked: lost or truncated
+        assert_eq!(c.retransmissions, 1);
+        assert!(c.monotone);
+        assert!(c.acks_covered);
+    }
+
+    #[test]
+    fn conservation_flags_phantom_acks() {
+        let mut t = Trace::new();
+        t.push(rec(0, send(0)));
+        t.push(rec(1, ack(9))); // acknowledges data never sent
+        let c = conservation(&t);
+        assert!(!c.acks_covered);
+        assert!(!c.holds());
+    }
+
+    #[test]
+    fn conservation_flags_non_monotone_times() {
+        // A non-monotone trace can only enter via deserialization.
+        let json = "{\"records\":[\
+            {\"time_ns\":10,\"ev\":\"send\",\"seq\":0,\"retx\":false},\
+            {\"time_ns\":5,\"ev\":\"send\",\"seq\":1,\"retx\":false}]}";
+        let t: Trace = serde_json::from_str(json).unwrap();
+        let c = conservation(&t);
+        assert!(!c.monotone);
+        assert!(!c.holds());
+    }
+
+    #[test]
+    fn conservation_of_empty_trace_holds() {
+        let c = conservation(&Trace::new());
+        assert!(c.holds());
+        assert_eq!(c.distinct_sends, 0);
     }
 
     #[test]

@@ -2,7 +2,16 @@
 
 use proptest::prelude::*;
 use tcp_trace::analyzer::{analyze, AnalyzerConfig};
+use tcp_trace::import::{export_text, import_text};
 use tcp_trace::record::{Trace, TraceEvent, TraceRecord};
+
+/// True when the trace's timestamps are non-decreasing.
+fn is_monotone(trace: &Trace) -> bool {
+    trace
+        .records()
+        .windows(2)
+        .all(|w| w[0].time_ns <= w[1].time_ns)
+}
 
 /// Strategy: a random but *time-ordered* plausible sender trace. Generates
 /// interleavings of new sends, retransmissions of the current head, and
@@ -109,5 +118,87 @@ proptest! {
         let td4 = analyze(&trace, AnalyzerConfig { dupack_threshold: 4 }).td_count();
         prop_assert!(td3 <= td2);
         prop_assert!(td4 <= td3);
+    }
+
+    // --- lenient-import robustness under seeded input mutation ---------
+    // The three classic capture corruptions: bytes vanishing (truncation,
+    // bit rot), whole lines duplicated (replayed pipe blocks), and
+    // neighbouring lines swapped (reordered writes). The lenient importer
+    // must never panic or hard-error, and whatever it salvages must be
+    // monotone and analyzable.
+
+    #[test]
+    fn lenient_import_survives_byte_deletion(
+        trace in trace_strategy(),
+        deletions in prop::collection::vec(0usize..1_000_000, 1..10),
+    ) {
+        let mut buf = Vec::new();
+        export_text(&trace, &mut buf).unwrap();
+        for idx in deletions {
+            if !buf.is_empty() {
+                buf.remove(idx % buf.len());
+            }
+        }
+        let imported = import_text(std::io::Cursor::new(buf)).unwrap();
+        prop_assert!(is_monotone(&imported.trace));
+        // Whatever survived must be analyzable without panicking.
+        let _ = analyze(&imported.trace, AnalyzerConfig::default());
+    }
+
+    #[test]
+    fn lenient_import_survives_line_duplication(
+        trace in trace_strategy(),
+        dups in prop::collection::vec(0usize..1_000_000, 1..6),
+    ) {
+        let mut buf = Vec::new();
+        export_text(&trace, &mut buf).unwrap();
+        let mut lines: Vec<String> = String::from_utf8(buf)
+            .unwrap()
+            .lines()
+            .map(str::to_owned)
+            .collect();
+        for idx in dups {
+            if !lines.is_empty() {
+                let i = idx % lines.len();
+                lines.insert(i, lines[i].clone());
+            }
+        }
+        let mutated = lines.join("\n");
+        let imported = import_text(std::io::Cursor::new(mutated)).unwrap();
+        prop_assert!(is_monotone(&imported.trace));
+        // Exact consecutive duplicates are discarded, never added: the
+        // salvaged trace is no longer than the original.
+        prop_assert!(imported.trace.len() <= trace.len());
+        let _ = analyze(&imported.trace, AnalyzerConfig::default());
+    }
+
+    #[test]
+    fn lenient_import_survives_timestamp_swaps(
+        trace in trace_strategy(),
+        swaps in prop::collection::vec(0usize..1_000_000, 1..6),
+    ) {
+        let mut buf = Vec::new();
+        export_text(&trace, &mut buf).unwrap();
+        let mut lines: Vec<String> = String::from_utf8(buf)
+            .unwrap()
+            .lines()
+            .map(str::to_owned)
+            .collect();
+        for idx in swaps {
+            if lines.len() >= 2 {
+                let i = idx % (lines.len() - 1);
+                lines.swap(i, i + 1);
+            }
+        }
+        let mutated = lines.join("\n");
+        let imported = import_text(std::io::Cursor::new(mutated)).unwrap();
+        // Swapped neighbours arrive out of order; clamping must restore
+        // monotonicity without losing events.
+        prop_assert!(is_monotone(&imported.trace));
+        prop_assert_eq!(
+            imported.health.salvaged + imported.health.discarded,
+            trace.len()
+        );
+        let _ = analyze(&imported.trace, AnalyzerConfig::default());
     }
 }

@@ -38,7 +38,15 @@ const DUMP: &str = "
 ";
 
 fn main() {
-    let trace = import_text(std::io::Cursor::new(DUMP)).expect("well-formed dump");
+    let imported = import_text(std::io::Cursor::new(DUMP)).expect("I/O cannot fail on a Cursor");
+    // The lenient importer reports salvage/repair work in `health`; this
+    // dump should need none.
+    assert!(
+        imported.health.is_clean(),
+        "importer had to repair the dump: {}",
+        imported.health
+    );
+    let trace = imported.trace;
 
     // 1. Sanity-check before trusting any statistics.
     let findings = validate(&trace, ValidateConfig::default());

@@ -1,0 +1,213 @@
+//! Chaos soak: seeded random fault plans driven through the full
+//! sim → trace → analyzer → model pipeline, asserting that every layer
+//! degrades gracefully — conservation invariants hold on the trace, the
+//! analyzer's counters stay consistent, and the model's outputs stay
+//! finite and non-negative — plus the supervised-campaign acceptance
+//! scenario (an injected panicking path and an injected hanging path
+//! degrade a 24-path campaign to labeled holes, never a dead run).
+//!
+//! Seeds are pinned (CI runs a matrix over them); set `PFTK_CHAOS_SEED`
+//! to soak a single different seed.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use padhye_tcp_repro::model::prelude::*;
+use padhye_tcp_repro::sim::connection::Connection;
+use padhye_tcp_repro::sim::fault::FaultPlan;
+use padhye_tcp_repro::sim::link::Path;
+use padhye_tcp_repro::sim::loss::Bernoulli;
+use padhye_tcp_repro::sim::reno::sender::SenderConfig;
+use padhye_tcp_repro::sim::stats::ConnStats;
+use padhye_tcp_repro::sim::time::{SimDuration, SimTime};
+use padhye_tcp_repro::testbed::{
+    run_campaign, ExperimentResult, JobSpec, Outcome, SupervisorConfig, TraceRecorder,
+};
+use padhye_tcp_repro::trace::analyzer::{analyze, AnalyzerConfig};
+use padhye_tcp_repro::trace::karn::estimate_timing;
+use padhye_tcp_repro::trace::record::Trace;
+use padhye_tcp_repro::trace::validate::conservation;
+
+/// The pinned soak seeds (the CI chaos job runs one process per seed).
+const PINNED_SEEDS: [u64; 3] = [1, 2, 3];
+
+fn soak_seeds() -> Vec<u64> {
+    match std::env::var("PFTK_CHAOS_SEED") {
+        Ok(s) => vec![s.trim().parse().expect("PFTK_CHAOS_SEED must be a u64")],
+        Err(_) => PINNED_SEEDS.to_vec(),
+    }
+}
+
+/// One chaos connection: moderate Bernoulli wire loss plus the full
+/// seeded [`FaultPlan`] (reordering, duplication, ACK loss, jitter bursts,
+/// link flaps, corruption), 300 simulated seconds under an event budget.
+fn chaos_run(seed: u64, horizon_secs: f64) -> (Trace, ConnStats, bool) {
+    let half = SimDuration::from_millis(50);
+    let mut conn = Connection::builder()
+        .fwd_path(Path::constant(half))
+        .rev_path(Path::constant(half))
+        .loss(Box::new(Bernoulli::new(0.02)))
+        .fault(FaultPlan::from_seed(seed))
+        .sender_config(SenderConfig::default())
+        .seed(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1))
+        .build_with_observer(TraceRecorder::new());
+    let budget_hit = conn.run_until_budget(SimTime::from_secs_f64(horizon_secs), 5_000_000);
+    conn.finish();
+    let stats = conn.stats();
+    (conn.into_observer().into_trace(), stats, budget_hit)
+}
+
+#[test]
+fn chaos_soak_invariants_hold_for_all_pinned_seeds() {
+    for seed in soak_seeds() {
+        let (trace, stats, budget_hit) = chaos_run(seed, 300.0);
+        assert!(
+            !budget_hit,
+            "seed {seed}: 300 s under chaos must fit the event budget"
+        );
+        assert!(stats.packets_sent > 0, "seed {seed}: nothing was sent");
+        assert!(
+            stats.packets_delivered <= stats.packets_sent + stats.packets_dropped,
+            "seed {seed}: deliveries exceed sends (duplication must not mint data)"
+        );
+        assert_eq!(
+            stats.packets_sent,
+            stats.packets_sent_new + stats.retransmissions,
+            "seed {seed}: send counters inconsistent"
+        );
+
+        // Trace-layer conservation: the sender-side trace survives the
+        // chaos bit-exact in structure.
+        let c = conservation(&trace);
+        assert!(
+            c.holds(),
+            "seed {seed}: conservation violated: {c:?} over {} records",
+            trace.len()
+        );
+
+        // Analyzer-layer consistency on the chaotic trace.
+        let a = analyze(&trace, AnalyzerConfig::default());
+        assert_eq!(
+            a.packets_sent, stats.packets_sent,
+            "seed {seed}: analyzer lost sends"
+        );
+        assert!(a.retransmissions <= a.packets_sent);
+        assert!(
+            (0.0..=1.0).contains(&a.loss_rate()),
+            "seed {seed}: loss rate {} out of range",
+            a.loss_rate()
+        );
+        assert!(
+            a.indications
+                .windows(2)
+                .all(|w| w[0].time_ns <= w[1].time_ns),
+            "seed {seed}: loss indications out of order"
+        );
+        assert_eq!(a.to_histogram().iter().sum::<u64>(), a.to_count());
+
+        // Model-layer: fit at the measured (chaotic) operating point; the
+        // outputs must stay finite and non-negative.
+        let timing = estimate_timing(&trace);
+        let rtt = timing.mean_rtt.unwrap_or(0.2).max(1e-3);
+        let t0 = timing.mean_t0.unwrap_or(1.5).max(1e-3);
+        let params = ModelParams::new(rtt, t0, 2, 64).expect("plausible params");
+        for p_val in [a.loss_rate().clamp(1e-6, 0.5), 0.01, 0.1] {
+            let p = LossProb::new(p_val).expect("clamped into range");
+            for (name, rate) in [
+                ("full", full_model(p, &params)),
+                ("approx", approx_model(p, &params)),
+                ("td-only", td_only(p, &params)),
+            ] {
+                assert!(
+                    rate.is_finite() && rate >= 0.0,
+                    "seed {seed}: {name} model returned {rate} at p={p_val}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_runs_replay_identically() {
+    // Replayable chaos: the same seed must give a bit-identical campaign.
+    for seed in soak_seeds() {
+        let (trace_a, stats_a, _) = chaos_run(seed, 120.0);
+        let (trace_b, stats_b, _) = chaos_run(seed, 120.0);
+        assert_eq!(stats_a, stats_b, "seed {seed}: stats diverged on replay");
+        assert_eq!(trace_a, trace_b, "seed {seed}: trace diverged on replay");
+    }
+}
+
+/// A cheap but real experiment for campaign jobs: 30 chaotic simulated
+/// seconds, fenced by an event budget.
+fn quick_experiment(seed: u64) -> ExperimentResult {
+    let horizon = 30.0;
+    let (trace, stats, event_budget_hit) = chaos_run(seed, horizon);
+    ExperimentResult {
+        trace,
+        stats,
+        ground_rtt: None,
+        ground_t0: None,
+        duration_secs: horizon,
+        event_budget_hit,
+    }
+}
+
+#[test]
+fn campaign_with_injected_panic_and_hang_degrades_gracefully() {
+    // The acceptance scenario: 24 paths, one panics, one wedges forever.
+    let mut jobs: Vec<JobSpec> = (0..24u64)
+        .map(|i| JobSpec {
+            label: format!("path-{i}"),
+            seed: i + 1,
+            job: Arc::new(quick_experiment),
+        })
+        .collect();
+    jobs[7] = JobSpec {
+        label: "injected-panic".into(),
+        seed: 8,
+        job: Arc::new(|_seed| panic!("injected: model divergence on this path")),
+    };
+    jobs[15] = JobSpec {
+        label: "injected-hang".into(),
+        seed: 16,
+        // An infinite loop that yields (so the abandoned worker does not
+        // burn a core for the rest of the test binary's life).
+        job: Arc::new(|_seed| loop {
+            std::thread::sleep(Duration::from_millis(25));
+        }),
+    };
+    let config = SupervisorConfig {
+        wall_budget: Duration::from_secs(10),
+        retry: true,
+        max_workers: 0,
+    };
+    let report = run_campaign(jobs, &config);
+
+    assert_eq!(report.rows.len(), 24, "every submitted path gets a row");
+    assert!(
+        report.ok_count() >= 22,
+        "healthy paths must survive the chaos: {}",
+        report.summary()
+    );
+    assert!(!report.is_complete());
+    assert_eq!(report.rows[7].outcome, Outcome::Panicked);
+    assert!(report.rows[7].result.is_none());
+    assert_eq!(report.rows[15].outcome, Outcome::TimedOut);
+    assert!(report.rows[15].result.is_none());
+    let summary = report.summary();
+    assert!(
+        summary.contains("injected-panic panicked") && summary.contains("injected-hang timed-out"),
+        "failures must be labeled: {summary}"
+    );
+    // The survivors carry real, analyzable traces.
+    for (i, row) in report.rows.iter().enumerate() {
+        if i == 7 || i == 15 {
+            continue;
+        }
+        assert_eq!(row.outcome, Outcome::Ok, "row {i}: {}", row.label);
+        let result = row.result.as_ref().expect("ok row has a result");
+        assert!(result.stats.packets_sent > 0);
+        assert!(conservation(&result.trace).holds(), "row {i}");
+    }
+}
