@@ -1,0 +1,170 @@
+//! Machine-readable benchmark emitter: times the three hot-path benchmark
+//! groups and writes `results/BENCH_sim.json` with ns/event and events/sec
+//! per entry.
+//!
+//! This is the artifact behind performance acceptance ("events/sec on
+//! `packet_level_sim/60s_bernoulli` must not regress"): the Criterion-style
+//! benches under `benches/` print human-readable medians, while this binary
+//! measures the same workloads and persists the numbers where CI can diff
+//! them. Run with `cargo run --release -p tcp-bench --bin bench_report`
+//! (release: debug-profile numbers are meaningless for throughput). See
+//! DESIGN.md §9 for the baseline-refresh workflow.
+
+use std::time::Instant;
+
+use tcp_sim::connection::Connection;
+use tcp_sim::loss::Bernoulli;
+use tcp_sim::rounds::{RoundsConfig, RoundsSim};
+use tcp_sim::time::SimDuration;
+use tcp_testbed::TraceRecorder;
+use tcp_trace::analyzer::{analyze, AnalyzerConfig};
+use tcp_trace::record::Trace;
+
+/// One benchmark measurement: a workload, its median per-iteration wall
+/// time, and the throughput normalization.
+#[derive(serde::Serialize)]
+struct Entry {
+    /// Benchmark group (matches the Criterion group names).
+    group: &'static str,
+    /// Benchmark id within the group.
+    bench: String,
+    /// Events processed by one iteration (engine events, TDP packets, or
+    /// trace records — see `unit`).
+    events: u64,
+    /// What `events` counts.
+    unit: &'static str,
+    /// Median wall time of one iteration, nanoseconds.
+    ns_per_iter: f64,
+    /// `ns_per_iter / events`.
+    ns_per_event: f64,
+    /// `events * 1e9 / ns_per_iter`.
+    events_per_sec: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Report {
+    /// Reminder that only release-profile numbers are comparable.
+    profile: &'static str,
+    entries: Vec<Entry>,
+}
+
+/// Median of `iters` timed runs of `workload`, which reports how many
+/// events its single iteration processed.
+fn measure(iters: usize, mut workload: impl FnMut() -> u64) -> (f64, u64) {
+    let mut times: Vec<f64> = Vec::with_capacity(iters);
+    let mut events = 0;
+    for _ in 0..iters.max(1) {
+        let start = Instant::now();
+        events = workload();
+        times.push(start.elapsed().as_nanos() as f64);
+    }
+    times.sort_by(f64::total_cmp);
+    (times[times.len() / 2], events)
+}
+
+fn entry(
+    group: &'static str,
+    bench: String,
+    unit: &'static str,
+    iters: usize,
+    workload: impl FnMut() -> u64,
+) -> Entry {
+    let (ns_per_iter, events) = measure(iters, workload);
+    let events_f = events.max(1) as f64;
+    Entry {
+        group,
+        bench,
+        events,
+        unit,
+        ns_per_iter,
+        ns_per_event: ns_per_iter / events_f,
+        events_per_sec: events_f * 1e9 / ns_per_iter.max(1.0),
+    }
+}
+
+fn packet_level(p: f64) -> Entry {
+    entry(
+        "packet_level_sim",
+        format!("60s_bernoulli/{p}"),
+        "engine events",
+        15,
+        move || {
+            let mut conn = Connection::builder()
+                .rtt(0.1)
+                .loss(Bernoulli::new(p))
+                .seed(1)
+                .build();
+            conn.run_for(SimDuration::from_secs_f64(60.0));
+            std::hint::black_box(conn.stats().packets_sent);
+            conn.events_processed()
+        },
+    )
+}
+
+fn rounds() -> Entry {
+    entry("rounds_sim", "10k_tdps".into(), "packets sent", 15, || {
+        let mut sim = RoundsSim::new(
+            RoundsConfig {
+                p: 0.02,
+                rtt: 0.1,
+                t0: 1.0,
+                b: 2,
+                wmax: 64,
+                ..RoundsConfig::default()
+            },
+            3,
+        );
+        sim.run_tdps(10_000);
+        std::hint::black_box(sim.send_rate());
+        sim.stats().packets_sent
+    })
+}
+
+fn analyzer_trace() -> Trace {
+    let mut conn = Connection::builder()
+        .rtt(0.05)
+        .loss(Bernoulli::new(0.02))
+        .seed(5)
+        .build_with_observer(TraceRecorder::new());
+    conn.run_for(SimDuration::from_secs_f64(600.0));
+    conn.finish();
+    conn.into_observer().into_trace()
+}
+
+fn analyzer() -> Entry {
+    let trace = analyzer_trace();
+    let records = trace.len() as u64;
+    entry(
+        "analyzer",
+        "classify_loss_indications".into(),
+        "trace records",
+        15,
+        move || {
+            std::hint::black_box(analyze(&trace, AnalyzerConfig::default()));
+            records
+        },
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let report = Report {
+        profile: if cfg!(debug_assertions) {
+            "debug (numbers not comparable; rerun with --release)"
+        } else {
+            "release"
+        },
+        entries: vec![
+            packet_level(0.005),
+            packet_level(0.05),
+            rounds(),
+            analyzer(),
+        ],
+    };
+    let json = serde_json::to_string_pretty(&report)?;
+    std::fs::create_dir_all("results")?;
+    let path = "results/BENCH_sim.json";
+    std::fs::write(path, json.as_bytes())?;
+    println!("{json}");
+    eprintln!("wrote {path}");
+    Ok(())
+}

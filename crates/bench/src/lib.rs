@@ -1,7 +1,25 @@
-//! Benchmark-only crate; see the `benches/` directory. Groups:
+//! Benchmark crate: Criterion-style groups under `benches/` plus the
+//! `bench_report` binary under `src/bin/` that persists machine-readable
+//! throughput numbers.
+//!
+//! # Benchmark groups (`cargo bench -p tcp-bench`)
 //!
 //! * `model_kernels` — the analytic equations (TFRC-style per-feedback cost);
 //! * `simulators` — packet-level and rounds-based engines, loss models;
 //! * `analyzer` — trace classification, Karn timing, (de)serialization;
 //! * `tables_figures` — one group per regenerated table/figure (quick scale);
 //! * `ablations` — model tiers, exact-vs-approx Q̂, loss-process choice.
+//!
+//! Appending `-- --test` runs every workload once, untimed (criterion's
+//! validation mode) — CI's `bench-smoke` job uses this to catch benches
+//! that stop compiling or panic, without paying for a measurement.
+//!
+//! # Throughput report (`cargo run --release -p tcp-bench --bin bench_report`)
+//!
+//! `bench_report` re-times the hot-path workloads (packet-level engine,
+//! rounds engine, trace analyzer) and writes `results/BENCH_sim.json`
+//! with per-entry `ns_per_event` and `events_per_sec` — the artifact the
+//! performance acceptance compares across revisions. Only release-profile
+//! numbers are comparable; the JSON records which profile produced it.
+//! See DESIGN.md §9 for the engine architecture and the baseline-refresh
+//! workflow.

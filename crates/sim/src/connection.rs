@@ -6,11 +6,19 @@
 //! [`Observer`] sees exactly what `tcpdump` at the sender would see — data
 //! segments leaving and ACKs arriving — which is what the `tcp-trace`
 //! analysis programs consume.
+//!
+//! The hot path is monomorphized two ways: over the event engine
+//! ([`EngineKind`] — the hybrid lane scheduler by default, the legacy heap
+//! via [`ConnectionBuilder::build_legacy`] for equivalence testing), and
+//! over the loss process (the builder converts any concrete model into a
+//! [`LossKind`], so per-packet drop draws inline instead of going through a
+//! `dyn` call). Sender/receiver outputs are pooled: the steady-state event
+//! loop reuses two scratch buffers instead of allocating per event.
 
-use crate::event::EventQueue;
+use crate::event::{EngineKind, EventScheduler, HybridEngine, Lane, LegacyEngine};
 use crate::fault::{Direction, FaultPlan, Impairment};
 use crate::link::Path;
-use crate::loss::{LossModel, NoLoss};
+use crate::loss::{LossKind, LossModel, NoLoss};
 use crate::packet::{Ack, Segment, Seq};
 use crate::receiver::{DelAckTimer, Receiver, ReceiverConfig, ReceiverOutput};
 use crate::reno::sender::{Sender, SenderConfig, SenderOutput, TimerCmd};
@@ -47,8 +55,8 @@ pub struct ConnectionBuilder {
     receiver: ReceiverConfig,
     fwd: Option<Path>,
     rev: Option<Path>,
-    loss: Box<dyn LossModel + Send>,
-    ack_loss: Option<Box<dyn LossModel + Send>>,
+    loss: LossKind,
+    ack_loss: Option<LossKind>,
     fault: FaultPlan,
     rtt: SimDuration,
     seed: u64,
@@ -74,15 +82,17 @@ impl ConnectionBuilder {
         self
     }
 
-    /// The data-packet loss process (default: no loss).
-    pub fn loss(mut self, loss: Box<dyn LossModel + Send>) -> Self {
-        self.loss = loss;
+    /// The data-packet loss process (default: no loss). Accepts any
+    /// concrete model (bare or boxed — `Box<dyn LossModel + Send>` still
+    /// works); concrete models dispatch with an inlined match per packet.
+    pub fn loss<L: Into<LossKind>>(mut self, loss: L) -> Self {
+        self.loss = loss.into();
         self
     }
 
     /// An optional ACK loss process (default: ACKs never dropped).
-    pub fn ack_loss(mut self, loss: Box<dyn LossModel + Send>) -> Self {
-        self.ack_loss = Some(loss);
+    pub fn ack_loss<L: Into<LossKind>>(mut self, loss: L) -> Self {
+        self.ack_loss = Some(loss.into());
         self
     }
 
@@ -114,8 +124,33 @@ impl ConnectionBuilder {
         self
     }
 
-    /// Builds with a custom observer.
-    pub fn build_with_observer<O: Observer>(mut self, observer: O) -> Connection<O> {
+    /// Builds with a custom observer (on the default hybrid engine).
+    pub fn build_with_observer<O: Observer>(self, observer: O) -> Connection<O> {
+        self.build_engine(observer)
+    }
+
+    /// Builds without tracing (on the default hybrid engine).
+    pub fn build(self) -> Connection<()> {
+        self.build_with_observer(())
+    }
+
+    /// Builds on the **legacy single-heap engine** with a custom observer.
+    /// Exists for the golden-trace equivalence tests and engine
+    /// benchmarks; simulation results are bit-identical to the default
+    /// engine, only slower.
+    pub fn build_legacy_with_observer<O: Observer>(
+        self,
+        observer: O,
+    ) -> Connection<O, LegacyEngine> {
+        self.build_engine(observer)
+    }
+
+    /// Builds on the legacy single-heap engine without tracing.
+    pub fn build_legacy(self) -> Connection<(), LegacyEngine> {
+        self.build_legacy_with_observer(())
+    }
+
+    fn build_engine<O: Observer, K: EngineKind>(mut self, observer: O) -> Connection<O, K> {
         // A SACK sender is useless without a SACK-reporting receiver;
         // enable it implicitly (mirrors the SYN-time option negotiation).
         if self.sender.style == crate::reno::sender::RenoStyle::Sack {
@@ -131,7 +166,7 @@ impl ConnectionBuilder {
         let half = SimDuration::from_nanos(self.rtt.as_nanos() / 2);
         Connection {
             now: SimTime::ZERO,
-            queue: EventQueue::new(),
+            queue: K::Queue::<Ev>::default(),
             sender: Sender::new(self.sender),
             receiver: Receiver::new(self.receiver),
             fwd: self.fwd.unwrap_or_else(|| Path::constant(half)),
@@ -148,25 +183,24 @@ impl ConnectionBuilder {
             next_round_seq: 0,
             started: false,
             events_processed: 0,
+            sender_out: SenderOutput::default(),
+            receiver_out: ReceiverOutput::default(),
         }
-    }
-
-    /// Builds without tracing.
-    pub fn build(self) -> Connection<()> {
-        self.build_with_observer(())
     }
 }
 
-/// A running simulated TCP connection.
-pub struct Connection<O: Observer = ()> {
+/// A running simulated TCP connection, monomorphized over its event
+/// engine `K` (hybrid by default; legacy via
+/// [`ConnectionBuilder::build_legacy`]).
+pub struct Connection<O: Observer = (), K: EngineKind = HybridEngine> {
     now: SimTime,
-    queue: EventQueue<Ev>,
+    queue: K::Queue<Ev>,
     sender: Sender,
     receiver: Receiver,
     fwd: Path,
     rev: Path,
-    loss: Box<dyn LossModel + Send>,
-    ack_loss: Option<Box<dyn LossModel + Send>>,
+    loss: LossKind,
+    ack_loss: Option<LossKind>,
     fault: FaultPlan,
     loss_rng: SimRng,
     path_rng: SimRng,
@@ -177,6 +211,11 @@ pub struct Connection<O: Observer = ()> {
     next_round_seq: Seq,
     started: bool,
     events_processed: u64,
+    /// Pooled sender-output scratch: reused across events so the steady
+    /// state allocates nothing per packet.
+    sender_out: SenderOutput,
+    /// Pooled receiver-output scratch.
+    receiver_out: ReceiverOutput,
 }
 
 impl Connection<()> {
@@ -188,7 +227,7 @@ impl Connection<()> {
             receiver: ReceiverConfig::default(),
             fwd: None,
             rev: None,
-            loss: Box::new(NoLoss),
+            loss: LossKind::None(NoLoss),
             ack_loss: None,
             fault: FaultPlan::none(),
             rtt: SimDuration::from_millis(100),
@@ -197,7 +236,7 @@ impl Connection<()> {
     }
 }
 
-impl<O: Observer> Connection<O> {
+impl<O: Observer, K: EngineKind> Connection<O, K> {
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -257,8 +296,14 @@ impl<O: Observer> Connection<O> {
     pub fn run_until_budget(&mut self, until: SimTime, max_events: u64) -> bool {
         if !self.started {
             self.started = true;
-            let out = self.sender.on_start(self.now);
-            self.apply_sender_output(out);
+            // The scratch outputs are taken out for the duration of a
+            // dispatch (the borrow checker cannot see that
+            // `apply_*_output` leaves them alone) and put back after —
+            // a pointer swap, not an allocation.
+            let mut out = std::mem::take(&mut self.sender_out);
+            self.sender.on_start_into(self.now, &mut out);
+            self.apply_sender_output(&out);
+            self.sender_out = out;
         }
         while let Some(at) = self.queue.peek_time() {
             if at > until {
@@ -274,24 +319,32 @@ impl<O: Observer> Connection<O> {
             self.events_processed += 1;
             match ev {
                 Ev::DataArrive(seg) => {
-                    let out = self.receiver.on_segment(self.now, seg);
-                    self.apply_receiver_output(out);
+                    let mut out = std::mem::take(&mut self.receiver_out);
+                    self.receiver.on_segment_into(self.now, seg, &mut out);
+                    self.apply_receiver_output(&out);
+                    self.receiver_out = out;
                 }
                 Ev::AckArrive(ack) => {
                     self.observer.on_ack_received(self.now, ack);
-                    let out = self.sender.on_ack(self.now, ack);
-                    self.apply_sender_output(out);
+                    let mut out = std::mem::take(&mut self.sender_out);
+                    self.sender.on_ack_into(self.now, ack, &mut out);
+                    self.apply_sender_output(&out);
+                    self.sender_out = out;
                 }
                 Ev::Rto(gen) => {
                     if gen == self.rto_gen {
-                        let out = self.sender.on_rto_fired(self.now);
-                        self.apply_sender_output(out);
+                        let mut out = std::mem::take(&mut self.sender_out);
+                        self.sender.on_rto_into(self.now, &mut out);
+                        self.apply_sender_output(&out);
+                        self.sender_out = out;
                     }
                 }
                 Ev::DelAck(gen) => {
                     if gen == self.delack_gen {
-                        let out = self.receiver.on_delack_timer();
-                        self.apply_receiver_output(out);
+                        let mut out = std::mem::take(&mut self.receiver_out);
+                        self.receiver.on_delack_into(&mut out);
+                        self.apply_receiver_output(&out);
+                        self.receiver_out = out;
                     }
                 }
             }
@@ -323,8 +376,8 @@ impl<O: Observer> Connection<O> {
         self.sender.finish();
     }
 
-    fn apply_sender_output(&mut self, out: SenderOutput) {
-        for seg in out.segments {
+    fn apply_sender_output(&mut self, out: &SenderOutput) {
+        for &seg in &out.segments {
             self.observer.on_segment_sent(self.now, seg);
             // Round accounting for intra-round-correlated loss models.
             if seg.retransmit {
@@ -341,7 +394,8 @@ impl<O: Observer> Connection<O> {
             match self.fwd.transit(self.now, &mut self.path_rng) {
                 Some(arrival) => {
                     if self.fault.is_empty() {
-                        self.queue.schedule(arrival, Ev::DataArrive(seg));
+                        self.queue
+                            .schedule(Lane::Data, arrival, Ev::DataArrive(seg));
                     } else {
                         let fate = self
                             .fault
@@ -350,12 +404,12 @@ impl<O: Observer> Connection<O> {
                             self.sender.stats.packets_dropped += 1;
                         } else {
                             let at = arrival + fate.extra_delay;
-                            self.queue.schedule(at, Ev::DataArrive(seg));
+                            self.queue.schedule(Lane::Data, at, Ev::DataArrive(seg));
                             // Extra copies land a nanosecond apart: distinct
                             // arrivals, effectively simultaneous.
                             for k in 1..=u64::from(fate.duplicates) {
                                 let dup_at = at + SimDuration::from_nanos(k);
-                                self.queue.schedule(dup_at, Ev::DataArrive(seg));
+                                self.queue.schedule(Lane::Data, dup_at, Ev::DataArrive(seg));
                             }
                         }
                     }
@@ -365,12 +419,12 @@ impl<O: Observer> Connection<O> {
         }
         if let TimerCmd::Arm(at) = out.timer {
             self.rto_gen += 1;
-            self.queue.schedule(at, Ev::Rto(self.rto_gen));
+            self.queue.schedule(Lane::Rto, at, Ev::Rto(self.rto_gen));
         }
     }
 
-    fn apply_receiver_output(&mut self, out: ReceiverOutput) {
-        for ack in out.acks {
+    fn apply_receiver_output(&mut self, out: &ReceiverOutput) {
+        for &ack in &out.acks {
             if let Some(al) = &mut self.ack_loss {
                 if al.should_drop(self.now, &mut self.loss_rng) {
                     continue;
@@ -378,17 +432,17 @@ impl<O: Observer> Connection<O> {
             }
             if let Some(arrival) = self.rev.transit(self.now, &mut self.path_rng) {
                 if self.fault.is_empty() {
-                    self.queue.schedule(arrival, Ev::AckArrive(ack));
+                    self.queue.schedule(Lane::Ack, arrival, Ev::AckArrive(ack));
                 } else {
                     let fate = self
                         .fault
                         .apply(self.now, Direction::Ack, &mut self.fault_rng);
                     if !fate.dropped {
                         let at = arrival + fate.extra_delay;
-                        self.queue.schedule(at, Ev::AckArrive(ack));
+                        self.queue.schedule(Lane::Ack, at, Ev::AckArrive(ack));
                         for k in 1..=u64::from(fate.duplicates) {
                             let dup_at = at + SimDuration::from_nanos(k);
-                            self.queue.schedule(dup_at, Ev::AckArrive(ack));
+                            self.queue.schedule(Lane::Ack, dup_at, Ev::AckArrive(ack));
                         }
                     }
                 }
@@ -398,7 +452,8 @@ impl<O: Observer> Connection<O> {
             DelAckTimer::Keep => {}
             DelAckTimer::Arm(at) => {
                 self.delack_gen += 1;
-                self.queue.schedule(at, Ev::DelAck(self.delack_gen));
+                self.queue
+                    .schedule(Lane::DelAck, at, Ev::DelAck(self.delack_gen));
             }
             DelAckTimer::Cancel => {
                 self.delack_gen += 1;

@@ -48,6 +48,7 @@ pub trait LossModel {
 pub struct NoLoss;
 
 impl LossModel for NoLoss {
+    #[inline]
     fn should_drop(&mut self, _now: SimTime, _rng: &mut SimRng) -> bool {
         false
     }
@@ -77,6 +78,7 @@ impl Bernoulli {
 }
 
 impl LossModel for Bernoulli {
+    #[inline]
     fn should_drop(&mut self, _now: SimTime, rng: &mut SimRng) -> bool {
         rng.chance(self.p)
     }
@@ -108,6 +110,7 @@ impl RoundCorrelated {
 }
 
 impl LossModel for RoundCorrelated {
+    #[inline]
     fn should_drop(&mut self, _now: SimTime, rng: &mut SimRng) -> bool {
         if self.dropping_rest_of_round {
             return true;
@@ -173,6 +176,7 @@ impl GilbertElliott {
 }
 
 impl LossModel for GilbertElliott {
+    #[inline]
     fn should_drop(&mut self, _now: SimTime, rng: &mut SimRng) -> bool {
         // Transition first, then emit: a per-packet-step chain.
         let flip = if self.in_bad {
@@ -208,6 +212,7 @@ impl Deterministic {
 }
 
 impl LossModel for Deterministic {
+    #[inline]
     fn should_drop(&mut self, _now: SimTime, _rng: &mut SimRng) -> bool {
         if self.period == 0 {
             return false;
@@ -299,6 +304,7 @@ impl TimedGilbertElliott {
 }
 
 impl LossModel for TimedGilbertElliott {
+    #[inline]
     fn should_drop(&mut self, now: SimTime, rng: &mut SimRng) -> bool {
         self.advance_to(now, rng);
         self.in_bad
@@ -315,7 +321,7 @@ impl LossModel for TimedGilbertElliott {
 /// timeout sequences), calibrated independently against a Table II row's
 /// TD and TO counts.
 pub struct Mixed {
-    components: Vec<Box<dyn LossModel + Send>>,
+    components: Vec<LossKind>,
 }
 
 impl std::fmt::Debug for Mixed {
@@ -327,13 +333,23 @@ impl std::fmt::Debug for Mixed {
 }
 
 impl Mixed {
-    /// Combines the given processes.
+    /// Combines the given boxed processes (retained for API compatibility;
+    /// each component pays one virtual call per packet).
     pub fn new(components: Vec<Box<dyn LossModel + Send>>) -> Self {
+        Mixed {
+            components: components.into_iter().map(LossKind::Dyn).collect(),
+        }
+    }
+
+    /// Combines the given monomorphized processes: component draws inline,
+    /// with no per-packet virtual dispatch.
+    pub fn from_kinds(components: Vec<LossKind>) -> Self {
         Mixed { components }
     }
 }
 
 impl LossModel for Mixed {
+    #[inline]
     fn should_drop(&mut self, now: SimTime, rng: &mut SimRng) -> bool {
         // Every component must observe every packet (stateful processes
         // advance on each call), so no short-circuiting.
@@ -352,6 +368,120 @@ impl LossModel for Mixed {
 
     fn label(&self) -> &'static str {
         "mixed"
+    }
+}
+
+/// A closed sum of the loss processes, so the packet-level hot path can
+/// dispatch `should_drop` with an inlined `match` instead of a virtual call
+/// per packet.
+///
+/// The connection builder accepts `impl Into<LossKind>`, and every concrete
+/// model (bare or boxed) converts losslessly, so existing
+/// `.loss(Box::new(Bernoulli::new(p)))` call sites monomorphize without
+/// source changes. Truly dynamic processes still fit via [`LossKind::Dyn`]
+/// (the `From<Box<dyn LossModel + Send>>` impl), which preserves the old
+/// one-virtual-call-per-packet behavior for that model only.
+pub enum LossKind {
+    /// [`NoLoss`], inlined.
+    None(NoLoss),
+    /// [`Bernoulli`], inlined.
+    Bernoulli(Bernoulli),
+    /// [`RoundCorrelated`], inlined.
+    RoundCorrelated(RoundCorrelated),
+    /// [`GilbertElliott`], inlined.
+    GilbertElliott(GilbertElliott),
+    /// [`TimedGilbertElliott`], inlined.
+    TimedGilbertElliott(TimedGilbertElliott),
+    /// [`Deterministic`], inlined.
+    Deterministic(Deterministic),
+    /// [`Mixed`], with each component itself a `LossKind`.
+    Mixed(Mixed),
+    /// Escape hatch for loss processes defined outside this module;
+    /// dispatches virtually like the pre-enum engine did.
+    Dyn(Box<dyn LossModel + Send>),
+}
+
+impl std::fmt::Debug for LossKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("LossKind").field(&self.label()).finish()
+    }
+}
+
+impl LossModel for LossKind {
+    #[inline]
+    fn should_drop(&mut self, now: SimTime, rng: &mut SimRng) -> bool {
+        match self {
+            LossKind::None(m) => m.should_drop(now, rng),
+            LossKind::Bernoulli(m) => m.should_drop(now, rng),
+            LossKind::RoundCorrelated(m) => m.should_drop(now, rng),
+            LossKind::GilbertElliott(m) => m.should_drop(now, rng),
+            LossKind::TimedGilbertElliott(m) => m.should_drop(now, rng),
+            LossKind::Deterministic(m) => m.should_drop(now, rng),
+            LossKind::Mixed(m) => m.should_drop(now, rng),
+            LossKind::Dyn(m) => m.should_drop(now, rng),
+        }
+    }
+
+    #[inline]
+    fn on_round_boundary(&mut self) {
+        match self {
+            LossKind::None(m) => m.on_round_boundary(),
+            LossKind::Bernoulli(m) => m.on_round_boundary(),
+            LossKind::RoundCorrelated(m) => m.on_round_boundary(),
+            LossKind::GilbertElliott(m) => m.on_round_boundary(),
+            LossKind::TimedGilbertElliott(m) => m.on_round_boundary(),
+            LossKind::Deterministic(m) => m.on_round_boundary(),
+            LossKind::Mixed(m) => m.on_round_boundary(),
+            LossKind::Dyn(m) => m.on_round_boundary(),
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            LossKind::None(m) => m.label(),
+            LossKind::Bernoulli(m) => m.label(),
+            LossKind::RoundCorrelated(m) => m.label(),
+            LossKind::GilbertElliott(m) => m.label(),
+            LossKind::TimedGilbertElliott(m) => m.label(),
+            LossKind::Deterministic(m) => m.label(),
+            LossKind::Mixed(m) => m.label(),
+            LossKind::Dyn(m) => m.label(),
+        }
+    }
+}
+
+/// Generates the lossless conversions from a concrete model (bare or
+/// boxed — boxed because historical call sites write `Box::new(...)`).
+macro_rules! loss_kind_from {
+    ($($ty:ident => $variant:ident),* $(,)?) => {
+        $(
+            impl From<$ty> for LossKind {
+                fn from(m: $ty) -> Self {
+                    LossKind::$variant(m)
+                }
+            }
+            impl From<Box<$ty>> for LossKind {
+                fn from(m: Box<$ty>) -> Self {
+                    LossKind::$variant(*m)
+                }
+            }
+        )*
+    };
+}
+
+loss_kind_from! {
+    NoLoss => None,
+    Bernoulli => Bernoulli,
+    RoundCorrelated => RoundCorrelated,
+    GilbertElliott => GilbertElliott,
+    TimedGilbertElliott => TimedGilbertElliott,
+    Deterministic => Deterministic,
+    Mixed => Mixed,
+}
+
+impl From<Box<dyn LossModel + Send>> for LossKind {
+    fn from(m: Box<dyn LossModel + Send>) -> Self {
+        LossKind::Dyn(m)
     }
 }
 
@@ -575,6 +705,65 @@ mod tests {
         let mut m = Mixed::new(vec![]);
         let mut r = rng();
         assert!(!(0..100).any(|_| m.should_drop(SimTime::ZERO, &mut r)));
+    }
+
+    #[test]
+    fn loss_kind_draws_match_underlying_model() {
+        // Same seed, same draw sequence: the enum wrapper must consume the
+        // RNG identically to the bare model (bit-identical replay depends
+        // on it).
+        let mut bare = GilbertElliott::from_rate_and_burst(0.05, 5.0);
+        let mut kind = LossKind::from(Box::new(GilbertElliott::from_rate_and_burst(0.05, 5.0)));
+        let mut ra = rng();
+        let mut rb = rng();
+        for i in 0..10_000u64 {
+            let now = SimTime::from_nanos(i * 1_000_000);
+            assert_eq!(
+                bare.should_drop(now, &mut ra),
+                kind.should_drop(now, &mut rb)
+            );
+            if i % 17 == 0 {
+                bare.on_round_boundary();
+                kind.on_round_boundary();
+            }
+        }
+        assert_eq!(kind.label(), "gilbert-elliott");
+    }
+
+    #[test]
+    fn loss_kind_dyn_fallback_matches() {
+        let boxed: Box<dyn LossModel + Send> = Box::new(Deterministic::every(3));
+        let mut kind = LossKind::from(boxed);
+        let mut r = rng();
+        let pattern: Vec<bool> = (0..6)
+            .map(|_| kind.should_drop(SimTime::ZERO, &mut r))
+            .collect();
+        assert_eq!(pattern, vec![false, false, true, false, false, true]);
+        assert_eq!(kind.label(), "deterministic");
+    }
+
+    #[test]
+    fn mixed_from_kinds_matches_boxed_mixed() {
+        let mut boxed = Mixed::new(vec![
+            Box::new(Bernoulli::new(0.1)),
+            Box::new(RoundCorrelated::new(0.05)),
+        ]);
+        let mut kinds = Mixed::from_kinds(vec![
+            Bernoulli::new(0.1).into(),
+            RoundCorrelated::new(0.05).into(),
+        ]);
+        let mut ra = rng();
+        let mut rb = rng();
+        for i in 0..20_000u64 {
+            if i % 13 == 0 {
+                boxed.on_round_boundary();
+                kinds.on_round_boundary();
+            }
+            assert_eq!(
+                boxed.should_drop(SimTime::ZERO, &mut ra),
+                kinds.should_drop(SimTime::ZERO, &mut rb)
+            );
+        }
     }
 
     #[test]

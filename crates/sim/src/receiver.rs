@@ -8,7 +8,6 @@
 
 use crate::packet::{Ack, SackBlocks, Segment, Seq};
 use crate::time::{SimDuration, SimTime};
-use std::collections::BTreeSet;
 
 /// What the connection layer should do with the delayed-ACK timer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,12 +21,33 @@ pub enum DelAckTimer {
 }
 
 /// The receiver's reaction to an input.
+///
+/// The `*_into` event entry points fill a caller-owned instance, so a hot
+/// loop reuses one allocation for the whole run; see
+/// [`ReceiverOutput::reset`].
 #[derive(Debug, Clone)]
 pub struct ReceiverOutput {
     /// ACKs to send, in order.
     pub acks: Vec<Ack>,
     /// Delayed-ACK timer instruction.
     pub timer: DelAckTimer,
+}
+
+impl Default for ReceiverOutput {
+    fn default() -> Self {
+        ReceiverOutput {
+            acks: Vec::new(),
+            timer: DelAckTimer::Keep,
+        }
+    }
+}
+
+impl ReceiverOutput {
+    /// Empties the output for reuse, keeping the ACK buffer's capacity.
+    pub fn reset(&mut self) {
+        self.acks.clear();
+        self.timer = DelAckTimer::Keep;
+    }
 }
 
 /// Receiver tunables.
@@ -58,8 +78,13 @@ pub struct Receiver {
     config: ReceiverConfig,
     /// Next expected in-order sequence number.
     rcv_nxt: Seq,
-    /// Out-of-order segments held for reassembly.
-    ooo: BTreeSet<Seq>,
+    /// Out-of-order segments held for reassembly: a sorted, deduplicated
+    /// `Vec` rather than a `BTreeSet` — the reassembly buffer is bounded
+    /// by the flight window, and a `Vec` keeps its capacity across loss
+    /// episodes where a B-tree re-allocates nodes on every deep episode,
+    /// which would break the hot path's steady-state zero-allocation
+    /// guarantee.
+    ooo: Vec<Seq>,
     /// In-order segments received since the last ACK went out.
     unacked: u32,
     /// Most recently buffered out-of-order sequence (for SACK block order).
@@ -75,7 +100,7 @@ impl Receiver {
         Receiver {
             config,
             rcv_nxt: 0,
-            ooo: BTreeSet::new(),
+            ooo: Vec::new(),
             unacked: 0,
             last_ooo: None,
             distinct_received: 0,
@@ -121,63 +146,70 @@ impl Receiver {
     }
 
     /// Handles an arriving data segment.
-    //= pftk#delack-b
     pub fn on_segment(&mut self, now: SimTime, seg: Segment) -> ReceiverOutput {
+        let mut out = ReceiverOutput::default();
+        self.on_segment_into(now, seg, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`Receiver::on_segment`]: resets and fills
+    /// the caller-owned `out`.
+    //= pftk#delack-b
+    pub fn on_segment_into(&mut self, now: SimTime, seg: Segment, out: &mut ReceiverOutput) {
+        out.reset();
         if seg.seq == self.rcv_nxt {
             // In-order: advance, absorb any contiguous buffered segments.
             self.distinct_received += 1;
             self.rcv_nxt += 1;
-            while self.ooo.remove(&self.rcv_nxt) {
+            let mut absorbed = 0;
+            while absorbed < self.ooo.len() && self.ooo[absorbed] == self.rcv_nxt {
                 self.rcv_nxt += 1;
+                absorbed += 1;
+            }
+            if absorbed > 0 {
+                self.ooo.drain(..absorbed);
             }
             self.unacked += 1;
             if self.unacked >= self.config.ack_every {
                 self.unacked = 0;
-                ReceiverOutput {
-                    acks: vec![self.make_ack()],
-                    timer: DelAckTimer::Cancel,
-                }
+                out.acks.push(self.make_ack());
+                out.timer = DelAckTimer::Cancel;
             } else {
-                ReceiverOutput {
-                    acks: vec![],
-                    timer: DelAckTimer::Arm(now + self.config.delack_timeout),
-                }
+                out.timer = DelAckTimer::Arm(now + self.config.delack_timeout);
             }
         } else if seg.seq > self.rcv_nxt {
             // A gap: buffer and emit an immediate duplicate ACK.
-            if self.ooo.insert(seg.seq) {
+            if let Err(pos) = self.ooo.binary_search(&seg.seq) {
+                self.ooo.insert(pos, seg.seq);
                 self.distinct_received += 1;
             }
             self.last_ooo = Some(seg.seq);
             self.unacked = 0;
-            ReceiverOutput {
-                acks: vec![self.make_ack()],
-                timer: DelAckTimer::Cancel,
-            }
+            out.acks.push(self.make_ack());
+            out.timer = DelAckTimer::Cancel;
         } else {
             // Below rcv_nxt: a spurious retransmission; re-ACK immediately
             // so the sender can resynchronize.
             self.unacked = 0;
-            ReceiverOutput {
-                acks: vec![self.make_ack()],
-                timer: DelAckTimer::Cancel,
-            }
+            out.acks.push(self.make_ack());
+            out.timer = DelAckTimer::Cancel;
         }
     }
 
     /// The delayed-ACK timer fired: flush the pending acknowledgment.
     pub fn on_delack_timer(&mut self) -> ReceiverOutput {
+        let mut out = ReceiverOutput::default();
+        self.on_delack_into(&mut out);
+        out
+    }
+
+    /// Allocation-free form of [`Receiver::on_delack_timer`]: resets and
+    /// fills the caller-owned `out`.
+    pub fn on_delack_into(&mut self, out: &mut ReceiverOutput) {
+        out.reset();
         if self.unacked > 0 {
             self.unacked = 0;
-            ReceiverOutput {
-                acks: vec![self.make_ack()],
-                timer: DelAckTimer::Keep,
-            }
-        } else {
-            ReceiverOutput {
-                acks: vec![],
-                timer: DelAckTimer::Keep,
-            }
+            out.acks.push(self.make_ack());
         }
     }
 }

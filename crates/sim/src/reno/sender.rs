@@ -44,12 +44,32 @@ pub enum TimerCmd {
 }
 
 /// The sender's reaction to an input event.
+///
+/// The `*_into` event entry points fill a caller-owned instance, so a hot
+/// loop reuses one allocation for the whole run; see [`SenderOutput::reset`].
 #[derive(Debug, Clone)]
 pub struct SenderOutput {
     /// Segments to put on the wire, in order.
     pub segments: Vec<Segment>,
     /// Timer instruction.
     pub timer: TimerCmd,
+}
+
+impl Default for SenderOutput {
+    fn default() -> Self {
+        SenderOutput {
+            segments: Vec::new(),
+            timer: TimerCmd::Keep,
+        }
+    }
+}
+
+impl SenderOutput {
+    /// Empties the output for reuse, keeping the segment buffer's capacity.
+    pub fn reset(&mut self) {
+        self.segments.clear();
+        self.timer = TimerCmd::Keep;
+    }
 }
 
 /// Tunables of the sender.
@@ -180,26 +200,35 @@ impl Sender {
     /// Kicks the connection off at time `now`: sends the initial window and
     /// arms the timer.
     pub fn on_start(&mut self, now: SimTime) -> SenderOutput {
-        let mut out = SenderOutput {
-            segments: vec![],
-            timer: TimerCmd::Keep,
-        };
-        self.fill_window(now, &mut out);
-        out.timer = TimerCmd::Arm(now + self.rto.current_rto());
+        let mut out = SenderOutput::default();
+        self.on_start_into(now, &mut out);
         out
+    }
+
+    /// Allocation-free form of [`Sender::on_start`]: resets and fills
+    /// the caller-owned `out`.
+    pub fn on_start_into(&mut self, now: SimTime, out: &mut SenderOutput) {
+        out.reset();
+        self.fill_window(now, out);
+        out.timer = TimerCmd::Arm(now + self.rto.current_rto());
     }
 
     /// Processes an arriving cumulative ACK.
     pub fn on_ack(&mut self, now: SimTime, ack: Ack) -> SenderOutput {
+        let mut out = SenderOutput::default();
+        self.on_ack_into(now, ack, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`Sender::on_ack`]: resets and fills the
+    /// caller-owned `out`.
+    pub fn on_ack_into(&mut self, now: SimTime, ack: Ack, out: &mut SenderOutput) {
         self.stats.acks_received += 1;
-        let mut out = SenderOutput {
-            segments: vec![],
-            timer: TimerCmd::Keep,
-        };
+        out.reset();
 
         if ack.ack > self.snd_nxt {
             // Acknowledges data we never sent — a receiver bug; ignore.
-            return out;
+            return;
         }
 
         // SACK bookkeeping: fold reported ranges into the scoreboard.
@@ -239,27 +268,27 @@ impl Sender {
             match self.config.style {
                 RenoStyle::Tahoe | RenoStyle::Reno => {
                     self.cc.on_new_ack();
-                    self.fill_window(now, &mut out);
+                    self.fill_window(now, out);
                 }
                 RenoStyle::NewReno | RenoStyle::Sack if was_in_recovery => {
                     if self.snd_una >= self.recover {
                         // Full ACK: recovery over.
                         self.cc.exit_recovery();
                         self.rexmitted.clear();
-                        self.fill_window(now, &mut out);
+                        self.fill_window(now, out);
                     } else {
                         // Partial ACK (RFC 6582): the next hole is also
                         // lost; retransmit it immediately, stay in recovery.
                         match self.config.style {
-                            RenoStyle::NewReno => self.retransmit_head(now, &mut out),
-                            RenoStyle::Sack => self.send_sack_recovery(now, &mut out),
+                            RenoStyle::NewReno => self.retransmit_head(now, out),
+                            RenoStyle::Sack => self.send_sack_recovery(now, out),
                             _ => unreachable!(),
                         }
                     }
                 }
                 RenoStyle::NewReno | RenoStyle::Sack => {
                     self.cc.on_new_ack();
-                    self.fill_window(now, &mut out);
+                    self.fill_window(now, out);
                 }
             }
             // Restart the timer for the (still) outstanding data.
@@ -275,52 +304,51 @@ impl Sender {
                         // Tahoe: a TD indication collapses the window.
                         self.stats.td_events += 1;
                         self.cc.on_timeout(self.flight());
-                        self.retransmit_head(now, &mut out);
+                        self.retransmit_head(now, out);
                         out.timer = TimerCmd::Arm(now + self.rto.current_rto());
                     }
                 }
                 RenoStyle::Reno => {
                     if self.cc.in_fast_recovery() {
                         self.cc.on_dupack_in_recovery();
-                        self.fill_window(now, &mut out);
+                        self.fill_window(now, out);
                     } else if self.dupacks == self.config.dupthresh {
                         self.stats.td_events += 1;
                         self.cc.on_fast_retransmit(self.flight());
-                        self.retransmit_head(now, &mut out);
+                        self.retransmit_head(now, out);
                         out.timer = TimerCmd::Arm(now + self.rto.current_rto());
                     }
                 }
                 RenoStyle::NewReno => {
                     if self.cc.in_fast_recovery() {
                         self.cc.on_dupack_in_recovery();
-                        self.fill_window(now, &mut out);
+                        self.fill_window(now, out);
                     } else if self.dupacks == self.config.dupthresh {
                         self.stats.td_events += 1;
                         self.recover = self.snd_nxt;
                         self.cc.on_fast_retransmit(self.flight());
-                        self.retransmit_head(now, &mut out);
+                        self.retransmit_head(now, out);
                         out.timer = TimerCmd::Arm(now + self.rto.current_rto());
                     }
                 }
                 RenoStyle::Sack => {
                     if self.cc.in_fast_recovery() {
-                        self.send_sack_recovery(now, &mut out);
+                        self.send_sack_recovery(now, out);
                     } else if self.dupacks == self.config.dupthresh {
                         self.stats.td_events += 1;
                         self.recover = self.snd_nxt;
                         self.rexmitted.clear();
                         self.cc.on_sack_retransmit(self.flight());
-                        self.retransmit_head(now, &mut out);
+                        self.retransmit_head(now, out);
                         // The head repair counts as an in-recovery repair.
                         self.rexmitted.insert(self.snd_una);
-                        self.send_sack_recovery(now, &mut out);
+                        self.send_sack_recovery(now, out);
                         out.timer = TimerCmd::Arm(now + self.rto.current_rto());
                     }
                 }
             }
         }
         // ACKs below snd_una carry no information here (cumulative).
-        out
     }
 
     /// SACK pipe estimate: packets believed in flight — outstanding data
@@ -393,10 +421,15 @@ impl Sender {
 
     /// The retransmission timer fired.
     pub fn on_rto_fired(&mut self, now: SimTime) -> SenderOutput {
-        let mut out = SenderOutput {
-            segments: vec![],
-            timer: TimerCmd::Keep,
-        };
+        let mut out = SenderOutput::default();
+        self.on_rto_into(now, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`Sender::on_rto_fired`]: resets and fills
+    /// the caller-owned `out`.
+    pub fn on_rto_into(&mut self, now: SimTime, out: &mut SenderOutput) {
+        out.reset();
         if self.flight() == 0 {
             // Nothing outstanding: for a completed finite transfer the
             // timer simply dies; for a bulk sender (cannot normally happen)
@@ -404,7 +437,7 @@ impl Sender {
             if !self.is_complete() {
                 out.timer = TimerCmd::Arm(now + self.rto.current_rto());
             }
-            return out;
+            return;
         }
         self.stats.rto_firings += 1;
         self.to_run += 1;
@@ -416,9 +449,8 @@ impl Sender {
         self.rexmitted.clear();
         // Karn: anything in flight is now suspect.
         self.timed = None;
-        self.retransmit_head(now, &mut out);
+        self.retransmit_head(now, out);
         out.timer = TimerCmd::Arm(now + self.rto.current_rto());
-        out
     }
 
     /// Flushes the final (possibly open) timeout run into the stats; call

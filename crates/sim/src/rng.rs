@@ -41,11 +41,13 @@ impl SimRng {
     }
 
     /// A uniform draw in the open interval (0, 1).
+    #[inline]
     pub fn open01(&mut self) -> f64 {
         self.inner.sample(Open01)
     }
 
     /// Bernoulli draw with success probability `p` (clamped to [0, 1]).
+    #[inline]
     pub fn chance(&mut self, p: f64) -> bool {
         if p <= 0.0 {
             false
@@ -57,17 +59,20 @@ impl SimRng {
     }
 
     /// Uniform integer in `[lo, hi]` inclusive.
+    #[inline]
     pub fn uniform_u32(&mut self, lo: u32, hi: u32) -> u32 {
         self.inner.gen_range(lo..=hi)
     }
 
     /// Uniform integer in `[lo, hi]` inclusive (64-bit; used for
     /// nanosecond-granularity delay draws).
+    #[inline]
     pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
         self.inner.gen_range(lo..=hi)
     }
 
     /// Uniform float in `[lo, hi)`.
+    #[inline]
     pub fn uniform_f64(&mut self, lo: f64, hi: f64) -> f64 {
         if lo >= hi {
             return lo;

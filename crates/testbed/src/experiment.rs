@@ -22,7 +22,7 @@ use crate::supervisor::{run_campaign, CampaignReport, JobSpec, SupervisorConfig}
 use std::sync::Arc;
 use tcp_sim::connection::{Connection, Observer};
 use tcp_sim::link::{Bottleneck, Path};
-use tcp_sim::loss::{Bernoulli, LossModel, Mixed, TimedGilbertElliott};
+use tcp_sim::loss::{Bernoulli, LossKind, Mixed, TimedGilbertElliott};
 use tcp_sim::packet::{Ack, Segment};
 use tcp_sim::queue::DropTail;
 use tcp_sim::receiver::ReceiverConfig;
@@ -30,14 +30,18 @@ use tcp_sim::reno::rto::RtoConfig;
 use tcp_sim::reno::sender::SenderConfig;
 use tcp_sim::stats::ConnStats;
 use tcp_sim::time::{SimDuration, SimTime};
-use tcp_trace::record::{Trace, TraceEvent, TraceRecord};
+use tcp_trace::log::TraceLog;
+use tcp_trace::record::Trace;
 
-/// A [`tcp_sim::Observer`] that records the sender-side wire trace in the
-/// `tcp-trace` format — the glue between the simulator and the analysis
-/// programs (the `tcpdump` of this testbed).
+/// A [`tcp_sim::Observer`] that records the sender-side wire trace — the
+/// glue between the simulator and the analysis programs (the `tcpdump` of
+/// this testbed). Internally columnar ([`TraceLog`]) so a steady-state
+/// recording push is three primitive stores into preallocated columns;
+/// [`TraceRecorder::into_trace`] converts losslessly to the row-oriented
+/// form the analyzers consume.
 #[derive(Debug, Default)]
 pub struct TraceRecorder {
-    trace: Trace,
+    log: TraceLog,
 }
 
 impl TraceRecorder {
@@ -46,28 +50,27 @@ impl TraceRecorder {
         TraceRecorder::default()
     }
 
+    /// A recorder preallocated for a run of `horizon_secs` at roughly
+    /// `events_per_sec` wire events (sends + ACK arrivals) per second.
+    pub fn for_horizon(horizon_secs: f64, events_per_sec: f64) -> Self {
+        TraceRecorder {
+            log: TraceLog::for_horizon(horizon_secs, events_per_sec),
+        }
+    }
+
     /// Consumes the recorder, yielding the trace.
     pub fn into_trace(self) -> Trace {
-        self.trace
+        self.log.into_trace()
     }
 }
 
 impl Observer for TraceRecorder {
     fn on_segment_sent(&mut self, at: SimTime, seg: Segment) {
-        self.trace.push(TraceRecord {
-            time_ns: at.as_nanos(),
-            event: TraceEvent::Send {
-                seq: seg.seq,
-                retx: seg.retransmit,
-            },
-        });
+        self.log.push_send(at.as_nanos(), seg.seq, seg.retransmit);
     }
 
     fn on_ack_received(&mut self, at: SimTime, ack: Ack) {
-        self.trace.push(TraceRecord {
-            time_ns: at.as_nanos(),
-            event: TraceEvent::AckIn { ack: ack.ack },
-        });
+        self.log.push_ack_in(at.as_nanos(), ack.ack);
     }
 }
 
@@ -136,18 +139,21 @@ pub struct WireLoss {
 }
 
 impl WireLoss {
-    fn build(&self) -> Box<dyn LossModel + Send> {
-        let mut components: Vec<Box<dyn LossModel + Send>> = Vec::new();
+    fn build(&self) -> LossKind {
+        let mut components: Vec<LossKind> = Vec::new();
         if self.isolated_p > 0.0 {
-            components.push(Box::new(Bernoulli::new(self.isolated_p)));
+            components.push(Bernoulli::new(self.isolated_p).into());
         }
         if self.burst_time_frac > 0.0 {
-            components.push(Box::new(TimedGilbertElliott::from_rate_and_burst_secs(
-                self.burst_time_frac,
-                self.mean_burst_secs,
-            )));
+            components.push(
+                TimedGilbertElliott::from_rate_and_burst_secs(
+                    self.burst_time_frac,
+                    self.mean_burst_secs,
+                )
+                .into(),
+            );
         }
-        Box::new(Mixed::new(components))
+        Mixed::from_kinds(components).into()
     }
 }
 
@@ -243,7 +249,12 @@ fn run_connection_budgeted(
         .sender_config(sender_config(spec))
         .receiver_config(ReceiverConfig::default())
         .seed(seed)
-        .build_with_observer(TraceRecorder::new());
+        // Preallocate the trace from the paper's hour-long packet count for
+        // this path: sends plus delayed (b=2) ACK arrivals ≈ 1.5× packets.
+        .build_with_observer(TraceRecorder::for_horizon(
+            horizon_secs,
+            spec.paper_packets.max(1) as f64 / 3600.0 * 1.5,
+        ));
     let event_budget_hit = conn.run_until_budget(SimTime::from_secs_f64(horizon_secs), max_events);
     conn.finish();
     let stats = conn.stats();
@@ -356,7 +367,12 @@ pub fn run_modem(spec: &ModemSpec, horizon_secs: f64, seed: u64) -> ExperimentRe
         .loss(Box::new(tcp_sim::loss::Bernoulli::new(spec.wire_loss)))
         .sender_config(sender)
         .seed(seed)
-        .build_with_observer(TraceRecorder::new());
+        // Bottleneck-limited: the wire rate cannot exceed the bottleneck
+        // packet rate (plus its ACK stream).
+        .build_with_observer(TraceRecorder::for_horizon(
+            horizon_secs,
+            spec.bottleneck_pps * 1.5,
+        ));
     conn.run_for(SimDuration::from_secs_f64(horizon_secs));
     conn.finish();
     let stats = conn.stats();

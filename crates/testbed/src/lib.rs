@@ -25,6 +25,7 @@
 pub mod experiment;
 pub mod hosts;
 pub mod paths;
+pub mod pool;
 pub mod report;
 pub mod supervisor;
 
@@ -34,6 +35,7 @@ pub use experiment::{
 };
 pub use hosts::{host, Host, Os, HOSTS};
 pub use paths::{fig7_paths, fig8_paths, table2_path, ModemSpec, PathSpec, TABLE2_PATHS};
+pub use pool::{TaskHandle, WorkerPool};
 pub use supervisor::{
     run_campaign, CampaignReport, CampaignRow, Job, JobSpec, Outcome, SupervisorConfig,
 };

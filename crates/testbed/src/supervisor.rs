@@ -4,16 +4,20 @@
 //!
 //! The paper's Table II aggregates 24 hour-long measurements; losing all
 //! 24 because one path wedged would have been absurd in 1997 and is just
-//! as absurd here. Each experiment therefore runs on its own detached
-//! worker thread with:
+//! as absurd here. Experiments run on a shared work-stealing
+//! [`WorkerPool`] (one worker per monitor, spawned once per campaign
+//! instead of one thread per attempt) with:
 //!
 //! * a **wall-clock budget** — the monitor waits on a channel with
-//!   [`std::sync::mpsc::Receiver::recv_timeout`]; a worker that blows the
-//!   budget is abandoned (threads cannot be killed; the leaked worker
-//!   keeps its own sim-event budget, so even a hung one is doubly fenced);
-//! * **panic isolation** — the worker body runs under
+//!   [`std::sync::mpsc::Receiver::recv_timeout`]; an attempt that blows
+//!   the budget is abandoned via [`WorkerPool::abandon`] (threads cannot
+//!   be killed; the pool immediately replaces the wedged worker so
+//!   campaign capacity never degrades, and the leaked attempt keeps its
+//!   own sim-event budget, so even a hung one is doubly fenced);
+//! * **panic isolation** — every pool task runs under
 //!   [`std::panic::catch_unwind`], so a panicking experiment reports
-//!   [`Outcome::Panicked`] instead of poisoning the join;
+//!   [`Outcome::Panicked`] instead of poisoning anything, and the worker
+//!   survives to run the next attempt;
 //! * **one retry with a reseeded RNG** — stochastic wedges (a
 //!   pathological seed) get a second, deterministic-but-different draw;
 //!   success on the retry is recorded as [`Outcome::Retried`].
@@ -25,6 +29,7 @@
 //! campaign.
 
 use crate::experiment::ExperimentResult;
+use crate::pool::WorkerPool;
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -191,27 +196,31 @@ fn reseed(seed: u64) -> u64 {
         .wrapping_add(0xD1B5_4A32_D192_ED03)
 }
 
-/// Runs one attempt on a detached worker thread and waits up to `budget`.
-/// A worker that neither finishes nor panics in time is abandoned: threads
-/// cannot be killed, so the supervisor walks away and the leaked worker's
-/// eventual send lands on a closed channel.
-fn attempt(job: &Job, seed: u64, budget: Duration) -> Attempt {
+/// Runs one attempt on the shared worker pool and waits up to `budget`.
+/// An attempt that neither finishes nor panics in time is abandoned:
+/// threads cannot be killed, so the monitor walks away (the leaked
+/// attempt's eventual send lands on a closed channel) and the pool spawns
+/// a replacement worker so capacity is unchanged.
+fn attempt(pool: &WorkerPool, job: &Job, seed: u64, budget: Duration) -> Attempt {
     let (tx, rx) = mpsc::channel();
     let job = Arc::clone(job);
-    std::thread::spawn(move || {
+    let handle = pool.submit(move || {
         let outcome = catch_unwind(AssertUnwindSafe(|| job(seed)));
         let _ = tx.send(outcome);
     });
     match rx.recv_timeout(budget) {
         Ok(Ok(result)) => Attempt::Completed(Box::new(result)),
         Ok(Err(_panic)) => Attempt::Panicked,
-        Err(_timeout) => Attempt::TimedOut,
+        Err(_timeout_or_discarded) => {
+            pool.abandon(&handle);
+            Attempt::TimedOut
+        }
     }
 }
 
 /// Supervises a single experiment: first attempt, optional reseeded retry.
-fn supervise_one(spec: &JobSpec, config: &SupervisorConfig) -> CampaignRow {
-    match attempt(&spec.job, spec.seed, config.wall_budget) {
+fn supervise_one(pool: &WorkerPool, spec: &JobSpec, config: &SupervisorConfig) -> CampaignRow {
+    match attempt(pool, &spec.job, spec.seed, config.wall_budget) {
         Attempt::Completed(result) => CampaignRow {
             label: spec.label.clone(),
             seed: spec.seed,
@@ -230,7 +239,7 @@ fn supervise_one(spec: &JobSpec, config: &SupervisorConfig) -> CampaignRow {
                 };
             }
             let retry_seed = reseed(spec.seed);
-            match attempt(&spec.job, retry_seed, config.wall_budget) {
+            match attempt(pool, &spec.job, retry_seed, config.wall_budget) {
                 Attempt::Completed(result) => CampaignRow {
                     label: spec.label.clone(),
                     seed: retry_seed,
@@ -255,7 +264,7 @@ fn supervise_one(spec: &JobSpec, config: &SupervisorConfig) -> CampaignRow {
 /// one row per job in submission order.
 ///
 /// The report always covers every submitted job: monitors never execute
-/// experiment code directly (it runs on sacrificial worker threads), and
+/// experiment code directly (it runs on pooled worker threads), and
 /// even if a monitor were lost its slot degrades to a `Panicked` hole
 /// rather than poisoning the whole campaign.
 pub fn run_campaign(jobs: Vec<JobSpec>, config: &SupervisorConfig) -> CampaignReport {
@@ -268,6 +277,11 @@ pub fn run_campaign(jobs: Vec<JobSpec>, config: &SupervisorConfig) -> CampaignRe
         config.max_workers
     }
     .min(n.max(1));
+    // One pooled worker per monitor: each monitor drives at most one
+    // attempt at a time, so the pool can never be oversubscribed, and
+    // abandoned (wedged) workers are replaced by the pool itself.
+    let pool = WorkerPool::new(monitors);
+    let pool_ref = &pool;
     let jobs_ref = &jobs;
     let scope_result = crossbeam::scope(|scope| {
         for _ in 0..monitors {
@@ -276,7 +290,7 @@ pub fn run_campaign(jobs: Vec<JobSpec>, config: &SupervisorConfig) -> CampaignRe
                 if i >= n {
                     break;
                 }
-                let row = supervise_one(&jobs_ref[i], config);
+                let row = supervise_one(pool_ref, &jobs_ref[i], config);
                 slots.lock()[i] = Some(row);
             });
         }

@@ -9,6 +9,8 @@
 //! * [`record`] — the trace format (the `tcpdump` stand-in): timestamped
 //!   data-segment departures and ACK arrivals, serializable as JSON lines
 //!   or a compact binary framing;
+//! * [`log`](mod@log) — a columnar (struct-of-arrays) recording buffer for the
+//!   simulation hot path, losslessly convertible to [`record`] form;
 //! * [`analyzer`] — loss-indication extraction and TD-vs-TO classification
 //!   (with the Linux dupack-threshold-2 correction of §III), including
 //!   timeout-sequence lengths for Table II's T0…T5+ columns;
@@ -36,6 +38,7 @@ pub mod health;
 pub mod import;
 pub mod intervals;
 pub mod karn;
+pub mod log;
 pub mod metrics;
 pub mod record;
 pub mod summary;
@@ -47,6 +50,7 @@ pub use health::{HealthIssue, HealthWarning, TraceHealth};
 pub use import::{export_text, import_text, import_text_strict, Import, ImportError};
 pub use intervals::{split_intervals, split_intervals_bounded, IntervalCategory, IntervalStats};
 pub use karn::{estimate_t0_classified, estimate_timing, rtt_window_correlation, TimingEstimates};
+pub use log::TraceLog;
 pub use metrics::{average_error, Observation};
 pub use record::{Trace, TraceEvent, TraceRecord};
 pub use summary::TraceSummary;

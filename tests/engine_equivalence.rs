@@ -1,0 +1,156 @@
+//! Golden-trace equivalence: the hybrid lane/heap event engine must be
+//! observationally *bit-identical* to the legacy single-binary-heap
+//! engine it replaced.
+//!
+//! Every case runs the same pinned-seed connection twice — once on the
+//! default hybrid engine (`build_with_observer`) and once on the retained
+//! legacy engine (`build_legacy_with_observer`) — and asserts that the
+//! sender-side observer trace and the full [`ConnStats`] agree exactly.
+//! This is the contract that lets the fast path replace the old engine
+//! without re-validating any of the paper's Table II / Figs. 7–11
+//! reproductions: same events, same order, same RNG draws, same numbers.
+
+use padhye_tcp_repro::sim::connection::{Connection, ConnectionBuilder};
+use padhye_tcp_repro::sim::fault::impairments::{AckLoss, Duplicate, Reorder};
+use padhye_tcp_repro::sim::fault::FaultPlan;
+use padhye_tcp_repro::sim::link::Path;
+use padhye_tcp_repro::sim::loss::{Bernoulli, GilbertElliott, LossKind, RoundCorrelated};
+use padhye_tcp_repro::sim::reno::sender::SenderConfig;
+use padhye_tcp_repro::sim::stats::ConnStats;
+use padhye_tcp_repro::sim::time::{SimDuration, SimTime};
+use padhye_tcp_repro::testbed::TraceRecorder;
+use padhye_tcp_repro::trace::record::Trace;
+
+/// Event budget generous enough that no case below ever hits it; a budget
+/// stop would silently shrink the compared window.
+const EVENT_BUDGET: u64 = 10_000_000;
+
+/// Builds one connection per engine from identical specs and runs both to
+/// the same horizon, returning (trace, stats) per engine.
+fn run_both(
+    make: impl Fn() -> ConnectionBuilder,
+    horizon_secs: f64,
+) -> ((Trace, ConnStats), (Trace, ConnStats)) {
+    let horizon = SimTime::from_secs_f64(horizon_secs);
+
+    let mut hybrid = make().build_with_observer(TraceRecorder::new());
+    let hit = hybrid.run_until_budget(horizon, EVENT_BUDGET);
+    assert!(!hit, "hybrid engine hit the event budget");
+    hybrid.finish();
+    let hybrid_stats = hybrid.stats();
+    let hybrid_trace = hybrid.into_observer().into_trace();
+
+    let mut legacy = make().build_legacy_with_observer(TraceRecorder::new());
+    let hit = legacy.run_until_budget(horizon, EVENT_BUDGET);
+    assert!(!hit, "legacy engine hit the event budget");
+    legacy.finish();
+    let legacy_stats = legacy.stats();
+    let legacy_trace = legacy.into_observer().into_trace();
+
+    ((hybrid_trace, hybrid_stats), (legacy_trace, legacy_stats))
+}
+
+fn assert_equivalent(make: impl Fn() -> ConnectionBuilder, horizon_secs: f64, case: &str) {
+    let ((ht, hs), (lt, ls)) = run_both(make, horizon_secs);
+    assert!(
+        hs.packets_sent > 0,
+        "{case}: degenerate run, nothing was sent"
+    );
+    assert_eq!(hs, ls, "{case}: ConnStats diverged between engines");
+    assert_eq!(
+        ht.len(),
+        lt.len(),
+        "{case}: trace lengths diverged between engines"
+    );
+    assert_eq!(ht, lt, "{case}: traces diverged between engines");
+}
+
+fn base_builder(seed: u64) -> ConnectionBuilder {
+    let half = SimDuration::from_millis(50);
+    Connection::builder()
+        .fwd_path(Path::constant(half))
+        .rev_path(Path::constant(half))
+        .sender_config(SenderConfig::default())
+        .seed(seed)
+}
+
+#[test]
+fn bernoulli_traces_are_bit_identical_across_engines() {
+    for (seed, p) in [(11u64, 0.005), (12, 0.02), (13, 0.05)] {
+        assert_equivalent(
+            || base_builder(seed).loss(Bernoulli::new(p)),
+            120.0,
+            &format!("bernoulli p={p} seed={seed}"),
+        );
+    }
+}
+
+#[test]
+fn gilbert_elliott_traces_are_bit_identical_across_engines() {
+    for seed in [21u64, 22] {
+        assert_equivalent(
+            || base_builder(seed).loss(GilbertElliott::new(0.001, 0.4, 0.01, 0.3)),
+            120.0,
+            &format!("gilbert-elliott seed={seed}"),
+        );
+    }
+}
+
+#[test]
+fn round_correlated_traces_are_bit_identical_across_engines() {
+    assert_equivalent(
+        || base_builder(31).loss(RoundCorrelated::new(0.02)),
+        120.0,
+        "round-correlated p=0.02 seed=31",
+    );
+}
+
+#[test]
+fn boxed_dyn_loss_matches_too() {
+    // The pre-monomorphization call shape: a type-erased `Box<dyn LossModel>`
+    // routed through `LossKind::Dyn` must behave exactly like the enum path.
+    assert_equivalent(
+        || {
+            let boxed: Box<dyn padhye_tcp_repro::sim::loss::LossModel + Send> =
+                Box::new(Bernoulli::new(0.02));
+            base_builder(41).loss(LossKind::from(boxed))
+        },
+        60.0,
+        "boxed-dyn bernoulli seed=41",
+    );
+}
+
+#[test]
+fn seeded_fault_plan_traces_are_bit_identical_across_engines() {
+    // The full chaos battery: reordering, duplication, ACK loss, jitter
+    // bursts, link flaps, corruption — the hardest case for the hybrid
+    // queue because extra-delay faults schedule arrivals out of lane order.
+    for seed in [1u64, 2, 3] {
+        assert_equivalent(
+            || {
+                base_builder(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1))
+                    .loss(Bernoulli::new(0.02))
+                    .fault(FaultPlan::from_seed(seed))
+            },
+            120.0,
+            &format!("fault-plan from_seed({seed})"),
+        );
+    }
+}
+
+#[test]
+fn composed_fault_plan_traces_are_bit_identical_across_engines() {
+    // A hand-composed plan (as opposed to the seeded battery): heavy
+    // reordering plus duplication plus ACK loss on top of wire loss.
+    assert_equivalent(
+        || {
+            let plan = FaultPlan::none()
+                .with(Box::new(Reorder::new(0.10, SimDuration::from_millis(40))))
+                .with(Box::new(Duplicate::new(0.05, 1)))
+                .with(Box::new(AckLoss::new(0.03)));
+            base_builder(51).loss(Bernoulli::new(0.01)).fault(plan)
+        },
+        120.0,
+        "composed reorder+duplicate+ackloss",
+    );
+}

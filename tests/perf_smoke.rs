@@ -1,0 +1,53 @@
+//! Tier-1 performance smoke test: a canary against catastrophic
+//! regressions in the simulation hot path (an accidental O(n²) queue, a
+//! per-packet allocation storm, a busy-wait), not a benchmark.
+//!
+//! The ceiling is deliberately generous — tier-1 runs this in the *debug*
+//! profile on shared CI hardware, so the budget is orders of magnitude
+//! above the expected time (the release-mode number lives in
+//! `results/BENCH_sim.json`, produced by `cargo run -p tcp-bench --bin
+//! bench_report`). If this test trips, the hot path did not get "a bit
+//! slower"; it broke.
+
+use std::time::{Duration, Instant};
+
+use padhye_tcp_repro::sim::connection::Connection;
+use padhye_tcp_repro::sim::link::Path;
+use padhye_tcp_repro::sim::loss::Bernoulli;
+use padhye_tcp_repro::sim::reno::sender::SenderConfig;
+use padhye_tcp_repro::sim::time::{SimDuration, SimTime};
+use padhye_tcp_repro::testbed::TraceRecorder;
+
+/// Wall-clock ceiling for 60 simulated seconds at p = 0.05. Release-mode
+/// reality is well under a millisecond; debug mode is a few milliseconds.
+const CEILING: Duration = Duration::from_secs(20);
+
+#[test]
+fn sixty_sim_seconds_at_five_percent_loss_fit_the_wall_clock_ceiling() {
+    let half = SimDuration::from_millis(50);
+    let mut conn = Connection::builder()
+        .fwd_path(Path::constant(half))
+        .rev_path(Path::constant(half))
+        .loss(Bernoulli::new(0.05))
+        .sender_config(SenderConfig::default())
+        .seed(7)
+        .build_with_observer(TraceRecorder::for_horizon(60.0, 200.0));
+    let started = Instant::now();
+    let budget_hit = conn.run_until_budget(SimTime::from_secs_f64(60.0), 10_000_000);
+    let elapsed = started.elapsed();
+    conn.finish();
+
+    assert!(!budget_hit, "smoke run must not hit the event budget");
+    let stats = conn.stats();
+    assert!(stats.packets_sent > 100, "degenerate run, nothing happened");
+    assert!(
+        elapsed < CEILING,
+        "60 simulated seconds took {elapsed:?} (ceiling {CEILING:?}); \
+         the event-engine hot path has a catastrophic regression"
+    );
+    // The trace actually recorded the run (the observer is on the hot
+    // path; an accidentally disconnected observer would make the timing
+    // above meaningless).
+    let trace = conn.into_observer().into_trace();
+    assert!(u64::try_from(trace.len()).unwrap_or(0) >= stats.packets_sent);
+}

@@ -7,6 +7,11 @@
 //! [`criterion_group!`] and [`criterion_main!`]. It runs a short
 //! fixed-budget measurement and prints a median per-iteration time —
 //! useful for relative comparisons, with none of criterion's statistics.
+//!
+//! Like real criterion, passing `--test` on the command line (i.e.
+//! `cargo bench -- --test`) switches every benchmark to validation mode:
+//! each workload runs exactly once, untimed, so CI can smoke-test that
+//! the benches still execute without paying for a measurement.
 
 #![deny(missing_docs)]
 
@@ -51,7 +56,8 @@ pub struct Bencher {
 impl Bencher {
     /// Times `routine`, recording per-iteration durations.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        // Warmup: one call, also used to size the sample loop.
+        // Warmup: one call, also used to size the sample loop. In `--test`
+        // validation mode this single call is the whole run.
         let warm_start = Instant::now();
         black_box(routine());
         let one = warm_start.elapsed().max(Duration::from_nanos(1));
@@ -76,7 +82,22 @@ impl Bencher {
     }
 }
 
+/// Whether `--test` was passed on the command line (criterion's
+/// validation mode: run each workload once, untimed).
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 fn run_one(id: &str, sample_count: u64, f: impl FnOnce(&mut Bencher)) {
+    if test_mode() {
+        // Validation: `Bencher::iter`'s warmup call executes the routine
+        // once; a zero sample count skips the measurement loop entirely.
+        let mut bencher =
+            Bencher { samples: Vec::new(), iters_per_sample: 1, sample_count: 0 };
+        f(&mut bencher);
+        println!("test bench {id:<45} ... ok");
+        return;
+    }
     let mut bencher =
         Bencher { samples: Vec::new(), iters_per_sample: u64::MAX, sample_count };
     f(&mut bencher);
