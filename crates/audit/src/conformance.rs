@@ -32,7 +32,7 @@ impl ClaimCoverage {
 /// A citation problem that fails the audit.
 #[derive(Debug, Clone)]
 pub struct CitationError {
-    /// `unknown`, `stale`, `duplicate`, or `malformed`.
+    /// `unknown`, `stale`, `duplicate`, `malformed`, or `impl-in-test`.
     pub kind: &'static str,
     /// Citation site, as `file:line`.
     pub site: String,
@@ -114,6 +114,16 @@ pub fn check(registry: &Registry, citations: &[Citation]) -> ConformanceReport {
                     claim: cite.claim.clone(),
                 });
             }
+            // An *implementation* citation inside `#[cfg(test)]` code would
+            // count test-only code as impl coverage; the test citation form
+            // (`type=test`) is the correct one there.
+            Some(_) if cite.kind == CitationKind::Impl && cite.in_test => {
+                errors.push(CitationError {
+                    kind: "impl-in-test",
+                    site,
+                    claim: cite.claim.clone(),
+                });
+            }
             Some(claim) => {
                 let bucket = match cite.kind {
                     CitationKind::Impl => &mut impl_sites,
@@ -147,7 +157,7 @@ pub fn check(registry: &Registry, citations: &[Citation]) -> ConformanceReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scanner::scan_citations;
+    use crate::scanner::scan_text;
     use crate::spec::parse_spec;
     use std::path::Path;
 
@@ -163,12 +173,12 @@ mod tests {
     #[test]
     fn must_claim_needs_impl_and_test() {
         let reg = registry();
-        let cites = scan_citations(Path::new("a.rs"), "//= pftk#eq-1\nfn f() {}\n");
+        let cites = scan_text(Path::new("a.rs"), "//= pftk#eq-1\nfn f() {}\n");
         let report = check(&reg, &cites);
         assert!(!report.is_clean(), "impl-only MUST coverage must not pass");
         assert_eq!(report.uncovered_must().len(), 1);
 
-        let cites = scan_citations(
+        let cites = scan_text(
             Path::new("a.rs"),
             "//= pftk#eq-1\nfn f() {}\n//= pftk#eq-1 type=test\nfn t() {}\n",
         );
@@ -183,10 +193,21 @@ mod tests {
     fn unknown_stale_duplicate_are_errors() {
         let reg = registry();
         let text = "//= pftk#nope\n//= pftk#old\n//= pftk#eq-2\n//= pftk#eq-2\n";
-        let report = check(&reg, &scan_citations(Path::new("a.rs"), text));
+        let report = check(&reg, &scan_text(Path::new("a.rs"), text));
         let kinds: Vec<_> = report.errors.iter().map(|e| e.kind).collect();
         assert_eq!(kinds, ["unknown", "stale", "duplicate"]);
         assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn impl_citation_inside_cfg_test_is_an_error() {
+        let reg = registry();
+        let text = "#[cfg(test)]\nmod tests {\n    //= pftk#eq-1\n    fn t() {}\n    //= pftk#eq-2 type=test\n    fn u() {}\n}\n";
+        let report = check(&reg, &scan_text(Path::new("a.rs"), text));
+        let kinds: Vec<_> = report.errors.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, ["impl-in-test"], "{:?}", report.errors);
+        // The `type=test` citation in the same module is the valid form.
+        assert_eq!(report.claims[1].test_sites.len(), 1);
     }
 
     #[test]
@@ -194,7 +215,7 @@ mod tests {
         let reg = registry();
         let report = check(
             &reg,
-            &scan_citations(Path::new("a.rs"), "//= pftk#eq-1 type=bench\n"),
+            &scan_text(Path::new("a.rs"), "//= pftk#eq-1 type=bench\n"),
         );
         assert_eq!(report.errors[0].kind, "malformed");
         assert!(!report.is_clean());

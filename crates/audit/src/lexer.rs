@@ -1,0 +1,715 @@
+//! A small hand-rolled Rust lexer and `#[cfg(test)]`-region marker.
+//!
+//! Every audit pass (citation scanning, lint families, the atomics
+//! classifier) used to be line-regex based, which meant a `panic!` inside
+//! a string literal or a citation inside a raw string could fire or count.
+//! This module tokenizes real Rust source once per file and every pass
+//! consumes the same token stream, so:
+//!
+//! * string literals (including raw strings `r#"…"#` with any number of
+//!   hashes, byte strings, and multi-line strings), char literals, and
+//!   lifetimes are single opaque tokens — lint needles never match inside
+//!   them;
+//! * line and block comments (including *nested* block comments) are
+//!   [`TokenKind::LineComment`] / [`TokenKind::BlockComment`] tokens —
+//!   citation (`//=`) and whitelist (`//~`) directives are read from
+//!   comment tokens only, and code-looking text inside a comment never
+//!   lints;
+//! * `#[cfg(test)]`-gated items are brace-tracked at the *token* level and
+//!   every token inside them carries [`Token::in_test`], so test-only code
+//!   is skipped without the false positives of line heuristics.
+//!
+//! The lexer is deliberately not a full Rust parser: it does not build an
+//! AST, resolve macros, or validate syntax. It only guarantees the token
+//! boundaries the audit passes rely on. Unknown or malformed trailing
+//! input degrades to single-character [`TokenKind::Punct`] tokens rather
+//! than failing the audit.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `as`, `fn`, `r#match`, …).
+    Ident,
+    /// Lifetime or loop label (`'a`, `'static`).
+    Lifetime,
+    /// Integer literal (`42`, `0xFF`, `10_000u64`).
+    Int,
+    /// Float literal — a numeric literal containing a decimal point
+    /// (`0.5`, `1.5e3`, `2.0f64`). `1e5` without a dot is classified as
+    /// [`TokenKind::Int`]; the float-equality lint keys off the dot, as
+    /// the paper-era heuristic did.
+    Float,
+    /// String, raw-string, byte-string, or raw-byte-string literal.
+    /// Contents are opaque to every audit pass.
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Punctuation. Multi-character operators (`::`, `==`, `!=`, `<=`,
+    /// `..=`, …) are single tokens so the float-equality lint cannot
+    /// mistake `<=` for `=` `=`.
+    Punct,
+    /// A `//` comment, text including the leading `//`.
+    LineComment,
+    /// A `/* … */` comment (possibly nested); text is dropped.
+    BlockComment,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token's kind.
+    pub kind: TokenKind,
+    /// Source text. Kept for idents, puncts, and line comments (the
+    /// audit passes match on those); empty for opaque literals and block
+    /// comments to keep the model small.
+    pub text: String,
+    /// 1-based line the token *starts* on.
+    pub line: usize,
+    /// True when the token sits inside a `#[cfg(test)]`-gated item (or is
+    /// part of the attribute itself).
+    pub in_test: bool,
+}
+
+impl Token {
+    fn is_code(&self) -> bool {
+        !matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// The lexed form of one source file, shared by every audit pass.
+#[derive(Debug)]
+pub struct SourceModel {
+    /// All tokens in source order, comments included.
+    pub tokens: Vec<Token>,
+}
+
+impl SourceModel {
+    /// Lexes `text` and marks `#[cfg(test)]` regions.
+    pub fn parse(text: &str) -> SourceModel {
+        let mut tokens = lex(text);
+        mark_test_regions(&mut tokens);
+        SourceModel { tokens }
+    }
+
+    /// Code tokens only (comments filtered out), in source order.
+    pub fn code_tokens(&self) -> impl Iterator<Item = &Token> {
+        self.tokens.iter().filter(|t| t.is_code())
+    }
+
+    /// Comment tokens only, in source order.
+    pub fn comments(&self) -> impl Iterator<Item = &Token> {
+        self.tokens.iter().filter(|t| !t.is_code())
+    }
+
+    /// True when `line` has at least one code token (used to distinguish
+    /// standalone directive/citation comment lines from trailing ones).
+    pub fn line_has_code(&self, line: usize) -> bool {
+        // Multi-line tokens (strings, block comments) only record their
+        // starting line; for directive/citation purposes a line inside a
+        // multi-line literal never parses as a comment anyway.
+        self.tokens.iter().any(|t| t.line == line && t.is_code())
+    }
+}
+
+/// Multi-character operators, longest first so maximal munch works by
+/// scanning the list in order.
+const MULTI_PUNCT: [&str; 24] = [
+    "<<=", ">>=", "..=", "...", "::", "==", "!=", "<=", ">=", "=>", "->", "<-", "..", "&&", "||",
+    "<<", ">>", "+=", "-=", "*=", "/=", "%=", "^=", "|=",
+];
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+}
+
+impl Lexer {
+    fn peek(&self, off: usize) -> Option<char> {
+        self.chars.get(self.pos + off).copied()
+    }
+
+    /// Advances one char, tracking line numbers.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn lex(text: &str) -> Vec<Token> {
+    let mut lx = Lexer {
+        chars: text.chars().collect(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(c) = lx.peek(0) {
+        let line = lx.line;
+        // Whitespace.
+        if c.is_whitespace() {
+            lx.bump();
+            continue;
+        }
+        // Comments.
+        if c == '/' && lx.peek(1) == Some('/') {
+            let mut body = String::new();
+            while let Some(ch) = lx.peek(0) {
+                if ch == '\n' {
+                    break;
+                }
+                body.push(ch);
+                lx.bump();
+            }
+            out.push(Token {
+                kind: TokenKind::LineComment,
+                text: body,
+                line,
+                in_test: false,
+            });
+            continue;
+        }
+        if c == '/' && lx.peek(1) == Some('*') {
+            lx.bump_n(2);
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (lx.peek(0), lx.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        depth += 1;
+                        lx.bump_n(2);
+                    }
+                    (Some('*'), Some('/')) => {
+                        depth -= 1;
+                        lx.bump_n(2);
+                    }
+                    (Some(_), _) => {
+                        lx.bump();
+                    }
+                    (None, _) => break, // unterminated; tolerate
+                }
+            }
+            out.push(Token {
+                kind: TokenKind::BlockComment,
+                text: String::new(),
+                line,
+                in_test: false,
+            });
+            continue;
+        }
+        // Raw strings and byte strings: r"…", r#"…"#, b"…", br##"…"##, b'…'.
+        if is_ident_start(c) {
+            if let Some(tok) = try_lex_string_prefix(&mut lx, line) {
+                out.push(tok);
+                continue;
+            }
+            let mut ident = String::new();
+            while let Some(ch) = lx.peek(0) {
+                if is_ident_continue(ch) {
+                    ident.push(ch);
+                    lx.bump();
+                } else {
+                    break;
+                }
+            }
+            out.push(Token {
+                kind: TokenKind::Ident,
+                text: ident,
+                line,
+                in_test: false,
+            });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            out.push(lex_number(&mut lx, line));
+            continue;
+        }
+        // Plain strings.
+        if c == '"' {
+            lx.bump();
+            lex_string_body(&mut lx);
+            out.push(Token {
+                kind: TokenKind::Str,
+                text: String::new(),
+                line,
+                in_test: false,
+            });
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == '\'' {
+            out.push(lex_char_or_lifetime(&mut lx, line));
+            continue;
+        }
+        // Multi-char punctuation, longest match first.
+        let mut matched = false;
+        for op in MULTI_PUNCT {
+            let len = op.chars().count();
+            if (0..len).all(|i| lx.peek(i) == op.chars().nth(i)) {
+                lx.bump_n(len);
+                out.push(Token {
+                    kind: TokenKind::Punct,
+                    text: op.to_string(),
+                    line,
+                    in_test: false,
+                });
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        lx.bump();
+        out.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line,
+            in_test: false,
+        });
+    }
+    out
+}
+
+/// Recognizes `r`/`b`/`br`-prefixed string or byte-char literals starting
+/// at the current position. Returns `None` when the prefix is an ordinary
+/// identifier (including raw identifiers like `r#match`).
+fn try_lex_string_prefix(lx: &mut Lexer, line: usize) -> Option<Token> {
+    let c = lx.peek(0)?;
+    // b'x' byte char.
+    if c == 'b' && lx.peek(1) == Some('\'') {
+        lx.bump_n(1); // past b; lex_char handles the quote
+        return Some(lex_char_or_lifetime(lx, line));
+    }
+    // b"…" byte string.
+    if c == 'b' && lx.peek(1) == Some('"') {
+        lx.bump_n(2);
+        lex_string_body(lx);
+        return Some(Token {
+            kind: TokenKind::Str,
+            text: String::new(),
+            line,
+            in_test: false,
+        });
+    }
+    // r"…" / r#"…"# / br"…" / br#"…"# raw (byte) strings.
+    let raw_off = match (c, lx.peek(1)) {
+        ('r', _) => 1,
+        ('b', Some('r')) => 2,
+        _ => return None,
+    };
+    let mut hashes = 0usize;
+    while lx.peek(raw_off + hashes) == Some('#') {
+        hashes += 1;
+    }
+    if lx.peek(raw_off + hashes) != Some('"') {
+        // `r#match` raw identifier or a plain ident starting with r/br.
+        if hashes > 0 && raw_off == 1 {
+            // Raw identifier: consume `r#` + ident so the ident pass
+            // doesn't re-see the hash as punctuation.
+            lx.bump_n(2);
+            let mut ident = String::new();
+            while let Some(ch) = lx.peek(0) {
+                if is_ident_continue(ch) {
+                    ident.push(ch);
+                    lx.bump();
+                } else {
+                    break;
+                }
+            }
+            return Some(Token {
+                kind: TokenKind::Ident,
+                text: ident,
+                line,
+                in_test: false,
+            });
+        }
+        return None;
+    }
+    lx.bump_n(raw_off + hashes + 1); // past prefix, hashes, opening quote
+    loop {
+        match lx.bump() {
+            None => break, // unterminated; tolerate
+            Some('"') => {
+                let mut seen = 0usize;
+                while seen < hashes && lx.peek(0) == Some('#') {
+                    lx.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    break;
+                }
+            }
+            Some(_) => {}
+        }
+    }
+    Some(Token {
+        kind: TokenKind::Str,
+        text: String::new(),
+        line,
+        in_test: false,
+    })
+}
+
+/// Consumes a (possibly multi-line) string body after the opening quote.
+fn lex_string_body(lx: &mut Lexer) {
+    loop {
+        match lx.bump() {
+            None | Some('"') => break,
+            Some('\\') => {
+                lx.bump(); // escaped char, including \" and \\
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// Lexes a numeric literal; classifies as [`TokenKind::Float`] iff it
+/// contains a decimal point followed by a digit.
+fn lex_number(lx: &mut Lexer, line: usize) -> Token {
+    let mut text = String::new();
+    let radix_prefixed = lx.peek(0) == Some('0')
+        && matches!(lx.peek(1), Some('x') | Some('o') | Some('b') | Some('X'));
+    let consume_run = |lx: &mut Lexer, text: &mut String| {
+        while let Some(ch) = lx.peek(0) {
+            if is_ident_continue(ch) {
+                text.push(ch);
+                lx.bump();
+                // Exponent sign: `1e-5`, `2.5E+3`.
+                if matches!(ch, 'e' | 'E')
+                    && !radix_prefixed
+                    && matches!(lx.peek(0), Some('+') | Some('-'))
+                    && lx.peek(1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    text.push(lx.bump().unwrap_or_default());
+                }
+            } else {
+                break;
+            }
+        }
+    };
+    consume_run(lx, &mut text);
+    let mut float = false;
+    // A dot directly followed by a digit continues the literal (`1.5`);
+    // `0..10` and `1.max(2)` do not.
+    if !radix_prefixed && lx.peek(0) == Some('.') && lx.peek(1).is_some_and(|d| d.is_ascii_digit())
+    {
+        float = true;
+        text.push('.');
+        lx.bump();
+        consume_run(lx, &mut text);
+    }
+    Token {
+        kind: if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        },
+        text,
+        line,
+        in_test: false,
+    }
+}
+
+/// Disambiguates `'x'` (char literal) from `'a` (lifetime/label).
+fn lex_char_or_lifetime(lx: &mut Lexer, line: usize) -> Token {
+    lx.bump(); // opening quote
+    match lx.peek(0) {
+        // Escaped char: '\n', '\'', '\\', '\u{…}'.
+        Some('\\') => {
+            lx.bump();
+            lx.bump(); // the escaped character (or `u`)
+                       // Consume to the closing quote (covers \u{1F600}).
+            while let Some(ch) = lx.peek(0) {
+                lx.bump();
+                if ch == '\'' {
+                    break;
+                }
+            }
+            Token {
+                kind: TokenKind::Char,
+                text: String::new(),
+                line,
+                in_test: false,
+            }
+        }
+        // One char then a closing quote: char literal.
+        Some(_) if lx.peek(1) == Some('\'') => {
+            lx.bump_n(2);
+            Token {
+                kind: TokenKind::Char,
+                text: String::new(),
+                line,
+                in_test: false,
+            }
+        }
+        // Lifetime or label: consume the identifier.
+        _ => {
+            let mut name = String::from("'");
+            while let Some(ch) = lx.peek(0) {
+                if is_ident_continue(ch) {
+                    name.push(ch);
+                    lx.bump();
+                } else {
+                    break;
+                }
+            }
+            Token {
+                kind: TokenKind::Lifetime,
+                text: name,
+                line,
+                in_test: false,
+            }
+        }
+    }
+}
+
+/// Marks every token inside a `#[cfg(test)]`-gated item with
+/// [`Token::in_test`], brace-tracked over *code* tokens (string literals
+/// and comments cannot confuse the depth count).
+fn mark_test_regions(tokens: &mut [Token]) {
+    let mut depth: i64 = 0;
+    // Depth at which the innermost test item's body opened.
+    let mut region_at: Option<i64> = None;
+    // Saw a `#[cfg(test)]` attribute; waiting for the item body (`{`) or a
+    // braceless item end (`;`).
+    let mut pending = false;
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attribute group detection: `#` `[` … `]`.
+        let starts_attr = tokens[i].kind == TokenKind::Punct
+            && tokens[i].text == "#"
+            && next_code(tokens, i + 1)
+                .is_some_and(|j| tokens[j].kind == TokenKind::Punct && tokens[j].text == "[");
+        if starts_attr && region_at.is_none() {
+            let open = next_code(tokens, i + 1).unwrap_or(i);
+            let mut j = open + 1;
+            let mut bracket_depth = 1i64;
+            let mut saw_cfg = false;
+            let mut saw_test = false;
+            while j < tokens.len() && bracket_depth > 0 {
+                let t = &tokens[j];
+                if t.kind == TokenKind::Punct {
+                    match t.text.as_str() {
+                        "[" => bracket_depth += 1,
+                        "]" => bracket_depth -= 1,
+                        _ => {}
+                    }
+                } else if t.kind == TokenKind::Ident {
+                    if t.text == "cfg" {
+                        saw_cfg = true;
+                    } else if t.text == "test" {
+                        saw_test = true;
+                    }
+                }
+                j += 1;
+            }
+            if saw_cfg && saw_test {
+                pending = true;
+                // The attribute tokens themselves are test code.
+                for t in &mut tokens[i..j] {
+                    t.in_test = true;
+                }
+            }
+            i = j;
+            continue;
+        }
+
+        let in_region = region_at.is_some();
+        if in_region || pending {
+            tokens[i].in_test = true;
+        }
+        if tokens[i].kind == TokenKind::Punct {
+            match tokens[i].text.as_str() {
+                "{" => {
+                    if pending && region_at.is_none() {
+                        region_at = Some(depth);
+                        pending = false;
+                    }
+                    depth += 1;
+                }
+                "}" => {
+                    depth -= 1;
+                    if let Some(at) = region_at {
+                        if depth <= at {
+                            region_at = None;
+                        }
+                    }
+                }
+                ";" if pending && region_at.is_none() => {
+                    // `#[cfg(test)] use …;` — the item ends here.
+                    pending = false;
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Index of the next code (non-comment) token at or after `from`.
+fn next_code(tokens: &[Token], from: usize) -> Option<usize> {
+    (from..tokens.len()).find(|&j| tokens[j].is_code())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(text: &str) -> Vec<(TokenKind, String)> {
+        SourceModel::parse(text)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_numbers() {
+        let toks = kinds("let x = a.unwrap() + 0.5 - 10u64;");
+        assert!(toks.contains(&(TokenKind::Ident, "unwrap".into())));
+        assert!(toks.contains(&(TokenKind::Float, "0.5".into())));
+        assert!(toks.contains(&(TokenKind::Int, "10u64".into())));
+    }
+
+    #[test]
+    fn multi_char_operators_are_single_tokens() {
+        let toks = kinds("a <= b == c != d => e ..= f :: g");
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(puncts, ["<=", "==", "!=", "=>", "..=", "::"]);
+    }
+
+    #[test]
+    fn strings_are_opaque_even_with_code_inside() {
+        let toks = kinds("let s = \"x.unwrap() // not code\";");
+        assert!(!toks.iter().any(|(_, t)| t == "unwrap"));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_opaque() {
+        let toks = kinds("let s = r#\"panic!(\"inner \" quote\")\"#; let t = r\"plain\";");
+        assert!(!toks.iter().any(|(_, t)| t == "panic"));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 2);
+        // The trailing `;` after each string still lexes.
+        assert_eq!(toks.iter().filter(|(_, t)| t == ";").count(), 2);
+    }
+
+    #[test]
+    fn multi_line_and_byte_strings() {
+        let toks = kinds("let s = \"line1\n .unwrap()\nline3\"; let b = b\"bytes\"; done");
+        assert!(!toks.iter().any(|(_, t)| t == "unwrap"));
+        assert!(toks.contains(&(TokenKind::Ident, "done".into())));
+        // Line counting continues through the literal.
+        let model = SourceModel::parse("let s = \"a\nb\nc\";\nafter");
+        let after = model
+            .tokens
+            .iter()
+            .find(|t| t.text == "after")
+            .expect("after token");
+        assert_eq!(after.line, 4);
+    }
+
+    #[test]
+    fn nested_block_comments_do_not_leak() {
+        let toks = kinds("/* outer /* inner */ still comment .unwrap() */ fn f() {}");
+        assert!(!toks.iter().any(|(_, t)| t == "unwrap"));
+        assert!(toks.contains(&(TokenKind::Ident, "fn".into())));
+    }
+
+    #[test]
+    fn line_comments_keep_their_text() {
+        let model = SourceModel::parse("//= pftk#eq-1\nfn f() {} //~ allow(unwrap): reason\n");
+        let comments: Vec<_> = model.comments().map(|t| t.text.clone()).collect();
+        assert_eq!(comments.len(), 2);
+        assert!(comments[0].starts_with("//= pftk#eq-1"));
+        assert!(comments[1].starts_with("//~ allow"));
+        assert!(!model.line_has_code(1));
+        assert!(model.line_has_code(2));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let b = b'y'; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn cfg_test_region_marks_tokens() {
+        let src = "fn live() { a.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { b.unwrap(); }\n}\n\
+                   fn live2() { c.unwrap(); }\n";
+        let model = SourceModel::parse(src);
+        let unwraps: Vec<_> = model.tokens.iter().filter(|t| t.text == "unwrap").collect();
+        assert_eq!(unwraps.len(), 3);
+        assert!(!unwraps[0].in_test);
+        assert!(unwraps[1].in_test);
+        assert!(!unwraps[2].in_test, "region must close at its brace");
+    }
+
+    #[test]
+    fn cfg_test_on_single_item_and_attribute_itself() {
+        let src = "#[cfg(test)]\nuse helper::x;\nfn live() {}\n\
+                   #[cfg(all(test, feature = \"x\"))]\nfn gated() { y.unwrap(); }\nfn live2() {}\n";
+        let model = SourceModel::parse(src);
+        let live = model
+            .tokens
+            .iter()
+            .find(|t| t.text == "live")
+            .expect("live");
+        assert!(!live.in_test, "braceless item ends at `;`");
+        let gated_unwrap = model.tokens.iter().find(|t| t.text == "unwrap").expect("u");
+        assert!(gated_unwrap.in_test, "cfg(all(test, …)) counts");
+        let live2 = model.tokens.iter().find(|t| t.text == "live2").expect("l2");
+        assert!(!live2.in_test);
+        // The attribute's own tokens are marked.
+        let cfg = model.tokens.iter().find(|t| t.text == "cfg").expect("cfg");
+        assert!(cfg.in_test);
+    }
+
+    #[test]
+    fn cfg_not_test_does_not_mark() {
+        let src = "#[cfg(feature = \"fast\")]\nfn f() { x.unwrap(); }\n";
+        let model = SourceModel::parse(src);
+        assert!(model.tokens.iter().all(|t| !t.in_test));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let toks = kinds("let r#match = 1; r#true.unwrap();");
+        assert!(toks.contains(&(TokenKind::Ident, "match".into())));
+        assert!(toks.contains(&(TokenKind::Ident, "unwrap".into())));
+    }
+}

@@ -3,17 +3,32 @@
 //!
 //! The auditor makes the link between the reproduced paper (Padhye,
 //! Firoiu, Towsley, Kurose, SIGCOMM 1998) and the code checkable by
-//! machine. It runs two passes over every `.rs` file in the workspace:
+//! machine. Every `.rs` file in the workspace is lexed **once** into a
+//! [`lexer::SourceModel`] (a hand-rolled Rust token stream that knows
+//! about strings, raw strings, nested block comments, and `#[cfg(test)]`
+//! regions), and four passes share that model:
 //!
 //! 1. **Conformance** ([`conformance`]): parses the claim registry at
 //!    `specs/pftk-spec.toml` (see [`spec`]) and collects `//= pftk#<id>`
 //!    citation comments (see [`scanner`]). Every `MUST`-level claim needs
 //!    at least one implementation citation and one `type=test` citation;
-//!    citations of unknown or retired claims are errors.
+//!    citations of unknown or retired claims — or impl citations inside
+//!    test code — are errors.
 //! 2. **Lint** ([`lint`]): flags `unwrap()` / `expect(` / `panic!` in
 //!    non-test library code, lossy `as` numeric casts in the `pftk-model`
 //!    and `tcp-sim` hot paths, and NaN-hazard `==` / `!=` comparisons on
-//!    floats. Deliberate sites are whitelisted with `//~ allow(<rule>)`.
+//!    floats.
+//! 3. **Nondeterminism** ([`nondet`]): wall-clock reads, unordered
+//!    `HashMap`/`HashSet` containers in result paths, and raw RNG
+//!    construction outside `sim::rng`'s seeded-stream API.
+//! 4. **Atomics** ([`atomics`]): classifies every atomic access and
+//!    flags `Ordering::Relaxed` on synchronization-bearing operations.
+//!
+//! Deliberate sites are whitelisted with a justified `//~ allow(<rule>)`
+//! comment; whole subtrees with a `[[policy]]` entry in the spec. The
+//! dynamic complement of the static passes is the replay-equivalence
+//! gate (`tests/replay_equivalence.rs`), which re-runs a pinned-seed
+//! campaign across worker counts and asserts bit-identical output.
 //!
 //! The binary prints a human summary and writes `results/conformance.json`
 //! ([`report`]); the library API ([`run_audit`]) backs the tier-1 gate
@@ -22,11 +37,16 @@
 
 #![deny(missing_docs)]
 
+pub mod atomics;
 pub mod conformance;
+pub mod lexer;
 pub mod lint;
+pub mod nondet;
 pub mod report;
 pub mod scanner;
 pub mod spec;
+
+use std::collections::BTreeMap;
 
 use std::path::{Path, PathBuf};
 
@@ -35,15 +55,36 @@ use std::path::{Path, PathBuf};
 pub struct AuditOutcome {
     /// Coverage and citation-validity results from the conformance pass.
     pub conformance: conformance::ConformanceReport,
-    /// Violations from the lint pass (whitelisted sites excluded).
+    /// Violations from every lint family — classic, nondeterminism, and
+    /// atomics — with whitelisted sites excluded.
     pub lint: Vec<lint::LintViolation>,
+    /// Every classified atomic access in the workspace, violations or not.
+    pub atomics: Vec<atomics::AtomicSite>,
+    /// The `[[policy]]` exemptions that were in force, echoed for the
+    /// report so exemption scope is reviewable alongside findings.
+    pub policies: Vec<spec::LintPolicy>,
 }
 
 impl AuditOutcome {
     /// Whether the audit gate passes: no uncovered MUST claim, no
-    /// unknown / stale / duplicate citation, no lint violation.
+    /// unknown / stale / duplicate / impl-in-test citation, no lint
+    /// violation in any family.
     pub fn is_clean(&self) -> bool {
         self.conformance.is_clean() && self.lint.is_empty()
+    }
+
+    /// Violation counts per rule, including zero entries for every known
+    /// rule so the per-rule breakdown is stable across runs.
+    pub fn rule_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for rule in lint::RULES {
+            counts.insert(rule, 0);
+        }
+        counts.insert("unjustified-allow", 0);
+        for v in &self.lint {
+            *counts.entry(v.rule).or_insert(0) += 1;
+        }
+        counts
     }
 }
 
@@ -105,18 +146,27 @@ pub fn run_audit(root: &Path) -> Result<AuditOutcome, String> {
 
     let mut citations = Vec::new();
     let mut lint_violations = Vec::new();
+    let mut atomic_sites = Vec::new();
     for path in &files {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         let rel = path.strip_prefix(root).unwrap_or(path).to_path_buf();
-        citations.extend(scanner::scan_citations(&rel, &text));
-        lint_violations.extend(lint::lint_file(&rel, &text));
+        // One lex per file; every pass reads the same token stream.
+        let model = lexer::SourceModel::parse(&text);
+        citations.extend(scanner::scan_citations(&rel, &model));
+        lint_violations.extend(lint::lint_file(&rel, &text, &model, &registry.policies));
+        lint_violations.extend(nondet::lint_nondet(&rel, &text, &model, &registry.policies));
+        let (sites, violations) = atomics::audit_atomics(&rel, &text, &model, &registry.policies);
+        atomic_sites.extend(sites);
+        lint_violations.extend(violations);
     }
 
     let conformance = conformance::check(&registry, &citations);
     Ok(AuditOutcome {
         conformance,
         lint: lint_violations,
+        atomics: atomic_sites,
+        policies: registry.policies.clone(),
     })
 }
 

@@ -1,19 +1,33 @@
-//! Lint pass: panic-prone calls, lossy casts, NaN-hazard comparisons.
+//! Lint pass: panic-prone calls, lossy casts, NaN-hazard comparisons —
+//! plus the shared whitelist/scope infrastructure used by the newer
+//! determinism ([`crate::nondet`]) and concurrency ([`crate::atomics`])
+//! families.
 //!
-//! Three rules, each scoped to where the hazard matters:
+//! Rules and scopes:
 //!
-//! | rule       | flags                                   | scope                          |
-//! |------------|-----------------------------------------|--------------------------------|
-//! | `unwrap`   | `.unwrap()`                             | library code (`*/src`)         |
-//! | `expect`   | `.expect(`                              | library code (`*/src`)         |
-//! | `panic`    | `panic!`                                | library code (`*/src`)         |
-//! | `cast`     | `as <numeric type>`                     | `crates/model`, `crates/sim`   |
-//! | `float-eq` | `==` / `!=` against a float literal     | model, sim, trace              |
+//! | rule             | flags                                     | scope                          |
+//! |------------------|-------------------------------------------|--------------------------------|
+//! | `unwrap`         | `.unwrap()`                               | library code (`*/src`)         |
+//! | `expect`         | `.expect(`                                | library code (`*/src`)         |
+//! | `panic`          | `panic!`                                  | library code (`*/src`)         |
+//! | `cast`           | `as <numeric type>`                       | `crates/model`, `crates/sim`   |
+//! | `float-eq`       | `==` / `!=` against a float literal       | model, sim, trace              |
+//! | `wall-clock`     | `Instant::now` / `SystemTime` reads       | library code (see policies)    |
+//! | `unordered-iter` | `HashMap` / `HashSet` in result paths     | model, sim, trace, testbed     |
+//! | `rng-stream`     | RNG construction outside `sim::rng`       | library code (see policies)    |
+//! | `relaxed_atomic` | `Ordering::Relaxed` atomic accesses       | library code                   |
 //!
-//! `#[cfg(test)]` modules are skipped (brace-tracked), as are `tests/`,
-//! `benches/` and `examples/` directories (path-scoped). Deliberate
-//! sites are whitelisted with a `//~ allow(<rule>)` comment, either
-//! trailing the offending line or alone on the line above it:
+//! `#[cfg(test)]` regions are skipped (token-tracked by the
+//! [`crate::lexer`]), as are `tests/`, `benches/` and `examples/`
+//! directories (path-scoped). Whole crates or files can be exempted from
+//! a rule by a `[[policy]]` entry in `specs/pftk-spec.toml` (e.g.
+//! `crates/bench` measures wall time for a living, so `wall-clock` does
+//! not apply there) — policy beats per-site whitelist sprawl when the
+//! exemption is structural.
+//!
+//! Deliberate single sites are whitelisted with a `//~ allow(<rule>)`
+//! comment, either trailing the offending line or alone on the line(s)
+//! above it, and **must** carry a justification after the closing paren:
 //!
 //! ```text
 //! let ns = (secs * 1e9).round() as u64; //~ allow(cast): saturating by construction
@@ -21,21 +35,40 @@
 //! let t = base.checked_add(d).expect("simulation clock overflow");
 //! ```
 //!
-//! Detection is line-based over *sanitized* text (string literals and
-//! comments removed), so occurrences inside strings or docs never count.
-//! `float-eq` is a heuristic: it fires only when one operand token is a
-//! float literal (contains a `.`), which catches the NaN-hazard pattern
-//! `x == 0.0` without false-firing on integer comparisons.
+//! A directive without a `: reason` suppresses its target rule but is
+//! itself reported as an `unjustified-allow` violation, so the whitelist
+//! can never silently grow bare entries.
+//!
+//! Detection runs over the lexer's token stream, so occurrences inside
+//! string literals, raw strings, char literals, or comments never count.
+//! `float-eq` fires only when one operand token is a float literal
+//! (contains a `.`), which catches the NaN-hazard pattern `x == 0.0`
+//! without false-firing on integer comparisons.
 
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
-/// Lint rule identifiers, as used in `//~ allow(<rule>)`.
-pub const RULES: [&str; 5] = ["unwrap", "expect", "panic", "cast", "float-eq"];
+use crate::lexer::{SourceModel, Token, TokenKind};
+use crate::spec::LintPolicy;
+
+/// Lint rule identifiers, as used in `//~ allow(<rule>)` and `[[policy]]`
+/// entries.
+pub const RULES: [&str; 9] = [
+    "unwrap",
+    "expect",
+    "panic",
+    "cast",
+    "float-eq",
+    "wall-clock",
+    "unordered-iter",
+    "rng-stream",
+    "relaxed_atomic",
+];
 
 /// One lint finding (already filtered against the whitelist).
 #[derive(Debug, Clone)]
 pub struct LintViolation {
-    /// Which rule fired (one of [`RULES`]).
+    /// Which rule fired (one of [`RULES`], or `unjustified-allow`).
     pub rule: &'static str,
     /// Workspace-relative file path.
     pub file: PathBuf,
@@ -46,8 +79,8 @@ pub struct LintViolation {
 }
 
 /// Whether `file` (workspace-relative) is library code subject to the
-/// panic-family rules: any `src/` tree, at the root or under `crates/`.
-fn is_library_code(file: &Path) -> bool {
+/// library-scoped rules: any `src/` tree, at the root or under `crates/`.
+pub(crate) fn is_library_code(file: &Path) -> bool {
     let mut comps = file.components().map(|c| c.as_os_str().to_string_lossy());
     match comps.next().as_deref() {
         Some("src") => true,
@@ -63,299 +96,277 @@ fn starts_with_dir(file: &Path, prefix: &str) -> bool {
     file.starts_with(prefix)
 }
 
-/// Lints one file, returning unwhitelisted violations.
-pub fn lint_file(file: &Path, text: &str) -> Vec<LintViolation> {
-    let library = is_library_code(file);
-    if !library {
-        return Vec::new();
+/// Whether `rule` applies to `file` at all, before policy exemptions.
+pub(crate) fn rule_in_scope(rule: &str, file: &Path) -> bool {
+    if !is_library_code(file) {
+        return false;
     }
-    let cast_scope = starts_with_dir(file, "crates/model") || starts_with_dir(file, "crates/sim");
-    let float_scope = cast_scope || starts_with_dir(file, "crates/trace");
-
-    let mut out = Vec::new();
-    let mut sanitizer = Sanitizer::default();
-    let mut skip = TestSkip::default();
-    // allow-rules carried over from a standalone `//~ allow(..)` line.
-    let mut pending_allow: Vec<String> = Vec::new();
-
-    for (idx, raw) in text.lines().enumerate() {
-        let lineno = idx + 1;
-        let mut allows = parse_allow_directives(raw);
-        let standalone_directive = raw.trim_start().starts_with("//~");
-        allows.append(&mut pending_allow);
-        if standalone_directive {
-            // Applies to the next code line instead.
-            pending_allow = allows;
-            continue;
-        }
-
-        let clean = sanitizer.sanitize_line(raw);
-        if skip.in_test_code(&clean) {
-            continue;
-        }
-
-        let allowed = |rule: &str| allows.iter().any(|a| a == rule);
-        let mut push = |rule: &'static str| {
-            if !allowed(rule) {
-                out.push(LintViolation {
-                    rule,
-                    file: file.to_path_buf(),
-                    line: lineno,
-                    snippet: raw.trim().to_string(),
-                });
-            }
-        };
-
-        if clean.contains(".unwrap()") {
-            push("unwrap");
-        }
-        if clean.contains(".expect(") {
-            push("expect");
-        }
-        if clean.contains("panic!") {
-            push("panic");
-        }
-        if cast_scope && has_numeric_cast(&clean) {
-            push("cast");
-        }
-        if float_scope && has_float_eq(&clean) {
-            push("float-eq");
-        }
+    let model_sim = starts_with_dir(file, "crates/model") || starts_with_dir(file, "crates/sim");
+    let result_path = model_sim
+        || starts_with_dir(file, "crates/trace")
+        || starts_with_dir(file, "crates/testbed");
+    match rule {
+        "cast" => model_sim,
+        "float-eq" => model_sim || starts_with_dir(file, "crates/trace"),
+        "unordered-iter" => result_path,
+        // The panic family, wall-clock, rng-stream and relaxed_atomic
+        // apply to all library code; structural exemptions (bench timing,
+        // the seeded-stream API itself) come from `[[policy]]` entries.
+        _ => true,
     }
-    out
 }
 
-/// Extracts rules named by `//~ allow(a, b)` directives on a raw line.
-fn parse_allow_directives(raw: &str) -> Vec<String> {
-    let mut rules = Vec::new();
-    let mut rest = raw;
-    while let Some(pos) = rest.find("//~") {
-        rest = &rest[pos + 3..];
-        let trimmed = rest.trim_start();
-        if let Some(args) = trimmed.strip_prefix("allow(") {
-            if let Some(end) = args.find(')') {
-                for rule in args[..end].split(',') {
-                    rules.push(rule.trim().to_string());
-                }
-                rest = &args[end + 1..];
-            }
-        }
-    }
-    rules
+/// Whether a `[[policy]]` entry exempts `file` from `rule`.
+pub(crate) fn policy_exempts(policies: &[LintPolicy], rule: &str, file: &Path) -> bool {
+    policies
+        .iter()
+        .any(|p| p.allow == rule && file.starts_with(&p.path))
 }
 
-/// Line sanitizer: blanks out string/char literals and comments so the
-/// lint needles only match real code. Block-comment state persists
-/// across lines; string literals are assumed not to span lines (true
-/// for this workspace — multi-line strings live in test code, which is
-/// path- or cfg-skipped anyway).
-#[derive(Default)]
-struct Sanitizer {
-    block_comment_depth: usize,
+/// One parsed `//~ allow(...)` directive.
+#[derive(Debug, Clone)]
+pub(crate) struct AllowEntry {
+    /// Rules the directive names.
+    pub rules: Vec<String>,
+    /// Whether a `: reason` follows the directive.
+    pub justified: bool,
+    /// Line of the directive comment itself.
+    pub directive_line: usize,
+    /// Line the directive applies to (same line for trailing directives,
+    /// the line after the standalone run for standalone ones).
+    pub applies_to: usize,
+    /// Whether the directive sits in `#[cfg(test)]` code (exempt from the
+    /// justification requirement — nothing lints there anyway).
+    pub in_test: bool,
 }
 
-impl Sanitizer {
-    fn sanitize_line(&mut self, raw: &str) -> String {
-        let mut out = String::with_capacity(raw.len());
-        let bytes: Vec<char> = raw.chars().collect();
-        let mut i = 0;
-        while i < bytes.len() {
-            if self.block_comment_depth > 0 {
-                if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
-                    self.block_comment_depth -= 1;
-                    i += 2;
-                } else if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
-                    self.block_comment_depth += 1;
-                    i += 2;
-                } else {
-                    i += 1;
-                }
+/// All `//~ allow` directives of one file, resolved to the lines they
+/// whitelist.
+#[derive(Debug, Default)]
+pub(crate) struct Allows {
+    entries: Vec<AllowEntry>,
+}
+
+impl Allows {
+    /// Extracts and resolves directives from a lexed file.
+    pub(crate) fn from_model(model: &SourceModel) -> Allows {
+        // Collect raw directives with their standalone-ness.
+        let mut raw: Vec<(usize, bool, bool, Vec<String>, bool)> = Vec::new();
+        for tok in model.comments() {
+            if tok.kind != TokenKind::LineComment || !tok.text.starts_with("//~") {
                 continue;
             }
-            match bytes[i] {
-                '/' if bytes.get(i + 1) == Some(&'/') => break, // line comment
-                '/' if bytes.get(i + 1) == Some(&'*') => {
-                    self.block_comment_depth += 1;
-                    i += 2;
-                }
-                '"' => {
-                    out.push(' ');
-                    i += 1;
-                    while i < bytes.len() {
-                        match bytes[i] {
-                            '\\' => i += 2,
-                            '"' => {
-                                i += 1;
-                                break;
-                            }
-                            _ => i += 1,
-                        }
-                    }
-                }
-                'r' if bytes.get(i + 1) == Some(&'"')
-                    || (bytes.get(i + 1) == Some(&'#') && bytes.get(i + 2) == Some(&'"')) =>
-                {
-                    // Raw string r"…" / r#"…"# (single-line forms).
-                    let hashes = usize::from(bytes.get(i + 1) == Some(&'#'));
-                    i += 2 + hashes; // past r, hashes, opening quote
-                    out.push(' ');
-                    while i < bytes.len() {
-                        if bytes[i] == '"' && (hashes == 0 || bytes.get(i + 1) == Some(&'#')) {
-                            i += 1 + hashes;
-                            break;
-                        }
-                        i += 1;
-                    }
-                }
-                '\'' => {
-                    // Char literal or lifetime. A char literal closes with
-                    // a quote within 1–2 chars; a lifetime does not.
-                    if bytes.get(i + 2) == Some(&'\'')
-                        || (bytes.get(i + 1) == Some(&'\\') && bytes.get(i + 3) == Some(&'\''))
-                    {
-                        let len = if bytes.get(i + 1) == Some(&'\\') {
-                            4
-                        } else {
-                            3
-                        };
-                        out.push(' ');
-                        i += len;
-                    } else {
-                        out.push('\'');
-                        i += 1;
-                    }
-                }
-                c => {
-                    out.push(c);
-                    i += 1;
-                }
+            let (rules, justified) = parse_allow_directive(&tok.text);
+            if rules.is_empty() {
+                continue;
             }
+            let standalone = !model.line_has_code(tok.line);
+            raw.push((tok.line, standalone, justified, rules, tok.in_test));
         }
-        out
+        // Resolve application lines: a trailing directive applies to its
+        // own line; a run of standalone directive lines applies to the
+        // first line after the run.
+        let standalone_lines: BTreeSet<usize> = raw
+            .iter()
+            .filter(|(_, standalone, ..)| *standalone)
+            .map(|(line, ..)| *line)
+            .collect();
+        let entries = raw
+            .into_iter()
+            .map(|(line, standalone, justified, rules, in_test)| {
+                let applies_to = if standalone {
+                    let mut end = line;
+                    while standalone_lines.contains(&(end + 1)) {
+                        end += 1;
+                    }
+                    end + 1
+                } else {
+                    line
+                };
+                AllowEntry {
+                    rules,
+                    justified,
+                    directive_line: line,
+                    applies_to,
+                    in_test,
+                }
+            })
+            .collect();
+        Allows { entries }
+    }
+
+    /// Whether `rule` is whitelisted on `line` (justified or not — bare
+    /// directives still suppress, but are reported separately).
+    pub(crate) fn allowed(&self, line: usize, rule: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.applies_to == line && e.rules.iter().any(|r| r == rule))
+    }
+
+    /// Directives lacking a `: reason` justification (outside test code).
+    pub(crate) fn unjustified(&self) -> impl Iterator<Item = &AllowEntry> {
+        self.entries.iter().filter(|e| !e.justified && !e.in_test)
     }
 }
 
-/// Brace-tracking skipper for `#[cfg(test)]`-gated items.
-#[derive(Default)]
-struct TestSkip {
-    depth: i64,
-    /// Depth at which the current `#[cfg(test)]` item opened, if inside one.
-    skip_above: Option<i64>,
-    /// Saw `#[cfg(test)]` and waiting for the item's opening brace.
-    pending: bool,
+/// Parses one `//~ …` comment: the rules named by `allow(a, b)` groups
+/// and whether a non-empty `: reason` follows the last group.
+fn parse_allow_directive(text: &str) -> (Vec<String>, bool) {
+    let mut rules = Vec::new();
+    let mut justified = false;
+    let mut rest = &text[3..]; // past `//~`
+    while let Some(pos) = rest.find("allow(") {
+        rest = &rest[pos + "allow(".len()..];
+        if let Some(end) = rest.find(')') {
+            for rule in rest[..end].split(',') {
+                let rule = rule.trim();
+                if !rule.is_empty() {
+                    rules.push(rule.to_string());
+                }
+            }
+            rest = &rest[end + 1..];
+            let after = rest.trim_start();
+            justified = after
+                .strip_prefix(':')
+                .is_some_and(|r| !r.trim().is_empty());
+        } else {
+            break;
+        }
+    }
+    (rules, justified)
 }
 
-impl TestSkip {
-    /// Feeds one sanitized line; returns true if the line is test code.
-    fn in_test_code(&mut self, clean: &str) -> bool {
-        let is_cfg_test = clean.contains("#[cfg(test)]")
-            || (clean.contains("#[cfg(") && clean.contains("test") && clean.contains("]"));
-        let opens = clean.matches('{').count() as i64;
-        let closes = clean.matches('}').count() as i64;
-        let in_test_before = self.skip_above.is_some() || self.pending || is_cfg_test;
+/// Looks up the trimmed source line for a violation snippet.
+pub(crate) fn snippet_at(text: &str, line: usize) -> String {
+    text.lines()
+        .nth(line.saturating_sub(1))
+        .unwrap_or("")
+        .trim()
+        .to_string()
+}
 
-        if is_cfg_test && self.skip_above.is_none() {
-            self.pending = true;
+/// Shared per-file lint context handed to every rule family.
+pub(crate) struct LintCtx<'a> {
+    pub(crate) file: &'a Path,
+    pub(crate) text: &'a str,
+    pub(crate) allows: &'a Allows,
+    pub(crate) policies: &'a [LintPolicy],
+    /// (rule, line) pairs already reported, so one line never yields the
+    /// same rule twice.
+    seen: BTreeSet<(&'static str, usize)>,
+}
+
+impl<'a> LintCtx<'a> {
+    pub(crate) fn new(
+        file: &'a Path,
+        text: &'a str,
+        allows: &'a Allows,
+        policies: &'a [LintPolicy],
+    ) -> Self {
+        LintCtx {
+            file,
+            text,
+            allows,
+            policies,
+            seen: BTreeSet::new(),
         }
-        if self.pending && opens > 0 {
-            self.skip_above = Some(self.depth);
-            self.pending = false;
+    }
+
+    /// Whether `rule` applies to this file (scope minus policy).
+    pub(crate) fn active(&self, rule: &str) -> bool {
+        rule_in_scope(rule, self.file) && !policy_exempts(self.policies, rule, self.file)
+    }
+
+    /// Records a violation of `rule` at `line` unless whitelisted or
+    /// already reported for that line.
+    pub(crate) fn push(&mut self, out: &mut Vec<LintViolation>, rule: &'static str, line: usize) {
+        if self.allows.allowed(line, rule) || !self.seen.insert((rule, line)) {
+            return;
         }
-        self.depth += opens - closes;
-        if let Some(at) = self.skip_above {
-            if self.depth <= at {
-                self.skip_above = None;
-                // The closing line itself is still test code.
-                return true;
-            }
-            return true;
-        }
-        in_test_before
+        out.push(LintViolation {
+            rule,
+            file: self.file.to_path_buf(),
+            line,
+            snippet: snippet_at(self.text, line),
+        });
     }
 }
 
-/// Detects `as <numeric type>` on a sanitized line.
-fn has_numeric_cast(clean: &str) -> bool {
+/// Runs the classic rule families (panic family, casts, float equality)
+/// plus the `unjustified-allow` check over one lexed file.
+pub fn lint_file(
+    file: &Path,
+    text: &str,
+    model: &SourceModel,
+    policies: &[LintPolicy],
+) -> Vec<LintViolation> {
+    let allows = Allows::from_model(model);
+    let mut ctx = LintCtx::new(file, text, &allows, policies);
+    let mut out = Vec::new();
+
+    // Bare `//~ allow(...)` directives without a reason: reported even in
+    // files outside every rule scope — the whitelist grammar is global.
+    if is_library_code(file) {
+        for e in allows.unjustified() {
+            out.push(LintViolation {
+                rule: "unjustified-allow",
+                file: file.to_path_buf(),
+                line: e.directive_line,
+                snippet: snippet_at(text, e.directive_line),
+            });
+        }
+    }
+
+    if !is_library_code(file) {
+        return out;
+    }
+
+    let toks: Vec<&Token> = model.code_tokens().filter(|t| !t.in_test).collect();
+    let ident = |i: usize, name: &str| {
+        toks.get(i)
+            .is_some_and(|t| t.kind == TokenKind::Ident && t.text == name)
+    };
+    let punct = |i: usize, p: &str| {
+        toks.get(i)
+            .is_some_and(|t| t.kind == TokenKind::Punct && t.text == p)
+    };
+    let is_float = |i: usize| toks.get(i).is_some_and(|t| t.kind == TokenKind::Float);
+
     const NUMERIC: [&str; 14] = [
         "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
         "f32", "f64",
     ];
-    let mut rest = clean;
-    while let Some(pos) = rest.find(" as ") {
-        // ` as ` must be the keyword: preceding char is part of an
-        // expression (always true after sanitizing) — check the target.
-        let after = rest[pos + 4..].trim_start();
-        let token: String = after
-            .chars()
-            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-            .collect();
-        if NUMERIC.contains(&token.as_str()) {
-            return true;
-        }
-        rest = &rest[pos + 4..];
-    }
-    false
-}
 
-/// Detects `==` / `!=` with a float-literal operand on a sanitized line.
-fn has_float_eq(clean: &str) -> bool {
-    let chars: Vec<char> = clean.chars().collect();
-    for i in 0..chars.len().saturating_sub(1) {
-        let op = (chars[i], chars[i + 1]);
-        if op != ('=', '=') && op != ('!', '=') {
-            continue;
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        if punct(i, ".") && ident(i + 1, "unwrap") && punct(i + 2, "(") && ctx.active("unwrap") {
+            ctx.push(&mut out, "unwrap", toks[i + 1].line);
         }
-        // Skip `<=`, `>=`, `=>`, `===`-like runs.
-        if i > 0 && matches!(chars[i - 1], '=' | '<' | '>' | '!') {
-            continue;
+        if punct(i, ".") && ident(i + 1, "expect") && punct(i + 2, "(") && ctx.active("expect") {
+            ctx.push(&mut out, "expect", toks[i + 1].line);
         }
-        if chars.get(i + 2) == Some(&'=') {
-            continue;
+        if ident(i, "panic") && punct(i + 1, "!") && ctx.active("panic") {
+            ctx.push(&mut out, "panic", line);
         }
-        let before = token_before(&chars, i);
-        let after = token_after(&chars, i + 2);
-        if is_float_literal(&before) || is_float_literal(&after) {
-            return true;
+        if ident(i, "as")
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| t.kind == TokenKind::Ident && NUMERIC.contains(&t.text.as_str()))
+            && ctx.active("cast")
+        {
+            ctx.push(&mut out, "cast", line);
+        }
+        if punct(i, "==") || punct(i, "!=") {
+            // `x == 0.5`, `0.5 != x`, `x == -0.5`.
+            let rhs_float = is_float(i + 1) || (punct(i + 1, "-") && is_float(i + 2));
+            let lhs_float = i > 0 && is_float(i - 1);
+            if (rhs_float || lhs_float) && ctx.active("float-eq") {
+                ctx.push(&mut out, "float-eq", line);
+            }
         }
     }
-    false
-}
-
-fn token_before(chars: &[char], end: usize) -> String {
-    let mut i = end;
-    while i > 0 && chars[i - 1] == ' ' {
-        i -= 1;
-    }
-    let stop = i;
-    while i > 0
-        && (chars[i - 1].is_ascii_alphanumeric() || chars[i - 1] == '_' || chars[i - 1] == '.')
-    {
-        i -= 1;
-    }
-    chars[i..stop].iter().collect()
-}
-
-fn token_after(chars: &[char], start: usize) -> String {
-    let mut i = start;
-    while i < chars.len() && chars[i] == ' ' {
-        i += 1;
-    }
-    if i < chars.len() && chars[i] == '-' {
-        i += 1; // negative literal
-    }
-    let begin = i;
-    while i < chars.len()
-        && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '.')
-    {
-        i += 1;
-    }
-    chars[begin..i].iter().collect()
-}
-
-/// A token counts as a float literal if it starts with a digit and
-/// contains a decimal point (`0.0`, `1.5e3`, `2.0f64`).
-fn is_float_literal(token: &str) -> bool {
-    token.starts_with(|c: char| c.is_ascii_digit()) && token.contains('.')
+    out.sort_by_key(|v| v.line);
+    out
 }
 
 #[cfg(test)]
@@ -363,7 +374,7 @@ mod tests {
     use super::*;
 
     fn lint(path: &str, text: &str) -> Vec<LintViolation> {
-        lint_file(Path::new(path), text)
+        lint_file(Path::new(path), text, &SourceModel::parse(text), &[])
     }
 
     #[test]
@@ -392,14 +403,35 @@ mod tests {
     }
 
     #[test]
+    fn raw_strings_and_multiline_strings_do_not_fire() {
+        let text = "fn f() {\n  let r = r#\"x.unwrap() panic! \"quoted\" \"#;\n  let m = \"line1\n.unwrap()\nline3\";\n}\n";
+        assert!(lint("crates/model/src/a.rs", text).is_empty(), "{text}");
+    }
+
+    #[test]
     fn allow_directives_whitelist_same_or_next_line() {
         let trailing = "fn f() { x.unwrap(); } //~ allow(unwrap): reason\n";
         assert!(lint("crates/model/src/a.rs", trailing).is_empty());
         let preceding =
             "//~ allow(expect): overflow is a bug\nfn f() { x.expect(\"overflow\"); }\n";
         assert!(lint("crates/model/src/a.rs", preceding).is_empty());
-        let wrong_rule = "fn f() { x.unwrap(); } //~ allow(cast)\n";
-        assert_eq!(lint("crates/model/src/a.rs", wrong_rule).len(), 1);
+        let stacked =
+            "//~ allow(unwrap): a\n//~ allow(expect): b\nfn f() { x.expect(\"e\").unwrap(); }\n";
+        assert!(lint("crates/model/src/a.rs", stacked).is_empty());
+        let wrong_rule = "fn f() { x.unwrap(); } //~ allow(cast): still wrong rule\n";
+        let v = lint("crates/model/src/a.rs", wrong_rule);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "unwrap");
+    }
+
+    #[test]
+    fn bare_allow_suppresses_but_is_reported() {
+        let text = "fn f() { x.unwrap(); } //~ allow(unwrap)\n";
+        let v = lint("crates/model/src/a.rs", text);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "unjustified-allow");
+        let fine = "fn f() { x.unwrap(); } //~ allow(unwrap): deliberate\n";
+        assert!(lint("crates/model/src/a.rs", fine).is_empty());
     }
 
     #[test]
@@ -430,6 +462,14 @@ mod tests {
             .len(),
             1
         );
+        assert_eq!(
+            lint(
+                "crates/model/src/a.rs",
+                "fn f(x: f64) -> bool { x == -0.5 }\n"
+            )
+            .len(),
+            1
+        );
         assert!(lint(
             "crates/trace/src/a.rs",
             "fn f(x: usize) -> bool { x == 0 }\n"
@@ -448,7 +488,31 @@ mod tests {
     }
 
     #[test]
-    fn lifetimes_do_not_break_the_sanitizer() {
+    fn policies_exempt_whole_subtrees() {
+        let policy = vec![LintPolicy {
+            path: "crates/model".into(),
+            allow: "unwrap".into(),
+            reason: "test".into(),
+        }];
+        let text = "fn f() { x.unwrap(); }\n";
+        let v = lint_file(
+            Path::new("crates/model/src/a.rs"),
+            text,
+            &SourceModel::parse(text),
+            &policy,
+        );
+        assert!(v.is_empty(), "{v:?}");
+        let v = lint_file(
+            Path::new("crates/sim/src/a.rs"),
+            text,
+            &SourceModel::parse(text),
+            &policy,
+        );
+        assert_eq!(v.len(), 1, "other crates unaffected");
+    }
+
+    #[test]
+    fn lifetimes_do_not_break_the_lexer() {
         let text = "fn f<'a>(x: &'a str) -> &'a str { x }\nfn g() { h().unwrap(); }\n";
         assert_eq!(lint("crates/model/src/a.rs", text).len(), 1);
     }

@@ -1,0 +1,162 @@
+//! Nondeterminism lints: sources of run-to-run variation in result paths.
+//!
+//! The validation campaigns substitute seeded synthetic traces for the
+//! paper's live 1997 `tcpdump` captures (PAPER.md §5), so the whole
+//! `results/` tree is only as trustworthy as bit-reproducibility from a
+//! seed. This family flags the three static sources of drift:
+//!
+//! * **`wall-clock`** — `Instant::now()` / `SystemTime` reads. Wall time
+//!   must never feed simulated results; `crates/bench` (timing is its
+//!   job) is exempted by a `[[policy]]` entry rather than per-site
+//!   whitelists, and the supervisor's wall-budget deadline carries a
+//!   justified `//~ allow(wall-clock)` because its reading is explicitly
+//!   outside the bit-identity contract (DESIGN.md §10).
+//! * **`unordered-iter`** — `HashMap`/`HashSet` use in result-path crates
+//!   (`model`, `sim`, `trace`, `testbed`). Iterating either feeds
+//!   platform-/seed-dependent order into otherwise ordered output;
+//!   membership-only sets are fine but must say so via a justified
+//!   allow, so every use is a reviewed decision.
+//! * **`rng-stream`** — constructing a raw RNG (`ChaCha8Rng`,
+//!   `thread_rng`, `from_entropy`, …) anywhere but `sim::rng`, the one
+//!   blessed seeded-stream API. Forked `SimRng` streams are replayable;
+//!   ad-hoc RNGs are not.
+//!
+//! Detection runs on the shared lexer token stream: comments, strings and
+//! `#[cfg(test)]` regions never fire.
+
+use std::path::Path;
+
+use crate::lexer::{SourceModel, Token, TokenKind};
+use crate::lint::{Allows, LintCtx, LintViolation};
+use crate::spec::LintPolicy;
+
+/// Raw-RNG constructors and types whose appearance outside `sim::rng`
+/// bypasses the seeded-stream API.
+const RNG_NEEDLES: [&str; 9] = [
+    "ChaCha8Rng",
+    "ChaCha12Rng",
+    "ChaCha20Rng",
+    "StdRng",
+    "SmallRng",
+    "OsRng",
+    "thread_rng",
+    "from_entropy",
+    "SeedableRng",
+];
+
+/// Runs the nondeterminism family over one lexed file.
+//= pftk#det-wallclock-free
+pub fn lint_nondet(
+    file: &Path,
+    text: &str,
+    model: &SourceModel,
+    policies: &[LintPolicy],
+) -> Vec<LintViolation> {
+    let allows = Allows::from_model(model);
+    let mut ctx = LintCtx::new(file, text, &allows, policies);
+    let mut out = Vec::new();
+
+    let toks: Vec<&Token> = model.code_tokens().filter(|t| !t.in_test).collect();
+    let ident = |i: usize, name: &str| {
+        toks.get(i)
+            .is_some_and(|t| t.kind == TokenKind::Ident && t.text == name)
+    };
+    let punct = |i: usize, p: &str| {
+        toks.get(i)
+            .is_some_and(|t| t.kind == TokenKind::Punct && t.text == p)
+    };
+
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let rule = match t.text.as_str() {
+            // `Instant::now(...)`: the `use std::time::Instant` line alone
+            // is inert — only the read is nondeterministic. `SystemTime`
+            // is flagged on sight (even `UNIX_EPOCH` math varies per run).
+            "Instant" if punct(i + 1, "::") && ident(i + 2, "now") => "wall-clock",
+            "SystemTime" => "wall-clock",
+            "HashMap" | "HashSet" => "unordered-iter",
+            name if RNG_NEEDLES.contains(&name) => "rng-stream",
+            _ => continue,
+        };
+        if ctx.active(rule) {
+            ctx.push(&mut out, rule, t.line);
+        }
+    }
+    out.sort_by_key(|v| v.line);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(path: &str, text: &str) -> Vec<LintViolation> {
+        lint_nondet(Path::new(path), text, &SourceModel::parse(text), &[])
+    }
+
+    //= pftk#det-wallclock-free type=test
+    #[test]
+    fn flags_wall_clock_reads_but_not_imports() {
+        let text = "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n";
+        let v = lint("crates/sim/src/a.rs", text);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "wall-clock");
+        assert_eq!(v[0].line, 2);
+        let sys = lint("crates/sim/src/a.rs", "use std::time::SystemTime;\n");
+        assert_eq!(sys.len(), 1, "SystemTime is flagged even as an import");
+    }
+
+    #[test]
+    fn policy_exempts_bench_from_wall_clock() {
+        let policy = vec![LintPolicy {
+            path: "crates/bench".into(),
+            allow: "wall-clock".into(),
+            reason: "timing is its job".into(),
+        }];
+        let text = "fn f() { let t = Instant::now(); }\n";
+        let v = lint_nondet(
+            Path::new("crates/bench/src/bin/b.rs"),
+            text,
+            &SourceModel::parse(text),
+            &policy,
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn flags_unordered_containers_in_result_paths_only() {
+        let text =
+            "use std::collections::HashSet;\nfn f() { let s: HashSet<u64> = HashSet::new(); }\n";
+        let v = lint("crates/trace/src/a.rs", text);
+        assert_eq!(v.len(), 2, "once per line: {v:?}");
+        assert_eq!(v[0].rule, "unordered-iter");
+        assert!(
+            lint("crates/repro/src/a.rs", text).is_empty(),
+            "out of scope"
+        );
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_unordered_iter() {
+        let text = "fn f() {\n  //~ allow(unordered-iter): membership only, never iterated\n  let s: std::collections::HashSet<u64> = Default::default();\n}\n";
+        assert!(lint("crates/trace/src/a.rs", text).is_empty());
+    }
+
+    #[test]
+    fn flags_raw_rng_construction() {
+        let text = "fn f() { let r = ChaCha8Rng::seed_from_u64(1); }\n";
+        let v = lint("crates/sim/src/fault/plan.rs", text);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "rng-stream");
+        let blessed = "fn f() { let r = SimRng::seed_from_u64(1); }\n";
+        assert!(lint("crates/sim/src/fault/plan.rs", blessed).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_and_strings_do_not_fire() {
+        let text = "#[cfg(test)]\nmod tests {\n  use std::collections::HashSet;\n  fn t() { let t = Instant::now(); }\n}\nfn f() { let s = \"Instant::now() HashMap thread_rng\"; }\n";
+        assert!(lint("crates/sim/src/a.rs", text).is_empty());
+    }
+}

@@ -1,5 +1,7 @@
 //! Report rendering: human-readable summary and `results/conformance.json`.
 
+use std::collections::BTreeMap;
+
 use serde::Serialize;
 
 use crate::spec::Level;
@@ -27,7 +29,7 @@ pub struct ClaimJson {
 /// JSON shape of a citation error.
 #[derive(Debug, Serialize)]
 pub struct CitationErrorJson {
-    /// `unknown`, `stale`, `duplicate`, or `malformed`.
+    /// `unknown`, `stale`, `duplicate`, `malformed`, or `impl-in-test`.
     pub kind: String,
     /// Citation site (`file:line`).
     pub site: String,
@@ -48,6 +50,36 @@ pub struct LintJson {
     pub snippet: String,
 }
 
+/// JSON shape of one classified atomic access.
+#[derive(Debug, Serialize)]
+pub struct AtomicSiteJson {
+    /// File path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u64,
+    /// Method name (`fetch_add`, `compare_exchange`, …).
+    pub method: String,
+    /// Access class: `load`, `store`, `rmw`, or `cas`.
+    pub class: String,
+    /// Ordering variants in argument order.
+    pub orderings: Vec<String>,
+    /// Whether any ordering is `Relaxed`.
+    pub relaxed: bool,
+    /// Whether a justified whitelist entry covers the site.
+    pub allowed: bool,
+}
+
+/// JSON shape of one `[[policy]]` lint exemption.
+#[derive(Debug, Serialize)]
+pub struct PolicyJson {
+    /// Workspace-relative path prefix.
+    pub path: String,
+    /// Exempted rule.
+    pub allow: String,
+    /// Mandatory justification.
+    pub reason: String,
+}
+
 /// Top-level JSON report written to `results/conformance.json`.
 #[derive(Debug, Serialize)]
 pub struct ReportJson {
@@ -59,12 +91,19 @@ pub struct ReportJson {
     pub must_total: u64,
     /// Number of MUST claims fully covered.
     pub must_covered: u64,
+    /// Violation count per rule (zero entries included for every known
+    /// rule, so regressions in one family are visible at a glance).
+    pub rule_counts: BTreeMap<String, u64>,
     /// Per-claim coverage.
     pub claims: Vec<ClaimJson>,
     /// Citation errors.
     pub citation_errors: Vec<CitationErrorJson>,
-    /// Lint violations.
+    /// Lint violations across all families.
     pub lint_violations: Vec<LintJson>,
+    /// Every classified atomic access in the workspace.
+    pub atomics: Vec<AtomicSiteJson>,
+    /// The path-scoped lint exemptions in force.
+    pub policies: Vec<PolicyJson>,
 }
 
 fn level_str(level: Level) -> &'static str {
@@ -105,6 +144,11 @@ pub fn to_json(outcome: &AuditOutcome) -> ReportJson {
         citations: conf.citation_count as u64,
         must_total,
         must_covered,
+        rule_counts: outcome
+            .rule_counts()
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v as u64))
+            .collect(),
         claims,
         citation_errors: conf
             .errors
@@ -123,6 +167,28 @@ pub fn to_json(outcome: &AuditOutcome) -> ReportJson {
                 file: v.file.display().to_string(),
                 line: v.line as u64,
                 snippet: v.snippet.clone(),
+            })
+            .collect(),
+        atomics: outcome
+            .atomics
+            .iter()
+            .map(|s| AtomicSiteJson {
+                file: s.file.display().to_string(),
+                line: s.line as u64,
+                method: s.method.clone(),
+                class: s.class.to_string(),
+                orderings: s.orderings.clone(),
+                relaxed: s.relaxed,
+                allowed: s.allowed,
+            })
+            .collect(),
+        policies: outcome
+            .policies
+            .iter()
+            .map(|p| PolicyJson {
+                path: p.path.clone(),
+                allow: p.allow.clone(),
+                reason: p.reason.clone(),
             })
             .collect(),
     }
@@ -166,6 +232,28 @@ pub fn render_summary(outcome: &AuditOutcome) -> String {
     push(
         &mut out,
         &format!("coverage: MUST {must_cov}/{must_total}, SHOULD {should_cov}/{should_total}"),
+    );
+
+    // Per-rule breakdown, always printed: a regression in one family must
+    // be attributable at a glance even when another family also fails.
+    let counts = outcome.rule_counts();
+    let rendered: Vec<String> = counts
+        .iter()
+        .map(|(rule, n)| format!("{rule}={n}"))
+        .collect();
+    push(&mut out, &format!("lint rules: {}", rendered.join(" ")));
+    let relaxed = outcome.atomics.iter().filter(|s| s.relaxed).count();
+    let allowed = outcome
+        .atomics
+        .iter()
+        .filter(|s| s.relaxed && s.allowed)
+        .count();
+    push(
+        &mut out,
+        &format!(
+            "atomics: {} classified sites ({relaxed} Relaxed, {allowed} justified)",
+            outcome.atomics.len()
+        ),
     );
 
     for c in conf.uncovered_must() {
@@ -223,7 +311,7 @@ pub fn render_summary(outcome: &AuditOutcome) -> String {
 mod tests {
     use super::*;
     use crate::conformance::check;
-    use crate::scanner::scan_citations;
+    use crate::scanner::scan_text;
     use crate::spec::parse_spec;
     use std::path::Path;
 
@@ -232,13 +320,15 @@ mod tests {
             "[[claim]]\nid = \"eq-1\"\nlevel = \"MUST\"\nsection = \"II\"\ntitle = \"t\"\nquote = \"q\"\n",
         )
         .unwrap();
-        let cites = scan_citations(
+        let cites = scan_text(
             Path::new("a.rs"),
             "//= pftk#eq-1\nfn f() {}\n//= pftk#eq-1 type=test\nfn t() {}\n",
         );
         AuditOutcome {
             conformance: check(&reg, &cites),
             lint: Vec::new(),
+            atomics: Vec::new(),
+            policies: Vec::new(),
         }
     }
 
@@ -248,12 +338,17 @@ mod tests {
         assert!(json.contains("\"clean\":true"), "{json}");
         assert!(json.contains("\"must_covered\":1"), "{json}");
         assert!(json.contains("a.rs:1"), "{json}");
+        assert!(json.contains("\"rule_counts\""), "{json}");
+        assert!(json.contains("\"relaxed_atomic\":0"), "{json}");
     }
 
     #[test]
-    fn summary_reports_pass_and_fail() {
+    fn summary_reports_pass_and_fail_with_rule_counts() {
         let ok = outcome();
-        assert!(render_summary(&ok).contains("verdict: PASS"));
+        let text = render_summary(&ok);
+        assert!(text.contains("verdict: PASS"));
+        assert!(text.contains("lint rules:"), "{text}");
+        assert!(text.contains("wall-clock=0"), "{text}");
         let mut bad = outcome();
         bad.lint.push(crate::lint::LintViolation {
             rule: "unwrap",
@@ -264,5 +359,23 @@ mod tests {
         let text = render_summary(&bad);
         assert!(text.contains("verdict: FAIL"));
         assert!(text.contains("lint[unwrap]"));
+        assert!(text.contains("unwrap=1"), "{text}");
+    }
+
+    #[test]
+    fn new_family_failure_alone_fails_the_gate() {
+        // Satellite: a violation in a *new* rule family must flip the
+        // verdict even when conformance and classic lints are clean.
+        let mut bad = outcome();
+        bad.lint.push(crate::lint::LintViolation {
+            rule: "relaxed_atomic",
+            file: Path::new("crates/testbed/src/pool.rs").to_path_buf(),
+            line: 9,
+            snippet: "x.fetch_add(1, Ordering::Relaxed)".into(),
+        });
+        assert!(!bad.is_clean());
+        let text = render_summary(&bad);
+        assert!(text.contains("verdict: FAIL"));
+        assert!(text.contains("relaxed_atomic=1"), "{text}");
     }
 }

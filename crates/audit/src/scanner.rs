@@ -7,12 +7,23 @@
 //! //= pftk#eq-32 type=test    test citation
 //! ```
 //!
-//! A citation line may be preceded by any indentation. Consecutive
-//! citation lines form one *block*; repeating the same claim id within a
-//! block is reported as a duplicate (it is always an editing mistake —
-//! the coverage count would silently double otherwise).
+//! A citation must be a *standalone* comment line (any indentation, no
+//! code on the line). Consecutive citation lines form one *block*;
+//! repeating the same claim id within a block is reported as a duplicate
+//! (it is always an editing mistake — the coverage count would silently
+//! double otherwise).
+//!
+//! The scanner reads comment tokens from the shared [`crate::lexer`]
+//! model, so citation-looking text inside string literals, raw strings,
+//! or block comments never parses as a citation. Citations inside
+//! `#[cfg(test)]` regions are marked [`Citation::in_test`]: a `type=test`
+//! citation there is the normal way to cite from a unit test, but an
+//! *implementation* citation inside test code would fake impl coverage
+//! and is reported as an error by the conformance pass.
 
 use std::path::{Path, PathBuf};
+
+use crate::lexer::{SourceModel, TokenKind};
 
 /// What kind of coverage a citation contributes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,23 +52,35 @@ pub struct Citation {
     /// are reported as unknown-citation errors so typos cannot silently
     /// drop coverage.
     pub malformed: bool,
+    /// True when the citation sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
 }
 
-/// Scans one file's text for citations. `file` should be workspace-relative.
-pub fn scan_citations(file: &Path, text: &str) -> Vec<Citation> {
-    let mut out = Vec::new();
-    // Ids seen in the current contiguous block of `//=` lines.
+/// Scans a lexed file for citations. `file` should be workspace-relative.
+pub fn scan_citations(file: &Path, model: &SourceModel) -> Vec<Citation> {
+    let mut out: Vec<Citation> = Vec::new();
+    // Ids seen in the current contiguous block of citation lines, with the
+    // line the block currently ends on.
     let mut block: Vec<String> = Vec::new();
-    for (idx, raw) in text.lines().enumerate() {
-        let line = raw.trim_start();
-        let Some(body) = line.strip_prefix("//=") else {
-            block.clear();
+    let mut block_end: usize = 0;
+    for tok in model.comments() {
+        if tok.kind != TokenKind::LineComment {
+            continue;
+        }
+        let Some(body) = tok.text.strip_prefix("//=") else {
             continue;
         };
+        // Trailing citations (code before the comment on the same line)
+        // are not part of the grammar.
+        if model.line_has_code(tok.line) {
+            continue;
+        }
         let body = body.trim();
         let Some(rest) = body.strip_prefix("pftk#") else {
-            // A `//=` line that is not a pftk citation (e.g. another spec
-            // namespace) is left alone but still separates blocks.
+            // A `//=` line from another spec namespace is left alone; it
+            // still separates blocks (the consecutive-line rule below
+            // breaks anyway unless it is immediately adjacent, in which
+            // case treating it as a separator matches the old scanner).
             block.clear();
             continue;
         };
@@ -75,18 +98,31 @@ pub fn scan_citations(file: &Path, text: &str) -> Vec<Citation> {
                 _ => malformed = true,
             }
         }
+        // A gap (any non-citation line) resets the duplicate-detection
+        // block: blocks are maximal runs of citations on consecutive lines.
+        if tok.line != block_end + 1 {
+            block.clear();
+        }
+        block_end = tok.line;
         let duplicate = block.contains(&claim);
         block.push(claim.clone());
         out.push(Citation {
             claim,
             kind,
             file: file.to_path_buf(),
-            line: idx + 1,
+            line: tok.line,
             duplicate,
             malformed,
+            in_test: tok.in_test,
         });
     }
     out
+}
+
+/// Convenience wrapper: lexes `text` and scans it. Test helper and
+/// single-file entry point.
+pub fn scan_text(file: &Path, text: &str) -> Vec<Citation> {
+    scan_citations(file, &SourceModel::parse(text))
 }
 
 #[cfg(test)]
@@ -94,7 +130,7 @@ mod tests {
     use super::*;
 
     fn scan(text: &str) -> Vec<Citation> {
-        scan_citations(Path::new("x.rs"), text)
+        scan_text(Path::new("x.rs"), text)
     }
 
     #[test]
@@ -106,6 +142,7 @@ mod tests {
         assert_eq!(cites[0].line, 1);
         assert_eq!(cites[1].kind, CitationKind::Test);
         assert!(!cites[0].duplicate && !cites[0].malformed);
+        assert!(!cites[0].in_test);
     }
 
     #[test]
@@ -115,6 +152,8 @@ mod tests {
         assert!(!cites[0].duplicate);
         assert!(cites[1].duplicate, "same id twice in one block");
         assert!(!cites[2].duplicate, "code line resets the block");
+        let gap = scan("//= pftk#eq-5\n\n//= pftk#eq-5\n");
+        assert!(!gap[1].duplicate, "blank line resets the block");
     }
 
     #[test]
@@ -127,5 +166,27 @@ mod tests {
     fn ignores_non_pftk_spec_lines_and_plain_comments() {
         let cites = scan("//= rfc9000#frame\n// pftk#eq-5 not a citation\n//== pftk#x\n");
         assert!(cites.is_empty());
+    }
+
+    #[test]
+    fn citations_inside_strings_and_block_comments_do_not_count() {
+        let text = "let s = \"//= pftk#eq-1\";\nlet r = r#\"\n//= pftk#eq-2\n\"#;\n/*\n//= pftk#eq-3\n*/\nfn f() {}\n";
+        assert!(scan(text).is_empty(), "{:?}", scan(text));
+    }
+
+    #[test]
+    fn trailing_citation_after_code_does_not_count() {
+        let cites = scan("fn f() {} //= pftk#eq-1\n");
+        assert!(cites.is_empty());
+    }
+
+    #[test]
+    fn citations_inside_cfg_test_are_marked() {
+        let text = "//= pftk#eq-1\nfn f() {}\n#[cfg(test)]\nmod tests {\n    //= pftk#eq-1 type=test\n    fn t() {}\n}\n";
+        let cites = scan(text);
+        assert_eq!(cites.len(), 2);
+        assert!(!cites[0].in_test);
+        assert!(cites[1].in_test);
+        assert_eq!(cites[1].kind, CitationKind::Test);
     }
 }

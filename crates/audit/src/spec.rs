@@ -8,6 +8,20 @@
 //! Anything outside that grammar is a hard parse error — better to reject
 //! a construct than to silently mis-read the registry the whole gate
 //! hangs off.
+//!
+//! Two array-of-tables kinds are recognized: `[[claim]]` (paper claims)
+//! and `[[policy]]` (per-crate/per-file lint exemptions):
+//!
+//! ```toml
+//! [[policy]]
+//! path = "crates/bench"      # workspace-relative path prefix
+//! allow = "wall-clock"       # one rule from pftk_audit::lint::RULES
+//! reason = "measuring wall time is the crate's purpose"
+//! ```
+//!
+//! A policy's `reason` is mandatory, mirroring the justification
+//! requirement on `//~ allow(...)` site whitelists, and `allow` must name
+//! a known rule so a typo cannot silently disable nothing.
 
 use std::collections::BTreeMap;
 
@@ -70,11 +84,25 @@ pub struct Claim {
     pub quote: String,
 }
 
+/// One `[[policy]]` entry: a path-scoped lint exemption.
+#[derive(Debug, Clone)]
+pub struct LintPolicy {
+    /// Workspace-relative path prefix the exemption applies to
+    /// (a crate root like `crates/bench` or a single file).
+    pub path: String,
+    /// The lint rule being exempted (one of `lint::RULES`).
+    pub allow: String,
+    /// Mandatory justification.
+    pub reason: String,
+}
+
 /// The parsed registry: ordered claims plus an id index.
 #[derive(Debug)]
 pub struct Registry {
     /// Claims in file order.
     pub claims: Vec<Claim>,
+    /// Path-scoped lint exemptions in file order.
+    pub policies: Vec<LintPolicy>,
     index: BTreeMap<String, usize>,
 }
 
@@ -93,12 +121,50 @@ pub fn parse_spec(text: &str) -> Result<Registry, String> {
         line: usize,
     }
 
+    /// Which table header the parser is inside.
+    #[derive(PartialEq, Clone, Copy)]
+    enum Section {
+        /// `[spec]` metadata — validated for shape, otherwise ignored.
+        Spec,
+        /// A `[[claim]]` entry.
+        Claim,
+        /// A `[[policy]]` entry.
+        Policy,
+    }
+
     let mut claims: Vec<Claim> = Vec::new();
+    let mut policies: Vec<LintPolicy> = Vec::new();
     let mut index = BTreeMap::new();
     let mut current: Option<Partial> = None;
-    // Which table header we're inside; fields outside [[claim]] (i.e. in
-    // [spec]) are validated for shape but otherwise ignored.
-    let mut in_claim = false;
+    let mut section = Section::Spec;
+
+    let finish_policy =
+        |partial: Option<Partial>, policies: &mut Vec<LintPolicy>| -> Result<(), String> {
+            let Some(p) = partial else { return Ok(()) };
+            let at = format!("[[policy]] at line {}", p.line);
+            let take = |key: &str| -> Result<String, String> {
+                p.fields
+                    .get(key)
+                    .cloned()
+                    .ok_or_else(|| format!("{at}: missing required key {key:?}"))
+            };
+            let policy = LintPolicy {
+                path: take("path")?,
+                allow: take("allow")?,
+                reason: take("reason")?,
+            };
+            if !crate::lint::RULES.contains(&policy.allow.as_str()) {
+                return Err(format!(
+                    "{at}: allow = {:?} names no known lint rule",
+                    policy.allow
+                ));
+            }
+            if policy.reason.trim().is_empty() {
+                return Err(format!("{at}: reason must be non-empty"));
+            }
+            policies.push(policy);
+            Ok(())
+        };
 
     let finish = |partial: Option<Partial>,
                   claims: &mut Vec<Claim>,
@@ -145,40 +211,60 @@ pub fn parse_spec(text: &str) -> Result<Registry, String> {
         if line.is_empty() {
             continue;
         }
-        if line == "[[claim]]" {
-            finish(current.take(), &mut claims, &mut index)?;
+        if line == "[[claim]]" || line == "[[policy]]" {
+            match section {
+                Section::Claim => finish(current.take(), &mut claims, &mut index)?,
+                Section::Policy => finish_policy(current.take(), &mut policies)?,
+                Section::Spec => {}
+            }
             current = Some(Partial {
                 fields: BTreeMap::new(),
                 line: lineno,
             });
-            in_claim = true;
+            section = if line == "[[claim]]" {
+                Section::Claim
+            } else {
+                Section::Policy
+            };
         } else if line.starts_with("[[") {
             return Err(format!("line {lineno}: unknown array-of-tables {line:?}"));
         } else if line.starts_with('[') {
-            finish(current.take(), &mut claims, &mut index)?;
-            in_claim = false;
+            match section {
+                Section::Claim => finish(current.take(), &mut claims, &mut index)?,
+                Section::Policy => finish_policy(current.take(), &mut policies)?,
+                Section::Spec => {}
+            }
+            section = Section::Spec;
             if line != "[spec]" {
                 return Err(format!("line {lineno}: unknown table {line:?}"));
             }
         } else {
             let (key, value) = parse_key_value(line).map_err(|e| format!("line {lineno}: {e}"))?;
-            if in_claim {
+            if section != Section::Spec {
                 let p = current
                     .as_mut()
                     .ok_or_else(|| format!("line {lineno}: key outside any table"))?;
                 if p.fields.insert(key.clone(), value).is_some() {
-                    return Err(format!("line {lineno}: duplicate key {key:?} in claim"));
+                    return Err(format!("line {lineno}: duplicate key {key:?} in entry"));
                 }
             }
             // [spec] metadata (paper, version) is validated for shape only.
         }
     }
-    finish(current.take(), &mut claims, &mut index)?;
+    match section {
+        Section::Claim => finish(current.take(), &mut claims, &mut index)?,
+        Section::Policy => finish_policy(current.take(), &mut policies)?,
+        Section::Spec => {}
+    }
 
     if claims.is_empty() {
         return Err("registry contains no [[claim]] entries".into());
     }
-    Ok(Registry { claims, index })
+    Ok(Registry {
+        claims,
+        policies,
+        index,
+    })
 }
 
 /// Strips a `#` comment, respecting `"…"` strings.
@@ -314,6 +400,34 @@ mod tests {
         assert!(parse_spec("[weird]\n")
             .unwrap_err()
             .contains("unknown table"));
+    }
+
+    #[test]
+    fn parses_policy_entries() {
+        let text = "[[claim]]\nid = \"x\"\nlevel = \"MUST\"\nsection = \"I\"\n\
+                    title = \"t\"\nquote = \"q\"\n\n\
+                    [[policy]]\npath = \"crates/bench\"\nallow = \"wall-clock\"\n\
+                    reason = \"timing is the crate's purpose\"\n";
+        let reg = parse_spec(text).unwrap();
+        assert_eq!(reg.policies.len(), 1);
+        assert_eq!(reg.policies[0].path, "crates/bench");
+        assert_eq!(reg.policies[0].allow, "wall-clock");
+    }
+
+    #[test]
+    fn rejects_bad_policies() {
+        let unknown_rule = "[[claim]]\nid = \"x\"\nlevel = \"MUST\"\nsection = \"I\"\n\
+                            title = \"t\"\nquote = \"q\"\n\
+                            [[policy]]\npath = \"crates/bench\"\nallow = \"wibble\"\nreason = \"r\"\n";
+        assert!(parse_spec(unknown_rule)
+            .unwrap_err()
+            .contains("names no known lint rule"));
+        let no_reason = "[[claim]]\nid = \"x\"\nlevel = \"MUST\"\nsection = \"I\"\n\
+                         title = \"t\"\nquote = \"q\"\n\
+                         [[policy]]\npath = \"crates/bench\"\nallow = \"wall-clock\"\n";
+        assert!(parse_spec(no_reason)
+            .unwrap_err()
+            .contains("missing required key \"reason\""));
     }
 
     #[test]

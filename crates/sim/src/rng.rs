@@ -18,6 +18,7 @@ pub struct SimRng {
 
 impl SimRng {
     /// Creates an RNG from a 64-bit seed.
+    //= pftk#det-seeded-streams
     pub fn seed_from_u64(seed: u64) -> Self {
         SimRng {
             inner: ChaCha8Rng::seed_from_u64(seed),
@@ -104,6 +105,7 @@ impl SimRng {
 mod tests {
     use super::*;
 
+    //= pftk#det-seeded-streams type=test
     #[test]
     fn same_seed_same_stream() {
         let mut a = SimRng::seed_from_u64(7);

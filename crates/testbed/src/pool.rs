@@ -25,6 +25,15 @@
 //! unpark "token" is never lost (unpark-before-park makes the next park
 //! return immediately), and the timeout bounds the latency of any race to
 //! one short interval.
+//!
+//! **Schedule chaos** ([`WorkerPool::with_schedule_chaos`]): for the
+//! replay-equivalence gate the pool can deliberately perturb its own
+//! scheduling — each worker draws from a tiny seeded xorshift stream to
+//! insert 0–3 [`std::thread::yield_now`] points before every grab and to
+//! rotate its steal order. Campaign output must be bit-identical under
+//! any such schedule (and any worker count); the chaos knob makes "the
+//! schedule happened to be benign" an untenable explanation for a
+//! passing test. Chaos never changes *what* runs, only *when* and *who*.
 
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -71,18 +80,34 @@ struct PoolShared {
     shutdown: AtomicBool,
     workers_spawned: AtomicUsize,
     tasks_executed: AtomicUsize,
+    /// Schedule-chaos seed; `None` = natural scheduling.
+    chaos: Option<u64>,
+}
+
+/// One step of a xorshift64 stream: cheap, seedable, and deliberately not
+/// `sim::rng` — chaos draws must never share (or perturb) the experiment
+/// RNG streams whose determinism they exist to stress.
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
 }
 
 impl PoolShared {
     /// Pops the next task for a worker homed at `home`: own queue from the
-    /// front (FIFO), then a steal from the back of each sibling queue.
-    fn grab(&self, home: usize) -> Option<TaskCell> {
+    /// front (FIFO), then a steal from the back of sibling queues starting
+    /// `steal_start` siblings past its own (0 = natural order; chaos mode
+    /// rotates it to exercise different victim orders).
+    fn grab(&self, home: usize, steal_start: usize) -> Option<TaskCell> {
         if let Some(cell) = self.queues[home].lock().pop_front() {
             return Some(cell);
         }
         let n = self.queues.len();
-        for off in 1..n {
-            let victim = (home + off) % n;
+        for off in 0..n.saturating_sub(1) {
+            let victim = (home + 1 + (steal_start + off) % (n - 1)) % n;
             if let Some(cell) = self.queues[victim].lock().pop_back() {
                 return Some(cell);
             }
@@ -97,15 +122,31 @@ impl PoolShared {
     }
 
     fn spawn_worker(self: &Arc<Self>, home: usize) {
+        //~ allow(relaxed_atomic): monotonic stat counter read by diagnostics only
         self.workers_spawned.fetch_add(1, Ordering::Relaxed);
         let shared = Arc::clone(self);
         std::thread::spawn(move || {
             shared.threads.lock().push(std::thread::current());
+            // Per-worker chaos stream: seed mixed with the home slot so
+            // workers perturb independently but reproducibly.
+            let mut chaos = shared
+                .chaos
+                .map(|seed| (seed ^ (home as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1);
             loop {
                 if shared.shutdown.load(Ordering::Acquire) {
                     return;
                 }
-                let Some(cell) = shared.grab(home) else {
+                let steal_start = match chaos.as_mut() {
+                    Some(state) => {
+                        let draw = xorshift64(state);
+                        for _ in 0..(draw & 3) {
+                            std::thread::yield_now();
+                        }
+                        (draw >> 2) as usize % shared.queues.len()
+                    }
+                    None => 0,
+                };
+                let Some(cell) = shared.grab(home, steal_start) else {
                     std::thread::park_timeout(IDLE_PARK);
                     continue;
                 };
@@ -121,6 +162,7 @@ impl PoolShared {
                 }
                 let run = cell.run;
                 let _ = catch_unwind(AssertUnwindSafe(run));
+                //~ allow(relaxed_atomic): monotonic stat counter; task results travel by channel, not this counter
                 shared.tasks_executed.fetch_add(1, Ordering::Relaxed);
                 if cell.state.load(Ordering::Acquire) == ABANDONED_RUNNING {
                     // This worker was written off and replaced while stuck
@@ -153,6 +195,19 @@ impl std::fmt::Debug for WorkerPool {
 impl WorkerPool {
     /// A pool with `workers` worker threads (at least one).
     pub fn new(workers: usize) -> Self {
+        Self::build(workers, None)
+    }
+
+    /// A pool that deliberately perturbs its own scheduling (seeded yield
+    /// points and rotated steal order; see the module docs). Campaign
+    /// output must be invariant under the perturbation — the
+    /// replay-equivalence gate runs the same seeded campaign with and
+    /// without chaos and asserts bit-identical reports.
+    pub fn with_schedule_chaos(workers: usize, seed: u64) -> Self {
+        Self::build(workers, Some(seed))
+    }
+
+    fn build(workers: usize, chaos: Option<u64>) -> Self {
         let workers = workers.max(1);
         let shared = Arc::new(PoolShared {
             queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
@@ -160,6 +215,7 @@ impl WorkerPool {
             shutdown: AtomicBool::new(false),
             workers_spawned: AtomicUsize::new(0),
             tasks_executed: AtomicUsize::new(0),
+            chaos,
         });
         for home in 0..workers {
             shared.spawn_worker(home);
@@ -181,6 +237,7 @@ impl WorkerPool {
             state: Arc::clone(&state),
         };
         let n = self.shared.queues.len();
+        //~ allow(relaxed_atomic): round-robin cursor; only uniqueness matters, the queue Mutex orders the hand-off
         let slot = self.next.fetch_add(1, Ordering::Relaxed) % n;
         self.shared.queues[slot].lock().push_back(cell);
         self.shared.unpark_all();
@@ -203,6 +260,7 @@ impl WorkerPool {
         if result == Ok(RUNNING) {
             // The runner is stuck inside the task: replace it.
             let n = self.shared.queues.len();
+            //~ allow(relaxed_atomic): round-robin cursor choosing a home slot; no payload rides on it
             let home = self.replacement_home.fetch_add(1, Ordering::Relaxed) % n;
             self.shared.spawn_worker(home);
         }
@@ -211,12 +269,14 @@ impl WorkerPool {
     /// Worker threads spawned over the pool's lifetime (initial workers
     /// plus abandonment replacements).
     pub fn workers_spawned(&self) -> usize {
+        //~ allow(relaxed_atomic): diagnostic read of a stat counter
         self.shared.workers_spawned.load(Ordering::Relaxed)
     }
 
     /// Tasks that ran to completion (including ones that panicked inside
     /// and ones abandoned mid-run that eventually returned).
     pub fn tasks_executed(&self) -> usize {
+        //~ allow(relaxed_atomic): diagnostic read of a stat counter
         self.shared.tasks_executed.load(Ordering::Relaxed)
     }
 }
@@ -378,6 +438,24 @@ mod tests {
             "tasks did not run concurrently: {:?}",
             started.elapsed()
         );
+    }
+
+    #[test]
+    fn chaos_pool_executes_every_task_exactly_once() {
+        let pool = WorkerPool::with_schedule_chaos(4, 0xDECAF);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..64u64 {
+            let tx = tx.clone();
+            pool.submit(move || {
+                let _ = tx.send(i);
+            });
+        }
+        drop(tx);
+        let mut got: Vec<u64> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..64).collect::<Vec<_>>());
+        wait_for_executed(&pool, 64);
+        assert_eq!(pool.tasks_executed(), 64, "chaos reorders, never drops");
     }
 
     #[test]

@@ -100,6 +100,11 @@ pub struct SupervisorConfig {
     pub retry: bool,
     /// Concurrent experiments; 0 = one per available core.
     pub max_workers: usize,
+    /// When set, the worker pool perturbs its own scheduling from this
+    /// seed ([`WorkerPool::with_schedule_chaos`]): injected yield points
+    /// and rotated steal order. Campaign reports must be bit-identical
+    /// with or without it; the replay-equivalence gate relies on that.
+    pub schedule_chaos: Option<u64>,
 }
 
 impl Default for SupervisorConfig {
@@ -110,6 +115,7 @@ impl Default for SupervisorConfig {
             wall_budget: Duration::from_secs(600),
             retry: true,
             max_workers: 0,
+            schedule_chaos: None,
         }
     }
 }
@@ -267,8 +273,12 @@ fn supervise_one(pool: &WorkerPool, spec: &JobSpec, config: &SupervisorConfig) -
 /// experiment code directly (it runs on pooled worker threads), and
 /// even if a monitor were lost its slot degrades to a `Panicked` hole
 /// rather than poisoning the whole campaign.
+//= pftk#det-replay
+//= pftk#det-ordered-output
 pub fn run_campaign(jobs: Vec<JobSpec>, config: &SupervisorConfig) -> CampaignReport {
     let n = jobs.len();
+    // Rows are assembled into slots indexed by *submission order*, never
+    // by completion order, so the report is invariant under scheduling.
     let slots: Mutex<Vec<Option<CampaignRow>>> = Mutex::new((0..n).map(|_| None).collect());
     let next = AtomicUsize::new(0);
     let monitors = if config.max_workers == 0 {
@@ -280,13 +290,20 @@ pub fn run_campaign(jobs: Vec<JobSpec>, config: &SupervisorConfig) -> CampaignRe
     // One pooled worker per monitor: each monitor drives at most one
     // attempt at a time, so the pool can never be oversubscribed, and
     // abandoned (wedged) workers are replaced by the pool itself.
-    let pool = WorkerPool::new(monitors);
+    let pool = match config.schedule_chaos {
+        Some(seed) => WorkerPool::with_schedule_chaos(monitors, seed),
+        None => WorkerPool::new(monitors),
+    };
     let pool_ref = &pool;
     let jobs_ref = &jobs;
     let scope_result = crossbeam::scope(|scope| {
         for _ in 0..monitors {
             scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
+                // AcqRel: claiming index `i` is the hand-off point that
+                // entitles this monitor to job `i` and its report slot;
+                // make the claim's ordering explicit instead of leaning
+                // on the slots Mutex alone.
+                let i = next.fetch_add(1, Ordering::AcqRel);
                 if i >= n {
                     break;
                 }
@@ -341,9 +358,11 @@ mod tests {
             wall_budget: Duration::from_millis(300),
             retry: true,
             max_workers: 4,
+            schedule_chaos: None,
         }
     }
 
+    //= pftk#det-ordered-output type=test
     #[test]
     fn all_ok_campaign_is_complete_and_ordered() {
         let jobs: Vec<JobSpec> = (0..8u64)

@@ -6,6 +6,7 @@
 
 use crate::record::{Trace, TraceEvent};
 use serde::{Deserialize, Serialize};
+//~ allow(unordered-iter): imported for the membership-only duplicate-send set below
 use std::collections::HashSet;
 
 /// A single validation finding.
@@ -170,6 +171,7 @@ impl Conservation {
 
 /// Computes the [`Conservation`] summary of a trace.
 pub fn conservation(trace: &Trace) -> Conservation {
+    //~ allow(unordered-iter): membership-only set (insert + contains); never iterated, so no order leaks
     let mut seen: HashSet<u64> = HashSet::new();
     let mut retransmissions = 0u64;
     let mut highest_ack = 0u64;

@@ -41,6 +41,7 @@ thread_local! {
 
 fn count_here() {
     if COUNTING.try_with(Cell::get).unwrap_or(false) {
+        //~ allow(relaxed_atomic): single-threaded count gated by the thread-local; no hand-off rides on it
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -97,8 +98,10 @@ fn steady_state_simulation_does_not_allocate() {
     let sent_at_snapshot = conn.stats().packets_sent;
 
     COUNTING.with(|c| c.set(true));
+    //~ allow(relaxed_atomic): reads a counter only this thread bumps
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     let hit = conn.run_until_budget(SimTime::from_secs_f64(120.0), 10_000_000);
+    //~ allow(relaxed_atomic): reads a counter only this thread bumps
     let after = ALLOCATIONS.load(Ordering::Relaxed);
     COUNTING.with(|c| c.set(false));
     assert!(!hit, "measurement window must not hit the event budget");

@@ -181,6 +181,7 @@ fn campaign_with_injected_panic_and_hang_degrades_gracefully() {
         wall_budget: Duration::from_secs(10),
         retry: true,
         max_workers: 0,
+        schedule_chaos: None,
     };
     let report = run_campaign(jobs, &config);
 

@@ -1,0 +1,165 @@
+//! Replay-equivalence gate: the dynamic half of the determinism audit.
+//!
+//! `pftk-audit` proves statically that no wall-clock, unordered-container,
+//! or ad-hoc RNG nondeterminism reaches the result path; this gate proves
+//! the property end to end. The same pinned-seed campaign over the first
+//! eight Table II paths is executed by the supervised worker pool at 1, 2,
+//! and 8 workers — and again with schedule chaos injected (seeded
+//! yield-point shuffling plus rotated steal order inside the pool) — and
+//! every run must reproduce the single-worker reference **bit for bit**:
+//! identical traces, identical stats, identical calibration floats
+//! (compared via `f64::to_bits`, not epsilon).
+//!
+//! Worker-pool scheduling may therefore affect only *when* a job runs,
+//! never *what* it computes or *where* its row lands. CI runs a matrix
+//! over `PFTK_REPLAY_WORKERS=1|2|8`; unset, each test sweeps all three.
+//!
+//! Jobs are real Table II hour-runs truncated by a small event budget so
+//! the gate stays cheap in debug builds; truncation is itself
+//! deterministic (the budget is counted in simulated events, not time).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use padhye_tcp_repro::testbed::{
+    run_campaign, run_hour_budgeted, CampaignReport, JobSpec, Outcome, SupervisorConfig,
+    TABLE2_PATHS,
+};
+
+/// Pinned campaign seed. Never change it casually: the point of the gate
+/// is that this exact seed replays bit-identically everywhere.
+const BASE_SEED: u64 = 0x00DE_7E57_2026;
+
+/// Simulated-event budget per job — small enough that the whole sweep
+/// stays in tier-1 time even unoptimized, large enough that every path
+/// sees slow start, steady state, and recovery.
+const EVENT_BUDGET: u64 = 120_000;
+
+/// How many Table II paths the campaign covers. Must be >= the largest
+/// worker count exercised: `run_campaign` clamps its worker fleet to the
+/// job count, so fewer jobs would silently demote the 8-worker run.
+const JOBS: usize = 8;
+
+fn campaign_jobs() -> Vec<JobSpec> {
+    TABLE2_PATHS[..JOBS]
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let spec = *spec;
+            JobSpec {
+                label: spec.id(),
+                seed: BASE_SEED.wrapping_add(i as u64),
+                job: Arc::new(move |seed| run_hour_budgeted(&spec, seed, EVENT_BUDGET)),
+            }
+        })
+        .collect()
+}
+
+fn run_with(workers: usize, schedule_chaos: Option<u64>) -> CampaignReport {
+    let config = SupervisorConfig {
+        wall_budget: Duration::from_secs(120),
+        retry: false,
+        max_workers: workers,
+        schedule_chaos,
+    };
+    run_campaign(campaign_jobs(), &config)
+}
+
+/// Worker counts under test: the full `[1, 2, 8]` sweep, or the single
+/// count named by `PFTK_REPLAY_WORKERS` (the CI determinism matrix runs
+/// one process per count so a divergence names its worker count).
+fn worker_counts() -> Vec<usize> {
+    match std::env::var("PFTK_REPLAY_WORKERS") {
+        Ok(s) => vec![s
+            .trim()
+            .parse()
+            .expect("PFTK_REPLAY_WORKERS must be a worker count")],
+        Err(_) => vec![1, 2, 8],
+    }
+}
+
+/// Asserts two campaign reports are bit-identical, row by row. Floats are
+/// compared by bit pattern: an "equal within epsilon" replay is a broken
+/// replay.
+fn assert_bit_identical(reference: &CampaignReport, candidate: &CampaignReport, context: &str) {
+    assert_eq!(
+        reference.rows.len(),
+        candidate.rows.len(),
+        "{context}: row count diverged"
+    );
+    for (i, (a, b)) in reference.rows.iter().zip(&candidate.rows).enumerate() {
+        let at = format!("{context}: row {i} ({})", a.label);
+        assert_eq!(a.label, b.label, "{at}: label");
+        assert_eq!(a.seed, b.seed, "{at}: seed");
+        assert_eq!(a.outcome, b.outcome, "{at}: outcome");
+        assert_eq!(a.attempts, b.attempts, "{at}: attempts");
+        let ra = a.result.as_ref().expect("reference row has a result");
+        let rb = b
+            .result
+            .as_ref()
+            .unwrap_or_else(|| panic!("{at}: no result"));
+        assert_eq!(ra.stats, rb.stats, "{at}: stats diverged");
+        assert_eq!(
+            ra.ground_rtt.map(f64::to_bits),
+            rb.ground_rtt.map(f64::to_bits),
+            "{at}: ground_rtt bits diverged"
+        );
+        assert_eq!(
+            ra.ground_t0.map(f64::to_bits),
+            rb.ground_t0.map(f64::to_bits),
+            "{at}: ground_t0 bits diverged"
+        );
+        assert_eq!(
+            ra.duration_secs.to_bits(),
+            rb.duration_secs.to_bits(),
+            "{at}: duration bits diverged"
+        );
+        assert_eq!(
+            ra.event_budget_hit, rb.event_budget_hit,
+            "{at}: budget flag diverged"
+        );
+        // The big one: the full event trace, record for record.
+        assert_eq!(ra.trace, rb.trace, "{at}: trace diverged");
+    }
+}
+
+//= pftk#det-replay type=test
+#[test]
+fn campaign_replays_bit_identically_across_worker_counts() {
+    let reference = run_with(1, None);
+    assert!(
+        reference.is_complete(),
+        "reference campaign must be clean: {}",
+        reference.summary()
+    );
+    assert_eq!(reference.rows.len(), JOBS);
+    for row in &reference.rows {
+        assert_eq!(row.outcome, Outcome::Ok, "{}", row.label);
+    }
+
+    for workers in worker_counts() {
+        let plain = run_with(workers, None);
+        assert_bit_identical(&reference, &plain, &format!("{workers} workers"));
+
+        // Same campaign under schedule chaos: the pool inserts seeded
+        // yield points and rotates steal order, maximally perturbing which
+        // worker runs which job when. Results must not notice.
+        let chaotic = run_with(workers, Some(0xC4A0_5000 + workers as u64));
+        assert_bit_identical(
+            &reference,
+            &chaotic,
+            &format!("{workers} workers + schedule chaos"),
+        );
+    }
+}
+
+//= pftk#det-replay type=test
+#[test]
+fn chaos_seed_itself_never_leaks_into_results() {
+    // Two different chaos seeds produce different schedules; the reports
+    // must still match bit for bit — the chaos stream may only shape
+    // scheduling, never observable output.
+    let a = run_with(4, Some(1));
+    let b = run_with(4, Some(2));
+    assert_bit_identical(&a, &b, "chaos seed 1 vs 2");
+}
