@@ -9,6 +9,7 @@ use tcp_testbed::TraceRecorder;
 use tcp_trace::analyzer::{analyze, AnalyzerConfig};
 use tcp_trace::karn::estimate_timing;
 use tcp_trace::record::Trace;
+use tcp_trace::stream::{StreamAnalyzer, StreamConfig, TraceSink};
 
 fn build_trace() -> Trace {
     let mut conn = Connection::builder()
@@ -31,6 +32,18 @@ fn bench_analyzer(c: &mut Criterion) {
     });
     group.bench_function("karn_timing", |b| {
         b.iter(|| estimate_timing(black_box(&trace)))
+    });
+    // The full streaming reduction (classifier + Karn + correlation +
+    // 100-s intervals) fed record by record — the per-event cost a live
+    // campaign pays instead of materializing and re-walking the trace.
+    group.bench_function("stream_full_reduction", |b| {
+        b.iter(|| {
+            let mut s = StreamAnalyzer::new(StreamConfig::default());
+            for rec in black_box(&trace).records() {
+                s.on_record(rec);
+            }
+            black_box(s.finish(Some(600.0)))
+        })
     });
     group.finish();
 }

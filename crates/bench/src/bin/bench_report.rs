@@ -19,6 +19,7 @@ use tcp_sim::time::SimDuration;
 use tcp_testbed::TraceRecorder;
 use tcp_trace::analyzer::{analyze, AnalyzerConfig};
 use tcp_trace::record::Trace;
+use tcp_trace::stream::{StreamAnalyzer, StreamConfig, TraceSink};
 
 /// One benchmark measurement: a workload, its median per-iteration wall
 /// time, and the throughput normalization.
@@ -41,11 +42,34 @@ struct Entry {
     events_per_sec: f64,
 }
 
+/// Trace-pipeline memory accounting for one analysis mode: what the
+/// pipeline retains at peak while analyzing the same simulated connection.
+#[derive(serde::Serialize)]
+struct MemoryEntry {
+    /// `batch_materialized` (retain the trace, analyze afterwards) or
+    /// `streaming` (reduce while simulating, retain analyzer state only).
+    pipeline: &'static str,
+    /// Simulated connection length, seconds.
+    sim_secs: f64,
+    /// Wire events (sends + ACKs) the connection produced.
+    events: u64,
+    /// Peak retained bytes: the materialized trace's in-RAM size for the
+    /// batch pipeline, the analyzer-state high-water mark for streaming.
+    peak_retained_bytes: u64,
+    /// `peak_retained_bytes / events`.
+    bytes_per_event: f64,
+    /// Peak retained bytes normalized to one simulated hour at this
+    /// connection's event rate — the campaign-planning number.
+    bytes_per_sim_hour: f64,
+}
+
 #[derive(serde::Serialize)]
 struct Report {
     /// Reminder that only release-profile numbers are comparable.
     profile: &'static str,
     entries: Vec<Entry>,
+    /// Batch-vs-streaming memory comparison on an identical connection.
+    trace_memory: Vec<MemoryEntry>,
 }
 
 /// Median of `iters` timed runs of `workload`, which reports how many
@@ -146,6 +170,65 @@ fn analyzer() -> Entry {
     )
 }
 
+fn streaming_analyzer() -> Entry {
+    let trace = analyzer_trace();
+    let records = trace.len() as u64;
+    entry(
+        "analyzer",
+        "stream_full_reduction".into(),
+        "trace records",
+        15,
+        move || {
+            let mut s = StreamAnalyzer::new(StreamConfig::default());
+            for rec in trace.records() {
+                s.on_record(rec);
+            }
+            std::hint::black_box(s.finish(Some(600.0)));
+            records
+        },
+    )
+}
+
+/// Runs the reference 600-second connection once per pipeline and reports
+/// what each retains at peak.
+fn trace_memory() -> Vec<MemoryEntry> {
+    const SIM_SECS: f64 = 600.0;
+    let mem = |pipeline, events: u64, peak: u64| {
+        let per_event = peak as f64 / events.max(1) as f64;
+        MemoryEntry {
+            pipeline,
+            sim_secs: SIM_SECS,
+            events,
+            peak_retained_bytes: peak,
+            bytes_per_event: per_event,
+            bytes_per_sim_hour: peak as f64 * 3600.0 / SIM_SECS,
+        }
+    };
+    // Batch: materialize, then analyze. Peak retention is the trace.
+    let trace = analyzer_trace();
+    let batch = mem(
+        "batch_materialized",
+        trace.len() as u64,
+        trace.approx_bytes() as u64,
+    );
+    // Streaming: same connection, reduced while simulating.
+    let mut conn = Connection::builder()
+        .rtt(0.05)
+        .loss(Bernoulli::new(0.02))
+        .seed(5)
+        .build_with_observer(TraceRecorder::streaming(StreamConfig::default()));
+    conn.run_for(SimDuration::from_secs_f64(SIM_SECS));
+    conn.finish();
+    let (stream, _) = conn.into_observer().finish(Some(SIM_SECS));
+    let stream = stream
+        //~ allow(expect): a streaming-mode recorder always yields an analysis
+        .expect("streaming recorder yields an analysis");
+    vec![
+        batch,
+        mem("streaming", stream.events, stream.peak_state_bytes),
+    ]
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = Report {
         profile: if cfg!(debug_assertions) {
@@ -158,7 +241,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             packet_level(0.05),
             rounds(),
             analyzer(),
+            streaming_analyzer(),
         ],
+        trace_memory: trace_memory(),
     };
     let json = serde_json::to_string_pretty(&report)?;
     std::fs::create_dir_all("results")?;

@@ -15,9 +15,6 @@ use tcp_sim::rounds::{Indication, RoundsConfig, RoundsSim};
 use tcp_testbed::experiment::{run_hour, run_modem, run_serial_100s, run_table2};
 use tcp_testbed::paths::{fig7_paths, fig8_paths, ModemSpec, TABLE2_PATHS};
 use tcp_testbed::report::{error_triple_hourly, error_triple_serial, fig7_panel, fig8_series};
-use tcp_trace::analyzer::{analyze, AnalyzerConfig};
-use tcp_trace::intervals::split_intervals_bounded;
-use tcp_trace::karn::rtt_window_correlation;
 
 fn window_path_csv(name: &str, sim: &RoundsSim) {
     let rows: Vec<String> = sim
@@ -614,10 +611,11 @@ pub fn fig11(scale: &RunScale) {
     section("Fig. 11 — Modem path (dedicated buffer): where the model fails");
     let spec = ModemSpec::default();
     let horizon = scale.hour_secs.min(3600.0);
+    // The modem run streams its analysis: correlation and 100-s intervals
+    // come straight out of the reduced result, no trace retained.
     let result = run_modem(&spec, horizon, scale.seed);
-    let corr = rtt_window_correlation(&result.trace).unwrap_or(0.0);
-    let analysis = analyze(&result.trace, AnalyzerConfig::default());
-    let intervals = split_intervals_bounded(&result.trace, &analysis, 100.0, horizon);
+    let corr = result.rtt_window_corr().unwrap_or(0.0);
+    let intervals = result.intervals().unwrap_or(&[]).to_vec();
     let rtt = result.ground_rtt.unwrap_or(spec.base_rtt);
     let t0 = result.ground_t0.unwrap_or(1.0);
     let params = ModelParams::new(rtt, t0, 2, spec.wmax).unwrap(); //~ allow(unwrap): figure CLI with constant paper parameters

@@ -5,8 +5,6 @@ use crate::RunScale;
 use tcp_testbed::experiment::{run_table2, ExperimentResult};
 use tcp_testbed::hosts::HOSTS;
 use tcp_testbed::paths::TABLE2_PATHS;
-use tcp_trace::analyzer::{analyze, AnalyzerConfig};
-use tcp_trace::karn::estimate_timing;
 use tcp_trace::table::{format_table, TableRow};
 
 /// Table I: the host registry.
@@ -63,16 +61,13 @@ pub fn table2(scale: &RunScale) -> Vec<TableRow> {
             csv.push(format!("{},{},,,,,,,,,,,,,,,,", spec.sender, spec.receiver));
             continue;
         };
-        let analyzer = AnalyzerConfig {
-            dupack_threshold: spec.sender_os().dupack_threshold(),
-        };
-        let analysis = analyze(&result.trace, analyzer);
-        let timing = estimate_timing(&result.trace);
+        // Streamed analysis: the campaign never materialized these traces.
+        let timing_rtt = result.timing().and_then(|t| t.mean_rtt);
         let row = TableRow::from_analysis(
             spec.sender,
             spec.receiver,
-            &analysis,
-            timing.mean_rtt.unwrap_or(spec.rtt),
+            result.analysis(),
+            timing_rtt.unwrap_or(spec.rtt),
             result.ground_t0.unwrap_or(spec.t0),
         );
         csv.push(format!(

@@ -30,55 +30,171 @@ use tcp_sim::reno::rto::RtoConfig;
 use tcp_sim::reno::sender::SenderConfig;
 use tcp_sim::stats::ConnStats;
 use tcp_sim::time::{SimDuration, SimTime};
+use tcp_trace::analyzer::Analysis;
+use tcp_trace::intervals::IntervalStats;
+use tcp_trace::karn::TimingEstimates;
 use tcp_trace::log::TraceLog;
 use tcp_trace::record::Trace;
+use tcp_trace::stream::{StreamAnalysis, StreamAnalyzer, StreamConfig, TraceSink};
 
-/// A [`tcp_sim::Observer`] that records the sender-side wire trace — the
+/// A [`tcp_sim::Observer`] that consumes the sender-side wire trace — the
 /// glue between the simulator and the analysis programs (the `tcpdump` of
-/// this testbed). Internally columnar ([`TraceLog`]) so a steady-state
-/// recording push is three primitive stores into preallocated columns;
-/// [`TraceRecorder::into_trace`] converts losslessly to the row-oriented
-/// form the analyzers consume.
-#[derive(Debug, Default)]
+/// this testbed). Two modes, combinable:
+///
+/// * **retain** — a columnar [`TraceLog`] keeps every event (a
+///   steady-state push is three primitive stores into preallocated
+///   columns; the zero-allocation audit pins this mode);
+/// * **reduce** — a [`StreamAnalyzer`] folds each event into the paper's
+///   statistics on the fly with O(window) state, so hour-long campaigns
+///   never materialize their traces.
+///
+/// The retain-only constructors ([`TraceRecorder::new`],
+/// [`TraceRecorder::for_horizon`]) keep their historical behavior;
+/// campaign runners use [`TraceRecorder::streaming`] (reduce-only, the
+/// default) or [`TraceRecorder::streaming_retained`] (both, the
+/// retention opt-in).
+#[derive(Debug)]
 pub struct TraceRecorder {
-    log: TraceLog,
+    log: Option<TraceLog>,
+    stream: Option<StreamAnalyzer>,
+}
+
+impl Default for TraceRecorder {
+    /// The historical default: retain-only.
+    fn default() -> Self {
+        TraceRecorder::new()
+    }
 }
 
 impl TraceRecorder {
-    /// An empty recorder.
+    /// An empty retain-only recorder.
     pub fn new() -> Self {
-        TraceRecorder::default()
-    }
-
-    /// A recorder preallocated for a run of `horizon_secs` at roughly
-    /// `events_per_sec` wire events (sends + ACK arrivals) per second.
-    pub fn for_horizon(horizon_secs: f64, events_per_sec: f64) -> Self {
         TraceRecorder {
-            log: TraceLog::for_horizon(horizon_secs, events_per_sec),
+            log: Some(TraceLog::new()),
+            stream: None,
         }
     }
 
-    /// Consumes the recorder, yielding the trace.
+    /// A retain-only recorder preallocated for a run of `horizon_secs` at
+    /// roughly `events_per_sec` wire events (sends + ACK arrivals) per
+    /// second.
+    pub fn for_horizon(horizon_secs: f64, events_per_sec: f64) -> Self {
+        TraceRecorder {
+            log: Some(TraceLog::for_horizon(horizon_secs, events_per_sec)),
+            stream: None,
+        }
+    }
+
+    /// A reduce-only recorder: every event folds into a [`StreamAnalyzer`]
+    /// and nothing is retained.
+    pub fn streaming(config: StreamConfig) -> Self {
+        TraceRecorder {
+            log: None,
+            stream: Some(StreamAnalyzer::new(config)),
+        }
+    }
+
+    /// A recorder that both reduces and retains (the trace-retention
+    /// opt-in for runs whose events are re-read afterwards: exports,
+    /// golden-trace comparisons, ad-hoc re-analysis).
+    pub fn streaming_retained(
+        config: StreamConfig,
+        horizon_secs: f64,
+        events_per_sec: f64,
+    ) -> Self {
+        TraceRecorder {
+            log: Some(TraceLog::for_horizon(horizon_secs, events_per_sec)),
+            stream: Some(StreamAnalyzer::new(config)),
+        }
+    }
+
+    /// Consumes the recorder, yielding the retained trace.
+    ///
+    /// # Panics
+    /// On a reduce-only recorder — retention is a construction-time
+    /// choice, not a recoverable condition.
     pub fn into_trace(self) -> Trace {
-        self.log.into_trace()
+        self.log
+            //~ allow(expect): retention is a construction-time property of the recorder
+            .expect("TraceRecorder::into_trace on a non-retaining recorder")
+            .into_trace()
+    }
+
+    /// Consumes the recorder, yielding the streamed analysis (with the
+    /// interval segmentation bounded by `total_secs`) and the retained
+    /// trace — each present iff the corresponding mode was enabled.
+    pub fn finish(self, total_secs: Option<f64>) -> (Option<StreamAnalysis>, Option<Trace>) {
+        (
+            self.stream.map(|s| s.finish(total_secs)),
+            self.log.map(TraceLog::into_trace),
+        )
     }
 }
 
 impl Observer for TraceRecorder {
     fn on_segment_sent(&mut self, at: SimTime, seg: Segment) {
-        self.log.push_send(at.as_nanos(), seg.seq, seg.retransmit);
+        if let Some(log) = &mut self.log {
+            log.push_send(at.as_nanos(), seg.seq, seg.retransmit);
+        }
+        if let Some(stream) = &mut self.stream {
+            stream.on_send(at.as_nanos(), seg.seq, seg.retransmit);
+        }
     }
 
     fn on_ack_received(&mut self, at: SimTime, ack: Ack) {
-        self.log.push_ack_in(at.as_nanos(), ack.ack);
+        if let Some(log) = &mut self.log {
+            log.push_ack_in(at.as_nanos(), ack.ack);
+        }
+        if let Some(stream) = &mut self.stream {
+            stream.on_ack_in(at.as_nanos(), ack.ack);
+        }
+    }
+}
+
+/// Per-run options: what the recorder keeps beyond the streamed analysis.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentOptions {
+    /// Retain the full wire trace on the result (`ExperimentResult::trace`
+    /// = `Some`). Off by default: campaigns that only read the analysis
+    /// should not hold O(duration) memory per connection.
+    pub retain_trace: bool,
+    /// Interval length for the streamed segmentation (`Some(100.0)` = the
+    /// paper's Fig. 7–10 intervals); `None` disables it.
+    pub interval_secs: Option<f64>,
+    /// Run the streamed RTT-vs-flight correlation diagnostic (Fig. 11).
+    pub correlation: bool,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        ExperimentOptions {
+            retain_trace: false,
+            interval_secs: Some(100.0),
+            correlation: true,
+        }
+    }
+}
+
+impl ExperimentOptions {
+    /// The default options with trace retention switched on.
+    pub fn retained() -> Self {
+        ExperimentOptions {
+            retain_trace: true,
+            ..ExperimentOptions::default()
+        }
     }
 }
 
 /// Result of one simulated connection.
 #[derive(Debug)]
 pub struct ExperimentResult {
-    /// Sender-side wire trace.
-    pub trace: Trace,
+    /// The streamed analysis: loss indications, Karn timing, interval
+    /// rows, RTT-vs-flight correlation — computed while simulating, no
+    /// trace materialization.
+    pub stream: StreamAnalysis,
+    /// The full wire trace, retained only when
+    /// [`ExperimentOptions::retain_trace`] was set.
+    pub trace: Option<Trace>,
     /// Simulator ground-truth counters.
     pub stats: ConnStats,
     /// Ground-truth mean RTT from the sender's estimator, seconds.
@@ -90,7 +206,7 @@ pub struct ExperimentResult {
     /// stay honest.
     pub duration_secs: f64,
     /// True when the sim-event budget stopped the run before the horizon
-    /// (a runaway event loop was fenced off; the trace covers only
+    /// (a runaway event loop was fenced off; the analysis covers only
     /// `duration_secs`).
     pub event_budget_hit: bool,
 }
@@ -99,6 +215,27 @@ impl ExperimentResult {
     /// Ground-truth send rate, packets/second.
     pub fn send_rate(&self) -> f64 {
         self.stats.packets_sent as f64 / self.duration_secs
+    }
+
+    /// The streamed loss-indication analysis (what batch
+    /// `analyze(&trace, _)` used to recompute).
+    pub fn analysis(&self) -> &Analysis {
+        &self.stream.analysis
+    }
+
+    /// The streamed Karn RTT / T0 estimates.
+    pub fn timing(&self) -> Option<&TimingEstimates> {
+        self.stream.timing.as_ref()
+    }
+
+    /// The streamed per-interval statistics.
+    pub fn intervals(&self) -> Option<&[IntervalStats]> {
+        self.stream.intervals.as_deref()
+    }
+
+    /// The streamed RTT-vs-flight correlation (Fig. 11 diagnostic).
+    pub fn rtt_window_corr(&self) -> Option<f64> {
+        self.stream.rtt_window_corr
     }
 }
 
@@ -166,9 +303,6 @@ pub fn calibrate_wire_loss(spec: &PathSpec, seed: u64) -> WireLoss {
     let packets = spec.paper_packets.max(1) as f64;
     let td_target = spec.paper_td as f64 / packets;
     let to_target = spec.paper_loss.saturating_sub(spec.paper_td) as f64 / packets;
-    let analyzer = tcp_trace::analyzer::AnalyzerConfig {
-        dupack_threshold: spec.sender_os().dupack_threshold(),
-    };
     // Burst episodes ~3/4 of the RTO: a realistic minority outlast the
     // first timeout (→ T1+ columns); the cap keeps large loss targets
     // reachable on paths with very long RTOs (pif→alps: T0 = 7.3 s).
@@ -177,9 +311,17 @@ pub fn calibrate_wire_loss(spec: &PathSpec, seed: u64) -> WireLoss {
         burst_time_frac: to_target,
         mean_burst_secs: (spec.t0 * 0.75).clamp(0.2, 1.5),
     };
+    // Probe runs stream their classification: only the loss-indication
+    // counts feed the fixed point, so retaining probe traces (or running
+    // the timing/interval reductions) would be pure overhead.
+    let probe_opts = ExperimentOptions {
+        retain_trace: false,
+        interval_secs: None,
+        correlation: false,
+    };
     for iter in 0..5 {
-        let r = run_connection_raw(spec, wire, 400.0, seed.wrapping_add(iter));
-        let a = tcp_trace::analyzer::analyze(&r.trace, analyzer);
+        let r = run_connection_raw(spec, wire, 400.0, seed.wrapping_add(iter), &probe_opts);
+        let a = r.analysis();
         if a.packets_sent == 0 {
             break;
         }
@@ -215,9 +357,25 @@ pub fn calibrate_wire_loss(spec: &PathSpec, seed: u64) -> WireLoss {
 /// measurement.
 pub const DEFAULT_EVENT_BUDGET: u64 = 50_000_000;
 
-fn run_connection(spec: &PathSpec, horizon_secs: f64, seed: u64) -> ExperimentResult {
+fn stream_config(spec: &PathSpec, opts: &ExperimentOptions) -> StreamConfig {
+    StreamConfig {
+        analyzer: tcp_trace::analyzer::AnalyzerConfig {
+            dupack_threshold: spec.sender_os().dupack_threshold(),
+        },
+        interval_secs: opts.interval_secs,
+        timing: true,
+        correlation: opts.correlation,
+    }
+}
+
+fn run_connection(
+    spec: &PathSpec,
+    horizon_secs: f64,
+    seed: u64,
+    opts: &ExperimentOptions,
+) -> ExperimentResult {
     let wire = calibrate_wire_loss(spec, seed.wrapping_mul(31).wrapping_add(17));
-    run_connection_raw(spec, wire, horizon_secs, seed)
+    run_connection_raw(spec, wire, horizon_secs, seed, opts)
 }
 
 fn run_connection_raw(
@@ -225,8 +383,9 @@ fn run_connection_raw(
     wire: WireLoss,
     horizon_secs: f64,
     seed: u64,
+    opts: &ExperimentOptions,
 ) -> ExperimentResult {
-    run_connection_budgeted(spec, wire, horizon_secs, seed, u64::MAX)
+    run_connection_budgeted(spec, wire, horizon_secs, seed, u64::MAX, opts)
 }
 
 fn run_connection_budgeted(
@@ -235,6 +394,7 @@ fn run_connection_budgeted(
     horizon_secs: f64,
     seed: u64,
     max_events: u64,
+    opts: &ExperimentOptions,
 ) -> ExperimentResult {
     // Mild jitter (5% of RTT) keeps RTT samples realistic without breaking
     // the RTT-independence assumption the non-modem paths must satisfy.
@@ -242,6 +402,18 @@ fn run_connection_budgeted(
     let jitter = SimDuration::from_secs_f64(spec.rtt * 0.05);
     let fwd = Path::constant(SimDuration::from_secs_f64(half)).with_jitter(jitter);
     let rev = Path::constant(SimDuration::from_secs_f64(half)).with_jitter(jitter);
+    let config = stream_config(spec, opts);
+    let recorder = if opts.retain_trace {
+        // Preallocate the trace from the paper's hour-long packet count for
+        // this path: sends plus delayed (b=2) ACK arrivals ≈ 1.5× packets.
+        TraceRecorder::streaming_retained(
+            config,
+            horizon_secs,
+            spec.paper_packets.max(1) as f64 / 3600.0 * 1.5,
+        )
+    } else {
+        TraceRecorder::streaming(config)
+    };
     let mut conn = Connection::builder()
         .fwd_path(fwd)
         .rev_path(rev)
@@ -249,12 +421,7 @@ fn run_connection_budgeted(
         .sender_config(sender_config(spec))
         .receiver_config(ReceiverConfig::default())
         .seed(seed)
-        // Preallocate the trace from the paper's hour-long packet count for
-        // this path: sends plus delayed (b=2) ACK arrivals ≈ 1.5× packets.
-        .build_with_observer(TraceRecorder::for_horizon(
-            horizon_secs,
-            spec.paper_packets.max(1) as f64 / 3600.0 * 1.5,
-        ));
+        .build_with_observer(recorder);
     let event_budget_hit = conn.run_until_budget(SimTime::from_secs_f64(horizon_secs), max_events);
     conn.finish();
     let stats = conn.stats();
@@ -267,8 +434,10 @@ fn run_connection_budgeted(
     } else {
         horizon_secs
     };
+    let (stream, trace) = conn.into_observer().finish(Some(duration_secs));
     ExperimentResult {
-        trace: conn.into_observer().into_trace(),
+        stream: stream.unwrap_or_default(),
+        trace,
         stats,
         ground_rtt,
         ground_t0,
@@ -278,22 +447,49 @@ fn run_connection_budgeted(
 }
 
 /// One hour-long "infinite source" connection (§III, first experiment set).
+/// Streaming analysis, no trace retention; see [`run_hour_with`].
 pub fn run_hour(spec: &PathSpec, seed: u64) -> ExperimentResult {
-    run_connection(spec, 3600.0, seed)
+    run_connection(spec, 3600.0, seed, &ExperimentOptions::default())
+}
+
+/// [`run_hour`] with explicit [`ExperimentOptions`] (e.g. trace retention
+/// for golden-trace comparisons).
+pub fn run_hour_with(spec: &PathSpec, seed: u64, opts: &ExperimentOptions) -> ExperimentResult {
+    run_connection(spec, 3600.0, seed, opts)
 }
 
 /// [`run_hour`] with an explicit sim-event budget: the supervised form used
 /// by [`run_table2`] workers so a runaway event loop degrades to a
-/// truncated (but analyzable) trace instead of wedging the worker.
+/// truncated (but analyzable) result instead of wedging the worker.
 pub fn run_hour_budgeted(spec: &PathSpec, seed: u64, max_events: u64) -> ExperimentResult {
+    run_hour_budgeted_with(spec, seed, max_events, &ExperimentOptions::default())
+}
+
+/// [`run_hour_budgeted`] with explicit [`ExperimentOptions`].
+pub fn run_hour_budgeted_with(
+    spec: &PathSpec,
+    seed: u64,
+    max_events: u64,
+    opts: &ExperimentOptions,
+) -> ExperimentResult {
     let wire = calibrate_wire_loss(spec, seed.wrapping_mul(31).wrapping_add(17));
-    run_connection_budgeted(spec, wire, 3600.0, seed, max_events)
+    run_connection_budgeted(spec, wire, 3600.0, seed, max_events, opts)
 }
 
 /// The second §III campaign: `n` serially initiated 100-second connections.
 /// The 50-second gaps carry no traffic; each connection gets an independent
 /// seed derived from `base_seed` and its index.
 pub fn run_serial_100s(spec: &PathSpec, n: usize, base_seed: u64) -> Vec<ExperimentResult> {
+    run_serial_100s_with(spec, n, base_seed, &ExperimentOptions::default())
+}
+
+/// [`run_serial_100s`] with explicit [`ExperimentOptions`].
+pub fn run_serial_100s_with(
+    spec: &PathSpec,
+    n: usize,
+    base_seed: u64,
+    opts: &ExperimentOptions,
+) -> Vec<ExperimentResult> {
     // One calibration pass serves all n connections (the path doesn't change
     // between them).
     let wire = calibrate_wire_loss(spec, base_seed.wrapping_mul(31).wrapping_add(17));
@@ -304,6 +500,7 @@ pub fn run_serial_100s(spec: &PathSpec, n: usize, base_seed: u64) -> Vec<Experim
                 wire,
                 100.0,
                 base_seed.wrapping_mul(1000).wrapping_add(i as u64),
+                opts,
             )
         })
         .collect()
@@ -347,6 +544,16 @@ pub fn run_table2_supervised(
 /// from the dedicated drop-tail buffer in front of the slow link, and the
 /// standing queue makes RTT grow with the window.
 pub fn run_modem(spec: &ModemSpec, horizon_secs: f64, seed: u64) -> ExperimentResult {
+    run_modem_with(spec, horizon_secs, seed, &ExperimentOptions::default())
+}
+
+/// [`run_modem`] with explicit [`ExperimentOptions`].
+pub fn run_modem_with(
+    spec: &ModemSpec,
+    horizon_secs: f64,
+    seed: u64,
+    opts: &ExperimentOptions,
+) -> ExperimentResult {
     let half = spec.base_rtt / 2.0;
     let fwd = Path::constant(SimDuration::from_secs_f64(half)).with_bottleneck(Bottleneck::new(
         spec.bottleneck_pps,
@@ -361,25 +568,36 @@ pub fn run_modem(spec: &ModemSpec, horizon_secs: f64, seed: u64) -> ExperimentRe
         data_limit: None,
         style: tcp_sim::reno::sender::RenoStyle::Reno,
     };
+    // Modem sender is a standard-threshold stack (dupthresh 3).
+    let config = StreamConfig {
+        analyzer: tcp_trace::analyzer::AnalyzerConfig::default(),
+        interval_secs: opts.interval_secs,
+        timing: true,
+        correlation: opts.correlation,
+    };
+    let recorder = if opts.retain_trace {
+        // Bottleneck-limited: the wire rate cannot exceed the bottleneck
+        // packet rate (plus its ACK stream).
+        TraceRecorder::streaming_retained(config, horizon_secs, spec.bottleneck_pps * 1.5)
+    } else {
+        TraceRecorder::streaming(config)
+    };
     let mut conn = Connection::builder()
         .fwd_path(fwd)
         .rev_path(rev)
         .loss(Box::new(tcp_sim::loss::Bernoulli::new(spec.wire_loss)))
         .sender_config(sender)
         .seed(seed)
-        // Bottleneck-limited: the wire rate cannot exceed the bottleneck
-        // packet rate (plus its ACK stream).
-        .build_with_observer(TraceRecorder::for_horizon(
-            horizon_secs,
-            spec.bottleneck_pps * 1.5,
-        ));
+        .build_with_observer(recorder);
     conn.run_for(SimDuration::from_secs_f64(horizon_secs));
     conn.finish();
     let stats = conn.stats();
     let ground_rtt = conn.sender().rto_estimator().mean_rtt();
     let ground_t0 = conn.sender().rto_estimator().mean_t0();
+    let (stream, trace) = conn.into_observer().finish(Some(horizon_secs));
     ExperimentResult {
-        trace: conn.into_observer().into_trace(),
+        stream: stream.unwrap_or_default(),
+        trace,
         stats,
         ground_rtt,
         ground_t0,
@@ -393,23 +611,51 @@ mod tests {
     use super::*;
     use crate::paths::{table2_path, TABLE2_PATHS};
     use tcp_trace::analyzer::{analyze, AnalyzerConfig};
-    use tcp_trace::karn::rtt_window_correlation;
 
     #[test]
-    fn hour_run_produces_consistent_trace_and_stats() {
+    fn hour_run_produces_consistent_analysis_and_stats() {
         let spec = table2_path("manic", "baskerville").unwrap();
         let r = run_hour(spec, 1);
+        assert!(
+            r.trace.is_none(),
+            "campaign default must not retain the trace"
+        );
+        assert_eq!(r.analysis().packets_sent, r.stats.packets_sent);
+        assert!(r.stats.packets_sent > 1000, "sent {}", r.stats.packets_sent);
+        assert!(r.stats.loss_indications() > 50);
+        assert!(r.send_rate() > 1.0);
+        // The streamed reductions all ran.
+        assert!(r.timing().is_some());
+        assert_eq!(r.intervals().map(<[_]>::len), Some(36));
+    }
+
+    #[test]
+    fn retained_run_matches_batch_analysis_bit_for_bit() {
+        let spec = table2_path("manic", "baskerville").unwrap();
+        let retained = run_hour_with(spec, 1, &ExperimentOptions::retained());
+        let trace = retained.trace.as_ref().expect("retention requested");
+        // Send count in the retained trace matches ground truth.
         assert_eq!(
-            r.trace
+            trace
                 .records()
                 .iter()
                 .filter(|rec| matches!(rec.event, tcp_trace::record::TraceEvent::Send { .. }))
                 .count() as u64,
-            r.stats.packets_sent
+            retained.stats.packets_sent
         );
-        assert!(r.stats.packets_sent > 1000, "sent {}", r.stats.packets_sent);
-        assert!(r.stats.loss_indications() > 50);
-        assert!(r.send_rate() > 1.0);
+        // Streamed analysis == batch analysis of the retained trace.
+        let analyzer = AnalyzerConfig {
+            dupack_threshold: spec.sender_os().dupack_threshold(),
+        };
+        assert_eq!(retained.analysis(), &analyze(trace, analyzer));
+        assert_eq!(
+            retained.timing(),
+            Some(&tcp_trace::karn::estimate_timing(trace))
+        );
+        // And retention does not perturb the simulation itself.
+        let plain = run_hour(spec, 1);
+        assert_eq!(plain.stats, retained.stats);
+        assert_eq!(plain.analysis(), retained.analysis());
     }
 
     #[test]
@@ -433,14 +679,9 @@ mod tests {
     #[test]
     fn calibrated_loss_rate_in_range() {
         let spec = table2_path("void", "maria").unwrap();
+        assert_eq!(spec.sender_os().dupack_threshold(), 2, "Linux sender");
         let r = run_hour(spec, 3);
-        let analysis = analyze(
-            &r.trace,
-            AnalyzerConfig {
-                dupack_threshold: 2,
-            },
-        );
-        let p = analysis.loss_rate();
+        let p = r.analysis().loss_rate();
         let target = spec.paper_loss_rate();
         assert!(
             p > target * 0.4 && p < target * 2.5,
@@ -487,10 +728,9 @@ mod tests {
             r.duration_secs
         );
         assert!(r.duration_secs > 0.0);
-        // The truncated trace is still analyzable and rate-consistent.
+        // The truncated run is still analyzable and rate-consistent.
         assert!(r.send_rate() > 0.0);
-        let a = analyze(&r.trace, AnalyzerConfig::default());
-        assert_eq!(a.packets_sent, r.stats.packets_sent);
+        assert_eq!(r.analysis().packets_sent, r.stats.packets_sent);
         // The unbudgeted full hour, by contrast, finishes clean.
         let full = run_hour(spec, 1);
         assert!(!full.event_budget_hit);
@@ -500,7 +740,7 @@ mod tests {
     #[test]
     fn modem_shows_rtt_window_correlation() {
         let r = run_modem(&ModemSpec::default(), 1800.0, 5);
-        let corr = rtt_window_correlation(&r.trace).unwrap();
+        let corr = r.rtt_window_corr().unwrap();
         // §IV: "we found the coefficient of correlation to be as high as
         // 0.97" on modem paths.
         assert!(

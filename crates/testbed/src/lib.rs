@@ -30,7 +30,8 @@ pub mod report;
 pub mod supervisor;
 
 pub use experiment::{
-    run_hour, run_hour_budgeted, run_modem, run_serial_100s, run_table2, run_table2_supervised,
+    run_hour, run_hour_budgeted, run_hour_budgeted_with, run_hour_with, run_modem, run_modem_with,
+    run_serial_100s, run_serial_100s_with, run_table2, run_table2_supervised, ExperimentOptions,
     ExperimentResult, TraceRecorder, DEFAULT_EVENT_BUDGET,
 };
 pub use hosts::{host, Host, Os, HOSTS};

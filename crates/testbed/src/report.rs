@@ -7,7 +7,7 @@ use pftk_model::params::ModelParams;
 use pftk_model::sendrate::ModelKind;
 use pftk_model::units::LossProb;
 use tcp_trace::analyzer::{analyze, AnalyzerConfig};
-use tcp_trace::intervals::{split_intervals_bounded, IntervalCategory};
+use tcp_trace::intervals::{split_intervals_bounded, IntervalCategory, IntervalStats};
 use tcp_trace::metrics::{average_error, Observation};
 
 /// One scatter point of a Fig. 7 panel: an interval's observed loss rate
@@ -70,18 +70,41 @@ pub fn loss_grid() -> Vec<f64> {
     grid
 }
 
-/// Builds a Fig. 7 panel from an hour-long experiment.
-pub fn fig7_panel(spec: &PathSpec, result: &ExperimentResult, interval_secs: f64) -> Fig7Panel {
+/// The per-interval rows for a report at `interval_secs`: the streamed
+/// segmentation when the run produced one at that length (the campaign
+/// default — no trace was materialized), else a batch recomputation from
+/// the retained trace.
+///
+/// # Panics
+/// When the run neither streamed intervals at `interval_secs` nor
+/// retained its trace — the experiment options and the report request are
+/// inconsistent, which is a caller bug, not a recoverable condition.
+fn intervals_for(
+    spec: &PathSpec,
+    result: &ExperimentResult,
+    interval_secs: f64,
+) -> Vec<IntervalStats> {
+    if result.stream.interval_secs == Some(interval_secs) {
+        if let Some(iv) = result.intervals() {
+            return iv.to_vec();
+        }
+    }
+    //~ allow(expect): options/report mismatch is a construction-time caller bug
+    let trace = result.trace.as_ref().expect(
+        "report needs intervals the run neither streamed nor can recompute \
+         (no retained trace): run with matching ExperimentOptions::interval_secs \
+         or retain_trace",
+    );
     let analyzer = AnalyzerConfig {
         dupack_threshold: spec.sender_os().dupack_threshold(),
     };
-    let analysis = analyze(&result.trace, analyzer);
-    let intervals = split_intervals_bounded(
-        &result.trace,
-        &analysis,
-        interval_secs,
-        result.duration_secs,
-    );
+    let analysis = analyze(trace, analyzer);
+    split_intervals_bounded(trace, &analysis, interval_secs, result.duration_secs)
+}
+
+/// Builds a Fig. 7 panel from an hour-long experiment.
+pub fn fig7_panel(spec: &PathSpec, result: &ExperimentResult, interval_secs: f64) -> Fig7Panel {
+    let intervals = intervals_for(spec, result, interval_secs);
     let scatter = intervals
         .iter()
         .map(|iv| ScatterPoint {
@@ -131,14 +154,11 @@ pub struct Fig8Point {
 /// Builds the Fig. 8 series for one path from its serial experiments.
 /// Per §III, RTT and T0 are calculated *per trace* here.
 pub fn fig8_series(spec: &PathSpec, results: &[ExperimentResult]) -> Vec<Fig8Point> {
-    let analyzer = AnalyzerConfig {
-        dupack_threshold: spec.sender_os().dupack_threshold(),
-    };
     results
         .iter()
         .enumerate()
         .map(|(i, r)| {
-            let analysis = analyze(&r.trace, analyzer);
+            let analysis = r.analysis();
             let p = analysis.loss_rate().clamp(1e-9, 1.0 - 1e-9);
             let params = fitted_params(spec, r);
             let lp = LossProb::new(p).unwrap(); //~ allow(unwrap): calibrated constants validated by construction
@@ -172,16 +192,7 @@ pub fn error_triple_hourly(
     result: &ExperimentResult,
     interval_secs: f64,
 ) -> ErrorTriple {
-    let analyzer = AnalyzerConfig {
-        dupack_threshold: spec.sender_os().dupack_threshold(),
-    };
-    let analysis = analyze(&result.trace, analyzer);
-    let intervals = split_intervals_bounded(
-        &result.trace,
-        &analysis,
-        interval_secs,
-        result.duration_secs,
-    );
+    let intervals = intervals_for(spec, result, interval_secs);
     let observations = Observation::from_intervals(&intervals, interval_secs);
     let params = fitted_params(spec, result);
     let eval = |model: ModelKind| {
@@ -202,13 +213,10 @@ pub fn error_triple_hourly(
 /// per-trace RTT/T0 (§III: "we use the value of round-trip time and
 /// time-out calculated for each 100 s trace").
 pub fn error_triple_serial(spec: &PathSpec, results: &[ExperimentResult]) -> ErrorTriple {
-    let analyzer = AnalyzerConfig {
-        dupack_threshold: spec.sender_os().dupack_threshold(),
-    };
     let mut sums = (0.0, 0.0, 0.0);
     let mut n = 0u64;
     for r in results {
-        let analysis = analyze(&r.trace, analyzer);
+        let analysis = r.analysis();
         if analysis.packets_sent == 0 {
             continue;
         }

@@ -336,7 +336,6 @@ pub fn run_campaign(jobs: Vec<JobSpec>, config: &SupervisorConfig) -> CampaignRe
 mod tests {
     use super::*;
     use tcp_sim::stats::ConnStats;
-    use tcp_trace::record::Trace;
 
     fn fake_result(seed: u64) -> ExperimentResult {
         let stats = ConnStats {
@@ -344,7 +343,8 @@ mod tests {
             ..Default::default()
         };
         ExperimentResult {
-            trace: Trace::new(),
+            stream: tcp_trace::stream::StreamAnalysis::default(),
+            trace: None,
             stats,
             ground_rtt: None,
             ground_t0: None,

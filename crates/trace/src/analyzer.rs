@@ -63,7 +63,7 @@ impl Default for AnalyzerConfig {
 }
 
 /// Full analysis result for one trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Analysis {
     /// Every loss indication, in time order.
     pub indications: Vec<LossIndication>,
@@ -91,11 +91,15 @@ impl Analysis {
 
     /// Timeout sequences bucketed by length, Table II style: index 0 holds
     /// single timeouts ("T0"), …, index 5 holds length ≥ 6 ("T5 or more").
+    ///
+    /// A `sequence_len` of 0 cannot be produced by the classifier, but an
+    /// [`Analysis`] deserialized from external data may carry one; such a
+    /// record lands in the "T0" bucket instead of panicking on underflow.
     pub fn to_histogram(&self) -> [u64; 6] {
         let mut hist = [0u64; 6];
         for ind in &self.indications {
             if let IndicationKind::Timeout { sequence_len } = ind.kind {
-                let idx = (sequence_len as usize - 1).min(5);
+                let idx = (sequence_len as usize).saturating_sub(1).min(5);
                 hist[idx] += 1;
             }
         }
@@ -113,9 +117,17 @@ impl Analysis {
     }
 }
 
-/// State of the classification automaton.
+/// The incremental TD/TO classification automaton: the streaming core
+/// behind [`analyze`].
+///
+/// Feed it wire events one at a time ([`Classifier::on_send`] /
+/// [`Classifier::on_ack`]) and call [`Classifier::finish`] at end of
+/// trace. Between events it holds O(1) automaton state plus the
+/// indications emitted so far; it never needs the trace itself, which is
+/// what lets hour-long campaigns analyze while simulating instead of
+/// materializing every wire event first (see [`crate::stream`]).
 #[derive(Debug)]
-struct Classifier {
+pub struct Classifier {
     config: AnalyzerConfig,
     snd_max: u64,
     last_ack: u64,
@@ -130,7 +142,8 @@ struct Classifier {
 }
 
 impl Classifier {
-    fn new(config: AnalyzerConfig) -> Self {
+    /// A fresh automaton.
+    pub fn new(config: AnalyzerConfig) -> Self {
         Classifier {
             config,
             snd_max: 0,
@@ -147,7 +160,8 @@ impl Classifier {
         }
     }
 
-    fn on_ack(&mut self, _time_ns: u64, ack: u64) {
+    /// Consumes one ACK arrival.
+    pub fn on_ack(&mut self, _time_ns: u64, ack: u64) {
         self.out.acks_seen += 1;
         if ack > self.last_ack {
             // Forward progress closes any open timeout sequence.
@@ -165,7 +179,8 @@ impl Classifier {
         }
     }
 
-    fn on_send(&mut self, time_ns: u64, seq: u64) {
+    /// Consumes one data-segment departure.
+    pub fn on_send(&mut self, time_ns: u64, seq: u64) {
         self.out.packets_sent += 1;
         if seq >= self.snd_max {
             self.snd_max = seq + 1;
@@ -190,21 +205,31 @@ impl Classifier {
         }
     }
 
-    fn finish(mut self) -> Analysis {
+    /// Loss indications emitted so far (an open timeout sequence is not yet
+    /// among them; [`Classifier::finish`] flushes it).
+    pub fn indications(&self) -> &[LossIndication] {
+        &self.out.indications
+    }
+
+    /// Closes the automaton: flushes an unterminated timeout sequence and
+    /// restores time order (timeout sequences are recorded at close time,
+    /// which can interleave with TDs out of order).
+    pub fn finish(mut self) -> Analysis {
         if let Some((start, len)) = self.open_to.take() {
             self.out.indications.push(LossIndication {
                 time_ns: start,
                 kind: IndicationKind::Timeout { sequence_len: len },
             });
         }
-        // Timeout sequences are recorded at close time, which can interleave
-        // with TDs out of order; restore time order.
         self.out.indications.sort_by_key(|i| i.time_ns);
         self.out
     }
 }
 
-/// Analyzes a sender-side trace.
+/// Analyzes a sender-side trace: a thin fold of the incremental
+/// [`Classifier`] over the materialized records. Streaming consumers feed
+/// the same automaton event by event through [`crate::stream`], so batch
+/// and streaming classification are identical by construction.
 //= pftk#td-to-classify
 //= pftk#to-sequence
 pub fn analyze(trace: &Trace, config: AnalyzerConfig) -> Analysis {
@@ -435,5 +460,23 @@ mod tests {
         let a = analyze(&Trace::new(), AnalyzerConfig::default());
         assert!(a.indications.is_empty());
         assert_eq!(a.loss_rate(), 0.0);
+    }
+
+    #[test]
+    fn zero_length_timeout_sequence_does_not_underflow_histogram() {
+        // The classifier never emits sequence_len == 0, but a deserialized
+        // Analysis (external JSON) can carry one; the histogram must not
+        // panic on `0 - 1` in debug builds.
+        let a = Analysis {
+            indications: vec![LossIndication {
+                time_ns: 0,
+                kind: IndicationKind::Timeout { sequence_len: 0 },
+            }],
+            packets_sent: 1,
+            retransmissions: 1,
+            acks_seen: 0,
+        };
+        assert_eq!(a.to_histogram(), [1, 0, 0, 0, 0, 0]);
+        assert_eq!(a.to_count(), 1);
     }
 }

@@ -9,7 +9,7 @@
 //! timeout but no backoff, `T1` for at least one double timeout, etc. —
 //! the category is the *deepest* backoff observed.
 
-use crate::analyzer::{Analysis, IndicationKind};
+use crate::analyzer::{Analysis, IndicationKind, LossIndication};
 use crate::record::{Trace, TraceEvent};
 use serde::{Deserialize, Serialize};
 
@@ -57,63 +57,119 @@ pub fn split_intervals(
     split_intervals_bounded(trace, analysis, interval_secs, end_ns as f64 / 1e9)
 }
 
+/// The incremental per-interval send counter: the streaming core behind
+/// [`split_intervals_bounded`].
+///
+/// Between events the only retained state is one `u64` per *elapsed*
+/// interval — 36 counters for the paper's hour at 100 s — because loss
+/// indications arrive already-reduced (the classifier's `Analysis`) at
+/// [`IntervalCore::finish`], which replays the exact batch bucketing and
+/// categorization over them.
+#[derive(Debug, Clone)]
+pub struct IntervalCore {
+    interval_ns: u64,
+    sent: Vec<u64>,
+}
+
+impl IntervalCore {
+    /// A fresh counter for `interval_secs`-long intervals.
+    ///
+    /// # Panics
+    /// If `interval_secs` is not positive.
+    pub fn new(interval_secs: f64) -> Self {
+        assert!(interval_secs > 0.0, "interval length must be positive");
+        IntervalCore {
+            interval_ns: (interval_secs * 1e9) as u64,
+            sent: Vec::new(),
+        }
+    }
+
+    /// Consumes one data-segment departure (original or retransmission —
+    /// the paper counts both as "packets sent").
+    pub fn on_send(&mut self, time_ns: u64) {
+        let idx = (time_ns / self.interval_ns) as usize;
+        if idx >= self.sent.len() {
+            self.sent.resize(idx + 1, 0);
+        }
+        self.sent[idx] += 1;
+    }
+
+    /// Number of interval counters currently retained — the input to
+    /// streaming memory accounting.
+    pub fn state_len(&self) -> usize {
+        self.sent.len()
+    }
+
+    /// Buckets the finished connection's loss indications and emits the
+    /// per-interval statistics, exactly `⌊total_secs / interval_secs⌋`
+    /// of them (trailing partial intervals are dropped; intervals past the
+    /// last send are zero-padded).
+    pub fn finish(&self, indications_in: &[LossIndication], total_secs: f64) -> Vec<IntervalStats> {
+        let interval_ns = self.interval_ns;
+        let end_ns = (total_secs * 1e9) as u64;
+        let n_full = (end_ns / interval_ns) as usize;
+        if n_full == 0 {
+            return Vec::new();
+        }
+        let mut sent = vec![0u64; n_full];
+        let take = n_full.min(self.sent.len());
+        sent[..take].copy_from_slice(&self.sent[..take]);
+        let mut indications = vec![0u64; n_full];
+        let mut deepest: Vec<Option<IntervalCategory>> = vec![None; n_full];
+        for ind in indications_in {
+            let idx = (ind.time_ns / interval_ns) as usize;
+            if idx >= n_full {
+                continue;
+            }
+            indications[idx] += 1;
+            let cat = match ind.kind {
+                IndicationKind::TripleDuplicate => IntervalCategory::TdOnly,
+                IndicationKind::Timeout { sequence_len } => {
+                    // `saturating_sub`: a deserialized `Analysis` may carry
+                    // `sequence_len == 0`; it categorizes as a single
+                    // timeout, matching `Analysis::to_histogram`.
+                    IntervalCategory::Timeout((sequence_len.saturating_sub(1)).min(5) as u8)
+                }
+            };
+            let slot = &mut deepest[idx];
+            *slot = Some(match slot.take() {
+                None => cat,
+                Some(prev) => prev.max(cat),
+            });
+        }
+        (0..n_full)
+            .map(|i| IntervalStats {
+                index: i,
+                packets_sent: sent[i],
+                loss_indications: indications[i],
+                loss_rate: if sent[i] == 0 {
+                    0.0
+                } else {
+                    indications[i] as f64 / sent[i] as f64
+                },
+                category: deepest[i].unwrap_or(IntervalCategory::NoLoss),
+            })
+            .collect()
+    }
+}
+
 /// [`split_intervals`] with an explicit total duration: exactly
-/// `⌊total_secs / interval_secs⌋` intervals are produced.
+/// `⌊total_secs / interval_secs⌋` intervals are produced. A thin fold of
+/// the incremental [`IntervalCore`] over the materialized records, so
+/// batch and streaming segmentation are identical by construction.
 pub fn split_intervals_bounded(
     trace: &Trace,
     analysis: &Analysis,
     interval_secs: f64,
     total_secs: f64,
 ) -> Vec<IntervalStats> {
-    assert!(interval_secs > 0.0, "interval length must be positive");
-    let interval_ns = (interval_secs * 1e9) as u64;
-    let end_ns = (total_secs * 1e9) as u64;
-    let n_full = (end_ns / interval_ns) as usize;
-    if n_full == 0 {
-        return Vec::new();
-    }
-    let mut sent = vec![0u64; n_full];
+    let mut core = IntervalCore::new(interval_secs);
     for rec in trace.records() {
         if let TraceEvent::Send { .. } = rec.event {
-            let idx = (rec.time_ns / interval_ns) as usize;
-            if idx < n_full {
-                sent[idx] += 1;
-            }
+            core.on_send(rec.time_ns);
         }
     }
-    let mut indications = vec![0u64; n_full];
-    let mut deepest: Vec<Option<IntervalCategory>> = vec![None; n_full];
-    for ind in &analysis.indications {
-        let idx = (ind.time_ns / interval_ns) as usize;
-        if idx >= n_full {
-            continue;
-        }
-        indications[idx] += 1;
-        let cat = match ind.kind {
-            IndicationKind::TripleDuplicate => IntervalCategory::TdOnly,
-            IndicationKind::Timeout { sequence_len } => {
-                IntervalCategory::Timeout(((sequence_len - 1) as u8).min(5))
-            }
-        };
-        let slot = &mut deepest[idx];
-        *slot = Some(match slot.take() {
-            None => cat,
-            Some(prev) => prev.max(cat),
-        });
-    }
-    (0..n_full)
-        .map(|i| IntervalStats {
-            index: i,
-            packets_sent: sent[i],
-            loss_indications: indications[i],
-            loss_rate: if sent[i] == 0 {
-                0.0
-            } else {
-                indications[i] as f64 / sent[i] as f64
-            },
-            category: deepest[i].unwrap_or(IntervalCategory::NoLoss),
-        })
-        .collect()
+    core.finish(&analysis.indications, total_secs)
 }
 
 #[cfg(test)]

@@ -13,10 +13,11 @@
 //! restart a TCP retransmission timer).
 
 use crate::record::{Trace, TraceEvent};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// RTT/T0 estimates extracted from a trace.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TimingEstimates {
     /// Mean round-trip time over all Karn-valid samples, seconds.
     pub mean_rtt: Option<f64>,
@@ -28,114 +29,166 @@ pub struct TimingEstimates {
     pub t0_samples: u64,
 }
 
-/// Extracts RTT and T0 estimates from a sender-side trace.
-//= pftk#karn-rto
-//= pftk#t0-first-timeout
-pub fn estimate_timing(trace: &Trace) -> TimingEstimates {
-    // --- RTT via Karn ---------------------------------------------------
-    // pending: first-transmission times of not-yet-acked segments; a
-    // retransmission permanently disqualifies its sequence number.
-    let mut pending: BTreeMap<u64, u64> = BTreeMap::new();
-    let mut snd_max: u64 = 0;
-    let mut last_ack: u64 = 0;
-    // Samples tagged with how many segments the ACK covered: delayed-ACK
-    // receivers hold an odd final segment for the delack timer (~200 ms),
-    // inflating single-cover samples; when the trace shows delayed acking
-    // (a substantial share of multi-cover ACKs), single-cover samples are
-    // discarded.
-    let mut samples: Vec<(f64, usize)> = Vec::new();
+/// The incremental Karn RTT / T0 estimator: the streaming core behind
+/// [`estimate_timing`].
+///
+/// Between events it holds O(window) in-flight maps (entries below the
+/// cumulative ACK are pruned on every forward ACK) plus the RTT sample set
+/// — one sample per forward ACK, the irreducible input of the exact
+/// end-of-trace median. Everything else is O(1), so an hour-long
+/// connection can be timed without ever materializing its trace.
+#[derive(Debug, Default)]
+pub struct KarnCore {
+    /// First-transmission times of not-yet-acked segments; a
+    /// retransmission permanently disqualifies its sequence number.
+    pending: BTreeMap<u64, u64>,
+    snd_max: u64,
+    last_ack: u64,
+    /// Samples tagged with how many segments the ACK covered: delayed-ACK
+    /// receivers hold an odd final segment for the delack timer (~200 ms),
+    /// inflating single-cover samples; when the trace shows delayed acking
+    /// (a substantial share of multi-cover ACKs), single-cover samples are
+    /// discarded at [`KarnCore::finish`].
+    samples: Vec<(f64, usize)>,
+    /// Last transmission time per in-flight seq — what T0 anchoring needs.
+    last_send_of: BTreeMap<u64, u64>,
+    last_progress_ns: Option<u64>,
+    in_to_sequence: bool,
+    t0_sum: f64,
+    t0_n: u64,
+}
 
-    // --- T0 --------------------------------------------------------------
-    // last transmission time per in-flight seq is also what T0 needs.
-    let mut last_send_of: BTreeMap<u64, u64> = BTreeMap::new();
-    let mut last_progress_ns: Option<u64> = None;
-    let mut in_to_sequence = false;
-    let mut t0_sum = 0.0;
-    let mut t0_n: u64 = 0;
+impl KarnCore {
+    /// A fresh estimator.
+    pub fn new() -> Self {
+        KarnCore::default()
+    }
 
-    for rec in trace.records() {
-        match rec.event {
-            TraceEvent::Send { seq, .. } => {
-                if seq >= snd_max {
-                    snd_max = seq + 1;
-                    pending.insert(seq, rec.time_ns);
-                } else {
-                    // Retransmission: Karn-disqualify this sequence.
-                    pending.remove(&seq);
-                    if !in_to_sequence {
-                        // First retransmission since last progress: if it is
-                        // a timeout (no way to tell TD vs TO here without
-                        // the classifier; T0 sampling accepts the small TD
-                        // contamination the same way trace tools do — the
-                        // gap for a fast retransmit is ≈RTT and for a
-                        // timeout ≈RTO, so downstream users combine this
-                        // with the classifier; see `estimate_t0_classified`).
-                        let anchor = last_send_of
-                            .get(&seq)
-                            .copied()
-                            .into_iter()
-                            .chain(last_progress_ns)
-                            .max();
-                        if let Some(anchor) = anchor {
-                            if rec.time_ns > anchor {
-                                t0_sum += (rec.time_ns - anchor) as f64 / 1e9;
-                                t0_n += 1;
-                            }
-                        }
-                        in_to_sequence = true;
+    /// Consumes one data-segment departure.
+    pub fn on_send(&mut self, time_ns: u64, seq: u64) {
+        if seq >= self.snd_max {
+            self.snd_max = seq + 1;
+            self.pending.insert(seq, time_ns);
+        } else {
+            // Retransmission: Karn-disqualify this sequence.
+            self.pending.remove(&seq);
+            if !self.in_to_sequence {
+                // First retransmission since last progress: if it is
+                // a timeout (no way to tell TD vs TO here without
+                // the classifier; T0 sampling accepts the small TD
+                // contamination the same way trace tools do — the
+                // gap for a fast retransmit is ≈RTT and for a
+                // timeout ≈RTO, so downstream users combine this
+                // with the classifier; see `estimate_t0_classified`).
+                let anchor = self
+                    .last_send_of
+                    .get(&seq)
+                    .copied()
+                    .into_iter()
+                    .chain(self.last_progress_ns)
+                    .max();
+                if let Some(anchor) = anchor {
+                    if time_ns > anchor {
+                        self.t0_sum += (time_ns - anchor) as f64 / 1e9;
+                        self.t0_n += 1;
                     }
                 }
-                last_send_of.insert(seq, rec.time_ns);
+                self.in_to_sequence = true;
             }
-            TraceEvent::AckIn { ack } => {
-                if ack > last_ack {
-                    last_ack = ack;
-                    last_progress_ns = Some(rec.time_ns);
-                    in_to_sequence = false;
-                    // Sample the *highest* newly covered segment: with
-                    // delayed ACKs its send→ack gap is the cleanest RTT
-                    // (lower segments include the delayed-ACK hold).
-                    let covered: Vec<u64> = pending.range(..ack).map(|(&s, _)| s).collect();
-                    if let Some(&highest) = covered.last() {
-                        let sent = pending[&highest];
-                        if rec.time_ns > sent {
-                            samples.push(((rec.time_ns - sent) as f64 / 1e9, covered.len()));
-                        }
-                    }
-                    for s in covered {
-                        pending.remove(&s);
-                        last_send_of.remove(&s);
-                    }
+        }
+        self.last_send_of.insert(seq, time_ns);
+    }
+
+    /// Consumes one ACK arrival.
+    pub fn on_ack(&mut self, time_ns: u64, ack: u64) {
+        if ack > self.last_ack {
+            self.last_ack = ack;
+            self.last_progress_ns = Some(time_ns);
+            self.in_to_sequence = false;
+            // Sample the *highest* newly covered segment: with
+            // delayed ACKs its send→ack gap is the cleanest RTT
+            // (lower segments include the delayed-ACK hold). Covered
+            // entries are popped in place — this runs per ACK on the
+            // streaming hot path, so no scratch allocation.
+            let mut covered = 0usize;
+            let mut highest_sent = None;
+            while let Some(entry) = self.pending.first_entry() {
+                if *entry.key() >= ack {
+                    break;
+                }
+                covered += 1;
+                highest_sent = Some(entry.remove());
+            }
+            if let Some(sent) = highest_sent {
+                if time_ns > sent {
+                    self.samples.push(((time_ns - sent) as f64 / 1e9, covered));
                 }
             }
+            // Prune every anchor below the cumulative ACK, not only the
+            // pending ones: an acked sequence's last send happened at or
+            // before this ACK's arrival, so a later (spurious) retransmit
+            // of it anchors on `last_progress_ns` either way — the max is
+            // unchanged while the map stays O(window) instead of leaking
+            // one entry per retransmitted sequence for the whole trace.
+            self.last_send_of = self.last_send_of.split_off(&ack);
         }
     }
 
-    let multi = samples.iter().filter(|(_, c)| *c >= 2).count();
-    let delayed_acking = multi * 3 >= samples.len(); // ≥1/3 multi-cover ACKs
-    let mut kept: Vec<f64> = samples
-        .iter()
-        .filter(|(_, c)| !delayed_acking || *c >= 2)
-        .map(|(r, _)| *r)
-        .collect();
-    // Robust location: the median. Two artifacts pollute the sample set —
-    // delack-timer ACKs add the delayed-ACK hold (filtered above when the
-    // receiver delays ACKs), and cumulative ACKs that jump a repaired hole
-    // anchor on segments sent a recovery ago. Both are heavy right tails;
-    // the median ignores them where a mean would not.
-    kept.sort_by(f64::total_cmp);
-    let rtt_n = kept.len() as u64;
-    let median = match kept.len() {
-        0 => None,
-        n if n % 2 == 1 => Some(kept[n / 2]),
-        n => Some(0.5 * (kept[n / 2 - 1] + kept[n / 2])),
-    };
-    TimingEstimates {
-        mean_rtt: median,
-        rtt_samples: rtt_n,
-        mean_t0: (t0_n > 0).then(|| t0_sum / t0_n as f64),
-        t0_samples: t0_n,
+    /// Entry counts of the retained state `(pending, last_send_of,
+    /// rtt_samples)` — the inputs to streaming memory accounting.
+    pub fn state_len(&self) -> (usize, usize, usize) {
+        (
+            self.pending.len(),
+            self.last_send_of.len(),
+            self.samples.len(),
+        )
     }
+
+    /// Closes the estimator and computes the estimates.
+    pub fn finish(self) -> TimingEstimates {
+        let multi = self.samples.iter().filter(|(_, c)| *c >= 2).count();
+        let delayed_acking = multi * 3 >= self.samples.len(); // ≥1/3 multi-cover ACKs
+        let mut kept: Vec<f64> = self
+            .samples
+            .iter()
+            .filter(|(_, c)| !delayed_acking || *c >= 2)
+            .map(|(r, _)| *r)
+            .collect();
+        // Robust location: the median. Two artifacts pollute the sample set —
+        // delack-timer ACKs add the delayed-ACK hold (filtered above when the
+        // receiver delays ACKs), and cumulative ACKs that jump a repaired hole
+        // anchor on segments sent a recovery ago. Both are heavy right tails;
+        // the median ignores them where a mean would not.
+        kept.sort_by(f64::total_cmp);
+        let rtt_n = kept.len() as u64;
+        let median = match kept.len() {
+            0 => None,
+            n if n % 2 == 1 => Some(kept[n / 2]),
+            n => Some(0.5 * (kept[n / 2 - 1] + kept[n / 2])),
+        };
+        TimingEstimates {
+            mean_rtt: median,
+            rtt_samples: rtt_n,
+            mean_t0: (self.t0_n > 0).then(|| self.t0_sum / self.t0_n as f64),
+            t0_samples: self.t0_n,
+        }
+    }
+}
+
+/// Extracts RTT and T0 estimates from a sender-side trace: a thin fold of
+/// the incremental [`KarnCore`] over the materialized records, so batch
+/// and streaming timing are identical by construction.
+//= pftk#karn-rto
+//= pftk#t0-first-timeout
+pub fn estimate_timing(trace: &Trace) -> TimingEstimates {
+    let mut core = KarnCore::new();
+    for rec in trace.records() {
+        match rec.event {
+            TraceEvent::Send { seq, .. } => core.on_send(rec.time_ns, seq),
+            TraceEvent::AckIn { ack } => core.on_ack(rec.time_ns, ack),
+        }
+    }
+    core.finish()
 }
 
 /// T0 estimation restricted to retransmissions the classifier labelled as
@@ -185,6 +238,80 @@ pub fn estimate_t0_classified(trace: &Trace, timeout_start_times: &[u64]) -> Opt
     (n > 0).then(|| sum / n as f64)
 }
 
+/// The incremental RTT-vs-flight correlator: the streaming core behind
+/// [`rtt_window_correlation`].
+///
+/// O(window) in-flight map plus two sample vectors (one point per forward
+/// ACK — the irreducible input of the exact end-of-trace Pearson
+/// coefficient).
+#[derive(Debug, Default)]
+pub struct CorrCore {
+    /// seq → (send time, flight size at send).
+    pending: BTreeMap<u64, (u64, u64)>,
+    snd_max: u64,
+    last_ack: u64,
+    /// Flight sizes.
+    xs: Vec<f64>,
+    /// RTT samples, seconds.
+    ys: Vec<f64>,
+}
+
+impl CorrCore {
+    /// A fresh correlator.
+    pub fn new() -> Self {
+        CorrCore::default()
+    }
+
+    /// Consumes one data-segment departure.
+    pub fn on_send(&mut self, time_ns: u64, seq: u64) {
+        if seq >= self.snd_max {
+            self.snd_max = seq + 1;
+            // Saturating: a salvaged/corrupt capture can carry an ACK
+            // beyond anything sent, leaving `last_ack > snd_max` — flight
+            // clamps to 0 there instead of underflowing.
+            let flight = self.snd_max.saturating_sub(self.last_ack);
+            self.pending.insert(seq, (time_ns, flight));
+        } else {
+            self.pending.remove(&seq); // Karn
+        }
+    }
+
+    /// Consumes one ACK arrival.
+    pub fn on_ack(&mut self, time_ns: u64, ack: u64) {
+        if ack > self.last_ack {
+            self.last_ack = ack;
+            // Pop covered entries in place (per-ACK hot path: no
+            // scratch allocation); the last one popped is the highest
+            // newly covered segment, the one worth timing.
+            let mut last = None;
+            while let Some(entry) = self.pending.first_entry() {
+                if *entry.key() >= ack {
+                    break;
+                }
+                last = Some(entry.remove());
+            }
+            if let Some((sent, flight)) = last {
+                if time_ns > sent {
+                    self.xs.push(flight as f64);
+                    self.ys.push((time_ns - sent) as f64 / 1e9);
+                }
+            }
+        }
+    }
+
+    /// Entry counts of the retained state `(pending, samples)` — the
+    /// inputs to streaming memory accounting.
+    pub fn state_len(&self) -> (usize, usize) {
+        (self.pending.len(), self.xs.len())
+    }
+
+    /// Closes the correlator: Pearson coefficient, or `None` with fewer
+    /// than two samples or zero variance.
+    pub fn finish(self) -> Option<f64> {
+        pearson(&self.xs, &self.ys)
+    }
+}
+
 /// Pearson correlation between RTT samples and the number of packets in
 /// flight when the timed segment was sent — the paper's §IV diagnostic
 /// ("we have measured the coefficient of correlation between the duration
@@ -192,44 +319,19 @@ pub fn estimate_t0_classified(trace: &Trace, timeout_start_times: &[u64]) -> Opt
 /// support the model's RTT-independence assumption; values near 1 are the
 /// modem-path regime of Fig. 11 where every model fails.
 ///
+/// A thin fold of the incremental [`CorrCore`].
+///
 /// Returns `None` with fewer than two samples or zero variance.
 //= pftk#rtt-window-corr
 pub fn rtt_window_correlation(trace: &Trace) -> Option<f64> {
-    let mut pending: BTreeMap<u64, (u64, u64)> = BTreeMap::new(); // seq → (t, flight)
-    let mut snd_max: u64 = 0;
-    let mut last_ack: u64 = 0;
-    let mut xs: Vec<f64> = Vec::new(); // flight
-    let mut ys: Vec<f64> = Vec::new(); // rtt
+    let mut core = CorrCore::new();
     for rec in trace.records() {
         match rec.event {
-            TraceEvent::Send { seq, .. } => {
-                if seq >= snd_max {
-                    snd_max = seq + 1;
-                    let flight = snd_max - last_ack;
-                    pending.insert(seq, (rec.time_ns, flight));
-                } else {
-                    pending.remove(&seq); // Karn
-                }
-            }
-            TraceEvent::AckIn { ack } => {
-                if ack > last_ack {
-                    last_ack = ack;
-                    let covered: Vec<u64> = pending.range(..ack).map(|(&s, _)| s).collect();
-                    if let Some(&highest) = covered.last() {
-                        let (sent, flight) = pending[&highest];
-                        if rec.time_ns > sent {
-                            xs.push(flight as f64);
-                            ys.push((rec.time_ns - sent) as f64 / 1e9);
-                        }
-                    }
-                    for s in covered {
-                        pending.remove(&s);
-                    }
-                }
-            }
+            TraceEvent::Send { seq, .. } => core.on_send(rec.time_ns, seq),
+            TraceEvent::AckIn { ack } => core.on_ack(rec.time_ns, ack),
         }
     }
-    pearson(&xs, &ys)
+    core.finish()
 }
 
 fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
@@ -279,6 +381,20 @@ mod tests {
 
     const S: u64 = 1_000_000_000;
     const MS: u64 = 1_000_000;
+
+    #[test]
+    fn correlation_survives_ack_beyond_snd_max() {
+        // A salvaged capture can acknowledge data that was never sent;
+        // the next send must not underflow the flight computation.
+        let t = trace(&[
+            (0, send(0)),
+            (100 * MS, ack(999)),
+            (200 * MS, send(1)),
+            (300 * MS, send(2)),
+            (400 * MS, ack(1_000)),
+        ]);
+        let _ = rtt_window_correlation(&t);
+    }
 
     #[test]
     fn clean_rtt_measured() {

@@ -11,6 +11,10 @@
 //!   or a compact binary framing;
 //! * [`log`](mod@log) — a columnar (struct-of-arrays) recording buffer for the
 //!   simulation hot path, losslessly convertible to [`record`] form;
+//! * [`stream`] — incremental (streaming) analysis: the [`TraceSink`] seam
+//!   and the [`StreamAnalyzer`] that reduces wire events to the paper's
+//!   statistics with O(window) state, bit-identical to the batch path
+//!   (every batch function below is a thin fold of its streaming core);
 //! * [`analyzer`] — loss-indication extraction and TD-vs-TO classification
 //!   (with the Linux dupack-threshold-2 correction of §III), including
 //!   timeout-sequence lengths for Table II's T0…T5+ columns;
@@ -41,18 +45,25 @@ pub mod karn;
 pub mod log;
 pub mod metrics;
 pub mod record;
+pub mod stream;
 pub mod summary;
 pub mod table;
 pub mod validate;
 
-pub use analyzer::{analyze, Analysis, AnalyzerConfig, IndicationKind, LossIndication};
+pub use analyzer::{analyze, Analysis, AnalyzerConfig, Classifier, IndicationKind, LossIndication};
 pub use health::{HealthIssue, HealthWarning, TraceHealth};
 pub use import::{export_text, import_text, import_text_strict, Import, ImportError};
-pub use intervals::{split_intervals, split_intervals_bounded, IntervalCategory, IntervalStats};
-pub use karn::{estimate_t0_classified, estimate_timing, rtt_window_correlation, TimingEstimates};
+pub use intervals::{
+    split_intervals, split_intervals_bounded, IntervalCategory, IntervalCore, IntervalStats,
+};
+pub use karn::{
+    estimate_t0_classified, estimate_timing, rtt_window_correlation, CorrCore, KarnCore,
+    TimingEstimates,
+};
 pub use log::TraceLog;
 pub use metrics::{average_error, Observation};
 pub use record::{Trace, TraceEvent, TraceRecord};
+pub use stream::{StreamAnalysis, StreamAnalyzer, StreamConfig, TeeSink, TraceSink};
 pub use summary::TraceSummary;
 pub use table::{format_table, TableRow};
 pub use validate::{conservation, validate, Conservation, Finding, Problem, ValidateConfig};

@@ -88,6 +88,12 @@ impl TraceLog {
         self.time_ns.len()
     }
 
+    /// Approximate heap footprint of the retained columns, bytes (17 bytes
+    /// per event: u64 time + u64 value + one kind byte).
+    pub fn approx_bytes(&self) -> usize {
+        self.len() * 17
+    }
+
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.time_ns.is_empty()

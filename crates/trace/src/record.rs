@@ -109,6 +109,13 @@ impl Trace {
         self.records.is_empty()
     }
 
+    /// Approximate heap footprint of the retained records, bytes — the
+    /// "peak retained trace" term of the streaming-vs-batch memory
+    /// comparison in `bench_report`.
+    pub fn approx_bytes(&self) -> usize {
+        self.records.len() * std::mem::size_of::<TraceRecord>()
+    }
+
     /// Total duration covered (first to last record), seconds.
     pub fn duration_secs(&self) -> f64 {
         match (self.records.first(), self.records.last()) {

@@ -1,0 +1,515 @@
+//! Streaming trace analysis: analyze while simulating instead of
+//! materializing every wire event first.
+//!
+//! The paper reduces 1-hour `tcpdump` traces to a handful of statistics —
+//! loss-indication counts, an RTT median, T0 means, 100-second interval
+//! rows. None of those need the trace afterwards, yet the batch pipeline
+//! holds O(duration) memory (every wire event as a [`TraceRecord`]) to
+//! produce O(1) output. This module inverts that: [`StreamAnalyzer`]
+//! consumes wire events one at a time and keeps only the incremental cores
+//! the batch functions are themselves folds of —
+//!
+//! * [`Classifier`](crate::analyzer::Classifier) — TD/TO classification
+//!   (O(1) automaton state + the emitted indications),
+//! * [`KarnCore`](crate::karn::KarnCore) — Karn RTT / T0 estimation
+//!   (O(window) in-flight maps + one sample per forward ACK),
+//! * [`CorrCore`](crate::karn::CorrCore) — RTT-vs-flight correlation,
+//! * [`IntervalCore`](crate::intervals::IntervalCore) — per-interval send
+//!   counts (one `u64` per elapsed interval).
+//!
+//! Because `analyze`, `estimate_timing`, `rtt_window_correlation`, and
+//! `split_intervals_bounded` are *thin folds over these same cores*, a
+//! [`StreamAnalyzer`] fed record by record produces **bit-identical**
+//! results to the batch pipeline run over the materialized trace — not
+//! approximately equal: the same float operations execute in the same
+//! order. The workspace equivalence harness pins this with
+//! `f64::to_bits` comparisons.
+//!
+//! The [`TraceSink`] trait is the seam: the testbed's per-event observer
+//! writes into *some* sink, and the caller picks retain
+//! ([`TraceLog`] — keep every event) or reduce ([`StreamAnalyzer`] —
+//! O(window) state) or both ([`TeeSink`]).
+
+use crate::analyzer::{Analysis, AnalyzerConfig, Classifier, LossIndication};
+use crate::intervals::{IntervalCore, IntervalStats};
+use crate::karn::{CorrCore, KarnCore, TimingEstimates};
+use crate::log::TraceLog;
+use crate::record::{Trace, TraceEvent, TraceRecord};
+use serde::{Deserialize, Serialize};
+
+/// A consumer of sender-side wire events, fed in nondecreasing time order.
+///
+/// Implemented by the retaining stores ([`TraceLog`], [`Trace`]) and the
+/// reducing analyzer ([`StreamAnalyzer`]); the testbed's observer writes
+/// through this trait so retention is a configuration choice, not a code
+/// path.
+pub trait TraceSink {
+    /// Consumes a data-segment departure.
+    fn on_send(&mut self, time_ns: u64, seq: u64, retx: bool);
+    /// Consumes an ACK arrival.
+    fn on_ack_in(&mut self, time_ns: u64, ack: u64);
+    /// Consumes a row-oriented record (dispatches to the event methods).
+    fn on_record(&mut self, rec: &TraceRecord) {
+        match rec.event {
+            TraceEvent::Send { seq, retx } => self.on_send(rec.time_ns, seq, retx),
+            TraceEvent::AckIn { ack } => self.on_ack_in(rec.time_ns, ack),
+        }
+    }
+}
+
+impl TraceSink for TraceLog {
+    fn on_send(&mut self, time_ns: u64, seq: u64, retx: bool) {
+        self.push_send(time_ns, seq, retx);
+    }
+    fn on_ack_in(&mut self, time_ns: u64, ack: u64) {
+        self.push_ack_in(time_ns, ack);
+    }
+}
+
+impl TraceSink for Trace {
+    fn on_send(&mut self, time_ns: u64, seq: u64, retx: bool) {
+        self.push(TraceRecord {
+            time_ns,
+            event: TraceEvent::Send { seq, retx },
+        });
+    }
+    fn on_ack_in(&mut self, time_ns: u64, ack: u64) {
+        self.push(TraceRecord {
+            time_ns,
+            event: TraceEvent::AckIn { ack },
+        });
+    }
+}
+
+/// Streaming-analysis configuration: which reductions to run.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// TD/TO classifier configuration (dupack threshold).
+    pub analyzer: AnalyzerConfig,
+    /// Interval segmentation length in seconds (`Some(100.0)` = the
+    /// paper's Fig. 7–10 intervals); `None` disables segmentation.
+    pub interval_secs: Option<f64>,
+    /// Run Karn RTT / T0 estimation.
+    pub timing: bool,
+    /// Run the RTT-vs-flight correlation diagnostic (§IV / Fig. 11).
+    pub correlation: bool,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            analyzer: AnalyzerConfig::default(),
+            interval_secs: Some(100.0),
+            timing: true,
+            correlation: true,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// The default reductions with the given classifier configuration.
+    pub fn with_analyzer(analyzer: AnalyzerConfig) -> Self {
+        StreamConfig {
+            analyzer,
+            ..StreamConfig::default()
+        }
+    }
+}
+
+/// The finished product of a streamed connection: everything the batch
+/// pipeline used to recompute from a retained trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamAnalysis {
+    /// Loss-indication analysis (the batch [`crate::analyze`] output).
+    pub analysis: Analysis,
+    /// Karn RTT / T0 estimates, when timing was enabled.
+    pub timing: Option<TimingEstimates>,
+    /// Per-interval statistics, when segmentation was enabled.
+    pub intervals: Option<Vec<IntervalStats>>,
+    /// RTT-vs-flight Pearson correlation, when enabled (and defined).
+    pub rtt_window_corr: Option<f64>,
+    /// Interval length used for `intervals`, seconds.
+    pub interval_secs: Option<f64>,
+    /// Wire events consumed.
+    pub events: u64,
+    /// High-water mark of the analyzer's retained state, bytes
+    /// (see [`StreamAnalyzer::state_bytes`]).
+    pub peak_state_bytes: u64,
+}
+
+impl StreamAnalysis {
+    /// Streams a materialized trace through a fresh [`StreamAnalyzer`] —
+    /// the batch-compatibility path for imported/salvaged traces and
+    /// tests. `total_secs` bounds the interval segmentation; `None` infers
+    /// the horizon from the last record like
+    /// [`crate::split_intervals`].
+    pub fn from_trace(trace: &Trace, config: StreamConfig, total_secs: Option<f64>) -> Self {
+        let mut s = StreamAnalyzer::new(config);
+        for rec in trace.records() {
+            s.on_record(rec);
+        }
+        s.finish(total_secs)
+    }
+}
+
+/// The reducing [`TraceSink`]: incremental trace analysis with O(window)
+/// state.
+///
+/// Feed wire events through the [`TraceSink`] methods (or
+/// [`TraceSink::on_record`]) and call [`StreamAnalyzer::finish`] at end of
+/// connection. Between events the retained state is the classifier
+/// automaton plus the enabled cores — bounded by the congestion window and
+/// the number of *reduced* outputs (indications, RTT samples, interval
+/// counters), never by the number of wire events. An hour-long modem-path
+/// connection analyzes in a few hundred kilobytes where the materialized
+/// trace takes tens of megabytes.
+///
+/// Equivalence contract: every enabled reduction executes the exact
+/// per-event code of its batch counterpart (which is a fold of the same
+/// core), so streamed and batch results match bit for bit.
+//= pftk#stream-batch-equivalence
+#[derive(Debug)]
+pub struct StreamAnalyzer {
+    classifier: Classifier,
+    karn: Option<KarnCore>,
+    corr: Option<CorrCore>,
+    intervals: Option<IntervalCore>,
+    interval_secs: Option<f64>,
+    events: u64,
+    last_time_ns: u64,
+    peak_state_bytes: usize,
+}
+
+impl StreamAnalyzer {
+    /// A fresh analyzer running the reductions named by `config`.
+    pub fn new(config: StreamConfig) -> Self {
+        StreamAnalyzer {
+            classifier: Classifier::new(config.analyzer),
+            karn: config.timing.then(KarnCore::new),
+            corr: config.correlation.then(CorrCore::new),
+            intervals: config.interval_secs.map(IntervalCore::new),
+            interval_secs: config.interval_secs,
+            events: 0,
+            last_time_ns: 0,
+            peak_state_bytes: 0,
+        }
+    }
+
+    /// Wire events consumed so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Loss indications emitted so far (an open timeout sequence is
+    /// flushed only at [`StreamAnalyzer::finish`]).
+    pub fn indications(&self) -> &[LossIndication] {
+        self.classifier.indications()
+    }
+
+    /// Estimated bytes of retained analysis state right now: per-entry
+    /// payload sizes of the in-flight maps, sample vectors, emitted
+    /// indications, and interval counters (container overhead excluded —
+    /// this is the scaling term, and the asserted memory ceilings leave
+    /// headroom for the constant factors).
+    pub fn state_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes = size_of::<Self>();
+        bytes += std::mem::size_of_val(self.classifier.indications());
+        if let Some(karn) = &self.karn {
+            let (pending, last_send, samples) = karn.state_len();
+            bytes += (pending + last_send) * size_of::<(u64, u64)>();
+            bytes += samples * size_of::<(f64, usize)>();
+        }
+        if let Some(corr) = &self.corr {
+            let (pending, samples) = corr.state_len();
+            bytes += pending * size_of::<(u64, (u64, u64))>();
+            bytes += samples * 2 * size_of::<f64>();
+        }
+        if let Some(iv) = &self.intervals {
+            bytes += iv.state_len() * size_of::<u64>();
+        }
+        bytes
+    }
+
+    /// High-water mark of [`StreamAnalyzer::state_bytes`] over the
+    /// connection so far.
+    pub fn peak_state_bytes(&self) -> usize {
+        self.peak_state_bytes
+    }
+
+    fn note_event(&mut self, time_ns: u64) {
+        self.events += 1;
+        self.last_time_ns = time_ns;
+        let now = self.state_bytes();
+        if now > self.peak_state_bytes {
+            self.peak_state_bytes = now;
+        }
+    }
+
+    /// Closes the analyzer and assembles the [`StreamAnalysis`].
+    ///
+    /// `total_secs` is the true experiment duration for interval
+    /// segmentation (an hour-long run's last packet rarely lands exactly
+    /// on the hour); `None` infers the horizon from the last event, like
+    /// [`crate::split_intervals`].
+    pub fn finish(self, total_secs: Option<f64>) -> StreamAnalysis {
+        let events = self.events;
+        let peak_state_bytes = self.peak_state_bytes as u64;
+        let horizon = total_secs.unwrap_or(self.last_time_ns as f64 / 1e9);
+        let analysis = self.classifier.finish();
+        let intervals = self
+            .intervals
+            .map(|core| core.finish(&analysis.indications, horizon));
+        StreamAnalysis {
+            timing: self.karn.map(KarnCore::finish),
+            rtt_window_corr: self.corr.and_then(CorrCore::finish),
+            intervals,
+            interval_secs: self.interval_secs,
+            analysis,
+            events,
+            peak_state_bytes,
+        }
+    }
+}
+
+impl TraceSink for StreamAnalyzer {
+    fn on_send(&mut self, time_ns: u64, seq: u64, _retx: bool) {
+        // The retx flag is ground truth the analyzer deliberately ignores:
+        // like the batch classifier, it re-infers retransmissions from
+        // sequence repetition, as a real trace analyzer must.
+        self.classifier.on_send(time_ns, seq);
+        if let Some(karn) = &mut self.karn {
+            karn.on_send(time_ns, seq);
+        }
+        if let Some(corr) = &mut self.corr {
+            corr.on_send(time_ns, seq);
+        }
+        if let Some(iv) = &mut self.intervals {
+            iv.on_send(time_ns);
+        }
+        self.note_event(time_ns);
+    }
+
+    fn on_ack_in(&mut self, time_ns: u64, ack: u64) {
+        self.classifier.on_ack(time_ns, ack);
+        if let Some(karn) = &mut self.karn {
+            karn.on_ack(time_ns, ack);
+        }
+        if let Some(corr) = &mut self.corr {
+            corr.on_ack(time_ns, ack);
+        }
+        self.note_event(time_ns);
+    }
+}
+
+/// A sink that feeds every event to both of its children — retain *and*
+/// reduce in one pass (e.g. keep the trace for export while streaming the
+/// analysis).
+#[derive(Debug)]
+pub struct TeeSink<A, B> {
+    /// First child.
+    pub a: A,
+    /// Second child.
+    pub b: B,
+}
+
+impl<A: TraceSink, B: TraceSink> TeeSink<A, B> {
+    /// Tees events into `a` and `b`.
+    pub fn new(a: A, b: B) -> Self {
+        TeeSink { a, b }
+    }
+
+    /// Dissolves the tee back into its children.
+    pub fn into_parts(self) -> (A, B) {
+        (self.a, self.b)
+    }
+}
+
+impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
+    fn on_send(&mut self, time_ns: u64, seq: u64, retx: bool) {
+        self.a.on_send(time_ns, seq, retx);
+        self.b.on_send(time_ns, seq, retx);
+    }
+    fn on_ack_in(&mut self, time_ns: u64, ack: u64) {
+        self.a.on_ack_in(time_ns, ack);
+        self.b.on_ack_in(time_ns, ack);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::analyze;
+    use crate::intervals::split_intervals_bounded;
+    use crate::karn::{estimate_timing, rtt_window_correlation};
+
+    const S: u64 = 1_000_000_000;
+    const MS: u64 = 1_000_000;
+
+    /// A 250-second connection with a clean interval, a timeout, a
+    /// backoff chain, and a fast retransmit — every classifier path.
+    fn eventful_trace() -> Trace {
+        let mut t = Trace::new();
+        let mut push = |time_ns: u64, event: TraceEvent| {
+            t.push(TraceRecord { time_ns, event });
+        };
+        let send = |seq| TraceEvent::Send { seq, retx: false };
+        let ack = |a| TraceEvent::AckIn { ack: a };
+        // Interval 0: clean window growth.
+        for i in 0..10u64 {
+            push(i * S, send(i));
+            push(i * S + 80 * MS, ack(i + 1));
+        }
+        // Interval 1: fast retransmit (packet 10 lost, dupacks from 11–14).
+        for i in 10..15u64 {
+            push(110 * S + i, send(i));
+        }
+        for _ in 0..4 {
+            push(111 * S, ack(10));
+        }
+        push(112 * S, send(10)); // TD
+        push(113 * S, ack(15));
+        // Interval 2: a double-timeout backoff chain.
+        push(210 * S, send(15));
+        push(213 * S, send(15));
+        push(219 * S, send(15));
+        push(220 * S, ack(16));
+        push(230 * S, send(16));
+        t
+    }
+
+    fn stream(trace: &Trace, config: StreamConfig, total: Option<f64>) -> StreamAnalysis {
+        StreamAnalysis::from_trace(trace, config, total)
+    }
+
+    //= pftk#stream-batch-equivalence type=test
+    #[test]
+    fn streamed_equals_batch_on_eventful_trace() {
+        let t = eventful_trace();
+        let cfg = StreamConfig::default();
+        let got = stream(&t, cfg, Some(250.0));
+
+        let analysis = analyze(&t, cfg.analyzer);
+        assert_eq!(got.analysis, analysis);
+        assert_eq!(got.timing.as_ref(), Some(&estimate_timing(&t)));
+        assert_eq!(
+            got.rtt_window_corr.map(f64::to_bits),
+            rtt_window_correlation(&t).map(f64::to_bits)
+        );
+        assert_eq!(
+            got.intervals.as_deref(),
+            Some(&split_intervals_bounded(&t, &analysis, 100.0, 250.0)[..])
+        );
+        assert_eq!(got.events, t.len() as u64);
+    }
+
+    #[test]
+    fn disabled_reductions_stay_none() {
+        let t = eventful_trace();
+        let cfg = StreamConfig {
+            analyzer: AnalyzerConfig::default(),
+            interval_secs: None,
+            timing: false,
+            correlation: false,
+        };
+        let got = stream(&t, cfg, None);
+        assert!(got.timing.is_none());
+        assert!(got.intervals.is_none());
+        assert!(got.rtt_window_corr.is_none());
+        assert_eq!(got.analysis, analyze(&t, cfg.analyzer));
+    }
+
+    #[test]
+    fn unbounded_horizon_matches_last_event() {
+        let t = eventful_trace();
+        let cfg = StreamConfig::default();
+        let got = stream(&t, cfg, None);
+        // Last event at 230 s → two full 100 s intervals.
+        assert_eq!(got.intervals.as_ref().map(Vec::len), Some(2));
+        let analysis = analyze(&t, cfg.analyzer);
+        assert_eq!(
+            got.intervals.as_deref(),
+            Some(&split_intervals_bounded(&t, &analysis, 100.0, 230.0)[..])
+        );
+    }
+
+    #[test]
+    fn tee_sink_retains_and_reduces_in_one_pass() {
+        let t = eventful_trace();
+        let mut tee = TeeSink::new(
+            TraceLog::new(),
+            StreamAnalyzer::new(StreamConfig::default()),
+        );
+        for rec in t.records() {
+            tee.on_record(rec);
+        }
+        let (log, analyzer) = tee.into_parts();
+        assert_eq!(log.into_trace(), t);
+        let got = analyzer.finish(Some(250.0));
+        assert_eq!(got.analysis, analyze(&t, AnalyzerConfig::default()));
+    }
+
+    #[test]
+    fn trace_itself_is_a_sink() {
+        let t = eventful_trace();
+        let mut copy = Trace::new();
+        for rec in t.records() {
+            copy.on_record(rec);
+        }
+        assert_eq!(copy, t);
+    }
+
+    #[test]
+    fn state_is_window_bounded_not_duration_bounded() {
+        // Two connections, one 20× longer, same window/loss behavior: the
+        // peak state may grow only by the per-reduced-output terms
+        // (indications, RTT samples, interval counters), never
+        // proportionally to wire events the way a retained trace does.
+        // Classification + intervals only: the timing/correlation cores
+        // additionally keep one sample per forward ACK (the irreducible
+        // input of their exact end-of-trace statistics), which grows with
+        // ACK count — still far below retained-trace memory, but not what
+        // this bound is about.
+        let cfg = StreamConfig {
+            analyzer: AnalyzerConfig::default(),
+            interval_secs: Some(100.0),
+            timing: false,
+            correlation: false,
+        };
+        let run = |cycles: u64| {
+            let mut s = StreamAnalyzer::new(cfg);
+            let mut seq = 0u64;
+            for c in 0..cycles {
+                let base = c * S;
+                for k in 0..8u64 {
+                    s.on_send(base + k * MS, seq + k, false);
+                }
+                s.on_ack_in(base + 500 * MS, seq + 8);
+                seq += 8;
+            }
+            (s.peak_state_bytes(), s.finish(None))
+        };
+        let (short_peak, short) = run(100);
+        let (long_peak, long) = run(2000);
+        let long_events = long.events as usize;
+        let short_events = short.events as usize;
+        // Retained-trace memory would scale 20×; reduced state must not.
+        let event_ratio = long_events as f64 / short_events as f64;
+        let state_ratio = long_peak as f64 / short_peak as f64;
+        assert!(
+            state_ratio < event_ratio / 2.0,
+            "state grew like the trace: {short_peak} → {long_peak} \
+             over {short_events} → {long_events} events"
+        );
+        assert!(short_peak > 0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = eventful_trace();
+        let got = stream(&t, StreamConfig::default(), Some(250.0));
+        let json = serde_json::to_string(&got).unwrap();
+        let back: StreamAnalysis = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, got);
+    }
+}

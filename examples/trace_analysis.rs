@@ -7,31 +7,38 @@
 //! cargo run --release --example trace_analysis
 //! ```
 
-use padhye_tcp_repro::testbed::{run_serial_100s, table2_path};
+use padhye_tcp_repro::testbed::{run_serial_100s_with, table2_path, ExperimentOptions};
 use padhye_tcp_repro::trace::analyzer::{analyze, AnalyzerConfig};
 use padhye_tcp_repro::trace::intervals::split_intervals_bounded;
 use padhye_tcp_repro::trace::karn::estimate_timing;
 use padhye_tcp_repro::trace::record::Trace;
+use padhye_tcp_repro::trace::stream::{StreamAnalysis, StreamConfig};
 use padhye_tcp_repro::trace::table::{format_table, TableRow};
 
 fn main() {
     // The paper's Fig. 7(a) path: manic → baskerville (Irix sender,
-    // RTT 0.243 s, T0 2.495 s, W_m = 6).
+    // RTT 0.243 s, T0 2.495 s, W_m = 6). Campaigns stream their analysis
+    // and drop the trace by default; this walkthrough archives traces, so
+    // it opts into retention.
     let spec = table2_path("manic", "baskerville").expect("path in Table II");
     println!("simulating 5 x 100 s on {} ...", spec.id());
-    let results = run_serial_100s(spec, 5, 2024);
+    let results = run_serial_100s_with(spec, 5, 2024, &ExperimentOptions::retained());
+    let first = results[0]
+        .trace
+        .as_ref()
+        .expect("retained run keeps its trace");
 
     // Archive the first connection's trace and restore it — the same
     // round-trip a researcher distributing traces would make.
     let mut jsonl = Vec::new();
-    results[0].trace.write_jsonl(&mut jsonl).expect("serialize");
+    first.write_jsonl(&mut jsonl).expect("serialize");
     println!(
         "archived trace: {} records, {} KiB as JSON lines",
-        results[0].trace.len(),
+        first.len(),
         jsonl.len() / 1024
     );
     let restored = Trace::read_jsonl(std::io::Cursor::new(jsonl)).expect("parse");
-    assert_eq!(restored, results[0].trace);
+    assert_eq!(&restored, first);
 
     // Analyze with the sender's OS quirk (Irix: standard threshold 3).
     let analyzer = AnalyzerConfig {
@@ -39,6 +46,15 @@ fn main() {
     };
     let analysis = analyze(&restored, analyzer);
     let timing = estimate_timing(&restored);
+    // The same answers fall out of one streaming pass over the archive —
+    // what a campaign computes without ever materializing the trace.
+    let streamed = StreamAnalysis::from_trace(
+        &restored,
+        StreamConfig::with_analyzer(analyzer),
+        Some(100.0),
+    );
+    assert_eq!(streamed.analysis, analysis);
+    assert_eq!(streamed.timing.as_ref(), Some(&timing));
     println!(
         "\nloss indications: {} ({} TD, {} TO)",
         analysis.indications.len(),
@@ -68,17 +84,18 @@ fn main() {
         );
     }
 
-    // A Table II-style row for the whole 5-connection campaign.
+    // A Table II-style row for the whole 5-connection campaign, straight
+    // from each run's streamed analysis.
     let mut rows = Vec::new();
     for r in &results {
-        let a = analyze(&r.trace, analyzer);
-        let t = estimate_timing(&r.trace);
+        let rtt = r.timing().and_then(|t| t.mean_rtt);
+        let t0 = r.timing().and_then(|t| t.mean_t0);
         rows.push(TableRow::from_analysis(
             spec.sender,
             spec.receiver,
-            &a,
-            t.mean_rtt.unwrap_or(spec.rtt),
-            t.mean_t0.unwrap_or(spec.t0),
+            r.analysis(),
+            rtt.unwrap_or(spec.rtt),
+            t0.unwrap_or(spec.t0),
         ));
     }
     println!("\nTable II-style rows (one per 100 s connection):");

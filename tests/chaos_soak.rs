@@ -26,6 +26,7 @@ use padhye_tcp_repro::testbed::{
 use padhye_tcp_repro::trace::analyzer::{analyze, AnalyzerConfig};
 use padhye_tcp_repro::trace::karn::estimate_timing;
 use padhye_tcp_repro::trace::record::Trace;
+use padhye_tcp_repro::trace::stream::{StreamAnalysis, StreamConfig};
 use padhye_tcp_repro::trace::validate::conservation;
 
 /// The pinned soak seeds (the CI chaos job runs one process per seed).
@@ -143,8 +144,10 @@ fn chaos_runs_replay_identically() {
 fn quick_experiment(seed: u64) -> ExperimentResult {
     let horizon = 30.0;
     let (trace, stats, event_budget_hit) = chaos_run(seed, horizon);
+    let stream = StreamAnalysis::from_trace(&trace, StreamConfig::default(), Some(horizon));
     ExperimentResult {
-        trace,
+        stream,
+        trace: Some(trace),
         stats,
         ground_rtt: None,
         ground_t0: None,
@@ -209,6 +212,14 @@ fn campaign_with_injected_panic_and_hang_degrades_gracefully() {
         assert_eq!(row.outcome, Outcome::Ok, "row {i}: {}", row.label);
         let result = row.result.as_ref().expect("ok row has a result");
         assert!(result.stats.packets_sent > 0);
-        assert!(conservation(&result.trace).holds(), "row {i}");
+        let trace = result.trace.as_ref().expect("chaos jobs retain traces");
+        assert!(conservation(trace).holds(), "row {i}");
+        // The streamed analysis the job carries matches a batch re-analysis
+        // of the very trace it retained — even under fault injection.
+        assert_eq!(
+            result.analysis(),
+            &analyze(trace, AnalyzerConfig::default()),
+            "row {i}: streamed analysis diverged from batch"
+        );
     }
 }

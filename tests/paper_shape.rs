@@ -6,8 +6,6 @@ use padhye_tcp_repro::testbed::{
     error_triple_hourly, fig7_panel, fitted_params, run_modem, run_serial_100s, table2_path,
     ModemSpec, TABLE2_PATHS,
 };
-use padhye_tcp_repro::trace::analyzer::{analyze, AnalyzerConfig};
-use padhye_tcp_repro::trace::karn::rtt_window_correlation;
 
 /// A 600-second run of a path (shorter than the paper's hour, same
 /// machinery).
@@ -31,12 +29,11 @@ fn timeouts_dominate_loss_indications() {
     for (name, seed) in [("alps", 11u64), ("maria", 12), ("mafalda", 13)] {
         let spec = table2_path("manic", name).unwrap();
         let results = run_serial_100s(spec, 8, seed);
-        let analyzer = AnalyzerConfig {
-            dupack_threshold: 3,
-        };
+        // manic is an Irix sender: the streamed analysis already classifies
+        // at the standard dupack threshold of 3.
         let (mut td, mut to) = (0u64, 0u64);
         for r in &results {
-            let a = analyze(&r.trace, analyzer);
+            let a = r.analysis();
             td += a.td_count();
             to += a.to_count();
         }
@@ -54,13 +51,8 @@ fn exponential_backoff_occurs() {
     // frequency" on lossy paths.
     let spec = table2_path("void", "tove").unwrap(); // 10% loss path
     let r = short_run(spec, 21);
-    let a = analyze(
-        &r.trace,
-        AnalyzerConfig {
-            dupack_threshold: 2,
-        },
-    );
-    let hist = a.to_histogram();
+    // void is a Linux sender: streamed analysis uses dupack threshold 2.
+    let hist = r.analysis().to_histogram();
     let backoffs: u64 = hist[1..].iter().sum();
     assert!(
         backoffs > 0,
@@ -138,12 +130,12 @@ fn modem_regime_breaks_the_model() {
     // collapses. We check the correlation and that the model cannot be
     // simultaneously accurate here and on normal paths.
     let r = run_modem(&ModemSpec::default(), 1800.0, 61);
-    let corr = rtt_window_correlation(&r.trace).unwrap();
+    let corr = r.rtt_window_corr().unwrap();
     assert!(corr > 0.6, "RTT-window correlation {corr:.2} too weak");
     // Normal paths sit near zero.
     let spec = table2_path("manic", "spiff").unwrap();
     let normal = short_run(spec, 62);
-    let normal_corr = rtt_window_correlation(&normal.trace).unwrap();
+    let normal_corr = normal.rtt_window_corr().unwrap();
     assert!(
         normal_corr.abs() < 0.4,
         "normal-path correlation {normal_corr:.2} unexpectedly high"

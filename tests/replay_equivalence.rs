@@ -22,8 +22,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use padhye_tcp_repro::testbed::{
-    run_campaign, run_hour_budgeted, CampaignReport, JobSpec, Outcome, SupervisorConfig,
-    TABLE2_PATHS,
+    run_campaign, run_hour_budgeted_with, CampaignReport, ExperimentOptions, JobSpec, Outcome,
+    SupervisorConfig, TABLE2_PATHS,
 };
 
 /// Pinned campaign seed. Never change it casually: the point of the gate
@@ -49,7 +49,16 @@ fn campaign_jobs() -> Vec<JobSpec> {
             JobSpec {
                 label: spec.id(),
                 seed: BASE_SEED.wrapping_add(i as u64),
-                job: Arc::new(move |seed| run_hour_budgeted(&spec, seed, EVENT_BUDGET)),
+                // Retained so the gate can compare full traces record for
+                // record on top of the streamed analysis.
+                job: Arc::new(move |seed| {
+                    run_hour_budgeted_with(
+                        &spec,
+                        seed,
+                        EVENT_BUDGET,
+                        &ExperimentOptions::retained(),
+                    )
+                }),
             }
         })
         .collect()
@@ -118,7 +127,27 @@ fn assert_bit_identical(reference: &CampaignReport, candidate: &CampaignReport, 
             ra.event_budget_hit, rb.event_budget_hit,
             "{at}: budget flag diverged"
         );
-        // The big one: the full event trace, record for record.
+        // The streamed analysis, including its float reductions bit for
+        // bit (PartialEq would call -0.0 == 0.0 a match; the bits say no).
+        assert_eq!(ra.stream, rb.stream, "{at}: streamed analysis diverged");
+        assert_eq!(
+            ra.timing().and_then(|t| t.mean_rtt).map(f64::to_bits),
+            rb.timing().and_then(|t| t.mean_rtt).map(f64::to_bits),
+            "{at}: streamed RTT bits diverged"
+        );
+        assert_eq!(
+            ra.timing().and_then(|t| t.mean_t0).map(f64::to_bits),
+            rb.timing().and_then(|t| t.mean_t0).map(f64::to_bits),
+            "{at}: streamed T0 bits diverged"
+        );
+        assert_eq!(
+            ra.rtt_window_corr().map(f64::to_bits),
+            rb.rtt_window_corr().map(f64::to_bits),
+            "{at}: streamed correlation bits diverged"
+        );
+        // The big one: the full event trace, record for record (these
+        // jobs run retained precisely so this compare stays meaningful).
+        assert!(ra.trace.is_some(), "{at}: retained run lost its trace");
         assert_eq!(ra.trace, rb.trace, "{at}: trace diverged");
     }
 }

@@ -1,0 +1,225 @@
+//! Streaming/batch equivalence harness: the incremental analyzer fed one
+//! record at a time must reproduce the batch pipeline **bit for bit** —
+//! same `Analysis`, same Karn timing, same interval rows, same RTT-window
+//! correlation, floats compared via `f64::to_bits`, never epsilon.
+//!
+//! Three input populations, per the spec claim:
+//!  * seeded random (but plausible, time-ordered) traces from a proptest
+//!    strategy;
+//!  * real simulator runs under seeded fault plans (reordering, ACK loss,
+//!    link flaps, corruption);
+//!  * traces salvaged by the lenient binary decoder from corrupted
+//!    captures — the streaming analyzer has no "repair" pass, so whatever
+//!    the importer fixed up must analyze identically either way.
+
+use proptest::prelude::*;
+
+use padhye_tcp_repro::sim::connection::Connection;
+use padhye_tcp_repro::sim::fault::FaultPlan;
+use padhye_tcp_repro::sim::link::Path;
+use padhye_tcp_repro::sim::loss::Bernoulli;
+use padhye_tcp_repro::sim::reno::sender::SenderConfig;
+use padhye_tcp_repro::sim::time::{SimDuration, SimTime};
+use padhye_tcp_repro::testbed::TraceRecorder;
+use padhye_tcp_repro::trace::analyzer::{analyze, AnalyzerConfig};
+use padhye_tcp_repro::trace::intervals::split_intervals_bounded;
+use padhye_tcp_repro::trace::karn::{estimate_timing, rtt_window_correlation};
+use padhye_tcp_repro::trace::record::{Trace, TraceEvent, TraceRecord};
+use padhye_tcp_repro::trace::stream::{StreamAnalysis, StreamConfig, TraceSink};
+
+/// The interval length used throughout (short, so even 20-second random
+/// traces produce several rows).
+const INTERVAL_SECS: f64 = 5.0;
+
+/// Streams `trace` record by record and returns the full reduction.
+fn stream_it(
+    trace: &Trace,
+    analyzer: AnalyzerConfig,
+    interval_secs: Option<f64>,
+    total_secs: f64,
+) -> StreamAnalysis {
+    let config = StreamConfig {
+        analyzer,
+        interval_secs,
+        timing: true,
+        correlation: true,
+    };
+    let mut s = padhye_tcp_repro::trace::stream::StreamAnalyzer::new(config);
+    for rec in trace.records() {
+        s.on_record(rec);
+    }
+    s.finish(Some(total_secs))
+}
+
+/// Asserts the streamed reduction of `trace` is bit-identical to the
+/// batch pipeline run over the materialized trace.
+fn assert_stream_matches_batch(
+    trace: &Trace,
+    analyzer: AnalyzerConfig,
+) -> Result<(), TestCaseError> {
+    let total_secs = trace
+        .records()
+        .last()
+        .map_or(0.0, |r| r.time_ns as f64 / 1e9);
+    // Salvaged captures can carry garbage-huge timestamps (shifted frame
+    // boundaries decode as enormous times); segmenting such a "horizon"
+    // into 5-second buckets would allocate per elapsed interval in both
+    // pipelines alike, so intervals are only compared on sane horizons.
+    let interval_secs = (total_secs <= 86_400.0).then_some(INTERVAL_SECS);
+    let streamed = stream_it(trace, analyzer, interval_secs, total_secs);
+
+    // Batch reference, straight over the materialized records.
+    let analysis = analyze(trace, analyzer);
+    let timing = estimate_timing(trace);
+    let corr = rtt_window_correlation(trace);
+
+    prop_assert_eq!(&streamed.analysis, &analysis, "Analysis diverged");
+    let st = streamed.timing.as_ref().expect("timing enabled");
+    prop_assert_eq!(st.rtt_samples, timing.rtt_samples);
+    prop_assert_eq!(st.t0_samples, timing.t0_samples);
+    prop_assert_eq!(
+        st.mean_rtt.map(f64::to_bits),
+        timing.mean_rtt.map(f64::to_bits),
+        "mean RTT bits diverged"
+    );
+    prop_assert_eq!(
+        st.mean_t0.map(f64::to_bits),
+        timing.mean_t0.map(f64::to_bits),
+        "mean T0 bits diverged"
+    );
+    prop_assert_eq!(
+        streamed.rtt_window_corr.map(f64::to_bits),
+        corr.map(f64::to_bits),
+        "correlation bits diverged"
+    );
+    if interval_secs.is_some() {
+        let intervals = split_intervals_bounded(trace, &analysis, INTERVAL_SECS, total_secs);
+        let siv = streamed.intervals.as_ref().expect("intervals enabled");
+        prop_assert_eq!(siv.len(), intervals.len(), "interval count diverged");
+        for (a, b) in siv.iter().zip(&intervals) {
+            prop_assert_eq!(a.index, b.index);
+            prop_assert_eq!(a.packets_sent, b.packets_sent);
+            prop_assert_eq!(a.loss_indications, b.loss_indications);
+            prop_assert_eq!(a.category, b.category);
+            prop_assert_eq!(
+                a.loss_rate.to_bits(),
+                b.loss_rate.to_bits(),
+                "interval {} loss-rate bits diverged",
+                a.index
+            );
+        }
+    }
+    prop_assert_eq!(streamed.events, trace.len() as u64);
+    Ok(())
+}
+
+/// Strategy: a random but *time-ordered* plausible sender trace —
+/// interleavings of new sends, head retransmissions, and forward or
+/// duplicate ACKs (same population as the trace crate's property tests).
+fn trace_strategy() -> impl Strategy<Value = Trace> {
+    proptest::collection::vec((0u8..4, 1u64..50), 1..400).prop_map(|ops| {
+        let mut t = Trace::new();
+        let mut now = 0u64;
+        let mut snd_max = 0u64;
+        let mut last_ack = 0u64;
+        for (op, dt) in ops {
+            now += dt * 1_000_000;
+            match op {
+                0 | 1 => {
+                    t.push(TraceRecord {
+                        time_ns: now,
+                        event: TraceEvent::Send {
+                            seq: snd_max,
+                            retx: false,
+                        },
+                    });
+                    snd_max += 1;
+                }
+                2 if last_ack < snd_max => {
+                    t.push(TraceRecord {
+                        time_ns: now,
+                        event: TraceEvent::Send {
+                            seq: last_ack,
+                            retx: true,
+                        },
+                    });
+                }
+                _ if snd_max > 0 => {
+                    let ack = if last_ack < snd_max && (now / 1_000_000).is_multiple_of(3) {
+                        last_ack + 1 + (now / 7_000_000) % (snd_max - last_ack)
+                    } else {
+                        last_ack
+                    };
+                    last_ack = last_ack.max(ack);
+                    t.push(TraceRecord {
+                        time_ns: now,
+                        event: TraceEvent::AckIn { ack },
+                    });
+                }
+                _ => {}
+            }
+        }
+        t
+    })
+}
+
+/// A real simulator run under the full seeded fault plan, trace retained.
+fn fault_plan_trace(seed: u64) -> Trace {
+    let half = SimDuration::from_millis(50);
+    let mut conn = Connection::builder()
+        .fwd_path(Path::constant(half))
+        .rev_path(Path::constant(half))
+        .loss(Box::new(Bernoulli::new(0.02)))
+        .fault(FaultPlan::from_seed(seed))
+        .sender_config(SenderConfig::default())
+        .seed(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1))
+        .build_with_observer(TraceRecorder::new());
+    conn.run_until_budget(SimTime::from_secs_f64(60.0), 2_000_000);
+    conn.finish();
+    conn.into_observer().into_trace()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    //= pftk#stream-batch-equivalence type=test
+    #[test]
+    fn streamed_equals_batch_on_random_traces(trace in trace_strategy()) {
+        assert_stream_matches_batch(&trace, AnalyzerConfig::default())?;
+        // Linux-quirk threshold too: classification must not depend on the
+        // feeding mode at any threshold.
+        assert_stream_matches_batch(&trace, AnalyzerConfig { dupack_threshold: 2 })?;
+    }
+
+    //= pftk#stream-batch-equivalence type=test
+    #[test]
+    fn streamed_equals_batch_on_salvaged_traces(
+        trace in trace_strategy(),
+        deletions in prop::collection::vec(0usize..1_000_000, 1..10),
+    ) {
+        // Corrupt a binary capture, let the lenient decoder salvage what
+        // it can, and require both pipelines to agree on the wreckage.
+        let mut buf = Vec::new();
+        trace.encode_binary(&mut buf);
+        for idx in deletions {
+            if !buf.is_empty() {
+                buf.remove(idx % buf.len());
+            }
+        }
+        let (salvaged, _health) = Trace::decode_binary_lenient(&mut buf.as_slice());
+        assert_stream_matches_batch(&salvaged, AnalyzerConfig::default())?;
+    }
+}
+
+proptest! {
+    // Simulator runs are pricier than synthetic traces; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    //= pftk#stream-batch-equivalence type=test
+    #[test]
+    fn streamed_equals_batch_under_fault_plans(seed in 0u64..1024) {
+        let trace = fault_plan_trace(seed);
+        prop_assert!(!trace.is_empty(), "fault plan {seed} produced an empty trace");
+        assert_stream_matches_batch(&trace, AnalyzerConfig::default())?;
+    }
+}
