@@ -1,0 +1,642 @@
+//! Conservative workspace call graph over [`crate::parser`] items.
+//!
+//! Nodes are non-test library functions keyed `Type::name` (methods) or
+//! `name` (free functions). Edges are produced by scanning each body's
+//! token stream for call shapes and resolving them with receiver-type
+//! heuristics, erring on the side of *more* edges:
+//!
+//! * `self.m(…)` resolves by the enclosing impl's self type;
+//!   `self.field.m(…)` through the struct's field table (unwrapping one
+//!   generic layer, so `Option<KarnCore>` reaches `KarnCore::m`);
+//! * `x.m(…)` resolves by `x`'s declared type when the body gives one
+//!   (`x: T` parameter, `let x: T`, `let x = T::new(…)`, `let x = T {…}`,
+//!   `if/while let Some(x) = …self.field…`);
+//! * `Type::m(…)` and `module::f(…)` resolve by path; `Self::m(…)` maps
+//!   to the enclosing impl type;
+//! * a method call whose receiver type is unknown falls back to a
+//!   **union**: edges to *every* workspace method of that name. A trait
+//!   method called through `dyn`/generic dispatch therefore reaches all
+//!   implementors — over-approximation, never silent omission;
+//! * calls the workspace does not define resolve against the standard
+//!   library effect tables in [`crate::hotpath`], recorded on the caller
+//!   as intrinsic effect sites.
+//!
+//! What the graph knowingly does not model (documented in DESIGN.md §12):
+//! closures are attributed to their enclosing function, macro bodies are
+//! opaque (the macro *call* is classified by name), and arithmetic
+//! overflow/division panics are out of scope for `hot_panic`.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use crate::hotpath::{stdlib_effect, Effect, MACRO_EFFECTS};
+use crate::lexer::{Token, TokenKind};
+use crate::parser::{type_head, ParsedFile};
+
+/// Keywords that can directly precede `(` without being a call.
+const NON_CALL_KEYWORDS: [&str; 12] = [
+    "if", "else", "while", "for", "loop", "match", "return", "in", "move", "as", "where", "await",
+];
+
+/// One function node in the graph.
+#[derive(Debug)]
+pub struct FnNode {
+    /// Graph key (`Type::name` or `name`).
+    pub key: String,
+    /// Workspace-relative file.
+    pub file: PathBuf,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+}
+
+/// One intrinsic effect site inside a function body.
+#[derive(Debug, Clone)]
+pub struct EffectSite {
+    /// Which effect the operation has.
+    pub effect: Effect,
+    /// 1-based line of the operation.
+    pub line: usize,
+    /// Human-readable operation (`format!`, `Vec::push`, `index []`, …).
+    pub what: String,
+}
+
+/// The workspace call graph plus per-node intrinsic effects.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// All nodes, in deterministic (file, line) order.
+    pub nodes: Vec<FnNode>,
+    /// Adjacency (callee indices), sorted and deduped per node.
+    pub edges: Vec<Vec<usize>>,
+    /// Intrinsic effect sites per node.
+    pub sites: Vec<Vec<EffectSite>>,
+    /// Node indices by key (a key maps to every node sharing it — the
+    /// same method name under two impls of one type, or trait + impls).
+    index: BTreeMap<String, Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Node indices for a registry root key (`Type::name` or `name`).
+    pub fn resolve_key(&self, key: &str) -> &[usize] {
+        self.index.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Unit newtype names are collected during the same parse; exposed
+    /// here so `unit_escape` shares one pass over the workspace.
+    pub fn build(files: &[(PathBuf, ParsedFile)]) -> CallGraph {
+        Builder::new(files).run()
+    }
+}
+
+fn is_punct(t: &Token, p: &str) -> bool {
+    t.kind == TokenKind::Punct && t.text == p
+}
+
+/// Field tables: (struct, field) → (outer, inner) type heads.
+type FieldTable = BTreeMap<(String, String), (String, Option<String>)>;
+
+struct Builder<'a> {
+    files: &'a [(PathBuf, ParsedFile)],
+    nodes: Vec<FnNode>,
+    index: BTreeMap<String, Vec<usize>>,
+    /// (self type, method name) → node indices.
+    typed: BTreeMap<(String, String), Vec<usize>>,
+    /// method name → node indices (methods only, for union fallback).
+    by_method: BTreeMap<String, Vec<usize>>,
+    /// free fn name → node indices.
+    free: BTreeMap<String, Vec<usize>>,
+    fields: FieldTable,
+}
+
+impl<'a> Builder<'a> {
+    fn new(files: &'a [(PathBuf, ParsedFile)]) -> Self {
+        Builder {
+            files,
+            nodes: Vec::new(),
+            index: BTreeMap::new(),
+            typed: BTreeMap::new(),
+            by_method: BTreeMap::new(),
+            free: BTreeMap::new(),
+            fields: BTreeMap::new(),
+        }
+    }
+
+    fn run(mut self) -> CallGraph {
+        // Pass 1: nodes and lookup tables.
+        for (file, parsed) in self.files {
+            for s in &parsed.structs {
+                for f in &s.fields {
+                    self.fields.insert(
+                        (s.name.clone(), f.name.clone()),
+                        (f.outer.clone(), f.inner.clone()),
+                    );
+                }
+            }
+            for f in &parsed.fns {
+                if f.in_test {
+                    continue;
+                }
+                let id = self.nodes.len();
+                let key = f.key();
+                self.nodes.push(FnNode {
+                    key: key.clone(),
+                    file: file.clone(),
+                    line: f.line,
+                });
+                self.index.entry(key).or_default().push(id);
+                match &f.self_type {
+                    Some(t) => {
+                        self.typed
+                            .entry((t.clone(), f.name.clone()))
+                            .or_default()
+                            .push(id);
+                        // A trait impl is also reachable through the trait:
+                        // a receiver typed `dyn Tr` / `impl Tr` resolves to
+                        // every implementor, not just the (bodiless) trait
+                        // declaration.
+                        if let Some(tr) = &f.trait_name {
+                            self.typed
+                                .entry((tr.clone(), f.name.clone()))
+                                .or_default()
+                                .push(id);
+                        }
+                        self.by_method.entry(f.name.clone()).or_default().push(id);
+                    }
+                    None => self.free.entry(f.name.clone()).or_default().push(id),
+                }
+            }
+        }
+
+        // Pass 2: edges and intrinsic effect sites.
+        let mut edges = vec![Vec::new(); self.nodes.len()];
+        let mut sites = vec![Vec::new(); self.nodes.len()];
+        let mut id = 0usize;
+        for (_, parsed) in self.files {
+            for f in &parsed.fns {
+                if f.in_test {
+                    continue;
+                }
+                if let Some((start, end)) = f.body {
+                    let body = &parsed.toks[start..end];
+                    let env = self.local_env(f, body);
+                    self.scan_body(
+                        body,
+                        f.self_type.as_deref(),
+                        &env,
+                        &mut edges[id],
+                        &mut sites[id],
+                    );
+                }
+                id += 1;
+            }
+        }
+        for adj in &mut edges {
+            adj.sort_unstable();
+            adj.dedup();
+        }
+        CallGraph {
+            nodes: self.nodes,
+            edges,
+            sites,
+            index: self.index,
+        }
+    }
+
+    /// Declared types of local bindings: parameters plus `let` forms the
+    /// scanner understands. One flat map per body — shadowing and block
+    /// scoping are ignored (a heuristic, not a typechecker).
+    fn local_env(&self, f: &crate::parser::FnItem, body: &[Token]) -> BTreeMap<String, String> {
+        let mut env: BTreeMap<String, String> = f.params.iter().cloned().collect();
+        let mut k = 0usize;
+        while k < body.len() {
+            let t = &body[k];
+            if t.kind == TokenKind::Ident && t.text == "let" {
+                // `let [mut] name …`
+                let mut p = k + 1;
+                if body
+                    .get(p)
+                    .is_some_and(|t| t.kind == TokenKind::Ident && t.text == "mut")
+                {
+                    p += 1;
+                }
+                // `let Some(name) = … self.field …` / `= expr?`
+                if body
+                    .get(p)
+                    .is_some_and(|t| t.kind == TokenKind::Ident && t.text == "Some")
+                    && body.get(p + 1).is_some_and(|t| is_punct(t, "("))
+                {
+                    self.bind_some_pattern(f.self_type.as_deref(), body, p, &mut env);
+                } else if body.get(p).is_some_and(|t| t.kind == TokenKind::Ident) {
+                    let name = body[p].text.clone();
+                    if let Some(ty) = self.binding_type(body, p + 1) {
+                        env.insert(name, ty);
+                    }
+                }
+                k = p + 1;
+                continue;
+            }
+            k += 1;
+        }
+        env
+    }
+
+    /// `let Some(x) = [&][mut] self.field` → bind `x` to the field's
+    /// inner type (`Option<KarnCore>` → `KarnCore`).
+    fn bind_some_pattern(
+        &self,
+        self_type: Option<&str>,
+        body: &[Token],
+        some_at: usize,
+        env: &mut BTreeMap<String, String>,
+    ) {
+        let Some(selfty) = self_type else { return };
+        let name_at = some_at + 2;
+        if !(body
+            .get(name_at)
+            .is_some_and(|t| t.kind == TokenKind::Ident)
+            && body.get(name_at + 1).is_some_and(|t| is_punct(t, ")"))
+            && body.get(name_at + 2).is_some_and(|t| is_punct(t, "=")))
+        {
+            return;
+        }
+        // Skip `&` / `mut` after the `=`.
+        let mut p = name_at + 3;
+        while body
+            .get(p)
+            .is_some_and(|t| is_punct(t, "&") || (t.kind == TokenKind::Ident && t.text == "mut"))
+        {
+            p += 1;
+        }
+        if body
+            .get(p)
+            .is_some_and(|t| t.kind == TokenKind::Ident && t.text == "self")
+            && body.get(p + 1).is_some_and(|t| is_punct(t, "."))
+            && body.get(p + 2).is_some_and(|t| t.kind == TokenKind::Ident)
+        {
+            let field = body[p + 2].text.clone();
+            if let Some((outer, inner)) = self.fields.get(&(selfty.to_string(), field)) {
+                let ty = inner.clone().unwrap_or_else(|| outer.clone());
+                env.insert(body[name_at].text.clone(), ty);
+            }
+        }
+    }
+
+    /// Type of a `let name …` binding from what follows the name:
+    /// `: Type` annotation, or `= Type::ctor(…)` / `= Type {…}`.
+    fn binding_type(&self, body: &[Token], after_name: usize) -> Option<String> {
+        match body.get(after_name) {
+            Some(t) if is_punct(t, ":") => {
+                // Annotation runs to `=` or `;` at this level; a flat
+                // scan is enough for the annotations the workspace uses.
+                let stop = (after_name + 1..body.len())
+                    .find(|&k| is_punct(&body[k], "=") || is_punct(&body[k], ";"))
+                    .unwrap_or(body.len());
+                type_head(&body[after_name + 1..stop])
+            }
+            Some(t) if is_punct(t, "=") => {
+                let t0 = body.get(after_name + 1)?;
+                if t0.kind != TokenKind::Ident || !t0.text.chars().next()?.is_uppercase() {
+                    return None;
+                }
+                let next = body.get(after_name + 2)?;
+                if is_punct(next, "::") || is_punct(next, "{") {
+                    Some(t0.text.clone())
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Scans one body for macro calls, path calls, method calls, free-fn
+    /// calls, and panicking index expressions.
+    fn scan_body(
+        &self,
+        body: &[Token],
+        self_type: Option<&str>,
+        env: &BTreeMap<String, String>,
+        edges: &mut Vec<usize>,
+        sites: &mut Vec<EffectSite>,
+    ) {
+        let ident_at =
+            |k: usize| -> Option<&Token> { body.get(k).filter(|t| t.kind == TokenKind::Ident) };
+        for k in 0..body.len() {
+            let t = &body[k];
+            // Macro call: `name ! (…)` / `name ! […]` / `name ! {…}`.
+            if t.kind == TokenKind::Ident
+                && body.get(k + 1).is_some_and(|n| is_punct(n, "!"))
+                && body
+                    .get(k + 2)
+                    .is_some_and(|n| is_punct(n, "(") || is_punct(n, "[") || is_punct(n, "{"))
+            {
+                let mac = format!("{}!", t.text);
+                if let Some((effect, _)) = MACRO_EFFECTS.iter().find(|(_, m)| *m == mac) {
+                    sites.push(EffectSite {
+                        effect: *effect,
+                        line: t.line,
+                        what: mac,
+                    });
+                }
+                continue;
+            }
+            // Panicking index: `expr[…]` where expr ends in ident/`)`/`]`.
+            if is_punct(t, "[")
+                && k > 0
+                && (matches!(body[k - 1].kind, TokenKind::Ident if !NON_CALL_KEYWORDS.contains(&body[k - 1].text.as_str()) && body[k - 1].text != "self")
+                    || is_punct(&body[k - 1], ")")
+                    || is_punct(&body[k - 1], "]"))
+            {
+                sites.push(EffectSite {
+                    effect: Effect::Panic,
+                    line: t.line,
+                    what: format!("index {}[]", body[k - 1].text),
+                });
+                continue;
+            }
+            if !is_punct(t, "(") || k == 0 {
+                continue;
+            }
+            let Some(callee) = ident_at(k - 1) else {
+                continue;
+            };
+            if NON_CALL_KEYWORDS.contains(&callee.text.as_str()) {
+                continue;
+            }
+            let m = callee.text.clone();
+            let line = callee.line;
+            match body.get(k.wrapping_sub(2)) {
+                // `Type::m(…)` / `module::f(…)` / `Self::m(…)`.
+                Some(p) if is_punct(p, "::") => {
+                    let seg = ident_at(k.wrapping_sub(3)).map(|t| t.text.clone());
+                    let qualifier = match seg.as_deref() {
+                        Some("Self") => self_type.map(str::to_string),
+                        other => other.map(str::to_string),
+                    };
+                    self.resolve_path_call(qualifier.as_deref(), &m, line, edges, sites);
+                }
+                // `recv.m(…)`.
+                Some(p) if is_punct(p, ".") => {
+                    let recv_ty = self.receiver_type(body, k - 2, self_type, env);
+                    self.resolve_method_call(recv_ty.as_deref(), &m, line, edges, sites);
+                }
+                // `fn m(…)` definition (nested fn) — not a call.
+                Some(p) if p.kind == TokenKind::Ident && p.text == "fn" => {}
+                // Bare call `m(…)`: free fn if the workspace defines one.
+                // A preceding non-keyword ident (`struct S(`, matcher
+                // fragments) means this is not expression position.
+                Some(p)
+                    if p.kind == TokenKind::Ident
+                        && !NON_CALL_KEYWORDS.contains(&p.text.as_str()) => {}
+                _ => {
+                    if let Some(ids) = self.free.get(&m) {
+                        edges.extend(ids.iter().copied());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Declared type of the receiver ending at the `.` before a method
+    /// name (`dot_at` indexes that `.`).
+    fn receiver_type(
+        &self,
+        body: &[Token],
+        dot_at: usize,
+        self_type: Option<&str>,
+        env: &BTreeMap<String, String>,
+    ) -> Option<String> {
+        let recv = body.get(dot_at.checked_sub(1)?)?;
+        if recv.kind != TokenKind::Ident {
+            return None;
+        }
+        let before_recv = dot_at.checked_sub(2).and_then(|k| body.get(k));
+        let via_field = before_recv.is_some_and(|t| is_punct(t, "."));
+        if via_field {
+            // `self.field.m(…)` — anything deeper stays unknown.
+            let owner = dot_at.checked_sub(3).and_then(|k| body.get(k))?;
+            if owner.kind == TokenKind::Ident && owner.text == "self" {
+                let selfty = self_type?;
+                let (outer, _) = self.fields.get(&(selfty.to_string(), recv.text.clone()))?;
+                return Some(outer.clone());
+            }
+            return None;
+        }
+        if recv.text == "self" {
+            return self_type.map(str::to_string);
+        }
+        env.get(&recv.text).cloned()
+    }
+
+    fn resolve_path_call(
+        &self,
+        qualifier: Option<&str>,
+        m: &str,
+        line: usize,
+        edges: &mut Vec<usize>,
+        sites: &mut Vec<EffectSite>,
+    ) {
+        if let Some(q) = qualifier {
+            if let Some(ids) = self.typed.get(&(q.to_string(), m.to_string())) {
+                edges.extend(ids.iter().copied());
+                return;
+            }
+            if let Some(effect) = stdlib_effect(Some(q), m) {
+                sites.push(EffectSite {
+                    effect,
+                    line,
+                    what: format!("{q}::{m}"),
+                });
+                return;
+            }
+            // `module::f(…)`: a free fn behind a module path.
+            if q.chars().next().is_some_and(char::is_lowercase) {
+                if let Some(ids) = self.free.get(m) {
+                    edges.extend(ids.iter().copied());
+                }
+            }
+            return;
+        }
+        if let Some(ids) = self.free.get(m) {
+            edges.extend(ids.iter().copied());
+        }
+    }
+
+    fn resolve_method_call(
+        &self,
+        recv_ty: Option<&str>,
+        m: &str,
+        line: usize,
+        edges: &mut Vec<usize>,
+        sites: &mut Vec<EffectSite>,
+    ) {
+        if let Some(ty) = recv_ty {
+            if let Some(ids) = self.typed.get(&(ty.to_string(), m.to_string())) {
+                edges.extend(ids.iter().copied());
+                return;
+            }
+            if let Some(effect) = stdlib_effect(Some(ty), m) {
+                sites.push(EffectSite {
+                    effect,
+                    line,
+                    what: format!("{ty}::{m}"),
+                });
+                return;
+            }
+        }
+        // Unknown receiver, or a known type without that method (trait
+        // call through a bound): classify stdlib effect names
+        // intrinsically, otherwise union over same-named workspace
+        // methods so dynamic dispatch is never silently dropped.
+        if let Some(effect) = stdlib_effect(None, m) {
+            sites.push(EffectSite {
+                effect,
+                line,
+                what: format!(".{m}"),
+            });
+            return;
+        }
+        if let Some(ids) = self.by_method.get(m) {
+            edges.extend(ids.iter().copied());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::SourceModel;
+    use crate::parser::parse_file;
+
+    fn graph(srcs: &[(&str, &str)]) -> CallGraph {
+        let files: Vec<(PathBuf, ParsedFile)> = srcs
+            .iter()
+            .map(|(p, s)| (PathBuf::from(p), parse_file(&SourceModel::parse(s))))
+            .collect();
+        CallGraph::build(&files)
+    }
+
+    fn callees<'g>(g: &'g CallGraph, key: &str) -> Vec<&'g str> {
+        let id = g.resolve_key(key)[0];
+        g.edges[id]
+            .iter()
+            .map(|&c| g.nodes[c].key.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn self_and_free_calls_resolve() {
+        let g = graph(&[(
+            "a.rs",
+            "fn helper(x: u64) -> u64 { x }\n\
+             impl Engine {\n  fn step(&mut self) { self.inner(); helper(1); }\n  fn inner(&mut self) {}\n}\n",
+        )]);
+        assert_eq!(callees(&g, "Engine::step"), ["helper", "Engine::inner"]);
+    }
+
+    #[test]
+    fn field_and_option_field_receivers_resolve() {
+        let g = graph(&[(
+            "a.rs",
+            "pub struct Analyzer { karn: Option<KarnCore>, depth: Gauge }\n\
+             impl KarnCore { pub fn on_send(&mut self) {} }\n\
+             impl Gauge { pub fn bump(&mut self) {} }\n\
+             impl Analyzer {\n  fn on_event(&mut self) {\n    if let Some(karn) = &mut self.karn { karn.on_send(); }\n    self.depth.bump();\n  }\n}\n",
+        )]);
+        assert_eq!(
+            callees(&g, "Analyzer::on_event"),
+            ["KarnCore::on_send", "Gauge::bump"]
+        );
+    }
+
+    #[test]
+    fn typed_locals_and_path_calls_resolve() {
+        let g = graph(&[(
+            "a.rs",
+            "impl Core { pub fn new() -> Core { Core }\n  pub fn work(&self) {} }\n\
+             fn run() {\n  let c = Core::new();\n  c.work();\n  let d: Core = make();\n  d.work();\n}\nfn make() -> Core { Core::new() }\n",
+        )]);
+        let cs = callees(&g, "run");
+        assert!(cs.contains(&"Core::new"), "{cs:?}");
+        assert!(cs.contains(&"Core::work"), "{cs:?}");
+        assert!(cs.contains(&"make"), "{cs:?}");
+    }
+
+    #[test]
+    fn unknown_receiver_unions_same_named_methods() {
+        let g = graph(&[(
+            "a.rs",
+            "impl Hybrid { pub fn pop(&mut self) {} }\n\
+             impl Legacy { pub fn pop(&mut self) {} }\n\
+             fn drive(q: &mut Q) { q.pop(); }\n",
+        )]);
+        // `Q` is not defined here, so `.pop()` must reach both impls.
+        assert_eq!(callees(&g, "drive"), ["Hybrid::pop", "Legacy::pop"]);
+    }
+
+    #[test]
+    fn trait_typed_receiver_reaches_every_implementor() {
+        let g = graph(&[(
+            "a.rs",
+            "pub trait Watch { fn on_seq(&mut self, seq: u64); }\n\
+             impl Watch for Quiet { fn on_seq(&mut self, _seq: u64) {} }\n\
+             impl Watch for Greedy { fn on_seq(&mut self, seq: u64) { self.log(seq); } }\n\
+             impl Greedy { fn log(&mut self, _seq: u64) {} }\n\
+             fn fan(w: &mut dyn Watch, seq: u64) { w.on_seq(seq); }\n",
+        )]);
+        let cs = callees(&g, "fan");
+        assert!(cs.contains(&"Quiet::on_seq"), "{cs:?}");
+        assert!(cs.contains(&"Greedy::on_seq"), "{cs:?}");
+    }
+
+    #[test]
+    fn stdlib_needles_become_intrinsic_sites_not_unions() {
+        let g = graph(&[(
+            "a.rs",
+            "fn f(v: &mut V) { v.push(1); v.lock(); o.unwrap(); format!(\"x\"); idx[3]; }\n",
+        )]);
+        let id = g.resolve_key("f")[0];
+        assert!(g.edges[id].is_empty(), "needle names must not union");
+        let whats: Vec<&str> = g.sites[id].iter().map(|s| s.what.as_str()).collect();
+        assert_eq!(
+            whats,
+            ["V::push", "V::lock", ".unwrap", "format!", "index idx[]"]
+        );
+    }
+
+    #[test]
+    fn attribute_and_vec_macro_brackets_do_not_count_as_indexing() {
+        let g = graph(&[("a.rs", "fn f() { let v = vec![1, 2]; let a = [0u8; 4]; }\n")]);
+        let id = g.resolve_key("f")[0];
+        assert!(
+            g.sites[id].iter().all(|s| !s.what.starts_with("index")),
+            "{:?}",
+            g.sites[id]
+        );
+    }
+
+    #[test]
+    fn test_fns_are_excluded() {
+        let g = graph(&[(
+            "a.rs",
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { live(); }\n}\n",
+        )]);
+        assert_eq!(g.nodes.len(), 1);
+        assert_eq!(g.nodes[0].key, "live");
+    }
+
+    #[test]
+    fn cross_file_resolution() {
+        let g = graph(&[
+            (
+                "a.rs",
+                "impl Queue { pub fn schedule(&mut self) { grow(); } }\n",
+            ),
+            (
+                "b.rs",
+                "pub fn grow() {}\nfn outer(q: &mut Queue) { q.schedule(); }\n",
+            ),
+        ]);
+        assert_eq!(callees(&g, "outer"), ["Queue::schedule"]);
+        assert_eq!(callees(&g, "Queue::schedule"), ["grow"]);
+    }
+}

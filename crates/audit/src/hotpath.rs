@@ -1,0 +1,408 @@
+//! Hot-path capability analysis: which allocation, panic, and blocking
+//! operations are *reachable* from the registered hot roots.
+//!
+//! The dynamic counting-allocator test and the perf-smoke ceiling only
+//! observe the paths a test happens to execute; this pass proves the
+//! zero-alloc / panic-free / non-blocking claims for **every** path by
+//! walking the [`crate::callgraph`] from each `[[hotpath]]` root in
+//! `specs/pftk-spec.toml` and reporting every intrinsic effect site any
+//! reachable function contains, with the full call chain as evidence.
+//!
+//! The effect lattice is three independent one-bit facts per operation —
+//! allocates / may-panic / may-block — assigned by the needle tables
+//! below and propagated root-to-leaf by reachability (a function *has*
+//! an effect iff it or anything it can call performs it). Reachability
+//! over the union-edged graph over-approximates: a finding can be a
+//! false positive (then justified with `//~ allow(hot_*): reason`, or a
+//! `[[policy]]` for structural cases), but a genuine effect on a hot
+//! path cannot hide behind dispatch the heuristics failed to type.
+//!
+//! Known under-approximations, accepted and documented (DESIGN.md §12):
+//! arithmetic overflow / division-by-zero panics, panics inside stdlib
+//! macro expansions, and `debug_assert*` (compiled out of release
+//! builds, which are what the hot-path claims cover).
+
+use std::collections::BTreeMap;
+
+use crate::callgraph::CallGraph;
+use crate::lint::{policy_exempts, snippet_at, Allows, LintViolation};
+use crate::spec::{HotpathRoot, LintPolicy};
+
+/// One capability in the effect lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effect {
+    /// Heap allocation (or possible growth reallocation).
+    Alloc,
+    /// Possible panic.
+    Panic,
+    /// Possible blocking: I/O, locks, thread parking, channel receives.
+    Block,
+}
+
+impl Effect {
+    /// The lint rule this effect reports under.
+    pub fn rule(self) -> &'static str {
+        match self {
+            Effect::Alloc => "hot_alloc",
+            Effect::Panic => "hot_panic",
+            Effect::Block => "hot_block",
+        }
+    }
+}
+
+/// Macros with intrinsic effects (`name!` form).
+pub(crate) const MACRO_EFFECTS: [(Effect, &str); 16] = [
+    (Effect::Alloc, "format!"),
+    (Effect::Alloc, "vec!"),
+    (Effect::Panic, "panic!"),
+    (Effect::Panic, "assert!"),
+    (Effect::Panic, "assert_eq!"),
+    (Effect::Panic, "assert_ne!"),
+    (Effect::Panic, "unreachable!"),
+    (Effect::Panic, "todo!"),
+    (Effect::Panic, "unimplemented!"),
+    // Stdout/stderr hold a lock and write through it; on a hot path
+    // that is both blocking and formatting-allocating — Block is the
+    // sharper diagnosis.
+    (Effect::Block, "println!"),
+    (Effect::Block, "print!"),
+    (Effect::Block, "eprintln!"),
+    (Effect::Block, "eprint!"),
+    (Effect::Block, "dbg!"),
+    (Effect::Block, "write!"),
+    (Effect::Block, "writeln!"),
+];
+
+/// Method names that allocate regardless of receiver type. `push` &c.
+/// *may* be amortized-O(1), but growth beyond capacity reallocates —
+/// exactly the "beyond-capacity-unknown" case the static pass exists to
+/// surface; pre-reserved sites carry a justified allow.
+const ALLOC_METHODS: [&str; 18] = [
+    "push",
+    "push_back",
+    "push_front",
+    "push_str",
+    "insert",
+    "extend",
+    "extend_from_slice",
+    "append",
+    "resize",
+    "reserve",
+    "reserve_exact",
+    "split_off",
+    "collect",
+    "to_vec",
+    "to_string",
+    "to_owned",
+    "clone",
+    "repeat",
+];
+
+/// Method names that can panic regardless of receiver type.
+const PANIC_METHODS: [&str; 4] = ["unwrap", "expect", "unwrap_err", "expect_err"];
+
+/// Method names that can block regardless of receiver type.
+const BLOCK_METHODS: [&str; 8] = [
+    "lock",
+    "recv",
+    "recv_timeout",
+    "join",
+    "wait",
+    "wait_timeout",
+    "park",
+    "read_to_string",
+];
+
+/// Stdlib types whose constructors allocate.
+const ALLOC_TYPES: [&str; 9] = [
+    "Vec",
+    "String",
+    "Box",
+    "VecDeque",
+    "BinaryHeap",
+    "BTreeMap",
+    "BTreeSet",
+    "HashMap",
+    "HashSet",
+];
+
+/// Path qualifiers whose associated functions block (I/O and threads).
+const BLOCK_QUALIFIERS: [&str; 6] = ["File", "thread", "fs", "io", "stdin", "stdout"];
+
+/// Effect of a call the workspace does not define, or `None` when the
+/// name carries no known stdlib effect. `qualifier` is the explicit path
+/// or resolved receiver type when one is known.
+pub(crate) fn stdlib_effect(qualifier: Option<&str>, method: &str) -> Option<Effect> {
+    if let Some(q) = qualifier {
+        if ALLOC_TYPES.contains(&q) {
+            // Constructors and conversions: `Vec::new`, `Box::new`,
+            // `String::from`, `BTreeMap::default`, `Vec::with_capacity`
+            // (allocates up front — cheap at init, still an allocation).
+            if matches!(method, "new" | "with_capacity" | "from" | "default") {
+                return Some(Effect::Alloc);
+            }
+        }
+        if BLOCK_QUALIFIERS.contains(&q) {
+            return Some(Effect::Block);
+        }
+    }
+    if ALLOC_METHODS.contains(&method) {
+        return Some(Effect::Alloc);
+    }
+    if PANIC_METHODS.contains(&method) {
+        return Some(Effect::Panic);
+    }
+    if BLOCK_METHODS.contains(&method) {
+        return Some(Effect::Block);
+    }
+    None
+}
+
+/// Per-root reachability summary for the report.
+#[derive(Debug, Clone)]
+pub struct RootSummary {
+    /// The registry key (`Type::method` or `fn name`).
+    pub root: String,
+    /// Why this root is hot (from the registry).
+    pub reason: String,
+    /// How many graph nodes the key resolved to (0 = stale registry
+    /// entry, which fails the gate).
+    pub resolved: usize,
+    /// How many functions are reachable from this root (inclusive).
+    pub reached: usize,
+}
+
+/// Result of the hot-path analysis.
+#[derive(Debug)]
+pub struct HotpathAnalysis {
+    /// One summary per registry root, in registry order.
+    pub roots: Vec<RootSummary>,
+    /// Unjustified findings (justified sites are filtered here, like
+    /// every other lint family).
+    pub findings: Vec<LintViolation>,
+}
+
+/// Per-file inputs the analysis needs for suppression and snippets.
+pub(crate) struct FileCtx<'a> {
+    /// File text for snippet extraction.
+    pub text: &'a str,
+    /// Parsed `//~ allow` directives.
+    pub allows: &'a Allows,
+}
+
+/// Runs the analysis: multi-source BFS per root, effect-site collection
+/// on every reached node, allow/policy filtering, global dedup.
+pub(crate) fn analyze(
+    graph: &CallGraph,
+    roots: &[HotpathRoot],
+    policies: &[LintPolicy],
+    files: &BTreeMap<std::path::PathBuf, FileCtx<'_>>,
+) -> HotpathAnalysis {
+    let n = graph.nodes.len();
+    // visited_by[v] = Some(root index that reached v first); parent
+    // pointers reconstruct one representative chain per finding.
+    let mut claimed: Vec<Option<usize>> = vec![None; n];
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    let mut summaries = Vec::new();
+    let mut order: Vec<usize> = Vec::new(); // all reached nodes, BFS order
+
+    for (ri, root) in roots.iter().enumerate() {
+        let seeds = graph.resolve_key(&root.root);
+        let mut queue: std::collections::VecDeque<usize> = seeds
+            .iter()
+            .copied()
+            .filter(|&s| claimed[s].is_none())
+            .collect();
+        for &s in &queue {
+            claimed[s] = Some(ri);
+        }
+        let mut reached = seeds.len();
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &w in &graph.edges[v] {
+                if claimed[w].is_none() {
+                    claimed[w] = Some(ri);
+                    parent[w] = Some(v);
+                    reached += 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        summaries.push(RootSummary {
+            root: root.root.clone(),
+            reason: root.reason.clone(),
+            resolved: seeds.len(),
+            reached,
+        });
+    }
+
+    // Collect effect sites on every reached node.
+    let mut findings = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for &v in &order {
+        for site in &graph.sites[v] {
+            let rule = site.effect.rule();
+            let file = &graph.nodes[v].file;
+            if !seen.insert((rule, file.clone(), site.line)) {
+                continue;
+            }
+            if policy_exempts(policies, rule, file) {
+                continue;
+            }
+            let Some(fctx) = files.get(file) else {
+                continue;
+            };
+            if fctx.allows.allowed(site.line, rule) {
+                continue;
+            }
+            // Chain: root → … → containing fn, then the operation.
+            let mut chain = Vec::new();
+            let mut cur = Some(v);
+            while let Some(c) = cur {
+                chain.push(graph.nodes[c].key.clone());
+                cur = parent[c];
+            }
+            chain.reverse();
+            chain.push(site.what.clone());
+            findings.push(LintViolation {
+                rule,
+                file: file.clone(),
+                line: site.line,
+                snippet: snippet_at(fctx.text, site.line),
+                chain,
+            });
+        }
+    }
+
+    HotpathAnalysis {
+        roots: summaries,
+        findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use crate::lexer::SourceModel;
+    use crate::parser::parse_file;
+    use std::path::PathBuf;
+
+    fn run(src: &str, roots: &[&str]) -> HotpathAnalysis {
+        run_with_policies(src, roots, &[])
+    }
+
+    fn run_with_policies(src: &str, roots: &[&str], policies: &[LintPolicy]) -> HotpathAnalysis {
+        let file = PathBuf::from("crates/sim/src/x.rs");
+        let model = SourceModel::parse(src);
+        let parsed = parse_file(&model);
+        let allows = Allows::from_model(&model);
+        let graph = CallGraph::build(&[(file.clone(), parsed)]);
+        let roots: Vec<HotpathRoot> = roots
+            .iter()
+            .map(|r| HotpathRoot {
+                root: r.to_string(),
+                reason: "test".into(),
+            })
+            .collect();
+        let mut files = BTreeMap::new();
+        files.insert(
+            file,
+            FileCtx {
+                text: src,
+                allows: &allows,
+            },
+        );
+        analyze(&graph, &roots, policies, &files)
+    }
+
+    #[test]
+    fn direct_effect_in_root_is_found() {
+        let a = run(
+            "impl Q {\n  pub fn pop(&mut self) -> u64 { self.items.remove(0); format!(\"x\"); 0 }\n}\n",
+            &["Q::pop"],
+        );
+        assert_eq!(a.roots[0].resolved, 1);
+        let rules: Vec<&str> = a.findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&"hot_alloc"), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn transitive_effect_carries_full_chain() {
+        let a = run(
+            "impl Q {\n  pub fn pop(&mut self) { helper(); }\n}\n\
+             fn helper() { deeper(); }\n\
+             fn deeper(x: Option<u64>) { x.unwrap(); }\n",
+            &["Q::pop"],
+        );
+        assert_eq!(a.findings.len(), 1);
+        let f = &a.findings[0];
+        assert_eq!(f.rule, "hot_panic");
+        assert_eq!(f.chain, ["Q::pop", "helper", "deeper", "Option::unwrap"]);
+    }
+
+    #[test]
+    fn justified_allow_suppresses_and_bare_does_not_hide_from_lint() {
+        let a = run(
+            "impl Q {\n  pub fn pop(&mut self) {\n    self.heap.push(1); //~ allow(hot_alloc): heap is the pre-sized overflow lane\n  }\n}\n",
+            &["Q::pop"],
+        );
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn policy_exempts_subtree() {
+        let policies = vec![LintPolicy {
+            path: "crates/sim".into(),
+            allow: "hot_alloc".into(),
+            reason: "test".into(),
+        }];
+        let a = run_with_policies(
+            "impl Q { pub fn pop(&mut self) { self.v.push(1); } }\n",
+            &["Q::pop"],
+            &policies,
+        );
+        assert!(a.findings.is_empty());
+    }
+
+    #[test]
+    fn unreachable_effects_do_not_fire() {
+        let a = run(
+            "impl Q { pub fn pop(&mut self) {} }\n\
+             fn cold() { let v = Vec::new(); std::fs::read(\"x\").unwrap(); }\n",
+            &["Q::pop"],
+        );
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+        assert_eq!(a.roots[0].reached, 1);
+    }
+
+    #[test]
+    fn unresolved_root_reports_zero() {
+        let a = run("fn f() {}\n", &["Ghost::step"]);
+        assert_eq!(a.roots[0].resolved, 0);
+    }
+
+    #[test]
+    fn block_effects_via_locks_io_and_macros() {
+        let a = run(
+            "impl Q {\n  pub fn pop(&mut self) {\n    self.m.lock();\n    println!(\"tick\");\n    thread::sleep(d);\n  }\n}\n",
+            &["Q::pop"],
+        );
+        let rules: Vec<&str> = a.findings.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, ["hot_block", "hot_block", "hot_block"]);
+    }
+
+    #[test]
+    fn each_seeded_fixture_bug_class_fires() {
+        // The three ISSUE-mandated seeds in miniature: format! in a hot
+        // loop, an unjustified index, and (covered in unitlint tests)
+        // the unit-mixing multiply.
+        let a = run(
+            "impl Q {\n  pub fn pop(&mut self) {\n    for i in 0..n { trace.push_str(&format!(\"{i}\")); }\n    let x = self.slots[idx];\n  }\n}\n",
+            &["Q::pop"],
+        );
+        let rules: Vec<&str> = a.findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&"hot_alloc"), "{rules:?}");
+        assert!(rules.contains(&"hot_panic"), "{rules:?}");
+    }
+}

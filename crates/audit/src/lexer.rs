@@ -431,6 +431,14 @@ fn lex_number(lx: &mut Lexer, line: usize) -> Token {
 }
 
 /// Disambiguates `'x'` (char literal) from `'a` (lifetime/label).
+///
+/// Follows `rustc_lexer`: `'X'` is a char literal only when the quote
+/// after `X` actually *closes* it, i.e. the character following that
+/// quote is not ident-continue. `'a` in generic position (`f<'a>`,
+/// `Foo::<'a, 'b>`, `&'a str`) therefore never opens a char token, while
+/// const-char generics (`W::<'x'>`) and ranges (`'a'..='z'`) still lex
+/// as chars. A quote that starts neither form (malformed input) degrades
+/// to a single [`TokenKind::Punct`] so damage stays local.
 fn lex_char_or_lifetime(lx: &mut Lexer, line: usize) -> Token {
     lx.bump(); // opening quote
     match lx.peek(0) {
@@ -452,8 +460,14 @@ fn lex_char_or_lifetime(lx: &mut Lexer, line: usize) -> Token {
                 in_test: false,
             }
         }
-        // One char then a closing quote: char literal.
-        Some(_) if lx.peek(1) == Some('\'') => {
+        // One char then a *closing* quote: char literal — unless what
+        // follows the would-be closing quote continues an identifier
+        // (`'l'x`), in which case the first quote opened a lifetime and
+        // the second opens a char/lifetime of its own.
+        Some(c)
+            if lx.peek(1) == Some('\'')
+                && !(is_ident_continue(c) && lx.peek(2).is_some_and(is_ident_continue)) =>
+        {
             lx.bump_n(2);
             Token {
                 kind: TokenKind::Char,
@@ -463,7 +477,7 @@ fn lex_char_or_lifetime(lx: &mut Lexer, line: usize) -> Token {
             }
         }
         // Lifetime or label: consume the identifier.
-        _ => {
+        Some(c) if is_ident_continue(c) => {
             let mut name = String::from("'");
             while let Some(ch) = lx.peek(0) {
                 if is_ident_continue(ch) {
@@ -480,6 +494,14 @@ fn lex_char_or_lifetime(lx: &mut Lexer, line: usize) -> Token {
                 in_test: false,
             }
         }
+        // Dangling quote (malformed input): a bare punct token, not a
+        // ghost empty lifetime that downstream passes would trip over.
+        _ => Token {
+            kind: TokenKind::Punct,
+            text: "'".to_string(),
+            line,
+            in_test: false,
+        },
     }
 }
 
@@ -704,6 +726,77 @@ mod tests {
         let src = "#[cfg(feature = \"fast\")]\nfn f() { x.unwrap(); }\n";
         let model = SourceModel::parse(src);
         assert!(model.tokens.iter().all(|t| !t.in_test));
+    }
+
+    #[test]
+    fn lifetimes_in_generic_position_never_open_char_tokens() {
+        // The parser layer walks generic argument lists, so `'a` after
+        // `<` / `::<` must always be one Lifetime token.
+        for src in [
+            "fn f<'a>(x: &'a str) -> &'a str { x }",
+            "Foo::<'a, 'b>::new()",
+            "struct S<'s, T: 'static>(&'s T);",
+            "impl<'a> Tr<'a> for W<'a> {}",
+            "for<'r> fn(&'r u8)",
+            "'outer: loop { break 'outer; }",
+        ] {
+            let toks = kinds(src);
+            assert!(
+                !toks.iter().any(|(k, _)| *k == TokenKind::Char),
+                "char token leaked in {src:?}: {toks:?}"
+            );
+            assert!(
+                toks.iter().any(|(k, _)| *k == TokenKind::Lifetime),
+                "no lifetime in {src:?}: {toks:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn char_literals_in_generic_and_range_position_stay_chars() {
+        // Const-char generics and char ranges must keep lexing as chars
+        // even though they sit where a lifetime could.
+        for (src, chars) in [
+            ("W::<'x'>::VAL", 1),
+            ("matches!(c, 'a'..='z')", 2),
+            ("f('a', 'b')", 2),
+            ("if b < 'a' {}", 1),
+            ("let t = ('a', 'b');", 2),
+        ] {
+            let toks = kinds(src);
+            assert_eq!(
+                toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+                chars,
+                "{src:?}: {toks:?}"
+            );
+            assert!(
+                !toks.iter().any(|(k, _)| *k == TokenKind::Lifetime),
+                "{src:?}: {toks:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn quote_before_ident_run_is_a_lifetime_not_a_greedy_char() {
+        // `'l'x'`: the first quote opens the label `'l`, then `'x'` is a
+        // char. The old lexer took `'l'` as a char and left a dangling
+        // quote that garbled everything after it.
+        let toks = kinds("break 'l'x'");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "break".into()),
+                (TokenKind::Lifetime, "'l".into()),
+                (TokenKind::Char, String::new()),
+            ]
+        );
+    }
+
+    #[test]
+    fn dangling_quote_degrades_to_punct() {
+        let toks = kinds("let x = ' ;");
+        assert!(toks.contains(&(TokenKind::Punct, "'".into())), "{toks:?}");
+        assert!(!toks.iter().any(|(k, _)| *k == TokenKind::Lifetime));
     }
 
     #[test]

@@ -23,6 +23,14 @@
 //!    construction outside `sim::rng`'s seeded-stream API.
 //! 4. **Atomics** ([`atomics`]): classifies every atomic access and
 //!    flags `Ordering::Relaxed` on synchronization-bearing operations.
+//! 5. **Hot paths** ([`hotpath`]): an interprocedural capability
+//!    analysis over a [`parser`]-recovered item model and a conservative
+//!    [`callgraph`], proving the `[[hotpath]]` roots in the spec free of
+//!    reachable allocation (`hot_alloc`), panics (`hot_panic`), and
+//!    blocking operations (`hot_block`) — with full call-chain evidence.
+//! 6. **Unit escapes** ([`unitlint`]): arithmetic mixing two different
+//!    `#[must_use]` unit newtypes, or stripping one via `.0`, inside
+//!    `crates/model` / `crates/sim`.
 //!
 //! Deliberate sites are whitelisted with a justified `//~ allow(<rule>)`
 //! comment; whole subtrees with a `[[policy]]` entry in the spec. The
@@ -38,13 +46,17 @@
 #![deny(missing_docs)]
 
 pub mod atomics;
+pub mod callgraph;
 pub mod conformance;
+pub mod hotpath;
 pub mod lexer;
 pub mod lint;
 pub mod nondet;
+pub mod parser;
 pub mod report;
 pub mod scanner;
 pub mod spec;
+pub mod unitlint;
 
 use std::collections::BTreeMap;
 
@@ -63,14 +75,21 @@ pub struct AuditOutcome {
     /// The `[[policy]]` exemptions that were in force, echoed for the
     /// report so exemption scope is reviewable alongside findings.
     pub policies: Vec<spec::LintPolicy>,
+    /// Per-root reachability summaries from the hot-path analysis, in
+    /// registry order.
+    pub hotpaths: Vec<hotpath::RootSummary>,
 }
 
 impl AuditOutcome {
     /// Whether the audit gate passes: no uncovered MUST claim, no
     /// unknown / stale / duplicate / impl-in-test citation, no lint
-    /// violation in any family.
+    /// violation in any family, and every `[[hotpath]]` root resolving
+    /// to at least one function (a stale root would silently un-guard
+    /// its subtree).
     pub fn is_clean(&self) -> bool {
-        self.conformance.is_clean() && self.lint.is_empty()
+        self.conformance.is_clean()
+            && self.lint.is_empty()
+            && self.hotpaths.iter().all(|r| r.resolved > 0)
     }
 
     /// Violation counts per rule, including zero entries for every known
@@ -92,7 +111,9 @@ impl AuditOutcome {
 ///
 /// Scans `crates/*/src`, `crates/*/tests`, the root `src/` and `tests/`
 /// directories, and `examples/`. The vendored dependency stand-ins under
-/// `vendor/` and build output under `target/` are never audited.
+/// `vendor/`, build output under `target/`, and golden-fixture corpora
+/// under any `fixtures/` directory (deliberately seeded bugs for the
+/// audit's own self-tests) are never audited.
 pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     let mut files = Vec::new();
     let mut roots = vec![root.join("src"), root.join("tests"), root.join("examples")];
@@ -122,6 +143,9 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     for entry in std::fs::read_dir(dir)? {
         let path = entry?.path();
         if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "fixtures") {
+                continue;
+            }
             collect_rs(&path, out)?;
         } else if path.extension().is_some_and(|e| e == "rs") {
             out.push(path);
@@ -147,6 +171,10 @@ pub fn run_audit(root: &Path) -> Result<AuditOutcome, String> {
     let mut citations = Vec::new();
     let mut lint_violations = Vec::new();
     let mut atomic_sites = Vec::new();
+    // Inputs for the interprocedural passes, collected during the same
+    // walk: parsed items for library files, allows + text for all.
+    let mut parsed_lib: Vec<(PathBuf, parser::ParsedFile)> = Vec::new();
+    let mut file_texts: BTreeMap<PathBuf, (String, lint::Allows)> = BTreeMap::new();
     for path in &files {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
@@ -159,7 +187,46 @@ pub fn run_audit(root: &Path) -> Result<AuditOutcome, String> {
         let (sites, violations) = atomics::audit_atomics(&rel, &text, &model, &registry.policies);
         atomic_sites.extend(sites);
         lint_violations.extend(violations);
+        // The auditor itself stays out of the call graph: no hot root
+        // lives here, and its lexer/parser share method names with the
+        // sim (`peek`, `key`, …) that union resolution would otherwise
+        // pull into hot chains as pure noise.
+        if lint::is_library_code(&rel) && !rel.starts_with("crates/audit") {
+            parsed_lib.push((rel.clone(), parser::parse_file(&model)));
+            file_texts.insert(rel, (text, lint::Allows::from_model(&model)));
+        }
     }
+
+    // Interprocedural passes: hot-path capabilities and unit escapes
+    // over the parsed item model.
+    let graph = callgraph::CallGraph::build(&parsed_lib);
+    let file_ctxs: BTreeMap<PathBuf, hotpath::FileCtx<'_>> = file_texts
+        .iter()
+        .map(|(p, (text, allows))| (p.clone(), hotpath::FileCtx { text, allows }))
+        .collect();
+    let analysis = hotpath::analyze(&graph, &registry.hotpaths, &registry.policies, &file_ctxs);
+    lint_violations.extend(analysis.findings);
+    let units = unitlint::unit_names(&parsed_lib);
+    for (rel, parsed) in &parsed_lib {
+        let (text, allows) = &file_texts[rel];
+        lint_violations.extend(unitlint::lint_units(
+            rel,
+            text,
+            parsed,
+            &units,
+            allows,
+            &registry.policies,
+        ));
+    }
+
+    // Deterministic finding order: conformance.json must be byte-stable
+    // across platforms and directory-walk orders.
+    lint_violations.sort_by(|a, b| {
+        (&a.file, a.line, a.rule)
+            .cmp(&(&b.file, b.line, b.rule))
+            .then_with(|| a.chain.cmp(&b.chain))
+    });
+    atomic_sites.sort_by(|a, b| (&a.file, a.line, &a.method).cmp(&(&b.file, b.line, &b.method)));
 
     let conformance = conformance::check(&registry, &citations);
     Ok(AuditOutcome {
@@ -167,6 +234,7 @@ pub fn run_audit(root: &Path) -> Result<AuditOutcome, String> {
         lint: lint_violations,
         atomics: atomic_sites,
         policies: registry.policies.clone(),
+        hotpaths: analysis.roots,
     })
 }
 

@@ -16,6 +16,10 @@
 //! | `unordered-iter` | `HashMap` / `HashSet` in result paths     | model, sim, trace, testbed     |
 //! | `rng-stream`     | RNG construction outside `sim::rng`       | library code (see policies)    |
 //! | `relaxed_atomic` | `Ordering::Relaxed` atomic accesses       | library code                   |
+//! | `hot_alloc`      | allocation reachable from a hot root      | call graph (see [`crate::hotpath`]) |
+//! | `hot_panic`      | panic source reachable from a hot root    | call graph (see [`crate::hotpath`]) |
+//! | `hot_block`      | blocking call reachable from a hot root   | call graph (see [`crate::hotpath`]) |
+//! | `unit_escape`    | unit-newtype mixing / `.0` stripping      | `crates/model`, `crates/sim`   |
 //!
 //! `#[cfg(test)]` regions are skipped (token-tracked by the
 //! [`crate::lexer`]), as are `tests/`, `benches/` and `examples/`
@@ -53,7 +57,7 @@ use crate::spec::LintPolicy;
 
 /// Lint rule identifiers, as used in `//~ allow(<rule>)` and `[[policy]]`
 /// entries.
-pub const RULES: [&str; 9] = [
+pub const RULES: [&str; 13] = [
     "unwrap",
     "expect",
     "panic",
@@ -63,6 +67,10 @@ pub const RULES: [&str; 9] = [
     "unordered-iter",
     "rng-stream",
     "relaxed_atomic",
+    "hot_alloc",
+    "hot_panic",
+    "hot_block",
+    "unit_escape",
 ];
 
 /// One lint finding (already filtered against the whitelist).
@@ -76,6 +84,10 @@ pub struct LintViolation {
     pub line: usize,
     /// The offending source line, trimmed.
     pub snippet: String,
+    /// Call-chain evidence for interprocedural findings: hot root first,
+    /// the function containing the site last, then the operation itself
+    /// (e.g. `alloc: Vec::push`). Empty for intraprocedural rules.
+    pub chain: Vec<String>,
 }
 
 /// Whether `file` (workspace-relative) is library code subject to the
@@ -109,6 +121,10 @@ pub(crate) fn rule_in_scope(rule: &str, file: &Path) -> bool {
         "cast" => model_sim,
         "float-eq" => model_sim || starts_with_dir(file, "crates/trace"),
         "unordered-iter" => result_path,
+        // The PFTK formulas mix packets, rounds, seconds and probabilities;
+        // the unit-newtype escape hatch is policed where those formulas
+        // live and run.
+        "unit_escape" => model_sim,
         // The panic family, wall-clock, rng-stream and relaxed_atomic
         // apply to all library code; structural exemptions (bench timing,
         // the seeded-stream API itself) come from `[[policy]]` entries.
@@ -288,6 +304,7 @@ impl<'a> LintCtx<'a> {
             file: self.file.to_path_buf(),
             line,
             snippet: snippet_at(self.text, line),
+            chain: Vec::new(),
         });
     }
 }
@@ -313,6 +330,7 @@ pub fn lint_file(
                 file: file.to_path_buf(),
                 line: e.directive_line,
                 snippet: snippet_at(text, e.directive_line),
+                chain: Vec::new(),
             });
         }
     }

@@ -1,0 +1,769 @@
+//! Item-level parser over the [`crate::lexer`] token stream.
+//!
+//! The hot-path capability analysis ([`crate::hotpath`]) needs more
+//! structure than a flat token stream: which function a token belongs
+//! to, what an `impl` block's self type is, and what the declared types
+//! of parameters and struct fields are. This module recovers exactly
+//! that — items (`fn`, `impl`, `trait`, `struct`), signatures, and body
+//! token ranges — and nothing more. It is a *recognizer with recovery*,
+//! not a Rust parser: token runs it cannot classify are skipped, nested
+//! structure is tracked by brace depth, and malformed input degrades to
+//! fewer recovered items rather than an error. Conservatism lives in the
+//! consumer: a call the graph cannot attribute to a known function is
+//! resolved pessimistically (see [`crate::callgraph`]), so parser
+//! under-recovery can only ever *widen* the analysis, never silently
+//! narrow it.
+//!
+//! What is recovered per file:
+//!
+//! * every `fn` with its name, enclosing `impl`/`trait` self type, trait
+//!   name (for `impl Trait for Type`), `#[cfg(test)]`-ness, parameter
+//!   `(binding, type-head)` pairs, and the token index range of its body;
+//! * every `struct` with its fields' `(name, outer-type, inner-type)`
+//!   triples (`inner` is the first generic argument, so `Option<KarnCore>`
+//!   resolves through `if let Some(k) = &mut self.karn`), plus whether it
+//!   is a `#[must_use]` tuple struct — the unit-newtype marker the
+//!   `unit_escape` lint keys on.
+//!
+//! "Type head" means the last identifier at angle-depth 0 of a type
+//! expression: `&'a mut KarnCore` → `KarnCore`, `std::vec::Vec<u8>` →
+//! `Vec`. That is the granularity the receiver-type heuristics need.
+
+use crate::lexer::{SourceModel, Token, TokenKind};
+
+/// One recovered function item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Self type when declared inside an `impl` or `trait` block.
+    pub self_type: Option<String>,
+    /// Trait name for `impl Trait for Type` methods.
+    pub trait_name: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Whether the item sits inside `#[cfg(test)]` code.
+    pub in_test: bool,
+    /// `(binding, type-head)` for each simple typed parameter; `self`
+    /// receivers and non-trivial patterns are omitted.
+    pub params: Vec<(String, String)>,
+    /// Token index range `[start, end)` of the body *interior* (between
+    /// the braces), or `None` for bodyless declarations.
+    pub body: Option<(usize, usize)>,
+}
+
+impl FnItem {
+    /// Graph key: `Type::name` for methods, bare `name` for free fns.
+    pub fn key(&self) -> String {
+        match &self.self_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One recovered struct field (named or tuple-positional).
+#[derive(Debug, Clone)]
+pub struct FieldItem {
+    /// Field name (`"0"`, `"1"`, … for tuple structs).
+    pub name: String,
+    /// Outer type head (`Option<KarnCore>` → `Option`).
+    pub outer: String,
+    /// First generic argument's head (`Option<KarnCore>` → `KarnCore`).
+    pub inner: Option<String>,
+}
+
+/// One recovered struct item.
+#[derive(Debug, Clone)]
+pub struct StructItem {
+    /// The struct's name.
+    pub name: String,
+    /// Whether a `#[must_use]` attribute precedes it.
+    pub must_use: bool,
+    /// Whether it is a tuple struct (`struct Seconds(f64);`).
+    pub tuple: bool,
+    /// 1-based line of the `struct` keyword.
+    pub line: usize,
+    /// Fields in declaration order.
+    pub fields: Vec<FieldItem>,
+}
+
+impl StructItem {
+    /// Whether this struct is a unit newtype in the workspace's idiom:
+    /// a `#[must_use]` single-field tuple struct.
+    pub fn is_unit_newtype(&self) -> bool {
+        self.must_use && self.tuple && self.fields.len() == 1
+    }
+}
+
+/// The parsed form of one file: recovered items over an owned code-token
+/// stream (comments stripped, source order preserved).
+#[derive(Debug)]
+pub struct ParsedFile {
+    /// Code tokens in source order; item ranges index into this.
+    pub toks: Vec<Token>,
+    /// Recovered functions.
+    pub fns: Vec<FnItem>,
+    /// Recovered structs.
+    pub structs: Vec<StructItem>,
+}
+
+/// Type-position keywords skipped when extracting a type head.
+const TYPE_NOISE: [&str; 6] = ["mut", "dyn", "impl", "ref", "const", "pub"];
+
+fn is_punct(t: &Token, p: &str) -> bool {
+    t.kind == TokenKind::Punct && t.text == p
+}
+
+fn is_ident(t: &Token, name: &str) -> bool {
+    t.kind == TokenKind::Ident && t.text == name
+}
+
+/// Last identifier at angle-depth 0 in `toks`, skipping type noise —
+/// the "type head" used for receiver resolution.
+pub(crate) fn type_head(toks: &[Token]) -> Option<String> {
+    let mut angle = 0i64;
+    let mut head = None;
+    for t in toks {
+        match t.kind {
+            TokenKind::Punct => match t.text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "<<" => angle += 2,
+                ">>" => angle -= 2,
+                _ => {}
+            },
+            TokenKind::Ident if angle == 0 && !TYPE_NOISE.contains(&t.text.as_str()) => {
+                head = Some(t.text.clone());
+            }
+            _ => {}
+        }
+    }
+    head
+}
+
+/// First identifier at angle-depth ≥ 1 — the head of the first generic
+/// argument (`Option<KarnCore>` → `KarnCore`).
+fn inner_head(toks: &[Token]) -> Option<String> {
+    let mut angle = 0i64;
+    for t in toks {
+        match t.kind {
+            TokenKind::Punct => match t.text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "<<" => angle += 2,
+                ">>" => angle -= 2,
+                _ => {}
+            },
+            TokenKind::Ident if angle >= 1 && !TYPE_NOISE.contains(&t.text.as_str()) => {
+                return Some(t.text.clone());
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parses the code-token stream of `model` into items.
+pub fn parse_file(model: &SourceModel) -> ParsedFile {
+    let toks: Vec<Token> = model.code_tokens().cloned().collect();
+    Parser::new(&toks).run()
+}
+
+/// An `impl`/`trait` context open at some brace depth.
+struct ImplCtx {
+    open_depth: i64,
+    self_type: Option<String>,
+    trait_name: Option<String>,
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    fns: Vec<FnItem>,
+    structs: Vec<StructItem>,
+    impls: Vec<ImplCtx>,
+    /// Identifiers seen inside the most recent run of `#[…]` attributes,
+    /// cleared at the next non-attribute statement boundary.
+    pending_attrs: Vec<String>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(toks: &'a [Token]) -> Self {
+        Parser {
+            toks,
+            fns: Vec::new(),
+            structs: Vec::new(),
+            impls: Vec::new(),
+            pending_attrs: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> ParsedFile {
+        let mut depth = 0i64;
+        let mut i = 0usize;
+        while i < self.toks.len() {
+            let t = &self.toks[i];
+            if is_punct(t, "#")
+                && self
+                    .toks
+                    .get(i + 1)
+                    .is_some_and(|n| is_punct(n, "[") || is_punct(n, "!"))
+            {
+                i = self.consume_attr(i);
+                continue;
+            }
+            if is_punct(t, "{") {
+                depth += 1;
+                self.pending_attrs.clear();
+                i += 1;
+                continue;
+            }
+            if is_punct(t, "}") {
+                depth -= 1;
+                while self.impls.last().is_some_and(|ctx| ctx.open_depth >= depth) {
+                    self.impls.pop();
+                }
+                self.pending_attrs.clear();
+                i += 1;
+                continue;
+            }
+            if is_punct(t, ";") {
+                self.pending_attrs.clear();
+                i += 1;
+                continue;
+            }
+            if t.kind == TokenKind::Ident {
+                match t.text.as_str() {
+                    "impl" if self.item_position(i) => {
+                        i = self.parse_impl(i, &mut depth);
+                        continue;
+                    }
+                    "trait" if self.item_position(i) => {
+                        i = self.parse_trait(i, &mut depth);
+                        continue;
+                    }
+                    "struct" => {
+                        i = self.parse_struct(i);
+                        continue;
+                    }
+                    "fn" if self
+                        .toks
+                        .get(i + 1)
+                        .is_some_and(|n| n.kind == TokenKind::Ident) =>
+                    {
+                        i = self.parse_fn(i);
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        ParsedFile {
+            toks: self.toks.to_vec(),
+            fns: self.fns,
+            structs: self.structs,
+        }
+    }
+
+    /// Skips a `#[…]`/`#![…]` attribute group, recording its identifiers.
+    fn consume_attr(&mut self, i: usize) -> usize {
+        let mut j = i + 1;
+        if self.toks.get(j).is_some_and(|t| is_punct(t, "!")) {
+            j += 1;
+        }
+        if !self.toks.get(j).is_some_and(|t| is_punct(t, "[")) {
+            return i + 1;
+        }
+        let mut bracket = 1i64;
+        j += 1;
+        while j < self.toks.len() && bracket > 0 {
+            let t = &self.toks[j];
+            if is_punct(t, "[") {
+                bracket += 1;
+            } else if is_punct(t, "]") {
+                bracket -= 1;
+            } else if t.kind == TokenKind::Ident {
+                self.pending_attrs.push(t.text.clone());
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// Whether the keyword at `i` opens an item (vs. `-> impl Trait`,
+    /// `x: impl Fn()`, `&impl T`, generic bounds, …).
+    fn item_position(&self, i: usize) -> bool {
+        match i.checked_sub(1).and_then(|p| self.toks.get(p)) {
+            None => true,
+            Some(prev) => match prev.kind {
+                TokenKind::Punct => matches!(prev.text.as_str(), ";" | "{" | "}" | "]"),
+                TokenKind::Ident => prev.text == "unsafe",
+                _ => false,
+            },
+        }
+    }
+
+    /// Index just past a balanced `<…>` group starting at `open` (which
+    /// must be `<`), tolerating `<<`/`>>` and brace groups in const
+    /// arguments. Bails at `;`/EOF for recovery.
+    fn skip_angles(&self, open: usize) -> usize {
+        let mut angle = 0i64;
+        let mut brace = 0i64;
+        let mut j = open;
+        while j < self.toks.len() {
+            let t = &self.toks[j];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "{" => brace += 1,
+                    "}" => brace -= 1,
+                    "<" if brace == 0 => angle += 1,
+                    "<<" if brace == 0 => angle += 2,
+                    ">" if brace == 0 => angle -= 1,
+                    ">>" if brace == 0 => angle -= 2,
+                    ";" => return j, // malformed; recover
+                    _ => {}
+                }
+            }
+            j += 1;
+            if angle <= 0 {
+                return j;
+            }
+        }
+        j
+    }
+
+    /// Parses a type path (`a::b::C<D>`), returning its head and the
+    /// index after it. Stops at `for`, `where`, `{`, `(`, `;`.
+    fn parse_type_path(&self, mut j: usize) -> (Option<String>, usize) {
+        let start = j;
+        while j < self.toks.len() {
+            let t = &self.toks[j];
+            if t.kind == TokenKind::Ident {
+                if matches!(t.text.as_str(), "for" | "where") {
+                    break;
+                }
+                j += 1;
+            } else if is_punct(t, "::") || is_punct(t, "&") || t.kind == TokenKind::Lifetime {
+                j += 1;
+            } else if is_punct(t, "<") {
+                j = self.skip_angles(j);
+            } else {
+                break;
+            }
+        }
+        (type_head(&self.toks[start..j]), j)
+    }
+
+    fn parse_impl(&mut self, i: usize, depth: &mut i64) -> usize {
+        self.pending_attrs.clear();
+        let mut j = i + 1;
+        if self.toks.get(j).is_some_and(|t| is_punct(t, "<")) {
+            j = self.skip_angles(j);
+        }
+        let (first, after_first) = self.parse_type_path(j);
+        j = after_first;
+        let (self_type, trait_name) = if self.toks.get(j).is_some_and(|t| is_ident(t, "for")) {
+            let (second, after_second) = self.parse_type_path(j + 1);
+            j = after_second;
+            (second, first)
+        } else {
+            (first, None)
+        };
+        // Skip a where clause: advance to the body brace.
+        while j < self.toks.len() && !is_punct(&self.toks[j], "{") {
+            if is_punct(&self.toks[j], ";") {
+                return j + 1; // `impl Trait for Type;` — nothing to do
+            }
+            j += 1;
+        }
+        if j < self.toks.len() {
+            self.impls.push(ImplCtx {
+                open_depth: *depth,
+                self_type,
+                trait_name,
+            });
+            *depth += 1;
+            j += 1;
+        }
+        j
+    }
+
+    fn parse_trait(&mut self, i: usize, depth: &mut i64) -> usize {
+        self.pending_attrs.clear();
+        let name = match self.toks.get(i + 1) {
+            Some(t) if t.kind == TokenKind::Ident => t.text.clone(),
+            _ => return i + 1,
+        };
+        let mut j = i + 2;
+        while j < self.toks.len() && !is_punct(&self.toks[j], "{") {
+            if is_punct(&self.toks[j], ";") {
+                return j + 1; // trait alias
+            }
+            j += 1;
+        }
+        if j < self.toks.len() {
+            // Default trait methods resolve by the trait's own name; the
+            // call graph unions them with every implementor anyway.
+            self.impls.push(ImplCtx {
+                open_depth: *depth,
+                self_type: Some(name),
+                trait_name: None,
+            });
+            *depth += 1;
+            j += 1;
+        }
+        j
+    }
+
+    fn parse_struct(&mut self, i: usize) -> usize {
+        let must_use = self.pending_attrs.iter().any(|a| a == "must_use");
+        self.pending_attrs.clear();
+        let (name, line) = match self.toks.get(i + 1) {
+            Some(t) if t.kind == TokenKind::Ident => (t.text.clone(), self.toks[i].line),
+            _ => return i + 1,
+        };
+        let mut j = i + 2;
+        if self.toks.get(j).is_some_and(|t| is_punct(t, "<")) {
+            j = self.skip_angles(j);
+        }
+        // where clause before the body is possible for both forms.
+        while j < self.toks.len() {
+            let t = &self.toks[j];
+            if is_punct(t, "(") {
+                let (fields, end) = self.parse_tuple_fields(j);
+                self.structs.push(StructItem {
+                    name,
+                    must_use,
+                    tuple: true,
+                    line,
+                    fields,
+                });
+                return end;
+            }
+            if is_punct(t, "{") {
+                let (fields, end) = self.parse_named_fields(j);
+                self.structs.push(StructItem {
+                    name,
+                    must_use,
+                    tuple: false,
+                    line,
+                    fields,
+                });
+                return end;
+            }
+            if is_punct(t, ";") {
+                self.structs.push(StructItem {
+                    name,
+                    must_use,
+                    tuple: false,
+                    line,
+                    fields: Vec::new(),
+                });
+                return j + 1;
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// Parses `(T, U, …)` tuple fields starting at the `(`.
+    fn parse_tuple_fields(&self, open: usize) -> (Vec<FieldItem>, usize) {
+        let (pieces, end) = self.split_group(open, "(", ")");
+        let fields = pieces
+            .into_iter()
+            .enumerate()
+            .map(|(idx, range)| FieldItem {
+                name: idx.to_string(),
+                outer: type_head(&self.toks[range.0..range.1]).unwrap_or_default(),
+                inner: inner_head(&self.toks[range.0..range.1]),
+            })
+            .collect();
+        (fields, end)
+    }
+
+    /// Parses `{ name: Type, … }` named fields starting at the `{`.
+    fn parse_named_fields(&self, open: usize) -> (Vec<FieldItem>, usize) {
+        let (pieces, end) = self.split_group(open, "{", "}");
+        let mut fields = Vec::new();
+        for (start, stop) in pieces {
+            // `pub name : Type` — find the `:` at the piece's top level.
+            let Some(colon) = (start..stop).find(|&k| is_punct(&self.toks[k], ":")) else {
+                continue;
+            };
+            let Some(name_tok) = colon.checked_sub(1).and_then(|k| self.toks.get(k)) else {
+                continue;
+            };
+            if name_tok.kind != TokenKind::Ident {
+                continue;
+            }
+            fields.push(FieldItem {
+                name: name_tok.text.clone(),
+                outer: type_head(&self.toks[colon + 1..stop]).unwrap_or_default(),
+                inner: inner_head(&self.toks[colon + 1..stop]),
+            });
+        }
+        (fields, end)
+    }
+
+    /// Splits a delimited group into top-level comma-separated token
+    /// ranges; returns them plus the index past the closing delimiter.
+    fn split_group(&self, open: usize, od: &str, cd: &str) -> (Vec<(usize, usize)>, usize) {
+        let mut pieces = Vec::new();
+        let mut nest = 1i64;
+        let mut angle = 0i64;
+        let mut piece_start = open + 1;
+        let mut j = open + 1;
+        while j < self.toks.len() && nest > 0 {
+            let t = &self.toks[j];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    s if s == od => nest += 1,
+                    s if s == cd => nest -= 1,
+                    "(" | "[" | "{" => nest += 1,
+                    ")" | "]" | "}" => nest -= 1,
+                    "<" => angle += 1,
+                    "<<" => angle += 2,
+                    ">" => angle -= 1,
+                    ">>" => angle -= 2,
+                    "," if nest == 1 && angle == 0 => {
+                        if j > piece_start {
+                            pieces.push((piece_start, j));
+                        }
+                        piece_start = j + 1;
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        let close = j.saturating_sub(1);
+        if close > piece_start {
+            pieces.push((piece_start, close));
+        }
+        (pieces, j)
+    }
+
+    fn parse_fn(&mut self, i: usize) -> usize {
+        self.pending_attrs.clear();
+        let name_tok = &self.toks[i + 1];
+        let name = name_tok.text.clone();
+        let line = self.toks[i].line;
+        let in_test = self.toks[i].in_test;
+        let mut j = i + 2;
+        if self.toks.get(j).is_some_and(|t| is_punct(t, "<")) {
+            j = self.skip_angles(j);
+        }
+        if !self.toks.get(j).is_some_and(|t| is_punct(t, "(")) {
+            return i + 1; // malformed; recover at the keyword
+        }
+        let (param_pieces, after_params) = self.split_group(j, "(", ")");
+        let params = self.parse_params(&param_pieces);
+        // Signature tail: find the body `{` or a terminating `;` at
+        // bracket/paren depth 0 (angles tracked for `-> Vec<Foo<'a>>`).
+        let mut k = after_params;
+        let mut nest = 0i64;
+        let mut body = None;
+        while k < self.toks.len() {
+            let t = &self.toks[k];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => nest += 1,
+                    ")" | "]" => nest -= 1,
+                    ";" if nest == 0 => {
+                        k += 1;
+                        break;
+                    }
+                    "{" if nest == 0 => {
+                        let close = self.matching_brace(k);
+                        body = Some((k + 1, close));
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        let (self_type, trait_name) = match self.impls.last() {
+            Some(ctx) => (ctx.self_type.clone(), ctx.trait_name.clone()),
+            None => (None, None),
+        };
+        self.fns.push(FnItem {
+            name,
+            self_type,
+            trait_name,
+            line,
+            in_test,
+            params,
+            body,
+        });
+        // Resume *at* the body brace so depth tracking and nested items
+        // inside the body are handled by the main loop.
+        match body {
+            Some(_) => k,
+            None => k.max(i + 2),
+        }
+    }
+
+    /// Index of the `}` matching the `{` at `open` (or EOF).
+    fn matching_brace(&self, open: usize) -> usize {
+        let mut nest = 0i64;
+        let mut j = open;
+        while j < self.toks.len() {
+            let t = &self.toks[j];
+            if is_punct(t, "{") {
+                nest += 1;
+            } else if is_punct(t, "}") {
+                nest -= 1;
+                if nest == 0 {
+                    return j;
+                }
+            }
+            j += 1;
+        }
+        j
+    }
+
+    fn parse_params(&self, pieces: &[(usize, usize)]) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for &(start, stop) in pieces {
+            let slice = &self.toks[start..stop];
+            // Receiver params (`&mut self`, `self: Pin<…>`) are handled
+            // by the caller via the impl context; skip them here.
+            if slice.iter().any(|t| is_ident(t, "self")) {
+                continue;
+            }
+            let Some(colon) = (0..slice.len()).find(|&k| is_punct(&slice[k], ":")) else {
+                continue;
+            };
+            // Simple binding: `[mut] name : Type`. Anything else
+            // (tuple/struct patterns) contributes no typed binding.
+            let before: Vec<&Token> = slice[..colon]
+                .iter()
+                .filter(|t| !(t.kind == TokenKind::Ident && t.text == "mut"))
+                .collect();
+            let [name_tok] = before.as_slice() else {
+                continue;
+            };
+            if name_tok.kind != TokenKind::Ident {
+                continue;
+            }
+            if let Some(head) = type_head(&slice[colon + 1..]) {
+                out.push((name_tok.text.clone(), head));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file(&SourceModel::parse(src))
+    }
+
+    #[test]
+    fn recovers_free_and_method_fns() {
+        let src = "fn free(a: u64, b: &str) -> u64 { a }\n\
+                   impl Engine {\n  fn step(&mut self, ev: Event) {}\n}\n\
+                   impl Scheduler for Engine {\n  fn pop(&mut self) -> Option<Event> { None }\n}\n";
+        let p = parse(src);
+        let keys: Vec<String> = p.fns.iter().map(|f| f.key()).collect();
+        assert_eq!(keys, ["free", "Engine::step", "Engine::pop"]);
+        assert_eq!(
+            p.fns[0].params,
+            [("a".into(), "u64".into()), ("b".into(), "str".into())]
+        );
+        assert_eq!(p.fns[1].params, [("ev".into(), "Event".into())]);
+        assert_eq!(p.fns[2].trait_name.as_deref(), Some("Scheduler"));
+        assert!(p.fns.iter().all(|f| f.body.is_some()));
+    }
+
+    #[test]
+    fn impl_blocks_close_and_generics_skip() {
+        let src = "impl<'a, T: Clone> Holder<'a, T> {\n  fn get(&self) -> &T { &self.0 }\n}\n\
+                   fn after() {}\n";
+        let p = parse(src);
+        assert_eq!(p.fns[0].key(), "Holder::get");
+        assert_eq!(
+            p.fns[1].key(),
+            "after",
+            "impl context must close at its brace"
+        );
+    }
+
+    #[test]
+    fn body_ranges_cover_exactly_the_braces() {
+        let src = "fn f(x: u64) -> u64 { let y = g(x); y }\nfn g(x: u64) -> u64 { x }\n";
+        let p = parse(src);
+        let (s, e) = p.fns[0].body.unwrap();
+        let texts: Vec<&str> = p.toks[s..e].iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"g"), "{texts:?}");
+        assert!(!texts.contains(&"fn"), "{texts:?}");
+    }
+
+    #[test]
+    fn structs_with_fields_and_must_use() {
+        let src = "#[must_use]\npub struct Seconds(f64);\n\
+                   pub struct Analyzer {\n  karn: Option<KarnCore>,\n  pub depth: usize,\n}\n\
+                   struct Marker;\n";
+        let p = parse(src);
+        assert_eq!(p.structs.len(), 3);
+        let sec = &p.structs[0];
+        assert!(sec.is_unit_newtype());
+        assert_eq!(sec.fields[0].outer, "f64");
+        let an = &p.structs[1];
+        assert!(!an.must_use);
+        assert_eq!(an.fields[0].name, "karn");
+        assert_eq!(an.fields[0].outer, "Option");
+        assert_eq!(an.fields[0].inner.as_deref(), Some("KarnCore"));
+        assert_eq!(an.fields[1].outer, "usize");
+    }
+
+    #[test]
+    fn must_use_does_not_leak_across_items() {
+        let src = "#[must_use]\npub struct A(f64);\npub struct B(f64);\n";
+        let p = parse(src);
+        assert!(p.structs[0].must_use);
+        assert!(!p.structs[1].must_use);
+    }
+
+    #[test]
+    fn impl_trait_in_signature_is_not_an_item() {
+        let src = "fn make() -> impl Iterator<Item = u64> { std::iter::empty() }\nfn after() {}\n";
+        let p = parse(src);
+        let keys: Vec<String> = p.fns.iter().map(|f| f.key()).collect();
+        assert_eq!(keys, ["make", "after"]);
+    }
+
+    #[test]
+    fn bodyless_and_test_fns() {
+        let src = "trait T {\n  fn decl(&self);\n  fn dflt(&self) { self.decl() }\n}\n\
+                   #[cfg(test)]\nmod tests {\n  fn t() {}\n}\n";
+        let p = parse(src);
+        assert_eq!(p.fns[0].key(), "T::decl");
+        assert!(p.fns[0].body.is_none());
+        assert_eq!(p.fns[1].key(), "T::dflt");
+        assert!(p.fns[1].body.is_some());
+        assert!(p.fns[2].in_test);
+    }
+
+    #[test]
+    fn recovery_survives_macros_and_weird_tokens() {
+        let src = "macro_rules! m { ($x:expr) => { $x + 1 } }\n\
+                   fn ok(q: &mut VecDeque<Ev>) { m!(q.len()); }\n";
+        let p = parse(src);
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].params, [("q".into(), "VecDeque".into())]);
+    }
+
+    #[test]
+    fn where_clauses_and_nested_generics() {
+        let src = "impl<O> Conn<O>\nwhere\n    O: Observer,\n{\n  fn run(&mut self, budget: Budget) -> Vec<Sample<'static>> { Vec::new() }\n}\n";
+        let p = parse(src);
+        assert_eq!(p.fns[0].key(), "Conn::run");
+        assert_eq!(p.fns[0].params, [("budget".into(), "Budget".into())]);
+    }
+}

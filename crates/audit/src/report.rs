@@ -48,6 +48,22 @@ pub struct LintJson {
     pub line: u64,
     /// Offending line, trimmed.
     pub snippet: String,
+    /// Call-chain evidence (hot root → … → operation) for the
+    /// interprocedural families; empty otherwise.
+    pub chain: Vec<String>,
+}
+
+/// JSON shape of one `[[hotpath]]` root's reachability summary.
+#[derive(Debug, Serialize)]
+pub struct HotpathJson {
+    /// Registry key (`Type::method` or fn name).
+    pub root: String,
+    /// Why the root is hot.
+    pub reason: String,
+    /// Graph nodes the key resolved to (0 fails the gate).
+    pub resolved: u64,
+    /// Functions reachable from the root, inclusive.
+    pub reached: u64,
 }
 
 /// JSON shape of one classified atomic access.
@@ -104,6 +120,8 @@ pub struct ReportJson {
     pub atomics: Vec<AtomicSiteJson>,
     /// The path-scoped lint exemptions in force.
     pub policies: Vec<PolicyJson>,
+    /// The hot-path root registry with reachability counts.
+    pub hotpaths: Vec<HotpathJson>,
 }
 
 fn level_str(level: Level) -> &'static str {
@@ -167,6 +185,7 @@ pub fn to_json(outcome: &AuditOutcome) -> ReportJson {
                 file: v.file.display().to_string(),
                 line: v.line as u64,
                 snippet: v.snippet.clone(),
+                chain: v.chain.clone(),
             })
             .collect(),
         atomics: outcome
@@ -189,6 +208,16 @@ pub fn to_json(outcome: &AuditOutcome) -> ReportJson {
                 path: p.path.clone(),
                 allow: p.allow.clone(),
                 reason: p.reason.clone(),
+            })
+            .collect(),
+        hotpaths: outcome
+            .hotpaths
+            .iter()
+            .map(|r| HotpathJson {
+                root: r.root.clone(),
+                reason: r.reason.clone(),
+                resolved: r.resolved as u64,
+                reached: r.reached as u64,
             })
             .collect(),
     }
@@ -255,6 +284,26 @@ pub fn render_summary(outcome: &AuditOutcome) -> String {
             outcome.atomics.len()
         ),
     );
+    if !outcome.hotpaths.is_empty() {
+        let reached: usize = outcome.hotpaths.iter().map(|r| r.reached).sum();
+        let unresolved = outcome.hotpaths.iter().filter(|r| r.resolved == 0).count();
+        push(
+            &mut out,
+            &format!(
+                "hotpaths: {} roots, {reached} fns reached, {unresolved} unresolved",
+                outcome.hotpaths.len()
+            ),
+        );
+        for r in outcome.hotpaths.iter().filter(|r| r.resolved == 0) {
+            push(
+                &mut out,
+                &format!(
+                    "ERROR hotpath root {:?} resolves to no function (stale registry entry?)",
+                    r.root
+                ),
+            );
+        }
+    }
 
     for c in conf.uncovered_must() {
         let missing = match (c.impl_sites.is_empty(), c.test_sites.is_empty()) {
@@ -294,6 +343,9 @@ pub fn render_summary(outcome: &AuditOutcome) -> String {
                 v.snippet
             ),
         );
+        if !v.chain.is_empty() {
+            push(&mut out, &format!("      via {}", v.chain.join(" -> ")));
+        }
     }
 
     push(
@@ -329,7 +381,43 @@ mod tests {
             lint: Vec::new(),
             atomics: Vec::new(),
             policies: Vec::new(),
+            hotpaths: Vec::new(),
         }
+    }
+
+    #[test]
+    fn unresolved_hotpath_root_fails_and_renders() {
+        let mut bad = outcome();
+        bad.hotpaths.push(crate::hotpath::RootSummary {
+            root: "Ghost::step".into(),
+            reason: "r".into(),
+            resolved: 0,
+            reached: 0,
+        });
+        assert!(!bad.is_clean());
+        let text = render_summary(&bad);
+        assert!(text.contains("hotpaths: 1 roots"), "{text}");
+        assert!(
+            text.contains("ERROR hotpath root \"Ghost::step\""),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn chain_evidence_renders_and_serializes() {
+        let mut bad = outcome();
+        bad.lint.push(crate::lint::LintViolation {
+            rule: "hot_alloc",
+            file: Path::new("crates/sim/src/event.rs").to_path_buf(),
+            line: 7,
+            snippet: "self.heap.push(e)".into(),
+            chain: vec!["HybridQueue::pop".into(), ".push".into()],
+        });
+        let text = render_summary(&bad);
+        assert!(text.contains("via HybridQueue::pop -> .push"), "{text}");
+        let json = serde_json::to_string(&to_json(&bad)).unwrap();
+        assert!(json.contains("\"chain\":[\"HybridQueue::pop\""), "{json}");
+        assert!(json.contains("\"hot_alloc\":1"), "{json}");
     }
 
     #[test]
@@ -355,6 +443,7 @@ mod tests {
             file: Path::new("crates/model/src/a.rs").to_path_buf(),
             line: 3,
             snippet: "x.unwrap()".into(),
+            chain: Vec::new(),
         });
         let text = render_summary(&bad);
         assert!(text.contains("verdict: FAIL"));
@@ -372,6 +461,7 @@ mod tests {
             file: Path::new("crates/testbed/src/pool.rs").to_path_buf(),
             line: 9,
             snippet: "x.fetch_add(1, Ordering::Relaxed)".into(),
+            chain: Vec::new(),
         });
         assert!(!bad.is_clean());
         let text = render_summary(&bad);

@@ -84,6 +84,16 @@ pub struct Claim {
     pub quote: String,
 }
 
+/// One `[[hotpath]]` entry: a root function of the hot-path capability
+/// analysis (see `crate::hotpath`).
+#[derive(Debug, Clone)]
+pub struct HotpathRoot {
+    /// Graph key: `Type::method` for methods, a bare name for free fns.
+    pub root: String,
+    /// Mandatory justification for *why* this root is hot.
+    pub reason: String,
+}
+
 /// One `[[policy]]` entry: a path-scoped lint exemption.
 #[derive(Debug, Clone)]
 pub struct LintPolicy {
@@ -103,6 +113,8 @@ pub struct Registry {
     pub claims: Vec<Claim>,
     /// Path-scoped lint exemptions in file order.
     pub policies: Vec<LintPolicy>,
+    /// Hot-path analysis roots in file order.
+    pub hotpaths: Vec<HotpathRoot>,
     index: BTreeMap<String, usize>,
 }
 
@@ -130,13 +142,50 @@ pub fn parse_spec(text: &str) -> Result<Registry, String> {
         Claim,
         /// A `[[policy]]` entry.
         Policy,
+        /// A `[[hotpath]]` entry.
+        Hotpath,
     }
 
     let mut claims: Vec<Claim> = Vec::new();
     let mut policies: Vec<LintPolicy> = Vec::new();
+    let mut hotpaths: Vec<HotpathRoot> = Vec::new();
     let mut index = BTreeMap::new();
     let mut current: Option<Partial> = None;
     let mut section = Section::Spec;
+
+    let finish_hotpath =
+        |partial: Option<Partial>, hotpaths: &mut Vec<HotpathRoot>| -> Result<(), String> {
+            let Some(p) = partial else { return Ok(()) };
+            let at = format!("[[hotpath]] at line {}", p.line);
+            let take = |key: &str| -> Result<String, String> {
+                p.fields
+                    .get(key)
+                    .cloned()
+                    .ok_or_else(|| format!("{at}: missing required key {key:?}"))
+            };
+            let entry = HotpathRoot {
+                root: take("root")?,
+                reason: take("reason")?,
+            };
+            // `Type::method` or a bare fn name; reject shapes the call
+            // graph could never resolve so a typo fails loudly at parse
+            // time, not as a silent zero-match root.
+            let valid_shape = match entry.root.split_once("::") {
+                Some((t, m)) => is_ident_str(t) && is_ident_str(m),
+                None => is_ident_str(&entry.root),
+            };
+            if !valid_shape {
+                return Err(format!(
+                    "{at}: root {:?} is not `Type::method` or a bare fn name",
+                    entry.root
+                ));
+            }
+            if entry.reason.trim().is_empty() {
+                return Err(format!("{at}: reason must be non-empty"));
+            }
+            hotpaths.push(entry);
+            Ok(())
+        };
 
     let finish_policy =
         |partial: Option<Partial>, policies: &mut Vec<LintPolicy>| -> Result<(), String> {
@@ -211,20 +260,21 @@ pub fn parse_spec(text: &str) -> Result<Registry, String> {
         if line.is_empty() {
             continue;
         }
-        if line == "[[claim]]" || line == "[[policy]]" {
+        if line == "[[claim]]" || line == "[[policy]]" || line == "[[hotpath]]" {
             match section {
                 Section::Claim => finish(current.take(), &mut claims, &mut index)?,
                 Section::Policy => finish_policy(current.take(), &mut policies)?,
+                Section::Hotpath => finish_hotpath(current.take(), &mut hotpaths)?,
                 Section::Spec => {}
             }
             current = Some(Partial {
                 fields: BTreeMap::new(),
                 line: lineno,
             });
-            section = if line == "[[claim]]" {
-                Section::Claim
-            } else {
-                Section::Policy
+            section = match line {
+                "[[claim]]" => Section::Claim,
+                "[[policy]]" => Section::Policy,
+                _ => Section::Hotpath,
             };
         } else if line.starts_with("[[") {
             return Err(format!("line {lineno}: unknown array-of-tables {line:?}"));
@@ -232,6 +282,7 @@ pub fn parse_spec(text: &str) -> Result<Registry, String> {
             match section {
                 Section::Claim => finish(current.take(), &mut claims, &mut index)?,
                 Section::Policy => finish_policy(current.take(), &mut policies)?,
+                Section::Hotpath => finish_hotpath(current.take(), &mut hotpaths)?,
                 Section::Spec => {}
             }
             section = Section::Spec;
@@ -254,6 +305,7 @@ pub fn parse_spec(text: &str) -> Result<Registry, String> {
     match section {
         Section::Claim => finish(current.take(), &mut claims, &mut index)?,
         Section::Policy => finish_policy(current.take(), &mut policies)?,
+        Section::Hotpath => finish_hotpath(current.take(), &mut hotpaths)?,
         Section::Spec => {}
     }
 
@@ -263,8 +315,18 @@ pub fn parse_spec(text: &str) -> Result<Registry, String> {
     Ok(Registry {
         claims,
         policies,
+        hotpaths,
         index,
     })
+}
+
+/// A Rust identifier shape (`[A-Za-z_][A-Za-z0-9_]*`).
+fn is_ident_str(s: &str) -> bool {
+    let mut chars = s.chars();
+    chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
 /// Strips a `#` comment, respecting `"…"` strings.
@@ -425,6 +487,34 @@ mod tests {
         let no_reason = "[[claim]]\nid = \"x\"\nlevel = \"MUST\"\nsection = \"I\"\n\
                          title = \"t\"\nquote = \"q\"\n\
                          [[policy]]\npath = \"crates/bench\"\nallow = \"wall-clock\"\n";
+        assert!(parse_spec(no_reason)
+            .unwrap_err()
+            .contains("missing required key \"reason\""));
+    }
+
+    #[test]
+    fn parses_hotpath_entries() {
+        let text = "[[claim]]\nid = \"x\"\nlevel = \"MUST\"\nsection = \"I\"\n\
+                    title = \"t\"\nquote = \"q\"\n\n\
+                    [[hotpath]]\nroot = \"HybridQueue::pop\"\nreason = \"per-event dequeue\"\n\
+                    [[hotpath]]\nroot = \"estimate\"\nreason = \"per-sample math\"\n";
+        let reg = parse_spec(text).unwrap();
+        assert_eq!(reg.hotpaths.len(), 2);
+        assert_eq!(reg.hotpaths[0].root, "HybridQueue::pop");
+        assert_eq!(reg.hotpaths[1].root, "estimate");
+    }
+
+    #[test]
+    fn rejects_bad_hotpaths() {
+        let bad_shape = "[[claim]]\nid = \"x\"\nlevel = \"MUST\"\nsection = \"I\"\n\
+                         title = \"t\"\nquote = \"q\"\n\
+                         [[hotpath]]\nroot = \"a::b::c\"\nreason = \"r\"\n";
+        assert!(parse_spec(bad_shape)
+            .unwrap_err()
+            .contains("not `Type::method`"));
+        let no_reason = "[[claim]]\nid = \"x\"\nlevel = \"MUST\"\nsection = \"I\"\n\
+                         title = \"t\"\nquote = \"q\"\n\
+                         [[hotpath]]\nroot = \"Q::pop\"\n";
         assert!(parse_spec(no_reason)
             .unwrap_err()
             .contains("missing required key \"reason\""));

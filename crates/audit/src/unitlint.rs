@@ -1,0 +1,228 @@
+//! `unit_escape`: unit-newtype hygiene for the PFTK formulas.
+//!
+//! The model keeps physical quantities in `#[must_use]` tuple-struct
+//! newtypes (`Seconds`, `LossProb`, `PacketsPerSec`) precisely because
+//! the paper's expressions mix packets, rounds, seconds and
+//! probabilities — the class of bug a reproduction can least afford.
+//! Two escape hatches defeat that protection, and this pass flags both
+//! inside `crates/model` and `crates/sim`:
+//!
+//! * **mixing**: a binary arithmetic expression (`+ - * /`) whose two
+//!   operands are locals/params of *different* unit newtypes —
+//!   `rtt * rate` is dimensionally meaningful only through an explicit
+//!   conversion, never through raw arithmetic on the wrappers;
+//! * **stripping**: reading a unit's raw field via `.0` outside the
+//!   unit's own `impl` block, which silently discards the dimension —
+//!   the accessor methods exist so call sites say what they mean.
+//!
+//! Deliberate sites carry `//~ allow(unit_escape): reason`, audited like
+//! every other rule (bare allows are red). The operand-type resolution
+//! reuses the parser's parameter tables and is intentionally shallow:
+//! only bindings whose declared type *is* a unit participate, so the
+//! pass has no false positives from unknown types.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use crate::lexer::{Token, TokenKind};
+use crate::lint::{policy_exempts, rule_in_scope, snippet_at, Allows, LintViolation};
+use crate::parser::ParsedFile;
+use crate::spec::LintPolicy;
+
+const ARITH: [&str; 4] = ["+", "-", "*", "/"];
+
+fn is_punct(t: &Token, p: &str) -> bool {
+    t.kind == TokenKind::Punct && t.text == p
+}
+
+/// Unit-newtype names across the workspace: every `#[must_use]`
+/// single-field tuple struct in library code.
+pub(crate) fn unit_names(files: &[(std::path::PathBuf, ParsedFile)]) -> BTreeSet<String> {
+    files
+        .iter()
+        .flat_map(|(_, p)| &p.structs)
+        .filter(|s| s.is_unit_newtype())
+        .map(|s| s.name.clone())
+        .collect()
+}
+
+/// Runs the `unit_escape` pass over one parsed file.
+pub(crate) fn lint_units(
+    file: &Path,
+    text: &str,
+    parsed: &ParsedFile,
+    units: &BTreeSet<String>,
+    allows: &Allows,
+    policies: &[LintPolicy],
+) -> Vec<LintViolation> {
+    let rule = "unit_escape";
+    if !rule_in_scope(rule, file) || policy_exempts(policies, rule, file) || units.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<usize> = BTreeSet::new();
+    for f in &parsed.fns {
+        if f.in_test {
+            continue;
+        }
+        let Some((start, end)) = f.body else { continue };
+        let body = &parsed.toks[start..end];
+        // Bindings whose declared type is a unit newtype.
+        let env: BTreeMap<&str, &str> = f
+            .params
+            .iter()
+            .filter(|(_, ty)| units.contains(ty))
+            .map(|(n, ty)| (n.as_str(), ty.as_str()))
+            .collect();
+        // Inside a unit's own impl the raw field is the implementation.
+        let in_own_impl = f.self_type.as_deref().is_some_and(|t| units.contains(t));
+        let unit_of = |tok: &Token| -> Option<&str> {
+            if tok.kind != TokenKind::Ident {
+                return None;
+            }
+            env.get(tok.text.as_str()).copied()
+        };
+        for k in 0..body.len() {
+            let t = &body[k];
+            // `v.0` stripping: Ident `.` Int(0).
+            if !in_own_impl
+                && is_punct(t, ".")
+                && k > 0
+                && unit_of(&body[k - 1]).is_some()
+                && body
+                    .get(k + 1)
+                    .is_some_and(|n| n.kind == TokenKind::Int && n.text == "0")
+            {
+                push(&mut out, &mut seen, file, text, allows, t.line, {
+                    let u = unit_of(&body[k - 1]).unwrap_or_default();
+                    vec![f.key(), format!("strips {u} via .0")]
+                });
+                continue;
+            }
+            // `a <op> b` mixing two different units.
+            if t.kind == TokenKind::Punct && ARITH.contains(&t.text.as_str()) && k > 0 {
+                let (Some(lu), Some(ru)) =
+                    (unit_of(&body[k - 1]), body.get(k + 1).and_then(&unit_of))
+                else {
+                    continue;
+                };
+                if lu != ru {
+                    push(
+                        &mut out,
+                        &mut seen,
+                        file,
+                        text,
+                        allows,
+                        t.line,
+                        vec![f.key(), format!("{lu} {} {ru}", t.text)],
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push(
+    out: &mut Vec<LintViolation>,
+    seen: &mut BTreeSet<usize>,
+    file: &Path,
+    text: &str,
+    allows: &Allows,
+    line: usize,
+    chain: Vec<String>,
+) {
+    if allows.allowed(line, "unit_escape") || !seen.insert(line) {
+        return;
+    }
+    out.push(LintViolation {
+        rule: "unit_escape",
+        file: file.to_path_buf(),
+        line,
+        snippet: snippet_at(text, line),
+        chain,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::SourceModel;
+    use crate::parser::parse_file;
+    use std::path::PathBuf;
+
+    const UNITS_SRC: &str = "#[must_use]\npub struct Seconds(f64);\n\
+                             #[must_use]\npub struct PacketsPerSec(f64);\n";
+
+    fn check(body_src: &str) -> Vec<LintViolation> {
+        let full = format!("{UNITS_SRC}{body_src}");
+        let model = SourceModel::parse(&full);
+        let parsed = parse_file(&model);
+        let units = unit_names(&[(PathBuf::from("crates/model/src/units.rs"), {
+            let m = SourceModel::parse(UNITS_SRC);
+            parse_file(&m)
+        })]);
+        let allows = Allows::from_model(&model);
+        lint_units(
+            Path::new("crates/model/src/f.rs"),
+            &full,
+            &parsed,
+            &units,
+            &allows,
+            &[],
+        )
+    }
+
+    #[test]
+    fn mixing_two_units_fires() {
+        let v = check("fn f(rtt: Seconds, rate: PacketsPerSec) -> f64 { rtt * rate }\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "unit_escape");
+        assert_eq!(v[0].chain[1], "Seconds * PacketsPerSec");
+    }
+
+    #[test]
+    fn same_unit_arithmetic_is_fine() {
+        assert!(check("fn f(a: Seconds, b: Seconds) -> Seconds { a + b }\n").is_empty());
+    }
+
+    #[test]
+    fn stripping_via_dot_zero_fires_outside_own_impl() {
+        let v = check("fn f(rtt: Seconds) -> f64 { rtt.0 }\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].chain[1].contains("strips Seconds"), "{v:?}");
+    }
+
+    #[test]
+    fn own_impl_may_touch_its_field() {
+        let src = "impl Seconds {\n  pub fn get(self) -> f64 { self.0 }\n  pub fn double(s: Seconds) -> f64 { s.0 * 2.0 }\n}\n";
+        assert!(check(src).is_empty(), "{:?}", check(src));
+    }
+
+    #[test]
+    fn justified_allow_suppresses() {
+        let ok = "fn f(rtt: Seconds) -> f64 { rtt.0 } //~ allow(unit_escape): FFI boundary\n";
+        assert!(check(ok).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_paths_are_ignored() {
+        let src = "fn f(rtt: Seconds) -> f64 { rtt.0 }\n";
+        let full = format!("{UNITS_SRC}{src}");
+        let model = SourceModel::parse(&full);
+        let parsed = parse_file(&model);
+        let units = unit_names(&[(PathBuf::from("u.rs"), parse_file(&model))]);
+        let allows = Allows::from_model(&model);
+        let v = lint_units(
+            Path::new("crates/trace/src/f.rs"),
+            &full,
+            &parsed,
+            &units,
+            &allows,
+            &[],
+        );
+        assert!(v.is_empty());
+    }
+}

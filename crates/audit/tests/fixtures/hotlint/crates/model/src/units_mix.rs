@@ -1,0 +1,20 @@
+//! Seeded bug: dimensionally bogus arithmetic on unit newtypes, plus a
+//! raw `.0` strip outside the unit's own impl.
+
+/// Seconds (fixture unit).
+#[must_use]
+pub struct Seconds(pub f64);
+
+/// Packets per second (fixture unit).
+#[must_use]
+pub struct PacketsPerSec(pub f64);
+
+/// Multiplies a duration by a rate without converting first (seeded).
+pub fn bogus_product(rtt: Seconds, rate: PacketsPerSec) -> f64 {
+    rtt * rate
+}
+
+/// Strips the dimension off a duration (seeded).
+pub fn bogus_strip(rtt: Seconds) -> f64 {
+    rtt.0
+}

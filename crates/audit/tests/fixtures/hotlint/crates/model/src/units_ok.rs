@@ -1,0 +1,17 @@
+//! Clean case: same-unit arithmetic and own-impl field access are fine.
+
+/// Round-trip count (fixture unit).
+#[must_use]
+pub struct Rounds(pub f64);
+
+impl Rounds {
+    /// The raw count; the unit's own impl may touch its field.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+/// Adds two round counts — same unit, no escape.
+pub fn total(a: Rounds, b: Rounds) -> Rounds {
+    Rounds(a.get() + b.get())
+}

@@ -1,0 +1,13 @@
+//! Clean case: the one reachable allocation carries a justified allow.
+
+/// Event sink with a pooled buffer (fixture).
+pub struct Sink {
+    out: Vec<u64>,
+}
+
+impl Sink {
+    /// Hot root: records one event into the pooled buffer.
+    pub fn on_event(&mut self, seq: u64) {
+        self.out.push(seq); //~ allow(hot_alloc): pooled buffer; capacity persists across drains
+    }
+}

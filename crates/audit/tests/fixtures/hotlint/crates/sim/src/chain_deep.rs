@@ -1,0 +1,22 @@
+//! Seeded bug: the panic hides three calls below the root.
+
+/// Pacing gate (fixture).
+pub struct Gate {
+    credit: Option<u64>,
+}
+
+impl Gate {
+    /// Hot root: spends pacing credit.
+    pub fn on_send(&mut self) {
+        self.outer();
+    }
+
+    fn outer(&mut self) {
+        self.mid();
+    }
+
+    fn mid(&mut self) {
+        let c = self.credit.unwrap();
+        self.credit = Some(c);
+    }
+}

@@ -1,0 +1,17 @@
+//! Seeded bug: a mutex acquisition reachable from a per-packet root.
+
+use std::sync::Mutex;
+
+/// Shared packet counter (fixture).
+pub struct Meter {
+    inner: Mutex<u64>,
+}
+
+impl Meter {
+    /// Hot root: accounts one packet.
+    pub fn on_send(&self) {
+        if let Ok(mut g) = self.inner.lock() {
+            *g += 1;
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Seeded bug: allocation in the steady-state send loop.
+
+/// Per-connection send scheduler (fixture).
+pub struct Pump {
+    buf: Vec<u64>,
+}
+
+impl Pump {
+    /// Hot root: drains the send window.
+    pub fn run(&mut self, n: u64) {
+        let mut i = 0;
+        while i < n {
+            self.step(i);
+            i += 1;
+        }
+    }
+
+    fn step(&mut self, seq: u64) {
+        let label = format!("seq={seq}");
+        if !label.is_empty() {
+            self.buf.push(seq);
+        }
+    }
+}

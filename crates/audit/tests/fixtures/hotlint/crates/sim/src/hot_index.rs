@@ -1,0 +1,17 @@
+//! Seeded bug: unguarded index reachable from the ack path.
+
+/// Reassembly window (fixture).
+pub struct Window {
+    slots: Vec<u64>,
+}
+
+impl Window {
+    /// Hot root: acknowledges one slot.
+    pub fn on_ack(&mut self, idx: usize) {
+        self.mark(idx);
+    }
+
+    fn mark(&mut self, idx: usize) {
+        self.slots[idx] = 1;
+    }
+}

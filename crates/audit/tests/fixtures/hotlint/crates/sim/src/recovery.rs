@@ -1,0 +1,8 @@
+//! Parser recovery: the malformed item must not hide the bug below it.
+
+const BROKEN: [u64; = 3]; // deliberately not valid Rust
+
+/// Hot root declared after the damage (fixture).
+pub fn on_tick(xs: &mut Vec<u64>) {
+    xs.extend([1, 2, 3]);
+}

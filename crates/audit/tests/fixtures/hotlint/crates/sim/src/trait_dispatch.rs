@@ -1,0 +1,31 @@
+//! Union dispatch: a `dyn` receiver reaches every implementor, so the
+//! allocating one is caught even though the quiet one would be fine.
+
+/// Observer of send events (fixture).
+pub trait Watch {
+    /// Consumes one sequence number.
+    fn on_seq(&mut self, seq: u64);
+}
+
+/// Drops everything (fixture).
+pub struct Quiet;
+
+impl Watch for Quiet {
+    fn on_seq(&mut self, _seq: u64) {}
+}
+
+/// Records everything (fixture).
+pub struct Greedy {
+    log: Vec<u64>,
+}
+
+impl Watch for Greedy {
+    fn on_seq(&mut self, seq: u64) {
+        self.log.push(seq);
+    }
+}
+
+/// Hot root: fans one sequence number out to a watcher (fixture).
+pub fn fan(w: &mut dyn Watch, seq: u64) {
+    w.on_seq(seq);
+}

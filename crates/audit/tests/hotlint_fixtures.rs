@@ -1,0 +1,79 @@
+//! Golden tests for the interprocedural passes: a seeded fixture
+//! mini-workspace under `tests/fixtures/hotlint/` (its own spec with a
+//! `[[hotpath]]` registry, `crates/*/src` trees, deliberately buggy
+//! sources that are never compiled) is audited end-to-end through
+//! [`pftk_audit::run_audit`], and every finding — rule, site, and full
+//! call chain — is compared against the checked-in `expected.txt`.
+//!
+//! The corpus seeds one bug per failure mode: `format!` in a hot loop,
+//! an unguarded index one call down, a mutex lock, an `unwrap` three
+//! calls deep, an allocation behind `dyn` dispatch, an allocation after
+//! a malformed item (parser recovery), and a `Seconds * PacketsPerSec`
+//! product plus a raw `.0` strip. Two clean files (a justified allow, a
+//! same-unit module) prove the passes stay quiet when they should.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/hotlint")
+}
+
+fn outcome() -> pftk_audit::AuditOutcome {
+    pftk_audit::run_audit(&fixture_root()).expect("fixture audit runs")
+}
+
+fn render(outcome: &pftk_audit::AuditOutcome) -> String {
+    let mut s = String::new();
+    for v in &outcome.lint {
+        write!(s, "{} {}:{}", v.rule, v.file.display(), v.line).unwrap();
+        if !v.chain.is_empty() {
+            write!(s, " via {}", v.chain.join(" -> ")).unwrap();
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[test]
+fn every_seeded_bug_is_flagged_with_its_chain() {
+    let actual = render(&outcome());
+    let golden = fixture_root().join("expected.txt");
+    let expected = std::fs::read_to_string(&golden).expect("golden file");
+    assert_eq!(
+        actual,
+        expected,
+        "fixture findings diverged from {} — if the change is intended, \
+         update the golden file",
+        golden.display()
+    );
+}
+
+#[test]
+fn every_fixture_root_resolves_and_is_walked() {
+    let outcome = outcome();
+    assert_eq!(outcome.hotpaths.len(), 7, "{:?}", outcome.hotpaths);
+    for root in &outcome.hotpaths {
+        assert!(root.resolved > 0, "unresolved root {root:?}");
+        assert!(root.reached >= root.resolved, "{root:?}");
+    }
+    // The deep chain really walks Gate::on_send -> outer -> mid.
+    let gate = outcome
+        .hotpaths
+        .iter()
+        .find(|r| r.root == "Gate::on_send")
+        .expect("Gate root present");
+    assert_eq!(gate.reached, 3, "{gate:?}");
+}
+
+#[test]
+fn clean_fixtures_stay_clean() {
+    let outcome = outcome();
+    for clean in ["allowed_ok.rs", "units_ok.rs"] {
+        assert!(
+            !outcome.lint.iter().any(|v| v.file.ends_with(clean)),
+            "{clean} should have no findings: {:?}",
+            outcome.lint
+        );
+    }
+}

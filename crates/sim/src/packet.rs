@@ -47,7 +47,7 @@ impl SackBlocks {
                 break;
             }
             debug_assert!(start < end, "SACK range must be non-empty");
-            out.blocks[usize::from(out.len)] = (start, end);
+            out.blocks[usize::from(out.len)] = (start, end); //~ allow(hot_panic): write guarded by the capacity break above
             out.len += 1;
         }
         out
@@ -55,7 +55,7 @@ impl SackBlocks {
 
     /// The carried ranges, most recent first.
     pub fn ranges(&self) -> &[(Seq, Seq)] {
-        &self.blocks[..usize::from(self.len)]
+        &self.blocks[..usize::from(self.len)] //~ allow(hot_panic): len <= MAX_SACK_BLOCKS by construction
     }
 
     /// True when no ranges are carried.

@@ -124,25 +124,35 @@ impl Receiver {
         if !self.config.sack || self.ooo.is_empty() {
             return Ack::plain(self.rcv_nxt);
         }
-        // Coalesce the buffered sequences into ranges.
-        let mut ranges: Vec<(Seq, Seq)> = Vec::new();
-        for &seq in &self.ooo {
-            match ranges.last_mut() {
-                Some((_, end)) if *end == seq => *end = seq + 1,
-                _ => ranges.push((seq, seq + 1)),
-            }
-        }
-        // Most-recent range first.
-        if let Some(last) = self.last_ooo {
-            if let Some(pos) = ranges.iter().position(|&(s, e)| (s..e).contains(&last)) {
-                let recent = ranges.remove(pos);
-                ranges.insert(0, recent);
-            }
-        }
+        // Most-recent range first (RFC 2018), then the rest in buffer
+        // order; `from_ranges` truncates at the block capacity. Two
+        // coalescing passes over the (window-bounded) buffer instead of
+        // materializing the ranges keeps this allocation-free.
+        let recent = self
+            .last_ooo
+            .and_then(|last| self.coalesced().find(|&(s, e)| (s..e).contains(&last)));
+        let rest = self.coalesced().filter(|r| Some(*r) != recent);
         Ack {
             ack: self.rcv_nxt,
-            sack: SackBlocks::from_ranges(ranges),
+            sack: SackBlocks::from_ranges(recent.into_iter().chain(rest)),
         }
+    }
+
+    /// The buffered out-of-order sequences (sorted, distinct) coalesced
+    /// into contiguous `[start, end)` ranges, yielded without
+    /// materializing them.
+    fn coalesced(&self) -> impl Iterator<Item = (Seq, Seq)> + '_ {
+        let mut i = 0;
+        std::iter::from_fn(move || {
+            let start = *self.ooo.get(i)?;
+            let mut end = start + 1;
+            i += 1;
+            while self.ooo.get(i) == Some(&end) {
+                end += 1;
+                i += 1;
+            }
+            Some((start, end))
+        })
     }
 
     /// Handles an arriving data segment.
@@ -162,6 +172,7 @@ impl Receiver {
             self.distinct_received += 1;
             self.rcv_nxt += 1;
             let mut absorbed = 0;
+            //~ allow(hot_panic): index guarded by the len test on its left
             while absorbed < self.ooo.len() && self.ooo[absorbed] == self.rcv_nxt {
                 self.rcv_nxt += 1;
                 absorbed += 1;
@@ -172,7 +183,7 @@ impl Receiver {
             self.unacked += 1;
             if self.unacked >= self.config.ack_every {
                 self.unacked = 0;
-                out.acks.push(self.make_ack());
+                out.acks.push(self.make_ack()); //~ allow(hot_alloc): caller-owned output pool; capacity persists across reset
                 out.timer = DelAckTimer::Cancel;
             } else {
                 out.timer = DelAckTimer::Arm(now + self.config.delack_timeout);
@@ -180,18 +191,18 @@ impl Receiver {
         } else if seg.seq > self.rcv_nxt {
             // A gap: buffer and emit an immediate duplicate ACK.
             if let Err(pos) = self.ooo.binary_search(&seg.seq) {
-                self.ooo.insert(pos, seg.seq);
+                self.ooo.insert(pos, seg.seq); //~ allow(hot_alloc): out-of-order buffer bounded by the receive window
                 self.distinct_received += 1;
             }
             self.last_ooo = Some(seg.seq);
             self.unacked = 0;
-            out.acks.push(self.make_ack());
+            out.acks.push(self.make_ack()); //~ allow(hot_alloc): caller-owned output pool; capacity persists across reset
             out.timer = DelAckTimer::Cancel;
         } else {
             // Below rcv_nxt: a spurious retransmission; re-ACK immediately
             // so the sender can resynchronize.
             self.unacked = 0;
-            out.acks.push(self.make_ack());
+            out.acks.push(self.make_ack()); //~ allow(hot_alloc): caller-owned output pool; capacity persists across reset
             out.timer = DelAckTimer::Cancel;
         }
     }
@@ -209,7 +220,7 @@ impl Receiver {
         out.reset();
         if self.unacked > 0 {
             self.unacked = 0;
-            out.acks.push(self.make_ack());
+            out.acks.push(self.make_ack()); //~ allow(hot_alloc): caller-owned output pool; capacity persists across reset
         }
     }
 }

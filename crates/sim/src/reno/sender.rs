@@ -236,7 +236,7 @@ impl Sender {
             for &(start, end) in ack.sack.ranges() {
                 for seq in start..end.min(self.snd_nxt) {
                     if seq > self.snd_una {
-                        self.scoreboard.insert(seq);
+                        self.scoreboard.insert(seq); //~ allow(hot_alloc): SACK scoreboard; node count bounded by the flight window
                     }
                 }
             }
@@ -247,8 +247,9 @@ impl Sender {
             let was_in_recovery = self.cc.in_fast_recovery();
             self.snd_una = ack.ack;
             self.dupacks = 0;
+            //~ allow(hot_alloc): split_off allocates one root node; trees bounded by the flight window
             self.scoreboard = self.scoreboard.split_off(&self.snd_una);
-            self.rexmitted = self.rexmitted.split_off(&self.snd_una);
+            self.rexmitted = self.rexmitted.split_off(&self.snd_una); //~ allow(hot_alloc): split_off allocates one root node; trees bounded by the flight window
             if let Some(limit) = self.config.data_limit {
                 if self.snd_una >= limit && self.completed_at.is_none() {
                     self.completed_at = Some(now);
@@ -282,7 +283,7 @@ impl Sender {
                         match self.config.style {
                             RenoStyle::NewReno => self.retransmit_head(now, out),
                             RenoStyle::Sack => self.send_sack_recovery(now, out),
-                            _ => unreachable!(),
+                            _ => unreachable!(), //~ allow(hot_panic): partial-ACK recovery only runs under NewReno/Sack styles
                         }
                     }
                 }
@@ -341,7 +342,7 @@ impl Sender {
                         self.cc.on_sack_retransmit(self.flight());
                         self.retransmit_head(now, out);
                         // The head repair counts as an in-recovery repair.
-                        self.rexmitted.insert(self.snd_una);
+                        self.rexmitted.insert(self.snd_una); //~ allow(hot_alloc): repair ledger; node count bounded by the flight window
                         self.send_sack_recovery(now, out);
                         out.timer = TimerCmd::Arm(now + self.rto.current_rto());
                     }
@@ -379,8 +380,8 @@ impl Sender {
             });
             match hole {
                 Some(seq) => {
-                    self.rexmitted.insert(seq);
-                    //= pftk#karn-rto
+                    self.rexmitted.insert(seq); //~ allow(hot_alloc): repair ledger; node count bounded by the flight window
+                                                //= pftk#karn-rto
                     if let Some((timed_seq, _)) = self.timed {
                         if timed_seq == seq {
                             self.timed = None; // Karn
@@ -388,6 +389,7 @@ impl Sender {
                     }
                     self.stats.packets_sent += 1;
                     self.stats.retransmissions += 1;
+                    //~ allow(hot_alloc): caller-owned output pool; capacity persists across reset
                     out.segments.push(Segment {
                         seq,
                         retransmit: true,
@@ -410,6 +412,7 @@ impl Sender {
                     }
                     self.stats.packets_sent += 1;
                     self.stats.packets_sent_new += 1;
+                    //~ allow(hot_alloc): caller-owned output pool; capacity persists across reset
                     out.segments.push(Segment {
                         seq,
                         retransmit: false,
@@ -472,6 +475,7 @@ impl Sender {
         }
         self.stats.packets_sent += 1;
         self.stats.retransmissions += 1;
+        //~ allow(hot_alloc): caller-owned output pool; capacity persists across reset
         out.segments.push(Segment {
             seq,
             retransmit: true,
@@ -492,6 +496,7 @@ impl Sender {
             }
             self.stats.packets_sent += 1;
             self.stats.packets_sent_new += 1;
+            //~ allow(hot_alloc): caller-owned output pool; capacity persists across reset
             out.segments.push(Segment {
                 seq,
                 retransmit: false,

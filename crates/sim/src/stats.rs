@@ -62,7 +62,7 @@ impl ConnStats {
     pub fn record_to_sequence(&mut self, len: u32) {
         debug_assert!(len >= 1);
         let idx = (len as usize - 1).min(self.to_sequences.len() - 1); //~ allow(cast): wmax-bounded index, fits usize
-        self.to_sequences[idx] += 1;
+        self.to_sequences[idx] += 1; //~ allow(hot_panic): idx clamped to len-1 on the line above
     }
 
     /// Merges another connection's counters into this one (used when

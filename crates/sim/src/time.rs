@@ -69,7 +69,7 @@ impl SimDuration {
     /// Builds a span from (possibly fractional) seconds. Panics on negative
     /// or non-finite input.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "invalid duration {secs}");
+        assert!(secs.is_finite() && secs >= 0.0, "invalid duration {secs}"); //~ allow(hot_panic): boundary guard; rejects NaN/negative spans at construction
         SimDuration((secs * 1e9).round() as u64) //~ allow(cast): deliberate float truncation after round/floor
     }
 

@@ -91,7 +91,7 @@ impl IntervalCore {
         if idx >= self.sent.len() {
             self.sent.resize(idx + 1, 0);
         }
-        self.sent[idx] += 1;
+        self.sent[idx] += 1; //~ allow(hot_panic): resize above guarantees idx is in bounds
     }
 
     /// Number of interval counters currently retained — the input to

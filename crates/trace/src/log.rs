@@ -101,21 +101,22 @@ impl TraceLog {
 
     /// The record at `index`, reassembled into the row-oriented form.
     fn record(&self, index: usize) -> TraceRecord {
+        //~ allow(hot_panic): callers index 0..len()
         let event = match self.kind[index] {
             KIND_SEND => TraceEvent::Send {
-                seq: self.value[index],
+                seq: self.value[index], //~ allow(hot_panic): callers index 0..len()
                 retx: false,
             },
             KIND_SEND_RETX => TraceEvent::Send {
-                seq: self.value[index],
+                seq: self.value[index], //~ allow(hot_panic): callers index 0..len()
                 retx: true,
             },
             _ => TraceEvent::AckIn {
-                ack: self.value[index],
+                ack: self.value[index], //~ allow(hot_panic): callers index 0..len()
             },
         };
         TraceRecord {
-            time_ns: self.time_ns[index],
+            time_ns: self.time_ns[index], //~ allow(hot_panic): callers index 0..len()
             event,
         }
     }

@@ -4,9 +4,12 @@
 //! This test runs the same checks as `cargo run -p pftk-audit`: every MUST
 //! claim in `specs/pftk-spec.toml` needs at least one implementation and one
 //! test citation (`//= pftk#<id>` / `//= pftk#<id> type=test`), no citation
-//! may reference an unknown or retired claim, and the lint rules (panic
+//! may reference an unknown or retired claim, the lint rules (panic
 //! family in library code, lossy casts in model/sim, float equality against
-//! literals) admit no unwhitelisted violations.
+//! literals) admit no unwhitelisted violations, and the `[[hotpath]]`
+//! registry's roots all resolve and stay free of unjustified reachable
+//! allocation, panics, and blocking (`hot_alloc` / `hot_panic` /
+//! `hot_block`), with `unit_escape` guarding the unit newtypes.
 //!
 //! If this test fails, run `cargo run -p pftk-audit` for the full report
 //! (also written to `results/conformance.json`).
@@ -38,6 +41,40 @@ fn every_must_claim_fully_covered() {
         "MUST claims lacking an impl or test citation: {:?}",
         uncovered.iter().map(|c| &c.id).collect::<Vec<_>>()
     );
+}
+
+#[test]
+fn hotpath_registry_resolves_and_is_guarded() {
+    let outcome = run_audit(workspace_root()).expect("audit ran");
+    // The registry must be non-trivial (an emptied registry would turn
+    // the hot-path analysis into a vacuous pass) and every root must
+    // resolve to at least one function in the call graph — a stale root
+    // silently un-guards its whole subtree.
+    assert!(
+        outcome.hotpaths.len() >= 5,
+        "hotpath registry shrank unexpectedly: {:?}",
+        outcome.hotpaths
+    );
+    for root in &outcome.hotpaths {
+        assert!(
+            root.resolved > 0,
+            "stale [[hotpath]] root {:?} matches no function; fix or remove it in specs/pftk-spec.toml",
+            root.root
+        );
+        assert!(
+            root.reached >= root.resolved,
+            "root walks at least its own functions: {root:?}"
+        );
+    }
+    // The per-rule breakdown carries the capability rules, all clean.
+    let counts = outcome.rule_counts();
+    for rule in ["hot_alloc", "hot_panic", "hot_block", "unit_escape"] {
+        assert_eq!(
+            counts.get(rule),
+            Some(&0),
+            "unjustified {rule} findings on a hot path; run `cargo run -p pftk-audit` for chains"
+        );
+    }
 }
 
 #[test]
