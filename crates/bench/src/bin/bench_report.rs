@@ -15,8 +15,9 @@ use std::time::Instant;
 use tcp_sim::connection::Connection;
 use tcp_sim::loss::Bernoulli;
 use tcp_sim::rounds::{RoundsConfig, RoundsSim};
-use tcp_sim::time::SimDuration;
-use tcp_testbed::TraceRecorder;
+use tcp_sim::time::{SimDuration, SimTime};
+use tcp_testbed::journal::Checkpoint;
+use tcp_testbed::{CampaignRecord, Journal, TraceRecorder};
 use tcp_trace::analyzer::{analyze, AnalyzerConfig};
 use tcp_trace::record::Trace;
 use tcp_trace::stream::{StreamAnalyzer, StreamConfig, TraceSink};
@@ -63,6 +64,52 @@ struct MemoryEntry {
     bytes_per_sim_hour: f64,
 }
 
+/// Checkpointing cost, measured two ways (DESIGN.md §13).
+///
+/// The acceptance row is the `packet_level_sim` workload (the same
+/// observer-free connection as the `60s_bernoulli` benches): checkpointing
+/// there costs one `Connection::snapshot` (~600 B) per boundary, and
+/// `overhead_frac` must stay ≤ 0.05 — this is the guard that the journal
+/// machinery stays off the sim hot path.
+///
+/// The `campaign_*` rows run the full journaled-campaign pipeline
+/// (streaming analyzer attached). A campaign checkpoint also carries the
+/// analyzer's retained sample vectors (hundreds of kilobytes); the worker
+/// only pays a state clone — the encode and I/O run on the journal's
+/// writer thread — but on a single-core host that thread shares the CPU,
+/// so the wall-clock `campaign_overhead_frac` reported here is an upper
+/// bound on what a multi-core host sees.
+#[derive(serde::Serialize)]
+struct CheckpointReport {
+    /// Checkpoint cadence, sim-seconds (`JournalConfig::default`).
+    cadence_sim_secs: f64,
+    /// Sliced-run horizon, sim-seconds.
+    horizon_sim_secs: f64,
+    /// Checkpoints written per timed iteration.
+    checkpoints_per_run: u64,
+    /// ns/event, packet-level workload, checkpointing off.
+    ns_per_event_off: f64,
+    /// ns/event, packet-level workload, conn checkpoint at each boundary.
+    ns_per_event_on: f64,
+    /// `(on - off) / off` for the packet-level workload — the acceptance
+    /// number (≤ 0.05).
+    overhead_frac: f64,
+    /// ns/event, full campaign pipeline, checkpointing off.
+    campaign_ns_per_event_off: f64,
+    /// ns/event, full campaign pipeline, checkpointing on.
+    campaign_ns_per_event_on: f64,
+    /// `(on - off) / off` for the campaign pipeline (informative; wall
+    /// clock includes the writer thread's CPU on single-core hosts).
+    campaign_overhead_frac: f64,
+    /// One `Connection::snapshot` for this workload, encoded bytes.
+    conn_snapshot_bytes: u64,
+    /// One `StreamAnalyzer::snapshot` for this workload, encoded bytes.
+    stream_snapshot_bytes: u64,
+    /// The full journaled checkpoint record (both snapshots plus resume
+    /// parameters), payload bytes before framing.
+    checkpoint_record_bytes: u64,
+}
+
 #[derive(serde::Serialize)]
 struct Report {
     /// Reminder that only release-profile numbers are comparable.
@@ -70,6 +117,8 @@ struct Report {
     entries: Vec<Entry>,
     /// Batch-vs-streaming memory comparison on an identical connection.
     trace_memory: Vec<MemoryEntry>,
+    /// Crash-safety cost: checkpointing on vs off, plus snapshot sizes.
+    checkpoint: CheckpointReport,
 }
 
 /// Median of `iters` timed runs of `workload`, which reports how many
@@ -229,6 +278,180 @@ fn trace_memory() -> Vec<MemoryEntry> {
     ]
 }
 
+/// Builds the checkpoint-overhead workload connection: the packet-level
+/// hot configuration with a streaming (non-retaining) recorder, the same
+/// shape journaled campaigns run.
+fn checkpoint_conn() -> Connection<TraceRecorder> {
+    Connection::builder()
+        .rtt(0.1)
+        .loss(Bernoulli::new(0.02))
+        .seed(7)
+        .build_with_observer(TraceRecorder::streaming(StreamConfig::default()))
+}
+
+/// One sliced run of the observer-free `packet_level_sim` workload; with
+/// `journal` set, a connection checkpoint is cut at every slice boundary.
+/// This isolates the sim-side cost of checkpointing (snapshot encode +
+/// channel handoff) from the analyzer-state encode, which belongs to the
+/// campaign pipeline measured by [`campaign_run`].
+fn sim_run(cadence: f64, horizon: f64, journal: Option<&Journal>) -> u64 {
+    let mut conn = Connection::builder()
+        .rtt(0.1)
+        .loss(Bernoulli::new(0.02))
+        .seed(7)
+        .build();
+    let mut k: u64 = 1;
+    loop {
+        let t = (k as f64 * cadence).min(horizon);
+        conn.run_until_budget(SimTime::from_secs_f64(t), u64::MAX);
+        if t >= horizon {
+            break;
+        }
+        if let Some(journal) = journal {
+            if let Ok(conn_bytes) = conn.snapshot() {
+                let boundary = k + 1;
+                journal.append_with(move || {
+                    CampaignRecord::Checkpoint(Checkpoint {
+                        job_index: 0,
+                        seed: 7,
+                        wire_bits: [0; 3],
+                        horizon_bits: horizon.to_bits(),
+                        every_bits: cadence.to_bits(),
+                        next_boundary: boundary,
+                        conn: conn_bytes,
+                        stream: Vec::new(),
+                    })
+                    .encode()
+                });
+            }
+        }
+        k += 1;
+    }
+    std::hint::black_box(conn.stats().packets_sent);
+    conn.events_processed()
+}
+
+/// One sliced run of the full journaled-campaign pipeline (streaming
+/// analyzer attached); with `journal` set, a full checkpoint (connection
+/// snapshot + analyzer clone, encoded on the writer thread) is cut at
+/// every slice boundary — exactly what `run_table2_journaled` does
+/// between `run_until_budget` slices.
+fn campaign_run(cadence: f64, horizon: f64, journal: Option<&Journal>) -> u64 {
+    let mut conn = checkpoint_conn();
+    let mut k: u64 = 1;
+    loop {
+        let t = (k as f64 * cadence).min(horizon);
+        conn.run_until_budget(SimTime::from_secs_f64(t), u64::MAX);
+        if t >= horizon {
+            break;
+        }
+        if let Some(journal) = journal {
+            if let (Ok(conn_bytes), Some(analyzer)) =
+                (conn.snapshot(), conn.observer().stream_clone())
+            {
+                let boundary = k + 1;
+                journal.append_with(move || {
+                    CampaignRecord::Checkpoint(Checkpoint {
+                        job_index: 0,
+                        seed: 7,
+                        wire_bits: [0; 3],
+                        horizon_bits: horizon.to_bits(),
+                        every_bits: cadence.to_bits(),
+                        next_boundary: boundary,
+                        conn: conn_bytes,
+                        stream: analyzer.snapshot(),
+                    })
+                    .encode()
+                });
+            }
+        }
+        k += 1;
+    }
+    std::hint::black_box(conn.stats().packets_sent);
+    conn.events_processed()
+}
+
+fn checkpoint_report() -> Result<CheckpointReport, Box<dyn std::error::Error>> {
+    // The production density: `JournalConfig::default` cuts a checkpoint
+    // every 300 sim-seconds. A denser cadence inflates the relative cost
+    // quadratically (same encode work amortized over fewer sim events)
+    // and does not reflect what journaled campaigns pay.
+    const CADENCE: f64 = 300.0;
+    const HORIZON: f64 = 900.0;
+    let checkpoints_per_run = (HORIZON / CADENCE) as u64 - 1;
+
+    // Snapshot sizes, measured once mid-run (steady state, not cold start).
+    let (conn_snapshot_bytes, stream_snapshot_bytes, checkpoint_record_bytes) = {
+        let mut conn = checkpoint_conn();
+        conn.run_until_budget(SimTime::from_secs_f64(HORIZON / 2.0), u64::MAX);
+        let conn_bytes = conn.snapshot().unwrap_or_default();
+        let stream_bytes = conn.observer().stream_snapshot().unwrap_or_default();
+        let record = CampaignRecord::Checkpoint(Checkpoint {
+            job_index: 0,
+            seed: 7,
+            wire_bits: [0; 3],
+            horizon_bits: HORIZON.to_bits(),
+            every_bits: CADENCE.to_bits(),
+            next_boundary: 1,
+            conn: conn_bytes.clone(),
+            stream: stream_bytes.clone(),
+        })
+        .encode();
+        (
+            conn_bytes.len() as u64,
+            stream_bytes.len() as u64,
+            record.len() as u64,
+        )
+    };
+
+    let mut journal_path = std::env::temp_dir();
+    journal_path.push(format!("pftk-bench-checkpoint-{}.waj", std::process::id()));
+    let _ = std::fs::remove_file(&journal_path);
+    let journal = Journal::open(&journal_path)?;
+
+    // Interleave the off/on timings so slow machine phases (thermal,
+    // scheduler) bias both sides equally instead of whichever ran second.
+    let measure_pair = |run: &mut dyn FnMut(Option<&Journal>) -> u64| {
+        let mut off_times = Vec::new();
+        let mut on_times = Vec::new();
+        let mut off_events = 0;
+        let mut on_events = 0;
+        for _ in 0..15 {
+            let start = Instant::now();
+            off_events = run(None);
+            off_times.push(start.elapsed().as_nanos() as f64);
+            let start = Instant::now();
+            on_events = run(Some(&journal));
+            on_times.push(start.elapsed().as_nanos() as f64);
+        }
+        off_times.sort_by(f64::total_cmp);
+        on_times.sort_by(f64::total_cmp);
+        let off = off_times[off_times.len() / 2] / off_events.max(1) as f64;
+        let on = on_times[on_times.len() / 2] / on_events.max(1) as f64;
+        (off, on, (on - off) / off.max(f64::MIN_POSITIVE))
+    };
+
+    let (sim_off, sim_on, sim_frac) = measure_pair(&mut |j| sim_run(CADENCE, HORIZON, j));
+    let (camp_off, camp_on, camp_frac) = measure_pair(&mut |j| campaign_run(CADENCE, HORIZON, j));
+    drop(journal);
+    let _ = std::fs::remove_file(&journal_path);
+
+    Ok(CheckpointReport {
+        cadence_sim_secs: CADENCE,
+        horizon_sim_secs: HORIZON,
+        checkpoints_per_run,
+        ns_per_event_off: sim_off,
+        ns_per_event_on: sim_on,
+        overhead_frac: sim_frac,
+        campaign_ns_per_event_off: camp_off,
+        campaign_ns_per_event_on: camp_on,
+        campaign_overhead_frac: camp_frac,
+        conn_snapshot_bytes,
+        stream_snapshot_bytes,
+        checkpoint_record_bytes,
+    })
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = Report {
         profile: if cfg!(debug_assertions) {
@@ -244,6 +467,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             streaming_analyzer(),
         ],
         trace_memory: trace_memory(),
+        checkpoint: checkpoint_report()?,
     };
     let json = serde_json::to_string_pretty(&report)?;
     std::fs::create_dir_all("results")?;

@@ -19,12 +19,13 @@ use crate::event::{EngineKind, EventScheduler, HybridEngine, Lane, LegacyEngine}
 use crate::fault::{Direction, FaultPlan, Impairment};
 use crate::link::Path;
 use crate::loss::{LossKind, LossModel, NoLoss};
-use crate::packet::{Ack, Segment, Seq};
+use crate::packet::{Ack, SackBlocks, Segment, Seq};
 use crate::receiver::{DelAckTimer, Receiver, ReceiverConfig, ReceiverOutput};
 use crate::reno::sender::{Sender, SenderConfig, SenderOutput, TimerCmd};
 use crate::rng::SimRng;
 use crate::stats::ConnStats;
 use crate::time::{SimDuration, SimTime};
+use pftk_snap::{frame, unframe, SnapError, SnapReader, SnapResult, SnapWriter};
 
 /// A sender-side wire observer (what `tcpdump` on the sender host records).
 pub trait Observer {
@@ -48,6 +49,54 @@ enum Ev {
     Rto(u64),
     DelAck(u64),
 }
+
+impl Ev {
+    /// Payload codec for queue snapshots: a one-byte discriminant, then the
+    /// variant's fields.
+    fn snapshot_into(&self, w: &mut SnapWriter) {
+        match self {
+            Ev::DataArrive(seg) => {
+                w.put_u8(0);
+                w.put_u64(seg.seq);
+                w.put_bool(seg.retransmit);
+            }
+            Ev::AckArrive(ack) => {
+                w.put_u8(1);
+                w.put_u64(ack.ack);
+                ack.sack.snapshot_into(w);
+            }
+            Ev::Rto(gen) => {
+                w.put_u8(2);
+                w.put_u64(*gen);
+            }
+            Ev::DelAck(gen) => {
+                w.put_u8(3);
+                w.put_u64(*gen);
+            }
+        }
+    }
+
+    fn restore_from(r: &mut SnapReader<'_>) -> SnapResult<Ev> {
+        match r.get_u8()? {
+            0 => Ok(Ev::DataArrive(Segment {
+                seq: r.get_u64()?,
+                retransmit: r.get_bool()?,
+            })),
+            1 => Ok(Ev::AckArrive(Ack {
+                ack: r.get_u64()?,
+                sack: SackBlocks::restore_from(r)?,
+            })),
+            2 => Ok(Ev::Rto(r.get_u64()?)),
+            3 => Ok(Ev::DelAck(r.get_u64()?)),
+            _ => Err(SnapError::Invalid("event payload discriminant")),
+        }
+    }
+}
+
+/// Frame kind identifying a full connection snapshot (DESIGN.md §13).
+pub const CONN_SNAPSHOT_KIND: u32 = 1;
+/// Newest connection-snapshot format version this build reads and writes.
+pub const CONN_SNAPSHOT_VERSION: u32 = 1;
 
 /// Configuration for a simulated connection; see [`Connection::builder`].
 pub struct ConnectionBuilder {
@@ -264,6 +313,14 @@ impl<O: Observer, K: EngineKind> Connection<O, K> {
         &self.observer
     }
 
+    /// Mutable access to the observer (e.g. to restore a snapshotted
+    /// streaming analyzer alongside [`Connection::restore`] — the
+    /// connection snapshot deliberately excludes the observer, whose
+    /// persistence is the owner's concern).
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
+    }
+
     /// Consumes the connection, returning the observer.
     pub fn into_observer(self) -> O {
         self.observer
@@ -459,6 +516,104 @@ impl<O: Observer, K: EngineKind> Connection<O, K> {
                 self.delack_gen += 1;
             }
         }
+    }
+}
+
+/// Checkpoint/restore — available on the default hybrid engine (the one
+/// campaigns run on).
+impl<O: Observer> Connection<O, HybridEngine> {
+    /// Encodes the connection's full mutable state — clock, event queue,
+    /// sender/receiver protocol state, path and loss-process cursors, fault
+    /// plan cursors, and all three RNG stream positions — as a framed,
+    /// checksummed snapshot ([`CONN_SNAPSHOT_KIND`]).
+    ///
+    /// A connection restored from this snapshot into an identically
+    /// configured build produces a bit-identical event stream to the
+    /// uninterrupted run. The observer is *not* captured: trace state is
+    /// snapshotted separately by the caller (observers are caller-owned and
+    /// arbitrary).
+    ///
+    /// Errors only when the state is not snapshottable
+    /// ([`SnapError::Unsupported`], e.g. a type-erased
+    /// [`crate::loss::LossKind::Dyn`] loss process).
+    pub fn snapshot(&self) -> SnapResult<Vec<u8>> {
+        let mut w = SnapWriter::with_capacity(4096);
+        w.put_u64(self.now.as_nanos());
+        w.put_u64(self.rto_gen);
+        w.put_u64(self.delack_gen);
+        w.put_u64(self.next_round_seq);
+        w.put_bool(self.started);
+        w.put_u64(self.events_processed);
+        // The pooled sender/receiver scratch buffers are intentionally not
+        // captured: they are dead between events (each dispatch clears and
+        // refills them before they are read).
+        self.queue.snapshot_into(&mut w, Ev::snapshot_into);
+        self.sender.snapshot_into(&mut w);
+        self.receiver.snapshot_into(&mut w);
+        self.fwd.snapshot_into(&mut w);
+        self.rev.snapshot_into(&mut w);
+        self.loss.snapshot_into(&mut w)?;
+        match &self.ack_loss {
+            Some(al) => {
+                w.put_bool(true);
+                al.snapshot_into(&mut w)?;
+            }
+            None => w.put_bool(false),
+        }
+        self.fault.state_snapshot_into(&mut w);
+        self.loss_rng.snapshot_into(&mut w);
+        self.path_rng.snapshot_into(&mut w);
+        self.fault_rng.snapshot_into(&mut w);
+        Ok(frame(
+            CONN_SNAPSHOT_KIND,
+            CONN_SNAPSHOT_VERSION,
+            &w.into_bytes(),
+        ))
+    }
+
+    /// Applies a snapshot produced by [`Connection::snapshot`] into this
+    /// connection, which must have been built with the same configuration
+    /// (builder parameters and seed). Shape tags catch mismatched
+    /// configurations ([`SnapError::TagMismatch`]); corrupt or truncated
+    /// bytes fail the frame checksum or a bounds check — never a panic.
+    ///
+    /// On error the connection is left in an unspecified partially-restored
+    /// state: rebuild it before further use.
+    pub fn restore(&mut self, bytes: &[u8]) -> SnapResult<()> {
+        let framed = unframe(bytes, CONN_SNAPSHOT_VERSION)?;
+        if framed.kind != CONN_SNAPSHOT_KIND {
+            return Err(SnapError::Invalid("not a connection snapshot"));
+        }
+        let mut r = SnapReader::new(framed.payload);
+        self.now = SimTime::from_nanos(r.get_u64()?);
+        self.rto_gen = r.get_u64()?;
+        self.delack_gen = r.get_u64()?;
+        self.next_round_seq = r.get_u64()?;
+        self.started = r.get_bool()?;
+        self.events_processed = r.get_u64()?;
+        self.queue.restore_from(&mut r, Ev::restore_from)?;
+        self.sender.restore_from(&mut r)?;
+        self.receiver.restore_from(&mut r)?;
+        self.fwd.restore_from(&mut r)?;
+        self.rev.restore_from(&mut r)?;
+        self.loss.restore_from(&mut r)?;
+        let snap_has_ack_loss = r.get_bool()?;
+        match (&mut self.ack_loss, snap_has_ack_loss) {
+            (Some(al), true) => al.restore_from(&mut r)?,
+            (None, false) => {}
+            (target, found) => {
+                return Err(SnapError::TagMismatch {
+                    context: "ack-loss-presence",
+                    expected: u64::from(target.is_some()),
+                    found: u64::from(found),
+                });
+            }
+        }
+        self.fault.state_restore_from(&mut r)?;
+        self.loss_rng.restore_from(&mut r)?;
+        self.path_rng.restore_from(&mut r)?;
+        self.fault_rng.restore_from(&mut r)?;
+        r.finish()
     }
 }
 
@@ -810,5 +965,172 @@ mod tests {
             "segmented run must replay identically"
         );
         assert_eq!(pieces.now(), SimTime::from_secs_f64(100.0));
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let build = || {
+            Connection::builder()
+                .rtt(0.1)
+                .loss(Box::new(Bernoulli::new(0.02)))
+                .seed(21)
+                .build()
+        };
+        let mut whole = build();
+        whole.run_for(secs(100.0));
+        whole.finish();
+
+        let mut interrupted = build();
+        interrupted.run_for(secs(37.0));
+        let snap = interrupted.snapshot().expect("snapshot");
+        // Snapshot encoding is deterministic: same state, same bytes.
+        assert_eq!(snap, interrupted.snapshot().expect("snapshot again"));
+
+        let mut resumed = build();
+        resumed.restore(&snap).expect("restore");
+        assert_eq!(resumed.now(), interrupted.now());
+        assert_eq!(resumed.events_processed(), interrupted.events_processed());
+        assert_eq!(resumed.stats(), interrupted.stats());
+
+        // Both the original and the restored copy continue identically to
+        // the uninterrupted run.
+        for c in [&mut interrupted, &mut resumed] {
+            c.run_until(SimTime::from_secs_f64(100.0));
+            c.finish();
+            assert_eq!(
+                whole.stats(),
+                c.stats(),
+                "resume must replay bit-identically"
+            );
+            assert_eq!(c.now(), SimTime::from_secs_f64(100.0));
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_under_chaos_resumes_bit_identically() {
+        use crate::fault::FaultPlan;
+        use crate::reno::sender::{RenoStyle, SenderConfig};
+        // The stress configuration: stateful loss cursor, ACK loss, a
+        // seeded fault plan (reordering/duplication/jitter cursors), SACK
+        // scoreboard, delayed ACKs — every snapshottable subsystem live.
+        let build = || {
+            Connection::builder()
+                .rtt(0.08)
+                .sender_config(SenderConfig {
+                    style: RenoStyle::Sack,
+                    ..SenderConfig::default()
+                })
+                .loss(Box::new(RoundCorrelated::new(0.02)))
+                .ack_loss(Box::new(Bernoulli::new(0.1)))
+                .fault(FaultPlan::from_seed(7))
+                .seed(91)
+                .build()
+        };
+        let mut whole = build();
+        whole.run_for(secs(120.0));
+        whole.finish();
+
+        for cut in [13.0, 61.7, 119.9] {
+            let mut first = build();
+            first.run_until(SimTime::from_secs_f64(cut));
+            let snap = first.snapshot().expect("snapshot");
+            let mut resumed = build();
+            resumed.restore(&snap).expect("restore");
+            resumed.run_until(SimTime::from_secs_f64(120.0));
+            resumed.finish();
+            assert_eq!(whole.stats(), resumed.stats(), "cut at {cut}s");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_configuration() {
+        let mut donor = Connection::builder()
+            .rtt(0.1)
+            .loss(Box::new(Bernoulli::new(0.02)))
+            .seed(3)
+            .build();
+        donor.run_for(secs(10.0));
+        let snap = donor.snapshot().expect("snapshot");
+
+        // Different loss-process kind.
+        let mut wrong_loss = Connection::builder()
+            .rtt(0.1)
+            .loss(Box::new(RoundCorrelated::new(0.02)))
+            .seed(3)
+            .build();
+        assert!(matches!(
+            wrong_loss.restore(&snap),
+            Err(pftk_snap::SnapError::TagMismatch { .. })
+        ));
+
+        // ACK-loss process present in the target but not the snapshot.
+        let mut wrong_ack = Connection::builder()
+            .rtt(0.1)
+            .loss(Box::new(Bernoulli::new(0.02)))
+            .ack_loss(Box::new(Bernoulli::new(0.1)))
+            .seed(3)
+            .build();
+        assert!(matches!(
+            wrong_ack.restore(&snap),
+            Err(pftk_snap::SnapError::TagMismatch {
+                context: "ack-loss-presence",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn restore_rejects_corruption_without_panicking() {
+        use pftk_snap::SnapError;
+        let mut donor = Connection::builder()
+            .rtt(0.1)
+            .loss(Box::new(Bernoulli::new(0.02)))
+            .seed(3)
+            .build();
+        donor.run_for(secs(10.0));
+        let snap = donor.snapshot().expect("snapshot");
+        let fresh = || {
+            Connection::builder()
+                .rtt(0.1)
+                .loss(Box::new(Bernoulli::new(0.02)))
+                .seed(3)
+                .build()
+        };
+
+        // Bit flip anywhere in the payload: the frame checksum catches it.
+        let mut flipped = snap.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        assert_eq!(fresh().restore(&flipped), Err(SnapError::ChecksumMismatch));
+
+        // Truncations at every prefix length must error, never panic.
+        for cut in 0..snap.len().min(64) {
+            assert!(fresh().restore(&snap[..cut]).is_err(), "prefix {cut}");
+        }
+        assert!(fresh().restore(&snap[..snap.len() - 1]).is_err());
+
+        // Garbage input: bad magic.
+        assert_eq!(
+            fresh().restore(&[0u8; 64]),
+            Err(SnapError::BadMagic),
+            "garbage must be rejected at the magic check"
+        );
+
+        // The pristine snapshot still restores after all that.
+        let mut ok = fresh();
+        ok.restore(&snap).expect("pristine restore");
+        assert_eq!(ok.stats(), donor.stats());
+    }
+
+    #[test]
+    fn dyn_loss_snapshot_is_unsupported_not_a_panic() {
+        use crate::loss::LossModel;
+        let dynamic: Box<dyn LossModel + Send> = Box::new(Bernoulli::new(0.01));
+        let mut c = Connection::builder().rtt(0.1).loss(dynamic).seed(1).build();
+        c.run_for(secs(5.0));
+        assert!(matches!(
+            c.snapshot(),
+            Err(pftk_snap::SnapError::Unsupported(_))
+        ));
     }
 }

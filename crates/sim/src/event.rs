@@ -36,6 +36,7 @@
 //! differ, never the sequence of live events.
 
 use crate::time::SimTime;
+use pftk_snap::{SnapError, SnapReader, SnapResult, SnapWriter};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -272,6 +273,104 @@ impl<E> HybridQueue<E> {
             }
         }
         best
+    }
+
+    /// Writes the queue's full state — every pending event with its
+    /// `(time, id)` key plus the id counter — using `enc` to serialize
+    /// payloads. Heap entries are emitted sorted by key so the byte
+    /// encoding is a pure function of the queue's contents (a `BinaryHeap`'s
+    /// internal layout depends on insertion history).
+    pub(crate) fn snapshot_into(
+        &self,
+        w: &mut SnapWriter,
+        mut enc: impl FnMut(&E, &mut SnapWriter),
+    ) {
+        w.put_u64(self.next_id);
+        for lane in [&self.data, &self.ack] {
+            w.put_usize(lane.len());
+            for e in lane {
+                w.put_u64(e.at.as_nanos());
+                w.put_u64(e.id);
+                enc(&e.payload, w);
+            }
+        }
+        for slot in [&self.rto, &self.delack] {
+            match slot {
+                Some(e) => {
+                    w.put_bool(true);
+                    w.put_u64(e.at.as_nanos());
+                    w.put_u64(e.id);
+                    enc(&e.payload, w);
+                }
+                None => w.put_bool(false),
+            }
+        }
+        let mut entries: Vec<&Entry<E>> = self.heap.iter().collect();
+        entries.sort_by_key(|e| e.key.0);
+        w.put_usize(entries.len());
+        for e in entries {
+            let (at, id) = e.key.0;
+            w.put_u64(at.as_nanos());
+            w.put_u64(id);
+            enc(&e.payload, w);
+        }
+    }
+
+    /// Rebuilds the queue from state written by [`Self::snapshot_into`],
+    /// using `dec` to deserialize payloads. Existing contents are
+    /// discarded. Lane ordering is validated so a corrupt snapshot yields
+    /// an error instead of a queue that pops out of order.
+    pub(crate) fn restore_from(
+        &mut self,
+        r: &mut SnapReader<'_>,
+        mut dec: impl FnMut(&mut SnapReader<'_>) -> SnapResult<E>,
+    ) -> SnapResult<()> {
+        self.data.clear();
+        self.ack.clear();
+        self.rto = None;
+        self.delack = None;
+        self.heap.clear();
+        self.next_id = r.get_u64()?;
+        let mut read_entry = |r: &mut SnapReader<'_>| -> SnapResult<LaneEntry<E>> {
+            let at = SimTime::from_nanos(r.get_u64()?);
+            let id = r.get_u64()?;
+            let payload = dec(r)?;
+            Ok(LaneEntry { at, id, payload })
+        };
+        for lane_idx in 0..2u8 {
+            let n = r.get_usize()?;
+            for _ in 0..n {
+                let e = read_entry(r)?;
+                let deque = if lane_idx == 0 {
+                    &mut self.data
+                } else {
+                    &mut self.ack
+                };
+                if deque.back().is_some_and(|b| (e.at, e.id) <= (b.at, b.id)) {
+                    return Err(SnapError::Invalid("event lane not sorted by (time, id)"));
+                }
+                deque.push_back(e);
+            }
+        }
+        self.rto = if r.get_bool()? {
+            Some(read_entry(r)?)
+        } else {
+            None
+        };
+        self.delack = if r.get_bool()? {
+            Some(read_entry(r)?)
+        } else {
+            None
+        };
+        let n = r.get_usize()?;
+        for _ in 0..n {
+            let e = read_entry(r)?;
+            self.heap.push(Entry {
+                key: Reverse((e.at, e.id)),
+                payload: e.payload,
+            });
+        }
+        Ok(())
     }
 }
 

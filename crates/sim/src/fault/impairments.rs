@@ -9,6 +9,7 @@ use super::{Direction, Impairment, PacketFate};
 use crate::loss::TimedGilbertElliott;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
+use pftk_snap::{SnapReader, SnapResult, SnapWriter};
 
 /// Packet reordering by bounded hold-back: with probability `p` a packet
 /// is delayed by a uniform extra hold in `(0, max_hold]`, letting packets
@@ -169,6 +170,16 @@ impl Impairment for JitterBurst {
 
     fn label(&self) -> &'static str {
         "jitter-burst"
+    }
+
+    // The only stateful impairment: the episode chain's cursor must survive
+    // a checkpoint or the restored run re-draws episode boundaries.
+    fn state_snapshot_into(&self, w: &mut SnapWriter) {
+        self.episodes.state_snapshot_into(w);
+    }
+
+    fn state_restore_from(&mut self, r: &mut SnapReader<'_>) -> SnapResult<()> {
+        self.episodes.state_restore_from(r)
     }
 }
 

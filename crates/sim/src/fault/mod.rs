@@ -40,6 +40,7 @@ pub use plan::FaultPlan;
 
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
+use pftk_snap::{SnapReader, SnapResult, SnapWriter};
 
 /// Which leg of the connection a packet travels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,6 +102,19 @@ pub trait Impairment {
 
     /// A short human-readable label for reports.
     fn label(&self) -> &'static str;
+
+    /// Writes the impairment's mutable state into a snapshot. Stateless
+    /// impairments (the default — most draw fresh from the RNG per packet)
+    /// write nothing.
+    fn state_snapshot_into(&self, w: &mut SnapWriter) {
+        let _ = w;
+    }
+
+    /// Reads state written by [`Impairment::state_snapshot_into`].
+    fn state_restore_from(&mut self, r: &mut SnapReader<'_>) -> SnapResult<()> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -4,6 +4,7 @@ use super::impairments::{AckLoss, CorruptDrop, Duplicate, JitterBurst, LinkFlap,
 use super::{Direction, Impairment, PacketFate};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
+use pftk_snap::{SnapReader, SnapResult, SnapWriter};
 
 /// A composed set of impairments applied to every packet of a connection.
 ///
@@ -123,6 +124,23 @@ impl Impairment for FaultPlan {
 
     fn label(&self) -> &'static str {
         "fault-plan"
+    }
+
+    // Component count is a shape tag: restore requires a plan with the same
+    // composition (guaranteed when both were built from the same seed).
+    fn state_snapshot_into(&self, w: &mut SnapWriter) {
+        w.put_tag(self.components.len() as u64); //~ allow(cast): usize length to u64, lossless on this platform set
+        for c in &self.components {
+            c.state_snapshot_into(w);
+        }
+    }
+
+    fn state_restore_from(&mut self, r: &mut SnapReader<'_>) -> SnapResult<()> {
+        r.expect_tag("fault-plan-len", self.components.len() as u64)?; //~ allow(cast): usize length to u64, lossless on this platform set
+        for c in &mut self.components {
+            c.state_restore_from(r)?;
+        }
+        Ok(())
     }
 }
 

@@ -9,6 +9,7 @@
 use crate::queue::QueuePolicy;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
+use pftk_snap::{SnapReader, SnapResult, SnapWriter};
 
 /// Additive delay jitter.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -131,6 +132,40 @@ impl Path {
     /// Base propagation delay.
     pub fn propagation(&self) -> SimDuration {
         self.propagation
+    }
+
+    /// Writes the path's mutable state (FIFO clamp, bottleneck server
+    /// horizon + drop counter + policy state). The bottleneck's presence is
+    /// a shape tag: restore requires an identically-configured path.
+    pub(crate) fn snapshot_into(&self, w: &mut SnapWriter) {
+        w.put_u64(self.last_arrival.as_nanos());
+        match &self.bottleneck {
+            Some(b) => {
+                w.put_tag(1);
+                w.put_u64(b.horizon.as_nanos());
+                w.put_u64(b.drops);
+                b.policy.state_snapshot_into(w);
+            }
+            None => w.put_tag(0),
+        }
+    }
+
+    /// Reads state written by [`Self::snapshot_into`]; fails with a tag
+    /// mismatch if this path's bottleneck shape differs.
+    pub(crate) fn restore_from(&mut self, r: &mut SnapReader<'_>) -> SnapResult<()> {
+        self.last_arrival = SimTime::from_nanos(r.get_u64()?);
+        match &mut self.bottleneck {
+            Some(b) => {
+                r.expect_tag("path-bottleneck", 1)?;
+                b.horizon = SimTime::from_nanos(r.get_u64()?);
+                b.drops = r.get_u64()?;
+                b.policy.state_restore_from(r)
+            }
+            None => {
+                r.expect_tag("path-bottleneck", 0)?;
+                Ok(())
+            }
+        }
     }
 
     /// Transits one packet entering the path at `now`. Returns its arrival

@@ -26,6 +26,7 @@
 
 use crate::rng::SimRng;
 use crate::time::SimTime;
+use pftk_snap::{SnapError, SnapReader, SnapResult, SnapWriter};
 
 /// A loss process: decides the fate of each transmitted data packet.
 pub trait LossModel {
@@ -301,6 +302,22 @@ impl TimedGilbertElliott {
         self.advance_to(now, rng);
         self.in_bad
     }
+
+    /// Writes the chain's cursor (state, expiry, lazily-initialized flag).
+    /// Shared by the loss-process and fault-impairment snapshot paths.
+    pub(crate) fn state_snapshot_into(&self, w: &mut SnapWriter) {
+        w.put_bool(self.in_bad);
+        w.put_u64(self.next_flip.as_nanos());
+        w.put_bool(self.initialized);
+    }
+
+    /// Reads a cursor written by [`Self::state_snapshot_into`].
+    pub(crate) fn state_restore_from(&mut self, r: &mut SnapReader<'_>) -> SnapResult<()> {
+        self.in_bad = r.get_bool()?;
+        self.next_flip = SimTime::from_nanos(r.get_u64()?);
+        self.initialized = r.get_bool()?;
+        Ok(())
+    }
 }
 
 impl LossModel for TimedGilbertElliott {
@@ -447,6 +464,75 @@ impl LossModel for LossKind {
             LossKind::Mixed(m) => m.label(),
             LossKind::Dyn(m) => m.label(),
         }
+    }
+}
+
+impl LossKind {
+    /// Stable numeric code for the variant, used as a snapshot shape tag.
+    fn variant_tag(&self) -> u64 {
+        match self {
+            LossKind::None(_) => 0,
+            LossKind::Bernoulli(_) => 1,
+            LossKind::RoundCorrelated(_) => 2,
+            LossKind::GilbertElliott(_) => 3,
+            LossKind::TimedGilbertElliott(_) => 4,
+            LossKind::Deterministic(_) => 5,
+            LossKind::Mixed(_) => 6,
+            LossKind::Dyn(_) => 7,
+        }
+    }
+
+    /// Writes the process's mutable cursor (burst state, episode expiry,
+    /// drop counter, …). Parameters (`p`, state means, period) are config:
+    /// restore requires an identically-configured process, enforced by the
+    /// variant tag. [`LossKind::Dyn`] is opaque and unsupported.
+    pub(crate) fn snapshot_into(&self, w: &mut SnapWriter) -> SnapResult<()> {
+        w.put_tag(self.variant_tag());
+        match self {
+            LossKind::None(_) | LossKind::Bernoulli(_) => {}
+            LossKind::RoundCorrelated(m) => w.put_bool(m.dropping_rest_of_round),
+            LossKind::GilbertElliott(m) => w.put_bool(m.in_bad),
+            LossKind::TimedGilbertElliott(m) => m.state_snapshot_into(w),
+            LossKind::Deterministic(m) => w.put_u64(m.count),
+            LossKind::Mixed(m) => {
+                w.put_tag(m.components.len() as u64); //~ allow(cast): usize length to u64, lossless on this platform set
+                for c in &m.components {
+                    c.snapshot_into(w)?;
+                }
+            }
+            LossKind::Dyn(_) => {
+                return Err(SnapError::Unsupported(
+                    "LossKind::Dyn processes cannot be snapshotted",
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a cursor written by [`Self::snapshot_into`]; fails with a tag
+    /// mismatch if this process's variant differs from the snapshotted one.
+    pub(crate) fn restore_from(&mut self, r: &mut SnapReader<'_>) -> SnapResult<()> {
+        let tag = self.variant_tag();
+        r.expect_tag("loss-kind", tag)?;
+        match self {
+            LossKind::None(_) | LossKind::Bernoulli(_) => {}
+            LossKind::RoundCorrelated(m) => m.dropping_rest_of_round = r.get_bool()?,
+            LossKind::GilbertElliott(m) => m.in_bad = r.get_bool()?,
+            LossKind::TimedGilbertElliott(m) => m.state_restore_from(r)?,
+            LossKind::Deterministic(m) => m.count = r.get_u64()?,
+            LossKind::Mixed(m) => {
+                r.expect_tag("loss-mixed-len", m.components.len() as u64)?; //~ allow(cast): usize length to u64, lossless on this platform set
+                for c in &mut m.components {
+                    c.restore_from(r)?;
+                }
+            }
+            LossKind::Dyn(_) => {
+                return Err(SnapError::Unsupported(
+                    "LossKind::Dyn processes cannot be snapshotted",
+                ))
+            }
+        }
+        Ok(())
     }
 }
 

@@ -4,6 +4,7 @@
 //! ("we measure send rate in terms of packets per unit of time"). Sequence
 //! numbers count whole segments.
 
+use pftk_snap::{SnapError, SnapReader, SnapResult, SnapWriter};
 use serde::{Deserialize, Serialize};
 
 /// A segment sequence number (in packets, not bytes).
@@ -61,6 +62,38 @@ impl SackBlocks {
     /// True when no ranges are carried.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Writes the carried ranges. Unused block slots are always `(0, 0)`
+    /// (construction goes through [`SackBlocks::EMPTY`]), so encoding only
+    /// the live ranges round-trips bit-exactly.
+    pub(crate) fn snapshot_into(&self, w: &mut SnapWriter) {
+        w.put_u8(self.len);
+        for (start, end) in self.ranges() {
+            w.put_u64(*start);
+            w.put_u64(*end);
+        }
+    }
+
+    /// Reads blocks written by [`Self::snapshot_into`]. Validates the
+    /// count against the fixed capacity instead of asserting, so corrupt
+    /// input yields an error, never a panic.
+    pub(crate) fn restore_from(r: &mut SnapReader<'_>) -> SnapResult<SackBlocks> {
+        let len = r.get_u8()?;
+        if usize::from(len) > MAX_SACK_BLOCKS {
+            return Err(SnapError::Invalid("SACK block count exceeds capacity"));
+        }
+        let mut out = SackBlocks::EMPTY;
+        for slot in out.blocks.iter_mut().take(usize::from(len)) {
+            let start = r.get_u64()?;
+            let end = r.get_u64()?;
+            if start >= end {
+                return Err(SnapError::Invalid("SACK range must be non-empty"));
+            }
+            *slot = (start, end);
+        }
+        out.len = len;
+        Ok(out)
     }
 }
 

@@ -8,6 +8,7 @@
 //! paths.
 
 use crate::rng::SimRng;
+use pftk_snap::{SnapReader, SnapResult, SnapWriter};
 
 /// Decides whether an arriving packet is admitted to the bottleneck queue.
 pub trait QueuePolicy {
@@ -17,6 +18,18 @@ pub trait QueuePolicy {
 
     /// Human-readable label for reports.
     fn label(&self) -> &'static str;
+
+    /// Writes the policy's mutable state into a snapshot. Stateless
+    /// policies (the default) write nothing.
+    fn state_snapshot_into(&self, w: &mut SnapWriter) {
+        let _ = w;
+    }
+
+    /// Reads state written by [`QueuePolicy::state_snapshot_into`].
+    fn state_restore_from(&mut self, r: &mut SnapReader<'_>) -> SnapResult<()> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 /// Classic drop-tail: admit until the buffer is full.
@@ -119,6 +132,17 @@ impl QueuePolicy for Red {
 
     fn label(&self) -> &'static str {
         "red"
+    }
+
+    fn state_snapshot_into(&self, w: &mut SnapWriter) {
+        w.put_f64(self.avg);
+        w.put_u64(self.count_since_drop);
+    }
+
+    fn state_restore_from(&mut self, r: &mut SnapReader<'_>) -> SnapResult<()> {
+        self.avg = r.get_f64()?;
+        self.count_since_drop = r.get_u64()?;
+        Ok(())
     }
 }
 

@@ -8,6 +8,7 @@
 
 use crate::packet::{Ack, SackBlocks, Segment, Seq};
 use crate::time::{SimDuration, SimTime};
+use pftk_snap::{SnapError, SnapReader, SnapResult, SnapWriter};
 
 /// What the connection layer should do with the delayed-ACK timer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,6 +116,58 @@ impl Receiver {
     /// Distinct data packets that have arrived (§V throughput counter).
     pub fn distinct_received(&self) -> u64 {
         self.distinct_received
+    }
+
+    /// Writes the receiver's mutable state. The config contributes shape
+    /// tags only: restore requires an identically-configured receiver.
+    pub(crate) fn snapshot_into(&self, w: &mut SnapWriter) {
+        w.put_tag(u64::from(self.config.ack_every));
+        w.put_tag(u64::from(self.config.sack));
+        w.put_u64(self.rcv_nxt);
+        w.put_usize(self.ooo.len());
+        for seq in &self.ooo {
+            w.put_u64(*seq);
+        }
+        w.put_u32(self.unacked);
+        match self.last_ooo {
+            Some(seq) => {
+                w.put_bool(true);
+                w.put_u64(seq);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_u64(self.distinct_received);
+    }
+
+    /// Reads state written by [`Self::snapshot_into`]; fails with
+    /// [`SnapError::TagMismatch`] if this receiver's config differs from the
+    /// snapshotted one.
+    pub(crate) fn restore_from(&mut self, r: &mut SnapReader<'_>) -> SnapResult<()> {
+        r.expect_tag("receiver-ack-every", u64::from(self.config.ack_every))?;
+        r.expect_tag("receiver-sack", u64::from(self.config.sack))?;
+        self.rcv_nxt = r.get_u64()?;
+        let n = r.get_usize()?;
+        self.ooo.clear();
+        self.ooo.reserve(n);
+        for _ in 0..n {
+            self.ooo.push(r.get_u64()?);
+        }
+        if self
+            .ooo
+            .iter()
+            .zip(self.ooo.iter().skip(1))
+            .any(|(a, b)| a >= b)
+        {
+            return Err(SnapError::Invalid("receiver ooo buffer not sorted"));
+        }
+        self.unacked = r.get_u32()?;
+        self.last_ooo = if r.get_bool()? {
+            Some(r.get_u64()?)
+        } else {
+            None
+        };
+        self.distinct_received = r.get_u64()?;
+        Ok(())
     }
 
     /// The cumulative ACK for the current state, with SACK blocks when

@@ -5,6 +5,8 @@
 //! and timeout collapse to one packet. The sender drives it with ACK-level
 //! events; it never touches the clock or the network.
 
+use pftk_snap::{SnapReader, SnapResult, SnapWriter};
+
 /// Reno congestion-control state.
 #[derive(Debug, Clone)]
 pub struct CongestionControl {
@@ -55,6 +57,22 @@ impl CongestionControl {
     /// True while in slow start.
     pub fn in_slow_start(&self) -> bool {
         !self.in_fast_recovery && self.cwnd < self.ssthresh
+    }
+
+    /// Writes the full congestion state (floats via `to_bits`, so
+    /// `ssthresh = ∞` round-trips exactly).
+    pub(crate) fn snapshot_into(&self, w: &mut SnapWriter) {
+        w.put_f64(self.cwnd);
+        w.put_f64(self.ssthresh);
+        w.put_bool(self.in_fast_recovery);
+    }
+
+    /// Reads state written by [`Self::snapshot_into`].
+    pub(crate) fn restore_from(&mut self, r: &mut SnapReader<'_>) -> SnapResult<()> {
+        self.cwnd = r.get_f64()?;
+        self.ssthresh = r.get_f64()?;
+        self.in_fast_recovery = r.get_bool()?;
+        Ok(())
     }
 
     /// An ACK advancing `snd_una` arrived. Exits fast recovery (plain Reno

@@ -5,6 +5,7 @@
 //! caps at `2^5`, which [`RtoConfig::backoff_cap_exp`] can express).
 
 use crate::time::SimDuration;
+use pftk_snap::{SnapReader, SnapResult, SnapWriter};
 
 /// Tunables of the timeout machinery.
 #[derive(Debug, Clone, Copy)]
@@ -70,6 +71,40 @@ impl RtoEstimator {
             rtt_sum: 0.0,
             rtt_count: 0,
         }
+    }
+
+    /// Writes the estimator's mutable state (samples, backoff, ground-truth
+    /// accumulators); the config is restore-side shape.
+    pub(crate) fn snapshot_into(&self, w: &mut SnapWriter) {
+        match self.srtt {
+            Some(v) => {
+                w.put_bool(true);
+                w.put_f64(v);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_f64(self.rttvar);
+        w.put_u32(self.backoff_exp);
+        w.put_f64(self.t0_sum);
+        w.put_u64(self.t0_count);
+        w.put_f64(self.rtt_sum);
+        w.put_u64(self.rtt_count);
+    }
+
+    /// Reads state written by [`Self::snapshot_into`].
+    pub(crate) fn restore_from(&mut self, r: &mut SnapReader<'_>) -> SnapResult<()> {
+        self.srtt = if r.get_bool()? {
+            Some(r.get_f64()?)
+        } else {
+            None
+        };
+        self.rttvar = r.get_f64()?;
+        self.backoff_exp = r.get_u32()?;
+        self.t0_sum = r.get_f64()?;
+        self.t0_count = r.get_u64()?;
+        self.rtt_sum = r.get_f64()?;
+        self.rtt_count = r.get_u64()?;
+        Ok(())
     }
 
     /// Feeds one RTT measurement (from a never-retransmitted segment, per

@@ -12,6 +12,7 @@ use crate::reno::cwnd::CongestionControl;
 use crate::reno::rto::{RtoConfig, RtoEstimator};
 use crate::stats::ConnStats;
 use crate::time::SimTime;
+use pftk_snap::{SnapReader, SnapResult, SnapWriter};
 
 /// Which loss-recovery algorithm the sender runs. The paper models
 /// **Reno**; the other variants exist for the ref-\[3\]-style comparison
@@ -195,6 +196,94 @@ impl Sender {
     /// Next fresh sequence number.
     pub fn snd_nxt(&self) -> Seq {
         self.snd_nxt
+    }
+
+    /// Stable numeric code for the recovery style, used as a snapshot
+    /// shape tag.
+    fn style_tag(style: RenoStyle) -> u64 {
+        match style {
+            RenoStyle::Tahoe => 0,
+            RenoStyle::Reno => 1,
+            RenoStyle::NewReno => 2,
+            RenoStyle::Sack => 3,
+        }
+    }
+
+    /// Writes the sender's mutable state. Config fields contribute shape
+    /// tags only: restore requires an identically-configured sender.
+    pub(crate) fn snapshot_into(&self, w: &mut SnapWriter) {
+        w.put_tag(Self::style_tag(self.config.style));
+        w.put_tag(u64::from(self.config.rwnd));
+        w.put_tag(u64::from(self.config.dupthresh));
+        w.put_u64(self.snd_una);
+        w.put_u64(self.snd_nxt);
+        self.cc.snapshot_into(w);
+        self.rto.snapshot_into(w);
+        w.put_u32(self.dupacks);
+        match self.timed {
+            Some((seq, at)) => {
+                w.put_bool(true);
+                w.put_u64(seq);
+                w.put_u64(at.as_nanos());
+            }
+            None => w.put_bool(false),
+        }
+        w.put_u32(self.to_run);
+        match self.completed_at {
+            Some(at) => {
+                w.put_bool(true);
+                w.put_u64(at.as_nanos());
+            }
+            None => w.put_bool(false),
+        }
+        w.put_u64(self.recover);
+        // BTreeSet iteration is ascending, so the byte encoding is a pure
+        // function of the set's contents.
+        w.put_usize(self.scoreboard.len());
+        for seq in &self.scoreboard {
+            w.put_u64(*seq);
+        }
+        w.put_usize(self.rexmitted.len());
+        for seq in &self.rexmitted {
+            w.put_u64(*seq);
+        }
+        self.stats.snapshot_into(w);
+    }
+
+    /// Reads state written by [`Self::snapshot_into`]; fails with a
+    /// tag mismatch if this sender's config differs from the snapshotted one.
+    pub(crate) fn restore_from(&mut self, r: &mut SnapReader<'_>) -> SnapResult<()> {
+        r.expect_tag("sender-style", Self::style_tag(self.config.style))?;
+        r.expect_tag("sender-rwnd", u64::from(self.config.rwnd))?;
+        r.expect_tag("sender-dupthresh", u64::from(self.config.dupthresh))?;
+        self.snd_una = r.get_u64()?;
+        self.snd_nxt = r.get_u64()?;
+        self.cc.restore_from(r)?;
+        self.rto.restore_from(r)?;
+        self.dupacks = r.get_u32()?;
+        self.timed = if r.get_bool()? {
+            let seq = r.get_u64()?;
+            let at = SimTime::from_nanos(r.get_u64()?);
+            Some((seq, at))
+        } else {
+            None
+        };
+        self.to_run = r.get_u32()?;
+        self.completed_at = if r.get_bool()? {
+            Some(SimTime::from_nanos(r.get_u64()?))
+        } else {
+            None
+        };
+        self.recover = r.get_u64()?;
+        self.scoreboard.clear();
+        for _ in 0..r.get_usize()? {
+            self.scoreboard.insert(r.get_u64()?);
+        }
+        self.rexmitted.clear();
+        for _ in 0..r.get_usize()? {
+            self.rexmitted.insert(r.get_u64()?);
+        }
+        self.stats.restore_from(r)
     }
 
     /// Kicks the connection off at time `now`: sends the initial window and

@@ -5,6 +5,7 @@
 //! a pure function of its configuration — reruns reproduce traces bit for
 //! bit, which the integration tests rely on.
 
+use pftk_snap::{SnapReader, SnapResult, SnapWriter};
 use rand::distributions::Open01;
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -39,6 +40,25 @@ impl SimRng {
         SimRng {
             inner: ChaCha8Rng::from_seed(seed),
         }
+    }
+
+    /// Writes the stream state (seed + keystream position) so a restored
+    /// generator continues the identical random stream.
+    pub(crate) fn snapshot_into(&self, w: &mut SnapWriter) {
+        w.put_raw(&self.inner.get_seed());
+        w.put_u64(self.inner.get_word_pos());
+    }
+
+    /// Repositions this generator to a state written by
+    /// [`Self::snapshot_into`].
+    pub(crate) fn restore_from(&mut self, r: &mut SnapReader<'_>) -> SnapResult<()> {
+        let mut seed = [0u8; 32];
+        seed.copy_from_slice(r.get_raw(32)?);
+        let pos = r.get_u64()?;
+        let mut inner = ChaCha8Rng::from_seed(seed);
+        inner.set_word_pos(pos);
+        self.inner = inner;
+        Ok(())
     }
 
     /// A uniform draw in the open interval (0, 1).
@@ -173,6 +193,25 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(9);
         for _ in 0..1000 {
             assert!(rng.geometric(1e-9, 10) <= 10);
+        }
+    }
+
+    #[test]
+    fn snapshot_resumes_identical_stream() {
+        let mut root = SimRng::seed_from_u64(11);
+        let mut rng = root.fork(2);
+        for _ in 0..37 {
+            rng.open01();
+        }
+        let mut w = SnapWriter::new();
+        rng.snapshot_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = SimRng::seed_from_u64(0);
+        let mut r = SnapReader::new(&bytes);
+        restored.restore_from(&mut r).unwrap();
+        r.finish().unwrap();
+        for _ in 0..100 {
+            assert_eq!(rng.open01().to_bits(), restored.open01().to_bits());
         }
     }
 

@@ -5,6 +5,7 @@
 //! against them — mirroring how the paper's authors verified their analysis
 //! programs against `tcptrace` and `ns`.
 
+use pftk_snap::{SnapReader, SnapResult, SnapWriter};
 use serde::{Deserialize, Serialize};
 
 /// Counters for one simulated connection.
@@ -63,6 +64,38 @@ impl ConnStats {
         debug_assert!(len >= 1);
         let idx = (len as usize - 1).min(self.to_sequences.len() - 1); //~ allow(cast): wmax-bounded index, fits usize
         self.to_sequences[idx] += 1; //~ allow(hot_panic): idx clamped to len-1 on the line above
+    }
+
+    /// Writes every counter to a snapshot (fixed-width, field order is part
+    /// of the snapshot format — see DESIGN.md §13).
+    pub fn snapshot_into(&self, w: &mut SnapWriter) {
+        w.put_u64(self.packets_sent);
+        w.put_u64(self.packets_sent_new);
+        w.put_u64(self.retransmissions);
+        w.put_u64(self.packets_dropped);
+        w.put_u64(self.packets_delivered);
+        w.put_u64(self.acks_received);
+        w.put_u64(self.td_events);
+        for bucket in &self.to_sequences {
+            w.put_u64(*bucket);
+        }
+        w.put_u64(self.rto_firings);
+    }
+
+    /// Reads counters written by [`Self::snapshot_into`].
+    pub fn restore_from(&mut self, r: &mut SnapReader<'_>) -> SnapResult<()> {
+        self.packets_sent = r.get_u64()?;
+        self.packets_sent_new = r.get_u64()?;
+        self.retransmissions = r.get_u64()?;
+        self.packets_dropped = r.get_u64()?;
+        self.packets_delivered = r.get_u64()?;
+        self.acks_received = r.get_u64()?;
+        self.td_events = r.get_u64()?;
+        for bucket in &mut self.to_sequences {
+            *bucket = r.get_u64()?;
+        }
+        self.rto_firings = r.get_u64()?;
+        Ok(())
     }
 
     /// Merges another connection's counters into this one (used when

@@ -17,8 +17,16 @@
 //! — a partial Table II with explicit holes when paths fail, instead of a
 //! poisoned join killing all 24 measurements.
 
+use crate::journal::{self, CampaignRecord, Checkpoint, CrashPoint, Journal};
 use crate::paths::{ModemSpec, PathSpec};
-use crate::supervisor::{run_campaign, CampaignReport, JobSpec, SupervisorConfig};
+use crate::supervisor::{
+    run_campaign, CampaignReport, CampaignRow, JobSpec, Outcome, SupervisorConfig,
+};
+use pftk_snap::{SnapError, SnapResult};
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path as FsPath;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use tcp_sim::connection::{Connection, Observer};
 use tcp_sim::link::{Bottleneck, Path};
@@ -129,6 +137,45 @@ impl TraceRecorder {
             self.log.map(TraceLog::into_trace),
         )
     }
+
+    /// Snapshot of the streaming analyzer's state, for checkpointed runs.
+    /// `None` when the recorder retains a trace (a checkpoint would then be
+    /// O(duration), so checkpointed campaigns run reduce-only) or has no
+    /// analyzer at all.
+    pub fn stream_snapshot(&self) -> Option<Vec<u8>> {
+        if self.log.is_some() {
+            return None;
+        }
+        self.stream.as_ref().map(StreamAnalyzer::snapshot)
+    }
+
+    /// A clone of the streaming analyzer's state, under the same
+    /// availability rule as [`TraceRecorder::stream_snapshot`]. Cloning is
+    /// a plain memcpy of the retained sample vectors — much cheaper than
+    /// encoding — so checkpointed runs hand the clone to the journal's
+    /// writer thread and serialize there ([`Journal::append_with`]).
+    pub fn stream_clone(&self) -> Option<StreamAnalyzer> {
+        if self.log.is_some() {
+            return None;
+        }
+        self.stream.clone()
+    }
+
+    /// Restores the streaming analyzer from [`TraceRecorder::stream_snapshot`]
+    /// bytes. The recorder must be reduce-only with an identically
+    /// configured analyzer; on `Err` the analyzer state is unspecified and
+    /// the recorder must be rebuilt before use.
+    pub fn stream_restore(&mut self, bytes: &[u8]) -> SnapResult<()> {
+        if self.log.is_some() {
+            return Err(SnapError::Unsupported(
+                "checkpoint restore into a trace-retaining recorder",
+            ));
+        }
+        match &mut self.stream {
+            Some(stream) => stream.restore(bytes),
+            None => Err(SnapError::Invalid("recorder has no streaming analyzer")),
+        }
+    }
 }
 
 impl Observer for TraceRecorder {
@@ -186,7 +233,12 @@ impl ExperimentOptions {
 }
 
 /// Result of one simulated connection.
-#[derive(Debug)]
+///
+/// Serializable so the campaign journal can record completed attempts
+/// durably; `serde_json` round-trips every finite `f64` exactly, which is
+/// what lets a journal-replayed row stay bit-identical to the live one
+/// (the resume-equivalence gate checks this).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentResult {
     /// The streamed analysis: loss indications, Karn timing, interval
     /// rows, RTT-vs-flight correlation — computed while simulating, no
@@ -292,6 +344,26 @@ impl WireLoss {
         }
         Mixed::from_kinds(components).into()
     }
+
+    /// Exact bit image, for journaled checkpoints: a resumed run rebuilds
+    /// its loss process from these bits instead of re-calibrating, so the
+    /// parameters are bit-identical by construction.
+    fn to_bits(self) -> [u64; 3] {
+        [
+            self.isolated_p.to_bits(),
+            self.burst_time_frac.to_bits(),
+            self.mean_burst_secs.to_bits(),
+        ]
+    }
+
+    /// Inverse of [`WireLoss::to_bits`].
+    fn from_bits(bits: [u64; 3]) -> WireLoss {
+        WireLoss {
+            isolated_p: f64::from_bits(bits[0]),
+            burst_time_frac: f64::from_bits(bits[1]),
+            mean_burst_secs: f64::from_bits(bits[2]),
+        }
+    }
 }
 
 /// Finds wire-loss parameters whose *analyzed* TD and TO rates match the
@@ -388,14 +460,17 @@ fn run_connection_raw(
     run_connection_budgeted(spec, wire, horizon_secs, seed, u64::MAX, opts)
 }
 
-fn run_connection_budgeted(
+/// Builds the identically configured connection behind every wire-loss
+/// run: shared by the straight-through and the checkpointed runners, so a
+/// resumed connection is rebuilt from exactly the configuration the
+/// crashed one had (the snapshot codec restores mutable state only).
+fn build_wire_connection(
     spec: &PathSpec,
     wire: WireLoss,
     horizon_secs: f64,
     seed: u64,
-    max_events: u64,
     opts: &ExperimentOptions,
-) -> ExperimentResult {
+) -> Connection<TraceRecorder> {
     // Mild jitter (5% of RTT) keeps RTT samples realistic without breaking
     // the RTT-independence assumption the non-modem paths must satisfy.
     let half = spec.rtt / 2.0;
@@ -414,15 +489,22 @@ fn run_connection_budgeted(
     } else {
         TraceRecorder::streaming(config)
     };
-    let mut conn = Connection::builder()
+    Connection::builder()
         .fwd_path(fwd)
         .rev_path(rev)
         .loss(wire.build())
         .sender_config(sender_config(spec))
         .receiver_config(ReceiverConfig::default())
         .seed(seed)
-        .build_with_observer(recorder);
-    let event_budget_hit = conn.run_until_budget(SimTime::from_secs_f64(horizon_secs), max_events);
+        .build_with_observer(recorder)
+}
+
+/// Drains the finished connection into an [`ExperimentResult`].
+fn finish_wire_connection(
+    mut conn: Connection<TraceRecorder>,
+    horizon_secs: f64,
+    event_budget_hit: bool,
+) -> ExperimentResult {
     conn.finish();
     let stats = conn.stats();
     let ground_rtt = conn.sender().rto_estimator().mean_rtt();
@@ -444,6 +526,19 @@ fn run_connection_budgeted(
         duration_secs,
         event_budget_hit,
     }
+}
+
+fn run_connection_budgeted(
+    spec: &PathSpec,
+    wire: WireLoss,
+    horizon_secs: f64,
+    seed: u64,
+    max_events: u64,
+    opts: &ExperimentOptions,
+) -> ExperimentResult {
+    let mut conn = build_wire_connection(spec, wire, horizon_secs, seed, opts);
+    let event_budget_hit = conn.run_until_budget(SimTime::from_secs_f64(horizon_secs), max_events);
+    finish_wire_connection(conn, horizon_secs, event_budget_hit)
 }
 
 /// One hour-long "infinite source" connection (§III, first experiment set).
@@ -538,6 +633,291 @@ pub fn run_table2_supervised(
         })
         .collect();
     run_campaign(jobs, config)
+}
+
+/// Tunables for a crash-safe, journaled campaign
+/// ([`run_table2_journaled`]).
+#[derive(Debug, Clone)]
+pub struct JournalConfig {
+    /// Supervisor tunables for the underlying campaign.
+    pub supervisor: SupervisorConfig,
+    /// Sim-time checkpoint cadence, seconds; non-positive disables
+    /// checkpointing (completed attempts are still journaled).
+    pub checkpoint_sim_secs: f64,
+    /// Run horizon per connection, seconds (the paper's hour).
+    pub horizon_secs: f64,
+    /// Sim-event budget per attempt.
+    pub event_budget: u64,
+    /// Test instrumentation: a campaign-wide countdown that panics a
+    /// worker at the n-th checkpoint boundary, simulating a crash (the
+    /// resume-equivalence gate arms this; production campaigns leave it
+    /// `None`).
+    pub crash: Option<Arc<CrashPoint>>,
+}
+
+impl Default for JournalConfig {
+    fn default() -> Self {
+        JournalConfig {
+            supervisor: SupervisorConfig::default(),
+            // A dozen checkpoints per hour-long run: losing a process costs
+            // at most 5 sim-minutes of re-simulation per in-flight path.
+            checkpoint_sim_secs: 300.0,
+            horizon_secs: 3600.0,
+            event_budget: DEFAULT_EVENT_BUDGET,
+            crash: None,
+        }
+    }
+}
+
+/// Everything a checkpointed run needs to know about its journal.
+struct CheckpointCtx<'a> {
+    journal: &'a Journal,
+    job_index: u64,
+    every_sim_secs: f64,
+    resume: Option<&'a Checkpoint>,
+    crash: Option<&'a CrashPoint>,
+}
+
+/// Runs one connection in sim-time slices, journaling a snapshot between
+/// slices; returns the result and whether the run resumed from a
+/// checkpoint.
+///
+/// Determinism: slice boundaries are absolute multiples of the cadence
+/// (`t_k = k · every`), and the checkpoint records the next boundary
+/// index, so an interrupted-and-resumed run executes exactly the boundary
+/// sequence of an uninterrupted one — and `Connection::run_until_budget`
+/// is boundary-insensitive (the sim is event-driven; splitting a run at
+/// any time yields the identical event stream). Snapshot *encoding*
+/// happens here on the worker thread strictly between slices, and all
+/// journal I/O happens on the journal's writer thread, so the sim hot
+/// path never sees either.
+fn run_connection_checkpointed(
+    spec: &PathSpec,
+    wire: WireLoss,
+    horizon_secs: f64,
+    seed: u64,
+    max_events: u64,
+    opts: &ExperimentOptions,
+    ctx: &CheckpointCtx<'_>,
+) -> (ExperimentResult, bool) {
+    let mut conn = build_wire_connection(spec, wire, horizon_secs, seed, opts);
+    let mut next_boundary: u64 = 1;
+    let mut resumed = false;
+    if let Some(cp) = ctx.resume {
+        let compatible = cp.seed == seed
+            && cp.horizon_bits == horizon_secs.to_bits()
+            && cp.every_bits == ctx.every_sim_secs.to_bits()
+            && cp.wire_bits == wire.to_bits();
+        if compatible
+            && conn.restore(&cp.conn).is_ok()
+            && conn.observer_mut().stream_restore(&cp.stream).is_ok()
+        {
+            next_boundary = cp.next_boundary;
+            resumed = true;
+        } else {
+            // A stale or mismatched checkpoint is not an error; restore may
+            // have half-applied, so rebuild and run from the start.
+            conn = build_wire_connection(spec, wire, horizon_secs, seed, opts);
+        }
+    }
+    let every = if ctx.every_sim_secs > 0.0 {
+        ctx.every_sim_secs
+    } else {
+        // Checkpointing disabled: one slice covers the whole horizon.
+        horizon_secs
+    };
+    let event_budget_hit = loop {
+        let t = ((next_boundary as f64) * every).min(horizon_secs);
+        let hit = conn.run_until_budget(SimTime::from_secs_f64(t), max_events);
+        if hit || t >= horizon_secs {
+            break hit;
+        }
+        // Capture state on the worker thread, strictly between sim
+        // slices: the connection snapshot is a few hundred bytes (encode
+        // it here), while the analyzer state runs to hundreds of
+        // kilobytes — clone it (a memcpy) and let the journal's writer
+        // thread do the expensive encode and the blocking I/O.
+        if let (Ok(conn_bytes), Some(analyzer)) = (conn.snapshot(), conn.observer().stream_clone())
+        {
+            let (job_index, wire_bits) = (ctx.job_index, wire.to_bits());
+            let (horizon_bits, every_bits) = (horizon_secs.to_bits(), every.to_bits());
+            let boundary = next_boundary + 1;
+            ctx.journal.append_with(move || {
+                CampaignRecord::Checkpoint(Checkpoint {
+                    job_index,
+                    seed,
+                    wire_bits,
+                    horizon_bits,
+                    every_bits,
+                    next_boundary: boundary,
+                    conn: conn_bytes,
+                    stream: analyzer.snapshot(),
+                })
+                .encode()
+            });
+        }
+        if let Some(crash) = ctx.crash {
+            crash.tick();
+        }
+        next_boundary += 1;
+    };
+    (
+        finish_wire_connection(conn, horizon_secs, event_budget_hit),
+        resumed,
+    )
+}
+
+/// Crash-safe [`run_table2`]: the campaign writes a write-ahead journal at
+/// `journal_path` and can be re-invoked with the same arguments after a
+/// crash (process kill, power loss) to pick up where it left off.
+///
+/// * attempts already recorded as complete are **replayed** from the
+///   journal without re-running (their rows keep the recorded outcome);
+/// * attempts with an in-flight checkpoint **resume** from it and are
+///   labeled [`Outcome::Resumed`] — their results are bit-identical to an
+///   uninterrupted run (`tests/resume_equivalence.rs` gates this);
+/// * a torn or corrupt journal tail is treated as a clean truncation: the
+///   affected work is re-run, the campaign never aborts.
+///
+/// Completion records are fsync'd before the row is reported; checkpoints
+/// are written asynchronously off the simulation threads. The journal is
+/// strictly append-only — resuming never rewrites existing bytes.
+//= pftk#crash-resume
+pub fn run_table2_journaled(
+    specs: &[PathSpec],
+    base_seed: u64,
+    journal_path: &FsPath,
+    config: &JournalConfig,
+) -> io::Result<CampaignReport> {
+    let state = journal::replay(journal_path)?.fold();
+    let journal = Arc::new(Journal::open(journal_path)?);
+    let n = specs.len();
+    let mut prefilled: Vec<Option<CampaignRow>> = (0..n).map(|_| None).collect();
+    let mut jobs: Vec<JobSpec> = Vec::new();
+    let mut live_flags: Vec<(usize, Arc<AtomicBool>)> = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let job_index = i as u64;
+        let first_seed = base_seed.wrapping_add(job_index);
+        if let Some(done) = state.done.get(&job_index) {
+            if let Ok(result) = std::str::from_utf8(&done.result_json)
+                .map_err(|_| ())
+                .and_then(|s| serde_json::from_str::<ExperimentResult>(s).map_err(|_| ()))
+            {
+                let outcome = if done.resumed {
+                    Outcome::Resumed
+                } else if done.seed == first_seed {
+                    Outcome::Ok
+                } else {
+                    Outcome::Retried
+                };
+                prefilled[i] = Some(CampaignRow {
+                    label: done.label.clone(),
+                    seed: done.seed,
+                    outcome,
+                    attempts: if done.seed == first_seed { 1 } else { 2 },
+                    result: Some(result),
+                });
+                continue;
+            }
+            // An undecodable result payload re-runs the attempt — same
+            // never-abort policy as a torn tail.
+        }
+        let resume = state.inflight.get(&job_index).cloned();
+        let resumed_flag = Arc::new(AtomicBool::new(false));
+        live_flags.push((i, Arc::clone(&resumed_flag)));
+        let spec = *spec;
+        let label = spec.id();
+        let journal = Arc::clone(&journal);
+        let crash = config.crash.clone();
+        let every = config.checkpoint_sim_secs;
+        let horizon = config.horizon_secs;
+        let budget = config.event_budget;
+        jobs.push(JobSpec {
+            label: label.clone(),
+            seed: first_seed,
+            job: Arc::new(move |seed| {
+                // Only a checkpoint of this very attempt (same seed) may be
+                // resumed; a reseeded retry starts fresh.
+                let resume = resume.as_ref().filter(|cp| cp.seed == seed);
+                let wire = match resume {
+                    // The stored bits equal what calibration would produce
+                    // (it is seed-deterministic); using them skips the probe
+                    // runs and is exact by construction.
+                    Some(cp) => WireLoss::from_bits(cp.wire_bits),
+                    None => calibrate_wire_loss(&spec, seed.wrapping_mul(31).wrapping_add(17)),
+                };
+                let ctx = CheckpointCtx {
+                    journal: journal.as_ref(),
+                    job_index,
+                    every_sim_secs: every,
+                    resume,
+                    crash: crash.as_deref(),
+                };
+                let (result, resumed) = run_connection_checkpointed(
+                    &spec,
+                    wire,
+                    horizon,
+                    seed,
+                    budget,
+                    &ExperimentOptions::default(),
+                    &ctx,
+                );
+                // Durable completion record *before* the supervisor sees
+                // the row: once a row is reported, it is never recomputed.
+                if let Ok(json) = serde_json::to_string(&result) {
+                    let _ = journal.append_sync(
+                        CampaignRecord::AttemptDone {
+                            job_index,
+                            label: label.clone(),
+                            seed,
+                            resumed,
+                            result_json: json.into_bytes(),
+                        }
+                        .encode(),
+                    );
+                }
+                resumed_flag.store(resumed, Ordering::Release);
+                result
+            }),
+        });
+    }
+    let live_report = run_campaign(jobs, &config.supervisor);
+    // Merge replayed and live rows back into spec order (live rows come
+    // out of `run_campaign` in submission order, which is spec order with
+    // the replayed indices skipped).
+    let mut live_rows = live_report.rows.into_iter();
+    let mut rows: Vec<CampaignRow> = Vec::with_capacity(n);
+    for pre in prefilled {
+        match pre {
+            Some(row) => rows.push(row),
+            None => {
+                let Some(row) = live_rows.next() else {
+                    // run_campaign guarantees one row per job; degrade
+                    // rather than panic if that ever breaks.
+                    break;
+                };
+                rows.push(row);
+            }
+        }
+    }
+    let mut report = CampaignReport { rows };
+    for (i, flag) in live_flags {
+        if flag.load(Ordering::Acquire) {
+            if let Some(row) = report.rows.get_mut(i) {
+                if row.outcome == Outcome::Ok {
+                    row.outcome = Outcome::Resumed;
+                }
+            }
+        }
+    }
+    // Flush and join the writer before returning so the journal is durable
+    // and byte-stable the moment the report is in hand. An abandoned
+    // (timed-out) attempt may still hold a journal handle; its drop will
+    // flush whenever it finally dies.
+    if let Ok(journal) = Arc::try_unwrap(journal) {
+        journal.close()?;
+    }
+    Ok(report)
 }
 
 /// The Fig. 11 modem experiment: no random loss at all — every drop comes
@@ -735,6 +1115,40 @@ mod tests {
         let full = run_hour(spec, 1);
         assert!(!full.event_budget_hit);
         assert_eq!(full.duration_secs, 3600.0);
+    }
+
+    #[test]
+    fn journaled_campaign_completes_and_replays_without_rerunning() {
+        let path = std::env::temp_dir().join(format!(
+            "pftk-journal-exp-{}-replay.waj",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let specs = &TABLE2_PATHS[..2];
+        let cfg = JournalConfig {
+            horizon_secs: 120.0,
+            checkpoint_sim_secs: 30.0,
+            ..JournalConfig::default()
+        };
+        let first = run_table2_journaled(specs, 5, &path, &cfg).unwrap();
+        assert!(first.is_complete(), "campaign: {}", first.summary());
+        assert_eq!(first.rows[0].outcome, Outcome::Ok);
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(!bytes.is_empty());
+
+        // Re-invocation replays every row from the journal: no attempt is
+        // re-run (the journal stays byte-identical) and the replayed rows —
+        // which round-trip through the serialized result — are exactly the
+        // live ones.
+        let second = run_table2_journaled(specs, 5, &path, &cfg).unwrap();
+        assert!(second.is_complete());
+        assert_eq!(std::fs::read(&path).unwrap(), bytes, "journal rewritten");
+        for (live, replayed) in first.rows.iter().zip(&second.rows) {
+            assert_eq!(live.label, replayed.label);
+            assert_eq!(live.outcome, replayed.outcome);
+            assert_eq!(live.result, replayed.result, "row {}", live.label);
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

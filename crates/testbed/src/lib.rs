@@ -16,6 +16,10 @@
 //! [`supervisor`] runs campaigns under per-experiment budgets with panic
 //! isolation and retry, so one wedged path degrades Table II to a partial
 //! table with explicit holes instead of killing the run.
+//! [`journal`] adds crash safety on top: [`experiment::run_table2_journaled`]
+//! writes a write-ahead journal of completed attempts and in-flight
+//! checkpoints, and a re-invocation after a crash resumes bit-identically
+//! instead of starting over (DESIGN.md §13).
 //! See DESIGN.md §1 for the substitution argument (what the paper used →
 //! what this testbed provides → why it preserves the relevant behaviour).
 
@@ -24,6 +28,7 @@
 
 pub mod experiment;
 pub mod hosts;
+pub mod journal;
 pub mod paths;
 pub mod pool;
 pub mod report;
@@ -31,10 +36,11 @@ pub mod supervisor;
 
 pub use experiment::{
     run_hour, run_hour_budgeted, run_hour_budgeted_with, run_hour_with, run_modem, run_modem_with,
-    run_serial_100s, run_serial_100s_with, run_table2, run_table2_supervised, ExperimentOptions,
-    ExperimentResult, TraceRecorder, DEFAULT_EVENT_BUDGET,
+    run_serial_100s, run_serial_100s_with, run_table2, run_table2_journaled, run_table2_supervised,
+    ExperimentOptions, ExperimentResult, JournalConfig, TraceRecorder, DEFAULT_EVENT_BUDGET,
 };
 pub use hosts::{host, Host, Os, HOSTS};
+pub use journal::{CampaignRecord, CrashPoint, Journal};
 pub use paths::{fig7_paths, fig8_paths, table2_path, ModemSpec, PathSpec, TABLE2_PATHS};
 pub use pool::{TaskHandle, WorkerPool};
 pub use supervisor::{

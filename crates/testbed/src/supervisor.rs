@@ -68,6 +68,12 @@ pub enum Outcome {
     Ok,
     /// First attempt failed; the reseeded retry completed.
     Retried,
+    /// Completed after resuming from a crash-recovery checkpoint (the
+    /// journaled campaign restored mid-flight state written before a
+    /// previous process died). Distinct from [`Outcome::Retried`]: a
+    /// resumed attempt continues the *same* seed's event stream
+    /// bit-identically, a retry abandons it for a reseeded draw.
+    Resumed,
     /// Exceeded the wall-clock budget (on the final attempt).
     TimedOut,
     /// Panicked (on the final attempt).
@@ -77,7 +83,7 @@ pub enum Outcome {
 impl Outcome {
     /// True when the experiment produced a usable result.
     pub fn succeeded(self) -> bool {
-        matches!(self, Outcome::Ok | Outcome::Retried)
+        matches!(self, Outcome::Ok | Outcome::Retried | Outcome::Resumed)
     }
 
     /// Short display label.
@@ -85,6 +91,7 @@ impl Outcome {
         match self {
             Outcome::Ok => "ok",
             Outcome::Retried => "retried",
+            Outcome::Resumed => "resumed",
             Outcome::TimedOut => "timed-out",
             Outcome::Panicked => "panicked",
         }
@@ -483,5 +490,32 @@ mod tests {
         assert!(report.is_complete());
         assert_eq!(report.ok_count(), 0);
         assert_eq!(report.summary(), "0/0 ok");
+    }
+
+    /// Regression: a crash-resumed attempt must be labeled distinctly from
+    /// a reseeded retry. A resume continues the *same* seed's event stream
+    /// bit-identically; a retry abandons it for a different draw — reports
+    /// that conflated them would hide which rows are exact.
+    #[test]
+    fn resumed_outcome_is_distinct_from_retried() {
+        assert_ne!(Outcome::Resumed, Outcome::Retried);
+        assert_eq!(Outcome::Resumed.label(), "resumed");
+        assert_ne!(Outcome::Resumed.label(), Outcome::Retried.label());
+        // Both count as usable results…
+        assert!(Outcome::Resumed.succeeded());
+        assert!(Outcome::Retried.succeeded());
+        // …so a resumed row is never rendered as a campaign hole.
+        let report = CampaignReport {
+            rows: vec![CampaignRow {
+                label: "resumed-row".into(),
+                seed: 7,
+                outcome: Outcome::Resumed,
+                attempts: 1,
+                result: Some(fake_result(7)),
+            }],
+        };
+        assert!(report.is_complete());
+        assert_eq!(report.failures().count(), 0);
+        assert_eq!(report.summary(), "1/1 ok");
     }
 }

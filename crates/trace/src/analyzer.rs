@@ -20,6 +20,7 @@
 //!   buckets (Table II).
 
 use crate::record::{Trace, TraceEvent};
+use pftk_snap::{SnapError, SnapReader, SnapResult, SnapWriter};
 use serde::{Deserialize, Serialize};
 
 /// Loss-indication kind.
@@ -43,6 +44,31 @@ pub struct LossIndication {
     pub time_ns: u64,
     /// TD or TO (with sequence length).
     pub kind: IndicationKind,
+}
+
+impl LossIndication {
+    pub(crate) fn snapshot_into(&self, w: &mut SnapWriter) {
+        w.put_u64(self.time_ns);
+        match self.kind {
+            IndicationKind::TripleDuplicate => w.put_u8(0),
+            IndicationKind::Timeout { sequence_len } => {
+                w.put_u8(1);
+                w.put_u32(sequence_len);
+            }
+        }
+    }
+
+    pub(crate) fn restore_from(r: &mut SnapReader<'_>) -> SnapResult<LossIndication> {
+        let time_ns = r.get_u64()?;
+        let kind = match r.get_u8()? {
+            0 => IndicationKind::TripleDuplicate,
+            1 => IndicationKind::Timeout {
+                sequence_len: r.get_u32()?,
+            },
+            _ => return Err(SnapError::Invalid("loss-indication discriminant")),
+        };
+        Ok(LossIndication { time_ns, kind })
+    }
 }
 
 /// Analyzer configuration.
@@ -126,7 +152,7 @@ impl Analysis {
 /// indications emitted so far; it never needs the trace itself, which is
 /// what lets hour-long campaigns analyze while simulating instead of
 /// materializing every wire event first (see [`crate::stream`]).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Classifier {
     config: AnalyzerConfig,
     snd_max: u64,
@@ -209,6 +235,58 @@ impl Classifier {
     /// among them; [`Classifier::finish`] flushes it).
     pub fn indications(&self) -> &[LossIndication] {
         &self.out.indications
+    }
+
+    /// Writes the automaton's mutable state (field order is part of the
+    /// snapshot format — see DESIGN.md §13). The dupack threshold is a
+    /// shape tag: restore requires an identically-configured classifier.
+    pub(crate) fn snapshot_into(&self, w: &mut SnapWriter) {
+        w.put_tag(u64::from(self.config.dupack_threshold));
+        w.put_u64(self.snd_max);
+        w.put_u64(self.last_ack);
+        w.put_u32(self.dupacks);
+        match self.open_to {
+            Some((start, len)) => {
+                w.put_bool(true);
+                w.put_u64(start);
+                w.put_u32(len);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_bool(self.td_consumed);
+        w.put_usize(self.out.indications.len());
+        for ind in &self.out.indications {
+            ind.snapshot_into(w);
+        }
+        w.put_u64(self.out.packets_sent);
+        w.put_u64(self.out.retransmissions);
+        w.put_u64(self.out.acks_seen);
+    }
+
+    /// Reads state written by [`Classifier::snapshot_into`].
+    pub(crate) fn restore_from(&mut self, r: &mut SnapReader<'_>) -> SnapResult<()> {
+        r.expect_tag(
+            "classifier-dupack-threshold",
+            u64::from(self.config.dupack_threshold),
+        )?;
+        self.snd_max = r.get_u64()?;
+        self.last_ack = r.get_u64()?;
+        self.dupacks = r.get_u32()?;
+        self.open_to = if r.get_bool()? {
+            Some((r.get_u64()?, r.get_u32()?))
+        } else {
+            None
+        };
+        self.td_consumed = r.get_bool()?;
+        let n = r.get_usize()?;
+        self.out.indications.clear();
+        for _ in 0..n {
+            self.out.indications.push(LossIndication::restore_from(r)?);
+        }
+        self.out.packets_sent = r.get_u64()?;
+        self.out.retransmissions = r.get_u64()?;
+        self.out.acks_seen = r.get_u64()?;
+        Ok(())
     }
 
     /// Closes the automaton: flushes an unterminated timeout sequence and

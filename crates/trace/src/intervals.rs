@@ -11,6 +11,7 @@
 
 use crate::analyzer::{Analysis, IndicationKind, LossIndication};
 use crate::record::{Trace, TraceEvent};
+use pftk_snap::{SnapReader, SnapResult, SnapWriter};
 use serde::{Deserialize, Serialize};
 
 /// The paper's interval categories (Fig. 7): the deepest loss-indication
@@ -98,6 +99,27 @@ impl IntervalCore {
     /// streaming memory accounting.
     pub fn state_len(&self) -> usize {
         self.sent.len()
+    }
+
+    /// Writes the counters. The interval length is a shape tag: restore
+    /// requires a core built with the same segmentation.
+    pub(crate) fn snapshot_into(&self, w: &mut SnapWriter) {
+        w.put_tag(self.interval_ns);
+        w.put_usize(self.sent.len());
+        for v in &self.sent {
+            w.put_u64(*v);
+        }
+    }
+
+    /// Reads state written by [`IntervalCore::snapshot_into`].
+    pub(crate) fn restore_from(&mut self, r: &mut SnapReader<'_>) -> SnapResult<()> {
+        r.expect_tag("interval-ns", self.interval_ns)?;
+        let n = r.get_usize()?;
+        self.sent.clear();
+        for _ in 0..n {
+            self.sent.push(r.get_u64()?);
+        }
+        Ok(())
     }
 
     /// Buckets the finished connection's loss indications and emits the

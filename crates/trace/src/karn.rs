@@ -13,6 +13,7 @@
 //! restart a TCP retransmission timer).
 
 use crate::record::{Trace, TraceEvent};
+use pftk_snap::{SnapReader, SnapResult, SnapWriter};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -37,7 +38,7 @@ pub struct TimingEstimates {
 /// — one sample per forward ACK, the irreducible input of the exact
 /// end-of-trace median. Everything else is O(1), so an hour-long
 /// connection can be timed without ever materializing its trace.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct KarnCore {
     /// First-transmission times of not-yet-acked segments; a
     /// retransmission permanently disqualifies its sequence number.
@@ -144,6 +145,74 @@ impl KarnCore {
         )
     }
 
+    /// Writes the estimator's full state. `BTreeMap` iteration is key-
+    /// ascending, so the byte encoding is a pure function of the contents.
+    pub(crate) fn snapshot_into(&self, w: &mut SnapWriter) {
+        w.put_usize(self.pending.len());
+        for (seq, sent) in &self.pending {
+            w.put_u64(*seq);
+            w.put_u64(*sent);
+        }
+        w.put_u64(self.snd_max);
+        w.put_u64(self.last_ack);
+        w.put_usize(self.samples.len());
+        for (rtt, covered) in &self.samples {
+            w.put_f64(*rtt);
+            w.put_usize(*covered);
+        }
+        w.put_usize(self.last_send_of.len());
+        for (seq, sent) in &self.last_send_of {
+            w.put_u64(*seq);
+            w.put_u64(*sent);
+        }
+        match self.last_progress_ns {
+            Some(t) => {
+                w.put_bool(true);
+                w.put_u64(t);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_bool(self.in_to_sequence);
+        w.put_f64(self.t0_sum);
+        w.put_u64(self.t0_n);
+    }
+
+    /// Reads state written by [`KarnCore::snapshot_into`].
+    pub(crate) fn restore_from(&mut self, r: &mut SnapReader<'_>) -> SnapResult<()> {
+        let n = r.get_usize()?;
+        self.pending.clear();
+        for _ in 0..n {
+            let seq = r.get_u64()?;
+            let sent = r.get_u64()?;
+            self.pending.insert(seq, sent);
+        }
+        self.snd_max = r.get_u64()?;
+        self.last_ack = r.get_u64()?;
+        let n = r.get_usize()?;
+        self.samples.clear();
+        for _ in 0..n {
+            let rtt = r.get_f64()?;
+            let covered = r.get_usize()?;
+            self.samples.push((rtt, covered));
+        }
+        let n = r.get_usize()?;
+        self.last_send_of.clear();
+        for _ in 0..n {
+            let seq = r.get_u64()?;
+            let sent = r.get_u64()?;
+            self.last_send_of.insert(seq, sent);
+        }
+        self.last_progress_ns = if r.get_bool()? {
+            Some(r.get_u64()?)
+        } else {
+            None
+        };
+        self.in_to_sequence = r.get_bool()?;
+        self.t0_sum = r.get_f64()?;
+        self.t0_n = r.get_u64()?;
+        Ok(())
+    }
+
     /// Closes the estimator and computes the estimates.
     pub fn finish(self) -> TimingEstimates {
         let multi = self.samples.iter().filter(|(_, c)| *c >= 2).count();
@@ -244,7 +313,7 @@ pub fn estimate_t0_classified(trace: &Trace, timeout_start_times: &[u64]) -> Opt
 /// O(window) in-flight map plus two sample vectors (one point per forward
 /// ACK — the irreducible input of the exact end-of-trace Pearson
 /// coefficient).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct CorrCore {
     /// seq → (send time, flight size at send).
     pending: BTreeMap<u64, (u64, u64)>,
@@ -303,6 +372,50 @@ impl CorrCore {
     /// inputs to streaming memory accounting.
     pub fn state_len(&self) -> (usize, usize) {
         (self.pending.len(), self.xs.len())
+    }
+
+    /// Writes the correlator's full state (one length prefix covers both
+    /// sample vectors — they grow in lock step).
+    pub(crate) fn snapshot_into(&self, w: &mut SnapWriter) {
+        w.put_usize(self.pending.len());
+        for (seq, (sent, flight)) in &self.pending {
+            w.put_u64(*seq);
+            w.put_u64(*sent);
+            w.put_u64(*flight);
+        }
+        w.put_u64(self.snd_max);
+        w.put_u64(self.last_ack);
+        w.put_usize(self.xs.len());
+        for x in &self.xs {
+            w.put_f64(*x);
+        }
+        for y in &self.ys {
+            w.put_f64(*y);
+        }
+    }
+
+    /// Reads state written by [`CorrCore::snapshot_into`].
+    pub(crate) fn restore_from(&mut self, r: &mut SnapReader<'_>) -> SnapResult<()> {
+        let n = r.get_usize()?;
+        self.pending.clear();
+        for _ in 0..n {
+            let seq = r.get_u64()?;
+            let sent = r.get_u64()?;
+            let flight = r.get_u64()?;
+            self.pending.insert(seq, (sent, flight));
+        }
+        self.snd_max = r.get_u64()?;
+        self.last_ack = r.get_u64()?;
+        let n = r.get_usize()?;
+        self.xs.clear();
+        self.ys.clear();
+        for _ in 0..n {
+            self.xs.push(r.get_f64()?);
+        }
+        for _ in 0..n {
+            self.ys.push(r.get_f64()?);
+        }
+        Ok(())
     }
 
     /// Closes the correlator: Pearson coefficient, or `None` with fewer

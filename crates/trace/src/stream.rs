@@ -35,7 +35,13 @@ use crate::intervals::{IntervalCore, IntervalStats};
 use crate::karn::{CorrCore, KarnCore, TimingEstimates};
 use crate::log::TraceLog;
 use crate::record::{Trace, TraceEvent, TraceRecord};
+use pftk_snap::{frame, unframe, SnapError, SnapReader, SnapResult, SnapWriter};
 use serde::{Deserialize, Serialize};
+
+/// Frame kind identifying a streaming-analyzer snapshot (DESIGN.md §13).
+pub const STREAM_SNAPSHOT_KIND: u32 = 2;
+/// Newest analyzer-snapshot format version this build reads and writes.
+pub const STREAM_SNAPSHOT_VERSION: u32 = 1;
 
 /// A consumer of sender-side wire events, fed in nondecreasing time order.
 ///
@@ -168,7 +174,7 @@ impl StreamAnalysis {
 /// per-event code of its batch counterpart (which is a fold of the same
 /// core), so streamed and batch results match bit for bit.
 //= pftk#stream-batch-equivalence
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct StreamAnalyzer {
     classifier: Classifier,
     karn: Option<KarnCore>,
@@ -244,6 +250,105 @@ impl StreamAnalyzer {
         if now > self.peak_state_bytes {
             self.peak_state_bytes = now;
         }
+    }
+
+    /// Encodes the analyzer's full mid-stream state — the classifier
+    /// automaton and every enabled core — as a framed, checksummed
+    /// snapshot ([`STREAM_SNAPSHOT_KIND`]). An analyzer restored from this
+    /// snapshot into an identically-configured [`StreamAnalyzer::new`] and
+    /// fed the remaining events produces a [`StreamAnalysis`] bit-identical
+    /// to the uninterrupted one.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<u8> {
+        // Size hint: the retained-state estimate tracks the encoded size
+        // closely (both are dominated by the same sample vectors), so the
+        // buffer almost never reallocates mid-encode.
+        let mut w = SnapWriter::with_capacity(self.state_bytes() + 1024);
+        self.classifier.snapshot_into(&mut w);
+        match &self.karn {
+            Some(core) => {
+                w.put_bool(true);
+                core.snapshot_into(&mut w);
+            }
+            None => w.put_bool(false),
+        }
+        match &self.corr {
+            Some(core) => {
+                w.put_bool(true);
+                core.snapshot_into(&mut w);
+            }
+            None => w.put_bool(false),
+        }
+        match &self.intervals {
+            Some(core) => {
+                w.put_bool(true);
+                core.snapshot_into(&mut w);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_u64(self.events);
+        w.put_u64(self.last_time_ns);
+        w.put_usize(self.peak_state_bytes);
+        frame(
+            STREAM_SNAPSHOT_KIND,
+            STREAM_SNAPSHOT_VERSION,
+            &w.into_bytes(),
+        )
+    }
+
+    /// Applies a snapshot produced by [`StreamAnalyzer::snapshot`] into
+    /// this analyzer, which must have been built with the same
+    /// [`StreamConfig`] (mismatches are [`SnapError::TagMismatch`];
+    /// corrupt or truncated bytes error, never panic). On error the
+    /// analyzer is left in an unspecified partially-restored state:
+    /// rebuild it before further use.
+    pub fn restore(&mut self, bytes: &[u8]) -> SnapResult<()> {
+        let framed = unframe(bytes, STREAM_SNAPSHOT_VERSION)?;
+        if framed.kind != STREAM_SNAPSHOT_KIND {
+            return Err(SnapError::Invalid("not an analyzer snapshot"));
+        }
+        let mut r = SnapReader::new(framed.payload);
+        self.classifier.restore_from(&mut r)?;
+        let karn_present = r.get_bool()?;
+        match (&mut self.karn, karn_present) {
+            (Some(core), true) => core.restore_from(&mut r)?,
+            (None, false) => {}
+            (target, found) => {
+                return Err(SnapError::TagMismatch {
+                    context: "karn-presence",
+                    expected: u64::from(target.is_some()),
+                    found: u64::from(found),
+                });
+            }
+        }
+        let corr_present = r.get_bool()?;
+        match (&mut self.corr, corr_present) {
+            (Some(core), true) => core.restore_from(&mut r)?,
+            (None, false) => {}
+            (target, found) => {
+                return Err(SnapError::TagMismatch {
+                    context: "corr-presence",
+                    expected: u64::from(target.is_some()),
+                    found: u64::from(found),
+                });
+            }
+        }
+        let intervals_present = r.get_bool()?;
+        match (&mut self.intervals, intervals_present) {
+            (Some(core), true) => core.restore_from(&mut r)?,
+            (None, false) => {}
+            (target, found) => {
+                return Err(SnapError::TagMismatch {
+                    context: "intervals-presence",
+                    expected: u64::from(target.is_some()),
+                    found: u64::from(found),
+                });
+            }
+        }
+        self.events = r.get_u64()?;
+        self.last_time_ns = r.get_u64()?;
+        self.peak_state_bytes = r.get_usize()?;
+        r.finish()
     }
 
     /// Closes the analyzer and assembles the [`StreamAnalysis`].
@@ -511,5 +616,102 @@ mod tests {
         let json = serde_json::to_string(&got).unwrap();
         let back: StreamAnalysis = serde_json::from_str(&json).unwrap();
         assert_eq!(back, got);
+    }
+
+    #[test]
+    fn mid_stream_snapshot_restore_is_bit_identical() {
+        let t = eventful_trace();
+        let cfg = StreamConfig::default();
+        let whole = stream(&t, cfg, Some(250.0));
+
+        // Cut the stream at several points, snapshot, restore into a fresh
+        // analyzer, and feed the remainder: the finished analysis must be
+        // bit-identical to the uninterrupted one at every cut.
+        let records: Vec<_> = t.records().to_vec();
+        for cut in [
+            0,
+            1,
+            records.len() / 3,
+            records.len() / 2,
+            records.len() - 1,
+        ] {
+            let mut first = StreamAnalyzer::new(cfg);
+            for rec in &records[..cut] {
+                first.on_record(rec);
+            }
+            let snap = first.snapshot();
+            assert_eq!(snap, first.snapshot(), "snapshot encoding deterministic");
+            let mut resumed = StreamAnalyzer::new(cfg);
+            resumed.restore(&snap).expect("restore");
+            for rec in &records[cut..] {
+                first.on_record(rec);
+                resumed.on_record(rec);
+            }
+            let a = first.finish(Some(250.0));
+            let b = resumed.finish(Some(250.0));
+            assert_eq!(a, b, "cut at record {cut}");
+            assert_eq!(
+                a.rtt_window_corr.map(f64::to_bits),
+                b.rtt_window_corr.map(f64::to_bits),
+                "cut at record {cut}"
+            );
+            assert_eq!(a, whole, "cut at record {cut} diverged from whole run");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_config_mismatch_and_corruption() {
+        let t = eventful_trace();
+        let mut donor = StreamAnalyzer::new(StreamConfig::default());
+        for rec in t.records() {
+            donor.on_record(rec);
+        }
+        let snap = donor.snapshot();
+
+        // Core enabled in the target but absent from the snapshot.
+        let mut no_timing = StreamAnalyzer::new(StreamConfig {
+            timing: false,
+            ..StreamConfig::default()
+        });
+        assert!(matches!(
+            no_timing.restore(&snap),
+            Err(SnapError::TagMismatch {
+                context: "karn-presence",
+                ..
+            })
+        ));
+
+        // Different classifier threshold.
+        let mut linux = StreamAnalyzer::new(StreamConfig::with_analyzer(AnalyzerConfig {
+            dupack_threshold: 2,
+        }));
+        assert!(matches!(
+            linux.restore(&snap),
+            Err(SnapError::TagMismatch {
+                context: "classifier-dupack-threshold",
+                ..
+            })
+        ));
+
+        // Bit flips and truncations error, never panic.
+        let mut flipped = snap.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x10;
+        assert!(StreamAnalyzer::new(StreamConfig::default())
+            .restore(&flipped)
+            .is_err());
+        for cut in (0..snap.len()).step_by(7) {
+            assert!(
+                StreamAnalyzer::new(StreamConfig::default())
+                    .restore(&snap[..cut])
+                    .is_err(),
+                "prefix {cut}"
+            );
+        }
+
+        // The pristine snapshot still restores.
+        let mut ok = StreamAnalyzer::new(StreamConfig::default());
+        ok.restore(&snap).expect("pristine restore");
+        assert_eq!(ok.events(), donor.events());
     }
 }

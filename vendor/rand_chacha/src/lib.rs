@@ -85,6 +85,49 @@ impl<const ROUNDS: usize> ChaChaCore<ROUNDS> {
         self.word_pos += 1;
         w
     }
+
+    /// Reconstructs the 32-byte seed this core was built from.
+    ///
+    /// `from_seed` maps seed bytes to key words little-endian, which is
+    /// invertible, so the original seed is always recoverable.
+    fn get_seed(&self) -> [u8; 32] {
+        let mut seed = [0u8; 32];
+        for (chunk, word) in seed.chunks_exact_mut(4).zip(self.key.iter()) {
+            chunk.copy_from_slice(&word.to_le_bytes());
+        }
+        seed
+    }
+
+    /// Number of 32-bit keystream words consumed since construction.
+    ///
+    /// `word_pos == 16` means "no unread words in the current block", in
+    /// which case `counter` blocks have been fully consumed. Otherwise the
+    /// current block was produced for counter value `counter - 1` (refill
+    /// increments after generating) and `word_pos` words of it are spent.
+    fn get_word_pos(&self) -> u64 {
+        if self.word_pos >= 16 {
+            self.counter.wrapping_mul(16)
+        } else {
+            (self.counter.wrapping_sub(1)).wrapping_mul(16).wrapping_add(self.word_pos as u64)
+        }
+    }
+
+    /// Repositions the keystream to `pos` words from the start of the
+    /// stream, as reported by `get_word_pos`.
+    fn set_word_pos(&mut self, pos: u64) {
+        self.counter = pos / 16;
+        let in_block = (pos % 16) as usize;
+        if in_block == 0 {
+            // Exactly on a block boundary: defer generation to the next
+            // `next_word` call, matching the freshly-seeded state shape.
+            self.word_pos = 16;
+        } else {
+            // Mid-block: regenerate the block for this counter value
+            // (refill advances `counter` past it) and skip the spent words.
+            self.refill();
+            self.word_pos = in_block;
+        }
+    }
 }
 
 macro_rules! chacha_rng {
@@ -119,6 +162,28 @@ macro_rules! chacha_rng {
 
             fn from_seed(seed: Self::Seed) -> Self {
                 $name { core: ChaChaCore::from_seed(seed) }
+            }
+        }
+
+        impl $name {
+            /// Reconstructs the 32-byte seed this generator was built from.
+            pub fn get_seed(&self) -> [u8; 32] {
+                self.core.get_seed()
+            }
+
+            /// Number of 32-bit keystream words consumed since construction.
+            ///
+            /// Together with [`Self::get_seed`] this fully describes the
+            /// generator's state: `from_seed(seed)` followed by
+            /// `set_word_pos(pos)` reproduces the identical stream suffix.
+            pub fn get_word_pos(&self) -> u64 {
+                self.core.get_word_pos()
+            }
+
+            /// Repositions the keystream to `pos` words from the start, as
+            /// reported by [`Self::get_word_pos`].
+            pub fn set_word_pos(&mut self, pos: u64) {
+                self.core.set_word_pos(pos);
             }
         }
     };
@@ -176,5 +241,41 @@ mod tests {
         let w1 = b.next_u32().to_le_bytes();
         assert_eq!(&buf[..4], &w0);
         assert_eq!(&buf[4..], &w1);
+    }
+
+    #[test]
+    fn word_pos_save_restore_resumes_identical_stream() {
+        // At every offset (block boundaries, mid-block, fresh) the
+        // (seed, word_pos) pair must fully describe the stream state.
+        for consumed in [0usize, 1, 15, 16, 17, 31, 32, 100] {
+            let mut original = ChaCha8Rng::seed_from_u64(42);
+            for _ in 0..consumed {
+                original.next_u32();
+            }
+            assert_eq!(original.get_word_pos(), consumed as u64);
+            let seed = original.get_seed();
+            let pos = original.get_word_pos();
+
+            let mut restored = ChaCha8Rng::from_seed(seed);
+            restored.set_word_pos(pos);
+            assert_eq!(restored.get_word_pos(), pos);
+            for i in 0..64 {
+                assert_eq!(
+                    original.next_u32(),
+                    restored.next_u32(),
+                    "diverged at word {i} after consuming {consumed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn get_seed_round_trips() {
+        let mut seed = [0u8; 32];
+        for (i, b) in seed.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(37).wrapping_add(5);
+        }
+        let rng = ChaCha8Rng::from_seed(seed);
+        assert_eq!(rng.get_seed(), seed);
     }
 }
