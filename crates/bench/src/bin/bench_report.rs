@@ -13,11 +13,14 @@
 use std::time::Instant;
 
 use tcp_sim::connection::Connection;
+use tcp_sim::fleet::WheelConfig;
 use tcp_sim::loss::Bernoulli;
 use tcp_sim::rounds::{RoundsConfig, RoundsSim};
 use tcp_sim::time::{SimDuration, SimTime};
 use tcp_testbed::journal::Checkpoint;
-use tcp_testbed::{CampaignRecord, Journal, TraceRecorder};
+use tcp_testbed::{
+    run_fleet, CampaignRecord, FleetCampaignSpec, FleetCohortSpec, Journal, TraceRecorder,
+};
 use tcp_trace::analyzer::{analyze, AnalyzerConfig};
 use tcp_trace::record::Trace;
 use tcp_trace::stream::{StreamAnalyzer, StreamConfig, TraceSink};
@@ -110,11 +113,123 @@ struct CheckpointReport {
     checkpoint_record_bytes: u64,
 }
 
+/// One fleet-scale measurement: the same sharded campaign (same seed,
+/// same flow population) at one shard count. The acceptance number is
+/// `events_per_sec` at the best shard count sustaining `flows` concurrent
+/// flows.
+#[derive(serde::Serialize)]
+struct FleetBenchEntry {
+    /// Shards the campaign ran on.
+    shards: usize,
+    /// Concurrent flows simulated (constant across shard counts).
+    flows: u64,
+    /// Fleet events (rounds / loss macro-steps) per iteration.
+    events: u64,
+    /// Median wall time of one campaign iteration, nanoseconds.
+    ns_per_iter: f64,
+    /// `ns_per_iter / events`.
+    ns_per_event: f64,
+    /// Aggregate fleet throughput, events/sec across all shards.
+    events_per_sec: f64,
+    /// Process peak RSS (`VmHWM`) observed after this row's runs, bytes.
+    /// A process-lifetime high-water mark: rows are measured in listed
+    /// order, so each row's value includes every earlier row's footprint.
+    peak_rss_bytes: u64,
+}
+
+/// Process peak resident set (`VmHWM` from `/proc/self/status`), bytes;
+/// 0 where the proc filesystem is unavailable.
+fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse::<u64>().ok())
+        })
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
+}
+
+/// The fleet benchmark campaign: a two-cohort grid (a comfortable and a
+/// lossy grid point) totalling `flows` concurrent flows over a 30-second
+/// horizon, no wire audit — pure shard-loop throughput.
+fn fleet_spec(flows: u64) -> FleetCampaignSpec {
+    let lossy = flows * 2 / 5;
+    FleetCampaignSpec {
+        cohorts: vec![
+            FleetCohortSpec {
+                label: "p=0.02 rtt=0.1 wmax=64".into(),
+                config: RoundsConfig {
+                    p: 0.02,
+                    rtt: 0.1,
+                    t0: 1.0,
+                    b: 2,
+                    wmax: 64,
+                    ..RoundsConfig::default()
+                },
+                flows: flows - lossy,
+            },
+            FleetCohortSpec {
+                label: "p=0.1 rtt=0.3 wmax=16".into(),
+                config: RoundsConfig {
+                    p: 0.1,
+                    rtt: 0.3,
+                    t0: 1.5,
+                    b: 2,
+                    wmax: 16,
+                    ..RoundsConfig::default()
+                },
+                flows: lossy,
+            },
+        ],
+        base_seed: 0xF1EE7,
+        horizon_secs: 30.0,
+        wheel: WheelConfig::default(),
+        audit_flows_per_cohort: 0,
+    }
+}
+
+/// Times the fleet campaign at 1, 2, and 8 shards.
+/// `PFTK_FLEET_BENCH_FLOWS` overrides the default 10^5-flow population
+/// (the acceptance floor for release builds).
+fn fleet() -> Vec<FleetBenchEntry> {
+    let flows = std::env::var("PFTK_FLEET_BENCH_FLOWS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(100_000u64);
+    let spec = fleet_spec(flows);
+    [1usize, 2, 8]
+        .into_iter()
+        .map(|shards| {
+            let (ns_per_iter, events) = measure(3, || {
+                let report = run_fleet(&spec, shards);
+                std::hint::black_box(report.cohorts.len());
+                report.events
+            });
+            let events_f = events.max(1) as f64;
+            FleetBenchEntry {
+                shards,
+                flows,
+                events,
+                ns_per_iter,
+                ns_per_event: ns_per_iter / events_f,
+                events_per_sec: events_f * 1e9 / ns_per_iter.max(1.0),
+                peak_rss_bytes: peak_rss_bytes(),
+            }
+        })
+        .collect()
+}
+
 #[derive(serde::Serialize)]
 struct Report {
     /// Reminder that only release-profile numbers are comparable.
     profile: &'static str,
     entries: Vec<Entry>,
+    /// Fleet-scale shard sweep: the same 10^5-flow campaign at 1/2/8
+    /// shards, with aggregate events/sec and peak RSS.
+    fleet: Vec<FleetBenchEntry>,
     /// Batch-vs-streaming memory comparison on an identical connection.
     trace_memory: Vec<MemoryEntry>,
     /// Crash-safety cost: checkpointing on vs off, plus snapshot sizes.
@@ -466,6 +581,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             analyzer(),
             streaming_analyzer(),
         ],
+        fleet: fleet(),
         trace_memory: trace_memory(),
         checkpoint: checkpoint_report()?,
     };

@@ -19,7 +19,13 @@
 //! `bench_report` re-times the hot-path workloads (packet-level engine,
 //! rounds engine, trace analyzer) and writes `results/BENCH_sim.json`
 //! with per-entry `ns_per_event` and `events_per_sec` — the artifact the
-//! performance acceptance compares across revisions. Only release-profile
-//! numbers are comparable; the JSON records which profile produced it.
-//! See DESIGN.md §9 for the engine architecture and the baseline-refresh
-//! workflow.
+//! performance acceptance compares across revisions. The `fleet` section
+//! sweeps the sharded 10^5-flow campaign at 1/2/8 shards (aggregate
+//! events/sec plus peak RSS); `PFTK_FLEET_BENCH_FLOWS` scales the
+//! population down for smoke runs. Only release-profile numbers are
+//! comparable; the JSON records which profile produced it.
+//! `results/BENCH_baseline.json` is the committed reference the tier-1
+//! regression guard (`tests/perf_smoke.rs`) diffs against with a ±25%
+//! tolerance; refresh it deliberately, with a note, when the hot path
+//! legitimately changes. See DESIGN.md §9 for the engine architecture
+//! and the baseline-refresh workflow.

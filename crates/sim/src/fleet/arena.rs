@@ -1,0 +1,374 @@
+//! SoA connection arenas: hot per-flow state in dense parallel arrays,
+//! cold per-cohort configuration in a small shared table.
+//!
+//! The arena executes the §II rounds model of [`crate::rounds::RoundsSim`]
+//! as an event-per-round state machine. The draw order is kept *identical*
+//! to `RoundsSim::run_one_tdp` — per round: one Bernoulli round-loss draw;
+//! on loss: one truncated-geometric position draw, then the `C(k, m)`
+//! last-round draws, then one Bernoulli draw per retransmission of a
+//! timeout sequence — so a single fleet flow reproduces a `RoundsSim` run
+//! counter for counter (pinned by `single_flow_matches_rounds_sim`).
+
+use super::FleetCohort;
+use crate::rng::{flow_seed, SimRng};
+use std::ops::Range;
+
+/// Cold per-cohort parameters, precomputed into the forms the hot loop
+/// needs (integer nanosecond durations, f64 copies of integer knobs).
+#[derive(Debug, Clone, Copy)]
+struct CohortParams {
+    p: f64,
+    rtt_ns: u64,
+    t0_ns: u64,
+    b: u32,
+    wmax: u32,
+    backoff_cap_exp: u32,
+    slow_start_after_to: bool,
+}
+
+/// Ground-truth counters of one fleet flow — the fleet-scale subset of
+/// [`crate::stats::ConnStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowStats {
+    /// Total data transmissions (new + retransmissions).
+    pub packets_sent: u64,
+    /// Distinct data packets that reached the receiver.
+    pub packets_delivered: u64,
+    /// Triple-duplicate loss indications.
+    pub td_events: u32,
+    /// Timeout sequences (loss indications of type TO).
+    pub to_events: u32,
+    /// Individual RTO firings.
+    pub rto_firings: u32,
+    /// Rounds executed (penultimate and last rounds both count).
+    pub rounds: u32,
+}
+
+impl FlowStats {
+    /// Total loss indications (TD + TO).
+    pub fn loss_indications(&self) -> u64 {
+        u64::from(self.td_events) + u64::from(self.to_events)
+    }
+}
+
+/// The SoA arena: one entry per flow across every parallel array.
+///
+/// Hot state (`wf`, `ssthresh`, `rng`) and counters are split into
+/// separate arrays so the inner loop touches only the cache lines it
+/// needs; cold configuration is one `CohortParams` copy per *cohort*, not
+/// per flow.
+#[derive(Debug)]
+pub(crate) struct FlowArena {
+    cohorts: Vec<CohortParams>,
+    /// Cohort index of each flow.
+    cohort_of: Vec<u32>,
+    /// Per-flow deterministic RNG stream (`flow_seed(base, global_id)`).
+    rng: Vec<SimRng>,
+    /// Fractional congestion window (the model's `wf`).
+    wf: Vec<f64>,
+    /// Slow-start threshold; 0 encodes "none" (thresholds are ≥ 2).
+    ssthresh: Vec<u32>,
+    packets_sent: Vec<u64>,
+    packets_delivered: Vec<u64>,
+    td_events: Vec<u32>,
+    to_events: Vec<u32>,
+    rto_firings: Vec<u32>,
+    rounds: Vec<u32>,
+    /// Per-cohort timeout-sequence-length histogram (buckets as in
+    /// `ConnStats::to_sequences`: index k counts sequences of k+1, last
+    /// bucket is "6 or more").
+    to_hist: Vec<[u64; 6]>,
+}
+
+impl FlowArena {
+    /// Builds the arena for the contiguous global flow range `flows` of a
+    /// fleet whose global flow space is `cohorts` concatenated in order.
+    pub(crate) fn new(cohorts: &[FleetCohort], base_seed: u64, flows: Range<u64>) -> Self {
+        let params: Vec<CohortParams> = cohorts.iter().map(validate).collect();
+        let n = usize::try_from(flows.end - flows.start).expect("shard flow count fits usize"); //~ allow(expect): construction-time validation, documented panic
+        let mut arena = FlowArena {
+            cohorts: params,
+            cohort_of: Vec::with_capacity(n),
+            rng: Vec::with_capacity(n),
+            wf: Vec::with_capacity(n),
+            ssthresh: vec![0; n],
+            packets_sent: vec![0; n],
+            packets_delivered: vec![0; n],
+            td_events: vec![0; n],
+            to_events: vec![0; n],
+            rto_firings: vec![0; n],
+            rounds: vec![0; n],
+            to_hist: vec![[0; 6]; cohorts.len()],
+        };
+        // Walk the cohort boundaries in step with the (sorted, contiguous)
+        // global ids instead of binary-searching each one.
+        let mut cohort = 0usize;
+        let mut cohort_end: u64 = cohorts.first().map_or(0, |c| c.flows);
+        for g in flows {
+            while g >= cohort_end {
+                cohort += 1;
+                cohort_end += cohorts
+                    .get(cohort)
+                    .expect("flow range exceeds fleet flow space") //~ allow(expect): construction-time validation, documented panic
+                    .flows;
+            }
+            let cfg = &cohorts[cohort].config;
+            //~ allow(expect): construction-time validation, documented panic
+            let cid = u32::try_from(cohort).expect("cohort count fits u32");
+            arena.cohort_of.push(cid);
+            arena
+                .rng
+                .push(SimRng::seed_from_u64(flow_seed(base_seed, g)));
+            arena.wf.push(f64::from(cfg.initial_window.min(cfg.wmax)));
+        }
+        arena
+    }
+
+    pub(crate) fn flow_count(&self) -> usize {
+        self.wf.len()
+    }
+
+    pub(crate) fn cohort_count(&self) -> usize {
+        self.cohorts.len()
+    }
+
+    pub(crate) fn flow_stats(&self, flow: usize) -> FlowStats {
+        FlowStats {
+            packets_sent: self.packets_sent[flow],
+            packets_delivered: self.packets_delivered[flow],
+            td_events: self.td_events[flow],
+            to_events: self.to_events[flow],
+            rto_firings: self.rto_firings[flow],
+            rounds: self.rounds[flow],
+        }
+    }
+
+    pub(crate) fn cohort_of(&self, flow: usize) -> u32 {
+        self.cohort_of[flow]
+    }
+
+    pub(crate) fn to_histogram(&self, cohort: usize) -> [u64; 6] {
+        self.to_hist[cohort]
+    }
+
+    /// Advances flow `f` through one event — a round of the §II model, or
+    /// a loss round together with its Fig. 4 last round and (for a TO
+    /// indication) the whole timeout sequence — and returns the absolute
+    /// nanosecond time of the flow's next event.
+    ///
+    /// The arithmetic and RNG draw order mirror
+    /// [`crate::rounds::RoundsSim::run_one_tdp`] statement for statement;
+    /// divergence here breaks the draw-parity unit test.
+    pub(crate) fn step(&mut self, f: u32, now_ns: u64) -> u64 {
+        let fi = f as usize; //~ allow(cast): u32 flow index widens losslessly
+        let c = self.cohorts[self.cohort_of[fi] as usize]; //~ allow(cast): u32 cohort index widens losslessly
+                                                           //~ allow(cast): deliberate float truncation after round/floor
+        let w = (self.wf[fi].floor() as u32).clamp(1, c.wmax);
+        // The whole round is transmitted regardless of loss (§II-A).
+        self.packets_sent[fi] += u64::from(w);
+        self.rounds[fi] = self.rounds[fi].wrapping_add(1);
+        let rng = &mut self.rng[fi];
+        //~ allow(cast): powi exponent; window bounded far below i32::MAX
+        if rng.chance(1.0 - (1.0 - c.p).powi(w as i32)) {
+            // First loss at position pos ∈ 1..=w (truncated geometric);
+            // the pos−1 packets before it are the round's deliveries.
+            let pos = sample_truncated_geometric(rng, c.p, w);
+            self.packets_delivered[fi] += u64::from(pos) - 1;
+            // The "last" round (Fig. 4): the k = pos − 1 ACKed packets
+            // trigger k more transmissions one RTT later.
+            let k = pos - 1;
+            self.packets_sent[fi] += u64::from(k);
+            self.rounds[fi] = self.rounds[fi].wrapping_add(1);
+            let m = sample_last_round_successes(rng, c.p, k);
+            self.packets_delivered[fi] += u64::from(m);
+            if k >= 3 && m >= 3 {
+                // Triple duplicate: halve and resume one RTT after the
+                // last round.
+                self.td_events[fi] += 1;
+                self.wf[fi] = f64::from((w / 2).max(1));
+                self.ssthresh[fi] = 0;
+                now_ns + 2 * c.rtt_ns
+            } else {
+                // Timeout sequence: geometric length, doubling gaps
+                // capped at 2^cap · T0, one retransmission per gap.
+                let mut len: u32 = 0;
+                let mut gap_ns: u64 = 0;
+                loop {
+                    len += 1;
+                    let exp = (len - 1).min(c.backoff_cap_exp);
+                    gap_ns += c.t0_ns << exp;
+                    self.packets_sent[fi] += 1;
+                    self.rto_firings[fi] += 1;
+                    if !rng.chance(c.p) {
+                        // Retransmission got through (§V: E[R'] = 1).
+                        self.packets_delivered[fi] += 1;
+                        break;
+                    }
+                    if len >= 1_000 {
+                        break;
+                    }
+                }
+                self.to_events[fi] += 1;
+                let bucket = (len as usize - 1).min(5); //~ allow(cast): u32 sequence length widens losslessly
+                self.to_hist[self.cohort_of[fi] as usize][bucket] += 1; //~ allow(cast): u32 cohort index widens losslessly
+                self.wf[fi] = 1.0;
+                self.ssthresh[fi] = if c.slow_start_after_to {
+                    (w / 2).max(2)
+                } else {
+                    0
+                };
+                now_ns + 2 * c.rtt_ns + gap_ns
+            }
+        } else {
+            // Loss-free round: deliver everything, grow the window.
+            self.packets_delivered[fi] += u64::from(w);
+            let wf = self.wf[fi];
+            let ss = self.ssthresh[fi];
+            self.wf[fi] = if ss != 0 && wf < f64::from(ss) {
+                // Slow start: each of the w/b ACKs adds one segment.
+                (wf * (1.0 + 1.0 / f64::from(c.b))).min(f64::from(ss))
+            } else {
+                wf + 1.0 / f64::from(c.b)
+            }
+            .min(f64::from(c.wmax));
+            now_ns + c.rtt_ns
+        }
+    }
+}
+
+/// Validates one cohort's parameters (the same domain as
+/// [`crate::rounds::RoundsSim::new`]) and precomputes hot-loop forms.
+fn validate(cohort: &FleetCohort) -> CohortParams {
+    let cfg = &cohort.config;
+    assert!(cfg.p > 0.0 && cfg.p < 1.0, "p must be in (0,1)");
+    assert!(cfg.rtt > 0.0 && cfg.t0 > 0.0, "times must be positive");
+    assert!(cfg.b >= 1 && cfg.wmax >= 1 && cfg.initial_window >= 1);
+    assert!(
+        cfg.backoff_cap_exp <= 30,
+        "backoff cap exponent must stay shiftable"
+    );
+    CohortParams {
+        p: cfg.p,
+        rtt_ns: (cfg.rtt * 1e9).round() as u64, //~ allow(cast): deliberate float truncation after round/floor
+        t0_ns: (cfg.t0 * 1e9).round() as u64, //~ allow(cast): deliberate float truncation after round/floor
+        b: cfg.b,
+        wmax: cfg.wmax,
+        backoff_cap_exp: cfg.backoff_cap_exp,
+        slow_start_after_to: cfg.slow_start_after_to,
+    }
+}
+
+/// First-loss position within a round of `w` packets, truncated geometric
+/// on `1..=w` — same arithmetic as `RoundsSim::sample_truncated_geometric`.
+fn sample_truncated_geometric(rng: &mut SimRng, p: f64, w: u32) -> u32 {
+    let q = 1.0 - p;
+    let mass = 1.0 - q.powi(w as i32); //~ allow(cast): powi exponent; window bounded far below i32::MAX
+    let u = rng.open01() * mass;
+    let k = ((1.0 - u).ln() / q.ln()).ceil();
+    (k as u32).clamp(1, w) //~ allow(cast): deliberate float truncation after round/floor
+}
+
+/// In-sequence successes in the last round of `k` packets (the paper's
+/// `C(k, m)` law) — same draws as `RoundsSim::sample_last_round_successes`.
+fn sample_last_round_successes(rng: &mut SimRng, p: f64, k: u32) -> u32 {
+    let mut m = 0;
+    while m < k && !rng.chance(p) {
+        m += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rounds::{RoundsConfig, RoundsSim};
+
+    fn cohort(p: f64, wmax: u32) -> FleetCohort {
+        FleetCohort {
+            config: RoundsConfig {
+                p,
+                rtt: 0.1,
+                t0: 1.0,
+                b: 2,
+                wmax,
+                ..RoundsConfig::default()
+            },
+            flows: 4,
+        }
+    }
+
+    /// The fleet's strongest correctness check: a fleet flow consumes the
+    /// same RNG draws in the same order as `RoundsSim` with the same seed,
+    /// so after the same number of TD periods every shared counter agrees
+    /// exactly and elapsed time agrees to nanosecond rounding.
+    #[test]
+    fn single_flow_matches_rounds_sim() {
+        for (p, wmax, seed) in [(0.03, 64, 0xF1EE7u64), (0.005, 1_000, 9), (0.2, 8, 77)] {
+            let c = cohort(p, wmax);
+            let mut reference = RoundsSim::new(c.config, flow_seed(seed, 0));
+            reference.run_tdps(400);
+            let ref_stats = reference.stats();
+            let indications = ref_stats.loss_indications();
+
+            let mut arena = FlowArena::new(std::slice::from_ref(&c), seed, 0..1);
+            let mut t = 0u64;
+            while arena.flow_stats(0).loss_indications() < indications {
+                t = arena.step(0, t);
+            }
+            let fleet = arena.flow_stats(0);
+            assert_eq!(fleet.packets_sent, ref_stats.packets_sent, "p={p}");
+            assert_eq!(fleet.packets_delivered, ref_stats.packets_delivered);
+            assert_eq!(u64::from(fleet.td_events), ref_stats.td_events);
+            assert_eq!(u64::from(fleet.to_events), ref_stats.to_events());
+            assert_eq!(u64::from(fleet.rto_firings), ref_stats.rto_firings);
+            assert_eq!(arena.to_histogram(0), ref_stats.to_sequences);
+            // Times agree up to f64-vs-integer-nanosecond accumulation.
+            let fleet_elapsed = t as f64 / 1e9;
+            let rel = (fleet_elapsed - reference.elapsed()).abs() / reference.elapsed();
+            assert!(
+                rel < 1e-6,
+                "elapsed {fleet_elapsed} vs {}",
+                reference.elapsed()
+            );
+        }
+    }
+
+    /// A flow's trajectory is a pure function of (base seed, global id):
+    /// the same flow simulated in a wider arena is unchanged.
+    #[test]
+    fn flow_isolated_from_arena_layout() {
+        let c = cohort(0.05, 32);
+        let mut narrow = FlowArena::new(std::slice::from_ref(&c), 3, 2..3);
+        let mut wide = FlowArena::new(std::slice::from_ref(&c), 3, 0..4);
+        let mut tn = 0u64;
+        let mut tw = 0u64;
+        for _ in 0..5_000 {
+            tn = narrow.step(0, tn);
+            tw = wide.step(2, tw);
+        }
+        assert_eq!(tn, tw);
+        assert_eq!(narrow.flow_stats(0), wide.flow_stats(2));
+    }
+
+    #[test]
+    fn multi_cohort_ranges_assign_cohorts_correctly() {
+        let a = cohort(0.01, 16);
+        let b = cohort(0.2, 8);
+        let arena = FlowArena::new(&[a, b], 1, 2..6);
+        // Global ids 2,3 belong to cohort 0 (flows 0..4), ids 4,5 to cohort 1.
+        assert_eq!(arena.cohort_of(0), 0);
+        assert_eq!(arena.cohort_of(1), 0);
+        assert_eq!(arena.cohort_of(2), 1);
+        assert_eq!(arena.cohort_of(3), 1);
+        assert_eq!(arena.flow_count(), 4);
+        assert_eq!(arena.cohort_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in")]
+    fn invalid_cohort_rejected() {
+        let mut c = cohort(0.5, 8);
+        c.config.p = 0.0;
+        let _ = FlowArena::new(std::slice::from_ref(&c), 1, 0..1);
+    }
+}

@@ -20,6 +20,12 @@
 //!   its long-run send rate converges to Eq. (32) and its sample paths
 //!   regenerate the paper's Figs. 1/3/5/6.
 //!
+//! [`fleet`] scales the rounds model to populations: SoA flow arenas and
+//! per-shard event wheels run 10^5–10^6 concurrent flows with
+//! deterministic, shard-count-independent per-flow seeding, for
+//! distributional validation of Eq. (32) at each `(p, RTT, T0, W_m)`
+//! grid point.
+//!
 //! Everything is seeded and deterministic: a run is a pure function of its
 //! configuration, per the sans-I/O design idiom (no sockets, no async
 //! runtime — this workload is CPU-bound simulation).
@@ -47,6 +53,7 @@
 pub mod connection;
 pub mod event;
 pub mod fault;
+pub mod fleet;
 pub mod link;
 pub mod loss;
 pub mod network;
@@ -62,6 +69,7 @@ pub mod time;
 
 pub use connection::{Connection, Observer};
 pub use fault::{FaultPlan, Impairment};
+pub use fleet::{FleetCohort, FleetShard, FleetSpec, FlowStats, WheelConfig};
 pub use rounds::{RoundsConfig, RoundsSim};
 pub use stats::ConnStats;
 pub use time::{SimDuration, SimTime};

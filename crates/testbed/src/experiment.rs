@@ -102,6 +102,24 @@ impl TraceRecorder {
         }
     }
 
+    /// A reduce-only recorder wrapping an existing analyzer — the seam for
+    /// [`tcp_trace::stream::AnalyzerPool`]: fleet audits lease a recycled
+    /// analyzer shell, wrap it here, and return it to the pool via
+    /// [`TraceRecorder::into_stream`] when the connection finishes.
+    pub fn streaming_with(analyzer: StreamAnalyzer) -> Self {
+        TraceRecorder {
+            log: None,
+            stream: Some(analyzer),
+        }
+    }
+
+    /// Consumes the recorder, yielding the analyzer itself (un-finished)
+    /// so a pool can reduce and recycle it. `None` on retain-only
+    /// recorders.
+    pub fn into_stream(self) -> Option<StreamAnalyzer> {
+        self.stream
+    }
+
     /// A recorder that both reduces and retains (the trace-retention
     /// opt-in for runs whose events are re-read afterwards: exports,
     /// golden-trace comparisons, ad-hoc re-analysis).

@@ -12,6 +12,10 @@
 //! * [`experiment::run_modem`] — the dedicated-buffer modem scenario of
 //!   Fig. 11.
 //!
+//! [`fleet`] scales validation to populations: sharded 10^5–10^6-flow
+//! campaigns over the `tcp-sim` fleet arenas, with per-cohort
+//! distributional comparison against Eq. (32) and a pooled-analyzer wire
+//! audit (DESIGN.md §14).
 //! [`report`] turns results into the exact series each figure plots.
 //! [`supervisor`] runs campaigns under per-experiment budgets with panic
 //! isolation and retry, so one wedged path degrades Table II to a partial
@@ -27,6 +31,7 @@
 #![deny(missing_docs)]
 
 pub mod experiment;
+pub mod fleet;
 pub mod hosts;
 pub mod journal;
 pub mod paths;
@@ -38,6 +43,10 @@ pub use experiment::{
     run_hour, run_hour_budgeted, run_hour_budgeted_with, run_hour_with, run_modem, run_modem_with,
     run_serial_100s, run_serial_100s_with, run_table2, run_table2_journaled, run_table2_supervised,
     ExperimentOptions, ExperimentResult, JournalConfig, TraceRecorder, DEFAULT_EVENT_BUDGET,
+};
+pub use fleet::{
+    run_fleet, run_fleet_with, CohortAudit, CohortReport, FleetCampaignSpec, FleetCohortSpec,
+    FleetReport,
 };
 pub use hosts::{host, Host, Os, HOSTS};
 pub use journal::{CampaignRecord, CrashPoint, Journal};

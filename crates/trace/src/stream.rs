@@ -176,6 +176,7 @@ impl StreamAnalysis {
 //= pftk#stream-batch-equivalence
 #[derive(Debug, Clone)]
 pub struct StreamAnalyzer {
+    config: StreamConfig,
     classifier: Classifier,
     karn: Option<KarnCore>,
     corr: Option<CorrCore>,
@@ -190,6 +191,7 @@ impl StreamAnalyzer {
     /// A fresh analyzer running the reductions named by `config`.
     pub fn new(config: StreamConfig) -> Self {
         StreamAnalyzer {
+            config,
             classifier: Classifier::new(config.analyzer),
             karn: config.timing.then(KarnCore::new),
             corr: config.correlation.then(CorrCore::new),
@@ -199,6 +201,11 @@ impl StreamAnalyzer {
             last_time_ns: 0,
             peak_state_bytes: 0,
         }
+    }
+
+    /// The configuration this analyzer was built with.
+    pub fn config(&self) -> StreamConfig {
+        self.config
     }
 
     /// Wire events consumed so far.
@@ -351,6 +358,14 @@ impl StreamAnalyzer {
         r.finish()
     }
 
+    /// Like [`StreamAnalyzer::finish`], but leaves `self` fresh (as if
+    /// just built with the same [`StreamConfig`]) instead of consuming
+    /// it — the recycling primitive behind [`AnalyzerPool`].
+    pub fn finish_and_reset(&mut self, total_secs: Option<f64>) -> StreamAnalysis {
+        let fresh = StreamAnalyzer::new(self.config);
+        std::mem::replace(self, fresh).finish(total_secs)
+    }
+
     /// Closes the analyzer and assembles the [`StreamAnalysis`].
     ///
     /// `total_secs` is the true experiment duration for interval
@@ -438,6 +453,91 @@ impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
     fn on_ack_in(&mut self, time_ns: u64, ack: u64) {
         self.a.on_ack_in(time_ns, ack);
         self.b.on_ack_in(time_ns, ack);
+    }
+}
+
+/// A recycling pool of [`StreamAnalyzer`]s for campaigns that analyze
+/// *many* flows — the fleet driver's per-cohort packet-level audit flows,
+/// or any serial sweep of short connections.
+///
+/// At fleet scale the memory question flips: a single streaming analyzer
+/// is O(window), but 10^5 of them are not. The pool keeps the number of
+/// **live** analyzers equal to the number of flows mid-analysis (for the
+/// fleet: a handful of audit flows, not the population), recycles shells
+/// through [`StreamAnalyzer::finish_and_reset`], and accounts the
+/// high-water analyzer memory across everything it processed, so a
+/// campaign can report its true analysis footprint.
+#[derive(Debug)]
+pub struct AnalyzerPool {
+    config: StreamConfig,
+    free: Vec<StreamAnalyzer>,
+    leased: usize,
+    peak_leased: usize,
+    flows_finished: u64,
+    peak_state_bytes: u64,
+}
+
+impl AnalyzerPool {
+    /// An empty pool handing out analyzers configured with `config`.
+    pub fn new(config: StreamConfig) -> Self {
+        AnalyzerPool {
+            config,
+            free: Vec::new(),
+            leased: 0,
+            peak_leased: 0,
+            flows_finished: 0,
+            peak_state_bytes: 0,
+        }
+    }
+
+    /// Leases an analyzer (recycled if one is free, fresh otherwise).
+    pub fn acquire(&mut self) -> StreamAnalyzer {
+        self.leased += 1;
+        if self.leased > self.peak_leased {
+            self.peak_leased = self.leased;
+        }
+        self.free
+            .pop()
+            .unwrap_or_else(|| StreamAnalyzer::new(self.config))
+    }
+
+    /// Finishes a leased analyzer's flow, returns its analysis, and takes
+    /// the shell back for reuse. `total_secs` as in
+    /// [`StreamAnalyzer::finish`].
+    pub fn finish(
+        &mut self,
+        mut analyzer: StreamAnalyzer,
+        total_secs: Option<f64>,
+    ) -> StreamAnalysis {
+        self.leased = self.leased.saturating_sub(1);
+        self.flows_finished += 1;
+        let peak = analyzer.peak_state_bytes() as u64;
+        if peak > self.peak_state_bytes {
+            self.peak_state_bytes = peak;
+        }
+        let analysis = analyzer.finish_and_reset(total_secs);
+        self.free.push(analyzer);
+        analysis
+    }
+
+    /// Analyzers currently leased out.
+    pub fn leased(&self) -> usize {
+        self.leased
+    }
+
+    /// High-water mark of simultaneously leased analyzers.
+    pub fn peak_leased(&self) -> usize {
+        self.peak_leased
+    }
+
+    /// Flows finished through this pool.
+    pub fn flows_finished(&self) -> u64 {
+        self.flows_finished
+    }
+
+    /// Largest per-flow [`StreamAnalyzer::peak_state_bytes`] seen.
+    pub fn peak_state_bytes(&self) -> u64 {
+        self.peak_state_bytes
     }
 }
 
@@ -536,6 +636,66 @@ mod tests {
             got.intervals.as_deref(),
             Some(&split_intervals_bounded(&t, &analysis, 100.0, 230.0)[..])
         );
+    }
+
+    /// A pooled (recycled) analyzer must be indistinguishable from a
+    /// fresh one: same flow, same events ⇒ bit-identical analysis.
+    #[test]
+    fn pooled_analyzer_matches_fresh() {
+        let t = eventful_trace();
+        let cfg = StreamConfig::default();
+        let fresh = stream(&t, cfg, Some(250.0));
+
+        let mut pool = AnalyzerPool::new(cfg);
+        for round in 0..3 {
+            let mut a = pool.acquire();
+            for rec in t.records() {
+                a.on_record(rec);
+            }
+            let got = pool.finish(a, Some(250.0));
+            assert_eq!(got, fresh, "recycled analyzer diverged on round {round}");
+        }
+        assert_eq!(pool.flows_finished(), 3);
+        assert_eq!(pool.leased(), 0);
+        assert_eq!(pool.peak_leased(), 1);
+        assert!(pool.peak_state_bytes() > 0);
+    }
+
+    #[test]
+    fn pool_recycles_shells_and_tracks_concurrency() {
+        let mut pool = AnalyzerPool::new(StreamConfig::default());
+        let a = pool.acquire();
+        let b = pool.acquire();
+        assert_eq!(pool.leased(), 2);
+        assert_eq!(pool.peak_leased(), 2);
+        let _ = pool.finish(a, None);
+        let _ = pool.finish(b, None);
+        // Both shells are back: two more leases reuse them without
+        // raising the peak.
+        let c = pool.acquire();
+        let d = pool.acquire();
+        assert_eq!(pool.peak_leased(), 2);
+        let _ = pool.finish(c, None);
+        let _ = pool.finish(d, None);
+        assert_eq!(pool.flows_finished(), 4);
+    }
+
+    #[test]
+    fn finish_and_reset_leaves_analyzer_fresh() {
+        let t = eventful_trace();
+        let cfg = StreamConfig::default();
+        let mut a = StreamAnalyzer::new(cfg);
+        for rec in t.records() {
+            a.on_record(rec);
+        }
+        let first = a.finish_and_reset(Some(250.0));
+        assert_eq!(a.events(), 0);
+        assert!(a.indications().is_empty());
+        for rec in t.records() {
+            a.on_record(rec);
+        }
+        let second = a.finish_and_reset(Some(250.0));
+        assert_eq!(first, second);
     }
 
     #[test]

@@ -10,15 +10,23 @@
 //! deques and timer heap that only grow, and the capacity-preallocated
 //! `TraceLog` — against regressions that reintroduce per-packet `Box` or
 //! `Vec` churn.
+//!
+//! The same harness pins the fleet shard loop: after warm-up, a
+//! `FleetShard::run_until` window over hundreds of flows must be
+//! allocation-free too (SoA arenas are fixed at construction; the event
+//! wheel's ring slots and overflow heap recycle their high-water
+//! capacity).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use padhye_tcp_repro::sim::connection::Connection;
+use padhye_tcp_repro::sim::fleet::{FleetCohort, FleetShard, FleetSpec};
 use padhye_tcp_repro::sim::link::Path;
 use padhye_tcp_repro::sim::loss::Bernoulli;
 use padhye_tcp_repro::sim::reno::sender::SenderConfig;
+use padhye_tcp_repro::sim::rounds::RoundsConfig;
 use padhye_tcp_repro::sim::time::{SimDuration, SimTime};
 use padhye_tcp_repro::testbed::TraceRecorder;
 
@@ -118,5 +126,69 @@ fn steady_state_simulation_does_not_allocate() {
          must be allocation-free after warm-up",
         after - before,
         sent_in_window
+    );
+}
+
+#[test]
+fn warm_fleet_shard_does_not_allocate() {
+    // Two cohorts so the shard's inner loop exercises both the TD-heavy
+    // regime (large window) and the timeout-heavy one (small window,
+    // higher p — deep backoffs park events in the wheel's overflow heap).
+    let spec = FleetSpec {
+        cohorts: vec![
+            FleetCohort {
+                config: RoundsConfig {
+                    p: 0.02,
+                    rtt: 0.1,
+                    t0: 1.0,
+                    b: 2,
+                    wmax: 64,
+                    ..RoundsConfig::default()
+                },
+                flows: 384,
+            },
+            FleetCohort {
+                config: RoundsConfig {
+                    p: 0.1,
+                    rtt: 0.3,
+                    t0: 1.5,
+                    b: 2,
+                    wmax: 16,
+                    ..RoundsConfig::default()
+                },
+                flows: 128,
+            },
+        ],
+        base_seed: 0xA110C,
+        ..FleetSpec::default()
+    };
+    let mut shard = FleetShard::new(&spec, 0..spec.total_flows());
+
+    // Warm-up: long enough that every ring slot and the overflow heap
+    // reach their high-water capacity (flows start maximally bunched in
+    // one slot and only spread out from there, so slot maxima occur
+    // early; the overflow heap is pre-reserved for fleets this size).
+    let warmed = shard.run_until(SimTime::from_secs_f64(240.0));
+    assert!(warmed > 10_000, "degenerate warm-up: {warmed} events");
+
+    COUNTING.with(|c| c.set(true));
+    //~ allow(relaxed_atomic): reads a counter only this thread bumps
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let in_window = shard.run_until(SimTime::from_secs_f64(300.0));
+    //~ allow(relaxed_atomic): reads a counter only this thread bumps
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    COUNTING.with(|c| c.set(false));
+
+    assert!(
+        in_window > 10_000,
+        "degenerate window: only {in_window} events"
+    );
+    assert_eq!(
+        after - before,
+        0,
+        "warm fleet shard allocated {} times over {} events; the sharded \
+         inner loop must be allocation-free once arenas and wheel are warm",
+        after - before,
+        in_window
     );
 }

@@ -8,8 +8,19 @@
 //! `results/BENCH_sim.json`, produced by `cargo run -p tcp-bench --bin
 //! bench_report`). If this test trips, the hot path did not get "a bit
 //! slower"; it broke.
+//!
+//! The second half is the *committed-artifact* regression guard: both
+//! `results/BENCH_sim.json` (regenerated whenever the hot path changes)
+//! and `results/BENCH_baseline.json` (refreshed only deliberately) are
+//! committed from the same reference machine, so diffing them is
+//! machine-consistent even though this test runs elsewhere. Every
+//! `ns_per_event` must stay within ±25% of the baseline; a PR that
+//! regenerates the report outside that band either fixes the regression
+//! or consciously refreshes the baseline (with a note in CHANGES.md).
 
 use std::time::{Duration, Instant};
+
+use serde_json::Value;
 
 use padhye_tcp_repro::sim::connection::Connection;
 use padhye_tcp_repro::sim::link::Path;
@@ -50,4 +61,103 @@ fn sixty_sim_seconds_at_five_percent_loss_fit_the_wall_clock_ceiling() {
     // above meaningless).
     let trace = conn.into_observer().into_trace();
     assert!(u64::try_from(trace.len()).unwrap_or(0) >= stats.packets_sent);
+}
+
+/// Relative tolerance for the committed-artifact diff. Same-machine
+/// release runs jitter a few percent; ±25% flags a real change while
+/// tolerating noise.
+const BENCH_TOLERANCE: f64 = 0.25;
+
+fn load_report(name: &str) -> Value {
+    let path = format!("{}/results/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{path} must be committed (regenerate with `cargo run --release -p tcp-bench --bin bench_report`): {e}"));
+    serde_json::parse_value(&text).unwrap_or_else(|e| panic!("{path} is not valid JSON: {e}"))
+}
+
+/// A field of a report row as a display string (for row keys).
+fn field_str(row: &Value, field: &str) -> String {
+    match row.get(field) {
+        Some(Value::Str(s)) => s.clone(),
+        Some(Value::U64(n)) => n.to_string(),
+        Some(Value::I64(n)) => n.to_string(),
+        other => panic!("row field `{field}` has unexpected shape: {other:?}"),
+    }
+}
+
+/// A numeric field of a report row as `f64`.
+fn field_f64(row: &Value, field: &str) -> f64 {
+    //~ allow(cast): JSON integer counters to f64, exact below 2^53
+    match row.get(field) {
+        Some(Value::F64(x)) => *x,
+        Some(Value::U64(n)) => *n as f64, //~ allow(cast): see above
+        Some(Value::I64(n)) => *n as f64, //~ allow(cast): see above
+        other => panic!("row field `{field}` must be a number, got {other:?}"),
+    }
+}
+
+/// Pulls `(key, ns_per_event)` rows out of a report section, keyed by the
+/// fields that identify a row (`group/bench` for `entries`, `shards=N`
+/// for `fleet`).
+fn ns_per_event_rows(report: &Value, section: &str) -> Vec<(String, f64)> {
+    let Some(Value::Seq(rows)) = report.get(section) else {
+        panic!("report section `{section}` must be an array");
+    };
+    rows.iter()
+        .map(|row| {
+            let key = match section {
+                "fleet" => format!("fleet/shards={}", field_str(row, "shards")),
+                _ => format!("{}/{}", field_str(row, "group"), field_str(row, "bench")),
+            };
+            (key, field_f64(row, "ns_per_event"))
+        })
+        .collect()
+}
+
+#[test]
+fn bench_report_stays_within_tolerance_of_committed_baseline() {
+    let current = load_report("BENCH_sim.json");
+    let baseline = load_report("BENCH_baseline.json");
+
+    // Only release-profile artifacts are comparable; a debug-profile
+    // report committed by accident must fail loudly, not drift silently.
+    for (name, report) in [
+        ("BENCH_sim.json", &current),
+        ("BENCH_baseline.json", &baseline),
+    ] {
+        assert_eq!(
+            report.get("profile"),
+            Some(&Value::Str("release".to_owned())),
+            "{name} was generated in a non-release profile"
+        );
+    }
+
+    let mut failures = Vec::new();
+    for section in ["entries", "fleet"] {
+        let cur = ns_per_event_rows(&current, section);
+        let base = ns_per_event_rows(&baseline, section);
+        let cur_keys: Vec<&String> = cur.iter().map(|(k, _)| k).collect();
+        let base_keys: Vec<&String> = base.iter().map(|(k, _)| k).collect();
+        assert_eq!(
+            cur_keys, base_keys,
+            "benchmark row sets diverged in `{section}`: regenerate BOTH \
+             results/BENCH_sim.json and results/BENCH_baseline.json"
+        );
+        for ((key, cur_ns), (_, base_ns)) in cur.iter().zip(&base) {
+            let ratio = cur_ns / base_ns;
+            if !((1.0 - BENCH_TOLERANCE)..=(1.0 + BENCH_TOLERANCE)).contains(&ratio) {
+                failures.push(format!(
+                    "{key}: {cur_ns:.2} ns/event vs baseline {base_ns:.2} (ratio {ratio:.3})"
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "committed bench report drifted more than ±{:.0}% from the baseline:\n  {}\n\
+         If the change is intended, refresh results/BENCH_baseline.json on the \
+         reference machine and note why in CHANGES.md.",
+        BENCH_TOLERANCE * 100.0,
+        failures.join("\n  ")
+    );
 }

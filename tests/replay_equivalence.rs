@@ -17,13 +17,22 @@
 //! Jobs are real Table II hour-runs truncated by a small event budget so
 //! the gate stays cheap in debug builds; truncation is itself
 //! deterministic (the budget is counted in simulated events, not time).
+//!
+//! The `fleet_*` tests extend the gate to the sharded fleet executor:
+//! the same seeded multi-cohort campaign at 1, 2, and 8 shards (CI
+//! matrix: `PFTK_FLEET_SHARDS`), with and without schedule chaos, must
+//! serialize to byte-identical reports — f64 folds and all.
+//! `PFTK_FLEET_FLOWS` scales the population (default 2000, debug-friendly).
 
 use std::sync::Arc;
 use std::time::Duration;
 
+use padhye_tcp_repro::sim::fleet::WheelConfig;
+use padhye_tcp_repro::sim::rounds::RoundsConfig;
 use padhye_tcp_repro::testbed::{
-    run_campaign, run_hour_budgeted_with, CampaignReport, ExperimentOptions, JobSpec, Outcome,
-    SupervisorConfig, TABLE2_PATHS,
+    run_campaign, run_fleet, run_fleet_with, run_hour_budgeted_with, CampaignReport,
+    ExperimentOptions, FleetCampaignSpec, FleetCohortSpec, JobSpec, Outcome, SupervisorConfig,
+    TABLE2_PATHS,
 };
 
 /// Pinned campaign seed. Never change it casually: the point of the gate
@@ -180,6 +189,134 @@ fn campaign_replays_bit_identically_across_worker_counts() {
             &format!("{workers} workers + schedule chaos"),
         );
     }
+}
+
+/// Fleet population under test: `PFTK_FLEET_FLOWS` (CI's fleet-smoke job
+/// raises it to 10^4), defaulting to a debug-friendly 2000.
+fn fleet_flows() -> u64 {
+    match std::env::var("PFTK_FLEET_FLOWS") {
+        Ok(s) => s
+            .trim()
+            .parse()
+            .expect("PFTK_FLEET_FLOWS must be a flow count"),
+        Err(_) => 2000,
+    }
+}
+
+/// Shard counts under test: the full `[1, 2, 8]` sweep, or the single
+/// count named by `PFTK_FLEET_SHARDS` (one CI matrix process per count).
+fn fleet_shard_counts() -> Vec<usize> {
+    match std::env::var("PFTK_FLEET_SHARDS") {
+        Ok(s) => vec![s
+            .trim()
+            .parse()
+            .expect("PFTK_FLEET_SHARDS must be a shard count")],
+        Err(_) => vec![1, 2, 8],
+    }
+}
+
+/// The pinned fleet campaign: two grid points (TD-heavy and
+/// timeout-heavy) splitting the population 3:1, with a small wire audit
+/// so the pooled-analyzer path is inside the equivalence boundary too.
+fn fleet_campaign() -> FleetCampaignSpec {
+    let flows = fleet_flows();
+    let lossy = flows / 4;
+    FleetCampaignSpec {
+        cohorts: vec![
+            FleetCohortSpec {
+                label: "p=0.02 rtt=0.1 wmax=64".into(),
+                config: RoundsConfig {
+                    p: 0.02,
+                    rtt: 0.1,
+                    t0: 1.0,
+                    b: 2,
+                    wmax: 64,
+                    ..RoundsConfig::default()
+                },
+                flows: flows - lossy,
+            },
+            FleetCohortSpec {
+                label: "p=0.1 rtt=0.3 wmax=16".into(),
+                config: RoundsConfig {
+                    p: 0.1,
+                    rtt: 0.3,
+                    t0: 1.5,
+                    b: 2,
+                    wmax: 16,
+                    ..RoundsConfig::default()
+                },
+                flows: lossy,
+            },
+        ],
+        base_seed: BASE_SEED ^ 0xF1EE7,
+        horizon_secs: 30.0,
+        wheel: WheelConfig::default(),
+        audit_flows_per_cohort: 2,
+    }
+}
+
+/// Byte-exact report comparison: serializing to JSON makes every f64
+/// fold part of the identity (two floats serialize identically iff their
+/// bits match — modulo -0.0/0.0, which the fleet's sums never produce
+/// from positive rates).
+fn assert_fleet_identical(
+    reference: &padhye_tcp_repro::testbed::FleetReport,
+    candidate: &padhye_tcp_repro::testbed::FleetReport,
+    context: &str,
+) {
+    let a = serde_json::to_string(reference).expect("reference report serializes");
+    let b = serde_json::to_string(candidate).expect("candidate report serializes");
+    assert_eq!(a, b, "{context}: fleet report diverged");
+}
+
+//= pftk#fleet-shard-equivalence type=test
+#[test]
+fn fleet_reports_are_bit_identical_across_shard_counts() {
+    let spec = fleet_campaign();
+    let reference = run_fleet(&spec, 1);
+    assert_eq!(reference.total_flows, fleet_flows());
+    assert!(reference.events > 0, "fleet did nothing");
+
+    for shards in fleet_shard_counts() {
+        let plain = run_fleet(&spec, shards);
+        assert_fleet_identical(&reference, &plain, &format!("{shards} shards"));
+
+        // Same campaign under schedule chaos: seeded yield points and
+        // rotated steal order inside the worker pool perturb which worker
+        // runs which shard when. Reports must not notice.
+        let chaotic = run_fleet_with(&spec, shards, Some(0xF1EE_7C4A + shards as u64));
+        assert_fleet_identical(
+            &reference,
+            &chaotic,
+            &format!("{shards} shards + schedule chaos"),
+        );
+    }
+}
+
+//= pftk#fleet-shard-equivalence type=test
+#[test]
+fn fleet_chaos_seed_never_leaks_into_reports() {
+    let spec = FleetCampaignSpec {
+        cohorts: vec![FleetCohortSpec {
+            label: "chaos-probe".into(),
+            config: RoundsConfig {
+                p: 0.05,
+                rtt: 0.1,
+                t0: 1.0,
+                b: 2,
+                wmax: 32,
+                ..RoundsConfig::default()
+            },
+            flows: 600,
+        }],
+        base_seed: BASE_SEED ^ 0xC4A05,
+        horizon_secs: 20.0,
+        wheel: WheelConfig::default(),
+        audit_flows_per_cohort: 0,
+    };
+    let a = run_fleet_with(&spec, 4, Some(1));
+    let b = run_fleet_with(&spec, 4, Some(2));
+    assert_fleet_identical(&a, &b, "fleet chaos seed 1 vs 2");
 }
 
 //= pftk#det-replay type=test
