@@ -1,0 +1,785 @@
+//! Float value-range lattice for the numeric-domain analysis
+//! ([`crate::numlint`]).
+//!
+//! An abstract value is an interval over the extended reals plus a
+//! NaN-possible flag. Endpoint *openness* carries attainability: the
+//! paper's loss probability lives in `(0, 1]`, and `1/p` over that
+//! domain is unbounded but never actually infinite — an analysis that
+//! cannot express "arbitrarily large yet finite" would flag every
+//! division in the PFTK formulas. Concretely:
+//!
+//! * `hi == +inf, hi_open == true` — values grow without bound but
+//!   `+inf` itself is **not** attainable (sup not attained);
+//! * `hi == +inf, hi_open == false` — `+inf` **is** attainable (and
+//!   symmetrically for `lo`/`-inf`);
+//! * `nan == true` — NaN is attainable in addition to the interval.
+//!
+//! Transfer functions compute endpoint images with actual `f64`
+//! arithmetic, so overflow at an endpoint (`3.0 / (2.0 * b * p)` for
+//! subnormal `p`) reproduces the runtime overflow instead of idealising
+//! it away. Indeterminate corner forms (`0 × ∞`, `∞ − ∞`, `0 ÷ 0`,
+//! `∞ ÷ ∞`) produce NaN **only when both contributing endpoints are
+//! attained**; open corners widen the interval hull instead, because a
+//! limit of finite operands is a finite (if unbounded) value. What the
+//! lattice does *not* model is documented in `DESIGN.md` §15: interior
+//! rounding is not directed, and branch guards are not refined — see
+//! [`crate::numlint`] for why the analysis stays useful anyway.
+
+use std::fmt;
+
+/// An interval over the extended reals, plus NaN-attainability.
+///
+/// Invariant: `lo <= hi` (comparing as `f64`, so `-inf <= x <= +inf`);
+/// both endpoints are never NaN.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Range {
+    /// Lower endpoint (may be `-inf`).
+    pub lo: f64,
+    /// Upper endpoint (may be `+inf`).
+    pub hi: f64,
+    /// Whether `lo` itself is excluded (strict bound).
+    pub lo_open: bool,
+    /// Whether `hi` itself is excluded (strict bound).
+    pub hi_open: bool,
+    /// Whether NaN is attainable.
+    pub nan: bool,
+}
+
+/// The lattice top: any float, including both infinities and NaN.
+pub const TOP: Range = Range {
+    lo: f64::NEG_INFINITY,
+    hi: f64::INFINITY,
+    lo_open: false,
+    hi_open: false,
+    nan: true,
+};
+
+/// An abstract value: a known [`Range`] or no information at all.
+///
+/// `Unknown` is *assumed safe*: the analysis is an evidence-based bug
+/// finder, so hazards are reported only when grounded in declared
+/// domains, never speculated from absent information. The dynamic
+/// `domain_sweep` test is the cross-check that keeps this honest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Val {
+    /// Interval information derived from a `[[domain]]` declaration.
+    Known(Range),
+    /// Nothing provable; treated as hazard-free.
+    Unknown,
+}
+
+impl Val {
+    /// The range when known.
+    pub fn known(self) -> Option<Range> {
+        match self {
+            Val::Known(r) => Some(r),
+            Val::Unknown => None,
+        }
+    }
+}
+
+impl fmt::Display for Range {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{:e}, {:e}{}{}",
+            if self.lo_open { '(' } else { '[' },
+            self.lo,
+            self.hi,
+            if self.hi_open { ')' } else { ']' },
+            if self.nan { "+nan" } else { "" },
+        )
+    }
+}
+
+impl Range {
+    /// The degenerate interval holding exactly `v` (which must not be
+    /// NaN; a NaN literal degrades to [`TOP`]).
+    pub fn point(v: f64) -> Range {
+        if v.is_nan() {
+            return TOP;
+        }
+        Range {
+            lo: v,
+            hi: v,
+            lo_open: false,
+            hi_open: false,
+            nan: false,
+        }
+    }
+
+    /// A closed/open interval with no NaN.
+    pub fn new(lo: f64, lo_open: bool, hi: f64, hi_open: bool) -> Range {
+        Range {
+            lo,
+            hi,
+            lo_open,
+            hi_open,
+            nan: false,
+        }
+    }
+
+    /// Whether the value `0.0` is attainable.
+    pub fn contains_zero(&self) -> bool {
+        let above_lo = self.lo < 0.0 || (self.lo == 0.0 && !self.lo_open);
+        let below_hi = self.hi > 0.0 || (self.hi == 0.0 && !self.hi_open);
+        above_lo && below_hi
+    }
+
+    /// Whether `+inf` is attainable.
+    pub fn may_pos_inf(&self) -> bool {
+        self.hi == f64::INFINITY && !self.hi_open
+    }
+
+    /// Whether `-inf` is attainable.
+    pub fn may_neg_inf(&self) -> bool {
+        self.lo == f64::NEG_INFINITY && !self.lo_open
+    }
+
+    /// Whether any non-finite value (NaN or ±inf) is attainable.
+    pub fn may_non_finite(&self) -> bool {
+        self.nan || self.may_pos_inf() || self.may_neg_inf()
+    }
+
+    /// Whether a strictly negative value is attainable.
+    pub fn may_negative(&self) -> bool {
+        self.lo < 0.0
+    }
+
+    /// Whether this interval overlaps `other` (shares at least one
+    /// attainable real value).
+    pub fn overlaps(&self, other: &Range) -> bool {
+        let lo = if self.lo > other.lo { self } else { other };
+        let hi = if self.hi < other.hi { self } else { other };
+        lo.lo < hi.hi || (lo.lo == hi.hi && !lo.lo_open && !hi.hi_open)
+    }
+
+    /// Smallest range containing both operands (endpoint openness kept
+    /// only when *every* contributor of that endpoint is open).
+    pub fn hull(&self, other: &Range) -> Range {
+        let (lo, lo_open) = ep_min(self.lo, self.lo_open, other.lo, other.lo_open);
+        let (hi, hi_open) = ep_max(self.hi, self.hi_open, other.hi, other.hi_open);
+        Range {
+            lo,
+            hi,
+            lo_open,
+            hi_open,
+            nan: self.nan || other.nan,
+        }
+    }
+
+    /// `-self`.
+    pub fn neg(&self) -> Range {
+        Range {
+            lo: -self.hi,
+            hi: -self.lo,
+            lo_open: self.hi_open,
+            hi_open: self.lo_open,
+            nan: self.nan,
+        }
+    }
+
+    /// `self + other`. `∞ − ∞` corners with both endpoints attained set
+    /// the NaN flag; open corners widen instead.
+    pub fn add(&self, other: &Range) -> Range {
+        let nan = self.nan
+            || other.nan
+            || (self.may_pos_inf() && other.may_neg_inf())
+            || (self.may_neg_inf() && other.may_pos_inf());
+        let (lo, lo_open) = ep_add(self.lo, self.lo_open, other.lo, other.lo_open)
+            .unwrap_or((f64::NEG_INFINITY, true));
+        let (hi, hi_open) =
+            ep_add(self.hi, self.hi_open, other.hi, other.hi_open).unwrap_or((f64::INFINITY, true));
+        Range {
+            lo,
+            hi,
+            lo_open,
+            hi_open,
+            nan,
+        }
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &Range) -> Range {
+        self.add(&other.neg())
+    }
+
+    /// `self * other` over the four endpoint corners. A `0 × ∞` corner
+    /// sets NaN only when both sides are attained; otherwise it
+    /// contributes the full limit span `0 … ±∞(open)` to the hull.
+    pub fn mul(&self, other: &Range) -> Range {
+        let mut nan = self.nan || other.nan;
+        let mut acc: Option<Range> = None;
+        let push = |v: f64, open: bool, acc: &mut Option<Range>| {
+            let r = Range {
+                lo: v,
+                hi: v,
+                lo_open: open,
+                hi_open: open,
+                nan: false,
+            };
+            *acc = Some(match acc {
+                Some(a) => a.hull(&r),
+                None => r,
+            });
+        };
+        for &(xv, xo) in &[(self.lo, self.lo_open), (self.hi, self.hi_open)] {
+            for &(yv, yo) in &[(other.lo, other.lo_open), (other.hi, other.hi_open)] {
+                let p = xv * yv;
+                if p.is_nan() {
+                    // 0 × ±∞ corner.
+                    if !xo && !yo {
+                        nan = true;
+                    }
+                    let (iv, _io) = if xv == 0.0 { (yv, yo) } else { (xv, xo) };
+                    push(0.0, xv != 0.0 || yv != 0.0, &mut acc);
+                    push(iv, true, &mut acc);
+                    push(-iv, true, &mut acc);
+                } else {
+                    let open = if p.is_infinite() {
+                        if (xv.is_infinite() && !xo) || (yv.is_infinite() && !yo) {
+                            false // attained infinity dominates
+                        } else if xv.is_finite() && yv.is_finite() {
+                            // Finite × finite overflowing to ±inf in f64
+                            // *is* the runtime result.
+                            xo || yo
+                        } else {
+                            true // open infinity stays unbounded-finite
+                        }
+                    } else {
+                        xo || yo
+                    };
+                    push(p, open, &mut acc);
+                }
+            }
+        }
+        let mut out = acc.unwrap_or(TOP);
+        out.nan = nan;
+        out
+    }
+
+    /// `self / other`. A denominator with an *attained* zero yields the
+    /// full line with both infinities attained (plus NaN when the
+    /// numerator also attains zero: `0 ÷ 0`); a zero that is only an
+    /// open endpoint yields unbounded-but-finite quotients instead.
+    pub fn div(&self, other: &Range) -> Range {
+        let mut nan = self.nan || other.nan;
+        if other.contains_zero() {
+            if self.contains_zero() {
+                nan = true; // 0 ÷ 0
+            }
+            let mut out = TOP;
+            out.nan = nan;
+            return out;
+        }
+        // Denominator does not change sign through an attained zero; if
+        // its interval still spans both signs (possible only via open
+        // zero endpoints on each side, which contains_zero() excludes
+        // per-side), corner analysis below covers each sign's extreme.
+        if self.may_pos_inf() || self.may_neg_inf() {
+            // ∞ ÷ ∞ corner: NaN only when the denominator's infinity is
+            // attained too.
+            if (other.may_pos_inf() || other.may_neg_inf())
+                && (self.may_pos_inf() || self.may_neg_inf())
+            {
+                nan = true;
+            }
+        }
+        let mut acc: Option<Range> = None;
+        for &(xv, xo) in &[(self.lo, self.lo_open), (self.hi, self.hi_open)] {
+            for &(yv, yo) in &[(other.lo, other.lo_open), (other.hi, other.hi_open)] {
+                let q = xv / yv;
+                let (v, open) = if q.is_nan() {
+                    // 0 ÷ 0 or ∞ ÷ ∞ with at least one open side: the
+                    // limit can be anything finite; widen both ways.
+                    let a = Range::new(f64::NEG_INFINITY, true, f64::INFINITY, true);
+                    acc = Some(match acc {
+                        Some(prev) => prev.hull(&a),
+                        None => a,
+                    });
+                    continue;
+                } else if q.is_infinite() {
+                    // x ÷ (open 0) → unbounded finite unless x's own
+                    // infinity is attained.
+                    (q, !xv.is_infinite() || xo)
+                } else {
+                    (q, xo || yo)
+                };
+                let r = Range {
+                    lo: v,
+                    hi: v,
+                    lo_open: open,
+                    hi_open: open,
+                    nan: false,
+                };
+                acc = Some(match acc {
+                    Some(prev) => prev.hull(&r),
+                    None => r,
+                });
+            }
+        }
+        let mut out = acc.unwrap_or(TOP);
+        out.nan = nan;
+        out
+    }
+
+    /// `self.sqrt()`. Attainable negatives set the NaN flag; the real
+    /// part is the image of the non-negative portion.
+    pub fn sqrt(&self) -> Range {
+        let mut nan = self.nan;
+        if self.lo < 0.0 {
+            nan = true;
+        }
+        if self.hi < 0.0 || (self.hi == 0.0 && self.hi_open && self.lo < 0.0) {
+            // Entire interval negative: only NaN remains. Keep a
+            // degenerate zero so downstream arithmetic stays total.
+            return Range {
+                lo: 0.0,
+                hi: 0.0,
+                lo_open: false,
+                hi_open: false,
+                nan: true,
+            };
+        }
+        let (lo, lo_open) = if self.lo < 0.0 {
+            (0.0, false) // 0 is interior, hence attained
+        } else {
+            (self.lo.sqrt(), self.lo_open)
+        };
+        Range {
+            lo,
+            hi: self.hi.sqrt(),
+            lo_open,
+            hi_open: self.hi_open,
+            nan,
+        }
+    }
+
+    /// `self.min(other)` with Rust `f64::min` semantics: NaN only when
+    /// *both* operands are NaN; a NaN side otherwise passes the other
+    /// side's value through.
+    pub fn min(&self, other: &Range) -> Range {
+        let (lo, lo_open) = ep_min(self.lo, self.lo_open, other.lo, other.lo_open);
+        let (hi, hi_open) = ep_min(self.hi, self.hi_open, other.hi, other.hi_open);
+        let mut out = Range {
+            lo,
+            hi,
+            lo_open,
+            hi_open,
+            nan: self.nan && other.nan,
+        };
+        // When one side may be NaN, the result may be the *other* side's
+        // full value, not just the pointwise min.
+        if self.nan {
+            out = out.hull(&Range {
+                nan: false,
+                ..*other
+            });
+        }
+        if other.nan {
+            out = out.hull(&Range {
+                nan: false,
+                ..*self
+            });
+        }
+        out
+    }
+
+    /// `self.max(other)`, same NaN semantics as [`Range::min`].
+    pub fn max(&self, other: &Range) -> Range {
+        let (lo, lo_open) = ep_max(self.lo, self.lo_open, other.lo, other.lo_open);
+        let (hi, hi_open) = ep_max(self.hi, self.hi_open, other.hi, other.hi_open);
+        let mut out = Range {
+            lo,
+            hi,
+            lo_open,
+            hi_open,
+            nan: self.nan && other.nan,
+        };
+        if self.nan {
+            out = out.hull(&Range {
+                nan: false,
+                ..*other
+            });
+        }
+        if other.nan {
+            out = out.hull(&Range {
+                nan: false,
+                ..*self
+            });
+        }
+        out
+    }
+
+    /// `|self|`.
+    pub fn abs(&self) -> Range {
+        if self.lo >= 0.0 {
+            return *self;
+        }
+        if self.hi <= 0.0 {
+            return self.neg();
+        }
+        let (hi, hi_open) = ep_max(-self.lo, self.lo_open, self.hi, self.hi_open);
+        Range {
+            lo: 0.0,
+            lo_open: false, // 0 is interior, hence attained
+            hi,
+            hi_open,
+            nan: self.nan,
+        }
+    }
+
+    /// `self.powi(k)` for a literal integer exponent.
+    pub fn powi(&self, k: i32) -> Range {
+        if k == 0 {
+            return Range::point(1.0);
+        }
+        if k < 0 {
+            return Range::point(1.0).div(&self.powi(-k));
+        }
+        if k % 2 == 0 {
+            return self.abs().pow_monotone(k);
+        }
+        self.pow_monotone(k)
+    }
+
+    /// Monotone `x^k` over a sign-consistent (or odd-power) interval.
+    fn pow_monotone(&self, k: i32) -> Range {
+        Range {
+            lo: self.lo.powi(k),
+            hi: self.hi.powi(k),
+            lo_open: self.lo_open,
+            hi_open: self.hi_open,
+            nan: self.nan,
+        }
+    }
+
+    /// `self.powf(exp)`. Precise tracking of `base^exp` is out of scope;
+    /// the cases the kernels use are covered soundly:
+    /// strictly-positive base → positive result, base touching zero →
+    /// non-negative result, base possibly negative → NaN possible.
+    pub fn powf(&self, exp: &Range) -> Range {
+        let nan = self.nan || exp.nan;
+        if self.lo > 0.0 || (self.lo == 0.0 && self.lo_open) {
+            return Range {
+                lo: 0.0,
+                hi: f64::INFINITY,
+                lo_open: true,
+                hi_open: true,
+                nan,
+            };
+        }
+        if self.lo == 0.0 {
+            // 0^0 == 1 and 0^positive == 0 in IEEE; no NaN from the base.
+            return Range {
+                lo: 0.0,
+                hi: f64::INFINITY,
+                lo_open: false,
+                hi_open: true,
+                nan,
+            };
+        }
+        // Negative base with a non-integer exponent is NaN.
+        let mut out = TOP;
+        out.nan = true;
+        out
+    }
+
+    /// `self.ln()`: NaN below zero, `-inf` at an attained zero.
+    pub fn ln(&self) -> Range {
+        self.log_like(0.0, f64::ln)
+    }
+
+    /// `self.ln_1p()`: NaN below -1, `-inf` at an attained -1.
+    pub fn ln_1p(&self) -> Range {
+        self.log_like(-1.0, f64::ln_1p)
+    }
+
+    fn log_like(&self, floor: f64, f: fn(f64) -> f64) -> Range {
+        let mut nan = self.nan;
+        if self.lo < floor {
+            nan = true;
+        }
+        if self.hi < floor || (self.hi == floor && self.hi_open && self.lo < floor) {
+            return Range {
+                lo: 0.0,
+                hi: 0.0,
+                lo_open: false,
+                hi_open: false,
+                nan: true,
+            };
+        }
+        let (lo, lo_open) = if self.lo < floor {
+            (f64::NEG_INFINITY, false) // floor is interior, hence attained
+        } else {
+            (f(self.lo), self.lo_open)
+        };
+        Range {
+            lo,
+            hi: f(self.hi),
+            lo_open,
+            hi_open: self.hi_open,
+            nan,
+        }
+    }
+
+    /// `self.exp()`: monotone, `exp(-inf) == 0`, `exp(+inf) == +inf`.
+    pub fn exp(&self) -> Range {
+        self.monotone(f64::exp)
+    }
+
+    /// `self.exp_m1()`: monotone, `exp_m1(-inf) == -1`.
+    pub fn exp_m1(&self) -> Range {
+        self.monotone(f64::exp_m1)
+    }
+
+    fn monotone(&self, f: fn(f64) -> f64) -> Range {
+        Range {
+            lo: f(self.lo),
+            hi: f(self.hi),
+            lo_open: self.lo_open,
+            hi_open: self.hi_open,
+            nan: self.nan,
+        }
+    }
+}
+
+/// Endpoint sum; `None` marks an indeterminate `∞ − ∞` corner. An
+/// attained infinity dominates a finite or open contribution.
+fn ep_add(x: f64, xo: bool, y: f64, yo: bool) -> Option<(f64, bool)> {
+    let s = x + y;
+    if s.is_nan() {
+        return None;
+    }
+    let open = if s.is_infinite() {
+        if (x.is_infinite() && !xo) || (y.is_infinite() && !yo) {
+            false
+        } else if x.is_finite() && y.is_finite() {
+            // Finite + finite overflowing in f64 is the runtime result.
+            xo || yo
+        } else {
+            true
+        }
+    } else {
+        xo || yo
+    };
+    Some((s, open))
+}
+
+/// The smaller endpoint (ties stay closed when either side is closed —
+/// closed is the wider, safer choice).
+fn ep_min(x: f64, xo: bool, y: f64, yo: bool) -> (f64, bool) {
+    if x < y {
+        (x, xo)
+    } else if y < x {
+        (y, yo)
+    } else {
+        (x, xo && yo)
+    }
+}
+
+/// The larger endpoint, same tie rule as [`ep_min`].
+fn ep_max(x: f64, xo: bool, y: f64, yo: bool) -> (f64, bool) {
+    if x > y {
+        (x, xo)
+    } else if y > x {
+        (y, yo)
+    } else {
+        (x, xo && yo)
+    }
+}
+
+/// Parses a `[[domain]]` interval string: `[lo, hi]` with `[`/`(` and
+/// `]`/`)` choosing closed/open endpoints; endpoints are `f64` literals
+/// or `inf`/`-inf` (an *open* infinity means unbounded-but-finite).
+pub fn parse_interval(s: &str) -> Option<Range> {
+    let s = s.trim();
+    let (first, rest) = s.split_at(s.len().min(1));
+    let lo_open = match first {
+        "[" => false,
+        "(" => true,
+        _ => return None,
+    };
+    let (body, last) = rest.split_at(rest.len().checked_sub(1)?);
+    let hi_open = match last {
+        "]" => false,
+        ")" => true,
+        _ => return None,
+    };
+    let (lo_s, hi_s) = body.split_once(',')?;
+    let lo = parse_endpoint(lo_s)?;
+    let hi = parse_endpoint(hi_s)?;
+    if lo.is_nan() || hi.is_nan() || lo > hi {
+        return None;
+    }
+    Some(Range::new(lo, lo_open, hi, hi_open))
+}
+
+fn parse_endpoint(s: &str) -> Option<f64> {
+    match s.trim() {
+        "inf" => Some(f64::INFINITY),
+        "-inf" => Some(f64::NEG_INFINITY),
+        t => t.parse::<f64>().ok().filter(|v| !v.is_nan()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn closed(lo: f64, hi: f64) -> Range {
+        Range::new(lo, false, hi, false)
+    }
+
+    #[test]
+    fn zero_membership_respects_openness() {
+        assert!(closed(-1.0, 1.0).contains_zero());
+        assert!(closed(0.0, 1.0).contains_zero());
+        assert!(!Range::new(0.0, true, 1.0, false).contains_zero());
+        assert!(!closed(1e-12, 1.0).contains_zero());
+        assert!(!Range::new(-1.0, false, 0.0, true).contains_zero());
+    }
+
+    #[test]
+    fn division_by_open_zero_is_unbounded_finite() {
+        // 1 / (0, 1] — the PFTK 1/p shape: huge but never infinite.
+        let num = Range::point(1.0);
+        let den = Range::new(0.0, true, 1.0, false);
+        let q = num.div(&den);
+        assert!(!q.nan, "{q}");
+        assert!(!q.may_pos_inf(), "{q}");
+        assert_eq!(q.lo, 1.0);
+        assert_eq!(q.hi, f64::INFINITY);
+        assert!(q.hi_open);
+    }
+
+    #[test]
+    fn division_by_attained_zero_attains_infinity() {
+        let num = Range::point(1.0);
+        let den = closed(0.0, 1.0);
+        let q = num.div(&den);
+        assert!(q.may_pos_inf() || q.may_neg_inf(), "{q}");
+        // 0/0 needs the numerator to attain zero too.
+        assert!(!q.nan, "{q}");
+        let z = closed(0.0, 1.0).div(&closed(0.0, 1.0));
+        assert!(z.nan, "{z}");
+    }
+
+    #[test]
+    fn attained_inf_minus_inf_is_nan_open_is_not() {
+        let attained = Range::new(0.0, false, f64::INFINITY, false);
+        let open = Range::new(0.0, false, f64::INFINITY, true);
+        assert!(attained.sub(&attained).nan);
+        let s = open.sub(&open);
+        assert!(!s.nan, "{s}");
+        assert!(!s.may_pos_inf() && !s.may_neg_inf(), "{s}");
+    }
+
+    #[test]
+    fn sqrt_of_possible_negative_flags_nan() {
+        let r = closed(-1.0, 4.0).sqrt();
+        assert!(r.nan);
+        assert_eq!(r.lo, 0.0);
+        assert_eq!(r.hi, 2.0);
+        let clean = closed(0.25, 4.0).sqrt();
+        assert!(!clean.nan);
+        assert_eq!((clean.lo, clean.hi), (0.5, 2.0));
+    }
+
+    #[test]
+    fn mul_endpoint_overflow_is_attained() {
+        // Finite × finite overflowing f64 is the runtime value.
+        let big = closed(1e300, 1e300);
+        let p = big.mul(&big);
+        assert!(p.may_pos_inf(), "{p}");
+    }
+
+    #[test]
+    fn mul_signs_and_zero_inf_corner() {
+        let p = closed(-2.0, 3.0).mul(&closed(-1.0, 4.0));
+        assert_eq!((p.lo, p.hi), (-8.0, 12.0));
+        // [0,1] × [1, inf): open infinity — no NaN, no attained inf.
+        let z = closed(0.0, 1.0).mul(&Range::new(1.0, false, f64::INFINITY, true));
+        assert!(!z.nan, "{z}");
+        assert!(!z.may_pos_inf(), "{z}");
+        // [0,1] × [1, inf]: both attained — NaN possible.
+        let z = closed(0.0, 1.0).mul(&Range::new(1.0, false, f64::INFINITY, false));
+        assert!(z.nan, "{z}");
+    }
+
+    #[test]
+    fn min_max_rust_nan_semantics() {
+        let mut nanful = closed(5.0, 9.0);
+        nanful.nan = true;
+        let other = closed(0.0, 2.0);
+        let m = nanful.min(&other);
+        // f64::min(NaN, x) == x, so NaN does not survive a one-sided min…
+        assert!(!m.nan, "{m}");
+        // …but the other side's whole interval does.
+        assert_eq!((m.lo, m.hi), (0.0, 2.0));
+        let mut both = other;
+        both.nan = true;
+        assert!(nanful.min(&both).nan);
+    }
+
+    #[test]
+    fn powi_even_odd() {
+        let r = closed(-2.0, 3.0);
+        let even = r.powi(2);
+        assert_eq!((even.lo, even.hi), (0.0, 9.0));
+        let odd = r.powi(3);
+        assert_eq!((odd.lo, odd.hi), (-8.0, 27.0));
+    }
+
+    #[test]
+    fn powf_positive_base_stays_positive() {
+        let q = Range::new(0.0, true, 1.0, true); // (0,1)
+        let w = closed(1.0, 1e6);
+        let r = q.powf(&w);
+        assert!(!r.nan);
+        assert!(!r.contains_zero(), "{r}");
+        let neg = closed(-1.0, 1.0).powf(&w);
+        assert!(neg.nan);
+    }
+
+    #[test]
+    fn expm1_ln1p_chain_is_sign_tight() {
+        // one_minus_q_pow: -expm1(x * ln_1p(-p)) for p in [1e-12, 1-1e-12],
+        // x in [1, 1e6] — the rewritten q̂ denominator must exclude zero.
+        let p = closed(1e-12, 1.0 - 1e-12);
+        let x = closed(1.0, 1e6);
+        let inner = p.neg().ln_1p(); // ln(1-p) in [ln(1e-12), -1e-12]
+        assert!(inner.hi < 0.0, "{inner}");
+        let prod = x.mul(&inner);
+        assert!(prod.hi < 0.0, "{prod}");
+        let out = prod.exp_m1().neg();
+        assert!(!out.contains_zero(), "{out}");
+        assert!(!out.nan && !out.may_pos_inf(), "{out}");
+        assert!(out.hi <= 1.0, "{out}");
+    }
+
+    #[test]
+    fn interval_parsing() {
+        let r = parse_interval("[1e-12, 0.5]").unwrap();
+        assert_eq!((r.lo, r.hi), (1e-12, 0.5));
+        assert!(!r.lo_open && !r.hi_open);
+        let r = parse_interval("(0, 1]").unwrap();
+        assert!(r.lo_open && !r.hi_open);
+        let r = parse_interval("[1, inf)").unwrap();
+        assert_eq!(r.hi, f64::INFINITY);
+        assert!(r.hi_open && !r.may_pos_inf());
+        assert!(parse_interval("[2, 1]").is_none());
+        assert!(parse_interval("1, 2").is_none());
+        assert!(parse_interval("[nan, 1]").is_none());
+    }
+
+    #[test]
+    fn overlap_and_hull() {
+        let a = closed(0.0, 1.0);
+        let b = closed(1.0, 2.0);
+        assert!(a.overlaps(&b));
+        assert!(!Range::new(0.0, false, 1.0, true).overlaps(&Range::new(1.0, false, 2.0, false)));
+        let h = a.hull(&closed(5.0, 6.0));
+        assert_eq!((h.lo, h.hi), (0.0, 6.0));
+    }
+}

@@ -31,6 +31,13 @@
 //! 6. **Unit escapes** ([`unitlint`]): arithmetic mixing two different
 //!    `#[must_use]` unit newtypes, or stripping one via `.0`, inside
 //!    `crates/model` / `crates/sim`.
+//! 7. **Numeric domains** ([`numlint`]): an interprocedural abstract
+//!    interpreter over the [`domain`] interval lattice, seeded from
+//!    `[[domain]]` declarations in the spec, proving the model kernels
+//!    total (no zero denominators, NaN sources, or silent non-finite
+//!    returns) over their declared input domains — with call-chain
+//!    evidence (`div_domain`, `nan_source`, `inf_escape`,
+//!    `cancel_risk`, `stale_domain`).
 //!
 //! Deliberate sites are whitelisted with a justified `//~ allow(<rule>)`
 //! comment; whole subtrees with a `[[policy]]` entry in the spec. The
@@ -48,10 +55,12 @@
 pub mod atomics;
 pub mod callgraph;
 pub mod conformance;
+pub mod domain;
 pub mod hotpath;
 pub mod lexer;
 pub mod lint;
 pub mod nondet;
+pub mod numlint;
 pub mod parser;
 pub mod report;
 pub mod scanner;
@@ -78,18 +87,27 @@ pub struct AuditOutcome {
     /// Per-root reachability summaries from the hot-path analysis, in
     /// registry order.
     pub hotpaths: Vec<hotpath::RootSummary>,
+    /// Per-root propagation summaries from the numeric-domain analysis,
+    /// in registry order.
+    pub domains: Vec<numlint::DomainSummary>,
+    /// Wall-clock milliseconds per pass group, plus `"total"`. Keys:
+    /// `scanner` (walk + lex + conformance scan), `detlint` (intra-file
+    /// lints: classic, nondet, atomics), `hotlint` (call graph +
+    /// hot-path + unit escapes), `numlint` (domain propagation).
+    pub timings_ms: BTreeMap<&'static str, u64>,
 }
 
 impl AuditOutcome {
     /// Whether the audit gate passes: no uncovered MUST claim, no
     /// unknown / stale / duplicate / impl-in-test citation, no lint
-    /// violation in any family, and every `[[hotpath]]` root resolving
-    /// to at least one function (a stale root would silently un-guard
-    /// its subtree).
+    /// violation in any family, and every `[[hotpath]]` / `[[domain]]`
+    /// root resolving to at least one function (a stale root would
+    /// silently un-guard its subtree).
     pub fn is_clean(&self) -> bool {
         self.conformance.is_clean()
             && self.lint.is_empty()
             && self.hotpaths.iter().all(|r| r.resolved > 0)
+            && self.domains.iter().all(|r| r.resolved > 0)
     }
 
     /// Violation counts per rule, including zero entries for every known
@@ -160,6 +178,8 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
 /// parse failures; audit *findings* are data in the returned outcome,
 /// not errors.
 pub fn run_audit(root: &Path) -> Result<AuditOutcome, String> {
+    let t_start = std::time::Instant::now();
+    let mut timings_ms: BTreeMap<&'static str, u64> = BTreeMap::new();
     let spec_path = root.join("specs/pftk-spec.toml");
     let spec_text = std::fs::read_to_string(&spec_path)
         .map_err(|e| format!("cannot read {}: {e}", spec_path.display()))?;
@@ -175,18 +195,24 @@ pub fn run_audit(root: &Path) -> Result<AuditOutcome, String> {
     // walk: parsed items for library files, allows + text for all.
     let mut parsed_lib: Vec<(PathBuf, parser::ParsedFile)> = Vec::new();
     let mut file_texts: BTreeMap<PathBuf, (String, lint::Allows)> = BTreeMap::new();
+    let mut scanner_t = std::time::Duration::ZERO;
+    let mut detlint_t = std::time::Duration::ZERO;
     for path in &files {
+        let t0 = std::time::Instant::now();
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         let rel = path.strip_prefix(root).unwrap_or(path).to_path_buf();
         // One lex per file; every pass reads the same token stream.
         let model = lexer::SourceModel::parse(&text);
         citations.extend(scanner::scan_citations(&rel, &model));
+        scanner_t += t0.elapsed();
+        let t1 = std::time::Instant::now();
         lint_violations.extend(lint::lint_file(&rel, &text, &model, &registry.policies));
         lint_violations.extend(nondet::lint_nondet(&rel, &text, &model, &registry.policies));
         let (sites, violations) = atomics::audit_atomics(&rel, &text, &model, &registry.policies);
         atomic_sites.extend(sites);
         lint_violations.extend(violations);
+        detlint_t += t1.elapsed();
         // The auditor itself stays out of the call graph: no hot root
         // lives here, and its lexer/parser share method names with the
         // sim (`peek`, `key`, …) that union resolution would otherwise
@@ -197,8 +223,12 @@ pub fn run_audit(root: &Path) -> Result<AuditOutcome, String> {
         }
     }
 
+    timings_ms.insert("scanner", scanner_t.as_millis() as u64);
+    timings_ms.insert("detlint", detlint_t.as_millis() as u64);
+
     // Interprocedural passes: hot-path capabilities and unit escapes
     // over the parsed item model.
+    let t_hot = std::time::Instant::now();
     let graph = callgraph::CallGraph::build(&parsed_lib);
     let file_ctxs: BTreeMap<PathBuf, hotpath::FileCtx<'_>> = file_texts
         .iter()
@@ -218,6 +248,18 @@ pub fn run_audit(root: &Path) -> Result<AuditOutcome, String> {
             &registry.policies,
         ));
     }
+    timings_ms.insert("hotlint", t_hot.elapsed().as_millis() as u64);
+
+    // Numeric-domain propagation over the same parsed item model.
+    let t_num = std::time::Instant::now();
+    let domains = numlint::analyze(
+        &parsed_lib,
+        &registry.domains,
+        &registry.policies,
+        &file_ctxs,
+    );
+    lint_violations.extend(domains.findings);
+    timings_ms.insert("numlint", t_num.elapsed().as_millis() as u64);
 
     // Deterministic finding order: conformance.json must be byte-stable
     // across platforms and directory-walk orders.
@@ -229,12 +271,15 @@ pub fn run_audit(root: &Path) -> Result<AuditOutcome, String> {
     atomic_sites.sort_by(|a, b| (&a.file, a.line, &a.method).cmp(&(&b.file, b.line, &b.method)));
 
     let conformance = conformance::check(&registry, &citations);
+    timings_ms.insert("total", t_start.elapsed().as_millis() as u64);
     Ok(AuditOutcome {
         conformance,
         lint: lint_violations,
         atomics: atomic_sites,
         policies: registry.policies.clone(),
         hotpaths: analysis.roots,
+        domains: domains.roots,
+        timings_ms,
     })
 }
 

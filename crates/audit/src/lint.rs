@@ -20,6 +20,11 @@
 //! | `hot_panic`      | panic source reachable from a hot root    | call graph (see [`crate::hotpath`]) |
 //! | `hot_block`      | blocking call reachable from a hot root   | call graph (see [`crate::hotpath`]) |
 //! | `unit_escape`    | unit-newtype mixing / `.0` stripping      | `crates/model`, `crates/sim`   |
+//! | `div_domain`     | denominator interval may contain 0        | value ranges (see [`crate::numlint`]) |
+//! | `nan_source`     | `sqrt(<0)` / `0÷0` / `inf−inf` reachable  | value ranges (see [`crate::numlint`]) |
+//! | `inf_escape`     | root may return non-finite, not `Result`  | value ranges (see [`crate::numlint`]) |
+//! | `cancel_risk`    | near-equal subtraction feeding a division | value ranges (see [`crate::numlint`]) |
+//! | `stale_domain`   | `[[domain]]` root/param out of sync       | value ranges (see [`crate::numlint`]) |
 //!
 //! `#[cfg(test)]` regions are skipped (token-tracked by the
 //! [`crate::lexer`]), as are `tests/`, `benches/` and `examples/`
@@ -57,7 +62,7 @@ use crate::spec::LintPolicy;
 
 /// Lint rule identifiers, as used in `//~ allow(<rule>)` and `[[policy]]`
 /// entries.
-pub const RULES: [&str; 13] = [
+pub const RULES: [&str; 18] = [
     "unwrap",
     "expect",
     "panic",
@@ -71,6 +76,11 @@ pub const RULES: [&str; 13] = [
     "hot_panic",
     "hot_block",
     "unit_escape",
+    "div_domain",
+    "nan_source",
+    "inf_escape",
+    "cancel_risk",
+    "stale_domain",
 ];
 
 /// One lint finding (already filtered against the whitelist).
@@ -125,6 +135,11 @@ pub(crate) fn rule_in_scope(rule: &str, file: &Path) -> bool {
         // the unit-newtype escape hatch is policed where those formulas
         // live and run.
         "unit_escape" => model_sim,
+        // The value-range family follows [[domain]] roots, which all live
+        // in the model kernels today; scoping to model/sim keeps helper
+        // crates (trace parsing, report rendering) out of interval math
+        // they never perform.
+        "div_domain" | "nan_source" | "inf_escape" | "cancel_risk" | "stale_domain" => model_sim,
         // The panic family, wall-clock, rng-stream and relaxed_atomic
         // apply to all library code; structural exemptions (bench timing,
         // the seeded-stream API itself) come from `[[policy]]` entries.

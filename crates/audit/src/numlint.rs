@@ -1,0 +1,2006 @@
+//! Numeric-domain analysis: interprocedural value-range propagation
+//! proving the model kernels total over their spec-declared domains.
+//!
+//! The PFTK closed forms divide by `p`, `1 − p`, `1 − (1−p)^w` and
+//! friends; whether those denominators can reach zero (or a `sqrt` can
+//! go negative, or a quotient can overflow to `inf`) depends entirely
+//! on the *input domain* — which the paper states in prose (§II: `p ∈
+//! (0, 1]`, RTT and `T0` positive, `b ≥ 1`, `W_m ≥ 1`) and the code
+//! encodes only partially in newtype validators. This pass closes that
+//! gap: `[[domain]]` entries in `specs/pftk-spec.toml` declare input
+//! intervals per kernel root, and an abstract interpreter over the
+//! [`crate::domain`] lattice pushes those intervals through the
+//! [`crate::parser`] item model, function call by function call,
+//! reporting every arithmetic site whose abstract result admits a
+//! hazard. Rules:
+//!
+//! * `div_domain` — a denominator's interval contains an attainable 0;
+//! * `nan_source` — an operation can produce NaN from non-NaN inputs
+//!   (`sqrt`/`ln` out of domain, `0 ÷ 0`, `∞ − ∞`, `0 × ∞`, `∞ ÷ ∞`);
+//! * `inf_escape` — a *root* function may return a non-finite value yet
+//!   does not return `Result` (no typed error path). Reported only when
+//!   no other hazard already explains the non-finiteness — it is the
+//!   "silent overflow" rule, not an echo of a `div_domain` upstream;
+//! * `cancel_risk` — a division whose denominator is a subtraction of
+//!   same-signed overlapping quantities (catastrophic cancellation:
+//!   the floating-point difference passes arbitrarily close to zero
+//!   even when its real-valued infimum does not);
+//! * `stale_domain` — a `[[domain]]` root that resolves to no function,
+//!   or a declared parameter key that binds neither a parameter nor a
+//!   field of a parameter's struct type (registry drift).
+//!
+//! The analysis is an evidence-based *under*-approximating bug finder:
+//! [`crate::domain::Val::Unknown`] is assumed safe, so every finding is
+//! grounded in a declared interval, with the root-to-site call chain as
+//! evidence (same shape as [`crate::hotpath`]). Soundness limits — no
+//! directed rounding for interior values, branch guards not refined,
+//! loops walked once, `self.method()` calls opaque — are documented in
+//! `DESIGN.md` §15; the dynamic `domain_sweep` test is the cross-check.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::path::PathBuf;
+
+use crate::domain::{Range, Val};
+use crate::hotpath::FileCtx;
+use crate::lexer::{Token, TokenKind};
+use crate::lint::{policy_exempts, rule_in_scope, snippet_at, LintViolation};
+use crate::parser::{FnItem, ParsedFile};
+use crate::spec::{DomainSpec, LintPolicy};
+
+/// Per-root summary for the report, mirroring
+/// [`crate::hotpath::RootSummary`].
+#[derive(Debug, Clone)]
+pub struct DomainSummary {
+    /// The registry key (`Type::method` or plain `fn` name).
+    pub root: String,
+    /// Why this domain holds (from the registry).
+    pub reason: String,
+    /// How many functions the key resolved to (0 = stale entry).
+    pub resolved: usize,
+    /// How many functions the interval propagation reached (inclusive).
+    pub reached: usize,
+}
+
+/// Result of the numeric-domain analysis.
+#[derive(Debug)]
+pub struct NumlintAnalysis {
+    /// One summary per `[[domain]]` entry, in registry order.
+    pub roots: Vec<DomainSummary>,
+    /// Unjustified findings (allow/policy-filtered like every family).
+    pub findings: Vec<LintViolation>,
+}
+
+/// `(file index, fn index)` into the parsed workspace.
+type FnId = (usize, usize);
+
+/// Abstract environment: named values plus the set of names whose value
+/// derives from a near-cancelling subtraction (`cancel_risk` taint).
+#[derive(Debug, Clone, Default)]
+struct Env {
+    vals: BTreeMap<String, Val>,
+    cancel: BTreeSet<String>,
+}
+
+impl Env {
+    fn get(&self, name: &str) -> Val {
+        self.vals.get(name).copied().unwrap_or(Val::Unknown)
+    }
+
+    /// Hulls a conditionally-executed branch environment back into this
+    /// one: every binding this env already holds widens to cover the
+    /// branch's view of it (a branch that never ran leaves it alone, so
+    /// the join over {skip, run-once} is exactly the hull), and
+    /// cancellation taint the branch put on those names sticks.
+    fn merge_from(&mut self, branch: &Env) {
+        for (name, v) in &mut self.vals {
+            let bv = branch.vals.get(name).copied().unwrap_or(Val::Unknown);
+            *v = join(&[*v, bv]);
+        }
+        for name in &branch.cancel {
+            if self.vals.contains_key(name) {
+                self.cancel.insert(name.clone());
+            }
+        }
+    }
+}
+
+/// Indexed view of the parsed library files.
+struct Ws<'a> {
+    files: &'a [(PathBuf, ParsedFile)],
+    /// `FnItem::key()` → every defining location (bodyless and test fns
+    /// excluded — there is nothing to interpret in either).
+    by_key: BTreeMap<String, Vec<FnId>>,
+    /// Struct name → field names, for domain-key binding and for
+    /// passing a struct argument's bound fields into a callee.
+    struct_fields: BTreeMap<String, Vec<String>>,
+}
+
+impl<'a> Ws<'a> {
+    fn build(files: &'a [(PathBuf, ParsedFile)]) -> Ws<'a> {
+        let mut by_key: BTreeMap<String, Vec<FnId>> = BTreeMap::new();
+        let mut struct_fields: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for (fi, (_, parsed)) in files.iter().enumerate() {
+            for (ni, f) in parsed.fns.iter().enumerate() {
+                if f.in_test || f.body.is_none() {
+                    continue;
+                }
+                by_key.entry(f.key()).or_default().push((fi, ni));
+            }
+            for s in &parsed.structs {
+                struct_fields
+                    .entry(s.name.clone())
+                    .or_default()
+                    .extend(s.fields.iter().map(|fld| fld.name.clone()));
+            }
+        }
+        Ws {
+            files,
+            by_key,
+            struct_fields,
+        }
+    }
+
+    fn fn_item(&self, id: FnId) -> &'a FnItem {
+        &self.files[id.0].1.fns[id.1]
+    }
+}
+
+/// One raw finding, before chain assembly and suppression filtering.
+struct Raw {
+    rule: &'static str,
+    /// File index, or [`usize::MAX`] for spec-anchored (`stale_domain`).
+    file: usize,
+    line: usize,
+    what: String,
+}
+
+/// Recursion budget for pure callee-return evaluation.
+const MAX_DEPTH: usize = 12;
+
+/// Token-slice cursor for the expression evaluator.
+struct Cur<'a> {
+    toks: &'a [Token],
+    i: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn peek(&self) -> Option<&'a Token> {
+        self.toks.get(self.i)
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&'a Token> {
+        self.toks.get(self.i + off)
+    }
+
+    fn bump(&mut self) {
+        self.i += 1;
+    }
+}
+
+fn is_punct(t: &Token, p: &str) -> bool {
+    t.kind == TokenKind::Punct && t.text == p
+}
+
+fn is_ident(t: &Token, name: &str) -> bool {
+    t.kind == TokenKind::Ident && t.text == name
+}
+
+/// Index just past the group opened at `toks[open]` (any bracket kind).
+fn group_end(toks: &[Token], open: usize) -> usize {
+    let mut nest = 0i64;
+    let mut j = open;
+    while j < toks.len() {
+        if toks[j].kind == TokenKind::Punct {
+            match toks[j].text.as_str() {
+                "(" | "[" | "{" => nest += 1,
+                ")" | "]" | "}" => {
+                    nest -= 1;
+                    if nest == 0 {
+                        return j + 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Splits `toks` (a group *interior*) at top-level commas.
+fn split_commas(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut pieces = Vec::new();
+    let mut nest = 0i64;
+    let mut start = 0usize;
+    for (j, t) in toks.iter().enumerate() {
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => nest += 1,
+                ")" | "]" | "}" => nest -= 1,
+                "," if nest == 0 => {
+                    if j > start {
+                        pieces.push((start, j));
+                    }
+                    start = j + 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    if toks.len() > start {
+        pieces.push((start, toks.len()));
+    }
+    pieces
+}
+
+/// Parses a numeric literal's text (`3.0`, `1e-12`, `10_000u64`) as
+/// f64. Radix-prefixed literals are out of scope (never domain math).
+fn parse_literal(text: &str) -> Option<f64> {
+    let mut t: String = text.chars().filter(|&c| c != '_').collect();
+    if t.starts_with("0x") || t.starts_with("0o") || t.starts_with("0b") {
+        return None;
+    }
+    for suf in [
+        "f64", "f32", "u128", "u64", "u32", "u16", "u8", "usize", "i128", "i64", "i32", "i16",
+        "i8", "isize",
+    ] {
+        if t.len() > suf.len() && t.ends_with(suf) {
+            t.truncate(t.len() - suf.len());
+            break;
+        }
+    }
+    t.parse::<f64>().ok()
+}
+
+/// A literal `powi` exponent: `3` or `- 3` as a token slice.
+fn literal_i32(toks: &[Token]) -> Option<i32> {
+    match toks {
+        [t] if t.kind == TokenKind::Int => parse_literal(&t.text).map(|x| x as i32),
+        [m, t] if is_punct(m, "-") && t.kind == TokenKind::Int => {
+            parse_literal(&t.text).map(|x| -(x as i32))
+        }
+        _ => None,
+    }
+}
+
+/// Binds a `let`/arm pattern: a simple identifier (optionally `mut` /
+/// `ref`, optionally `: Ty`-annotated) or a single `Ok(x)` / `Some(x)`
+/// wrapper binds `v` (consistent with the constructor-unwrap evaluation
+/// rule); tuple and struct patterns bind nothing.
+fn bind_pattern(toks: &[Token], v: Val, cancel: bool, env: &mut Env) {
+    let mut t = toks;
+    while t
+        .first()
+        .is_some_and(|x| is_ident(x, "mut") || is_ident(x, "ref"))
+    {
+        t = &t[1..];
+    }
+    if let Some(colon) = t.iter().position(|x| is_punct(x, ":")) {
+        t = &t[..colon];
+    }
+    if t.len() >= 3
+        && t[0].kind == TokenKind::Ident
+        && matches!(t[0].text.as_str(), "Ok" | "Some")
+        && is_punct(&t[1], "(")
+    {
+        bind_pattern(&t[2..t.len() - 1], v, cancel, env);
+        return;
+    }
+    if let Some(name) = single_ident(t) {
+        if name == "_" {
+            return;
+        }
+        env.vals.insert(name.to_string(), v);
+        if cancel {
+            env.cancel.insert(name.to_string());
+        } else {
+            env.cancel.remove(name);
+        }
+    }
+}
+
+/// Joins block/return values: all-known → hull, anything unknown →
+/// unknown (assumed safe).
+fn join(vals: &[Val]) -> Val {
+    let mut acc: Option<Range> = None;
+    for v in vals {
+        match v.known() {
+            Some(r) => {
+                acc = Some(match acc {
+                    Some(a) => a.hull(&r),
+                    None => r,
+                });
+            }
+            None => return Val::Unknown,
+        }
+    }
+    acc.map_or(Val::Unknown, Val::Known)
+}
+
+/// Index of the `;` ending the statement starting at `i` (depth-0 over
+/// all bracket kinds), or `toks.len()`.
+fn stmt_end(toks: &[Token], i: usize) -> usize {
+    let mut nest = 0i64;
+    let mut j = i;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => nest += 1,
+                ")" | "]" | "}" => nest -= 1,
+                ";" if nest == 0 => return j,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Index of the top-level assignment operator in `toks` (`=`, `+=`,
+/// `-=`, `*=`, `/=`). Comparison operators are distinct multi-char
+/// tokens, so a bare `=` is unambiguous.
+fn find_assign_eq(toks: &[Token]) -> Option<usize> {
+    let mut nest = 0i64;
+    for (j, t) in toks.iter().enumerate() {
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => nest += 1,
+                ")" | "]" | "}" => nest -= 1,
+                "=" | "+=" | "-=" | "*=" | "/=" if nest == 0 => return Some(j),
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// A branch body that opens with `return` never falls through, so the
+/// code after the `if` is reachable only under the negated guard.
+fn block_diverges(toks: &[Token]) -> bool {
+    toks.first().is_some_and(|t| is_ident(t, "return"))
+}
+
+/// Splits `base` (the known range of a variable `x`) by the comparison
+/// `x OP r`, returning the refined ranges for the true and the false
+/// branch. Pure interval reasoning: `x < r` caps `x` at `r`'s upper
+/// bound; its negation floors `x` at `r`'s lower bound. A comparison
+/// that held also proves `x` is not NaN, while the false branch keeps
+/// the NaN flag (comparisons against NaN are always false). A
+/// refinement that would empty the range — a statically dead branch —
+/// falls back to `base` so dead code stays conservatively analyzed.
+fn refine_cmp(base: Range, op: &str, r: Range) -> (Range, Range) {
+    let mut t = base;
+    t.nan = false;
+    let mut f = base;
+    let (strict, lower_bounds_true) = match op {
+        "<" => (true, false),
+        "<=" => (false, false),
+        ">" => (true, true),
+        ">=" => (false, true),
+        _ => return (t, f),
+    };
+    // (refined-side range, bound, open) for each branch: the true branch
+    // of `x < r` tightens the hi end, its false branch (`x >= r`) the lo
+    // end; `>`/`>=` mirror that.
+    if lower_bounds_true {
+        let t_open = strict || r.lo_open;
+        if r.lo > t.lo || (r.lo == t.lo && t_open && !t.lo_open) {
+            t.lo = r.lo;
+            t.lo_open = t_open;
+        }
+        let f_open = !strict || r.hi_open;
+        if r.hi < f.hi || (r.hi == f.hi && f_open && !f.hi_open) {
+            f.hi = r.hi;
+            f.hi_open = f_open;
+        }
+    } else {
+        let t_open = strict || r.hi_open;
+        if r.hi < t.hi || (r.hi == t.hi && t_open && !t.hi_open) {
+            t.hi = r.hi;
+            t.hi_open = t_open;
+        }
+        let f_open = !strict || r.lo_open;
+        if r.lo > f.lo || (r.lo == f.lo && f_open && !f.lo_open) {
+            f.lo = r.lo;
+            f.lo_open = f_open;
+        }
+    }
+    let empty = |x: &Range| x.lo > x.hi || (x.lo == x.hi && (x.lo_open || x.hi_open));
+    if empty(&t) {
+        t = base;
+        t.nan = false;
+    }
+    if empty(&f) {
+        f = base;
+    }
+    (t, f)
+}
+
+/// First `{` at paren/bracket depth 0 at or after `from` — the block
+/// opener of an `if`/`match`/`while`/`for` header.
+fn find_block_open(toks: &[Token], from: usize) -> usize {
+    let mut nest = 0i64;
+    let mut j = from;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => nest += 1,
+                ")" | "]" => nest -= 1,
+                "{" if nest == 0 => return j,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Index just past a balanced `<…>` group starting at `open`.
+fn skip_angles(toks: &[Token], open: usize) -> usize {
+    let mut angle = 0i64;
+    let mut j = open;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "<" => angle += 1,
+                "<<" => angle += 2,
+                ">" => angle -= 1,
+                ">>" => angle -= 2,
+                ";" => return j,
+                _ => {}
+            }
+        }
+        j += 1;
+        if angle <= 0 {
+            return j;
+        }
+    }
+    j
+}
+
+/// Strips balanced outer paren layers.
+fn strip_parens(mut toks: &[Token]) -> &[Token] {
+    while toks.len() >= 2 && is_punct(&toks[0], "(") && group_end(toks, 0) == toks.len() {
+        toks = &toks[1..toks.len() - 1];
+    }
+    toks
+}
+
+/// Strips leading `&` / `&mut` from an argument slice.
+fn strip_ref(mut toks: &[Token]) -> &[Token] {
+    while toks
+        .first()
+        .is_some_and(|t| is_punct(t, "&") || is_punct(t, "&&"))
+    {
+        toks = &toks[1..];
+    }
+    while toks.first().is_some_and(|t| is_ident(t, "mut")) {
+        toks = &toks[1..];
+    }
+    toks
+}
+
+/// `Some(name)` when `toks` is exactly one identifier.
+fn single_ident(toks: &[Token]) -> Option<&str> {
+    match toks {
+        [t] if t.kind == TokenKind::Ident => Some(&t.text),
+        _ => None,
+    }
+}
+
+/// The position of the *last* depth-0 binary `-` in `toks` (last gives
+/// the outermost split under left associativity), or `None`.
+fn top_level_binary_minus(toks: &[Token]) -> Option<usize> {
+    let mut nest = 0i64;
+    let mut found = None;
+    for (j, t) in toks.iter().enumerate() {
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => nest += 1,
+                ")" | "]" | "}" => nest -= 1,
+                "-" if nest == 0 && j > 0 => {
+                    // Binary iff the previous token can end an operand.
+                    let prev = &toks[j - 1];
+                    let binary = matches!(
+                        prev.kind,
+                        TokenKind::Ident | TokenKind::Int | TokenKind::Float
+                    ) || is_punct(prev, ")")
+                        || is_punct(prev, "]")
+                        || is_punct(prev, "?");
+                    if binary {
+                        found = Some(j);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    found
+}
+
+/// The interprocedural evaluator: walks function bodies under an
+/// abstract [`Env`], emitting hazards (when `emit`) and recording
+/// callee visits for the BFS driver.
+struct Eval<'a> {
+    ws: &'a Ws<'a>,
+    /// File index of the function currently being *visited* (findings
+    /// anchor here).
+    file: usize,
+    /// Current function's `param name → type head`, for struct-argument
+    /// field pass-through.
+    params: BTreeMap<String, String>,
+    /// Whether hazards are reported. False during pure callee-return
+    /// evaluation, so every finding anchors in a BFS-visited function.
+    emit: bool,
+    depth: usize,
+    /// Keys of functions currently being return-evaluated (cycle guard).
+    stack: Vec<String>,
+    /// `return` expression values of the function being walked.
+    rets: Vec<Val>,
+    out: Vec<Raw>,
+    calls: Vec<(FnId, Env)>,
+}
+
+impl<'a> Eval<'a> {
+    fn new(ws: &'a Ws<'a>) -> Eval<'a> {
+        Eval {
+            ws,
+            file: 0,
+            params: BTreeMap::new(),
+            emit: false,
+            depth: MAX_DEPTH,
+            stack: Vec::new(),
+            rets: Vec::new(),
+            out: Vec::new(),
+            calls: Vec::new(),
+        }
+    }
+
+    fn report(&mut self, rule: &'static str, line: usize, what: String) {
+        if self.emit {
+            self.out.push(Raw {
+                rule,
+                file: self.file,
+                line,
+                what,
+            });
+        }
+    }
+
+    /// Walks `id`'s body under `env`; returns the joined return value
+    /// (trailing expression hulled with every `return`).
+    fn eval_fn_body(&mut self, id: FnId, env: &mut Env) -> Val {
+        let f = self.ws.fn_item(id);
+        let Some((s, e)) = f.body else {
+            return Val::Unknown;
+        };
+        let saved_file = std::mem::replace(&mut self.file, id.0);
+        let saved_params = std::mem::replace(&mut self.params, f.params.iter().cloned().collect());
+        let saved_rets = std::mem::take(&mut self.rets);
+        let toks: &'a [Token] = &self.ws.files[id.0].1.toks[s..e];
+        let last = self.walk_block(toks, env);
+        let mut rets = std::mem::replace(&mut self.rets, saved_rets);
+        self.params = saved_params;
+        self.file = saved_file;
+        rets.push(last);
+        join(&rets)
+    }
+
+    /// Walks a statement sequence; returns the trailing expression's
+    /// value (the block's value).
+    fn walk_block(&mut self, toks: &'a [Token], env: &mut Env) -> Val {
+        let mut i = 0usize;
+        let mut last = Val::Unknown;
+        while i < toks.len() {
+            let t = &toks[i];
+            if is_punct(t, ";") {
+                last = Val::Unknown;
+                i += 1;
+                continue;
+            }
+            if is_punct(t, "{") {
+                let end = group_end(toks, i);
+                let mut inner = env.clone();
+                last = self.walk_block(&toks[i + 1..end - 1], &mut inner);
+                i = end;
+                continue;
+            }
+            if t.kind == TokenKind::Ident {
+                match t.text.as_str() {
+                    "let" => {
+                        i = self.walk_let(toks, i, env);
+                        last = Val::Unknown;
+                        continue;
+                    }
+                    "if" => {
+                        let (v, ni) = self.eval_if(toks, i, env);
+                        last = v;
+                        i = ni;
+                        continue;
+                    }
+                    "match" => {
+                        let (v, ni) = self.eval_match(toks, i, env);
+                        last = v;
+                        i = ni;
+                        continue;
+                    }
+                    "while" | "for" | "loop" => {
+                        i = self.walk_loop(toks, i, env);
+                        last = Val::Unknown;
+                        continue;
+                    }
+                    "return" => {
+                        let end = stmt_end(toks, i);
+                        let v = if end > i + 1 {
+                            self.eval_expr(&toks[i + 1..end], env)
+                        } else {
+                            Val::Unknown
+                        };
+                        self.rets.push(v);
+                        i = end + 1;
+                        last = Val::Unknown;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            // Expression or assignment statement.
+            let end = stmt_end(toks, i);
+            last = self.walk_expr_stmt(&toks[i..end], env);
+            if end < toks.len() {
+                last = Val::Unknown; // `;`-terminated — not the block value
+            }
+            i = end + 1;
+        }
+        last
+    }
+
+    /// `let [mut] pat [: Ty] = expr ;` — binds simple patterns, always
+    /// evaluates the initializer for hazards.
+    fn walk_let(&mut self, toks: &'a [Token], i: usize, env: &mut Env) -> usize {
+        let end = stmt_end(toks, i);
+        let Some(eq) = find_assign_eq(&toks[i..end]).map(|k| i + k) else {
+            return end + 1; // no initializer
+        };
+        let rhs = &toks[eq + 1..end];
+        let v = self.eval_expr(rhs, env);
+        let cancel = self.cancel_expr(rhs, env).is_some();
+        bind_pattern(&toks[i + 1..eq], v, cancel, env);
+        end + 1
+    }
+
+    /// An expression statement, handling top-level (re)assignment so
+    /// `x = …;` and `x /= …;` update (and hazard-check) correctly.
+    fn walk_expr_stmt(&mut self, toks: &'a [Token], env: &mut Env) -> Val {
+        if let Some(eq) = find_assign_eq(toks) {
+            let op = toks[eq].text.clone();
+            let line = toks[eq].line;
+            let rhs = &toks[eq + 1..];
+            let rv = self.eval_expr(rhs, env);
+            let lhs = &toks[..eq];
+            let target = single_ident(lhs).map(str::to_string);
+            let nv = if op == "=" {
+                rv
+            } else {
+                // `x op= e` — run the hazard-checked binary transfer.
+                let cur = match &target {
+                    Some(name) => env.get(name),
+                    None => self.eval_expr(lhs, env),
+                };
+                self.binop(&op[..1], cur, rv, rhs, env, line)
+            };
+            if let Some(name) = target {
+                let cancel = op == "=" && self.cancel_expr(rhs, env).is_some();
+                if cancel {
+                    env.cancel.insert(name.clone());
+                } else {
+                    env.cancel.remove(&name);
+                }
+                env.vals.insert(name, nv);
+            }
+            return Val::Unknown;
+        }
+        self.eval_expr(toks, env)
+    }
+
+    /// Recognizes a `name OP expr` comparison guard (`OP` one of `<`,
+    /// `<=`, `>`, `>=`) where `name` is bound to a known range and the
+    /// right-hand side evaluates to one: returns the variable name plus
+    /// its refined true-branch / false-branch ranges.
+    fn cmp_guard(&mut self, toks: &'a [Token], env: &Env) -> Option<(String, Range, Range)> {
+        if toks.len() < 3 || toks[0].kind != TokenKind::Ident || toks[1].kind != TokenKind::Punct {
+            return None;
+        }
+        let op = toks[1].text.as_str();
+        if !matches!(op, "<" | "<=" | ">" | ">=") {
+            return None;
+        }
+        let base = env.get(&toks[0].text).known()?;
+        let r = self.eval_expr(&toks[2..], env).known()?;
+        let (t, f) = refine_cmp(base, op, r);
+        Some((toks[0].text.clone(), t, f))
+    }
+
+    /// `if [let pat =] cond { … } [else if …] [else { … }]` — branches
+    /// walk cloned environments, then hull back into the caller's; a
+    /// recognized comparison guard refines the guarded variable in each
+    /// branch (exactly, for the continuation, when the then branch
+    /// diverges with `return` — the `if w <= 3.0 { return 1.0; }`
+    /// idiom); the value is the hull of the branch values.
+    fn eval_if(&mut self, toks: &'a [Token], i: usize, env: &mut Env) -> (Val, usize) {
+        let mut j = i + 1;
+        let mut pat: Option<(usize, usize)> = None;
+        if toks.get(j).is_some_and(|t| is_ident(t, "let")) {
+            let Some(eq) = find_assign_eq(&toks[j..]).map(|k| j + k) else {
+                return (Val::Unknown, toks.len());
+            };
+            pat = Some((j + 1, eq));
+            j = eq + 1;
+        }
+        let brace = find_block_open(toks, j);
+        if brace >= toks.len() {
+            return (Val::Unknown, toks.len());
+        }
+        let guard = if pat.is_none() {
+            self.cmp_guard(&toks[j..brace], env)
+        } else {
+            None
+        };
+        let cond_val = self.eval_expr(&toks[j..brace], env);
+        let end = group_end(toks, brace);
+        let body = &toks[brace + 1..end - 1];
+        let mut branch_env = env.clone();
+        if let Some((name, t, _)) = &guard {
+            branch_env.vals.insert(name.clone(), Val::Known(*t));
+        }
+        if let Some((ps, pe)) = pat {
+            bind_pattern(&toks[ps..pe], cond_val, false, &mut branch_env);
+        }
+        let then_diverges = block_diverges(body);
+        let mut vals = vec![self.walk_block(body, &mut branch_env)];
+        // The continuation starts from the negated guard; when the then
+        // branch falls through, merging it back below re-widens whatever
+        // the hull over both paths actually covers.
+        if let Some((name, _, f)) = &guard {
+            env.vals.insert(name.clone(), Val::Known(*f));
+        }
+        let mut k = end;
+        let mut has_else = false;
+        if toks.get(k).is_some_and(|t| is_ident(t, "else")) {
+            has_else = true;
+            if toks.get(k + 1).is_some_and(|t| is_ident(t, "if")) {
+                let (v, nk) = self.eval_if(toks, k + 1, env);
+                vals.push(v);
+                k = nk;
+            } else if toks.get(k + 1).is_some_and(|t| is_punct(t, "{")) {
+                let eend = group_end(toks, k + 1);
+                let mut else_env = env.clone();
+                let els = &toks[k + 2..eend - 1];
+                vals.push(self.walk_block(els, &mut else_env));
+                if !block_diverges(els) {
+                    env.merge_from(&else_env);
+                }
+                k = eend;
+            } else {
+                k += 1;
+            }
+        }
+        if !then_diverges {
+            env.merge_from(&branch_env);
+        }
+        if !has_else {
+            vals.push(Val::Unknown);
+        }
+        (join(&vals), k)
+    }
+
+    /// `match scrutinee { pat => body, … }` — arms walk cloned
+    /// environments; `Some(x)` / `Ok(x)` patterns bind the scrutinee
+    /// value (consistent with the constructor-unwrap evaluation rule).
+    fn eval_match(&mut self, toks: &'a [Token], i: usize, env: &mut Env) -> (Val, usize) {
+        let brace = find_block_open(toks, i + 1);
+        if brace >= toks.len() {
+            return (Val::Unknown, toks.len());
+        }
+        let scrut = self.eval_expr(&toks[i + 1..brace], env);
+        let end = group_end(toks, brace);
+        let body = &toks[brace + 1..end - 1];
+        let mut vals = Vec::new();
+        let mut nest = 0i64;
+        let mut arm_start = 0usize;
+        let mut j = 0usize;
+        while j < body.len() {
+            let t = &body[j];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => nest += 1,
+                    ")" | "]" | "}" => nest -= 1,
+                    "=>" if nest == 0 => {
+                        let mut arm_env = env.clone();
+                        bind_pattern(&body[arm_start..j], scrut, false, &mut arm_env);
+                        // Arm body: a block, or an expression up to the
+                        // arm-separating `,` at nest 0.
+                        if body.get(j + 1).is_some_and(|t| is_punct(t, "{")) {
+                            let bend = group_end(body, j + 1);
+                            vals.push(self.walk_block(&body[j + 2..bend - 1], &mut arm_env));
+                            j = bend;
+                        } else {
+                            let mut k = j + 1;
+                            let mut n2 = 0i64;
+                            while k < body.len() {
+                                let u = &body[k];
+                                if u.kind == TokenKind::Punct {
+                                    match u.text.as_str() {
+                                        "(" | "[" | "{" => n2 += 1,
+                                        ")" | "]" | "}" => n2 -= 1,
+                                        "," if n2 == 0 => break,
+                                        _ => {}
+                                    }
+                                }
+                                k += 1;
+                            }
+                            vals.push(self.eval_expr(&body[j + 1..k], &arm_env));
+                            j = k;
+                        }
+                        arm_start = j + 1;
+                        continue;
+                    }
+                    "," if nest == 0 => arm_start = j + 1,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        if vals.is_empty() {
+            vals.push(Val::Unknown);
+        }
+        (join(&vals), end)
+    }
+
+    /// `while` / `for` / `loop` — the body is walked **once** over a
+    /// cloned environment (no fixpoint; DESIGN.md §15).
+    fn walk_loop(&mut self, toks: &'a [Token], i: usize, env: &mut Env) -> usize {
+        let kw = toks[i].text.as_str();
+        let mut j = i + 1;
+        let mut loop_env = env.clone();
+        if kw == "for" {
+            // `for pat in expr { … }`
+            let mut k = j;
+            while k < toks.len() && !is_ident(&toks[k], "in") {
+                k += 1;
+            }
+            if k >= toks.len() {
+                return toks.len();
+            }
+            let brace = find_block_open(toks, k + 1);
+            if brace >= toks.len() {
+                return toks.len();
+            }
+            self.eval_expr(&toks[k + 1..brace], env);
+            bind_pattern(&toks[j..k], Val::Unknown, false, &mut loop_env);
+            j = brace;
+        } else if kw == "while" {
+            let brace = find_block_open(toks, j);
+            if brace >= toks.len() {
+                return toks.len();
+            }
+            if toks.get(j).is_some_and(|t| is_ident(t, "let")) {
+                if let Some(eq) = find_assign_eq(&toks[j..brace]).map(|k| j + k) {
+                    let v = self.eval_expr(&toks[eq + 1..brace], env);
+                    bind_pattern(&toks[j + 1..eq], v, false, &mut loop_env);
+                }
+            } else {
+                self.eval_expr(&toks[j..brace], env);
+            }
+            j = brace;
+        } else {
+            j = find_block_open(toks, j);
+        }
+        if !toks.get(j).is_some_and(|t| is_punct(t, "{")) {
+            return toks.len();
+        }
+        let end = group_end(toks, j);
+        self.walk_block(&toks[j + 1..end - 1], &mut loop_env);
+        // Single-unroll widening: a binding mutated by the (possibly
+        // skipped, possibly repeated) body hulls to cover both the
+        // zero-iteration and the after-one-iteration view — `x += dt`
+        // accumulators correctly lose their initializer's point range.
+        env.merge_from(&loop_env);
+        end
+    }
+
+    /// Evaluates one expression token slice.
+    fn eval_expr(&mut self, toks: &'a [Token], env: &Env) -> Val {
+        if toks.is_empty() {
+            return Val::Unknown;
+        }
+        let mut c = Cur { toks, i: 0 };
+        self.expr_bp(&mut c, env, 0)
+    }
+
+    fn expr_bp(&mut self, c: &mut Cur<'a>, env: &Env, min_bp: u8) -> Val {
+        let mut lhs = self.unary(c, env);
+        while let Some(t) = c.peek() {
+            if t.kind == TokenKind::Ident && t.text == "as" {
+                // Casts bind tightest: value-preserving to f64, opaque
+                // otherwise (integer truncation is the cast lint's job).
+                c.bump();
+                let mut to_f64 = false;
+                while let Some(u) = c.peek() {
+                    if u.kind == TokenKind::Ident {
+                        to_f64 = u.text == "f64";
+                        c.bump();
+                    } else if is_punct(u, "::") {
+                        c.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if !to_f64 {
+                    lhs = Val::Unknown;
+                }
+                continue;
+            }
+            if t.kind != TokenKind::Punct {
+                break;
+            }
+            let (op, bp): (&str, u8) = match t.text.as_str() {
+                "||" | "&&" => ("bool", 1),
+                "==" | "!=" | "<" | ">" | "<=" | ">=" => ("cmp", 2),
+                ".." | "..=" => ("range", 2),
+                "+" => ("+", 3),
+                "-" => ("-", 3),
+                "*" => ("*", 4),
+                "/" => ("/", 4),
+                "%" => ("%", 4),
+                _ => break,
+            };
+            if bp < min_bp {
+                break;
+            }
+            let line = t.line;
+            c.bump();
+            let rstart = c.i;
+            let rhs = self.expr_bp(c, env, bp + 1);
+            let rtoks = &c.toks[rstart..c.i];
+            lhs = self.binop(op, lhs, rhs, rtoks, env, line);
+        }
+        lhs
+    }
+
+    /// Binary transfer with hazard emission. `rtoks` is the right
+    /// operand's token slice (for the `cancel_risk` syntactic check).
+    /// Rule precedence at `/`: `cancel_risk` > `nan_source` (0 ÷ 0) >
+    /// `div_domain` > `nan_source` (∞ ÷ ∞).
+    fn binop(
+        &mut self,
+        op: &str,
+        l: Val,
+        r: Val,
+        rtoks: &'a [Token],
+        env: &Env,
+        line: usize,
+    ) -> Val {
+        match op {
+            "/" => {
+                if let Some(msg) = self.cancel_expr(rtoks, env) {
+                    self.report("cancel_risk", line, msg);
+                } else if let Some(rr) = r.known() {
+                    if rr.contains_zero() {
+                        if l.known().is_some_and(|lr| lr.contains_zero()) {
+                            self.report(
+                                "nan_source",
+                                line,
+                                format!("0 / 0 possible: denominator {rr}"),
+                            );
+                        } else {
+                            self.report(
+                                "div_domain",
+                                line,
+                                format!("denominator may be zero: {rr}"),
+                            );
+                        }
+                    }
+                }
+                let (Some(lr), Some(rr)) = (l.known(), r.known()) else {
+                    return Val::Unknown;
+                };
+                let res = lr.div(&rr);
+                if res.nan && !lr.nan && !rr.nan && !rr.contains_zero() {
+                    self.report(
+                        "nan_source",
+                        line,
+                        format!("inf / inf possible: {lr} / {rr}"),
+                    );
+                }
+                Val::Known(res)
+            }
+            "+" | "-" | "*" => {
+                let (Some(lr), Some(rr)) = (l.known(), r.known()) else {
+                    return Val::Unknown;
+                };
+                let res = match op {
+                    "+" => lr.add(&rr),
+                    "-" => lr.sub(&rr),
+                    _ => lr.mul(&rr),
+                };
+                if res.nan && !lr.nan && !rr.nan {
+                    let form = if op == "*" { "0 * inf" } else { "inf - inf" };
+                    self.report(
+                        "nan_source",
+                        line,
+                        format!("{form} possible: {lr} {op} {rr}"),
+                    );
+                }
+                Val::Known(res)
+            }
+            _ => Val::Unknown,
+        }
+    }
+
+    /// Whether `toks` is a near-cancelling subtraction: `a − b` with
+    /// both sides in a known interval, same sign, and overlapping — so
+    /// the floating-point difference passes near zero. Also true for a
+    /// lone identifier carrying the taint from its initializer. Returns
+    /// the evidence message.
+    fn cancel_expr(&mut self, toks: &'a [Token], env: &Env) -> Option<String> {
+        let toks = strip_parens(toks);
+        if let Some(name) = single_ident(toks) {
+            if env.cancel.contains(name) {
+                return Some(format!(
+                    "`{name}` derives from a near-cancelling subtraction"
+                ));
+            }
+            return None;
+        }
+        let minus = top_level_binary_minus(toks)?;
+        let saved = std::mem::replace(&mut self.emit, false);
+        let a = self.eval_expr(&toks[..minus], env);
+        let b = self.eval_expr(&toks[minus + 1..], env);
+        self.emit = saved;
+        let (ar, br) = (a.known()?, b.known()?);
+        let same_sign = (ar.lo >= 0.0 && br.lo >= 0.0) || (ar.hi <= 0.0 && br.hi <= 0.0);
+        if same_sign && ar.overlaps(&br) {
+            return Some(format!(
+                "denominator is a near-cancelling subtraction: {ar} - {br}"
+            ));
+        }
+        None
+    }
+
+    fn unary(&mut self, c: &mut Cur<'a>, env: &Env) -> Val {
+        let Some(t) = c.peek() else {
+            return Val::Unknown;
+        };
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "-" => {
+                    c.bump();
+                    let v = self.unary(c, env);
+                    return match v.known() {
+                        Some(r) => Val::Known(r.neg()),
+                        None => Val::Unknown,
+                    };
+                }
+                "!" => {
+                    c.bump();
+                    self.unary(c, env);
+                    return Val::Unknown;
+                }
+                "&" | "&&" | "*" => {
+                    // References and derefs are value-transparent here.
+                    c.bump();
+                    return self.unary(c, env);
+                }
+                _ => {}
+            }
+        }
+        self.postfix(c, env)
+    }
+
+    fn postfix(&mut self, c: &mut Cur<'a>, env: &Env) -> Val {
+        let mut v = self.atom(c, env);
+        while let Some(t) = c.peek() {
+            if is_punct(t, "?") {
+                c.bump(); // error propagation is value-transparent
+                continue;
+            }
+            if is_punct(t, "[") {
+                let end = group_end(c.toks, c.i);
+                self.eval_expr(&c.toks[c.i + 1..end - 1], env);
+                c.i = end;
+                v = Val::Unknown;
+                continue;
+            }
+            if is_punct(t, ".") {
+                let Some(n) = c.peek_at(1) else { break };
+                if n.kind == TokenKind::Int {
+                    c.bump();
+                    c.bump();
+                    v = Val::Unknown; // tuple index
+                    continue;
+                }
+                if n.kind != TokenKind::Ident {
+                    break;
+                }
+                let name = n.text.clone();
+                let line = n.line;
+                if c.peek_at(2).is_some_and(|u| is_punct(u, "(")) {
+                    c.bump();
+                    c.bump();
+                    let (args, arg_toks) = self.call_args(c, env);
+                    v = self.method(v, &name, &args, &arg_toks, line);
+                } else {
+                    // Field access: the field *name* resolves through
+                    // the domain bindings (`params.rtt`, `self.wmax`);
+                    // unbound names are opaque.
+                    c.bump();
+                    c.bump();
+                    v = env.get(&name);
+                }
+                continue;
+            }
+            break;
+        }
+        v
+    }
+
+    /// Parses a call's `( … )` argument group (cursor on the `(`);
+    /// returns each argument's value and token slice.
+    #[allow(clippy::type_complexity)]
+    fn call_args(&mut self, c: &mut Cur<'a>, env: &Env) -> (Vec<Val>, Vec<&'a [Token]>) {
+        let end = group_end(c.toks, c.i);
+        let inner = &c.toks[c.i + 1..end - 1];
+        let mut vals = Vec::new();
+        let mut slices = Vec::new();
+        for (s, e) in split_commas(inner) {
+            vals.push(self.eval_expr(&inner[s..e], env));
+            slices.push(&inner[s..e]);
+        }
+        c.i = end;
+        (vals, slices)
+    }
+
+    /// Method-call transfer over the f64/unit-newtype vocabulary the
+    /// kernels use. Unmatched methods are opaque.
+    fn method(
+        &mut self,
+        recv: Val,
+        name: &str,
+        args: &[Val],
+        arg_toks: &[&'a [Token]],
+        line: usize,
+    ) -> Val {
+        let r = recv.known();
+        match name {
+            "get" => recv,
+            "survival" => match r {
+                Some(r) => Val::Known(Range::point(1.0).sub(&r)),
+                None => Val::Unknown,
+            },
+            "sqrt" | "ln" | "ln_1p" => {
+                let Some(r) = r else { return Val::Unknown };
+                let res = match name {
+                    "sqrt" => r.sqrt(),
+                    "ln" => r.ln(),
+                    _ => r.ln_1p(),
+                };
+                if res.nan && !r.nan {
+                    self.report(
+                        "nan_source",
+                        line,
+                        format!("{name} outside its domain: {name}({r})"),
+                    );
+                }
+                Val::Known(res)
+            }
+            "exp" => r.map_or(Val::Unknown, |r| Val::Known(r.exp())),
+            "exp_m1" => r.map_or(Val::Unknown, |r| Val::Known(r.exp_m1())),
+            "abs" => r.map_or(Val::Unknown, |r| Val::Known(r.abs())),
+            "min" | "max" => match (r, args.first().and_then(|a| a.known())) {
+                (Some(a), Some(b)) => Val::Known(if name == "min" { a.min(&b) } else { a.max(&b) }),
+                _ => Val::Unknown,
+            },
+            "powi" => {
+                // Only a literal exponent is transferable.
+                let Some(r) = r else { return Val::Unknown };
+                match arg_toks.first().and_then(|s| literal_i32(s)) {
+                    Some(k) => Val::Known(r.powi(k)),
+                    None => Val::Unknown,
+                }
+            }
+            "powf" => {
+                let (Some(r), Some(e)) = (r, args.first().and_then(|a| a.known())) else {
+                    return Val::Unknown;
+                };
+                let res = r.powf(&e);
+                if res.nan && !r.nan && !e.nan {
+                    self.report(
+                        "nan_source",
+                        line,
+                        format!("powf with possibly-negative base: {r}"),
+                    );
+                }
+                Val::Known(res)
+            }
+            "recip" => {
+                let Some(r) = r else { return Val::Unknown };
+                if r.contains_zero() {
+                    self.report("div_domain", line, format!("recip of possible zero: {r}"));
+                }
+                Val::Known(Range::point(1.0).div(&r))
+            }
+            "clamp" => match (r, args) {
+                (Some(r), [a, b]) => match (a.known(), b.known()) {
+                    (Some(a), Some(b)) => Val::Known(r.max(&a).min(&b)),
+                    _ => Val::Unknown,
+                },
+                _ => Val::Unknown,
+            },
+            "floor" | "ceil" | "round" | "trunc" => r.map_or(Val::Unknown, |r| {
+                // Widen to the enclosing integer-bounded interval.
+                Val::Known(Range {
+                    lo: r.lo.floor(),
+                    hi: r.hi.ceil(),
+                    lo_open: false,
+                    hi_open: false,
+                    nan: r.nan,
+                })
+            }),
+            _ => Val::Unknown,
+        }
+    }
+
+    fn atom(&mut self, c: &mut Cur<'a>, env: &Env) -> Val {
+        let Some(t) = c.peek() else {
+            return Val::Unknown;
+        };
+        match t.kind {
+            TokenKind::Int | TokenKind::Float => {
+                let v = parse_literal(&t.text);
+                c.bump();
+                v.map_or(Val::Unknown, |x| Val::Known(Range::point(x)))
+            }
+            TokenKind::Ident => self.ident_path(c, env),
+            TokenKind::Punct => match t.text.as_str() {
+                "(" => {
+                    let end = group_end(c.toks, c.i);
+                    let inner = &c.toks[c.i + 1..end - 1];
+                    let pieces = split_commas(inner);
+                    let v = if pieces.len() == 1 {
+                        self.eval_expr(inner, env)
+                    } else {
+                        for (s, e) in pieces {
+                            self.eval_expr(&inner[s..e], env);
+                        }
+                        Val::Unknown // tuple
+                    };
+                    c.i = end;
+                    v
+                }
+                "[" => {
+                    let end = group_end(c.toks, c.i);
+                    let inner = &c.toks[c.i + 1..end - 1];
+                    for (s, e) in split_commas(inner) {
+                        self.eval_expr(&inner[s..e], env);
+                    }
+                    c.i = end;
+                    Val::Unknown
+                }
+                "{" => {
+                    let end = group_end(c.toks, c.i);
+                    let mut inner = env.clone();
+                    let v = self.walk_block(&c.toks[c.i + 1..end - 1], &mut inner);
+                    c.i = end;
+                    v
+                }
+                "|" | "||" => {
+                    // Closure: opaque; consume the rest of this slice.
+                    c.i = c.toks.len();
+                    Val::Unknown
+                }
+                _ => {
+                    c.bump();
+                    Val::Unknown
+                }
+            },
+            _ => {
+                c.bump();
+                Val::Unknown
+            }
+        }
+    }
+
+    /// Identifier-led atoms: paths, calls, macros, struct literals,
+    /// `if`/`match` expressions, env lookups.
+    fn ident_path(&mut self, c: &mut Cur<'a>, env: &Env) -> Val {
+        let Some(first) = c.peek().map(|t| t.text.clone()) else {
+            return Val::Unknown;
+        };
+        match first.as_str() {
+            "if" => {
+                let mut e = env.clone();
+                let (v, ni) = self.eval_if(c.toks, c.i, &mut e);
+                c.i = ni;
+                return v;
+            }
+            "match" => {
+                let mut e = env.clone();
+                let (v, ni) = self.eval_match(c.toks, c.i, &mut e);
+                c.i = ni;
+                return v;
+            }
+            _ => {}
+        }
+        // Macro invocation: opaque, arguments are not domain math.
+        if c.peek_at(1).is_some_and(|t| is_punct(t, "!")) {
+            c.bump();
+            c.bump();
+            if c.peek()
+                .is_some_and(|t| is_punct(t, "(") || is_punct(t, "[") || is_punct(t, "{"))
+            {
+                c.i = group_end(c.toks, c.i);
+            }
+            return Val::Unknown;
+        }
+        // Collect the `a::b::c` path.
+        let mut segs = vec![first];
+        c.bump();
+        while c.peek().is_some_and(|t| is_punct(t, "::")) {
+            if let Some(n) = c.peek_at(1) {
+                if n.kind == TokenKind::Ident {
+                    segs.push(n.text.clone());
+                    c.bump();
+                    c.bump();
+                    continue;
+                }
+                if is_punct(n, "<") {
+                    // Turbofish: skip the generic group.
+                    c.bump();
+                    c.i = skip_angles(c.toks, c.i);
+                    continue;
+                }
+            }
+            break;
+        }
+        let name = segs.last().cloned().unwrap_or_default();
+        if c.peek().is_some_and(|t| is_punct(t, "(")) {
+            let (args, arg_toks) = self.call_args(c, env);
+            return self.call(&segs, &args, &arg_toks, env);
+        }
+        if c.peek().is_some_and(|t| is_punct(t, "{"))
+            && segs.len() == 1
+            && name.chars().next().is_some_and(char::is_uppercase)
+        {
+            // Struct literal: evaluate field initializers for hazards.
+            let end = group_end(c.toks, c.i);
+            let inner = &c.toks[c.i + 1..end - 1];
+            for (s, e) in split_commas(inner) {
+                let piece = &inner[s..e];
+                let expr = match piece.iter().position(|t| is_punct(t, ":")) {
+                    Some(colon) => &piece[colon + 1..],
+                    None => piece, // shorthand or `..base`
+                };
+                let expr = if expr.first().is_some_and(|t| is_punct(t, "..")) {
+                    &expr[1..]
+                } else {
+                    expr
+                };
+                self.eval_expr(expr, env);
+            }
+            c.i = end;
+            return Val::Unknown;
+        }
+        // Plain value path.
+        if segs.len() == 1 {
+            return env.get(&name);
+        }
+        if segs.len() == 2 && segs[0] == "f64" {
+            return match name.as_str() {
+                "INFINITY" => Val::Known(Range::point(f64::INFINITY)),
+                "NEG_INFINITY" => Val::Known(Range::point(f64::NEG_INFINITY)),
+                "NAN" => Val::Known(crate::domain::TOP),
+                "MAX" => Val::Known(Range::point(f64::MAX)),
+                "MIN" => Val::Known(Range::point(f64::MIN)),
+                "MIN_POSITIVE" => Val::Known(Range::point(f64::MIN_POSITIVE)),
+                "EPSILON" => Val::Known(Range::point(f64::EPSILON)),
+                _ => Val::Unknown,
+            };
+        }
+        Val::Unknown
+    }
+
+    /// Dispatches a path call: `Ok`/`Some` unwrap, `f64::from`
+    /// identity, workspace functions, everything else opaque.
+    fn call(&mut self, segs: &[String], args: &[Val], arg_toks: &[&'a [Token]], env: &Env) -> Val {
+        let name = segs.last().map(String::as_str).unwrap_or_default();
+        if segs.len() == 1 && matches!(name, "Ok" | "Some") {
+            return args.first().copied().unwrap_or(Val::Unknown);
+        }
+        if segs.len() == 1 && matches!(name, "Err" | "None") {
+            return Val::Unknown;
+        }
+        if name == "from" && segs.len() >= 2 && segs[segs.len() - 2] == "f64" {
+            return args.first().copied().unwrap_or(Val::Unknown);
+        }
+        let key = if segs.len() >= 2 {
+            format!("{}::{name}", segs[segs.len() - 2])
+        } else {
+            name.to_string()
+        };
+        let Some(targets) = self.ws.by_key.get(&key) else {
+            return Val::Unknown;
+        };
+        let targets = targets.clone();
+        // Bind arguments into a callee environment (first target's
+        // signature; overloads share parameter shape in this workspace).
+        let callee_env = self.bind_args(targets[0], args, arg_toks, env);
+        if self.emit {
+            for &t in &targets {
+                self.calls.push((t, callee_env.clone()));
+            }
+        }
+        // Pure bounded return evaluation for the value.
+        if self.depth == 0 || self.stack.contains(&key) {
+            return Val::Unknown;
+        }
+        self.stack.push(key);
+        self.depth -= 1;
+        let saved_emit = std::mem::replace(&mut self.emit, false);
+        let v = self.eval_fn_body(targets[0], &mut callee_env.clone());
+        self.emit = saved_emit;
+        self.depth += 1;
+        self.stack.pop();
+        v
+    }
+
+    /// Builds a callee environment: positional parameter binding, cancel
+    /// taint propagation, and struct-argument field pass-through (a
+    /// `params: &ModelParams` argument carries the caller's bound
+    /// `rtt`/`t0`/… fields into the callee, mirroring how [`seed_env`]
+    /// binds domain keys through struct-typed parameters).
+    fn bind_args(&self, target: FnId, args: &[Val], arg_toks: &[&'a [Token]], env: &Env) -> Env {
+        let f = self.ws.fn_item(target);
+        let mut out = Env::default();
+        for (idx, (binding, _ty)) in f.params.iter().enumerate() {
+            let v = args.get(idx).copied().unwrap_or(Val::Unknown);
+            out.vals.insert(binding.clone(), v);
+        }
+        for (idx, slice) in arg_toks.iter().enumerate() {
+            let Some(ident) = single_ident(strip_ref(slice)) else {
+                continue;
+            };
+            if let Some((binding, _)) = f.params.get(idx) {
+                if env.cancel.contains(ident) {
+                    out.cancel.insert(binding.clone());
+                }
+            }
+            if let Some(ty) = self.params.get(ident) {
+                if let Some(fields) = self.ws.struct_fields.get(ty) {
+                    for fld in fields {
+                        if let Some(v) = env.vals.get(fld) {
+                            out.vals.entry(fld.clone()).or_insert(*v);
+                        }
+                    }
+                }
+            }
+        }
+        // An associated call's self-struct fields flow implicitly: the
+        // visited env holds them by name, so pass every bound field of
+        // the callee's self type through.
+        if let Some(st) = &f.self_type {
+            if let Some(fields) = self.ws.struct_fields.get(st) {
+                for fld in fields {
+                    if let Some(v) = env.vals.get(fld) {
+                        out.vals.entry(fld.clone()).or_insert(*v);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Seed-environment construction + binding validation for one root.
+/// Returns `(env, unbound keys)`.
+fn seed_env(ws: &Ws<'_>, id: FnId, spec: &DomainSpec) -> (Env, Vec<String>) {
+    let f = ws.fn_item(id);
+    let mut env = Env::default();
+    let mut unbound = Vec::new();
+    for (key, range) in &spec.params {
+        let direct = f.params.iter().any(|(n, _)| n == key);
+        let via_param_struct = f.params.iter().any(|(_, ty)| {
+            ws.struct_fields
+                .get(ty)
+                .is_some_and(|fields| fields.iter().any(|fld| fld == key))
+        });
+        let via_self = f.self_type.as_ref().is_some_and(|st| {
+            ws.struct_fields
+                .get(st)
+                .is_some_and(|fields| fields.iter().any(|fld| fld == key))
+        });
+        if direct || via_param_struct || via_self {
+            env.vals.insert(key.clone(), Val::Known(*range));
+        } else {
+            unbound.push(key.clone());
+        }
+    }
+    (env, unbound)
+}
+
+/// Runs the analysis: per-root interval propagation over the call graph
+/// implied by the parsed files, with parent-pointer evidence chains,
+/// global dedup, and allow/policy filtering.
+pub(crate) fn analyze(
+    files: &[(PathBuf, ParsedFile)],
+    domains: &[DomainSpec],
+    policies: &[LintPolicy],
+    ctxs: &BTreeMap<PathBuf, FileCtx<'_>>,
+) -> NumlintAnalysis {
+    let ws = Ws::build(files);
+    let spec_file = PathBuf::from("specs/pftk-spec.toml");
+    let mut summaries = Vec::new();
+    // Raw findings with their evidence chains, in discovery order.
+    let mut raws: Vec<(Raw, Vec<String>)> = Vec::new();
+
+    for spec in domains {
+        let seeds: Vec<FnId> = ws.by_key.get(&spec.root).cloned().unwrap_or_default();
+        if seeds.is_empty() {
+            raws.push((
+                Raw {
+                    rule: "stale_domain",
+                    file: usize::MAX,
+                    line: spec.line,
+                    what: format!("root `{}` resolves to no function", spec.root),
+                },
+                vec![spec.root.clone()],
+            ));
+            summaries.push(DomainSummary {
+                root: spec.root.clone(),
+                reason: spec.reason.clone(),
+                resolved: 0,
+                reached: 0,
+            });
+            continue;
+        }
+        // A key is stale only if *no* seed can bind it.
+        let mut unbound_everywhere: Option<BTreeSet<String>> = None;
+        let mut queue: VecDeque<(FnId, Env)> = VecDeque::new();
+        let mut visited: BTreeSet<FnId> = BTreeSet::new();
+        let mut parent: BTreeMap<FnId, FnId> = BTreeMap::new();
+        for &seed in &seeds {
+            let (env, unbound) = seed_env(&ws, seed, spec);
+            let set: BTreeSet<String> = unbound.into_iter().collect();
+            unbound_everywhere = Some(match unbound_everywhere {
+                Some(prev) => prev.intersection(&set).cloned().collect(),
+                None => set,
+            });
+            if visited.insert(seed) {
+                queue.push_back((seed, env));
+            }
+        }
+        for key in unbound_everywhere.unwrap_or_default() {
+            raws.push((
+                Raw {
+                    rule: "stale_domain",
+                    file: usize::MAX,
+                    line: spec.line,
+                    what: format!("key `{key}` binds no parameter or field of `{}`", spec.root),
+                },
+                vec![spec.root.clone()],
+            ));
+        }
+
+        let mut reached = 0usize;
+        let mut hazard_count = 0usize;
+        let mut escapes: Vec<(Raw, Vec<String>)> = Vec::new();
+        while let Some((id, mut env)) = queue.pop_front() {
+            reached += 1;
+            let mut ev = Eval::new(&ws);
+            ev.emit = true;
+            let ret = ev.eval_fn_body(id, &mut env);
+            // Chain prefix: root seed → … → this function.
+            let mut prefix = Vec::new();
+            let mut cur = Some(id);
+            while let Some(n) = cur {
+                prefix.push(ws.fn_item(n).key());
+                cur = parent.get(&n).copied();
+            }
+            prefix.reverse();
+            for raw in ev.out {
+                hazard_count += 1;
+                let mut chain = prefix.clone();
+                chain.push(raw.what.clone());
+                raws.push((raw, chain));
+            }
+            // inf_escape candidates: only roots make totality promises
+            // to callers. Held back until the propagation finishes —
+            // they fire only when no operation-level hazard already
+            // explains the non-finiteness (silent overflow).
+            if seeds.contains(&id) {
+                if let Some(r) = ret.known() {
+                    let f = ws.fn_item(id);
+                    if r.may_non_finite() && f.ret.as_deref() != Some("Result") {
+                        let what = format!("may return non-finite value: {r}");
+                        escapes.push((
+                            Raw {
+                                rule: "inf_escape",
+                                file: id.0,
+                                line: f.line,
+                                what: what.clone(),
+                            },
+                            vec![f.key(), what],
+                        ));
+                    }
+                }
+            }
+            for (callee, cenv) in ev.calls {
+                if visited.insert(callee) {
+                    parent.insert(callee, id);
+                    queue.push_back((callee, cenv));
+                }
+            }
+        }
+        if hazard_count == 0 {
+            raws.append(&mut escapes);
+        }
+        summaries.push(DomainSummary {
+            root: spec.root.clone(),
+            reason: spec.reason.clone(),
+            resolved: seeds.len(),
+            reached,
+        });
+    }
+
+    // Filter: global (rule, file, line) dedup, scope, policy, allows.
+    let mut findings = Vec::new();
+    let mut seen = BTreeSet::new();
+    for (raw, chain) in raws {
+        let (file, snippet) = if raw.file == usize::MAX {
+            (
+                spec_file.clone(),
+                format!("[[domain]] root = \"{}\"", chain[0]),
+            )
+        } else {
+            let path = files[raw.file].0.clone();
+            let snippet = ctxs
+                .get(&path)
+                .map(|c| snippet_at(c.text, raw.line))
+                .unwrap_or_default();
+            (path, snippet)
+        };
+        if !seen.insert((raw.rule, file.clone(), raw.line)) {
+            continue;
+        }
+        // The spec file is not library code; `stale_domain` anchors
+        // there by design, so the library-scope check does not apply.
+        if raw.rule != "stale_domain" && !rule_in_scope(raw.rule, &file) {
+            continue;
+        }
+        if policy_exempts(policies, raw.rule, &file) {
+            continue;
+        }
+        if let Some(ctx) = ctxs.get(&file) {
+            if ctx.allows.allowed(raw.line, raw.rule) {
+                continue;
+            }
+        }
+        findings.push(LintViolation {
+            rule: raw.rule,
+            file,
+            line: raw.line,
+            snippet,
+            chain,
+        });
+    }
+
+    NumlintAnalysis {
+        roots: summaries,
+        findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::SourceModel;
+    use crate::lint::Allows;
+
+    /// Runs the analysis over a single-file mini-workspace at
+    /// `crates/model/src/x.rs` with the given `[[domain]]` entries
+    /// (root, params as `(key, interval)` pairs).
+    fn run(src: &str, domains: &[(&str, &[(&str, &str)])]) -> NumlintAnalysis {
+        let model = SourceModel::parse(src);
+        let parsed = crate::parser::parse_file(&model);
+        let files = vec![(PathBuf::from("crates/model/src/x.rs"), parsed)];
+        let specs: Vec<DomainSpec> = domains
+            .iter()
+            .enumerate()
+            .map(|(i, (root, params))| DomainSpec {
+                root: root.to_string(),
+                reason: "test".to_string(),
+                line: i + 1,
+                params: params
+                    .iter()
+                    .map(|(k, s)| {
+                        (
+                            k.to_string(),
+                            crate::domain::parse_interval(s).expect("test interval"),
+                        )
+                    })
+                    .collect(),
+            })
+            .collect();
+        let allows = Allows::from_model(&model);
+        let mut ctxs = BTreeMap::new();
+        ctxs.insert(
+            PathBuf::from("crates/model/src/x.rs"),
+            FileCtx {
+                text: src,
+                allows: &allows,
+            },
+        );
+        analyze(&files, &specs, &[], &ctxs)
+    }
+
+    fn rules(a: &NumlintAnalysis) -> Vec<&'static str> {
+        a.findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn div_by_interval_containing_zero_fires() {
+        let a = run(
+            "pub fn f(x: f64) -> f64 { 1.0 / x }\n",
+            &[("f", &[("x", "[0, 1]")])],
+        );
+        assert_eq!(rules(&a), ["div_domain"]);
+    }
+
+    #[test]
+    fn open_zero_endpoint_is_safe() {
+        let a = run(
+            "pub fn f(x: f64) -> f64 { 2.0 / x }\n",
+            &[("f", &[("x", "(0, 1]")])],
+        );
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn unknown_denominator_is_assumed_safe() {
+        let a = run(
+            "pub fn f(x: f64, y: f64) -> f64 { x / y }\n",
+            &[("f", &[("x", "[1, 2]")])],
+        );
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn hazard_propagates_through_calls_with_chain() {
+        let src = "pub fn inner(v: f64) -> f64 { 1.0 / v }\n\
+                   pub fn outer(x: f64) -> f64 { inner(x - 1.0) }\n";
+        let a = run(src, &[("outer", &[("x", "[0, 2]")])]);
+        assert_eq!(rules(&a), ["div_domain"]);
+        assert_eq!(
+            a.findings[0].chain,
+            ["outer", "inner", "denominator may be zero: [-1e0, 1e0]"]
+        );
+    }
+
+    #[test]
+    fn sqrt_of_possibly_negative_is_nan_source() {
+        let a = run(
+            "pub fn f(x: f64) -> f64 { x.sqrt() }\n",
+            &[("f", &[("x", "[-1, 1]")])],
+        );
+        assert_eq!(rules(&a), ["nan_source"]);
+    }
+
+    #[test]
+    fn zero_over_zero_is_nan_source_not_div_domain() {
+        let a = run(
+            "pub fn f(x: f64) -> f64 { x / x }\n",
+            &[("f", &[("x", "[0, 1]")])],
+        );
+        assert_eq!(rules(&a), ["nan_source"]);
+    }
+
+    #[test]
+    fn closed_infinite_endpoint_is_inf_escape() {
+        let a = run(
+            "pub fn g(x: f64) -> f64 { 1.0 + x }\n",
+            &[("g", &[("x", "[0, inf]")])],
+        );
+        assert_eq!(rules(&a), ["inf_escape"]);
+    }
+
+    #[test]
+    fn open_infinite_endpoint_is_not_inf_escape() {
+        // 1/x on (0,1] is [1, +inf) with the inf endpoint *open*
+        // (unbounded but never attained), so no escape.
+        let a = run(
+            "pub fn f(x: f64) -> f64 { 1.0 / x }\n",
+            &[("f", &[("x", "(0, 1]")])],
+        );
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn result_return_suppresses_inf_escape() {
+        let a = run(
+            "pub fn g(x: f64) -> Result<f64, ()> { Ok(1.0 + x) }\n",
+            &[("g", &[("x", "[0, inf]")])],
+        );
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn cancelling_subtraction_denominator_is_cancel_risk() {
+        let a = run(
+            "pub fn f(a: f64, b: f64) -> f64 { 1.0 / (a - b) }\n",
+            &[("f", &[("a", "[1, 2]"), ("b", "[1, 2]")])],
+        );
+        assert_eq!(rules(&a), ["cancel_risk"]);
+    }
+
+    #[test]
+    fn cancel_taint_flows_through_let_binding() {
+        let src = "pub fn f(a: f64, b: f64) -> f64 {\n\
+                   \x20   let d = a - b;\n\
+                   \x20   1.0 / d\n\
+                   }\n";
+        let a = run(src, &[("f", &[("a", "[1, 2]"), ("b", "[1, 2]")])]);
+        assert_eq!(rules(&a), ["cancel_risk"]);
+    }
+
+    #[test]
+    fn disjoint_subtraction_is_not_cancel_risk() {
+        let a = run(
+            "pub fn f(a: f64, b: f64) -> f64 { 1.0 / (a - b) }\n",
+            &[("f", &[("a", "[10, 20]"), ("b", "[1, 2]")])],
+        );
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn unresolved_root_is_stale_domain() {
+        let a = run(
+            "pub fn f(x: f64) -> f64 { x }\n",
+            &[("no_such_fn", &[("x", "[0, 1]")])],
+        );
+        assert_eq!(rules(&a), ["stale_domain"]);
+        assert_eq!(a.findings[0].file, PathBuf::from("specs/pftk-spec.toml"));
+        assert_eq!(a.roots[0].resolved, 0);
+    }
+
+    #[test]
+    fn unbindable_key_is_stale_domain() {
+        let a = run(
+            "pub fn f(x: f64) -> f64 { x }\n",
+            &[("f", &[("y", "[0, 1]")])],
+        );
+        assert_eq!(rules(&a), ["stale_domain"]);
+        assert!(a.findings[0].chain.iter().any(|c| c == "f"));
+    }
+
+    #[test]
+    fn struct_field_domains_bind_through_params() {
+        let src = "pub struct P {\n    pub rtt: f64,\n}\n\
+                   pub fn f(p: f64, params: &P) -> f64 { p / params.rtt }\n";
+        let a = run(src, &[("f", &[("p", "(0, 1)"), ("rtt", "[0, 10]")])]);
+        assert_eq!(rules(&a), ["div_domain"]);
+    }
+
+    #[test]
+    fn struct_fields_pass_through_to_callees() {
+        let src = "pub struct P {\n    pub rtt: f64,\n}\n\
+                   pub fn inner(q: f64, params: &P) -> f64 { q / params.rtt }\n\
+                   pub fn outer(p: f64, params: &P) -> f64 { inner(p, params) }\n";
+        let a = run(src, &[("outer", &[("p", "(0, 1)"), ("rtt", "[0, 10]")])]);
+        assert_eq!(rules(&a), ["div_domain"]);
+        assert_eq!(a.findings[0].line, 4);
+    }
+
+    #[test]
+    fn allow_comment_suppresses() {
+        let src = "pub fn f(x: f64) -> f64 {\n\
+                   \x20   //~ allow(div_domain): boundary behavior is tested\n\
+                   \x20   1.0 / x\n\
+                   }\n";
+        let a = run(src, &[("f", &[("x", "[0, 1]")])]);
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn branch_values_hull() {
+        // Both arms contribute to the hull: the else arm's 0.0 keeps
+        // zero in y's range even though the then arm is positive.
+        let src = "pub fn f(x: f64) -> f64 {\n\
+                   \x20   let y = if x > 0.5 { x } else { 0.0 };\n\
+                   \x20   1.0 / y\n\
+                   }\n";
+        let a = run(src, &[("f", &[("x", "[0, 1]")])]);
+        assert_eq!(rules(&a), ["div_domain"]);
+    }
+
+    #[test]
+    fn guard_refinement_narrows_branch_ranges() {
+        // x > 0.5 in the then arm and the else arm's 1.0 both exclude
+        // zero, so the guard proves the division total.
+        let src = "pub fn f(x: f64) -> f64 {\n\
+                   \x20   let y = if x > 0.5 { x } else { 1.0 };\n\
+                   \x20   1.0 / y\n\
+                   }\n";
+        let a = run(src, &[("f", &[("x", "[0, 1]")])]);
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn divergent_then_branch_refines_continuation() {
+        // The `if w <= 0.0 { return … }` idiom: past the early return
+        // the analyzer knows w > 0, so the division is total.
+        let src = "pub fn f(w: f64) -> f64 {\n\
+                   \x20   if w <= 0.0 {\n\
+                   \x20       return 1.0;\n\
+                   \x20   }\n\
+                   \x20   1.0 / w\n\
+                   }\n";
+        let a = run(src, &[("f", &[("w", "[-1, 1]")])]);
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+        // Without the guard the same division must keep the finding.
+        let src2 = "pub fn f(w: f64) -> f64 { 1.0 / w }\n";
+        let a2 = run(src2, &[("f", &[("w", "[-1, 1]")])]);
+        assert_eq!(rules(&a2), ["div_domain"]);
+    }
+
+    #[test]
+    fn loop_accumulator_widens_out_of_point_range() {
+        // `den` starts at the point 0.0 but the loop body adds an
+        // unknown amount: the single-unroll merge must widen it to
+        // Unknown instead of reporting a certain division by zero.
+        let src = "pub fn f(x: f64, xs: &[f64]) -> f64 {\n\
+                   \x20   let mut den = 0.0;\n\
+                   \x20   for v in xs {\n\
+                   \x20       den += v * x;\n\
+                   \x20   }\n\
+                   \x20   1.0 / den\n\
+                   }\n";
+        let a = run(src, &[("f", &[("x", "[0, 1]")])]);
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn branch_assignment_merges_into_continuation() {
+        // A then-branch assignment must widen the caller's view of the
+        // variable: y is 0.0 only when x ≥ 0.5, but the hull over both
+        // paths still contains zero.
+        let src = "pub fn f(x: f64) -> f64 {\n\
+                   \x20   let mut y = 1.0;\n\
+                   \x20   if x >= 0.5 {\n\
+                   \x20       y = 0.0;\n\
+                   \x20   }\n\
+                   \x20   1.0 / y\n\
+                   }\n";
+        let a = run(src, &[("f", &[("x", "[0, 1]")])]);
+        assert_eq!(rules(&a), ["div_domain"]);
+    }
+
+    #[test]
+    fn min_max_and_literal_arithmetic_transfer() {
+        // (x.max(0.5) + 1.0) is within [1.5, 2.0]: no hazard dividing.
+        let src = "pub fn f(x: f64) -> f64 { 1.0 / (x.max(0.5) + 1.0) }\n";
+        let a = run(src, &[("f", &[("x", "[0, 1]")])]);
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn reached_counts_propagated_functions() {
+        let src = "pub fn inner(v: f64) -> f64 { v + 1.0 }\n\
+                   pub fn outer(x: f64) -> f64 { inner(x) }\n";
+        let a = run(src, &[("outer", &[("x", "[0, 1]")])]);
+        assert_eq!(a.roots[0].resolved, 1);
+        assert_eq!(a.roots[0].reached, 2);
+    }
+}

@@ -47,6 +47,9 @@ pub struct FnItem {
     /// `(binding, type-head)` for each simple typed parameter; `self`
     /// receivers and non-trivial patterns are omitted.
     pub params: Vec<(String, String)>,
+    /// Return-type head (`-> Result<f64, ModelError>` → `Result`), or
+    /// `None` for `()`-returning functions.
+    pub ret: Option<String>,
     /// Token index range `[start, end)` of the body *interior* (between
     /// the braces), or `None` for bodyless declarations.
     pub body: Option<(usize, usize)>,
@@ -561,29 +564,46 @@ impl<'a> Parser<'a> {
         let params = self.parse_params(&param_pieces);
         // Signature tail: find the body `{` or a terminating `;` at
         // bracket/paren depth 0 (angles tracked for `-> Vec<Foo<'a>>`).
+        // Tokens between `->` and a `where` clause or the body are the
+        // return type; its head feeds the `inf_escape` Result check.
         let mut k = after_params;
         let mut nest = 0i64;
         let mut body = None;
+        let mut arrow: Option<usize> = None;
+        let mut ret_stop: Option<usize> = None;
         while k < self.toks.len() {
             let t = &self.toks[k];
             if t.kind == TokenKind::Punct {
                 match t.text.as_str() {
                     "(" | "[" => nest += 1,
                     ")" | "]" => nest -= 1,
+                    "->" if nest == 0 && arrow.is_none() => arrow = Some(k + 1),
                     ";" if nest == 0 => {
+                        ret_stop.get_or_insert(k);
                         k += 1;
                         break;
                     }
                     "{" if nest == 0 => {
+                        ret_stop.get_or_insert(k);
                         let close = self.matching_brace(k);
                         body = Some((k + 1, close));
                         break;
                     }
                     _ => {}
                 }
+            } else if t.kind == TokenKind::Ident && t.text == "where" && nest == 0 {
+                // A where clause ends the return type but not the tail:
+                // keep scanning for the body brace.
+                ret_stop.get_or_insert(k);
             }
             k += 1;
         }
+        let ret = arrow.and_then(|a| {
+            let stop = ret_stop
+                .unwrap_or(self.toks.len())
+                .clamp(a, self.toks.len());
+            type_head(&self.toks[a..stop])
+        });
         let (self_type, trait_name) = match self.impls.last() {
             Some(ctx) => (ctx.self_type.clone(), ctx.trait_name.clone()),
             None => (None, None),
@@ -595,6 +615,7 @@ impl<'a> Parser<'a> {
             line,
             in_test,
             params,
+            ret,
             body,
         });
         // Resume *at* the body brace so depth tracking and nested items
@@ -765,5 +786,90 @@ mod tests {
         let p = parse(src);
         assert_eq!(p.fns[0].key(), "Conn::run");
         assert_eq!(p.fns[0].params, [("budget".into(), "Budget".into())]);
+        assert_eq!(p.fns[0].ret.as_deref(), Some("Vec"));
+    }
+
+    #[test]
+    fn return_type_heads() {
+        let src = "fn a() -> f64 { 0.0 }\n\
+                   fn b(p: f64) -> Result<f64, ModelError> { Ok(p) }\n\
+                   fn c() {}\n\
+                   fn d() -> (f64, f64) { (0.0, 0.0) }\n";
+        let p = parse(src);
+        assert_eq!(p.fns[0].ret.as_deref(), Some("f64"));
+        assert_eq!(p.fns[1].ret.as_deref(), Some("Result"));
+        assert_eq!(p.fns[2].ret, None);
+        // Tuple return: no ident at angle-depth 0 outside the parens —
+        // the head degrades to the last component, which is acceptable
+        // for the Result-or-not distinction the consumer makes.
+        assert!(p.fns[3].body.is_some());
+    }
+
+    #[test]
+    fn const_fn_and_qualifier_stacks() {
+        let src = "pub const fn floor() -> f64 { 1e-12 }\n\
+                   pub(crate) async unsafe fn go(x: u64) -> u64 { x }\n\
+                   extern \"C\" fn cb(v: f64) -> f64 { v }\n";
+        let p = parse(src);
+        let keys: Vec<String> = p.fns.iter().map(|f| f.key()).collect();
+        assert_eq!(keys, ["floor", "go", "cb"]);
+        assert_eq!(p.fns[0].ret.as_deref(), Some("f64"));
+        assert_eq!(p.fns[1].params, [("x".into(), "u64".into())]);
+    }
+
+    #[test]
+    fn fn_level_where_clause_does_not_pollute_return_type() {
+        let src = "fn fold<T, F>(init: T, f: F) -> T\nwhere\n    F: Fn(T) -> T,\n    T: Clone,\n{ init }\n\
+                   fn after() -> usize { 0 }\n";
+        let p = parse(src);
+        assert_eq!(p.fns[0].key(), "fold");
+        assert_eq!(
+            p.fns[0].ret.as_deref(),
+            Some("T"),
+            "where-clause predicates must not replace the return head"
+        );
+        assert!(p.fns[0].body.is_some());
+        assert_eq!(p.fns[1].key(), "after");
+        assert_eq!(p.fns[1].ret.as_deref(), Some("usize"));
+    }
+
+    #[test]
+    fn lifetime_heavy_signatures() {
+        let src = "fn pick<'a, 'b: 'a>(xs: &'a [Sample<'b>], k: usize) -> &'a Sample<'b> { &xs[k] }\n\
+                   impl<'w> Wheel<'w> {\n  fn slot(&'w self, at: Tick) -> Option<&'w Slot> { None }\n}\n";
+        let p = parse(src);
+        assert_eq!(p.fns[0].key(), "pick");
+        assert_eq!(
+            p.fns[0].params,
+            [("xs".into(), "Sample".into()), ("k".into(), "usize".into())]
+        );
+        assert_eq!(p.fns[0].ret.as_deref(), Some("Sample"));
+        assert_eq!(p.fns[1].key(), "Wheel::slot");
+        assert_eq!(p.fns[1].ret.as_deref(), Some("Option"));
+    }
+
+    #[test]
+    fn nested_generic_params_and_const_generics() {
+        let src = "fn merge<const N: usize>(lanes: [Ev; 4], map: BTreeMap<String, Vec<(u64, f64)>>) -> usize { N }\n\
+                   fn after() {}\n";
+        let p = parse(src);
+        assert_eq!(p.fns.len(), 2, "{:?}", p.fns);
+        assert_eq!(
+            p.fns[0].params,
+            [
+                ("lanes".into(), "Ev".into()),
+                ("map".into(), "BTreeMap".into())
+            ]
+        );
+        assert_eq!(p.fns[0].ret.as_deref(), Some("usize"));
+    }
+
+    #[test]
+    fn impl_trait_return_and_dyn_boxes() {
+        let src = "fn stream() -> impl Iterator<Item = f64> { std::iter::empty() }\n\
+                   fn boxed() -> Box<dyn Fn(f64) -> f64> { Box::new(|x| x) }\n";
+        let p = parse(src);
+        assert_eq!(p.fns[0].ret.as_deref(), Some("Iterator"));
+        assert_eq!(p.fns[1].ret.as_deref(), Some("Box"));
     }
 }

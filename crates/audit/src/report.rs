@@ -85,6 +85,19 @@ pub struct AtomicSiteJson {
     pub allowed: bool,
 }
 
+/// JSON shape of one `[[domain]]` root's numeric-analysis summary.
+#[derive(Debug, Serialize)]
+pub struct DomainJson {
+    /// Registry key (`Type::method` or fn name).
+    pub root: String,
+    /// Why the domain matters.
+    pub reason: String,
+    /// Function definitions the key resolved to (0 fails the gate).
+    pub resolved: u64,
+    /// Functions the interval propagation reached from the root.
+    pub reached: u64,
+}
+
 /// JSON shape of one `[[policy]]` lint exemption.
 #[derive(Debug, Serialize)]
 pub struct PolicyJson {
@@ -122,6 +135,12 @@ pub struct ReportJson {
     pub policies: Vec<PolicyJson>,
     /// The hot-path root registry with reachability counts.
     pub hotpaths: Vec<HotpathJson>,
+    /// The numeric-domain root registry with propagation counts.
+    pub domains: Vec<DomainJson>,
+    /// Wall-clock milliseconds per pass group plus `"total"`. The only
+    /// machine-dependent part of the report: CI's freshness diff masks
+    /// these lines, and the gate test bounds `"total"` instead.
+    pub timings_ms: BTreeMap<String, u64>,
 }
 
 fn level_str(level: Level) -> &'static str {
@@ -220,6 +239,21 @@ pub fn to_json(outcome: &AuditOutcome) -> ReportJson {
                 reached: r.reached as u64,
             })
             .collect(),
+        domains: outcome
+            .domains
+            .iter()
+            .map(|r| DomainJson {
+                root: r.root.clone(),
+                reason: r.reason.clone(),
+                resolved: r.resolved as u64,
+                reached: r.reached as u64,
+            })
+            .collect(),
+        timings_ms: outcome
+            .timings_ms
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), *v))
+            .collect(),
     }
 }
 
@@ -304,6 +338,38 @@ pub fn render_summary(outcome: &AuditOutcome) -> String {
             );
         }
     }
+    if !outcome.domains.is_empty() {
+        let reached: usize = outcome.domains.iter().map(|r| r.reached).sum();
+        let unresolved = outcome.domains.iter().filter(|r| r.resolved == 0).count();
+        push(
+            &mut out,
+            &format!(
+                "domains: {} roots, {reached} fns interpreted, {unresolved} unresolved",
+                outcome.domains.len()
+            ),
+        );
+        for r in outcome.domains.iter().filter(|r| r.resolved == 0) {
+            push(
+                &mut out,
+                &format!(
+                    "ERROR domain root {:?} resolves to no function (stale registry entry?)",
+                    r.root
+                ),
+            );
+        }
+    }
+    if let Some(total) = outcome.timings_ms.get("total") {
+        let per_pass: Vec<String> = outcome
+            .timings_ms
+            .iter()
+            .filter(|(k, _)| **k != "total")
+            .map(|(k, v)| format!("{k}={v}ms"))
+            .collect();
+        push(
+            &mut out,
+            &format!("timing: total={total}ms ({})", per_pass.join(" ")),
+        );
+    }
 
     for c in conf.uncovered_must() {
         let missing = match (c.impl_sites.is_empty(), c.test_sites.is_empty()) {
@@ -382,6 +448,8 @@ mod tests {
             atomics: Vec::new(),
             policies: Vec::new(),
             hotpaths: Vec::new(),
+            domains: Vec::new(),
+            timings_ms: BTreeMap::new(),
         }
     }
 
@@ -449,6 +517,44 @@ mod tests {
         assert!(text.contains("verdict: FAIL"));
         assert!(text.contains("lint[unwrap]"));
         assert!(text.contains("unwrap=1"), "{text}");
+    }
+
+    #[test]
+    fn unresolved_domain_root_fails_and_renders() {
+        let mut bad = outcome();
+        bad.domains.push(crate::numlint::DomainSummary {
+            root: "ghost_kernel".into(),
+            reason: "r".into(),
+            resolved: 0,
+            reached: 0,
+        });
+        assert!(!bad.is_clean());
+        let text = render_summary(&bad);
+        assert!(text.contains("domains: 1 roots"), "{text}");
+        assert!(
+            text.contains("ERROR domain root \"ghost_kernel\""),
+            "{text}"
+        );
+        let json = serde_json::to_string(&to_json(&bad)).unwrap();
+        assert!(
+            json.contains("\"domains\":[{\"root\":\"ghost_kernel\""),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn timings_render_and_serialize() {
+        let mut ok = outcome();
+        ok.timings_ms.insert("scanner", 3);
+        ok.timings_ms.insert("numlint", 12);
+        ok.timings_ms.insert("total", 40);
+        let text = render_summary(&ok);
+        assert!(
+            text.contains("timing: total=40ms (numlint=12ms scanner=3ms)"),
+            "{text}"
+        );
+        let json = serde_json::to_string(&to_json(&ok)).unwrap();
+        assert!(json.contains("\"timings_ms\":{\"numlint\":12"), "{json}");
     }
 
     #[test]

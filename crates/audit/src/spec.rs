@@ -94,6 +94,32 @@ pub struct HotpathRoot {
     pub reason: String,
 }
 
+/// One `[[domain]]` entry: a numeric-domain root for the value-range
+/// analysis (see `crate::numlint`).
+///
+/// Besides `root` and `reason`, every other key declares the input
+/// interval of one parameter (or one field of a parameter's struct
+/// type), written as an interval literal:
+///
+/// ```toml
+/// [[domain]]
+/// root = "full_model"
+/// reason = "Eq. (32) is only meaningful for measurable loss"
+/// p = "[1e-12, 0.999999999999]"
+/// rtt = "[0.001, 10]"
+/// ```
+#[derive(Debug, Clone)]
+pub struct DomainSpec {
+    /// Graph key: `Type::method` for methods, a bare name for free fns.
+    pub root: String,
+    /// Mandatory justification tying the root to the paper's domain.
+    pub reason: String,
+    /// 1-based line of the `[[domain]]` header in the spec file.
+    pub line: usize,
+    /// Declared input intervals keyed by parameter / field name.
+    pub params: BTreeMap<String, crate::domain::Range>,
+}
+
 /// One `[[policy]]` entry: a path-scoped lint exemption.
 #[derive(Debug, Clone)]
 pub struct LintPolicy {
@@ -115,6 +141,8 @@ pub struct Registry {
     pub policies: Vec<LintPolicy>,
     /// Hot-path analysis roots in file order.
     pub hotpaths: Vec<HotpathRoot>,
+    /// Numeric-domain roots in file order.
+    pub domains: Vec<DomainSpec>,
     index: BTreeMap<String, usize>,
 }
 
@@ -144,11 +172,14 @@ pub fn parse_spec(text: &str) -> Result<Registry, String> {
         Policy,
         /// A `[[hotpath]]` entry.
         Hotpath,
+        /// A `[[domain]]` entry.
+        Domain,
     }
 
     let mut claims: Vec<Claim> = Vec::new();
     let mut policies: Vec<LintPolicy> = Vec::new();
     let mut hotpaths: Vec<HotpathRoot> = Vec::new();
+    let mut domains: Vec<DomainSpec> = Vec::new();
     let mut index = BTreeMap::new();
     let mut current: Option<Partial> = None;
     let mut section = Section::Spec;
@@ -184,6 +215,61 @@ pub fn parse_spec(text: &str) -> Result<Registry, String> {
                 return Err(format!("{at}: reason must be non-empty"));
             }
             hotpaths.push(entry);
+            Ok(())
+        };
+
+    let finish_domain =
+        |partial: Option<Partial>, domains: &mut Vec<DomainSpec>| -> Result<(), String> {
+            let Some(p) = partial else { return Ok(()) };
+            let at = format!("[[domain]] at line {}", p.line);
+            let take = |key: &str| -> Result<String, String> {
+                p.fields
+                    .get(key)
+                    .cloned()
+                    .ok_or_else(|| format!("{at}: missing required key {key:?}"))
+            };
+            let root = take("root")?;
+            let reason = take("reason")?;
+            let valid_shape = match root.split_once("::") {
+                Some((t, m)) => is_ident_str(t) && is_ident_str(m),
+                None => is_ident_str(&root),
+            };
+            if !valid_shape {
+                return Err(format!(
+                    "{at}: root {root:?} is not `Type::method` or a bare fn name"
+                ));
+            }
+            if reason.trim().is_empty() {
+                return Err(format!("{at}: reason must be non-empty"));
+            }
+            // Every other key declares one parameter's interval; parse it
+            // eagerly so a malformed interval fails the spec load, not
+            // silently weakens the analysis.
+            let mut params = BTreeMap::new();
+            for (key, value) in &p.fields {
+                if key == "root" || key == "reason" {
+                    continue;
+                }
+                if !is_ident_str(key) {
+                    return Err(format!("{at}: parameter key {key:?} is not an identifier"));
+                }
+                let range = crate::domain::parse_interval(value).ok_or_else(|| {
+                    format!(
+                        "{at}: {key} = {value:?} is not an interval \
+                         (expected e.g. \"[1e-12, 0.5]\" or \"(0, inf)\")"
+                    )
+                })?;
+                params.insert(key.clone(), range);
+            }
+            if params.is_empty() {
+                return Err(format!("{at}: declares no parameter intervals"));
+            }
+            domains.push(DomainSpec {
+                root,
+                reason,
+                line: p.line,
+                params,
+            });
             Ok(())
         };
 
@@ -260,11 +346,15 @@ pub fn parse_spec(text: &str) -> Result<Registry, String> {
         if line.is_empty() {
             continue;
         }
-        if line == "[[claim]]" || line == "[[policy]]" || line == "[[hotpath]]" {
+        if matches!(
+            line,
+            "[[claim]]" | "[[policy]]" | "[[hotpath]]" | "[[domain]]"
+        ) {
             match section {
                 Section::Claim => finish(current.take(), &mut claims, &mut index)?,
                 Section::Policy => finish_policy(current.take(), &mut policies)?,
                 Section::Hotpath => finish_hotpath(current.take(), &mut hotpaths)?,
+                Section::Domain => finish_domain(current.take(), &mut domains)?,
                 Section::Spec => {}
             }
             current = Some(Partial {
@@ -274,6 +364,7 @@ pub fn parse_spec(text: &str) -> Result<Registry, String> {
             section = match line {
                 "[[claim]]" => Section::Claim,
                 "[[policy]]" => Section::Policy,
+                "[[domain]]" => Section::Domain,
                 _ => Section::Hotpath,
             };
         } else if line.starts_with("[[") {
@@ -283,6 +374,7 @@ pub fn parse_spec(text: &str) -> Result<Registry, String> {
                 Section::Claim => finish(current.take(), &mut claims, &mut index)?,
                 Section::Policy => finish_policy(current.take(), &mut policies)?,
                 Section::Hotpath => finish_hotpath(current.take(), &mut hotpaths)?,
+                Section::Domain => finish_domain(current.take(), &mut domains)?,
                 Section::Spec => {}
             }
             section = Section::Spec;
@@ -306,6 +398,7 @@ pub fn parse_spec(text: &str) -> Result<Registry, String> {
         Section::Claim => finish(current.take(), &mut claims, &mut index)?,
         Section::Policy => finish_policy(current.take(), &mut policies)?,
         Section::Hotpath => finish_hotpath(current.take(), &mut hotpaths)?,
+        Section::Domain => finish_domain(current.take(), &mut domains)?,
         Section::Spec => {}
     }
 
@@ -316,6 +409,7 @@ pub fn parse_spec(text: &str) -> Result<Registry, String> {
         claims,
         policies,
         hotpaths,
+        domains,
         index,
     })
 }
@@ -518,6 +612,42 @@ mod tests {
         assert!(parse_spec(no_reason)
             .unwrap_err()
             .contains("missing required key \"reason\""));
+    }
+
+    #[test]
+    fn parses_domain_entries() {
+        let text = "[[claim]]\nid = \"x\"\nlevel = \"MUST\"\nsection = \"I\"\n\
+                    title = \"t\"\nquote = \"q\"\n\n\
+                    [[domain]]\nroot = \"td_only\"\nreason = \"Eq. 20 domain\"\n\
+                    p = \"[1e-12, 0.999999999999]\"\nrtt = \"(0, 10]\"\n";
+        let reg = parse_spec(text).unwrap();
+        assert_eq!(reg.domains.len(), 1);
+        let d = &reg.domains[0];
+        assert_eq!(d.root, "td_only");
+        assert_eq!(d.params.len(), 2);
+        let p = &d.params["p"];
+        assert_eq!((p.lo, p.hi), (1e-12, 0.999999999999));
+        assert!(d.params["rtt"].lo_open);
+    }
+
+    #[test]
+    fn rejects_bad_domains() {
+        let claim = "[[claim]]\nid = \"x\"\nlevel = \"MUST\"\nsection = \"I\"\n\
+                     title = \"t\"\nquote = \"q\"\n";
+        let bad_interval =
+            format!("{claim}[[domain]]\nroot = \"f\"\nreason = \"r\"\np = \"oops\"\n");
+        assert!(parse_spec(&bad_interval)
+            .unwrap_err()
+            .contains("is not an interval"));
+        let no_params = format!("{claim}[[domain]]\nroot = \"f\"\nreason = \"r\"\n");
+        assert!(parse_spec(&no_params)
+            .unwrap_err()
+            .contains("declares no parameter intervals"));
+        let bad_root =
+            format!("{claim}[[domain]]\nroot = \"a::b::c\"\nreason = \"r\"\np = \"[0, 1]\"\n");
+        assert!(parse_spec(&bad_root)
+            .unwrap_err()
+            .contains("not `Type::method`"));
     }
 
     #[test]

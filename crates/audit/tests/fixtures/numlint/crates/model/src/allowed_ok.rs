@@ -1,0 +1,8 @@
+//! Clean-by-annotation file: the seeded division hazard carries a
+//! justified `//~ allow`, which must suppress the finding.
+
+/// Division a caller-side invariant keeps safe (fixture).
+pub fn guarded_inverse(x: f64) -> f64 {
+    //~ allow(div_domain): callers validate x against zero upstream
+    1.0 / x
+}

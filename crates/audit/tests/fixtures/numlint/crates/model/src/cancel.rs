@@ -1,0 +1,9 @@
+//! Seeded bug: the denominator is the difference of two same-sign,
+//! overlapping quantities — catastrophic cancellation feeding a divide.
+
+/// `a` and `b` share the interval `[1, 2]`, so `a - b` keeps only
+/// rounding error when they are close (fixture).
+pub fn gap_ratio(a: f64, b: f64) -> f64 {
+    let d = a - b;
+    1.0 / d
+}

@@ -1,0 +1,15 @@
+//! Seeded bug: division by zero two calls below the declared root —
+//! the finding must carry the full `top -> mid -> leaf` chain.
+
+/// Declared root: forwards its argument down the helper chain.
+pub fn top(x: f64) -> f64 {
+    mid(x)
+}
+
+fn mid(x: f64) -> f64 {
+    leaf(x)
+}
+
+fn leaf(d: f64) -> f64 {
+    2.0 / d
+}

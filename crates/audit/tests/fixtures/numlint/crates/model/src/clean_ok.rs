@@ -1,0 +1,7 @@
+//! Clean file: total over its declared domain, so the analyzer must
+//! stay quiet.
+
+/// Denominator is bounded in `[2, 3]`: provably total (fixture).
+pub fn safe_rate(x: f64, y: f64) -> f64 {
+    (x + 1.0) / (y + 2.0)
+}

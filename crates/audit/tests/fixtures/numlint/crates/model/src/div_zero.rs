@@ -1,0 +1,6 @@
+//! Seeded bug: denominator interval contains zero.
+
+/// Kernel whose declared domain lets the denominator vanish (fixture).
+pub fn inverse(x: f64) -> f64 {
+    1.0 / x
+}

@@ -1,0 +1,8 @@
+//! Seeded bug: silent overflow — the product saturates to +inf on part
+//! of the declared domain and the root returns bare `f64`, so nothing
+//! downstream can tell the rate from a real one.
+
+/// Attains `f64::INFINITY` at the top of its domain (fixture).
+pub fn blowup(x: f64) -> f64 {
+    x * f64::MAX
+}

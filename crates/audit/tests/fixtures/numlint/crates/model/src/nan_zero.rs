@@ -1,0 +1,12 @@
+//! Seeded bugs: two distinct NaN sources — a 0/0 ratio and a square
+//! root of a possibly-negative argument.
+
+/// Both operand intervals contain zero, so 0/0 is reachable (fixture).
+pub fn zero_over_zero(x: f64, y: f64) -> f64 {
+    x / y
+}
+
+/// The radicand dips below zero on part of the declared domain (fixture).
+pub fn sqrt_of_negative(x: f64) -> f64 {
+    (0.5 - x).sqrt()
+}

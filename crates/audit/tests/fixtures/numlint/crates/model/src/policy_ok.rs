@@ -1,0 +1,7 @@
+//! Clean-by-policy file: the seeded 0/0 is exempted by a `[[policy]]`
+//! entry in the fixture spec, which must suppress the finding.
+
+/// Ratio the fixture policy exempts from `nan_source` (fixture).
+pub fn ratio(x: f64, y: f64) -> f64 {
+    x / y
+}

@@ -1,0 +1,7 @@
+//! Clean kernel whose `[[domain]]` entry declares a parameter that no
+//! longer exists — the registry drifted from the code (fixture).
+
+/// Doubles its input; the spec still declares a vanished `nope` key.
+pub fn scale(x: f64) -> f64 {
+    x * 2.0
+}

@@ -1,0 +1,95 @@
+//! Golden tests for the numeric-domain analysis: a seeded fixture
+//! mini-workspace under `tests/fixtures/numlint/` (its own spec with a
+//! `[[domain]]` registry, a `crates/model/src` tree of deliberately
+//! buggy kernels that are never compiled) is audited end-to-end through
+//! [`pftk_audit::run_audit`], and every finding — rule, site, and full
+//! propagation chain — is compared against the checked-in
+//! `expected.txt`.
+//!
+//! The corpus seeds one bug per rule: a vanishing denominator, a 0/0
+//! ratio plus a negative radicand, a silent overflow to `f64::MAX`·x, a
+//! near-cancelling subtraction feeding a divide, a hazard two calls
+//! below its root (chain evidence), and two stale registry entries (a
+//! vanished parameter key and a vanished root). Three controls — a
+//! provably-total kernel, a justified `//~ allow`, and a `[[policy]]`
+//! exemption — prove the pass stays quiet when it should.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/numlint")
+}
+
+fn outcome() -> pftk_audit::AuditOutcome {
+    pftk_audit::run_audit(&fixture_root()).expect("fixture audit runs")
+}
+
+fn render(outcome: &pftk_audit::AuditOutcome) -> String {
+    let mut s = String::new();
+    for v in &outcome.lint {
+        write!(s, "{} {}:{}", v.rule, v.file.display(), v.line).unwrap();
+        if !v.chain.is_empty() {
+            write!(s, " via {}", v.chain.join(" -> ")).unwrap();
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[test]
+fn every_seeded_domain_bug_is_flagged_with_its_chain() {
+    let actual = render(&outcome());
+    let golden = fixture_root().join("expected.txt");
+    let expected = std::fs::read_to_string(&golden).expect("golden file");
+    assert_eq!(
+        actual,
+        expected,
+        "fixture findings diverged from {} — if the change is intended, \
+         update the golden file",
+        golden.display()
+    );
+}
+
+#[test]
+fn domain_roots_resolve_except_the_seeded_ghost() {
+    let outcome = outcome();
+    assert_eq!(outcome.domains.len(), 11, "{:?}", outcome.domains);
+    for root in &outcome.domains {
+        if root.root == "ghost_fn" {
+            assert_eq!(root.resolved, 0, "{root:?}");
+        } else {
+            assert!(root.resolved > 0, "unresolved root {root:?}");
+            assert!(root.reached >= root.resolved, "{root:?}");
+        }
+    }
+    // The chain case really walks top -> mid -> leaf.
+    let top = outcome
+        .domains
+        .iter()
+        .find(|r| r.root == "top")
+        .expect("top root present");
+    assert_eq!(top.reached, 3, "{top:?}");
+    // A stale root alone fails the gate.
+    assert!(!outcome.is_clean());
+}
+
+#[test]
+fn clean_allow_and_policy_controls_stay_clean() {
+    let outcome = outcome();
+    for clean in ["clean_ok.rs", "allowed_ok.rs", "policy_ok.rs"] {
+        assert!(
+            !outcome.lint.iter().any(|v| v.file.ends_with(clean)),
+            "{clean} should have no findings: {:?}",
+            outcome.lint
+        );
+    }
+}
+
+#[test]
+fn per_pass_timings_cover_every_pass_group() {
+    let timings = &outcome().timings_ms;
+    for key in ["scanner", "detlint", "hotlint", "numlint", "total"] {
+        assert!(timings.contains_key(key), "missing timing {key:?}");
+    }
+}

@@ -42,6 +42,10 @@ pub fn tcp_friendly_rate(p: LossProb, params: &ModelParams, model: ModelKind) ->
 /// Fails with [`ModelError::TargetOutOfRange`] if the target exceeds what
 /// TCP could do even at negligible loss (`≈ min(W_m/RTT, B(p→0))`) or is
 /// below `B(p → 1)`.
+///
+/// A `[[domain]]` root: proven total (a panic-free, finite result or a
+/// typed error) over the input intervals declared in
+/// `specs/pftk-spec.toml` by the audit's value-range pass.
 pub fn loss_for_rate(target_rate: f64, params: &ModelParams) -> Result<LossProb, ModelError> {
     if !(target_rate.is_finite() && target_rate > 0.0) {
         return Err(ModelError::NonPositive {

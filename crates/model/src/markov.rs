@@ -74,6 +74,10 @@ impl MarkovModel {
     /// `params.wmax` bounds the state space, so it must be finite and modest
     /// (the paper's Fig. 12 uses `W_m = 12`); values above 4096 are rejected
     /// to keep the solve tractable.
+    ///
+    /// A `[[domain]]` root: proven total over the input intervals declared
+    /// in `specs/pftk-spec.toml` by the audit's value-range pass (whose
+    /// registry caps `wmax` at 64 — the chain walk is `O(1/(p·wmax))`).
     //= pftk#markov-crosscheck
     //= pftk#loss-model
     pub fn solve(p: LossProb, params: &ModelParams) -> Result<Self, ModelError> {

@@ -65,6 +65,9 @@ pub struct FullModelOutput {
 /// This is the model of refs \[8\] and \[9\] (with \[9\]'s delayed-ACK factor
 /// `b`); it ignores timeouts and the receiver window, which is exactly the
 /// failure mode the paper's evaluation (Figs. 7–10) demonstrates.
+///
+/// A `[[domain]]` root: proven total over the input intervals declared in
+/// `specs/pftk-spec.toml` by the audit's value-range pass.
 //= pftk#eq-20
 pub fn td_only(p: LossProb, params: &ModelParams) -> f64 {
     let b = f64::from(params.b);
@@ -88,6 +91,9 @@ pub fn td_only_exact(p: LossProb, params: &ModelParams) -> f64 {
 /// B(p) = ─────────────────────────────────────────────
 ///          RTT·(E[X]+1) + Q̂(E[W]) · T0 · f(p)/(1-p)
 /// ```
+///
+/// A `[[domain]]` root: proven total over the input intervals declared in
+/// `specs/pftk-spec.toml` by the audit's value-range pass.
 //= pftk#eq-28
 //= pftk#eq-26
 pub fn td_to_model(p: LossProb, params: &ModelParams) -> f64 {
@@ -153,6 +159,9 @@ pub fn full_model_detailed(p: LossProb, params: &ModelParams) -> FullModelOutput
 /// let rate = full_model(LossProb::new(0.02).unwrap(), &params);
 /// assert!(rate > 0.0 && rate <= params.window_limited_rate());
 /// ```
+///
+/// A `[[domain]]` root: proven total over the input intervals declared in
+/// `specs/pftk-spec.toml` by the audit's value-range pass.
 pub fn full_model(p: LossProb, params: &ModelParams) -> f64 {
     full_model_detailed(p, params).rate
 }
@@ -163,6 +172,9 @@ pub fn full_model(p: LossProb, params: &ModelParams) -> f64 {
 /// B(p) = min( W_m/RTT,
 ///             1 / ( RTT·sqrt(2bp/3) + T0·min(1, 3·sqrt(3bp/8))·p·(1+32p²) ) )
 /// ```
+///
+/// A `[[domain]]` root: proven total over the input intervals declared in
+/// `specs/pftk-spec.toml` by the audit's value-range pass.
 //= pftk#eq-33
 pub fn approx_model(p: LossProb, params: &ModelParams) -> f64 {
     let pv = p.get();

@@ -22,6 +22,9 @@ use crate::window::{expected_rounds, expected_rounds_limited, expected_window};
 
 /// Receiver throughput `T(p)` in packets per second — Eq. (34) with the
 /// §V numerator substitutions, both regimes of Eq. (37), general `b`.
+///
+/// A `[[domain]]` root: proven total over the input intervals declared in
+/// `specs/pftk-spec.toml` by the audit's value-range pass.
 pub fn throughput(p: LossProb, params: &ModelParams) -> f64 {
     let ewu = expected_window(p, params.b);
     let wm = f64::from(params.wmax);

@@ -67,6 +67,19 @@ pub fn q_hat_definitional(p: LossProb, w: u32) -> f64 {
     (direct + via_last).min(1.0)
 }
 
+/// `1 − (1−p)^x`, evaluated as `−expm1(x · ln1p(−p))`.
+///
+/// The literal form `1.0 - q.powf(x)` cancels catastrophically when
+/// `p·x ≪ 1` (`q^x` rounds toward 1 and the subtraction keeps only the
+/// rounding error), which is exactly the regime of Eq. (24)'s denominator
+/// at the admissible loss floor. Chaining `ln_1p` and `exp_m1` never forms
+/// a quantity near 1, so the result is sign-tight: strictly positive for
+/// every `p` in `[LossProb::MIN, LossProb::MAX]` and every `x > 0`, with
+/// full relative precision down to `1 − (1−1e-12)^x ≈ x·1e-12`.
+pub fn one_minus_q_pow(p: LossProb, x: f64) -> f64 {
+    -(x * (-p.get()).ln_1p()).exp_m1()
+}
+
 /// `Q̂(w)` — Eq. (24), the closed form:
 ///
 /// ```text
@@ -74,7 +87,10 @@ pub fn q_hat_definitional(p: LossProb, w: u32) -> f64 {
 /// ```
 ///
 /// Accepts a real-valued `w` because the model substitutes `E[W]`, which is
-/// not an integer (Eq. (26)). For `w ≤ 3` the probability is 1.
+/// not an integer (Eq. (26)). For `w ≤ 3` the probability is 1. Every
+/// `1-(1-p)^x` factor — in particular the denominator — is evaluated
+/// through [`one_minus_q_pow`], keeping the ratio finite and positive over
+/// the whole declared domain `p ∈ [1e-12, 1-1e-12]`, `w ∈ [1, 1e6]`.
 //= pftk#q-hat-24
 pub fn q_hat_exact(p: LossProb, w: f64) -> f64 {
     if w <= 3.0 {
@@ -82,8 +98,8 @@ pub fn q_hat_exact(p: LossProb, w: f64) -> f64 {
     }
     let q = p.survival();
     let q3 = q * q * q;
-    let num = (1.0 - q3) * (1.0 + q3 * (1.0 - q.powf(w - 3.0)));
-    let den = 1.0 - q.powf(w);
+    let num = one_minus_q_pow(p, 3.0) * (1.0 + q3 * one_minus_q_pow(p, w - 3.0));
+    let den = one_minus_q_pow(p, w);
     (num / den).min(1.0)
 }
 
@@ -298,5 +314,47 @@ mod tests {
                 "p={pv}: series={series}, closed={closed}"
             );
         }
+    }
+
+    #[test]
+    fn one_minus_q_pow_is_exact_where_the_naive_form_cancels() {
+        // Mathematically 1 − (1−p)^1 = p; at the admissible floor the
+        // expm1∘ln1p chain reproduces it to a relative error below 1e-9,
+        // while the literal subtraction keeps only rounding noise (its
+        // relative error is ~1e-4 here).
+        let p12 = p(1e-12);
+        let precise = one_minus_q_pow(p12, 1.0);
+        assert!(
+            (precise - 1e-12).abs() / 1e-12 < 1e-9,
+            "precise={precise:e}"
+        );
+        let naive = 1.0 - p12.survival().powf(1.0);
+        assert!(
+            (naive - 1e-12).abs() / 1e-12 > 1e-6,
+            "naive form unexpectedly exact: {naive:e}"
+        );
+        // And at the opposite extreme (q^x underflows toward 0) the
+        // chain saturates cleanly at 1.
+        let hi = one_minus_q_pow(p(1.0 - 1e-12), 1e6);
+        assert_eq!(hi, 1.0);
+    }
+
+    #[test]
+    fn q_hat_exact_survives_declared_domain_boundaries() {
+        // The [[domain]] corners from specs/pftk-spec.toml: every
+        // combination must yield a finite probability in (0, 1].
+        for &pv in &[1e-12, 1e-9, 0.0019, 0.25, 0.5, 1.0 - 1e-12] {
+            for &w in &[1.0, 3.0 + 1e-9, 4.0, 100.0, 1e6] {
+                let v = q_hat_exact(p(pv), w);
+                assert!(
+                    v.is_finite() && v > 0.0 && v <= 1.0,
+                    "p={pv:e} w={w}: Q̂={v}"
+                );
+            }
+        }
+        // Continuity at the w→3⁺ seam where the early return hands over
+        // to the closed form.
+        let seam = q_hat_exact(p(0.01), 3.0 + 1e-12);
+        assert!((seam - 1.0).abs() < 1e-6, "seam={seam}");
     }
 }

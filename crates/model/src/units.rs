@@ -34,20 +34,32 @@ impl Seconds {
     }
 }
 
-/// A loss-event probability in the open interval `(0, 1)`.
+/// A loss-event probability in the closed interval
+/// [[`LossProb::MIN`], [`LossProb::MAX`]] = `[1e-12, 1 − 1e-12]`.
 ///
 /// The paper's `p` is the probability that a packet is lost, given that it is
 /// the first packet in its round or the preceding packet in its round was not
-/// lost (§II-A). The closed forms divide by both `p` and `1 - p`, hence the
-/// open interval.
+/// lost (§II-A). The closed forms divide by both `p` and `1 - p`, so an open
+/// interval around 0 and 1 is mandatory; the validator goes further and
+/// enforces a floor/ceiling of `1e-12` so that every kernel's denominator is
+/// provably bounded away from zero over the whole admissible range — the
+/// exact intervals the `[[domain]]` registry in `specs/pftk-spec.toml`
+/// declares and `pftk-audit`'s numlint pass checks statically. One loss event
+/// per 10^12 packets is far beyond anything measurable (the paper's traces
+/// span `p ≈ 0.0019 … 0.25`), so the clamp costs no modeling power.
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
 #[must_use]
 pub struct LossProb(f64);
 
 impl LossProb {
-    /// Validates that `value` lies strictly between 0 and 1.
+    /// Smallest admissible loss probability.
+    pub const MIN: f64 = 1e-12;
+    /// Largest admissible loss probability, `1 − 1e-12`.
+    pub const MAX: f64 = 1.0 - 1e-12;
+
+    /// Validates that `value` lies in `[Self::MIN, Self::MAX]`.
     pub fn new(value: f64) -> Result<Self, ModelError> {
-        if value.is_finite() && value > 0.0 && value < 1.0 {
+        if value.is_finite() && (Self::MIN..=Self::MAX).contains(&value) {
             Ok(LossProb(value))
         } else {
             Err(ModelError::InvalidLossProbability(value))
@@ -127,6 +139,19 @@ mod tests {
         assert!(LossProb::new(1e-9).is_ok());
         assert!(LossProb::new(1.0 - 1e-9).is_ok());
         assert!(LossProb::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn loss_prob_boundaries_are_closed_at_the_declared_floor() {
+        // The declared-domain endpoints themselves are admissible…
+        assert_eq!(LossProb::new(LossProb::MIN).unwrap().get(), 1e-12);
+        assert_eq!(LossProb::new(LossProb::MAX).unwrap().get(), 1.0 - 1e-12);
+        // …and anything beyond them is rejected, including values the
+        // old strictly-open validator accepted.
+        assert!(LossProb::new(1e-13).is_err());
+        assert!(LossProb::new(f64::MIN_POSITIVE).is_err());
+        assert!(LossProb::new(1.0 - 1e-13).is_err());
+        assert!(LossProb::new(-1e-12).is_err());
     }
 
     #[test]

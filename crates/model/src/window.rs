@@ -21,6 +21,9 @@ use crate::units::LossProb;
 ///
 /// `b` is the delayed-ACK factor. The value is in packets and always exceeds
 /// 1 for `p < 1`.
+///
+/// A `[[domain]]` root: proven total over the input intervals declared in
+/// `specs/pftk-spec.toml` by the audit's value-range pass.
 //= pftk#eq-13
 pub fn expected_window(p: LossProb, b: u32) -> f64 {
     let p = p.get();
@@ -64,6 +67,9 @@ pub fn expected_tdp_duration(p: LossProb, b: u32, rtt_secs: f64) -> f64 {
 
 /// Mean number of packets sent in a TD period, `E[Y]` — Eq. (5):
 /// `(1-p)/p + E[W]`.
+///
+/// A `[[domain]]` root: proven total over the input intervals declared in
+/// `specs/pftk-spec.toml` by the audit's value-range pass.
 //= pftk#eq-5
 pub fn expected_tdp_packets(p: LossProb, b: u32) -> f64 {
     p.survival() / p.get() + expected_window(p, b)

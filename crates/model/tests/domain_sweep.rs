@@ -1,0 +1,238 @@
+//! Runtime counterpart of pftk-audit's static numlint pass: parses the
+//! `[[domain]]` registry out of `specs/pftk-spec.toml` (the same file
+//! the abstract interpreter proves totality over) and grid-samples
+//! every declared root across its declared intervals, asserting the
+//! kernel returns finite, in-range values at every grid point — the
+//! interval endpoints included.
+//!
+//! The two checks are deliberately redundant: the static pass covers
+//! *all* of the domain but over-approximates the arithmetic, while this
+//! sweep evaluates the real IEEE arithmetic but only at sample points.
+//! A root either check cannot handle fails loudly — an unknown root
+//! panics here, an unresolvable one fails the audit gate — so the
+//! registry cannot silently drift from the code.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use pftk_audit::domain::Range;
+use pftk_audit::spec::DomainSpec;
+use pftk_model::inverse::loss_for_rate;
+use pftk_model::markov::MarkovModel;
+use pftk_model::params::ModelParams;
+use pftk_model::sendrate::{approx_model, full_model, td_only, td_to_model};
+use pftk_model::throughput::throughput;
+use pftk_model::timeout::q_hat_exact;
+use pftk_model::units::LossProb;
+use pftk_model::window::{expected_tdp_packets, expected_window};
+
+/// Loads the workspace spec's `[[domain]]` entries.
+fn domains() -> Vec<DomainSpec> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs/pftk-spec.toml");
+    let text = std::fs::read_to_string(&path).expect("workspace spec readable");
+    pftk_audit::spec::parse_spec(&text)
+        .expect("workspace spec parses")
+        .domains
+}
+
+/// Geometric grid over a declared interval: both (nudged-inward, if
+/// open) endpoints plus log-spaced interior points. Every registry
+/// interval is strictly positive, so the geometric spacing is well
+/// defined and biases samples toward the small end — where the
+/// denominator hazards live.
+fn samples(r: &Range) -> Vec<f64> {
+    const N: usize = 6;
+    let lo = if r.lo_open { r.lo * (1.0 + 1e-9) } else { r.lo };
+    let hi = if r.hi_open { r.hi * (1.0 - 1e-9) } else { r.hi };
+    assert!(lo > 0.0 && hi >= lo, "non-positive interval [{lo}, {hi}]");
+    let ratio = hi / lo;
+    (0..N)
+        .map(|k| lo * ratio.powf(k as f64 / (N - 1) as f64))
+        .collect()
+}
+
+/// Integer grid (for `b` and `wmax`): rounded, clamped, deduplicated.
+fn int_samples(r: &Range) -> Vec<u32> {
+    let mut out: Vec<u32> = samples(r)
+        .into_iter()
+        .map(|v| (v.round() as u32).clamp(r.lo.ceil() as u32, r.hi.floor() as u32))
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// One root's sample vectors, keyed by declared parameter name.
+struct Grid<'a> {
+    root: &'a str,
+    params: &'a BTreeMap<String, Range>,
+}
+
+impl Grid<'_> {
+    fn f(&self, key: &str) -> Vec<f64> {
+        samples(self.key(key))
+    }
+
+    fn u(&self, key: &str) -> Vec<u32> {
+        int_samples(self.key(key))
+    }
+
+    fn key(&self, key: &str) -> &Range {
+        self.params
+            .get(key)
+            .unwrap_or_else(|| panic!("root {:?} declares no {key:?} interval", self.root))
+    }
+}
+
+fn assert_finite(root: &str, v: f64, at: &str) -> u64 {
+    assert!(v.is_finite(), "{root} not finite at {at}: {v}");
+    1
+}
+
+/// Cross-product sweep of `p × rtt × t0 × b × wmax` for the
+/// full-parameter send-rate kernels.
+fn sweep_rate_kernel(g: &Grid, eval: impl Fn(LossProb, &ModelParams) -> f64) -> u64 {
+    let mut n = 0;
+    for &pv in &g.f("p") {
+        for &rtt in &g.f("rtt") {
+            for &t0 in &g.f("t0") {
+                for &b in &g.u("b") {
+                    for &wmax in &g.u("wmax") {
+                        let params = ModelParams::new(rtt, t0, b, wmax).unwrap();
+                        let p = LossProb::new(pv).unwrap();
+                        let at = format!("p={pv:e} rtt={rtt} t0={t0} b={b} wmax={wmax}");
+                        let rate = eval(p, &params);
+                        n += assert_finite(g.root, rate, &at);
+                        assert!(rate >= 0.0, "{} negative at {at}: {rate}", g.root);
+                    }
+                }
+            }
+        }
+    }
+    n
+}
+
+#[test]
+fn every_declared_domain_root_is_finite_over_its_grid() {
+    let domains = domains();
+    assert!(
+        domains.len() >= 8,
+        "registry shrank below the tentpole floor: {}",
+        domains.len()
+    );
+    let mut checks = 0u64;
+    for d in &domains {
+        let g = Grid {
+            root: &d.root,
+            params: &d.params,
+        };
+        checks += match d.root.as_str() {
+            "td_only" => {
+                let mut n = 0;
+                for &pv in &g.f("p") {
+                    for &rtt in &g.f("rtt") {
+                        for &b in &g.u("b") {
+                            let params = ModelParams::new(rtt, 2.0, b, 65535).unwrap();
+                            let v = td_only(LossProb::new(pv).unwrap(), &params);
+                            n += assert_finite(&d.root, v, &format!("p={pv:e} rtt={rtt} b={b}"));
+                        }
+                    }
+                }
+                n
+            }
+            "td_to_model" => {
+                let mut n = 0;
+                for &pv in &g.f("p") {
+                    for &rtt in &g.f("rtt") {
+                        for &t0 in &g.f("t0") {
+                            for &b in &g.u("b") {
+                                let params = ModelParams::new(rtt, t0, b, 65535).unwrap();
+                                let v = td_to_model(LossProb::new(pv).unwrap(), &params);
+                                let at = format!("p={pv:e} rtt={rtt} t0={t0} b={b}");
+                                n += assert_finite(&d.root, v, &at);
+                            }
+                        }
+                    }
+                }
+                n
+            }
+            "full_model" => sweep_rate_kernel(&g, full_model),
+            "approx_model" => sweep_rate_kernel(&g, approx_model),
+            "throughput" => sweep_rate_kernel(&g, throughput),
+            "q_hat_exact" => {
+                let mut n = 0;
+                for &pv in &g.f("p") {
+                    for &w in &g.f("w") {
+                        let v = q_hat_exact(LossProb::new(pv).unwrap(), w);
+                        let at = format!("p={pv:e} w={w}");
+                        n += assert_finite(&d.root, v, &at);
+                        assert!(v > 0.0 && v <= 1.0, "Q̂ out of (0,1] at {at}: {v}");
+                    }
+                }
+                n
+            }
+            "expected_window" | "expected_tdp_packets" => {
+                let eval: fn(LossProb, u32) -> f64 = if d.root == "expected_window" {
+                    expected_window
+                } else {
+                    expected_tdp_packets
+                };
+                let mut n = 0;
+                for &pv in &g.f("p") {
+                    for &b in &g.u("b") {
+                        let v = eval(LossProb::new(pv).unwrap(), b);
+                        n += assert_finite(&d.root, v, &format!("p={pv:e} b={b}"));
+                    }
+                }
+                n
+            }
+            "loss_for_rate" => {
+                let mut n = 0;
+                for &target in &g.f("target_rate") {
+                    for &rtt in &g.f("rtt") {
+                        for &b in &g.u("b") {
+                            for &wmax in &g.u("wmax") {
+                                let params = ModelParams::new(rtt, 2.0, b, wmax).unwrap();
+                                // An unreachable target is a legitimate
+                                // typed error; totality here means no
+                                // panic and no non-finite loss estimate.
+                                if let Ok(p) = loss_for_rate(target, &params) {
+                                    let at = format!("target={target:e} rtt={rtt} b={b}");
+                                    n += assert_finite(&d.root, p.get(), &at);
+                                } else {
+                                    n += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                n
+            }
+            "MarkovModel::solve" => {
+                let mut n = 0;
+                // The chain walk is O(1/(p·wmax)) rounds, so the loss
+                // grid is floored at 1e-3 to keep the sweep fast; the
+                // static pass still covers the full declared interval.
+                for &pv in &[1e-3, 1e-2, 0.25, 1.0 - 1e-12] {
+                    for &rtt in &g.f("rtt") {
+                        for &b in &g.u("b") {
+                            for &wmax in &g.u("wmax") {
+                                let params = ModelParams::new(rtt, 2.0, b, wmax).unwrap();
+                                let m = MarkovModel::solve(LossProb::new(pv).unwrap(), &params)
+                                    .unwrap();
+                                let at = format!("p={pv:e} rtt={rtt} b={b} wmax={wmax}");
+                                n += assert_finite(&d.root, m.send_rate(), &at);
+                            }
+                        }
+                    }
+                }
+                n
+            }
+            other => panic!(
+                "[[domain]] root {other:?} has no sweep harness — \
+                 extend tests/domain_sweep.rs alongside the registry"
+            ),
+        };
+    }
+    assert!(checks > 1_000, "suspiciously small sweep: {checks} checks");
+}

@@ -232,7 +232,7 @@ impl<E> HybridQueue<E> {
     /// mid-run.
     const INITIAL_CAPACITY: usize = 512;
 
-    /// An empty queue (pre-reserved; see [`Self::INITIAL_CAPACITY`]).
+    /// An empty queue (pre-reserved; see `Self::INITIAL_CAPACITY`).
     pub fn new() -> Self {
         HybridQueue {
             data: VecDeque::with_capacity(Self::INITIAL_CAPACITY),

@@ -8,7 +8,7 @@
 //! Running that sweep at fleet scale needs a different execution shape
 //! than [`crate::connection::Connection`]:
 //!
-//! * **SoA arenas** ([`FlowArena`] — internal): hot per-flow state (the
+//! * **SoA arenas** (`FlowArena` — internal): hot per-flow state (the
 //!   fractional window, slow-start threshold, RNG stream, counters) lives
 //!   in dense parallel arrays indexed by flow, so a shard's inner loop
 //!   walks cache-line-friendly memory instead of pointer-chasing boxed

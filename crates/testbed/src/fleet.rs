@@ -27,7 +27,7 @@
 //! population result anchored to the packet level, each cohort can run a
 //! few *audit flows*: full packet-level [`Connection`]s under Bernoulli
 //! loss at the cohort's grid point, reduced on the fly by pooled
-//! [`StreamAnalyzer`]s ([`AnalyzerPool`]) — the same O(window) streaming
+//! [`tcp_trace::stream::StreamAnalyzer`]s ([`AnalyzerPool`]) — the same O(window) streaming
 //! reduction the hour-long campaigns use, recycled shell-for-shell so an
 //! entire audit pass allocates a bounded number of analyzers.
 

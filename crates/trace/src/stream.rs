@@ -9,12 +9,12 @@
 //! consumes wire events one at a time and keeps only the incremental cores
 //! the batch functions are themselves folds of —
 //!
-//! * [`Classifier`](crate::analyzer::Classifier) — TD/TO classification
+//! * [`Classifier`] — TD/TO classification
 //!   (O(1) automaton state + the emitted indications),
-//! * [`KarnCore`](crate::karn::KarnCore) — Karn RTT / T0 estimation
+//! * [`KarnCore`] — Karn RTT / T0 estimation
 //!   (O(window) in-flight maps + one sample per forward ACK),
-//! * [`CorrCore`](crate::karn::CorrCore) — RTT-vs-flight correlation,
-//! * [`IntervalCore`](crate::intervals::IntervalCore) — per-interval send
+//! * [`CorrCore`] — RTT-vs-flight correlation,
+//! * [`IntervalCore`] — per-interval send
 //!   counts (one `u64` per elapsed interval).
 //!
 //! Because `analyze`, `estimate_timing`, `rtt_window_correlation`, and

@@ -9,7 +9,12 @@
 //! literals) admit no unwhitelisted violations, and the `[[hotpath]]`
 //! registry's roots all resolve and stay free of unjustified reachable
 //! allocation, panics, and blocking (`hot_alloc` / `hot_panic` /
-//! `hot_block`), with `unit_escape` guarding the unit newtypes.
+//! `hot_block`), with `unit_escape` guarding the unit newtypes. The
+//! `[[domain]]` registry's roots must likewise all resolve, with the
+//! value-range analysis proving every kernel total over its declared
+//! intervals (`div_domain` / `nan_source` / `inf_escape` /
+//! `cancel_risk` / `stale_domain`), and the per-pass wall-time budget
+//! must hold.
 //!
 //! If this test fails, run `cargo run -p pftk-audit` for the full report
 //! (also written to `results/conformance.json`).
@@ -75,6 +80,66 @@ fn hotpath_registry_resolves_and_is_guarded() {
             "unjustified {rule} findings on a hot path; run `cargo run -p pftk-audit` for chains"
         );
     }
+}
+
+#[test]
+fn domain_registry_resolves_and_kernels_are_total() {
+    let outcome = run_audit(workspace_root()).expect("audit ran");
+    // The numeric-domain registry must keep covering the model kernels
+    // (an emptied registry would make the value-range analysis vacuous)
+    // and every root must resolve — a stale root means the spec drifted
+    // from the code, which is precisely what `stale_domain` guards.
+    assert!(
+        outcome.domains.len() >= 8,
+        "domain registry shrank unexpectedly: {:?}",
+        outcome.domains
+    );
+    for root in &outcome.domains {
+        assert!(
+            root.resolved > 0,
+            "stale [[domain]] root {:?} matches no function; fix or remove it in specs/pftk-spec.toml",
+            root.root
+        );
+        assert!(
+            root.reached >= root.resolved,
+            "root interprets at least its own functions: {root:?}"
+        );
+    }
+    let counts = outcome.rule_counts();
+    for rule in [
+        "div_domain",
+        "nan_source",
+        "inf_escape",
+        "cancel_risk",
+        "stale_domain",
+    ] {
+        assert_eq!(
+            counts.get(rule),
+            Some(&0),
+            "unjustified {rule} findings over the declared domains; run `cargo run -p pftk-audit` for chains"
+        );
+    }
+}
+
+#[test]
+fn per_pass_timings_fit_the_budget() {
+    let outcome = run_audit(workspace_root()).expect("audit ran");
+    for key in ["scanner", "detlint", "hotlint", "numlint", "total"] {
+        assert!(
+            outcome.timings_ms.contains_key(key),
+            "missing pass timing {key:?}: {:?}",
+            outcome.timings_ms
+        );
+    }
+    // The audit guards every `cargo test` run, so it must stay cheap.
+    // The budget is generous (debug builds on loaded CI machines) while
+    // still catching a superlinear regression in any pass.
+    let total = outcome.timings_ms["total"];
+    assert!(
+        total < 30_000,
+        "audit blew its wall-time budget: {total} ms (per pass: {:?})",
+        outcome.timings_ms
+    );
 }
 
 #[test]
