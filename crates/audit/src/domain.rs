@@ -355,6 +355,19 @@ impl Range {
         }
     }
 
+    /// `self.cbrt()`. Total and strictly monotone over all of ℝ — unlike
+    /// `sqrt` there is no domain edge, so the image is just the endpoint
+    /// image and NaN only propagates from the input.
+    pub fn cbrt(&self) -> Range {
+        Range {
+            lo: self.lo.cbrt(),
+            hi: self.hi.cbrt(),
+            lo_open: self.lo_open,
+            hi_open: self.hi_open,
+            nan: self.nan,
+        }
+    }
+
     /// `self.min(other)` with Rust `f64::min` semantics: NaN only when
     /// *both* operands are NaN; a NaN side otherwise passes the other
     /// side's value through.
@@ -684,6 +697,14 @@ mod tests {
         let clean = closed(0.25, 4.0).sqrt();
         assert!(!clean.nan);
         assert_eq!((clean.lo, clean.hi), (0.5, 2.0));
+    }
+
+    #[test]
+    fn cbrt_is_total_across_zero() {
+        // Unlike sqrt, negatives are in-domain: no NaN, monotone image.
+        let r = closed(-8.0, 27.0).cbrt();
+        assert!(!r.nan);
+        assert_eq!((r.lo, r.hi), (-2.0, 3.0));
     }
 
     #[test]

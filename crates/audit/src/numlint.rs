@@ -1198,6 +1198,9 @@ impl<'a> Eval<'a> {
                 Val::Known(res)
             }
             "exp" => r.map_or(Val::Unknown, |r| Val::Known(r.exp())),
+            // cbrt is total over ℝ (CUBIC's recovery-origin root): never a
+            // NaN source, the image is the monotone endpoint image.
+            "cbrt" => r.map_or(Val::Unknown, |r| Val::Known(r.cbrt())),
             "exp_m1" => r.map_or(Val::Unknown, |r| Val::Known(r.exp_m1())),
             "abs" => r.map_or(Val::Unknown, |r| Val::Known(r.abs())),
             "min" | "max" => match (r, args.first().and_then(|a| a.known())) {
@@ -1796,6 +1799,17 @@ mod tests {
             &[("f", &[("x", "[-1, 1]")])],
         );
         assert_eq!(rules(&a), ["nan_source"]);
+    }
+
+    #[test]
+    fn cbrt_of_negative_is_clean() {
+        // CUBIC's recovery origin takes cbrt of a possibly-negative
+        // offset; cbrt is total over ℝ so that must not be a nan_source.
+        let a = run(
+            "pub fn f(x: f64) -> f64 { (x * 2.5).cbrt() }\n",
+            &[("f", &[("x", "[-65535, 65535]")])],
+        );
+        assert_eq!(rules(&a), Vec::<&str>::new());
     }
 
     #[test]

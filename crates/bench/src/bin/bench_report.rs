@@ -289,6 +289,37 @@ fn packet_level(p: f64) -> Entry {
     )
 }
 
+/// The `packet_level_sim` workload behind each congestion-control
+/// variant: same path, loss rate, and seed as [`packet_level`] at
+/// p = 0.05, differing only in the controller behind the
+/// `CongestionController` seam. The `cc=reno` row is the perf guard
+/// that the trait seam stays free (monomorphized dispatch, no vtable):
+/// `tests/perf_smoke.rs` holds every row within ±25% of
+/// `BENCH_baseline.json`.
+fn packet_level_variant(algo: tcp_sim::cc::CcAlgorithm) -> Entry {
+    use tcp_sim::reno::sender::SenderConfig;
+    entry(
+        "packet_level_sim",
+        format!("60s_bernoulli/0.05/cc={}", algo.label()),
+        "engine events",
+        15,
+        move || {
+            let mut conn = Connection::builder()
+                .rtt(0.1)
+                .sender_config(SenderConfig {
+                    cc: algo,
+                    ..SenderConfig::default()
+                })
+                .loss(Bernoulli::new(0.05))
+                .seed(1)
+                .build();
+            conn.run_for(SimDuration::from_secs_f64(60.0));
+            std::hint::black_box(conn.stats().packets_sent);
+            conn.events_processed()
+        },
+    )
+}
+
 fn rounds() -> Entry {
     entry("rounds_sim", "10k_tdps".into(), "packets sent", 15, || {
         let mut sim = RoundsSim::new(
@@ -574,13 +605,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             "release"
         },
-        entries: vec![
-            packet_level(0.005),
-            packet_level(0.05),
-            rounds(),
-            analyzer(),
-            streaming_analyzer(),
-        ],
+        entries: {
+            let mut entries = vec![packet_level(0.005), packet_level(0.05)];
+            entries.extend(tcp_sim::cc::CcAlgorithm::ALL.map(packet_level_variant));
+            entries.extend([rounds(), analyzer(), streaming_analyzer()]);
+            entries
+        },
         fleet: fleet(),
         trace_memory: trace_memory(),
         checkpoint: checkpoint_report()?,

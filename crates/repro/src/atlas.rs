@@ -1,0 +1,192 @@
+//! The variant model-domain atlas: where does the PFTK closed form stop
+//! describing each congestion-control variant?
+//!
+//! Eq. (32) was derived for Reno's window laws. The atlas sweeps the
+//! model's own parameter space — loss rate `p` × round-trip `RTT` ×
+//! timeout `T0` × receiver window `W_m` — once per
+//! [`CcAlgorithm`], measuring the rounds-model send rate at every grid
+//! cell and dividing it by the Eq. (32) prediction for that cell. Cells
+//! whose measured/predicted ratio leaves `[1/2, 2]` form the variant's
+//! **divergence frontier**: the boundary beyond which quoting the PFTK
+//! formula for that variant is off by more than 2×.
+//!
+//! Everything here is deterministic (fixed seed, fixed grid, fixed
+//! horizon), so the emitted CSVs are golden outputs: byte-identical on
+//! every run, pinned by `tests/atlas_golden.rs`.
+
+use tcp_sim::cc::CcAlgorithm;
+use tcp_sim::rounds::{RoundsConfig, RoundsSim};
+
+use pftk_model::params::ModelParams;
+use pftk_model::sendrate::full_model;
+use pftk_model::units::LossProb;
+
+/// Seed of the golden atlas runs (arbitrary, but pinned: the CSVs in
+/// `results/` are bit-exact functions of it).
+pub const GOLDEN_SEED: u64 = 20260808;
+
+/// Simulated horizon of each golden grid cell, seconds. Long enough that
+/// every cell sees thousands of loss indications; short enough that the
+/// whole four-variant atlas regenerates in seconds.
+pub const GOLDEN_HORIZON_SECS: f64 = 4000.0;
+
+/// A measured/predicted ratio outside `[1/DIVERGENCE_FACTOR,
+/// DIVERGENCE_FACTOR]` puts the cell on the divergence frontier.
+pub const DIVERGENCE_FACTOR: f64 = 2.0;
+
+/// One atlas grid cell: a model-domain operating point, the variant's
+/// measured rounds-model send rate there, and the PFTK prediction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AtlasCell {
+    /// First-loss probability `p`.
+    pub p: f64,
+    /// Round-trip time, seconds.
+    pub rtt: f64,
+    /// Single-timeout duration `T0`, seconds.
+    pub t0: f64,
+    /// Receiver-window cap `W_m`, packets.
+    pub wmax: u32,
+    /// Rounds-model send rate of the variant at this cell, packets/sec.
+    pub measured_pps: f64,
+    /// Eq. (32) prediction at this cell, packets/sec.
+    pub model_pps: f64,
+}
+
+impl AtlasCell {
+    /// Measured / predicted. Above 1: the variant outruns the PFTK
+    /// formula; below 1: it undershoots it.
+    pub fn ratio(&self) -> f64 {
+        self.measured_pps / self.model_pps
+    }
+
+    /// True when the cell is past the >2× divergence frontier.
+    pub fn diverges(&self) -> bool {
+        let r = self.ratio();
+        !(1.0 / DIVERGENCE_FACTOR..=DIVERGENCE_FACTOR).contains(&r)
+    }
+}
+
+/// The golden sweep grid: every `(p, rtt, t0, wmax)` combination of these
+/// axes, in lexicographic order. The `p` axis deliberately runs into the
+/// regime the paper itself flags as approximation-hostile (`p ≥ 0.3`),
+/// and the `W_m` axis includes a window-limited corner — both are where
+/// frontiers live. The `T0/RTT` axis spans the paper's measured ratios
+/// (Table II paths sit around 2–8) up to 20 — RFC 6298's 1-second RTO
+/// floor over a 50 ms path — where loss recovery, not the send window,
+/// starts pricing a TD period.
+pub fn atlas_grid() -> Vec<(f64, f64, f64, u32)> {
+    let ps = [0.005, 0.02, 0.05, 0.1, 0.2, 0.3, 0.45];
+    let rtts = [0.05, 0.2];
+    let t0_mults = [2.0, 8.0, 20.0]; // T0 as a multiple of RTT
+    let wmaxes = [8u32, 64];
+    let mut grid = Vec::new();
+    for &p in &ps {
+        for &rtt in &rtts {
+            for &m in &t0_mults {
+                for &wmax in &wmaxes {
+                    grid.push((p, rtt, rtt * m, wmax));
+                }
+            }
+        }
+    }
+    grid
+}
+
+/// Runs one variant over [`atlas_grid`], returning one [`AtlasCell`] per
+/// grid point (grid order). Deterministic in `(cc, horizon_secs, seed)`.
+//= pftk#variant-envelope type=impl
+pub fn run_atlas(cc: CcAlgorithm, horizon_secs: f64, seed: u64) -> Vec<AtlasCell> {
+    atlas_grid()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (p, rtt, t0, wmax))| {
+            let config = RoundsConfig {
+                p,
+                rtt,
+                t0,
+                wmax,
+                cc,
+                ..RoundsConfig::default()
+            };
+            let mut sim = RoundsSim::new(config, seed.wrapping_add(i as u64));
+            sim.run_for(horizon_secs);
+            let lp = LossProb::new(p).expect("atlas grid p is in (0,1)"); //~ allow(expect): grid is a compile-time constant
+            let params =
+                ModelParams::new(rtt, t0, config.b, wmax).expect("atlas grid params are valid"); //~ allow(expect): grid is a compile-time constant
+            AtlasCell {
+                p,
+                rtt,
+                t0,
+                wmax,
+                measured_pps: sim.send_rate(),
+                model_pps: full_model(lp, &params),
+            }
+        })
+        .collect()
+}
+
+/// The cells of `cells` that lie past the divergence frontier.
+pub fn frontier(cells: &[AtlasCell]) -> Vec<AtlasCell> {
+    cells.iter().copied().filter(AtlasCell::diverges).collect()
+}
+
+/// CSV header matching [`csv_rows`].
+pub const CSV_HEADER: &str = "p,rtt,t0,wmax,measured_pps,model_pps,ratio,diverges";
+
+/// Formats cells as golden CSV rows. `f64`s print with Rust's shortest
+/// round-trip formatting, so the bytes are an exact function of the run.
+pub fn csv_rows(cells: &[AtlasCell]) -> Vec<String> {
+    cells
+        .iter()
+        .map(|c| {
+            format!(
+                "{},{},{},{},{},{},{},{}",
+                c.p,
+                c.rtt,
+                c.t0,
+                c.wmax,
+                c.measured_pps,
+                c.model_pps,
+                c.ratio(),
+                u8::from(c.diverges()),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_all_axes() {
+        let grid = atlas_grid();
+        assert_eq!(grid.len(), 7 * 2 * 3 * 2);
+        assert!(grid.iter().any(|&(p, ..)| p >= 0.45));
+        assert!(grid.iter().any(|&(.., wmax)| wmax == 8));
+    }
+
+    #[test]
+    fn atlas_is_deterministic() {
+        let a = run_atlas(CcAlgorithm::Cubic, 200.0, 7);
+        let b = run_atlas(CcAlgorithm::Cubic, 200.0, 7);
+        assert_eq!(csv_rows(&a), csv_rows(&b));
+    }
+
+    #[test]
+    fn reno_tracks_the_model_at_the_paper_operating_point() {
+        // The rounds model *is* the closed form's derivation minus its
+        // final approximations: at a moderate grid point Reno must hug the
+        // prediction.
+        let cells = run_atlas(CcAlgorithm::Reno, 2000.0, GOLDEN_SEED);
+        let c = cells
+            .iter()
+            .find(|c| c.p == 0.02 && c.rtt == 0.2 && c.wmax == 64)
+            .unwrap();
+        assert!(
+            (0.8..1.25).contains(&c.ratio()),
+            "Reno ratio {} at the benign corner",
+            c.ratio()
+        );
+    }
+}

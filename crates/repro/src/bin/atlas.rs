@@ -1,0 +1,92 @@
+//! The variant model-domain atlas: per-variant measured/PFTK-predicted
+//! ratio tables over the (p, RTT, T0, W_m) grid, plus the summary figure
+//! marking each variant's >2× divergence frontier.
+//!
+//! ```sh
+//! cargo run --release -p tcp-repro --bin atlas
+//! ```
+//!
+//! The emitted `atlas_<variant>.csv` files are golden: deterministic in
+//! the pinned seed/horizon and pinned byte-for-byte by
+//! `tests/atlas_golden.rs`. (`--quick`/`--seed` are accepted for
+//! exploration but taking either off the defaults makes the outputs
+//! differ from the goldens.)
+
+use tcp_repro::atlas::{
+    csv_rows, frontier, run_atlas, CSV_HEADER, GOLDEN_HORIZON_SECS, GOLDEN_SEED,
+};
+use tcp_repro::output::{out_dir, section, write_csv};
+use tcp_repro::plot::{Chart, Series};
+use tcp_sim::cc::CcAlgorithm;
+
+fn main() {
+    let scale = tcp_repro::RunScale::from_args();
+    let (horizon, seed) = if scale.seed == tcp_repro::RunScale::default().seed {
+        (
+            if scale.hour_secs < 3600.0 {
+                GOLDEN_HORIZON_SECS / 20.0
+            } else {
+                GOLDEN_HORIZON_SECS
+            },
+            GOLDEN_SEED,
+        )
+    } else {
+        (GOLDEN_HORIZON_SECS, scale.seed)
+    };
+    section("Model-domain atlas — measured/Eq.(32) per variant over (p, RTT, T0, W_m)");
+
+    let dir = out_dir();
+    let mut chart = Chart::new(
+        "Divergence atlas: rounds-model rate / Eq. (32) per variant",
+        "loss probability p",
+        "measured / predicted",
+    )
+    .log_x()
+    .log_y();
+
+    for algo in CcAlgorithm::ALL {
+        let cells = run_atlas(algo, horizon, seed);
+        write_csv(
+            &dir,
+            &format!("atlas_{}", algo.label()),
+            CSV_HEADER,
+            &csv_rows(&cells),
+        );
+        let front = frontier(&cells);
+        println!(
+            "{:<11} {} / {} cells past the 2x frontier",
+            algo.label(),
+            front.len(),
+            cells.len()
+        );
+        for c in &front {
+            println!(
+                "    p={:<6} rtt={:<5} t0={:<5} wmax={:<3} ratio={:.3}",
+                c.p,
+                c.rtt,
+                c.t0,
+                c.wmax,
+                c.ratio()
+            );
+        }
+        chart = chart.with(Series::scatter(
+            algo.label(),
+            cells.iter().map(|c| (c.p, c.ratio())).collect(),
+        ));
+    }
+
+    // The frontier itself: everything outside the band between these two
+    // guides is >2x off the PFTK prediction.
+    let grid_p: Vec<f64> = tcp_repro::atlas::atlas_grid()
+        .iter()
+        .map(|&(p, ..)| p)
+        .collect();
+    let (lo, hi) = (
+        grid_p.iter().copied().fold(f64::INFINITY, f64::min),
+        grid_p.iter().copied().fold(0.0f64, f64::max),
+    );
+    chart = chart
+        .with(Series::line("2x frontier", vec![(lo, 2.0), (hi, 2.0)]))
+        .with(Series::line("1/2 frontier", vec![(lo, 0.5), (hi, 0.5)]));
+    chart.save(&dir, "atlas_frontier");
+}

@@ -11,6 +11,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod atlas;
 pub mod figures;
 pub mod output;
 pub mod plot;

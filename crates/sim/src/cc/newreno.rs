@@ -1,0 +1,182 @@
+//! NewReno congestion control (RFC 6582).
+//!
+//! Identical to Reno's window laws except during recovery: a *partial*
+//! ACK (one that advances `snd_una` without covering `recover`) deflates
+//! the inflated window by the amount newly acknowledged and re-inflates
+//! by one segment for the retransmission, keeping the estimate of data
+//! in flight honest across multi-loss windows. Plain Reno ignores the
+//! event entirely, which is what [`super::CongestionController`]'s no-op
+//! default encodes.
+
+use super::CongestionController;
+use crate::time::SimTime;
+use pftk_snap::{SnapReader, SnapResult, SnapWriter};
+
+/// Floor for the slow-start threshold, packets (RFC 5681's `max(F/2, 2)`).
+const MIN_SSTHRESH: f64 = 2.0;
+
+/// NewReno controller state — Reno's three words plus nothing: the
+/// `recover` mark that distinguishes full from partial ACKs lives in the
+/// sender (it is sequence-space bookkeeping, not window state).
+#[derive(Debug, Clone)]
+pub struct NewRenoCc {
+    cwnd: f64,
+    ssthresh: f64,
+    in_fast_recovery: bool,
+}
+
+impl NewRenoCc {
+    /// Starts in slow start with the given initial window (packets).
+    pub fn new(initial_cwnd: f64) -> Self {
+        assert!(
+            initial_cwnd >= 1.0,
+            "initial cwnd must be at least one segment"
+        );
+        NewRenoCc {
+            cwnd: initial_cwnd,
+            ssthresh: f64::INFINITY,
+            in_fast_recovery: false,
+        }
+    }
+}
+
+impl CongestionController for NewRenoCc {
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+    fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+    fn window(&self) -> u64 {
+        (self.cwnd.floor() as u64).max(1) //~ allow(cast): deliberate float truncation after round/floor
+    }
+    fn in_fast_recovery(&self) -> bool {
+        self.in_fast_recovery
+    }
+    fn in_slow_start(&self) -> bool {
+        !self.in_fast_recovery && self.cwnd < self.ssthresh
+    }
+
+    /// Reno's growth law verbatim; the full-ACK recovery exit is driven
+    /// by the sender through [`CongestionController::exit_recovery`].
+    //= pftk#cwnd-linear-growth
+    #[inline]
+    fn on_new_ack(&mut self, _now: SimTime) {
+        if self.in_fast_recovery {
+            self.cwnd = self.ssthresh;
+            self.in_fast_recovery = false;
+        } else if self.cwnd < self.ssthresh {
+            self.cwnd += 1.0;
+        } else {
+            self.cwnd += 1.0 / self.cwnd;
+        }
+    }
+
+    /// RFC 6582 §3.2 step 5: deflate by the amount acknowledged, then add
+    /// back one segment for the just-retransmitted hole.
+    #[inline]
+    fn on_partial_ack(&mut self, newly_acked: u64) {
+        debug_assert!(self.in_fast_recovery);
+        let acked = newly_acked as f64; //~ allow(cast): integer count to f64, exact below 2^53
+        self.cwnd = (self.cwnd - acked + 1.0).max(1.0);
+    }
+
+    #[inline]
+    fn on_dupack_in_recovery(&mut self) {
+        debug_assert!(self.in_fast_recovery);
+        self.cwnd += 1.0;
+    }
+
+    //= pftk#cwnd-td-halve
+    #[inline]
+    fn on_fast_retransmit(&mut self, _now: SimTime, flight: u64) {
+        self.ssthresh = (flight as f64 / 2.0).max(MIN_SSTHRESH); //~ allow(cast): integer count to f64, exact below 2^53
+        self.cwnd = self.ssthresh + 3.0;
+        self.in_fast_recovery = true;
+    }
+
+    #[inline]
+    fn on_sack_retransmit(&mut self, _now: SimTime, flight: u64) {
+        self.ssthresh = (flight as f64 / 2.0).max(MIN_SSTHRESH); //~ allow(cast): integer count to f64, exact below 2^53
+        self.cwnd = self.ssthresh;
+        self.in_fast_recovery = true;
+    }
+
+    //= pftk#cwnd-to-collapse
+    #[inline]
+    fn on_timeout(&mut self, flight: u64) {
+        self.ssthresh = (flight as f64 / 2.0).max(MIN_SSTHRESH); //~ allow(cast): integer count to f64, exact below 2^53
+        self.cwnd = 1.0;
+        self.in_fast_recovery = false;
+    }
+
+    #[inline]
+    fn exit_recovery(&mut self) {
+        self.cwnd = self.ssthresh;
+        self.in_fast_recovery = false;
+    }
+
+    fn snapshot_into(&self, w: &mut SnapWriter) {
+        w.put_f64(self.cwnd);
+        w.put_f64(self.ssthresh);
+        w.put_bool(self.in_fast_recovery);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> SnapResult<()> {
+        self.cwnd = r.get_f64()?;
+        self.ssthresh = r.get_f64()?;
+        self.in_fast_recovery = r.get_bool()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reno::CongestionControl;
+
+    const T: SimTime = SimTime::ZERO;
+
+    #[test]
+    fn matches_reno_outside_recovery() {
+        let mut nr = NewRenoCc::new(1.0);
+        let mut reno = CongestionControl::new(1.0);
+        for _ in 0..25 {
+            nr.on_new_ack(T);
+            reno.on_new_ack();
+        }
+        nr.on_timeout(26);
+        reno.on_timeout(26);
+        for _ in 0..40 {
+            nr.on_new_ack(T);
+            reno.on_new_ack();
+        }
+        assert_eq!(nr.cwnd().to_bits(), reno.cwnd().to_bits());
+        assert_eq!(nr.ssthresh().to_bits(), reno.ssthresh().to_bits());
+    }
+
+    #[test]
+    fn partial_ack_deflates_and_readds_one() {
+        let mut nr = NewRenoCc::new(1.0);
+        for _ in 0..19 {
+            nr.on_new_ack(T);
+        }
+        nr.on_fast_retransmit(T, 20); // ssthresh 10, cwnd 13
+        assert_eq!(nr.cwnd(), 13.0);
+        nr.on_partial_ack(5); // 13 − 5 + 1
+        assert_eq!(nr.cwnd(), 9.0);
+        assert!(nr.in_fast_recovery(), "partial ACK keeps recovery open");
+        nr.exit_recovery();
+        assert_eq!(nr.cwnd(), 10.0);
+        assert!(!nr.in_fast_recovery());
+    }
+
+    #[test]
+    fn partial_ack_deflation_floors_at_one() {
+        let mut nr = NewRenoCc::new(4.0);
+        nr.on_fast_retransmit(T, 4);
+        nr.on_partial_ack(100);
+        assert_eq!(nr.cwnd(), 1.0);
+        assert_eq!(CongestionController::window(&nr), 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! Relentless congestion control (Diana & Lochin, "An Analytical Model of
+//! TCP Relentless Congestion Control").
+//!
+//! A deliberately non-AIMD variant: on a fast retransmit the window is
+//! reduced *by the number of segments lost* rather than halved, so a
+//! single drop costs one segment of window instead of `W/2`. Timeouts
+//! still collapse to one (the retransmission timer is unchanged), which
+//! keeps the PFTK timeout term comparable while the TD term's
+//! `√(3/2bp)`-shaped dependence disappears — the atlas shows the model
+//! over-penalising Relentless everywhere the TD term dominates.
+//!
+//! In the sender's event vocabulary the per-loss decrement maps to: one
+//! segment at recovery entry, plus one per additional hole repaired
+//! (each partial ACK under NewReno-style recovery marks one more lost
+//! segment).
+
+use super::CongestionController;
+use crate::time::SimTime;
+use pftk_snap::{SnapReader, SnapResult, SnapWriter};
+
+/// Floor the window never decreases below, packets (mirrors Reno's
+/// ssthresh floor so the sender can always keep one retransmission and
+/// one probe in flight).
+const MIN_SSTHRESH: f64 = 2.0;
+
+/// Relentless controller state.
+#[derive(Debug, Clone)]
+pub struct RelentlessCc {
+    cwnd: f64,
+    ssthresh: f64,
+    in_fast_recovery: bool,
+}
+
+impl RelentlessCc {
+    /// Starts in slow start with the given initial window (packets).
+    pub fn new(initial_cwnd: f64) -> Self {
+        assert!(
+            initial_cwnd >= 1.0,
+            "initial cwnd must be at least one segment"
+        );
+        RelentlessCc {
+            cwnd: initial_cwnd,
+            ssthresh: f64::INFINITY,
+            in_fast_recovery: false,
+        }
+    }
+}
+
+impl CongestionController for RelentlessCc {
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+    fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+    fn window(&self) -> u64 {
+        (self.cwnd.floor() as u64).max(1) //~ allow(cast): deliberate float truncation after round/floor
+    }
+    fn in_fast_recovery(&self) -> bool {
+        self.in_fast_recovery
+    }
+    fn in_slow_start(&self) -> bool {
+        !self.in_fast_recovery && self.cwnd < self.ssthresh
+    }
+
+    /// Reno's growth law verbatim — Relentless changes only the decrease.
+    //= pftk#cwnd-linear-growth
+    #[inline]
+    fn on_new_ack(&mut self, _now: SimTime) {
+        if self.in_fast_recovery {
+            self.cwnd = self.ssthresh;
+            self.in_fast_recovery = false;
+        } else if self.cwnd < self.ssthresh {
+            self.cwnd += 1.0;
+        } else {
+            self.cwnd += 1.0 / self.cwnd;
+        }
+    }
+
+    /// Each partial ACK marks one more repaired hole: one more lost
+    /// segment subtracted from the recovery exit point.
+    #[inline]
+    fn on_partial_ack(&mut self, _newly_acked: u64) {
+        debug_assert!(self.in_fast_recovery);
+        self.ssthresh = (self.ssthresh - 1.0).max(MIN_SSTHRESH);
+    }
+
+    #[inline]
+    fn on_dupack_in_recovery(&mut self) {
+        debug_assert!(self.in_fast_recovery);
+        self.cwnd += 1.0;
+    }
+
+    /// Recovery entry: the exit window is `W − 1` (one known loss so
+    /// far), not `W/2`; dupack inflation on top mirrors Reno mechanics.
+    #[inline]
+    fn on_fast_retransmit(&mut self, _now: SimTime, _flight: u64) {
+        self.ssthresh = (self.cwnd - 1.0).max(MIN_SSTHRESH);
+        self.cwnd = self.ssthresh + 3.0;
+        self.in_fast_recovery = true;
+    }
+
+    /// SACK entry: same `W − 1` target without inflation (the pipe
+    /// algorithm regulates transmissions).
+    #[inline]
+    fn on_sack_retransmit(&mut self, _now: SimTime, _flight: u64) {
+        self.ssthresh = (self.cwnd - 1.0).max(MIN_SSTHRESH);
+        self.cwnd = self.ssthresh;
+        self.in_fast_recovery = true;
+    }
+
+    /// Timeouts are where Relentless stays conventional: collapse to one
+    /// and slow-start back to half the flight.
+    //= pftk#cwnd-to-collapse
+    #[inline]
+    fn on_timeout(&mut self, flight: u64) {
+        self.ssthresh = (flight as f64 / 2.0).max(MIN_SSTHRESH); //~ allow(cast): integer count to f64, exact below 2^53
+        self.cwnd = 1.0;
+        self.in_fast_recovery = false;
+    }
+
+    #[inline]
+    fn exit_recovery(&mut self) {
+        self.cwnd = self.ssthresh;
+        self.in_fast_recovery = false;
+    }
+
+    fn snapshot_into(&self, w: &mut SnapWriter) {
+        w.put_f64(self.cwnd);
+        w.put_f64(self.ssthresh);
+        w.put_bool(self.in_fast_recovery);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> SnapResult<()> {
+        self.cwnd = r.get_f64()?;
+        self.ssthresh = r.get_f64()?;
+        self.in_fast_recovery = r.get_bool()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: SimTime = SimTime::ZERO;
+
+    #[test]
+    fn single_loss_costs_one_segment() {
+        let mut cc = RelentlessCc::new(1.0);
+        for _ in 0..19 {
+            cc.on_new_ack(T);
+        }
+        assert_eq!(CongestionController::window(&cc), 20);
+        cc.on_fast_retransmit(T, 20);
+        assert!(cc.in_fast_recovery());
+        assert_eq!(cc.ssthresh(), 19.0, "W − 1, not W/2");
+        cc.on_new_ack(T); // deflate
+        assert_eq!(cc.cwnd(), 19.0);
+    }
+
+    #[test]
+    fn each_repaired_hole_costs_another_segment() {
+        let mut cc = RelentlessCc::new(10.0);
+        cc.on_fast_retransmit(T, 10); // ssthresh 9
+        cc.on_partial_ack(3);
+        cc.on_partial_ack(2);
+        assert_eq!(cc.ssthresh(), 7.0, "3 losses → W − 3");
+        cc.exit_recovery();
+        assert_eq!(cc.cwnd(), 7.0);
+    }
+
+    #[test]
+    fn timeout_still_collapses_to_one() {
+        let mut cc = RelentlessCc::new(1.0);
+        for _ in 0..15 {
+            cc.on_new_ack(T);
+        }
+        cc.on_timeout(16);
+        assert_eq!(CongestionController::window(&cc), 1);
+        assert_eq!(cc.ssthresh(), 8.0);
+        assert!(cc.in_slow_start());
+    }
+
+    #[test]
+    fn decrease_floors_at_min_ssthresh() {
+        let mut cc = RelentlessCc::new(2.0);
+        cc.on_fast_retransmit(T, 2);
+        assert_eq!(cc.ssthresh(), 2.0);
+        cc.on_partial_ack(1);
+        assert_eq!(cc.ssthresh(), 2.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Scalable TCP (Kelly, "Scalable TCP: improving performance in highspeed
+//! wide area networks", CCR 2003).
+//!
+//! MIMD instead of AIMD: in congestion avoidance each ACK adds a fixed
+//! `a = 0.01` to the window (so the window grows by `a·W` per round —
+//! multiplicatively), and a loss event cuts the window by `b = 1/8`
+//! instead of half. The fixed point of that balance puts the equilibrium
+//! window at `Θ(1/p)` where Reno's — and therefore the PFTK formula's —
+//! sits at `Θ(1/√p)`, so Scalable's atlas frontier is the widest of the
+//! variants: the gentler-than-designed-for growth at moderate `p` leaves
+//! it ≥2× under the prediction across the mid-loss band.
+//!
+//! Slow start and the timeout collapse are conventional; Kelly's change
+//! is confined to the congestion-avoidance response, as in the Linux
+//! `tcp_scalable` module.
+
+use super::CongestionController;
+use crate::time::SimTime;
+use pftk_snap::{SnapReader, SnapResult, SnapWriter};
+
+/// Per-ACK congestion-avoidance increment (Kelly's `a`).
+const ACK_GAIN: f64 = 0.01;
+
+/// Multiplicative decrease factor kept on loss (1 − Kelly's `b` = 7/8).
+const DECREASE_KEEP: f64 = 0.875;
+
+/// Floor the window never decreases below, packets (mirrors Reno's
+/// ssthresh floor so the sender can always keep one retransmission and
+/// one probe in flight).
+const MIN_SSTHRESH: f64 = 2.0;
+
+/// Scalable TCP controller state.
+#[derive(Debug, Clone)]
+pub struct ScalableCc {
+    cwnd: f64,
+    ssthresh: f64,
+    in_fast_recovery: bool,
+}
+
+impl ScalableCc {
+    /// Starts in slow start with the given initial window (packets).
+    pub fn new(initial_cwnd: f64) -> Self {
+        assert!(
+            initial_cwnd >= 1.0,
+            "initial cwnd must be at least one segment"
+        );
+        ScalableCc {
+            cwnd: initial_cwnd,
+            ssthresh: f64::INFINITY,
+            in_fast_recovery: false,
+        }
+    }
+}
+
+impl CongestionController for ScalableCc {
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+    fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+    fn window(&self) -> u64 {
+        (self.cwnd.floor() as u64).max(1) //~ allow(cast): deliberate float truncation after round/floor
+    }
+    fn in_fast_recovery(&self) -> bool {
+        self.in_fast_recovery
+    }
+    fn in_slow_start(&self) -> bool {
+        !self.in_fast_recovery && self.cwnd < self.ssthresh
+    }
+
+    /// Slow start is Reno's; congestion avoidance adds Kelly's fixed
+    /// `a = 0.01` per ACK (multiplicative growth per round).
+    #[inline]
+    fn on_new_ack(&mut self, _now: SimTime) {
+        if self.in_fast_recovery {
+            self.cwnd = self.ssthresh;
+            self.in_fast_recovery = false;
+        } else if self.cwnd < self.ssthresh {
+            self.cwnd += 1.0;
+        } else {
+            self.cwnd += ACK_GAIN;
+        }
+    }
+
+    #[inline]
+    fn on_dupack_in_recovery(&mut self) {
+        debug_assert!(self.in_fast_recovery);
+        self.cwnd += 1.0;
+    }
+
+    /// Recovery entry: keep 7/8 of the window (Kelly's `b = 1/8` cut);
+    /// dupack inflation on top mirrors Reno mechanics.
+    #[inline]
+    fn on_fast_retransmit(&mut self, _now: SimTime, _flight: u64) {
+        self.ssthresh = (self.cwnd * DECREASE_KEEP).max(MIN_SSTHRESH);
+        self.cwnd = self.ssthresh + 3.0;
+        self.in_fast_recovery = true;
+    }
+
+    /// SACK entry: same 7/8 target without inflation (the pipe algorithm
+    /// regulates transmissions).
+    #[inline]
+    fn on_sack_retransmit(&mut self, _now: SimTime, _flight: u64) {
+        self.ssthresh = (self.cwnd * DECREASE_KEEP).max(MIN_SSTHRESH);
+        self.cwnd = self.ssthresh;
+        self.in_fast_recovery = true;
+    }
+
+    /// Timeouts are conventional: collapse to one and slow-start back
+    /// toward 7/8 of the flight (the Linux `tcp_scalable` ssthresh).
+    //= pftk#cwnd-to-collapse
+    #[inline]
+    fn on_timeout(&mut self, flight: u64) {
+        self.ssthresh = (flight as f64 * DECREASE_KEEP).max(MIN_SSTHRESH); //~ allow(cast): integer count to f64, exact below 2^53
+        self.cwnd = 1.0;
+        self.in_fast_recovery = false;
+    }
+
+    #[inline]
+    fn exit_recovery(&mut self) {
+        self.cwnd = self.ssthresh;
+        self.in_fast_recovery = false;
+    }
+
+    fn snapshot_into(&self, w: &mut SnapWriter) {
+        w.put_f64(self.cwnd);
+        w.put_f64(self.ssthresh);
+        w.put_bool(self.in_fast_recovery);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> SnapResult<()> {
+        self.cwnd = r.get_f64()?;
+        self.ssthresh = r.get_f64()?;
+        self.in_fast_recovery = r.get_bool()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: SimTime = SimTime::ZERO;
+
+    #[test]
+    fn congestion_avoidance_adds_a_per_ack() {
+        let mut cc = ScalableCc::new(1.0);
+        cc.on_timeout(1); // arm a threshold so CA is reachable
+        cc.ssthresh = 2.0;
+        cc.on_new_ack(T); // slow start: 1 → 2
+        assert_eq!(cc.cwnd(), 2.0);
+        cc.on_new_ack(T); // CA: + 0.01
+        assert_eq!(cc.cwnd(), 2.01);
+    }
+
+    #[test]
+    fn loss_costs_one_eighth_not_half() {
+        let mut cc = ScalableCc::new(16.0);
+        cc.on_fast_retransmit(T, 16);
+        assert!(cc.in_fast_recovery());
+        assert_eq!(cc.ssthresh(), 14.0, "16 · 7/8, not 8");
+        cc.on_new_ack(T); // deflate
+        assert_eq!(cc.cwnd(), 14.0);
+        assert!(!cc.in_fast_recovery());
+    }
+
+    #[test]
+    fn timeout_collapses_to_one() {
+        let mut cc = ScalableCc::new(16.0);
+        cc.on_timeout(16);
+        assert_eq!(CongestionController::window(&cc), 1);
+        assert_eq!(cc.ssthresh(), 14.0);
+        assert!(cc.in_slow_start());
+    }
+
+    #[test]
+    fn decrease_floors_at_min_ssthresh() {
+        let mut cc = ScalableCc::new(2.0);
+        cc.on_fast_retransmit(T, 2);
+        assert_eq!(cc.ssthresh(), 2.0);
+    }
+}

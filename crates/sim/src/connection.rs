@@ -96,7 +96,10 @@ impl Ev {
 /// Frame kind identifying a full connection snapshot (DESIGN.md §13).
 pub const CONN_SNAPSHOT_KIND: u32 = 1;
 /// Newest connection-snapshot format version this build reads and writes.
-pub const CONN_SNAPSHOT_VERSION: u32 = 1;
+/// v2 added the sender's congestion-control algorithm tag plus
+/// per-variant controller state (CUBIC carries an epoch clock that Reno's
+/// three words don't).
+pub const CONN_SNAPSHOT_VERSION: u32 = 2;
 
 /// Configuration for a simulated connection; see [`Connection::builder`].
 pub struct ConnectionBuilder {
@@ -1039,6 +1042,68 @@ mod tests {
             resumed.run_until(SimTime::from_secs_f64(120.0));
             resumed.finish();
             assert_eq!(whole.stats(), resumed.stats(), "cut at {cut}s");
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_identical_for_every_cc_variant() {
+        use crate::cc::CcAlgorithm;
+        use crate::reno::sender::SenderConfig;
+        for algo in CcAlgorithm::ALL {
+            let build = |cc| {
+                Connection::builder()
+                    .rtt(0.09)
+                    .sender_config(SenderConfig {
+                        cc,
+                        ..SenderConfig::default()
+                    })
+                    .loss(Box::new(RoundCorrelated::new(0.03)))
+                    .seed(17)
+                    .build()
+            };
+            let mut whole = build(algo);
+            whole.run_for(secs(90.0));
+            whole.finish();
+
+            let mut first = build(algo);
+            first.run_until(SimTime::from_secs_f64(41.3));
+            let snap = first.snapshot().expect("snapshot");
+            let mut resumed = build(algo);
+            resumed.restore(&snap).expect("restore");
+            resumed.run_until(SimTime::from_secs_f64(90.0));
+            resumed.finish();
+            assert_eq!(
+                whole.stats(),
+                resumed.stats(),
+                "{algo:?}: resume must replay bit-identically"
+            );
+
+            // Cross-variant restore: the sender's algorithm tag rejects a
+            // snapshot taken under a different controller.
+            let other = if algo == CcAlgorithm::Reno {
+                CcAlgorithm::Cubic
+            } else {
+                CcAlgorithm::Reno
+            };
+            assert!(
+                matches!(
+                    build(other).restore(&snap),
+                    Err(pftk_snap::SnapError::TagMismatch {
+                        context: "sender-cc",
+                        ..
+                    })
+                ),
+                "{algo:?} snapshot restored into {other:?}"
+            );
+
+            // Torn tail: every truncation errors, never panics, for every
+            // variant's state layout.
+            for cut in [0, 1, snap.len() / 2, snap.len() - 1] {
+                assert!(
+                    build(algo).restore(&snap[..cut]).is_err(),
+                    "{algo:?}: truncation to {cut} bytes restored"
+                );
+            }
         }
     }
 

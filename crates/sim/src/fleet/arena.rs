@@ -5,11 +5,14 @@
 //! as an event-per-round state machine. The draw order is kept *identical*
 //! to `RoundsSim::run_one_tdp` — per round: one Bernoulli round-loss draw;
 //! on loss: one truncated-geometric position draw, then the `C(k, m)`
-//! last-round draws, then one Bernoulli draw per retransmission of a
-//! timeout sequence — so a single fleet flow reproduces a `RoundsSim` run
+//! last-round draws, then one Bernoulli draw per variant-requested
+//! recovery round, then (on a lost recovery retransmission or a TO
+//! indication) one Bernoulli draw per retransmission of a timeout
+//! sequence — so a single fleet flow reproduces a `RoundsSim` run
 //! counter for counter (pinned by `single_flow_matches_rounds_sim`).
 
 use super::FleetCohort;
+use crate::cc::RoundCc;
 use crate::rng::{flow_seed, SimRng};
 use std::ops::Range;
 
@@ -19,11 +22,16 @@ use std::ops::Range;
 struct CohortParams {
     p: f64,
     rtt_ns: u64,
+    /// RTT in seconds, for the time-based (CUBIC) growth law.
+    rtt: f64,
     t0_ns: u64,
     b: u32,
     wmax: u32,
     backoff_cap_exp: u32,
     slow_start_after_to: bool,
+    /// Recovery rounds before the retransmit timer fires
+    /// ([`crate::rounds::recovery_round_cap`]).
+    recovery_cap: u32,
 }
 
 /// Ground-truth counters of one fleet flow — the fleet-scale subset of
@@ -53,10 +61,10 @@ impl FlowStats {
 
 /// The SoA arena: one entry per flow across every parallel array.
 ///
-/// Hot state (`wf`, `ssthresh`, `rng`) and counters are split into
-/// separate arrays so the inner loop touches only the cache lines it
-/// needs; cold configuration is one `CohortParams` copy per *cohort*, not
-/// per flow.
+/// Hot state (the `Copy` per-flow controller `cc`, `rng`) and counters
+/// are split into separate arrays so the inner loop touches only the
+/// cache lines it needs; cold configuration is one `CohortParams` copy
+/// per *cohort*, not per flow.
 #[derive(Debug)]
 pub(crate) struct FlowArena {
     cohorts: Vec<CohortParams>,
@@ -64,10 +72,9 @@ pub(crate) struct FlowArena {
     cohort_of: Vec<u32>,
     /// Per-flow deterministic RNG stream (`flow_seed(base, global_id)`).
     rng: Vec<SimRng>,
-    /// Fractional congestion window (the model's `wf`).
-    wf: Vec<f64>,
-    /// Slow-start threshold; 0 encodes "none" (thresholds are ≥ 2).
-    ssthresh: Vec<u32>,
+    /// Per-flow round-level congestion controller (`Copy`, SoA-friendly):
+    /// the variant's window laws; never draws from `rng`.
+    cc: Vec<RoundCc>,
     packets_sent: Vec<u64>,
     packets_delivered: Vec<u64>,
     td_events: Vec<u32>,
@@ -90,8 +97,7 @@ impl FlowArena {
             cohorts: params,
             cohort_of: Vec::with_capacity(n),
             rng: Vec::with_capacity(n),
-            wf: Vec::with_capacity(n),
-            ssthresh: vec![0; n],
+            cc: Vec::with_capacity(n),
             packets_sent: vec![0; n],
             packets_delivered: vec![0; n],
             td_events: vec![0; n],
@@ -119,13 +125,15 @@ impl FlowArena {
             arena
                 .rng
                 .push(SimRng::seed_from_u64(flow_seed(base_seed, g)));
-            arena.wf.push(f64::from(cfg.initial_window.min(cfg.wmax)));
+            arena
+                .cc
+                .push(RoundCc::new(cfg.cc, cfg.initial_window.min(cfg.wmax)));
         }
         arena
     }
 
     pub(crate) fn flow_count(&self) -> usize {
-        self.wf.len()
+        self.cc.len()
     }
 
     pub(crate) fn cohort_count(&self) -> usize {
@@ -162,8 +170,7 @@ impl FlowArena {
     pub(crate) fn step(&mut self, f: u32, now_ns: u64) -> u64 {
         let fi = f as usize; //~ allow(cast): u32 flow index widens losslessly
         let c = self.cohorts[self.cohort_of[fi] as usize]; //~ allow(cast): u32 cohort index widens losslessly
-                                                           //~ allow(cast): deliberate float truncation after round/floor
-        let w = (self.wf[fi].floor() as u32).clamp(1, c.wmax);
+        let w = self.cc[fi].window(c.wmax);
         // The whole round is transmitted regardless of loss (§II-A).
         self.packets_sent[fi] += u64::from(w);
         self.rounds[fi] = self.rounds[fi].wrapping_add(1);
@@ -182,57 +189,87 @@ impl FlowArena {
             let m = sample_last_round_successes(rng, c.p, k);
             self.packets_delivered[fi] += u64::from(m);
             if k >= 3 && m >= 3 {
-                // Triple duplicate: halve and resume one RTT after the
-                // last round.
+                // Triple duplicate: variant reduction (halve for Reno),
+                // resume one RTT after the last round. `losses` mirrors
+                // RoundsSim: the doomed penultimate-round tail plus the
+                // last round's failures.
                 self.td_events[fi] += 1;
-                self.wf[fi] = f64::from((w / 2).max(1));
-                self.ssthresh[fi] = 0;
-                now_ns + 2 * c.rtt_ns
-            } else {
-                // Timeout sequence: geometric length, doubling gaps
-                // capped at 2^cap · T0, one retransmission per gap.
-                let mut len: u32 = 0;
-                let mut gap_ns: u64 = 0;
-                loop {
-                    len += 1;
-                    let exp = (len - 1).min(c.backoff_cap_exp);
-                    gap_ns += c.t0_ns << exp;
+                let losses = (w - pos + 1) + (k - m);
+                let recovery = self.cc[fi].on_td(w, losses, c.p);
+                // Recovery rounds (NewReno, RFC 6582 Impatient variant),
+                // mirroring `RoundsSim::run_one_tdp` draw for draw: one
+                // retransmission per round under the never-reset
+                // retransmit timer; a lost retransmission or a fired
+                // timer degrades into a timeout sequence from the
+                // reduced window.
+                let mut recovery_ns: u64 = 0;
+                let mut degraded = false;
+                for r in 0..recovery {
+                    if r >= c.recovery_cap {
+                        degraded = true;
+                        break;
+                    }
+                    recovery_ns += c.rtt_ns;
                     self.packets_sent[fi] += 1;
-                    self.rto_firings[fi] += 1;
-                    if !rng.chance(c.p) {
-                        // Retransmission got through (§V: E[R'] = 1).
-                        self.packets_delivered[fi] += 1;
+                    self.rounds[fi] = self.rounds[fi].wrapping_add(1);
+                    if rng.chance(c.p) {
+                        degraded = true;
                         break;
                     }
-                    if len >= 1_000 {
-                        break;
-                    }
+                    self.packets_delivered[fi] += 1;
                 }
-                self.to_events[fi] += 1;
-                let bucket = (len as usize - 1).min(5); //~ allow(cast): u32 sequence length widens losslessly
-                self.to_hist[self.cohort_of[fi] as usize][bucket] += 1; //~ allow(cast): u32 cohort index widens losslessly
-                self.wf[fi] = 1.0;
-                self.ssthresh[fi] = if c.slow_start_after_to {
-                    (w / 2).max(2)
+                if degraded {
+                    let w_now = self.cc[fi].window(c.wmax);
+                    let gap_ns = self.timeout_sequence(fi, c);
+                    self.cc[fi].on_to(w_now, c.slow_start_after_to);
+                    now_ns + 2 * c.rtt_ns + recovery_ns + gap_ns
                 } else {
-                    0
-                };
+                    now_ns + 2 * c.rtt_ns + recovery_ns
+                }
+            } else {
+                let gap_ns = self.timeout_sequence(fi, c);
+                self.cc[fi].on_to(w, c.slow_start_after_to);
                 now_ns + 2 * c.rtt_ns + gap_ns
             }
         } else {
-            // Loss-free round: deliver everything, grow the window.
+            // Loss-free round: deliver everything, grow the window
+            // (variant law; `rtt` drives CUBIC's epoch clock).
             self.packets_delivered[fi] += u64::from(w);
-            let wf = self.wf[fi];
-            let ss = self.ssthresh[fi];
-            self.wf[fi] = if ss != 0 && wf < f64::from(ss) {
-                // Slow start: each of the w/b ACKs adds one segment.
-                (wf * (1.0 + 1.0 / f64::from(c.b))).min(f64::from(ss))
-            } else {
-                wf + 1.0 / f64::from(c.b)
-            }
-            .min(f64::from(c.wmax));
+            self.cc[fi].on_round_no_loss(c.b, c.wmax, c.rtt);
             now_ns + c.rtt_ns
         }
+    }
+
+    /// Runs one whole timeout sequence for flow `fi` — geometric length,
+    /// doubling gaps capped at `2^cap · T0`, one retransmission per gap —
+    /// recording its counters and histogram bucket, and returns the total
+    /// gap time in nanoseconds. Same draws as
+    /// `RoundsSim::run_timeout_sequence`.
+    fn timeout_sequence(&mut self, fi: usize, c: CohortParams) -> u64 {
+        let rng = &mut self.rng[fi];
+        let mut len: u32 = 0;
+        let mut gap_ns: u64 = 0;
+        let mut delivered: u64 = 0;
+        loop {
+            len += 1;
+            let exp = (len - 1).min(c.backoff_cap_exp);
+            gap_ns += c.t0_ns << exp;
+            self.packets_sent[fi] += 1;
+            self.rto_firings[fi] += 1;
+            if !rng.chance(c.p) {
+                // Retransmission got through (§V: E[R'] = 1).
+                delivered = 1;
+                break;
+            }
+            if len >= 1_000 {
+                break;
+            }
+        }
+        self.packets_delivered[fi] += delivered;
+        self.to_events[fi] += 1;
+        let bucket = (len as usize - 1).min(5); //~ allow(cast): u32 sequence length widens losslessly
+        self.to_hist[self.cohort_of[fi] as usize][bucket] += 1; //~ allow(cast): u32 cohort index widens losslessly
+        gap_ns
     }
 }
 
@@ -249,12 +286,14 @@ fn validate(cohort: &FleetCohort) -> CohortParams {
     );
     CohortParams {
         p: cfg.p,
+        rtt: cfg.rtt,
         rtt_ns: (cfg.rtt * 1e9).round() as u64, //~ allow(cast): deliberate float truncation after round/floor
         t0_ns: (cfg.t0 * 1e9).round() as u64, //~ allow(cast): deliberate float truncation after round/floor
         b: cfg.b,
         wmax: cfg.wmax,
         backoff_cap_exp: cfg.backoff_cap_exp,
         slow_start_after_to: cfg.slow_start_after_to,
+        recovery_cap: crate::rounds::recovery_round_cap(cfg.t0, cfg.rtt),
     }
 }
 
@@ -330,6 +369,48 @@ mod tests {
                 "elapsed {fleet_elapsed} vs {}",
                 reference.elapsed()
             );
+        }
+    }
+
+    /// Draw parity holds per variant, not just for Reno: every algorithm's
+    /// fleet flow must mirror its own `RoundsSim` — including NewReno,
+    /// whose recovery rounds add draws the other variants never make.
+    #[test]
+    fn every_variant_matches_its_rounds_sim() {
+        use crate::cc::CcAlgorithm;
+        for algo in CcAlgorithm::ALL {
+            let mut c = cohort(0.03, 64);
+            c.config.cc = algo;
+            let mut reference = RoundsSim::new(c.config, flow_seed(11, 0));
+            reference.run_tdps(300);
+            let ref_stats = reference.stats();
+            let indications = ref_stats.loss_indications();
+
+            let mut arena = FlowArena::new(std::slice::from_ref(&c), 11, 0..1);
+            let mut t = 0u64;
+            while arena.flow_stats(0).loss_indications() < indications {
+                t = arena.step(0, t);
+            }
+            let fleet = arena.flow_stats(0);
+            assert_eq!(fleet.packets_sent, ref_stats.packets_sent, "{algo:?}");
+            assert_eq!(
+                fleet.packets_delivered, ref_stats.packets_delivered,
+                "{algo:?}"
+            );
+            assert_eq!(u64::from(fleet.td_events), ref_stats.td_events, "{algo:?}");
+            assert_eq!(
+                u64::from(fleet.to_events),
+                ref_stats.to_events(),
+                "{algo:?}"
+            );
+            assert_eq!(
+                u64::from(fleet.rto_firings),
+                ref_stats.rto_firings,
+                "{algo:?}"
+            );
+            assert_eq!(arena.to_histogram(0), ref_stats.to_sequences, "{algo:?}");
+            let rel = (t as f64 / 1e9 - reference.elapsed()).abs() / reference.elapsed();
+            assert!(rel < 1e-6, "{algo:?} elapsed diverged: rel {rel}");
         }
     }
 

@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod cc;
 pub mod connection;
 pub mod event;
 pub mod fault;
@@ -67,6 +68,7 @@ pub mod stats;
 pub mod tfrc;
 pub mod time;
 
+pub use cc::{CcAlgorithm, CcState, CongestionController, Quirked, Quirks, RoundCc};
 pub use connection::{Connection, Observer};
 pub use fault::{FaultPlan, Impairment};
 pub use fleet::{FleetCohort, FleetShard, FleetSpec, FlowStats, WheelConfig};

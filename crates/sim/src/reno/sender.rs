@@ -7,8 +7,8 @@
 //! protocol logic purely functional over its own state and unit-testable
 //! without a network.
 
+use crate::cc::{CcAlgorithm, CcState, CongestionController, Quirked, Quirks};
 use crate::packet::{Ack, Segment, Seq};
-use crate::reno::cwnd::CongestionControl;
 use crate::reno::rto::{RtoConfig, RtoEstimator};
 use crate::stats::ConnStats;
 use crate::time::SimTime;
@@ -91,6 +91,10 @@ pub struct SenderConfig {
     pub data_limit: Option<u64>,
     /// Loss-recovery algorithm (default: Reno, the paper's protocol).
     pub style: RenoStyle,
+    /// Congestion-control window laws (default: Reno). Orthogonal to
+    /// `style`: `style` picks the recovery *mechanics* (dupack vs SACK
+    /// bookkeeping), `cc` picks how the window reacts to those events.
+    pub cc: CcAlgorithm,
 }
 
 impl Default for SenderConfig {
@@ -102,6 +106,7 @@ impl Default for SenderConfig {
             rto: RtoConfig::default(),
             data_limit: None,
             style: RenoStyle::Reno,
+            cc: CcAlgorithm::Reno,
         }
     }
 }
@@ -115,7 +120,9 @@ pub struct Sender {
     snd_una: Seq,
     /// Next new sequence number to send.
     snd_nxt: Seq,
-    cc: CongestionControl,
+    /// The pluggable congestion controller, decorated with the per-OS
+    /// quirk knobs so the protocol code below never reads host identity.
+    cc: Quirked<CcState>,
     rto: RtoEstimator,
     dupacks: u32,
     /// RTT timing in progress: (sequence, send time). Karn: discarded if
@@ -143,7 +150,13 @@ impl Sender {
         Sender {
             snd_una: 0,
             snd_nxt: 0,
-            cc: CongestionControl::new(config.initial_cwnd),
+            cc: Quirked::new(
+                CcState::new(config.cc, config.initial_cwnd),
+                Quirks {
+                    dupthresh: config.dupthresh,
+                    backoff_cap_exp: config.rto.backoff_cap_exp,
+                },
+            ),
             rto: RtoEstimator::new(config.rto),
             dupacks: 0,
             timed: None,
@@ -178,8 +191,8 @@ impl Sender {
         self.cc.window().min(u64::from(self.config.rwnd))
     }
 
-    /// Read-only view of the congestion controller.
-    pub fn congestion(&self) -> &CongestionControl {
+    /// Read-only view of the congestion controller (quirk-decorated).
+    pub fn congestion(&self) -> &Quirked<CcState> {
         &self.cc
     }
 
@@ -213,6 +226,7 @@ impl Sender {
     /// tags only: restore requires an identically-configured sender.
     pub(crate) fn snapshot_into(&self, w: &mut SnapWriter) {
         w.put_tag(Self::style_tag(self.config.style));
+        w.put_tag(self.config.cc.tag());
         w.put_tag(u64::from(self.config.rwnd));
         w.put_tag(u64::from(self.config.dupthresh));
         w.put_u64(self.snd_una);
@@ -254,6 +268,7 @@ impl Sender {
     /// tag mismatch if this sender's config differs from the snapshotted one.
     pub(crate) fn restore_from(&mut self, r: &mut SnapReader<'_>) -> SnapResult<()> {
         r.expect_tag("sender-style", Self::style_tag(self.config.style))?;
+        r.expect_tag("sender-cc", self.config.cc.tag())?;
         r.expect_tag("sender-rwnd", u64::from(self.config.rwnd))?;
         r.expect_tag("sender-dupthresh", u64::from(self.config.dupthresh))?;
         self.snd_una = r.get_u64()?;
@@ -334,6 +349,7 @@ impl Sender {
         if ack.ack > self.snd_una {
             // Forward progress.
             let was_in_recovery = self.cc.in_fast_recovery();
+            let newly_acked = ack.ack - self.snd_una;
             self.snd_una = ack.ack;
             self.dupacks = 0;
             //~ allow(hot_alloc): split_off allocates one root node; trees bounded by the flight window
@@ -352,12 +368,13 @@ impl Sender {
             if let Some((seq, sent_at)) = self.timed {
                 if ack.ack > seq {
                     self.rto.on_rtt_sample(now - sent_at);
+                    self.cc.on_rtt_sample(now - sent_at);
                     self.timed = None;
                 }
             }
             match self.config.style {
                 RenoStyle::Tahoe | RenoStyle::Reno => {
-                    self.cc.on_new_ack();
+                    self.cc.on_new_ack(now);
                     self.fill_window(now, out);
                 }
                 RenoStyle::NewReno | RenoStyle::Sack if was_in_recovery => {
@@ -369,6 +386,7 @@ impl Sender {
                     } else {
                         // Partial ACK (RFC 6582): the next hole is also
                         // lost; retransmit it immediately, stay in recovery.
+                        self.cc.on_partial_ack(newly_acked);
                         match self.config.style {
                             RenoStyle::NewReno => self.retransmit_head(now, out),
                             RenoStyle::Sack => self.send_sack_recovery(now, out),
@@ -377,7 +395,7 @@ impl Sender {
                     }
                 }
                 RenoStyle::NewReno | RenoStyle::Sack => {
-                    self.cc.on_new_ack();
+                    self.cc.on_new_ack(now);
                     self.fill_window(now, out);
                 }
             }
@@ -389,8 +407,9 @@ impl Sender {
             match self.config.style {
                 RenoStyle::Tahoe => {
                     // `== dupthresh` fires once per progress epoch (dupacks
-                    // only reset on forward progress).
-                    if self.dupacks == self.config.dupthresh {
+                    // only reset on forward progress). The threshold comes
+                    // from the quirk decorator, not the host.
+                    if self.dupacks == self.cc.dupthresh() {
                         // Tahoe: a TD indication collapses the window.
                         self.stats.td_events += 1;
                         self.cc.on_timeout(self.flight());
@@ -402,9 +421,9 @@ impl Sender {
                     if self.cc.in_fast_recovery() {
                         self.cc.on_dupack_in_recovery();
                         self.fill_window(now, out);
-                    } else if self.dupacks == self.config.dupthresh {
+                    } else if self.dupacks == self.cc.dupthresh() {
                         self.stats.td_events += 1;
-                        self.cc.on_fast_retransmit(self.flight());
+                        self.cc.on_fast_retransmit(now, self.flight());
                         self.retransmit_head(now, out);
                         out.timer = TimerCmd::Arm(now + self.rto.current_rto());
                     }
@@ -413,10 +432,10 @@ impl Sender {
                     if self.cc.in_fast_recovery() {
                         self.cc.on_dupack_in_recovery();
                         self.fill_window(now, out);
-                    } else if self.dupacks == self.config.dupthresh {
+                    } else if self.dupacks == self.cc.dupthresh() {
                         self.stats.td_events += 1;
                         self.recover = self.snd_nxt;
-                        self.cc.on_fast_retransmit(self.flight());
+                        self.cc.on_fast_retransmit(now, self.flight());
                         self.retransmit_head(now, out);
                         out.timer = TimerCmd::Arm(now + self.rto.current_rto());
                     }
@@ -424,11 +443,11 @@ impl Sender {
                 RenoStyle::Sack => {
                     if self.cc.in_fast_recovery() {
                         self.send_sack_recovery(now, out);
-                    } else if self.dupacks == self.config.dupthresh {
+                    } else if self.dupacks == self.cc.dupthresh() {
                         self.stats.td_events += 1;
                         self.recover = self.snd_nxt;
                         self.rexmitted.clear();
-                        self.cc.on_sack_retransmit(self.flight());
+                        self.cc.on_sack_retransmit(now, self.flight());
                         self.retransmit_head(now, out);
                         // The head repair counts as an in-recovery repair.
                         self.rexmitted.insert(self.snd_una); //~ allow(hot_alloc): repair ledger; node count bounded by the flight window

@@ -23,6 +23,7 @@
 //! send rate converges tightly to Eq. (32) — the crate's strongest
 //! correctness check — and its sample paths regenerate Figs. 1, 3, 5 and 6.
 
+use crate::cc::{CcAlgorithm, RoundCc};
 use crate::rng::SimRng;
 use crate::stats::ConnStats;
 use serde::{Deserialize, Serialize};
@@ -50,6 +51,12 @@ pub struct RoundsConfig {
     /// periods grow linearly from 1, which is strictly more pessimistic than
     /// the model.
     pub slow_start_after_to: bool,
+    /// Congestion-control window laws the flow runs (default: Reno, the
+    /// paper's protocol). Loss sampling and TD/TO classification are
+    /// engine-side and identical for every variant — see
+    /// [`crate::cc::RoundCc`].
+    #[serde(default)]
+    pub cc: CcAlgorithm,
 }
 
 impl Default for RoundsConfig {
@@ -63,6 +70,7 @@ impl Default for RoundsConfig {
             backoff_cap_exp: 6,
             initial_window: 1,
             slow_start_after_to: true,
+            cc: CcAlgorithm::Reno,
         }
     }
 }
@@ -112,11 +120,9 @@ pub struct WindowSample {
 pub struct RoundsSim {
     config: RoundsConfig,
     rng: SimRng,
-    /// Window at the start of the current TDP.
-    start_window: u32,
-    /// Slow-start threshold for the current TDP (`None` = start directly in
-    /// congestion avoidance).
-    ssthresh: Option<u32>,
+    /// Round-level congestion controller: owns the fractional window and
+    /// the variant's growth/decrease laws; never draws from `rng`.
+    cc: RoundCc,
     elapsed: f64,
     stats: ConnStats,
     /// Optional window sample path (bounded).
@@ -136,8 +142,7 @@ impl RoundsSim {
         );
         assert!(config.b >= 1 && config.wmax >= 1 && config.initial_window >= 1);
         RoundsSim {
-            start_window: config.initial_window.min(config.wmax),
-            ssthresh: None,
+            cc: RoundCc::new(config.cc, config.initial_window.min(config.wmax)),
             config,
             rng: SimRng::seed_from_u64(seed),
             elapsed: 0.0,
@@ -222,11 +227,8 @@ impl RoundsSim {
         let mut round: u32 = 0; // 0-indexed rounds within this TDP
         let mut alpha: u64 = 0; // packets before/incl. the first loss
         let mut delivered_before_loss: u64 = 0;
-        // Fractional window; grows exponentially while below ssthresh (slow
-        // start after a timeout), else linearly at 1/b per round (§II).
-        let mut wf = f64::from(self.start_window);
         let (peak, first_loss_pos) = loop {
-            let w = (wf.floor() as u32).clamp(1, cfg.wmax); //~ allow(cast): deliberate float truncation after round/floor
+            let w = self.cc.window(cfg.wmax);
             self.record_sample(w);
             // Whole round is transmitted regardless of loss (§II-A: send
             // rate counts packets "regardless of their eventual fate").
@@ -244,15 +246,8 @@ impl RoundsSim {
             }
             alpha += u64::from(w);
             delivered_before_loss += u64::from(w);
-            // Grow the window for the next round.
-            wf = match self.ssthresh {
-                Some(ss) if wf < f64::from(ss) => {
-                    // Slow start: each of the w/b ACKs adds one segment.
-                    (wf * (1.0 + 1.0 / f64::from(cfg.b))).min(f64::from(ss))
-                }
-                _ => wf + 1.0 / f64::from(cfg.b),
-            }
-            .min(f64::from(cfg.wmax));
+            // Grow the window for the next round (variant law).
+            self.cc.on_round_no_loss(cfg.b, cfg.wmax, cfg.rtt);
         };
 
         // The "last" round (Fig. 4): the k = pos − 1 ACKed packets of the
@@ -274,13 +269,48 @@ impl RoundsSim {
         let is_td = k >= 3 && m >= 3;
         let indication = if is_td {
             self.stats.td_events += 1;
-            self.start_window = (peak / 2).max(1);
-            self.ssthresh = None;
-            Indication::TripleDuplicate
+            // Packets lost this period: the doomed tail of the penultimate
+            // round plus the last round's failures. Only the
+            // loss-proportional variants read it.
+            let losses = (peak - first_loss_pos + 1) + (k - m);
+            let recovery = self.cc.on_td(peak, losses, cfg.p);
+            // Recovery rounds (NewReno, RFC 6582 Impatient variant): one
+            // retransmission per round, no new data. They run under the
+            // retransmit timer, which was armed at the first partial ACK
+            // and is never reset, so recovery lasting T0 degrades into a
+            // timeout sequence — as does a lost retransmission, from the
+            // already-reduced window either way. Reno/Cubic/Relentless
+            // request zero rounds, so their draw sequence — and Reno's
+            // bit-identity — is untouched.
+            let timer_cap = recovery_round_cap(cfg.t0, cfg.rtt);
+            let mut degraded = false;
+            for r in 0..recovery {
+                if r >= timer_cap {
+                    degraded = true;
+                    break;
+                }
+                self.elapsed += cfg.rtt;
+                self.stats.packets_sent += 1;
+                self.stats.retransmissions += 1;
+                if self.rng.chance(cfg.p) {
+                    degraded = true;
+                    break;
+                }
+                self.stats.packets_delivered += 1;
+            }
+            if degraded {
+                let w = self.cc.window(cfg.wmax);
+                let seq_len = self.run_timeout_sequence();
+                self.cc.on_to(w, self.config.slow_start_after_to);
+                Indication::Timeout {
+                    sequence_len: seq_len,
+                }
+            } else {
+                Indication::TripleDuplicate
+            }
         } else {
             let seq_len = self.run_timeout_sequence();
-            self.start_window = 1;
-            self.ssthresh = self.config.slow_start_after_to.then(|| (peak / 2).max(2));
+            self.cc.on_to(peak, self.config.slow_start_after_to);
             Indication::Timeout {
                 sequence_len: seq_len,
             }
@@ -379,6 +409,17 @@ impl RoundsSim {
             }
         }
     }
+}
+
+/// Maximum recovery rounds before the retransmit timer fires: the timer,
+/// armed at the first partial ACK and never reset (RFC 6582 §4, the
+/// Impatient variant), expires after `t0`, i.e. after ⌊T0/RTT⌋ one-RTT
+/// recovery rounds (at least one — an RTO is never shorter than the RTT).
+///
+/// Shared with the fleet arena so both engines degrade at the identical
+/// round, keeping draw parity.
+pub(crate) fn recovery_round_cap(t0: f64, rtt: f64) -> u32 {
+    ((t0 / rtt).floor() as u32).max(1) //~ allow(cast): deliberate float truncation after round/floor
 }
 
 #[cfg(test)]

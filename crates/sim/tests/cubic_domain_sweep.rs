@@ -1,0 +1,98 @@
+//! Runtime counterpart of the audit's numlint pass for the *sim-owned*
+//! `[[domain]]` roots: `pftk-model`'s `tests/domain_sweep.rs` sweeps the
+//! model kernels but sits below this crate in the dependency graph, so
+//! the CUBIC window kernels are grid-sampled here instead, against the
+//! same registry entries in `specs/pftk-spec.toml`. An interval changed
+//! in the spec changes the sweep; a root deleted from the code breaks
+//! the `use` below — the registry cannot silently drift either way.
+
+use std::path::Path;
+
+use pftk_audit::domain::Range;
+use pftk_audit::spec::DomainSpec;
+use tcp_sim::cc::{cubic_k, cubic_window};
+
+/// Loads the workspace spec's `[[domain]]` entry for `root`.
+fn domain(root: &str) -> DomainSpec {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs/pftk-spec.toml");
+    let text = std::fs::read_to_string(&path).expect("workspace spec readable");
+    pftk_audit::spec::parse_spec(&text)
+        .expect("workspace spec parses")
+        .domains
+        .into_iter()
+        .find(|d| d.root == root)
+        .unwrap_or_else(|| panic!("[[domain]] root {root:?} missing from the spec"))
+}
+
+/// Linear grid over a declared interval, endpoints included (nudged
+/// inward when open). Unlike the model sweep's geometric grid this
+/// handles the CUBIC intervals' zero and negative lower bounds (`t`
+/// starts at 0; `k` is signed — a past epoch origin is a legal state).
+fn samples(r: &Range) -> Vec<f64> {
+    const N: usize = 7;
+    let span = r.hi - r.lo;
+    let lo = if r.lo_open { r.lo + span * 1e-9 } else { r.lo };
+    let hi = if r.hi_open { r.hi - span * 1e-9 } else { r.hi };
+    (0..N)
+        .map(|i| lo + (hi - lo) * i as f64 / (N - 1) as f64)
+        .collect()
+}
+
+fn param(d: &DomainSpec, key: &str) -> Vec<f64> {
+    samples(
+        d.params
+            .get(key)
+            .unwrap_or_else(|| panic!("root {:?} declares no {key:?} interval", d.root)),
+    )
+}
+
+#[test]
+fn cubic_kernels_are_finite_over_their_declared_grids() {
+    let dk = domain("cubic_k");
+    let mut checks = 0u64;
+    for &w_max in &param(&dk, "w_max") {
+        for &start in &param(&dk, "start") {
+            let k = cubic_k(w_max, start);
+            assert!(
+                k.is_finite(),
+                "cubic_k not finite at w_max={w_max} start={start}: {k}"
+            );
+            // Sign convention: recovering from below the plateau puts the
+            // origin in the future, from above in the past.
+            assert_eq!(
+                k > 0.0,
+                start < w_max,
+                "cubic_k sign flipped at w_max={w_max} start={start}: {k}"
+            );
+            // The cubic returns exactly to the plateau at t = K.
+            assert_eq!(
+                cubic_window(k, k, w_max),
+                w_max,
+                "W(K) must equal w_max at w_max={w_max} start={start}"
+            );
+            checks += 1;
+        }
+    }
+
+    let dw = domain("cubic_window");
+    for &k in &param(&dw, "k") {
+        for &w_max in &param(&dw, "w_max") {
+            let mut prev = f64::NEG_INFINITY;
+            for &t in &param(&dw, "t") {
+                let w = cubic_window(t, k, w_max);
+                assert!(
+                    w.is_finite(),
+                    "cubic_window not finite at t={t} k={k} w_max={w_max}: {w}"
+                );
+                // Monotone increasing in t across the whole grid.
+                assert!(
+                    w >= prev,
+                    "cubic_window not monotone at t={t} k={k} w_max={w_max}"
+                );
+                prev = w;
+                checks += 1;
+            }
+        }
+    }
+    assert!(checks > 300, "suspiciously small sweep: {checks} checks");
+}

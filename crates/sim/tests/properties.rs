@@ -51,6 +51,40 @@ proptest! {
         prop_assert_eq!(run(), run());
     }
 
+    /// Per-variant torn-tail property (the `pftk-snap` truncation proptest
+    /// lifted to whole-connection snapshots): for a random variant, seed,
+    /// and cut point, a truncated snapshot is always rejected — never a
+    /// panic, never a silent partial restore — while the pristine bytes
+    /// restore to the exact captured state.
+    #[test]
+    fn variant_snapshots_reject_any_truncation(
+        which in 0usize..tcp_sim::cc::CcAlgorithm::ALL.len(),
+        seed in 0u64..200,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let algo = tcp_sim::cc::CcAlgorithm::ALL[which];
+        let build = || {
+            Connection::builder()
+                .rtt(0.07)
+                .sender_config(SenderConfig { cc: algo, ..SenderConfig::default() })
+                .loss(Box::new(RoundCorrelated::new(0.04)))
+                .seed(seed)
+                .build()
+        };
+        let mut donor = build();
+        donor.run_for(SimDuration::from_secs_f64(20.0));
+        let snap = donor.snapshot().expect("snapshot");
+        let cut = ((snap.len() as f64 * cut_frac) as usize).min(snap.len() - 1);
+        prop_assert!(
+            build().restore(&snap[..cut]).is_err(),
+            "{:?}: truncation to {} of {} bytes restored",
+            algo, cut, snap.len()
+        );
+        let mut ok = build();
+        ok.restore(&snap).expect("pristine restore");
+        prop_assert_eq!(ok.stats(), donor.stats());
+    }
+
     #[test]
     fn window_never_exceeds_rwnd(rwnd in 2u32..64, seed in 0u64..200) {
         let sender = SenderConfig { rwnd, ..SenderConfig::default() };

@@ -28,6 +28,7 @@ use std::io;
 use std::path::Path as FsPath;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use tcp_sim::cc::CcAlgorithm;
 use tcp_sim::connection::{Connection, Observer};
 use tcp_sim::link::{Bottleneck, Path};
 use tcp_sim::loss::{Bernoulli, LossKind, Mixed, TimedGilbertElliott};
@@ -228,6 +229,9 @@ pub struct ExperimentOptions {
     pub interval_secs: Option<f64>,
     /// Run the streamed RTT-vs-flight correlation diagnostic (Fig. 11).
     pub correlation: bool,
+    /// Congestion-control variant the sender runs. The paper's campaigns
+    /// are Reno; the variant matrix re-runs them per algorithm.
+    pub cc: CcAlgorithm,
 }
 
 impl Default for ExperimentOptions {
@@ -236,6 +240,7 @@ impl Default for ExperimentOptions {
             retain_trace: false,
             interval_secs: Some(100.0),
             correlation: true,
+            cc: CcAlgorithm::default(),
         }
     }
 }
@@ -309,11 +314,14 @@ impl ExperimentResult {
     }
 }
 
-fn sender_config(spec: &PathSpec) -> SenderConfig {
-    let os = spec.sender_os();
+fn sender_config(spec: &PathSpec, cc: CcAlgorithm) -> SenderConfig {
+    // All per-OS knobs come from the quirk bundle; the sender wraps its
+    // controller in `Quirked`, so no protocol code branches on host
+    // identity past this point.
+    let quirks = spec.sender_os().quirks();
     SenderConfig {
         rwnd: spec.wmax,
-        dupthresh: os.dupack_threshold(),
+        dupthresh: quirks.dupthresh,
         initial_cwnd: 1.0,
         rto: RtoConfig {
             // Calibration: the RTO floor pins the single-timeout duration to
@@ -323,11 +331,13 @@ fn sender_config(spec: &PathSpec) -> SenderConfig {
             min_rto: SimDuration::from_secs_f64(spec.t0),
             max_rto: SimDuration::from_secs_f64(spec.t0 * 64.0 * 4.0),
             initial_rto: SimDuration::from_secs_f64(spec.t0),
-            backoff_cap_exp: os.backoff_cap_exp(),
+            backoff_cap_exp: quirks.backoff_cap_exp,
         },
         data_limit: None,
-        // The paper models Reno; the testbed's referee stays Reno.
+        // The paper models Reno-style recovery; the referee keeps the Reno
+        // loss-recovery style while the congestion controller varies.
         style: tcp_sim::reno::sender::RenoStyle::Reno,
+        cc,
     }
 }
 
@@ -408,6 +418,11 @@ pub fn calibrate_wire_loss(spec: &PathSpec, seed: u64) -> WireLoss {
         retain_trace: false,
         interval_secs: None,
         correlation: false,
+        // Calibration always probes with the Reno referee: wire-loss
+        // parameters are a property of the path, pinned against the
+        // paper's own (Reno) loss-indication rates, so every variant runs
+        // over the identical calibrated wire.
+        cc: CcAlgorithm::default(),
     };
     for iter in 0..5 {
         let r = run_connection_raw(spec, wire, 400.0, seed.wrapping_add(iter), &probe_opts);
@@ -511,7 +526,7 @@ fn build_wire_connection(
         .fwd_path(fwd)
         .rev_path(rev)
         .loss(wire.build())
-        .sender_config(sender_config(spec))
+        .sender_config(sender_config(spec, opts.cc))
         .receiver_config(ReceiverConfig::default())
         .seed(seed)
         .build_with_observer(recorder)
@@ -666,6 +681,11 @@ pub struct JournalConfig {
     pub horizon_secs: f64,
     /// Sim-event budget per attempt.
     pub event_budget: u64,
+    /// Congestion-control variant every attempt runs. Part of the
+    /// checkpoint compatibility surface: the connection snapshot carries
+    /// the controller's algorithm tag, so a checkpoint written under a
+    /// different variant fails restore and the attempt reruns fresh.
+    pub cc: CcAlgorithm,
     /// Test instrumentation: a campaign-wide countdown that panics a
     /// worker at the n-th checkpoint boundary, simulating a crash (the
     /// resume-equivalence gate arms this; production campaigns leave it
@@ -682,6 +702,7 @@ impl Default for JournalConfig {
             checkpoint_sim_secs: 300.0,
             horizon_secs: 3600.0,
             event_budget: DEFAULT_EVENT_BUDGET,
+            cc: CcAlgorithm::default(),
             crash: None,
         }
     }
@@ -850,6 +871,7 @@ pub fn run_table2_journaled(
         let every = config.checkpoint_sim_secs;
         let horizon = config.horizon_secs;
         let budget = config.event_budget;
+        let cc = config.cc;
         jobs.push(JobSpec {
             label: label.clone(),
             seed: first_seed,
@@ -877,7 +899,10 @@ pub fn run_table2_journaled(
                     horizon,
                     seed,
                     budget,
-                    &ExperimentOptions::default(),
+                    &ExperimentOptions {
+                        cc,
+                        ..ExperimentOptions::default()
+                    },
                     &ctx,
                 );
                 // Durable completion record *before* the supervisor sees
@@ -965,6 +990,7 @@ pub fn run_modem_with(
         rto: RtoConfig::default(),
         data_limit: None,
         style: tcp_sim::reno::sender::RenoStyle::Reno,
+        cc: opts.cc,
     };
     // Modem sender is a standard-threshold stack (dupthresh 3).
     let config = StreamConfig {

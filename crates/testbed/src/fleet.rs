@@ -493,6 +493,10 @@ fn build_audit_connection(
             },
             data_limit: None,
             style: RenoStyle::Reno,
+            // The audit referee runs the same variant as the cohort's
+            // rounds-model flows, so mixed-variant fleets stay anchored to
+            // matching packet-level behavior.
+            cc: config.cc,
         })
         .receiver_config(ReceiverConfig {
             ack_every: config.b,

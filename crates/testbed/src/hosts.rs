@@ -3,6 +3,7 @@
 //! §III/§IV corrects for.
 
 use serde::{Deserialize, Serialize};
+use tcp_sim::Quirks;
 
 /// Operating systems appearing in Table I.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -24,20 +25,33 @@ pub enum Os {
 }
 
 impl Os {
+    /// The per-OS TCP quirk knobs, packaged for the simulator's quirk
+    /// decorator ([`tcp_sim::Quirked`]). This is the single place the
+    /// testbed branches on host identity: the per-packet path reads the
+    /// knobs from the decorator, never from the OS.
+    pub fn quirks(self) -> Quirks {
+        Quirks {
+            dupthresh: match self {
+                // §III: Linux fires fast retransmit after only two dupacks.
+                Os::Linux => 2,
+                _ => 3,
+            },
+            backoff_cap_exp: match self {
+                // §IV: Irix caps exponential backoff at 2^5.
+                Os::Irix => 5,
+                _ => 6,
+            },
+        }
+    }
+
     /// Duplicate-ACK threshold for fast retransmit on this OS.
     pub fn dupack_threshold(self) -> u32 {
-        match self {
-            Os::Linux => 2,
-            _ => 3,
-        }
+        self.quirks().dupthresh
     }
 
     /// Exponential-backoff cap exponent (RTO multiplier `2^cap`).
     pub fn backoff_cap_exp(self) -> u32 {
-        match self {
-            Os::Irix => 5,
-            _ => 6,
-        }
+        self.quirks().backoff_cap_exp
     }
 
     /// Display name as Table I prints it.
@@ -198,6 +212,23 @@ mod tests {
         assert_eq!(host("manic").unwrap().os.backoff_cap_exp(), 5);
         assert_eq!(host("void").unwrap().os.backoff_cap_exp(), 6);
         assert_eq!(host("babel").unwrap().os.backoff_cap_exp(), 6);
+    }
+
+    #[test]
+    fn quirks_pin_table_ii_hosts() {
+        // Satellite regression: the decorator knobs for the Table II
+        // senders are exactly what the legacy accessors reported, so host
+        // results computed through `Quirked` cannot drift.
+        for h in HOSTS {
+            let q = h.os.quirks();
+            assert_eq!(q.dupthresh, h.os.dupack_threshold(), "{}", h.name);
+            assert_eq!(q.backoff_cap_exp, h.os.backoff_cap_exp(), "{}", h.name);
+        }
+        assert_eq!(host("void").unwrap().os.quirks().dupthresh, 2);
+        assert_eq!(host("att").unwrap().os.quirks().dupthresh, 2);
+        assert_eq!(host("manic").unwrap().os.quirks().backoff_cap_exp, 5);
+        assert_eq!(host("babel").unwrap().os.quirks(), Quirks::default());
+        assert_eq!(host("pif").unwrap().os.quirks(), Quirks::default());
     }
 
     #[test]

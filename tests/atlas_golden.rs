@@ -1,0 +1,71 @@
+//! Tier-1 gate for the variant model-domain atlas.
+//!
+//! The `results/atlas_<variant>.csv` files are golden outputs of
+//! `cargo run --release -p tcp-repro --bin atlas`: deterministic,
+//! byte-exact functions of the pinned seed/horizon/grid. This test
+//! regenerates every variant's cells and compares them byte-for-byte
+//! against the committed CSVs, then asserts the headline claim the atlas
+//! exists to make: at least three non-Reno variants have a non-empty
+//! ≥2× divergence frontier against the PFTK prediction, while Reno —
+//! the law the formula was derived for — has none.
+
+use tcp_repro::atlas::{
+    csv_rows, frontier, run_atlas, CSV_HEADER, GOLDEN_HORIZON_SECS, GOLDEN_SEED,
+};
+use tcp_sim::cc::CcAlgorithm;
+
+fn golden_path(algo: CcAlgorithm) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("results")
+        .join(format!("atlas_{}.csv", algo.label()))
+}
+
+//= pftk#variant-envelope type=test
+#[test]
+fn atlas_csvs_match_the_committed_goldens() {
+    for algo in CcAlgorithm::ALL {
+        let cells = run_atlas(algo, GOLDEN_HORIZON_SECS, GOLDEN_SEED);
+        let mut expected = String::new();
+        expected.push_str(CSV_HEADER);
+        expected.push('\n');
+        for row in csv_rows(&cells) {
+            expected.push_str(&row);
+            expected.push('\n');
+        }
+        let committed = std::fs::read_to_string(golden_path(algo))
+            .unwrap_or_else(|e| panic!("missing golden for {:?}: {e}", algo));
+        assert_eq!(
+            committed,
+            expected,
+            "{:?} atlas drifted from results/atlas_{}.csv — if the change \
+             is intentional, regenerate with `cargo run --release -p \
+             tcp-repro --bin atlas`",
+            algo,
+            algo.label()
+        );
+    }
+}
+
+//= pftk#variant-envelope type=test
+#[test]
+fn at_least_three_non_reno_variants_cross_the_frontier() {
+    let mut crossing = Vec::new();
+    for algo in CcAlgorithm::ALL {
+        let cells = run_atlas(algo, GOLDEN_HORIZON_SECS, GOLDEN_SEED);
+        let front = frontier(&cells);
+        if algo == CcAlgorithm::Reno {
+            assert!(
+                front.is_empty(),
+                "Reno is the law Eq. (32) models; its frontier must be \
+                 empty, got {} cells",
+                front.len()
+            );
+        } else if !front.is_empty() {
+            crossing.push((algo, front.len()));
+        }
+    }
+    assert!(
+        crossing.len() >= 3,
+        "need ≥3 non-Reno variants past the 2x frontier, got {crossing:?}"
+    );
+}

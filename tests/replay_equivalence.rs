@@ -293,6 +293,57 @@ fn fleet_reports_are_bit_identical_across_shard_counts() {
     }
 }
 
+/// A campaign mixing every congestion-control variant across cohorts:
+/// the per-flow `CcState` dispatch must be as shard-invariant as Reno.
+fn mixed_variant_campaign() -> FleetCampaignSpec {
+    use padhye_tcp_repro::sim::cc::CcAlgorithm;
+    let cohorts = CcAlgorithm::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, &algo)| FleetCohortSpec {
+            label: format!("cc={} p=0.03 wmax=48", algo.label()),
+            config: RoundsConfig {
+                p: 0.03,
+                rtt: 0.08 + 0.02 * i as f64,
+                t0: 1.0,
+                b: 2,
+                wmax: 48,
+                cc: algo,
+                ..RoundsConfig::default()
+            },
+            flows: 240 + 40 * i as u64,
+        })
+        .collect();
+    FleetCampaignSpec {
+        cohorts,
+        base_seed: BASE_SEED ^ 0xCC_A11,
+        horizon_secs: 25.0,
+        wheel: WheelConfig::default(),
+        audit_flows_per_cohort: 1,
+    }
+}
+
+//= pftk#fleet-shard-equivalence type=test
+#[test]
+fn mixed_variant_fleet_replays_bit_identically_across_shard_counts() {
+    let spec = mixed_variant_campaign();
+    let reference = run_fleet(&spec, 1);
+    assert!(reference.events > 0, "mixed-variant fleet did nothing");
+    assert_eq!(reference.cohorts.len(), spec.cohorts.len());
+
+    for shards in fleet_shard_counts() {
+        let plain = run_fleet(&spec, shards);
+        assert_fleet_identical(&reference, &plain, &format!("mixed-cc {shards} shards"));
+
+        let chaotic = run_fleet_with(&spec, shards, Some(0xCC0_5EED + shards as u64));
+        assert_fleet_identical(
+            &reference,
+            &chaotic,
+            &format!("mixed-cc {shards} shards + schedule chaos"),
+        );
+    }
+}
+
 //= pftk#fleet-shard-equivalence type=test
 #[test]
 fn fleet_chaos_seed_never_leaks_into_reports() {

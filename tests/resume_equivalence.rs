@@ -276,6 +276,55 @@ fn killed_and_resumed_campaign_is_bit_identical() {
     }
 }
 
+//= pftk#crash-resume type=test
+#[test]
+fn non_reno_campaign_checkpoint_resumes_bit_identically() {
+    // The checkpoint path must restore *variant* controller state, not
+    // just Reno's: run the kill/resume cycle under CUBIC, whose snapshot
+    // carries epoch geometry (w_max, K, epoch start) absent from Reno.
+    use padhye_tcp_repro::sim::cc::CcAlgorithm;
+    const CC: CcAlgorithm = CcAlgorithm::Cubic;
+    const CC_SEED: u64 = BASE_SEED ^ 0xCC;
+    let cfg = |crash| JournalConfig {
+        cc: CC,
+        ..config(2, crash)
+    };
+    let run_cc = |path: &std::path::Path, crash| {
+        run_table2_journaled(&TABLE2_PATHS[..4], CC_SEED, path, &cfg(crash)).expect("journal I/O")
+    };
+
+    let ref_path = journal_path("cubic-reference");
+    let reference = run_cc(&ref_path, None);
+    assert!(
+        reference.is_complete(),
+        "reference campaign must be clean: {}",
+        reference.summary()
+    );
+    let total_ticks = count_checkpoints(&ref_path);
+    assert!(total_ticks >= 8, "too few checkpoints ({total_ticks})");
+    let _ = std::fs::remove_file(&ref_path);
+
+    let path = journal_path("cubic-kill");
+    let crashed = run_cc(&path, Some(CrashPoint::after(1 + total_ticks / 3)));
+    assert!(
+        crashed.rows.iter().any(|r| r.outcome == Outcome::Panicked),
+        "kill left no attributable hole"
+    );
+
+    let resumed = run_cc(&path, None);
+    assert!(
+        resumed.is_complete(),
+        "resume left holes: {}",
+        resumed.summary()
+    );
+    assert!(
+        resumed.rows.iter().any(|r| r.outcome == Outcome::Resumed),
+        "no row was checkpoint-resumed under {CC:?}"
+    );
+    assert_outputs_bit_identical(&reference, &resumed, "cubic resume");
+    let _ = std::fs::remove_file(&path);
+}
+
 //= pftk#journal-torn-tail type=test
 #[test]
 fn torn_or_corrupt_journal_recovers_without_panicking() {
